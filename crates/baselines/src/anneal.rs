@@ -1,0 +1,283 @@
+//! Simulated-annealing scheduling (after Devadas & Newton, paper
+//! ref. [8]) — the probabilistic energy method MFS/MFSA are compared
+//! against for runtime and tuning sensitivity.
+
+use hls_celllib::{Library, TimingSpec};
+use hls_dfg::{Dfg, FuClass, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hls_schedule::{CStep, FuIndex, Schedule, ScheduleError, Slot, TimeFrames, UnitId};
+
+/// Annealing hyper-parameters — the "tuning problems" the paper
+/// attributes to probabilistic methods are real: results depend on all
+/// four of these.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealParams {
+    /// RNG seed (runs are deterministic given a seed).
+    pub seed: u64,
+    /// Moves attempted per temperature level.
+    pub moves_per_temp: u32,
+    /// Initial temperature.
+    pub t0: f64,
+    /// Geometric cooling factor per level (0 < alpha < 1).
+    pub alpha: f64,
+    /// Temperature levels.
+    pub levels: u32,
+}
+
+impl Default for AnnealParams {
+    fn default() -> Self {
+        AnnealParams {
+            seed: 0xDAC1992,
+            moves_per_temp: 200,
+            t0: 5_000.0,
+            alpha: 0.9,
+            levels: 60,
+        }
+    }
+}
+
+/// Run statistics, for the comparison benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealStats {
+    /// Accepted moves.
+    pub accepted: u64,
+    /// Attempted moves.
+    pub attempted: u64,
+    /// Final energy (FU area in µm²).
+    pub final_energy: f64,
+}
+
+/// Time-constrained scheduling by simulated annealing over start steps:
+/// the energy is the total single-function-unit area implied by the
+/// per-step concurrency (the same objective MFS minimises), moves pick a
+/// random operation and a random step within its current dependency
+/// slack, and acceptance follows the Metropolis criterion.
+///
+/// The returned schedule binds unit indices greedily from the final
+/// step assignment.
+///
+/// # Errors
+///
+/// [`ScheduleError::InfeasibleTime`] when the critical path exceeds
+/// `cs`.
+pub fn anneal_schedule(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    cs: u32,
+    library: &Library,
+    params: &AnnealParams,
+) -> Result<(Schedule, AnnealStats), ScheduleError> {
+    let tf = TimeFrames::compute(dfg, spec, cs)?;
+    let cycles: Vec<u32> = dfg
+        .node_ids()
+        .map(|n| dfg.node(n).kind().cycles(spec) as u32)
+        .collect();
+    // Start from ASAP.
+    let mut starts: Vec<u32> = dfg.node_ids().map(|n| tf.asap(n).get()).collect();
+
+    let unit_area = |class: FuClass| -> f64 {
+        class
+            .base_op()
+            .and_then(|k| library.fu_area(k).ok())
+            .map(|a| a.as_u64() as f64)
+            .unwrap_or(1_000.0)
+    };
+
+    let energy = |starts: &[u32]| -> f64 {
+        // FU count per class = peak concurrency; energy = Σ count·area.
+        let mut peak: std::collections::BTreeMap<FuClass, u32> = Default::default();
+        let mut per_step: std::collections::BTreeMap<(FuClass, u32), u32> = Default::default();
+        for n in dfg.node_ids() {
+            let class = dfg.node(n).kind().fu_class();
+            for k in 0..cycles[n.index()] {
+                let e = per_step.entry((class, starts[n.index()] + k)).or_insert(0);
+                *e += 1;
+                let p = peak.entry(class).or_insert(0);
+                *p = (*p).max(*e);
+            }
+        }
+        peak.into_iter().map(|(c, n)| n as f64 * unit_area(c)).sum()
+    };
+
+    // Dependency slack of node n under the current assignment.
+    let slack = |starts: &[u32], n: NodeId| -> (u32, u32) {
+        let mut lo = tf.asap(n).get();
+        let mut hi = tf.alap(n).get();
+        for &p in dfg.preds(n) {
+            lo = lo.max(starts[p.index()] + cycles[p.index()]);
+        }
+        for &s in dfg.succs(n) {
+            hi = hi.min(starts[s.index()].saturating_sub(cycles[n.index()]));
+        }
+        (lo, hi)
+    };
+
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut current = energy(&starts);
+    let mut stats = AnnealStats {
+        accepted: 0,
+        attempted: 0,
+        final_energy: current,
+    };
+    let mut temp = params.t0;
+    let node_ids: Vec<NodeId> = dfg.node_ids().collect();
+    for _ in 0..params.levels {
+        for _ in 0..params.moves_per_temp {
+            stats.attempted += 1;
+            let n = node_ids[rng.gen_range(0..node_ids.len())];
+            let (lo, hi) = slack(&starts, n);
+            if lo > hi {
+                continue;
+            }
+            let new_step = rng.gen_range(lo..=hi);
+            if new_step == starts[n.index()] {
+                continue;
+            }
+            let old = starts[n.index()];
+            starts[n.index()] = new_step;
+            let proposed = energy(&starts);
+            let delta = proposed - current;
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
+            if accept {
+                current = proposed;
+                stats.accepted += 1;
+            } else {
+                starts[n.index()] = old;
+            }
+        }
+        temp *= params.alpha;
+    }
+    stats.final_energy = current;
+
+    // Bind units greedily.
+    let mut sched = Schedule::new(dfg, cs);
+    let mut busy: std::collections::BTreeMap<(FuClass, u32, u32), ()> = Default::default();
+    let mut unit_count: std::collections::BTreeMap<FuClass, u32> = Default::default();
+    for &n in dfg.topo_order() {
+        let class = dfg.node(n).kind().fu_class();
+        let start = starts[n.index()];
+        let span = cycles[n.index()];
+        let max_units = unit_count.entry(class).or_insert(0);
+        let mut chosen = None;
+        for u in 1..=*max_units {
+            if (0..span).all(|k| !busy.contains_key(&(class, u, start + k))) {
+                chosen = Some(u);
+                break;
+            }
+        }
+        let u = chosen.unwrap_or_else(|| {
+            *max_units += 1;
+            *max_units
+        });
+        for k in 0..span {
+            busy.insert((class, u, start + k), ());
+        }
+        sched.assign(
+            n,
+            Slot {
+                step: CStep::new(start),
+                unit: UnitId::Fu {
+                    class,
+                    index: FuIndex::new(u),
+                },
+            },
+        );
+    }
+    Ok((sched, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::OpKind;
+    use hls_dfg::DfgBuilder;
+    use hls_schedule::{verify, VerifyOptions};
+
+    fn workload() -> Dfg {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        for i in 0..6 {
+            let m = b.op(&format!("m{i}"), OpKind::Mul, &[x, x]).unwrap();
+            b.op(&format!("a{i}"), OpKind::Add, &[m, x]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn result_is_always_a_valid_schedule() {
+        let g = workload();
+        let spec = TimingSpec::uniform_single_cycle();
+        let lib = Library::ncr_like();
+        let (s, stats) = anneal_schedule(&g, &spec, 6, &lib, &AnnealParams::default()).unwrap();
+        assert!(verify(&g, &s, &spec, VerifyOptions::default()).is_empty());
+        assert!(stats.attempted > 0);
+        assert!(stats.final_energy > 0.0);
+    }
+
+    #[test]
+    fn annealing_improves_on_asap_packing() {
+        // 6 multiplies ASAP-packed into step 1 need 6 multipliers; with
+        // 6 steps of slack annealing should spread them out.
+        let g = workload();
+        let spec = TimingSpec::uniform_single_cycle();
+        let lib = Library::ncr_like();
+        let (s, _) = anneal_schedule(&g, &spec, 7, &lib, &AnnealParams::default()).unwrap();
+        let muls = s.fu_counts()[&FuClass::Op(OpKind::Mul)];
+        assert!(muls < 6, "annealing left {muls} multipliers");
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let g = workload();
+        let spec = TimingSpec::uniform_single_cycle();
+        let lib = Library::ncr_like();
+        let p = AnnealParams {
+            seed: 42,
+            ..Default::default()
+        };
+        let (s1, st1) = anneal_schedule(&g, &spec, 6, &lib, &p).unwrap();
+        let (s2, st2) = anneal_schedule(&g, &spec, 6, &lib, &p).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(st1.final_energy, st2.final_energy);
+    }
+
+    #[test]
+    fn seeds_change_the_trajectory() {
+        let g = workload();
+        let spec = TimingSpec::uniform_single_cycle();
+        let lib = Library::ncr_like();
+        let (_, a) = anneal_schedule(
+            &g,
+            &spec,
+            6,
+            &lib,
+            &AnnealParams {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (_, b) = anneal_schedule(
+            &g,
+            &spec,
+            6,
+            &lib,
+            &AnnealParams {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn infeasible_budget_errors() {
+        let g = workload();
+        let spec = TimingSpec::uniform_single_cycle();
+        let lib = Library::ncr_like();
+        assert!(anneal_schedule(&g, &spec, 1, &lib, &AnnealParams::default()).is_err());
+    }
+}

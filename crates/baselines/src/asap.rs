@@ -1,0 +1,135 @@
+//! ASAP/ALAP baselines (FACET-style): schedule every operation at its
+//! earliest (or latest) feasible step, binding units greedily.
+
+use std::collections::BTreeMap;
+
+use hls_celllib::TimingSpec;
+use hls_dfg::{Dfg, FuClass};
+use hls_schedule::{alap, asap, CStep, FuIndex, Schedule, ScheduleError, Slot, UnitId};
+
+fn bind(dfg: &Dfg, spec: &TimingSpec, starts: &[CStep], cs: u32) -> Schedule {
+    let mut sched = Schedule::new(dfg, cs);
+    // Greedy per-class unit binding: reuse the first unit free over the
+    // operation's span.
+    let mut busy: BTreeMap<(FuClass, u32, u32), ()> = BTreeMap::new();
+    let mut unit_count: BTreeMap<FuClass, u32> = BTreeMap::new();
+    for &id in dfg.topo_order() {
+        let class = dfg.node(id).kind().fu_class();
+        let cycles = dfg.node(id).kind().cycles(spec) as u32;
+        let start = starts[id.index()];
+        let max_units = unit_count.entry(class).or_insert(0);
+        let mut chosen = None;
+        for u in 1..=*max_units {
+            let free = (0..cycles).all(|k| !busy.contains_key(&(class, u, start.get() + k)));
+            if free {
+                chosen = Some(u);
+                break;
+            }
+        }
+        let u = chosen.unwrap_or_else(|| {
+            *max_units += 1;
+            *max_units
+        });
+        for k in 0..cycles {
+            busy.insert((class, u, start.get() + k), ());
+        }
+        sched.assign(
+            id,
+            Slot {
+                step: start,
+                unit: UnitId::Fu {
+                    class,
+                    index: FuIndex::new(u),
+                },
+            },
+        );
+    }
+    sched
+}
+
+/// The ASAP baseline: every operation starts as early as possible.
+pub fn asap_schedule(dfg: &Dfg, spec: &TimingSpec, cs: u32) -> Result<Schedule, ScheduleError> {
+    let starts = asap(dfg, spec);
+    // Check the horizon.
+    for (i, &s) in starts.iter().enumerate() {
+        let id = dfg.node_ids().nth(i).expect("dense ids");
+        let cycles = dfg.node(id).kind().cycles(spec) as u32;
+        if s.get() + cycles - 1 > cs {
+            return Err(ScheduleError::InfeasibleTime {
+                needed: s.get() + cycles - 1,
+                given: cs,
+            });
+        }
+    }
+    Ok(bind(dfg, spec, &starts, cs))
+}
+
+/// The ALAP baseline: every operation starts as late as possible.
+///
+/// # Errors
+///
+/// [`ScheduleError::InfeasibleTime`] when the critical path exceeds
+/// `cs`.
+pub fn alap_schedule(dfg: &Dfg, spec: &TimingSpec, cs: u32) -> Result<Schedule, ScheduleError> {
+    let starts = alap(dfg, spec, cs)?;
+    Ok(bind(dfg, spec, &starts, cs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::OpKind;
+    use hls_dfg::DfgBuilder;
+    use hls_schedule::{verify, VerifyOptions};
+
+    fn graph() -> Dfg {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let p = b.op("p", OpKind::Mul, &[x, x]).unwrap();
+        b.op("q", OpKind::Add, &[p, x]).unwrap();
+        b.op("r", OpKind::Add, &[x, x]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn asap_is_valid_and_front_loaded() {
+        let g = graph();
+        let spec = TimingSpec::uniform_single_cycle();
+        let s = asap_schedule(&g, &spec, 3).unwrap();
+        assert!(verify(&g, &s, &spec, VerifyOptions::default()).is_empty());
+        let r = g.node_by_name("r").unwrap();
+        assert_eq!(s.start(r), Some(CStep::new(1)));
+    }
+
+    #[test]
+    fn alap_is_valid_and_back_loaded() {
+        let g = graph();
+        let spec = TimingSpec::uniform_single_cycle();
+        let s = alap_schedule(&g, &spec, 4).unwrap();
+        assert!(verify(&g, &s, &spec, VerifyOptions::default()).is_empty());
+        let r = g.node_by_name("r").unwrap();
+        assert_eq!(s.start(r), Some(CStep::new(4)));
+    }
+
+    #[test]
+    fn infeasible_horizon_is_reported() {
+        let g = graph();
+        let spec = TimingSpec::uniform_single_cycle();
+        assert!(asap_schedule(&g, &spec, 1).is_err());
+        assert!(alap_schedule(&g, &spec, 1).is_err());
+    }
+
+    #[test]
+    fn multicycle_binding_blocks_the_unit() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("m1", OpKind::Mul, &[x, x]).unwrap();
+        b.op("m2", OpKind::Mul, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::two_cycle_multiply();
+        let s = asap_schedule(&g, &spec, 2).unwrap();
+        assert!(verify(&g, &s, &spec, VerifyOptions::default()).is_empty());
+        // Both start at t1: two multipliers.
+        assert_eq!(s.fu_counts()[&FuClass::Op(OpKind::Mul)], 2);
+    }
+}

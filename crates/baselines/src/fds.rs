@@ -1,0 +1,244 @@
+//! Time-constrained force-directed scheduling (after HAL, paper ref. [6]).
+
+use std::collections::BTreeMap;
+
+use hls_celllib::TimingSpec;
+use hls_dfg::{Dfg, FuClass, NodeId};
+use hls_schedule::{CStep, FuIndex, Schedule, ScheduleError, Slot, TimeFrames, UnitId};
+
+/// Per-node current time frame (start-step interval).
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    lo: u32,
+    hi: u32,
+}
+
+impl Frame {
+    fn width(&self) -> u32 {
+        self.hi - self.lo + 1
+    }
+}
+
+/// Paulin & Knight's force-directed scheduling: balances the per-class
+/// *distribution graphs* by repeatedly committing the (operation, step)
+/// pair with minimal force — self force plus the predecessor/successor
+/// forces induced by frame tightening.
+///
+/// Like HAL, it assumes single-function units; the result is a complete
+/// MFS-comparable schedule with greedily bound unit indices.
+///
+/// # Errors
+///
+/// [`ScheduleError::InfeasibleTime`] when the critical path exceeds
+/// `cs`.
+pub fn force_directed_schedule(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    cs: u32,
+) -> Result<Schedule, ScheduleError> {
+    let tf = TimeFrames::compute(dfg, spec, cs)?;
+    let mut frames: Vec<Frame> = dfg
+        .node_ids()
+        .map(|n| Frame {
+            lo: tf.asap(n).get(),
+            hi: tf.alap(n).get(),
+        })
+        .collect();
+    let cycles: Vec<u32> = dfg
+        .node_ids()
+        .map(|n| dfg.node(n).kind().cycles(spec) as u32)
+        .collect();
+
+    // Distribution graph: expected occupancy per (class, step).
+    let dg = |frames: &[Frame]| -> BTreeMap<(FuClass, u32), f64> {
+        let mut dg: BTreeMap<(FuClass, u32), f64> = BTreeMap::new();
+        for n in dfg.node_ids() {
+            let f = frames[n.index()];
+            let class = dfg.node(n).kind().fu_class();
+            let p = 1.0 / f.width() as f64;
+            for start in f.lo..=f.hi {
+                for k in 0..cycles[n.index()] {
+                    *dg.entry((class, start + k)).or_insert(0.0) += p;
+                }
+            }
+        }
+        dg
+    };
+
+    // Force of fixing node n at step t, given current frames: the
+    // classic DG(t') − mean(DG over frame) summed over occupied steps,
+    // plus the induced forces on predecessors/successors via frame
+    // tightening (evaluated by recomputing DGs on the tightened frames —
+    // small graphs make the direct evaluation affordable).
+    let force_of = |frames: &[Frame], n: NodeId, t: u32| -> f64 {
+        let mut tightened = frames.to_vec();
+        tightened[n.index()] = Frame { lo: t, hi: t };
+        // Propagate: preds must finish before t; succs start after.
+        propagate(dfg, &cycles, &mut tightened);
+        let before = dg(frames);
+        let after = dg(&tightened);
+        // Total force = Σ DG·Δp over all (class, step) — equivalently
+        // the DG-weighted change in expected occupancy.
+        let mut force = 0.0;
+        for (key, &p_after) in &after {
+            let p_before = before.get(key).copied().unwrap_or(0.0);
+            let dg_val = before.get(key).copied().unwrap_or(0.0);
+            force += dg_val * (p_after - p_before);
+        }
+        force
+    };
+
+    let order: Vec<NodeId> = dfg.node_ids().collect();
+    // Commit ops one at a time (widest frames carry real choice; fixed
+    // ops are committed implicitly by propagation).
+    for _ in 0..order.len() {
+        // Pick the unfixed (op, step) with minimal force.
+        let mut best: Option<(f64, NodeId, u32)> = None;
+        for &n in &order {
+            let f = frames[n.index()];
+            if f.width() == 1 {
+                continue;
+            }
+            for t in f.lo..=f.hi {
+                let force = force_of(&frames, n, t);
+                let candidate = (force, n, t);
+                if best.is_none_or(|(bf, bn, bt)| (force, n.index(), t) < (bf, bn.index(), bt)) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        match best {
+            None => break, // everything fixed
+            Some((_, n, t)) => {
+                frames[n.index()] = Frame { lo: t, hi: t };
+                propagate(dfg, &cycles, &mut frames);
+            }
+        }
+    }
+
+    // Bind units greedily per class.
+    let mut sched = Schedule::new(dfg, cs);
+    let mut busy: BTreeMap<(FuClass, u32, u32), ()> = BTreeMap::new();
+    let mut unit_count: BTreeMap<FuClass, u32> = BTreeMap::new();
+    for &n in dfg.topo_order() {
+        let class = dfg.node(n).kind().fu_class();
+        let start = frames[n.index()].lo;
+        let span = cycles[n.index()];
+        let max_units = unit_count.entry(class).or_insert(0);
+        let mut chosen = None;
+        for u in 1..=*max_units {
+            if (0..span).all(|k| !busy.contains_key(&(class, u, start + k))) {
+                chosen = Some(u);
+                break;
+            }
+        }
+        let u = chosen.unwrap_or_else(|| {
+            *max_units += 1;
+            *max_units
+        });
+        for k in 0..span {
+            busy.insert((class, u, start + k), ());
+        }
+        sched.assign(
+            n,
+            Slot {
+                step: CStep::new(start),
+                unit: UnitId::Fu {
+                    class,
+                    index: FuIndex::new(u),
+                },
+            },
+        );
+    }
+    Ok(sched)
+}
+
+/// Tightens all frames to dependency-consistency (interval propagation).
+fn propagate(dfg: &Dfg, cycles: &[u32], frames: &mut [Frame]) {
+    // Forward: lo(n) ≥ lo(p) + cycles(p).
+    for &n in dfg.topo_order() {
+        for &p in dfg.preds(n) {
+            let bound = frames[p.index()].lo + cycles[p.index()];
+            if frames[n.index()].lo < bound {
+                frames[n.index()].lo = bound;
+            }
+        }
+        if frames[n.index()].hi < frames[n.index()].lo {
+            frames[n.index()].hi = frames[n.index()].lo;
+        }
+    }
+    // Backward: hi(n) ≤ hi(s) − cycles(n).
+    for &n in dfg.topo_order().iter().rev() {
+        for &s in dfg.succs(n) {
+            let bound = frames[s.index()].hi.saturating_sub(cycles[n.index()]);
+            if frames[n.index()].hi > bound {
+                frames[n.index()].hi = bound;
+            }
+        }
+        if frames[n.index()].lo > frames[n.index()].hi {
+            frames[n.index()].lo = frames[n.index()].hi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::OpKind;
+    use hls_dfg::DfgBuilder;
+    use hls_schedule::{verify, VerifyOptions};
+
+    #[test]
+    fn balances_independent_ops_across_steps() {
+        // 4 independent multiplies in 2 steps: FDS must put 2 in each.
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        for i in 0..4 {
+            b.op(&format!("m{i}"), OpKind::Mul, &[x, x]).unwrap();
+        }
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let s = force_directed_schedule(&g, &spec, 2).unwrap();
+        assert!(verify(&g, &s, &spec, VerifyOptions::default()).is_empty());
+        assert_eq!(s.fu_counts()[&FuClass::Op(OpKind::Mul)], 2);
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let p = b.op("p", OpKind::Mul, &[x, x]).unwrap();
+        let q = b.op("q", OpKind::Add, &[p, x]).unwrap();
+        b.op("r", OpKind::Sub, &[q, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let s = force_directed_schedule(&g, &spec, 4).unwrap();
+        assert!(verify(&g, &s, &spec, VerifyOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn infeasible_budget_errors() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let p = b.op("p", OpKind::Add, &[x, x]).unwrap();
+        b.op("q", OpKind::Add, &[p, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        assert!(force_directed_schedule(&g, &spec, 1).is_err());
+    }
+
+    #[test]
+    fn multicycle_distribution() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("m1", OpKind::Mul, &[x, x]).unwrap();
+        b.op("m2", OpKind::Mul, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::two_cycle_multiply();
+        let s = force_directed_schedule(&g, &spec, 4).unwrap();
+        assert!(verify(&g, &s, &spec, VerifyOptions::default()).is_empty());
+        // 2-cycle each over 4 steps: one multiplier suffices when they
+        // do not overlap.
+        assert_eq!(s.fu_counts()[&FuClass::Op(OpKind::Mul)], 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! Liapunov weights, design style, interconnect sharing and the
+//! `current_j = ⌈N_j/cs⌉` initialisation. Each variant is benchmarked
+//! (runtime) and its quality printed once, so `cargo bench` doubles as
+//! the ablation report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hls_benchmarks::classic;
+use hls_celllib::{Library, TimingSpec};
+use hls_schedule::PriorityRule;
+use moveframe::mfs::{self as mfs_mod, MfsConfig};
+use moveframe::mfsa::{self, DesignStyle, MfsaConfig, Weights};
+
+fn variants() -> Vec<(&'static str, MfsaConfig)> {
+    let lib = Library::ncr_like();
+    vec![
+        ("balanced", MfsaConfig::new(8, lib.clone())),
+        (
+            "area-only",
+            MfsaConfig::new(8, lib.clone()).with_weights(Weights {
+                time: 0,
+                alu: 1,
+                mux: 1,
+                reg: 1,
+            }),
+        ),
+        (
+            "mux-heavy",
+            MfsaConfig::new(8, lib.clone()).with_weights(Weights {
+                time: 1,
+                alu: 1,
+                mux: 8,
+                reg: 1,
+            }),
+        ),
+        (
+            "style2",
+            MfsaConfig::new(8, lib.clone()).with_style(DesignStyle::NoSelfLoop),
+        ),
+        (
+            "no-interconnect-sharing",
+            MfsaConfig::new(8, lib).without_interconnect_sharing(),
+        ),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let dfg = classic::diffeq();
+    let spec = TimingSpec::uniform_single_cycle();
+    let mut group = c.benchmark_group("mfsa-ablation-diffeq");
+    for (name, config) in variants() {
+        let outcome = mfsa::schedule(&dfg, &spec, &config).expect("diffeq schedules");
+        println!(
+            "[ablation] {name:>24}: cost {:>8}, ALUs {}, REG {}, MUXin {}",
+            outcome.cost.total().as_u64(),
+            outcome.datapath.alu_signature(),
+            outcome.cost.reg_count,
+            outcome.cost.mux_inputs,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| mfsa::schedule(&dfg, &spec, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mfs_rule_ablation(c: &mut Criterion) {
+    // MFS-side ablations: priority rule and current_j initialisation,
+    // on the densest example (the AR filter with 2-cycle multiplies).
+    let dfg = hls_benchmarks::classic::ar_filter();
+    let spec = TimingSpec::two_cycle_multiply();
+    let variants: Vec<(&str, MfsConfig)> = vec![
+        ("alap-mobility (paper)", MfsConfig::time_constrained(10)),
+        (
+            "plain-mobility",
+            MfsConfig::time_constrained(10).with_priority_rule(PriorityRule::PlainMobility),
+        ),
+        (
+            "lazy-columns",
+            MfsConfig::time_constrained(10).with_lazy_columns(),
+        ),
+    ];
+    let mut group = c.benchmark_group("mfs-ablation-ar");
+    for (name, config) in variants {
+        let out = mfs_mod::schedule(&dfg, &spec, &config).expect("ar schedules at T=10");
+        let units: u32 = out.fu_counts().values().sum();
+        println!(
+            "[ablation] {name:>24}: {units} unit(s), {} rescheduling(s)",
+            out.reschedule_count
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| mfs_mod::schedule(&dfg, &spec, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ablation, bench_mfs_rule_ablation
+}
+criterion_main!(benches);

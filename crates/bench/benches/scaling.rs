@@ -1,0 +1,62 @@
+//! Scaling study: MFS runtime on generated layered DAGs of growing size
+//! (the paper's O(l³) worst-case analysis, §3.2) and MFSA on the same
+//! graphs (same order, §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hls_benchmarks::generate::{generate, GeneratorConfig};
+use hls_celllib::{Library, TimingSpec};
+use hls_dfg::CriticalPath;
+use moveframe::mfs::{self, MfsConfig};
+use moveframe::mfsa::{self, MfsaConfig};
+
+fn budget_for(dfg: &hls_dfg::Dfg, spec: &TimingSpec) -> u32 {
+    // 1.5× the critical path: tight enough to exercise the frames,
+    // loose enough to always be feasible.
+    let cp = CriticalPath::compute(dfg, spec).steps() as u32;
+    cp + cp / 2 + 1
+}
+
+fn bench_mfs_scaling(c: &mut Criterion) {
+    let spec = TimingSpec::uniform_single_cycle();
+    let mut group = c.benchmark_group("mfs-scaling");
+    for ops in [16usize, 32, 64, 128, 256] {
+        let dfg = generate(&GeneratorConfig::sized(ops, 42));
+        let t = budget_for(&dfg, &spec);
+        group.throughput(Throughput::Elements(dfg.node_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dfg.node_count()),
+            &dfg,
+            |b, dfg| b.iter(|| mfs::schedule(dfg, &spec, &MfsConfig::time_constrained(t)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mfsa_scaling(c: &mut Criterion) {
+    let spec = TimingSpec::uniform_single_cycle();
+    let mut group = c.benchmark_group("mfsa-scaling");
+    group.sample_size(10);
+    for ops in [16usize, 32, 64, 128] {
+        let dfg = generate(&GeneratorConfig::sized(ops, 42));
+        let t = budget_for(&dfg, &spec);
+        group.throughput(Throughput::Elements(dfg.node_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dfg.node_count()),
+            &dfg,
+            |b, dfg| {
+                b.iter(|| {
+                    mfsa::schedule(dfg, &spec, &MfsaConfig::new(t, Library::ncr_like())).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_mfs_scaling, bench_mfsa_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 1 (placement table with a move).
+
+fn main() {
+    print!("{}", hls_bench::figure1());
+}

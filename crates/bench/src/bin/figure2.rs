@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 2 (PF/RF/FF/MF frames).
+
+fn main() {
+    print!("{}", hls_bench::figure2());
+}

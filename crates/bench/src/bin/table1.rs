@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 1 (MFS results for the six examples).
+
+fn main() {
+    let rows = hls_bench::table1();
+    print!("{}", hls_bench::render_table1(&rows));
+}

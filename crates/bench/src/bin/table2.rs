@@ -1,0 +1,99 @@
+//! Regenerates the paper's Table 2 (MFSA RTL results, styles 1 and 2).
+//!
+//! `--ablate` appends the design-choice ablations DESIGN.md calls out:
+//! Liapunov-weight sweeps and interconnect-sharing on/off.
+
+use moveframe::mfsa::Weights;
+
+fn main() {
+    let rows = hls_bench::table2();
+    print!("{}", hls_bench::render_table2(&rows));
+
+    if std::env::args().any(|a| a == "--ablate") {
+        println!("\n=== Ablation: Liapunov weights (style 1, cost in um^2) ===");
+        let presets: &[(&str, Weights)] = &[
+            (
+                "balanced (paper default)",
+                Weights {
+                    time: 1,
+                    alu: 1,
+                    mux: 1,
+                    reg: 1,
+                },
+            ),
+            (
+                "area-only (w_TIME = 0)",
+                Weights {
+                    time: 0,
+                    alu: 1,
+                    mux: 1,
+                    reg: 1,
+                },
+            ),
+            (
+                "alu-focused (w_ALU = 4)",
+                Weights {
+                    time: 1,
+                    alu: 4,
+                    mux: 1,
+                    reg: 1,
+                },
+            ),
+            (
+                "mux-focused (w_MUX = 4)",
+                Weights {
+                    time: 1,
+                    alu: 1,
+                    mux: 4,
+                    reg: 1,
+                },
+            ),
+            (
+                "reg-focused (w_REG = 4)",
+                Weights {
+                    time: 1,
+                    alu: 1,
+                    mux: 1,
+                    reg: 4,
+                },
+            ),
+        ];
+        println!(
+            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "weights", "ex1", "ex2", "ex3", "ex4", "ex5", "ex6"
+        );
+        for (label, weights) in presets {
+            let rows = hls_bench::tables_with_weights(*weights);
+            let mut cells = vec![String::new(); 6];
+            for r in rows.iter().filter(|r| r.style == 1) {
+                cells[r.example as usize - 1] = r.cost.to_string();
+            }
+            println!(
+                "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                label, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
+            );
+        }
+
+        println!("\n=== Ablation: interconnect sharing in f_MUX (style 1) ===");
+        let with = hls_bench::table2();
+        let without = hls_bench::tables_without_interconnect();
+        println!(
+            "{:<6} {:>12} {:>12} {:>7} {:>7}",
+            "Ex", "shared", "unshared", "MUXin", "MUXin'"
+        );
+        for ex in 1..=6u8 {
+            let a = with
+                .iter()
+                .find(|r| r.example == ex && r.style == 1)
+                .unwrap();
+            let b = without
+                .iter()
+                .find(|r| r.example == ex && r.style == 1)
+                .unwrap();
+            println!(
+                "#{:<5} {:>12} {:>12} {:>7} {:>7}",
+                ex, a.cost, b.cost, a.muxin, b.muxin
+            );
+        }
+    }
+}

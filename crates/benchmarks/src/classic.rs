@@ -1,0 +1,457 @@
+//! Classic HLS benchmark graphs of the DAC-1992 era.
+//!
+//! The HAL differential-equation solver is reconstructed exactly from
+//! its published form; the filters are *shape-faithful*
+//! reconstructions: operation counts and critical paths match the
+//! published benchmarks, the precise interconnection is re-derived (see
+//! `DESIGN.md`, substitutions).
+
+use hls_celllib::OpKind;
+use hls_dfg::{Dfg, DfgBuilder};
+
+/// The HAL differential-equation benchmark (Paulin & Knight): one Euler
+/// step of `y'' + 3xy' + 3y = 0` —
+/// `x1 = x + dx; u1 = u − 3·x·u·dx − 3·y·dx; y1 = y + u·dx; c = x1 < a`.
+///
+/// 11 operations: 6 multiplies, 2 additions, 2 subtractions, 1
+/// comparison; critical path 4 (single-cycle) / 6 (2-cycle multiply).
+///
+/// ```
+/// let dfg = hls_benchmarks::classic::diffeq();
+/// assert_eq!(dfg.node_count(), 11);
+/// ```
+pub fn diffeq() -> Dfg {
+    let mut b = DfgBuilder::new("diffeq");
+    let x = b.input("x");
+    let y = b.input("y");
+    let u = b.input("u");
+    let dx = b.input("dx");
+    let a = b.input("a");
+    let three = b.constant("three", 3);
+    let m1 = b.op("m1", OpKind::Mul, &[three, x]).expect("diffeq");
+    let m2 = b.op("m2", OpKind::Mul, &[u, dx]).expect("diffeq");
+    let m3 = b.op("m3", OpKind::Mul, &[three, y]).expect("diffeq");
+    let m4 = b.op("m4", OpKind::Mul, &[m1, m2]).expect("diffeq");
+    let m5 = b.op("m5", OpKind::Mul, &[dx, m3]).expect("diffeq");
+    let m6 = b.op("m6", OpKind::Mul, &[u, dx]).expect("diffeq");
+    let s1 = b.op("s1", OpKind::Sub, &[u, m4]).expect("diffeq");
+    let _s2 = b.op("s2", OpKind::Sub, &[s1, m5]).expect("diffeq");
+    let a1 = b.op("a1", OpKind::Add, &[x, dx]).expect("diffeq");
+    let _a2 = b.op("a2", OpKind::Add, &[y, m6]).expect("diffeq");
+    let _c1 = b.op("c1", OpKind::Lt, &[a1, a]).expect("diffeq");
+    b.finish().expect("diffeq is well-formed")
+}
+
+/// A `taps`-tap transversal FIR filter with an adder tree:
+/// `taps` multiplies and `taps − 1` additions.
+///
+/// # Panics
+///
+/// Panics if `taps` is zero.
+pub fn fir(taps: usize) -> Dfg {
+    assert!(taps >= 1, "a FIR filter needs at least one tap");
+    let mut b = DfgBuilder::new(format!("fir{taps}"));
+    let mut level: Vec<_> = (0..taps)
+        .map(|i| {
+            let x = b.input(&format!("x{i}"));
+            let c = b.input(&format!("c{i}"));
+            b.op(&format!("m{i}"), OpKind::Mul, &[x, c]).expect("fir")
+        })
+        .collect();
+    let mut adder = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let s = b
+                    .op(&format!("a{adder}"), OpKind::Add, &[pair[0], pair[1]])
+                    .expect("fir");
+                adder += 1;
+                next.push(s);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    b.finish().expect("fir is well-formed")
+}
+
+/// An auto-regressive-lattice-style filter: 16 multiplies, 8 additions
+/// and 4 subtractions in two multiply levels, matching the published
+/// AR-filter multiply count; critical path 5 (single-cycle) / 7
+/// (2-cycle multiply).
+///
+/// Structure: 8 input-stage multiplies, pairwise combined by 4 adds,
+/// 8 second-stage multiplies, pairwise combined by 4 adds, then 4
+/// output updates (lattice subtractions).
+pub fn ar_filter() -> Dfg {
+    let mut b = DfgBuilder::new("ar-filter");
+    let ins: Vec<_> = (0..4).map(|i| b.input(&format!("x{i}"))).collect();
+    let ks: Vec<_> = (0..8).map(|i| b.input(&format!("k{i}"))).collect();
+    // Level 1: 8 multiplies.
+    let l1: Vec<_> = (0..8)
+        .map(|i| {
+            b.op(&format!("m{i}"), OpKind::Mul, &[ins[i / 2], ks[i]])
+                .expect("ar")
+        })
+        .collect();
+    // Level 2: 4 adds.
+    let l2: Vec<_> = (0..4)
+        .map(|i| {
+            b.op(&format!("a{i}"), OpKind::Add, &[l1[2 * i], l1[2 * i + 1]])
+                .expect("ar")
+        })
+        .collect();
+    // Level 3: 8 multiplies.
+    let l3: Vec<_> = (0..8)
+        .map(|i| {
+            b.op(&format!("m{}", 8 + i), OpKind::Mul, &[l2[i / 2], ks[7 - i]])
+                .expect("ar")
+        })
+        .collect();
+    // Level 4: 4 adds.
+    let l4: Vec<_> = (0..4)
+        .map(|i| {
+            b.op(
+                &format!("a{}", 4 + i),
+                OpKind::Add,
+                &[l3[2 * i], l3[2 * i + 1]],
+            )
+            .expect("ar")
+        })
+        .collect();
+    // Level 5: 4 output updates (lattice subtractions).
+    for i in 0..4 {
+        b.op(&format!("s{i}"), OpKind::Sub, &[l4[i], ins[i]])
+            .expect("ar");
+    }
+    b.finish().expect("ar filter is well-formed")
+}
+
+/// A fifth-order elliptic-wave-filter-like graph: 26 additions and 8
+/// multiplies, arranged so the critical path is 13 single-cycle steps /
+/// 17 steps with a 2-cycle multiplier — the published EWF figures the
+/// paper's example 6 sweeps (T ∈ {17, 19, 21}).
+///
+/// The spine alternates addition pairs and multiplies
+/// (`a·a·m·a·a·m·a·a·m·a·a·m·a` = 9 adds + 4 muls); the remaining 17
+/// adds and 4 muls hang off the spine with increasing slack, mimicking
+/// the wave filter's adaptor structure.
+pub fn ewf() -> Dfg {
+    let mut b = DfgBuilder::new("ewf");
+    let input = b.input("in");
+    let states: Vec<_> = (0..7).map(|i| b.input(&format!("sv{i}"))).collect();
+    let coeffs: Vec<_> = (0..8).map(|i| b.input(&format!("c{i}"))).collect();
+    let mut adds = 0usize;
+    let mut muls = 0usize;
+
+    // Spine: 9 adds and 4 multiplies, strictly chained — depth 13
+    // single-cycle, 17 with a 2-cycle multiplier.
+    let mut spine = input;
+    let mut spine_adds = Vec::new();
+    for section in 0..4 {
+        for k in 0..2 {
+            spine = b
+                .op(
+                    &format!("a{adds}"),
+                    OpKind::Add,
+                    &[spine, states[section + k]],
+                )
+                .expect("ewf");
+            adds += 1;
+            spine_adds.push(spine);
+        }
+        spine = b
+            .op(&format!("m{muls}"), OpKind::Mul, &[spine, coeffs[section]])
+            .expect("ewf");
+        muls += 1;
+    }
+    let _out = b
+        .op(&format!("a{adds}"), OpKind::Add, &[spine, states[6]])
+        .expect("ewf");
+    adds += 1;
+
+    // Adaptor side chains (one multiply feeding three adds each) rooted
+    // at progressively deeper spine adds, like the wave filter's
+    // adaptors: the deeper the root, the less slack the chain has.
+    // Spine-add depths with a 2-cycle multiplier: a0=1, a1=2, a2=5,
+    // a3=6, a4=9, a5=10, a6=13, a7=14; chains add 5 levels, so roots
+    // a1/a2/a3/a4 end at depths 7/10/11/14 ≤ 17.
+    let roots = [spine_adds[1], spine_adds[2], spine_adds[3], spine_adds[4]];
+    let mut side = Vec::new();
+    for (i, &root) in roots.iter().enumerate() {
+        let mut v = b
+            .op(&format!("m{muls}"), OpKind::Mul, &[root, coeffs[4 + i]])
+            .expect("ewf");
+        muls += 1;
+        for &st in &[states[i], states[i + 1], states[i + 2]] {
+            v = b
+                .op(&format!("a{adds}"), OpKind::Add, &[v, st])
+                .expect("ewf");
+            adds += 1;
+        }
+        side.push(v);
+    }
+
+    // Output section: a combiner tree (3 adds) plus two parallel state
+    // updates — worst depth max(7,10)+1=11, max(11,14)+1=15, +1=16,
+    // updates ≤ 17.
+    let c1 = b
+        .op(&format!("a{adds}"), OpKind::Add, &[side[0], side[1]])
+        .expect("ewf");
+    adds += 1;
+    let c2 = b
+        .op(&format!("a{}", adds), OpKind::Add, &[side[2], side[3]])
+        .expect("ewf");
+    adds += 1;
+    let c3 = b
+        .op(&format!("a{}", adds), OpKind::Add, &[c1, c2])
+        .expect("ewf");
+    adds += 1;
+    let _u1 = b
+        .op(&format!("a{}", adds), OpKind::Add, &[c3, states[5]])
+        .expect("ewf");
+    adds += 1;
+    let _u2 = b
+        .op(&format!("a{}", adds), OpKind::Add, &[c2, states[6]])
+        .expect("ewf");
+    adds += 1;
+
+    debug_assert_eq!(adds, 26);
+    debug_assert_eq!(muls, 8);
+    b.finish().expect("ewf is well-formed")
+}
+
+/// A FACET/Tseng-style mixed-operator example: arithmetic plus logic and
+/// comparison operators (the operator classes of the paper's example 1:
+/// `*, +, −, =, &, |`).
+pub fn facet_style() -> Dfg {
+    let mut b = DfgBuilder::new("facet");
+    let a = b.input("a");
+    let c = b.input("c");
+    let d = b.input("d");
+    let e = b.input("e");
+    let f = b.input("f");
+    let g = b.input("g");
+    let h = b.input("h");
+    let bb = b.input("b");
+    let a1 = b.op("a1", OpKind::Add, &[a, bb]).expect("facet");
+    let a2 = b.op("a2", OpKind::Add, &[c, d]).expect("facet");
+    let s1 = b.op("s1", OpKind::Sub, &[a1, e]).expect("facet");
+    let m1 = b.op("m1", OpKind::Mul, &[a1, a2]).expect("facet");
+    let m2 = b.op("m2", OpKind::Mul, &[a2, f]).expect("facet");
+    let _a4 = b.op("a4", OpKind::Add, &[m1, m2]).expect("facet");
+    let _a3 = b.op("a3", OpKind::Add, &[m1, s1]).expect("facet");
+    let l1 = b.op("l1", OpKind::And, &[g, h]).expect("facet");
+    let _l2 = b.op("l2", OpKind::Or, &[l1, a]).expect("facet");
+    let _e1 = b.op("e1", OpKind::Eq, &[a2, s1]).expect("facet");
+    let _s2 = b.op("s2", OpKind::Sub, &[l1, a2]).expect("facet");
+    b.finish().expect("facet example is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::TimingSpec;
+    use hls_dfg::{CriticalPath, FuClass, OpMix};
+
+    #[test]
+    fn diffeq_shape() {
+        let g = diffeq();
+        assert_eq!(g.node_count(), 11);
+        let mix = OpMix::of_graph(&g);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Mul)), 6);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Add)), 2);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Sub)), 2);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Lt)), 1);
+        let cp = CriticalPath::compute(&g, &TimingSpec::uniform_single_cycle());
+        assert_eq!(cp.steps(), 4);
+        let cp2 = CriticalPath::compute(&g, &TimingSpec::two_cycle_multiply());
+        assert_eq!(cp2.steps(), 6);
+    }
+
+    #[test]
+    fn fir_shape() {
+        let g = fir(16);
+        let mix = OpMix::of_graph(&g);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Mul)), 16);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Add)), 15);
+        let cp = CriticalPath::compute(&g, &TimingSpec::uniform_single_cycle());
+        assert_eq!(cp.steps(), 5); // mul + ⌈log2 16⌉ adds
+    }
+
+    #[test]
+    fn ar_filter_shape() {
+        let g = ar_filter();
+        let mix = OpMix::of_graph(&g);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Mul)), 16);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Add)), 8);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Sub)), 4);
+        let cp = CriticalPath::compute(&g, &TimingSpec::uniform_single_cycle());
+        assert_eq!(cp.steps(), 5);
+        let cp2 = CriticalPath::compute(&g, &TimingSpec::two_cycle_multiply());
+        assert_eq!(cp2.steps(), 7);
+    }
+
+    #[test]
+    fn ewf_shape() {
+        let g = ewf();
+        let mix = OpMix::of_graph(&g);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Mul)), 8);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Add)), 26);
+        let cp2 = CriticalPath::compute(&g, &TimingSpec::two_cycle_multiply());
+        assert_eq!(cp2.steps(), 17, "EWF sweeps T = 17/19/21");
+    }
+
+    #[test]
+    fn facet_mixes_operator_classes() {
+        let g = facet_style();
+        let mix = OpMix::of_graph(&g);
+        for kind in [
+            OpKind::Mul,
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Eq,
+            OpKind::And,
+            OpKind::Or,
+        ] {
+            assert!(mix.count(FuClass::Op(kind)) >= 1, "{kind:?} missing");
+        }
+        let cp = CriticalPath::compute(&g, &TimingSpec::uniform_single_cycle());
+        assert!(cp.steps() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn zero_tap_fir_panics() {
+        let _ = fir(0);
+    }
+}
+
+/// An 8-point DCT-like butterfly network (Loeffler-flavoured): three
+/// butterfly stages of add/sub pairs with rotation multiplies between
+/// them — 12 multiplies, 12 additions, 12 subtractions.
+///
+/// A denser, wider graph than the paper's six examples, used by the
+/// extended design-space studies.
+pub fn dct8() -> Dfg {
+    let mut b = DfgBuilder::new("dct8");
+    let xs: Vec<_> = (0..8).map(|i| b.input(&format!("x{i}"))).collect();
+    let cs: Vec<_> = (0..6).map(|i| b.input(&format!("c{i}"))).collect();
+
+    // Stage 1: 4 butterflies over mirrored inputs.
+    let mut sums = Vec::new();
+    let mut diffs = Vec::new();
+    for i in 0..4 {
+        let s = b
+            .op(&format!("s1a{i}"), OpKind::Add, &[xs[i], xs[7 - i]])
+            .expect("dct");
+        let d = b
+            .op(&format!("s1s{i}"), OpKind::Sub, &[xs[i], xs[7 - i]])
+            .expect("dct");
+        sums.push(s);
+        diffs.push(d);
+    }
+    // Stage 2 (even half): 2 butterflies on the sums.
+    let e0 = b.op("s2a0", OpKind::Add, &[sums[0], sums[3]]).expect("dct");
+    let e1 = b.op("s2a1", OpKind::Add, &[sums[1], sums[2]]).expect("dct");
+    let e2 = b.op("s2s0", OpKind::Sub, &[sums[0], sums[3]]).expect("dct");
+    let e3 = b.op("s2s1", OpKind::Sub, &[sums[1], sums[2]]).expect("dct");
+    // Even outputs: one butterfly + one rotation (2 muls each side).
+    let _y0 = b.op("y0", OpKind::Add, &[e0, e1]).expect("dct");
+    let _y4 = b.op("y4", OpKind::Sub, &[e0, e1]).expect("dct");
+    let r0 = b.op("r0", OpKind::Mul, &[e2, cs[0]]).expect("dct");
+    let r1 = b.op("r1", OpKind::Mul, &[e3, cs[1]]).expect("dct");
+    let r2 = b.op("r2", OpKind::Mul, &[e2, cs[1]]).expect("dct");
+    let r3 = b.op("r3", OpKind::Mul, &[e3, cs[0]]).expect("dct");
+    let _y2 = b.op("y2", OpKind::Add, &[r0, r1]).expect("dct");
+    let _y6 = b.op("y6", OpKind::Sub, &[r3, r2]).expect("dct");
+    // Odd half: two rotations, a butterfly, two output rotations.
+    let o0 = b.op("o0", OpKind::Mul, &[diffs[0], cs[2]]).expect("dct");
+    let o1 = b.op("o1", OpKind::Mul, &[diffs[1], cs[3]]).expect("dct");
+    let o2 = b.op("o2", OpKind::Mul, &[diffs[2], cs[3]]).expect("dct");
+    let o3 = b.op("o3", OpKind::Mul, &[diffs[3], cs[2]]).expect("dct");
+    let p0 = b.op("p0", OpKind::Add, &[o0, o1]).expect("dct");
+    let p1 = b.op("p1", OpKind::Sub, &[o2, o3]).expect("dct");
+    let p2 = b.op("p2", OpKind::Add, &[o0, o3]).expect("dct");
+    let p3 = b.op("p3", OpKind::Sub, &[o1, o2]).expect("dct");
+    let q0 = b.op("q0", OpKind::Mul, &[p0, cs[4]]).expect("dct");
+    let q1 = b.op("q1", OpKind::Mul, &[p1, cs[5]]).expect("dct");
+    let q2 = b.op("q2", OpKind::Mul, &[p2, cs[5]]).expect("dct");
+    let q3 = b.op("q3", OpKind::Mul, &[p3, cs[4]]).expect("dct");
+    let _y1 = b.op("y1", OpKind::Add, &[q0, q1]).expect("dct");
+    let _y3 = b.op("y3", OpKind::Sub, &[q0, q1]).expect("dct");
+    let _y5 = b.op("y5", OpKind::Add, &[q2, q3]).expect("dct");
+    let _y7 = b.op("y7", OpKind::Sub, &[q2, q3]).expect("dct");
+    b.finish().expect("dct8 is well-formed")
+}
+
+/// A two-section bandpass biquad cascade: 8 multiplies and 8 additions,
+/// with the second section fed by the first — the classic streaming
+/// workload for functional-pipelining studies.
+pub fn bandpass() -> Dfg {
+    let mut b = DfgBuilder::new("bandpass");
+    let x = b.input("x");
+    let mut stage_in = x;
+    for s in 0..2 {
+        let w1 = b.input(&format!("w1_{s}"));
+        let w2 = b.input(&format!("w2_{s}"));
+        let a1 = b.input(&format!("a1_{s}"));
+        let a2 = b.input(&format!("a2_{s}"));
+        let b1 = b.input(&format!("b1_{s}"));
+        let b2 = b.input(&format!("b2_{s}"));
+        let m1 = b
+            .op(&format!("m1_{s}"), OpKind::Mul, &[w1, a1])
+            .expect("bp");
+        let m2 = b
+            .op(&format!("m2_{s}"), OpKind::Mul, &[w2, a2])
+            .expect("bp");
+        let t1 = b
+            .op(&format!("t1_{s}"), OpKind::Add, &[m1, m2])
+            .expect("bp");
+        let w0 = b
+            .op(&format!("w0_{s}"), OpKind::Add, &[stage_in, t1])
+            .expect("bp");
+        let m3 = b
+            .op(&format!("m3_{s}"), OpKind::Mul, &[w1, b1])
+            .expect("bp");
+        let m4 = b
+            .op(&format!("m4_{s}"), OpKind::Mul, &[w2, b2])
+            .expect("bp");
+        let t2 = b
+            .op(&format!("t2_{s}"), OpKind::Add, &[m3, m4])
+            .expect("bp");
+        stage_in = b.op(&format!("y_{s}"), OpKind::Add, &[w0, t2]).expect("bp");
+    }
+    b.finish().expect("bandpass is well-formed")
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+    use hls_celllib::TimingSpec;
+    use hls_dfg::{CriticalPath, FuClass, OpMix};
+
+    #[test]
+    fn dct8_shape() {
+        let g = dct8();
+        let mix = OpMix::of_graph(&g);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Mul)), 12);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Add)), 12);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Sub)), 12);
+        let cp = CriticalPath::compute(&g, &TimingSpec::uniform_single_cycle());
+        assert_eq!(cp.steps(), 5); // butterfly, rotation, butterfly, rotation, output
+    }
+
+    #[test]
+    fn bandpass_shape() {
+        let g = bandpass();
+        let mix = OpMix::of_graph(&g);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Mul)), 8);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Add)), 8);
+        let cp = CriticalPath::compute(&g, &TimingSpec::uniform_single_cycle());
+        // Second section chains off the first: 2 × (mul, add, add) + add.
+        assert_eq!(cp.steps(), 6);
+    }
+}

@@ -1,0 +1,256 @@
+//! Seeded random layered-DAG workload generator for scaling studies.
+
+use hls_celllib::OpKind;
+use hls_dfg::{Dfg, DfgBuilder, SignalId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one generated workload.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+    /// Number of dependency layers.
+    pub layers: usize,
+    /// Operations per layer.
+    pub width: usize,
+    /// Operator mix with relative weights (must be non-empty).
+    pub mix: Vec<(OpKind, u32)>,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Probability (0–100) that an operand comes from the previous
+    /// layer rather than any earlier value.
+    pub locality_pct: u32,
+    /// Probability (0–100) that a layer is split into two mutually
+    /// exclusive branch arms (its operations then share units with the
+    /// sibling arm).
+    pub branch_pct: u32,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 1,
+            layers: 4,
+            width: 8,
+            mix: vec![
+                (OpKind::Mul, 2),
+                (OpKind::Add, 3),
+                (OpKind::Sub, 2),
+                (OpKind::Lt, 1),
+            ],
+            inputs: 6,
+            locality_pct: 70,
+            branch_pct: 0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A DSP-flavoured mix (multiplies and adds) of roughly
+    /// `ops` operations — convenient for O(l³) sweeps.
+    pub fn sized(ops: usize, seed: u64) -> GeneratorConfig {
+        let width = (ops as f64).sqrt().ceil() as usize;
+        let layers = ops.div_ceil(width.max(1)).max(1);
+        GeneratorConfig {
+            seed,
+            layers,
+            width: width.max(1),
+            ..GeneratorConfig::default()
+        }
+    }
+}
+
+/// Generates a random layered DAG: layer 0 reads the primary inputs,
+/// each later operation draws operands from the previous layer (with
+/// `locality_pct` probability) or any earlier value.
+///
+/// ```
+/// use hls_benchmarks::generate::{generate, GeneratorConfig};
+///
+/// let dfg = generate(&GeneratorConfig::default());
+/// assert_eq!(dfg.node_count(), 4 * 8);
+/// // Deterministic: the same config reproduces the same graph.
+/// assert_eq!(generate(&GeneratorConfig::default()), dfg);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the mix is empty or `layers`, `width` or `inputs` is zero.
+pub fn generate(config: &GeneratorConfig) -> Dfg {
+    assert!(!config.mix.is_empty(), "the operator mix must be non-empty");
+    assert!(
+        config.layers >= 1 && config.width >= 1 && config.inputs >= 1,
+        "generator dimensions must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DfgBuilder::new(format!(
+        "gen-l{}w{}s{}",
+        config.layers, config.width, config.seed
+    ));
+    let inputs: Vec<SignalId> = (0..config.inputs)
+        .map(|i| b.input(&format!("in{i}")))
+        .collect();
+    let total_weight: u32 = config.mix.iter().map(|&(_, w)| w).sum();
+    let mut prev_layer: Vec<SignalId> = inputs.clone();
+    let mut all_values: Vec<SignalId> = inputs;
+    for layer in 0..config.layers {
+        let mut this_layer = Vec::with_capacity(config.width);
+        // Optionally split this layer into two exclusive branch arms.
+        let branch = if rng.gen_range(0..100) < config.branch_pct {
+            Some(b.begin_branch())
+        } else {
+            None
+        };
+        for slot in 0..config.width {
+            if let Some(br) = branch {
+                // First half in arm 0, second half in arm 1.
+                b.enter_arm(br, u32::from(slot >= config.width / 2));
+            }
+            let mut pick = rng.gen_range(0..total_weight);
+            let kind = config
+                .mix
+                .iter()
+                .find(|&&(_, w)| {
+                    if pick < w {
+                        true
+                    } else {
+                        pick -= w;
+                        false
+                    }
+                })
+                .map(|&(k, _)| k)
+                .expect("weights sum to total");
+            let operand = |rng: &mut StdRng| -> SignalId {
+                if rng.gen_range(0..100) < config.locality_pct && !prev_layer.is_empty() {
+                    prev_layer[rng.gen_range(0..prev_layer.len())]
+                } else {
+                    all_values[rng.gen_range(0..all_values.len())]
+                }
+            };
+            let ins: Vec<SignalId> = (0..kind.arity()).map(|_| operand(&mut rng)).collect();
+            let out = b
+                .op(&format!("l{layer}n{slot}"), kind, &ins)
+                .expect("generated names are unique");
+            if branch.is_some() {
+                b.exit_arm();
+            }
+            this_layer.push(out);
+        }
+        all_values.extend(this_layer.iter().copied());
+        prev_layer = this_layer;
+    }
+    b.finish().expect("generated graphs are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::TimingSpec;
+    use hls_dfg::CriticalPath;
+
+    #[test]
+    fn produces_the_requested_size() {
+        let cfg = GeneratorConfig {
+            layers: 5,
+            width: 10,
+            ..Default::default()
+        };
+        let g = generate(&cfg);
+        assert_eq!(g.node_count(), 50);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let a = generate(&GeneratorConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        let b = generate(&GeneratorConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        let c = generate(&GeneratorConfig {
+            seed: 8,
+            ..Default::default()
+        });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn critical_path_is_bounded_by_layers() {
+        let cfg = GeneratorConfig {
+            layers: 6,
+            width: 4,
+            ..Default::default()
+        };
+        let g = generate(&cfg);
+        let cp = CriticalPath::compute(&g, &TimingSpec::uniform_single_cycle());
+        assert!(cp.steps() <= 6);
+        assert!(cp.steps() >= 1);
+    }
+
+    #[test]
+    fn sized_config_approximates_the_op_count() {
+        for ops in [16, 64, 100] {
+            let g = generate(&GeneratorConfig::sized(ops, 3));
+            let got = g.node_count();
+            assert!(
+                got >= ops && got <= ops + 2 * (ops as f64).sqrt() as usize + 2,
+                "asked {ops}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_mix_panics() {
+        let cfg = GeneratorConfig {
+            mix: vec![],
+            ..Default::default()
+        };
+        let _ = generate(&cfg);
+    }
+}
+
+#[cfg(test)]
+mod branch_tests {
+    use super::*;
+
+    #[test]
+    fn branchy_graphs_contain_exclusive_pairs() {
+        let cfg = GeneratorConfig {
+            seed: 5,
+            layers: 4,
+            width: 6,
+            branch_pct: 100,
+            ..Default::default()
+        };
+        let g = generate(&cfg);
+        let mut exclusive_pairs = 0;
+        let ids: Vec<_> = g.node_ids().collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                if g.mutually_exclusive(a, b) {
+                    exclusive_pairs += 1;
+                }
+            }
+        }
+        assert!(
+            exclusive_pairs > 0,
+            "branch_pct=100 must create exclusivity"
+        );
+    }
+
+    #[test]
+    fn branch_free_default_has_no_exclusivity() {
+        let g = generate(&GeneratorConfig::default());
+        let ids: Vec<_> = g.node_ids().collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                assert!(!g.mutually_exclusive(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Benchmark DFGs for the `moveframe-hls` workspace.
+//!
+//! The DAC-1992 paper evaluates MFS/MFSA on "six design examples from
+//! the literature" without naming them; only the operator mixes survive
+//! in its tables. This crate provides
+//!
+//! * the classic HLS benchmarks of that era, reconstructed from their
+//!   published shapes ([`classic`]): the HAL differential-equation
+//!   solver, a fifth-order elliptic-wave-filter-like graph, an
+//!   auto-regressive lattice filter, a 16-tap FIR filter and a
+//!   FACET/Tseng-style mixed-operator example;
+//! * the six experiment configurations ([`examples`]) matching the
+//!   paper's Table 1 rows (operator mixes, timing profiles, chaining /
+//!   pipelining features and time-constraint sweeps); and
+//! * a seeded random layered-DAG workload generator ([`generate`]) for
+//!   the scaling benches.
+//!
+//! Where the original graph is not recoverable (see `DESIGN.md`), the
+//! reconstruction matches the published operation counts and critical
+//! paths; `EXPERIMENTS.md` reports measured-vs-paper per example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod examples;
+pub mod generate;

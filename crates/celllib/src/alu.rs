@@ -1,0 +1,177 @@
+//! Multifunction ALU kinds.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Area, OpKind};
+
+/// A (possibly multifunction) ALU cell from the library.
+///
+/// In MFS the functional units are single-function operators; in MFSA
+/// "each operation can be assigned to different functional units, e.g. an
+/// addition may be assigned to single or multifunction ALU's such as
+/// `(+)`, `(+-)`, `(+>)` or `(+->)` based on the cell library given by the
+/// user" (paper §4.1). An `AluKind` is one such library cell: the set of
+/// operations it can perform plus its silicon area.
+///
+/// ```
+/// use hls_celllib::{AluKind, Area, OpKind};
+///
+/// let alu = AluKind::new("addsub", [OpKind::Add, OpKind::Sub], Area::new(2680));
+/// assert!(alu.supports(OpKind::Add));
+/// assert!(!alu.supports(OpKind::Mul));
+/// assert_eq!(alu.to_string(), "(+-)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AluKind {
+    name: String,
+    ops: BTreeSet<OpKind>,
+    area: Area,
+}
+
+impl AluKind {
+    /// Creates an ALU kind performing `ops` with the given `area`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty — an ALU that performs nothing is
+    /// meaningless and would break candidate enumeration.
+    pub fn new<I>(name: impl Into<String>, ops: I, area: Area) -> Self
+    where
+        I: IntoIterator<Item = OpKind>,
+    {
+        let ops: BTreeSet<OpKind> = ops.into_iter().collect();
+        assert!(
+            !ops.is_empty(),
+            "an ALU kind must support at least one operation"
+        );
+        AluKind {
+            name: name.into(),
+            ops,
+            area,
+        }
+    }
+
+    /// The library name of this cell (e.g. `"addsub"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operations this ALU can perform.
+    pub fn ops(&self) -> impl Iterator<Item = OpKind> + '_ {
+        self.ops.iter().copied()
+    }
+
+    /// Number of supported operations (1 for a single-function unit).
+    pub fn function_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether this ALU can perform `op`.
+    pub fn supports(&self, op: OpKind) -> bool {
+        self.ops.contains(&op)
+    }
+
+    /// Silicon area of one instance.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// The paper's table notation for an ALU: the supported operator
+    /// symbols between parentheses, e.g. `(+-*)`.
+    pub fn signature(&self) -> String {
+        let mut s = String::from("(");
+        for op in &self.ops {
+            s.push_str(op.symbol());
+        }
+        s.push(')');
+        s
+    }
+}
+
+impl fmt::Display for AluKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.signature())
+    }
+}
+
+/// Computes the merged area of a multifunction ALU from its members'
+/// single-function areas: the most expensive member plus 15 % of the rest.
+///
+/// This is the synthetic substitution for the NCR data book documented in
+/// `DESIGN.md`: merging functions into one ALU is cheaper than
+/// instantiating the functions separately, but not free.
+///
+/// ```
+/// use hls_celllib::{Area, alu_merged_area};
+///
+/// let merged = alu_merged_area([Area::new(19800), Area::new(2330), Area::new(2330)]);
+/// assert!(merged > Area::new(19800));
+/// assert!(merged < Area::new(19800 + 2330 + 2330));
+/// ```
+pub fn alu_merged_area<I>(member_areas: I) -> Area
+where
+    I: IntoIterator<Item = Area>,
+{
+    let mut areas: Vec<Area> = member_areas.into_iter().collect();
+    areas.sort();
+    match areas.pop() {
+        None => Area::ZERO,
+        Some(max) => {
+            let rest: u64 = areas.iter().map(|a| a.as_u64()).sum();
+            // 15 % of the remaining members, rounded up.
+            max + Area::new((rest * 15).div_ceil(100))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_orders_ops_canonically() {
+        let alu = AluKind::new("x", [OpKind::Sub, OpKind::Add, OpKind::Mul], Area::new(1));
+        // BTreeSet order follows the enum declaration: Add, Sub, Mul.
+        assert_eq!(alu.signature(), "(+-*)");
+    }
+
+    #[test]
+    fn supports_only_member_ops() {
+        let alu = AluKind::new("cmp", [OpKind::Lt, OpKind::Gt], Area::new(1560));
+        assert!(alu.supports(OpKind::Lt));
+        assert!(!alu.supports(OpKind::Eq));
+        assert_eq!(alu.function_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn empty_alu_panics() {
+        let _ = AluKind::new("nothing", [], Area::new(1));
+    }
+
+    #[test]
+    fn duplicate_ops_collapse() {
+        let alu = AluKind::new("a", [OpKind::Add, OpKind::Add], Area::new(1));
+        assert_eq!(alu.function_count(), 1);
+    }
+
+    #[test]
+    fn merged_area_is_between_max_and_sum() {
+        let parts = [Area::new(100), Area::new(200), Area::new(50)];
+        let merged = alu_merged_area(parts);
+        assert!(merged >= Area::new(200));
+        assert!(merged <= Area::new(350));
+        assert_eq!(merged, Area::new(200 + (150u64 * 15).div_ceil(100)));
+    }
+
+    #[test]
+    fn merged_area_of_single_member_is_identity() {
+        assert_eq!(alu_merged_area([Area::new(777)]), Area::new(777));
+    }
+
+    #[test]
+    fn merged_area_of_nothing_is_zero() {
+        assert_eq!(alu_merged_area([]), Area::ZERO);
+    }
+}

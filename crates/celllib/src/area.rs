@@ -1,0 +1,136 @@
+//! Silicon area, the cost unit of the whole workspace.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Silicon area in square microns (µm²).
+///
+/// All costs reported by MFSA and the RTL data-path builder are expressed
+/// in this unit, mirroring the paper's Table 2 ("Overall cost of RTL
+/// designs (in micron square) is based on a NCR library").
+///
+/// `Area` is a saturating, unsigned quantity: subtracting a larger area
+/// from a smaller one yields zero rather than wrapping, which is the
+/// behaviour wanted when computing incremental costs (`after − before`).
+///
+/// ```
+/// use hls_celllib::Area;
+///
+/// let alu = Area::new(2330);
+/// let total: Area = [alu, alu, Area::new(353)].into_iter().sum();
+/// assert_eq!(total.as_u64(), 5013);
+/// assert_eq!(Area::new(10) - Area::new(25), Area::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Area(u64);
+
+impl Area {
+    /// The zero area.
+    pub const ZERO: Area = Area(0);
+
+    /// Creates an area of `um2` square microns.
+    pub const fn new(um2: u64) -> Self {
+        Area(um2)
+    }
+
+    /// The raw value in µm².
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference, used for incremental (`after - before`)
+    /// cost terms that must never go negative.
+    pub fn saturating_sub(self, rhs: Area) -> Area {
+        Area(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Signed difference in µm², used when an incremental term may be a
+    /// saving (e.g. interconnect sharing reducing a mux).
+    pub fn signed_diff(self, rhs: Area) -> i64 {
+        self.0 as i64 - rhs.0 as i64
+    }
+}
+
+impl Add for Area {
+    type Output = Area;
+
+    fn add(self, rhs: Area) -> Area {
+        Area(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Area {
+    fn add_assign(&mut self, rhs: Area) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Area {
+    type Output = Area;
+
+    /// Saturating subtraction; see the type-level docs.
+    fn sub(self, rhs: Area) -> Area {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Mul<u64> for Area {
+    type Output = Area;
+
+    fn mul(self, rhs: u64) -> Area {
+        Area(self.0 * rhs)
+    }
+}
+
+impl Sum for Area {
+    fn sum<I: Iterator<Item = Area>>(iter: I) -> Area {
+        iter.fold(Area::ZERO, |acc, a| acc + a)
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} um^2", self.0)
+    }
+}
+
+impl From<u64> for Area {
+    fn from(um2: u64) -> Area {
+        Area(um2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Area::new(3) + Area::new(4), Area::new(7));
+        assert_eq!(Area::new(3) * 4, Area::new(12));
+        assert_eq!(Area::new(9) - Area::new(4), Area::new(5));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        assert_eq!(Area::new(4) - Area::new(9), Area::ZERO);
+    }
+
+    #[test]
+    fn signed_diff_may_be_negative() {
+        assert_eq!(Area::new(4).signed_diff(Area::new(9)), -5);
+        assert_eq!(Area::new(9).signed_diff(Area::new(4)), 5);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Area = (1..=4).map(Area::new).sum();
+        assert_eq!(total, Area::new(10));
+    }
+
+    #[test]
+    fn display_mentions_unit() {
+        assert_eq!(Area::new(42).to_string(), "42 um^2");
+    }
+}

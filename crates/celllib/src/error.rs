@@ -1,0 +1,58 @@
+//! Error type for library queries.
+
+use std::fmt;
+
+use crate::OpKind;
+
+/// Error returned by [`crate::Library`] queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LibraryError {
+    /// No single-function unit in the library performs this operation.
+    UnsupportedOp(OpKind),
+    /// No ALU kind in the library performs this operation.
+    NoAluFor(OpKind),
+    /// Two ALU kinds in the library share the same name.
+    DuplicateAluName(String),
+    /// Text-format parse error at the given 1-based line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraryError::UnsupportedOp(op) => {
+                write!(f, "no functional unit in the library performs `{op}`")
+            }
+            LibraryError::NoAluFor(op) => {
+                write!(f, "no ALU kind in the library performs `{op}`")
+            }
+            LibraryError::DuplicateAluName(name) => {
+                write!(f, "duplicate ALU kind name `{name}` in the library")
+            }
+            LibraryError::Parse { line, message } => {
+                write!(f, "library parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = LibraryError::UnsupportedOp(OpKind::Div);
+        assert!(err.to_string().contains('/'));
+        let err = LibraryError::DuplicateAluName("alu0".into());
+        assert!(err.to_string().contains("alu0"));
+    }
+}

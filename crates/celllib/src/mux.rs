@@ -1,0 +1,170 @@
+//! Multiplexer cost curve.
+
+use crate::Area;
+
+/// Area of an `r`-input, 1-output multiplexer as a function of `r`.
+///
+/// The paper (§4.1) stresses that "the cost of a multiplexer with `r` data
+/// inputs … is not a linear function of `r`"; the Liapunov term
+/// `f_MUX` depends on the *marginal* cost of widening a mux by one input,
+/// and the constant `C` of `f_TIME` depends on the *largest* such marginal
+/// cost (`f_MUX^max = 2·max{Cost(MUX_{r+1}) − Cost(MUX_r)}`).
+///
+/// The curve is an explicit table for small `r` plus a constant marginal
+/// cost beyond the table, which makes it concave as long as the table
+/// increments are non-increasing:
+///
+/// ```
+/// use hls_celllib::{Area, MuxCost};
+///
+/// let mux = MuxCost::ncr_like();
+/// assert_eq!(mux.cost(0), Area::ZERO);  // no mux needed
+/// assert_eq!(mux.cost(1), Area::ZERO);  // direct wire
+/// assert!(mux.cost(2) > Area::ZERO);
+/// assert!(mux.cost(4) < mux.cost(2) * 2); // concave: sharing pays
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuxCost {
+    /// `table[r]` is the area of an `r`-input mux, for `r < table.len()`.
+    /// `table[0]` and `table[1]` must be zero.
+    table: Vec<Area>,
+    /// Marginal area per input beyond the end of the table.
+    per_extra_input: Area,
+}
+
+impl MuxCost {
+    /// Creates a cost curve from an explicit table and a tail marginal
+    /// cost.
+    ///
+    /// `table[r]` is the area of an `r`-input mux; entries 0 and 1 are
+    /// forced to zero (a 0- or 1-input "mux" is a plain wire). For
+    /// `r >= table.len()` the cost grows by `per_extra_input` per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not monotonically non-decreasing, since a
+    /// wider mux can never be smaller than a narrower one.
+    pub fn from_table<I>(table: I, per_extra_input: Area) -> Self
+    where
+        I: IntoIterator<Item = Area>,
+    {
+        let mut table: Vec<Area> = table.into_iter().collect();
+        if table.len() < 2 {
+            table.resize(2, Area::ZERO);
+        }
+        table[0] = Area::ZERO;
+        table[1] = Area::ZERO;
+        assert!(
+            table.windows(2).all(|w| w[0] <= w[1]),
+            "mux cost table must be non-decreasing"
+        );
+        MuxCost {
+            table,
+            per_extra_input,
+        }
+    }
+
+    /// The synthetic NCR-1989-like curve used by [`crate::Library::ncr_like`].
+    ///
+    /// 2-input: 353 µm², 3-input: 497, 4-input: 640, 5-input: 778,
+    /// 6-input: 913, then +130 µm² per extra input. Marginal costs are
+    /// non-increasing (353, 144, 143, 138, 135, 130), so sharing inputs
+    /// is always rewarded.
+    pub fn ncr_like() -> Self {
+        MuxCost::from_table(
+            [0, 0, 353, 497, 640, 778, 913].map(Area::new),
+            Area::new(130),
+        )
+    }
+
+    /// Area of an `inputs`-input multiplexer.
+    pub fn cost(&self, inputs: usize) -> Area {
+        if let Some(&a) = self.table.get(inputs) {
+            return a;
+        }
+        let last = *self.table.last().expect("table has >= 2 entries");
+        let extra = (inputs - (self.table.len() - 1)) as u64;
+        last + self.per_extra_input * extra
+    }
+
+    /// Marginal area of widening an `inputs`-input mux by one input.
+    pub fn marginal(&self, inputs: usize) -> Area {
+        self.cost(inputs + 1) - self.cost(inputs)
+    }
+
+    /// The largest marginal cost over all widths, `max_r {Cost(MUX_{r+1}) −
+    /// Cost(MUX_r)}`; the paper uses `2×` this value as `f_MUX^max` when
+    /// deriving the `f_TIME` constant `C`.
+    pub fn max_marginal(&self) -> Area {
+        let table_max = (0..self.table.len())
+            .map(|r| self.marginal(r))
+            .max()
+            .unwrap_or(Area::ZERO);
+        table_max.max(self.per_extra_input)
+    }
+}
+
+impl Default for MuxCost {
+    fn default() -> Self {
+        MuxCost::ncr_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_inputs_are_free() {
+        let mux = MuxCost::ncr_like();
+        assert_eq!(mux.cost(0), Area::ZERO);
+        assert_eq!(mux.cost(1), Area::ZERO);
+    }
+
+    #[test]
+    fn table_then_linear_tail() {
+        let mux = MuxCost::from_table([0, 0, 100, 150].map(Area::new), Area::new(40));
+        assert_eq!(mux.cost(2), Area::new(100));
+        assert_eq!(mux.cost(3), Area::new(150));
+        assert_eq!(mux.cost(4), Area::new(190));
+        assert_eq!(mux.cost(6), Area::new(270));
+    }
+
+    #[test]
+    fn marginal_matches_cost_differences() {
+        let mux = MuxCost::ncr_like();
+        for r in 0..10 {
+            assert_eq!(mux.marginal(r), mux.cost(r + 1) - mux.cost(r));
+        }
+    }
+
+    #[test]
+    fn max_marginal_is_first_real_input_for_ncr_like() {
+        let mux = MuxCost::ncr_like();
+        assert_eq!(mux.max_marginal(), Area::new(353));
+    }
+
+    #[test]
+    fn ncr_like_curve_is_concave() {
+        let mux = MuxCost::ncr_like();
+        for r in 2..12 {
+            assert!(
+                mux.marginal(r + 1) <= mux.marginal(r),
+                "marginal cost must not increase at width {r}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_table_panics() {
+        let _ = MuxCost::from_table([0, 0, 100, 90].map(Area::new), Area::new(10));
+    }
+
+    #[test]
+    fn short_table_is_padded() {
+        let mux = MuxCost::from_table([].map(Area::new), Area::new(10));
+        assert_eq!(mux.cost(1), Area::ZERO);
+        assert_eq!(mux.cost(2), Area::new(10));
+    }
+}

@@ -1,0 +1,282 @@
+//! A small textual format for cell libraries, so users can supply their
+//! own (the paper: MFSA reads "the cell library given by the user,
+//! which may be restricted to some specific types").
+//!
+//! Grammar, one statement per line (`#` starts a comment):
+//!
+//! ```text
+//! library NAME
+//! fu  OP AREA            # single-function unit area (µm²)
+//! alu NAME (OPS) AREA    # multifunction ALU with explicit area
+//! alu NAME (OPS) auto    # area from the max + 15 % merge rule
+//! mux A0 A1 A2 ... : PER_EXTRA   # cost table then tail marginal
+//! reg AREA
+//! ```
+//!
+//! `OPS` is a comma-separated list of operator symbols or names
+//! (`+`, `-`, `mul`, …).
+
+use crate::alu::alu_merged_area;
+use crate::{AluKind, Area, Library, LibraryBuilder, LibraryError, MuxCost, OpKind};
+
+/// Parses the textual library format.
+///
+/// ```
+/// let lib = hls_celllib::parse_library(
+///     "library tiny
+///      fu + 1000
+///      fu * 8000
+///      alu add (+) 1000
+///      alu fat (+,*) auto
+///      mux 0 0 100 150 : 40
+///      reg 500",
+/// )?;
+/// assert_eq!(lib.name(), "tiny");
+/// assert_eq!(lib.alus().len(), 2);
+/// # Ok::<(), hls_celllib::LibraryError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`LibraryError::Parse`] with the offending 1-based line for syntax
+/// problems; [`LibraryError::DuplicateAluName`] and friends for
+/// semantic ones.
+pub fn parse_library(text: &str) -> Result<Library, LibraryError> {
+    let err = |line: usize, message: &str| LibraryError::Parse {
+        line,
+        message: message.to_string(),
+    };
+    let mut builder = LibraryBuilder::new("library");
+    let mut name = String::from("library");
+    let mut fu_areas: std::collections::BTreeMap<OpKind, Area> = Default::default();
+    let mut pending_alus: Vec<(usize, String, Vec<OpKind>, Option<Area>)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (head, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match head {
+            "library" => {
+                if rest.is_empty() {
+                    return Err(err(lineno, "expected a name after `library`"));
+                }
+                name = rest.to_string();
+            }
+            "fu" => {
+                let (op, area) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err(lineno, "expected `fu OP AREA`"))?;
+                let op: OpKind = op
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, "unknown operator"))?;
+                let area: u64 = area
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, "invalid area"))?;
+                builder.fu(op, Area::new(area));
+                fu_areas.insert(op, Area::new(area));
+            }
+            "alu" => {
+                let open = rest
+                    .find('(')
+                    .ok_or_else(|| err(lineno, "expected `(OPS)`"))?;
+                let close = rest.find(')').ok_or_else(|| err(lineno, "missing `)`"))?;
+                if close < open {
+                    return Err(err(lineno, "mismatched parentheses"));
+                }
+                let alu_name = rest[..open].trim().to_string();
+                if alu_name.is_empty() {
+                    return Err(err(lineno, "expected an ALU name"));
+                }
+                let mut ops = Vec::new();
+                for tok in rest[open + 1..close].split(',') {
+                    let tok = tok.trim();
+                    if tok.is_empty() {
+                        continue;
+                    }
+                    ops.push(
+                        tok.parse::<OpKind>()
+                            .map_err(|_| err(lineno, "unknown operator in ALU"))?,
+                    );
+                }
+                if ops.is_empty() {
+                    return Err(err(lineno, "an ALU needs at least one operator"));
+                }
+                let area_tok = rest[close + 1..].trim();
+                let area = if area_tok.eq_ignore_ascii_case("auto") {
+                    None
+                } else {
+                    Some(Area::new(area_tok.parse::<u64>().map_err(|_| {
+                        err(lineno, "invalid ALU area (number or `auto`)")
+                    })?))
+                };
+                pending_alus.push((lineno, alu_name, ops, area));
+            }
+            "mux" => {
+                let (table_part, tail_part) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err(lineno, "expected `mux TABLE... : PER_EXTRA`"))?;
+                let mut table = Vec::new();
+                for tok in table_part.split_whitespace() {
+                    table.push(Area::new(
+                        tok.parse::<u64>()
+                            .map_err(|_| err(lineno, "invalid mux cost"))?,
+                    ));
+                }
+                let per_extra: u64 = tail_part
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, "invalid per-extra mux cost"))?;
+                // MuxCost::from_table panics on a decreasing table; make
+                // that a parse error instead.
+                if table.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(err(lineno, "mux cost table must be non-decreasing"));
+                }
+                builder.mux(MuxCost::from_table(table, Area::new(per_extra)));
+            }
+            "reg" => {
+                let area: u64 = rest
+                    .parse()
+                    .map_err(|_| err(lineno, "invalid register area"))?;
+                builder.register(Area::new(area));
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    &format!("unknown statement `{other}` (library/fu/alu/mux/reg)"),
+                ));
+            }
+        }
+    }
+
+    // Resolve ALUs now that all FU areas are known (auto needs them).
+    for (lineno, alu_name, ops, area) in pending_alus {
+        let area = match area {
+            Some(a) => a,
+            None => {
+                let mut member_areas = Vec::with_capacity(ops.len());
+                for &op in &ops {
+                    member_areas.push(*fu_areas.get(&op).ok_or_else(|| {
+                        err(lineno, "`auto` ALU area needs `fu` lines for all members")
+                    })?);
+                }
+                alu_merged_area(member_areas)
+            }
+        };
+        builder.alu(AluKind::new(alu_name, ops, area));
+    }
+    let lib = builder.build()?;
+    Ok(lib.renamed(name))
+}
+
+impl Library {
+    /// Returns a copy with a different name (used by the text parser).
+    pub fn renamed(&self, name: impl Into<String>) -> Library {
+        let mut lib = self.clone();
+        lib.set_name(name.into());
+        lib
+    }
+
+    /// Renders the library in the format accepted by [`parse_library`].
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "library {}", self.name());
+        for kind in OpKind::ALL {
+            if let Ok(area) = self.fu_area(kind) {
+                let _ = writeln!(out, "fu {} {}", kind.name(), area.as_u64());
+            }
+        }
+        for alu in self.alus() {
+            let ops: Vec<&str> = alu.ops().map(|o| o.name()).collect();
+            let _ = writeln!(
+                out,
+                "alu {} ({}) {}",
+                alu.name(),
+                ops.join(","),
+                alu.area().as_u64()
+            );
+        }
+        let table: Vec<String> = (0..7)
+            .map(|r| self.mux().cost(r).as_u64().to_string())
+            .collect();
+        let marginal = self.mux().cost(7) - self.mux().cost(6);
+        let _ = writeln!(out, "mux {} : {}", table.join(" "), marginal.as_u64());
+        let _ = writeln!(out, "reg {}", self.register_area().as_u64());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_custom_library() {
+        let lib = parse_library(
+            "library custom  # with a comment
+             fu + 1000
+             fu - 1000
+             fu * 9000
+             alu addsub (+,-) 1200
+             alu big (add, sub, mul) auto
+             mux 0 0 200 300 : 80
+             reg 400",
+        )
+        .unwrap();
+        assert_eq!(lib.name(), "custom");
+        assert_eq!(lib.fu_area(OpKind::Mul).unwrap(), Area::new(9000));
+        let big = lib.alu_by_name("big").unwrap();
+        assert_eq!(
+            big.area(),
+            alu_merged_area([Area::new(1000); 2].into_iter().chain([Area::new(9000)]))
+        );
+        assert_eq!(lib.mux().cost(3), Area::new(300));
+        assert_eq!(lib.mux().cost(5), Area::new(460));
+        assert_eq!(lib.register_area(), Area::new(400));
+    }
+
+    #[test]
+    fn round_trips_the_builtin_library() {
+        let lib = Library::ncr_like();
+        let text = lib.to_text();
+        let reparsed = parse_library(&text).unwrap();
+        assert_eq!(reparsed.name(), lib.name());
+        assert_eq!(reparsed.alus().len(), lib.alus().len());
+        for kind in OpKind::ALL {
+            assert_eq!(reparsed.fu_area(kind).ok(), lib.fu_area(kind).ok());
+        }
+        for r in 0..12 {
+            assert_eq!(reparsed.mux().cost(r), lib.mux().cost(r));
+        }
+        assert_eq!(reparsed.register_area(), lib.register_area());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_library("fu + abc").unwrap_err();
+        assert!(matches!(e, LibraryError::Parse { line: 1, .. }));
+        let e = parse_library("library x\nbogus line").unwrap_err();
+        assert!(matches!(e, LibraryError::Parse { line: 2, .. }));
+        let e = parse_library("alu a (+) auto").unwrap_err();
+        assert!(matches!(e, LibraryError::Parse { line: 1, .. }));
+        let e = parse_library("mux 0 0 100 90 : 10").unwrap_err();
+        assert!(matches!(e, LibraryError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_alu_names_still_rejected() {
+        let e = parse_library(
+            "fu + 10
+             alu a (+) 10
+             alu a (+) 10",
+        )
+        .unwrap_err();
+        assert!(matches!(e, LibraryError::DuplicateAluName(_)));
+    }
+}

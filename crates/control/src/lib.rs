@@ -1,0 +1,59 @@
+//! Control-path substrate for the `moveframe-hls` workspace.
+//!
+//! The paper's opening line splits behavioural synthesis into "1) Data
+//! path synthesis (operation scheduling and hardware allocation), and
+//! 2) Control path design". MFS/MFSA produce the data path; this crate
+//! produces the control path: a horizontal-microcode controller (one
+//! [`ControlWord`] per control step) that drives the data path's ALU
+//! function selects, multiplexer selects and register write enables.
+//!
+//! The controller is derived purely from the triple (graph, schedule,
+//! data path) and independently re-validated by [`verify_controller`];
+//! the `hls-sim` crate executes it cycle by cycle to prove the
+//! synthesised RTL computes the same values as the behavioural graph.
+//!
+//! ```
+//! use hls_celllib::{Library, OpKind, TimingSpec};
+//! use hls_control::Controller;
+//! use hls_dfg::DfgBuilder;
+//! use hls_rtl::{AluAllocation, Datapath};
+//! use hls_schedule::{CStep, Schedule, Slot, UnitId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DfgBuilder::new("g");
+//! let x = b.input("x");
+//! let p = b.op("p", OpKind::Add, &[x, x])?;
+//! let _q = b.op("q", OpKind::Sub, &[p, x])?;
+//! let dfg = b.finish()?;
+//! let spec = TimingSpec::uniform_single_cycle();
+//! let mut schedule = Schedule::new(&dfg, 2);
+//! for (i, name) in ["p", "q"].iter().enumerate() {
+//!     schedule.assign(
+//!         dfg.node_by_name(name).unwrap(),
+//!         Slot { step: CStep::new(i as u32 + 1), unit: UnitId::Alu { instance: 0 } },
+//!     );
+//! }
+//! let lib = Library::ncr_like();
+//! let mut alloc = AluAllocation::new();
+//! alloc.push(lib.alu_by_name("add_sub").unwrap().clone());
+//! let datapath = Datapath::build(&dfg, &schedule, &alloc, &spec)?;
+//! let controller = Controller::generate(&dfg, &schedule, &datapath, &spec)?;
+//! assert_eq!(controller.state_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod error;
+mod verify;
+mod verilog;
+mod word;
+
+pub use controller::Controller;
+pub use error::ControlError;
+pub use verify::{verify_controller, ControlViolation};
+pub use verilog::{emit_testbench, emit_verilog};
+pub use word::{AluActivity, ControlWord, InputLoad, RegWrite};

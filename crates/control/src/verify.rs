@@ -1,0 +1,209 @@
+//! Independent controller verification.
+
+use std::collections::BTreeMap;
+
+use hls_celllib::TimingSpec;
+use hls_dfg::{Dfg, NodeId, SignalId, SignalSource};
+use hls_rtl::Datapath;
+use hls_schedule::Schedule;
+
+use crate::Controller;
+
+/// A defect found by [`verify_controller`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ControlViolation {
+    /// An operation is issued in the wrong step (or more/less than
+    /// once).
+    WrongIssue {
+        /// The operation.
+        node: NodeId,
+        /// How many times it was issued.
+        issues: usize,
+    },
+    /// A mux select is out of range for its multiplexer.
+    SelectOutOfRange {
+        /// The operation whose select is broken.
+        node: NodeId,
+        /// The port.
+        port: u8,
+    },
+    /// A stored signal is never written (or written more than once).
+    WrongWriteCount {
+        /// The signal.
+        signal: SignalId,
+        /// Observed writes (including the input-load phase).
+        writes: usize,
+    },
+    /// Two writes target the same register in the same step.
+    WritePortConflict {
+        /// The contended register.
+        register: hls_rtl::RegId,
+        /// The step (1-based).
+        step: u32,
+    },
+}
+
+/// Re-checks a controller against the design it was generated for:
+/// every operation issues exactly once in its scheduled step, all mux
+/// selects are in range, every stored signal is written exactly once,
+/// and no register sees two writes in one step.
+pub fn verify_controller(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    datapath: &Datapath,
+    controller: &Controller,
+    spec: &TimingSpec,
+) -> Vec<ControlViolation> {
+    let _ = spec;
+    let mut violations = Vec::new();
+
+    // Issue counts and steps.
+    let mut issues: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
+    for (i, word) in controller.words().iter().enumerate() {
+        for a in &word.activities {
+            issues.entry(a.node).or_default().push(i as u32 + 1);
+        }
+    }
+    for id in dfg.node_ids() {
+        let steps = issues.get(&id).cloned().unwrap_or_default();
+        let expected = schedule.start(id).map(|s| s.get());
+        if steps.len() != 1 || Some(steps[0]) != expected {
+            violations.push(ControlViolation::WrongIssue {
+                node: id,
+                issues: steps.len(),
+            });
+        }
+    }
+
+    // Select ranges.
+    let mux_sizes: BTreeMap<(hls_rtl::AluId, u8), usize> = datapath
+        .muxes()
+        .iter()
+        .map(|m| ((m.alu, m.port), m.sources.len()))
+        .collect();
+    for word in controller.words() {
+        for a in &word.activities {
+            for (port, sel) in [(1u8, a.mux1), (2, a.mux2)] {
+                if let Some(sel) = sel {
+                    let size = mux_sizes.get(&(a.alu, port)).copied().unwrap_or(0);
+                    if sel >= size {
+                        violations.push(ControlViolation::SelectOutOfRange { node: a.node, port });
+                    }
+                }
+            }
+        }
+    }
+
+    // Write discipline.
+    let mut write_counts: BTreeMap<SignalId, usize> = BTreeMap::new();
+    for load in controller.input_loads() {
+        *write_counts.entry(load.signal).or_insert(0) += 1;
+    }
+    for (i, word) in controller.words().iter().enumerate() {
+        let mut per_reg: BTreeMap<hls_rtl::RegId, usize> = BTreeMap::new();
+        for w in &word.writes {
+            *write_counts.entry(w.signal).or_insert(0) += 1;
+            *per_reg.entry(w.register).or_insert(0) += 1;
+        }
+        for (reg, n) in per_reg {
+            if n > 1 {
+                violations.push(ControlViolation::WritePortConflict {
+                    register: reg,
+                    step: i as u32 + 1,
+                });
+            }
+        }
+    }
+    for (_, spans) in datapath.register_allocation().iter() {
+        for span in spans {
+            // Constants are hardwired; everything else stored must be
+            // written exactly once.
+            if matches!(dfg.signal(span.signal).source(), SignalSource::Constant(_)) {
+                continue;
+            }
+            let writes = write_counts.get(&span.signal).copied().unwrap_or(0);
+            if writes != 1 {
+                violations.push(ControlViolation::WrongWriteCount {
+                    signal: span.signal,
+                    writes,
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::{Library, OpKind, TimingSpec};
+    use hls_dfg::DfgBuilder;
+    use hls_rtl::AluAllocation;
+    use hls_schedule::{CStep, Slot, UnitId};
+
+    #[test]
+    fn generated_controllers_verify_clean() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let p = b.op("p", OpKind::Add, &[x, x]).unwrap();
+        b.op("q", OpKind::Sub, &[p, x]).unwrap();
+        let dfg = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut s = Schedule::new(&dfg, 2);
+        for (i, name) in ["p", "q"].iter().enumerate() {
+            s.assign(
+                dfg.node_by_name(name).unwrap(),
+                Slot {
+                    step: CStep::new(i as u32 + 1),
+                    unit: UnitId::Alu { instance: 0 },
+                },
+            );
+        }
+        let lib = Library::ncr_like();
+        let mut alloc = AluAllocation::new();
+        alloc.push(lib.alu_by_name("add_sub").unwrap().clone());
+        let dp = Datapath::build(&dfg, &s, &alloc, &spec).unwrap();
+        let c = Controller::generate(&dfg, &s, &dp, &spec).unwrap();
+        let v = verify_controller(&dfg, &s, &dp, &c, &spec);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn shifted_schedule_is_detected() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let p = b.op("p", OpKind::Add, &[x, x]).unwrap();
+        b.op("q", OpKind::Sub, &[p, x]).unwrap();
+        let dfg = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut s = Schedule::new(&dfg, 3);
+        for (i, name) in ["p", "q"].iter().enumerate() {
+            s.assign(
+                dfg.node_by_name(name).unwrap(),
+                Slot {
+                    step: CStep::new(i as u32 + 1),
+                    unit: UnitId::Alu { instance: 0 },
+                },
+            );
+        }
+        let lib = Library::ncr_like();
+        let mut alloc = AluAllocation::new();
+        alloc.push(lib.alu_by_name("add_sub").unwrap().clone());
+        let dp = Datapath::build(&dfg, &s, &alloc, &spec).unwrap();
+        let c = Controller::generate(&dfg, &s, &dp, &spec).unwrap();
+        // Move q afterwards: the controller no longer matches.
+        s.assign(
+            dfg.node_by_name("q").unwrap(),
+            Slot {
+                step: CStep::new(3),
+                unit: UnitId::Alu { instance: 0 },
+            },
+        );
+        let v = verify_controller(&dfg, &s, &dp, &c, &spec);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ControlViolation::WrongIssue { .. })));
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type shared by MFS and MFSA.
+
+use std::fmt;
+
+use hls_dfg::{DfgError, FuClass, NodeId};
+use hls_schedule::ScheduleError;
+
+/// Error produced by the move-frame algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MoveFrameError {
+    /// Frame computation failed (infeasible time constraint, …).
+    Schedule(ScheduleError),
+    /// A graph preprocessing step failed.
+    Dfg(DfgError),
+    /// Local rescheduling exhausted the unit budget for this operation:
+    /// its move frame stayed empty even at `max_j` units.
+    NoPosition {
+        /// The unplaceable operation.
+        node: NodeId,
+        /// Its functional-unit class.
+        class: FuClass,
+        /// The exhausted unit budget.
+        max_fu: u32,
+    },
+    /// No ALU kind in the cell library can perform this operation.
+    NoCapableAlu {
+        /// The unplaceable operation.
+        node: NodeId,
+    },
+    /// The requested functional-pipelining latency is invalid.
+    InvalidLatency {
+        /// The initiation interval.
+        latency: u32,
+        /// The time constraint.
+        cs: u32,
+    },
+}
+
+impl fmt::Display for MoveFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoveFrameError::Schedule(e) => write!(f, "scheduling substrate error: {e}"),
+            MoveFrameError::Dfg(e) => write!(f, "graph error: {e}"),
+            MoveFrameError::NoPosition {
+                node,
+                class,
+                max_fu,
+            } => write!(
+                f,
+                "no valid move-frame position for {node} (class {class}) within {max_fu} unit(s)"
+            ),
+            MoveFrameError::NoCapableAlu { node } => {
+                write!(f, "the cell library has no ALU able to perform {node}")
+            }
+            MoveFrameError::InvalidLatency { latency, cs } => {
+                write!(f, "latency {latency} is invalid for a {cs}-step schedule")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MoveFrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MoveFrameError::Schedule(e) => Some(e),
+            MoveFrameError::Dfg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScheduleError> for MoveFrameError {
+    fn from(e: ScheduleError) -> Self {
+        MoveFrameError::Schedule(e)
+    }
+}
+
+impl From<DfgError> for MoveFrameError {
+    fn from(e: DfgError) -> Self {
+        MoveFrameError::Dfg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MoveFrameError = ScheduleError::InfeasibleTime {
+            needed: 4,
+            given: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("4"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: MoveFrameError = DfgError::Empty.into();
+        assert!(e.to_string().contains("graph"));
+    }
+}

@@ -1,0 +1,400 @@
+//! Frame computation: `MF = PF − (RF ∪ FF)` (paper §3.2, step 4).
+
+use std::collections::BTreeMap;
+
+use hls_celllib::{ClockPeriod, Delay, TimingSpec};
+use hls_dfg::{Dfg, FuClass, NodeId};
+use hls_schedule::{CStep, FuIndex, Grid, Schedule, TimeFrames};
+
+/// One candidate cell of a placement grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position {
+    /// Control step (`y`).
+    pub step: CStep,
+    /// Unit column (`x`).
+    pub fu: FuIndex,
+}
+
+/// The frames computed for one operation at the moment it is scheduled —
+/// the data behind the paper's Figure 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameSnapshot {
+    /// The operation being placed.
+    pub node: NodeId,
+    /// Its functional-unit class (which grid the frames live in).
+    pub class: FuClass,
+    /// Primary-frame time range `[ASAP, ALAP]`.
+    pub primary: (CStep, CStep),
+    /// Columns visible to the move frame (`current_j`); columns
+    /// `current_j+1 ..= max_fu` form the redundant frame.
+    pub current_fu: u32,
+    /// The grid's column budget (`max_j`).
+    pub max_fu: u32,
+    /// Steps of the primary range excluded by data dependencies (the
+    /// forbidden frame): every step strictly below this bound.
+    pub earliest_feasible: CStep,
+    /// Steps of the primary range excluded by already-scheduled
+    /// successors: every step strictly above this bound.
+    pub latest_feasible: CStep,
+    /// The resulting move frame: free, dependency-feasible positions.
+    pub movable: Vec<Position>,
+}
+
+impl FrameSnapshot {
+    /// Whether the move frame is empty (triggers local rescheduling).
+    pub fn is_empty(&self) -> bool {
+        self.movable.is_empty()
+    }
+}
+
+/// Everything frame computation needs to see.
+pub(crate) struct FrameCtx<'a> {
+    pub dfg: &'a Dfg,
+    pub spec: &'a TimingSpec,
+    pub frames: &'a TimeFrames,
+    pub schedule: &'a Schedule,
+    /// Chaining clock; `None` disables chaining.
+    pub clock: Option<ClockPeriod>,
+    /// Finish offsets (accumulated within-step delay) of scheduled
+    /// chainable operations.
+    pub offsets: &'a BTreeMap<NodeId, Delay>,
+}
+
+impl FrameCtx<'_> {
+    /// Effective cycle count of `node` under the (optional) clock: the
+    /// declared cycles, or `⌈delay/T⌉` for operations slower than the
+    /// clock.
+    pub(crate) fn effective_cycles(&self, node: NodeId) -> u8 {
+        let kind = self.dfg.node(node).kind();
+        let declared = kind.cycles(self.spec);
+        match self.clock {
+            None => declared,
+            Some(t) => {
+                let d = kind.delay(self.spec).as_u32();
+                let derived = if d == 0 {
+                    1
+                } else {
+                    d.div_ceil(t.as_u32()) as u8
+                };
+                declared.max(derived)
+            }
+        }
+    }
+
+    /// Whether `node` may share a step boundary with a dependent op.
+    fn chainable(&self, node: NodeId) -> bool {
+        self.clock.is_some()
+            && self.effective_cycles(node) == 1
+            && self.dfg.node(node).kind().delay(self.spec).as_u32() > 0
+    }
+
+    /// Finish step of a scheduled node.
+    fn finish_step(&self, node: NodeId) -> Option<CStep> {
+        self.schedule
+            .start(node)
+            .map(|s| s.finish(self.effective_cycles(node)))
+    }
+
+    /// Whether placing `node` at `step` satisfies every *scheduled*
+    /// predecessor and, under chaining, the within-step delay budget.
+    pub(crate) fn dep_feasible(&self, node: NodeId, step: CStep) -> bool {
+        let node_chainable = self.chainable(node);
+        let mut offset_base = Delay::ZERO;
+        for &p in self.dfg.preds(node) {
+            let Some(pf) = self.finish_step(p) else {
+                continue;
+            };
+            if step > pf {
+                continue;
+            }
+            if step == pf && node_chainable && self.chainable(p) {
+                let p_off = self.offsets.get(&p).copied().unwrap_or(Delay::ZERO);
+                offset_base = offset_base.max(p_off);
+                continue;
+            }
+            return false;
+        }
+        if node_chainable && offset_base > Delay::ZERO {
+            let d = self.dfg.node(node).kind().delay(self.spec);
+            let clock = self.clock.expect("chainable implies clock");
+            if !clock.fits(offset_base, d) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The finish offset `node` would have when placed at `step`.
+    pub(crate) fn offset_after(&self, node: NodeId, step: CStep) -> Delay {
+        if !self.chainable(node) {
+            return Delay::ZERO;
+        }
+        let mut base = Delay::ZERO;
+        for &p in self.dfg.preds(node) {
+            if self.finish_step(p) == Some(step) && self.chainable(p) {
+                base = base.max(self.offsets.get(&p).copied().unwrap_or(Delay::ZERO));
+            }
+        }
+        base + self.dfg.node(node).kind().delay(self.spec)
+    }
+}
+
+/// The dependency-feasible start-step range `[earliest, latest]` of
+/// `node` under the current partial schedule (empty when
+/// `earliest > latest`). This is the time extent of `PF − FF`, shared by
+/// MFS and MFSA.
+pub(crate) fn feasible_step_range(ctx: &FrameCtx<'_>, node: NodeId) -> (CStep, CStep) {
+    let cycles = ctx.effective_cycles(node);
+    let asap = ctx.frames.asap(node);
+    let alap = ctx.frames.alap(node);
+
+    // A pipeline stage (index > 0) must start EXACTLY one step after its
+    // predecessor stage — "must be scheduled in consecutive control
+    // steps" (§5.5.1). Once the predecessor stage is placed, the frame
+    // collapses to that single step.
+    if let hls_dfg::NodeKind::Stage { index, .. } = ctx.dfg.node(node).kind() {
+        if index > 0 {
+            let stage_pred = ctx
+                .dfg
+                .preds(node)
+                .iter()
+                .copied()
+                .find(|&p| matches!(ctx.dfg.node(p).kind(), hls_dfg::NodeKind::Stage { .. }));
+            if let Some(step) = stage_pred.and_then(|p| ctx.schedule.start(p)) {
+                let fixed = step.offset(1);
+                return if ctx.dep_feasible(node, fixed) {
+                    (fixed, fixed)
+                } else {
+                    // Unsatisfiable fixed slot: return an empty range so
+                    // the caller reschedules.
+                    (fixed.offset(1), fixed)
+                };
+            }
+        }
+    }
+
+    // Forbidden frame lower bound: the smallest dependency-feasible step.
+    // (Chaining can make feasibility non-monotonic only at the single
+    // boundary step, so scanning from ASAP is exact.)
+    let mut earliest = asap;
+    while earliest <= alap && !ctx.dep_feasible(node, earliest) {
+        earliest = earliest.offset(1);
+    }
+
+    // Scheduled successors cap the start step from above.
+    let mut latest = alap;
+    for &s in ctx.dfg.succs(node) {
+        if let Some(sq) = ctx.schedule.start(s) {
+            // finish(node) ≤ start(succ) − 1 ⇒ start ≤ start(succ) − cycles.
+            let bound = sq.get().saturating_sub(cycles as u32);
+            if bound < latest.get() {
+                if bound == 0 {
+                    // No feasible step at all; empty range.
+                    latest = CStep::FIRST;
+                    earliest = latest.offset(1);
+                    break;
+                }
+                latest = CStep::new(bound);
+            }
+        }
+    }
+    (earliest, latest)
+}
+
+/// Computes the move frame of `node` on `grid` with `current_fu` visible
+/// columns.
+pub(crate) fn compute_move_frame(
+    ctx: &FrameCtx<'_>,
+    node: NodeId,
+    grid: &Grid,
+    current_fu: u32,
+) -> FrameSnapshot {
+    let class = ctx.dfg.node(node).kind().fu_class();
+    let cycles = ctx.effective_cycles(node);
+    let asap = ctx.frames.asap(node);
+    let alap = ctx.frames.alap(node);
+    let (earliest, latest) = feasible_step_range(ctx, node);
+
+    let mut movable = Vec::new();
+    let mut step = earliest;
+    while step <= latest {
+        if ctx.dep_feasible(node, step) {
+            for fu in 1..=current_fu {
+                let fu = FuIndex::new(fu);
+                if grid.is_free_for(ctx.dfg, node, step, fu, cycles) {
+                    movable.push(Position { step, fu });
+                }
+            }
+        }
+        step = step.offset(1);
+    }
+
+    FrameSnapshot {
+        node,
+        class,
+        primary: (asap, alap),
+        current_fu,
+        max_fu: grid.max_fu(),
+        earliest_feasible: earliest,
+        latest_feasible: latest,
+        movable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::OpKind;
+    use hls_dfg::DfgBuilder;
+    use hls_schedule::{Slot, UnitId};
+
+    fn ctx_fixture() -> (Dfg, TimingSpec) {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let p = b.op("p", OpKind::Add, &[x, y]).unwrap();
+        b.op("q", OpKind::Add, &[p, y]).unwrap();
+        (b.finish().unwrap(), TimingSpec::uniform_single_cycle())
+    }
+
+    #[test]
+    fn forbidden_frame_excludes_predecessor_steps() {
+        let (g, spec) = ctx_fixture();
+        let p = g.node_by_name("p").unwrap();
+        let q = g.node_by_name("q").unwrap();
+        let frames = TimeFrames::compute(&g, &spec, 4).unwrap();
+        let mut sched = hls_schedule::Schedule::new(&g, 4);
+        // Schedule p late (step 2): q's frame must start at 3.
+        sched.assign(
+            p,
+            Slot {
+                step: CStep::new(2),
+                unit: UnitId::Fu {
+                    class: FuClass::Op(OpKind::Add),
+                    index: FuIndex::new(1),
+                },
+            },
+        );
+        let offsets = BTreeMap::new();
+        let ctx = FrameCtx {
+            dfg: &g,
+            spec: &spec,
+            frames: &frames,
+            schedule: &sched,
+            clock: None,
+            offsets: &offsets,
+        };
+        let grid = Grid::new(FuClass::Op(OpKind::Add), 4, 2);
+        let snap = compute_move_frame(&ctx, q, &grid, 2);
+        assert_eq!(snap.earliest_feasible, CStep::new(3));
+        assert!(snap.movable.iter().all(|pos| pos.step >= CStep::new(3)));
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn scheduled_successor_caps_the_frame() {
+        let (g, spec) = ctx_fixture();
+        let p = g.node_by_name("p").unwrap();
+        let q = g.node_by_name("q").unwrap();
+        let frames = TimeFrames::compute(&g, &spec, 4).unwrap();
+        let mut sched = hls_schedule::Schedule::new(&g, 4);
+        sched.assign(
+            q,
+            Slot {
+                step: CStep::new(3),
+                unit: UnitId::Fu {
+                    class: FuClass::Op(OpKind::Add),
+                    index: FuIndex::new(1),
+                },
+            },
+        );
+        let offsets = BTreeMap::new();
+        let ctx = FrameCtx {
+            dfg: &g,
+            spec: &spec,
+            frames: &frames,
+            schedule: &sched,
+            clock: None,
+            offsets: &offsets,
+        };
+        let grid = Grid::new(FuClass::Op(OpKind::Add), 4, 2);
+        let snap = compute_move_frame(&ctx, p, &grid, 2);
+        assert_eq!(snap.latest_feasible, CStep::new(2));
+        assert!(snap.movable.iter().all(|pos| pos.step <= CStep::new(2)));
+    }
+
+    #[test]
+    fn occupied_columns_shrink_the_move_frame() {
+        let (g, spec) = ctx_fixture();
+        let p = g.node_by_name("p").unwrap();
+        let q = g.node_by_name("q").unwrap();
+        let frames = TimeFrames::compute(&g, &spec, 2).unwrap();
+        let sched = hls_schedule::Schedule::new(&g, 2);
+        let offsets = BTreeMap::new();
+        let ctx = FrameCtx {
+            dfg: &g,
+            spec: &spec,
+            frames: &frames,
+            schedule: &sched,
+            clock: None,
+            offsets: &offsets,
+        };
+        let mut grid = Grid::new(FuClass::Op(OpKind::Add), 2, 1);
+        grid.occupy(p, CStep::new(1), FuIndex::new(1), 1);
+        // q (ASAP 2, ALAP 2) still fits at step 2.
+        let snap = compute_move_frame(&ctx, q, &grid, 1);
+        assert_eq!(snap.movable.len(), 1);
+        assert_eq!(snap.movable[0].step, CStep::new(2));
+        // Another op occupying step 2 empties the frame.
+        grid.vacate(p);
+        grid.occupy(p, CStep::new(2), FuIndex::new(1), 1);
+        let snap = compute_move_frame(&ctx, q, &grid, 1);
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn chaining_admits_the_boundary_step() {
+        let (g, _) = ctx_fixture();
+        let spec = TimingSpec::with_delays(); // add = 48
+        let p = g.node_by_name("p").unwrap();
+        let q = g.node_by_name("q").unwrap();
+        let clock = ClockPeriod::new(100);
+        let frames = hls_schedule::chained_frames(&g, &spec, clock, 2)
+            .unwrap()
+            .into_frames();
+        let mut sched = hls_schedule::Schedule::new(&g, 2);
+        sched.assign(
+            p,
+            Slot {
+                step: CStep::new(1),
+                unit: UnitId::Fu {
+                    class: FuClass::Op(OpKind::Add),
+                    index: FuIndex::new(1),
+                },
+            },
+        );
+        let mut offsets = BTreeMap::new();
+        offsets.insert(p, Delay::new(48));
+        let ctx = FrameCtx {
+            dfg: &g,
+            spec: &spec,
+            frames: &frames,
+            schedule: &sched,
+            clock: Some(clock),
+            offsets: &offsets,
+        };
+        let grid = Grid::new(FuClass::Op(OpKind::Add), 2, 2);
+        let snap = compute_move_frame(&ctx, q, &grid, 2);
+        // q may share step 1 (48 + 48 ≤ 100).
+        assert_eq!(snap.earliest_feasible, CStep::new(1));
+        assert_eq!(ctx.offset_after(q, CStep::new(1)), Delay::new(96));
+        // With a tighter clock the boundary step is rejected.
+        let tight = ClockPeriod::new(90);
+        let ctx = FrameCtx {
+            clock: Some(tight),
+            ..ctx
+        };
+        assert!(!ctx.dep_feasible(q, CStep::new(1)));
+        assert!(ctx.dep_feasible(q, CStep::new(2)));
+    }
+}

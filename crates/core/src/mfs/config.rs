@@ -1,0 +1,218 @@
+//! MFS configuration.
+
+use std::collections::BTreeMap;
+
+use hls_celllib::ClockPeriod;
+use hls_dfg::FuClass;
+use hls_schedule::PriorityRule;
+
+use crate::MfsObjective;
+
+/// Configuration of one MFS run.
+///
+/// The two primary modes mirror the paper's two Liapunov functions:
+///
+/// * [`MfsConfig::time_constrained`] — fixed control-step budget,
+///   minimise concurrency (the Table-1 experiments);
+/// * [`MfsConfig::resource_constrained`] — fixed per-type unit budgets,
+///   minimise control steps within an upper bound.
+///
+/// Optional features: per-type unit caps (always hard limits), a
+/// functional-pipelining latency (modulo-`L` resource sharing), a
+/// chaining clock period, and frame-snapshot recording for the Figure-2
+/// renderer.
+///
+/// ```
+/// use hls_celllib::OpKind;
+/// use hls_dfg::FuClass;
+/// use moveframe::mfs::MfsConfig;
+///
+/// let config = MfsConfig::time_constrained(4)
+///     .with_fu_limit(FuClass::Op(OpKind::Mul), 2)
+///     .with_latency(2);
+/// assert_eq!(config.control_steps(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MfsConfig {
+    objective: MfsObjective,
+    cs: u32,
+    fu_limits: BTreeMap<FuClass, u32>,
+    latency: Option<u32>,
+    clock: Option<ClockPeriod>,
+    record_frames: bool,
+    priority_rule: PriorityRule,
+    lazy_columns: bool,
+}
+
+impl MfsConfig {
+    /// Time-constrained scheduling in exactly `cs` control steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cs` is zero.
+    pub fn time_constrained(cs: u32) -> Self {
+        assert!(cs >= 1, "at least one control step is required");
+        MfsConfig {
+            objective: MfsObjective::TimeConstrained,
+            cs,
+            fu_limits: BTreeMap::new(),
+            latency: None,
+            clock: None,
+            record_frames: false,
+            priority_rule: PriorityRule::default(),
+            lazy_columns: false,
+        }
+    }
+
+    /// Resource-constrained scheduling: unit budgets are given by
+    /// [`MfsConfig::with_fu_limit`] calls, `cs_bound` caps the schedule
+    /// length (the paper's `cs` upper bound in `V = cs·x + y`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cs_bound` is zero.
+    pub fn resource_constrained(cs_bound: u32) -> Self {
+        assert!(cs_bound >= 1, "the step bound must be positive");
+        MfsConfig {
+            objective: MfsObjective::ResourceConstrained,
+            cs: cs_bound,
+            fu_limits: BTreeMap::new(),
+            latency: None,
+            clock: None,
+            record_frames: false,
+            priority_rule: PriorityRule::default(),
+            lazy_columns: false,
+        }
+    }
+
+    /// Caps the number of units of `class` (a hard constraint; without
+    /// it the bound is derived from ASAP/ALAP concurrency and may grow).
+    pub fn with_fu_limit(mut self, class: FuClass, max: u32) -> Self {
+        assert!(max >= 1, "a unit budget must be positive");
+        self.fu_limits.insert(class, max);
+        self
+    }
+
+    /// Enables functional pipelining with initiation interval `latency`:
+    /// operations at steps `t` and `t + k·latency` share units.
+    pub fn with_latency(mut self, latency: u32) -> Self {
+        assert!(latency >= 1, "latency must be positive");
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Enables chaining with the given clock period; ASAP/ALAP and the
+    /// forbidden frame then follow operation delays (paper §5.4).
+    pub fn with_chaining(mut self, clock: ClockPeriod) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Records a [`crate::FrameSnapshot`] for every placement (used by
+    /// the Figure-2 harness and the tests).
+    pub fn with_frame_recording(mut self) -> Self {
+        self.record_frames = true;
+        self
+    }
+
+    /// Overrides the priority rule (ablation: the paper's
+    /// ALAP-then-mobility order vs a plain mobility list).
+    pub fn with_priority_rule(mut self, rule: PriorityRule) -> Self {
+        self.priority_rule = rule;
+        self
+    }
+
+    /// Starts every class at `current_j = 1` instead of the paper's
+    /// `⌈N_j / cs⌉` (ablation of the redundant-frame initialisation:
+    /// lazier starts force more local reschedulings).
+    pub fn with_lazy_columns(mut self) -> Self {
+        self.lazy_columns = true;
+        self
+    }
+
+    /// The control-step budget (time-constrained) or bound
+    /// (resource-constrained).
+    pub fn control_steps(&self) -> u32 {
+        self.cs
+    }
+
+    /// The scheduling objective.
+    pub fn objective(&self) -> MfsObjective {
+        self.objective
+    }
+
+    /// The per-class unit cap, if configured.
+    pub fn fu_limit(&self, class: FuClass) -> Option<u32> {
+        self.fu_limits.get(&class).copied()
+    }
+
+    /// All configured unit caps.
+    pub fn fu_limits(&self) -> &BTreeMap<FuClass, u32> {
+        &self.fu_limits
+    }
+
+    /// The functional-pipelining latency, if any.
+    pub fn latency(&self) -> Option<u32> {
+        self.latency
+    }
+
+    /// The chaining clock period, if any.
+    pub fn clock(&self) -> Option<ClockPeriod> {
+        self.clock
+    }
+
+    /// Whether frame snapshots are recorded.
+    pub fn records_frames(&self) -> bool {
+        self.record_frames
+    }
+
+    /// The configured priority rule.
+    pub fn priority_rule(&self) -> PriorityRule {
+        self.priority_rule
+    }
+
+    /// Whether `current_j` starts at 1 (see
+    /// [`MfsConfig::with_lazy_columns`]).
+    pub fn lazy_columns(&self) -> bool {
+        self.lazy_columns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::OpKind;
+
+    #[test]
+    fn builder_accumulates_options() {
+        let c = MfsConfig::time_constrained(5)
+            .with_fu_limit(FuClass::Op(OpKind::Add), 2)
+            .with_latency(2)
+            .with_chaining(ClockPeriod::new(100))
+            .with_frame_recording();
+        assert_eq!(c.control_steps(), 5);
+        assert_eq!(c.fu_limit(FuClass::Op(OpKind::Add)), Some(2));
+        assert_eq!(c.fu_limit(FuClass::Op(OpKind::Mul)), None);
+        assert_eq!(c.latency(), Some(2));
+        assert!(c.clock().is_some());
+        assert!(c.records_frames());
+    }
+
+    #[test]
+    fn objectives() {
+        assert_eq!(
+            MfsConfig::time_constrained(3).objective(),
+            MfsObjective::TimeConstrained
+        );
+        assert_eq!(
+            MfsConfig::resource_constrained(9).objective(),
+            MfsObjective::ResourceConstrained
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_latency_panics() {
+        let _ = MfsConfig::time_constrained(3).with_latency(0);
+    }
+}

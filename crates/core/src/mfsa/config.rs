@@ -1,0 +1,218 @@
+//! MFSA configuration: design styles, Liapunov weights, features.
+
+use hls_celllib::{ClockPeriod, Library};
+
+/// The RTL design styles of the paper's §4.2 / Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DesignStyle {
+    /// Style 1: "conventional data path design style (unrestricted RTL
+    /// structure)".
+    #[default]
+    Unrestricted,
+    /// Style 2: "RTL structure without a self loop around ALU's … no
+    /// operation is allowed to be with its successors or predecessors
+    /// within the same ALU" — the SYNTEST self-testability restriction.
+    NoSelfLoop,
+}
+
+impl std::fmt::Display for DesignStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignStyle::Unrestricted => f.write_str("style 1 (unrestricted)"),
+            DesignStyle::NoSelfLoop => f.write_str("style 2 (no ALU self-loop)"),
+        }
+    }
+}
+
+/// The weights of the weighted Liapunov function (paper §4.1):
+/// `f = w_TIME·f_TIME + w_ALU·f_ALU + w_MUX·f_MUX + w_REG·f_REG`.
+/// "w_TIME = w_ALU = w_MUX = w_REG = 1 gives an overall optimizer
+/// without emphasising any particular factor."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Weights {
+    /// Weight of the control-step term.
+    pub time: u32,
+    /// Weight of the incremental ALU-area term.
+    pub alu: u32,
+    /// Weight of the incremental multiplexer-area term.
+    pub mux: u32,
+    /// Weight of the incremental register-area term.
+    pub reg: u32,
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights {
+            time: 1,
+            alu: 1,
+            mux: 1,
+            reg: 1,
+        }
+    }
+}
+
+/// Configuration of one MFSA run.
+///
+/// ```
+/// use hls_celllib::Library;
+/// use moveframe::mfsa::{DesignStyle, MfsaConfig};
+///
+/// let config = MfsaConfig::new(4, Library::ncr_like())
+///     .with_style(DesignStyle::NoSelfLoop);
+/// assert_eq!(config.control_steps(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MfsaConfig {
+    cs: u32,
+    library: Library,
+    style: DesignStyle,
+    weights: Weights,
+    clock: Option<ClockPeriod>,
+    latency: Option<u32>,
+    share_interconnect: bool,
+    record_trace: bool,
+}
+
+impl MfsaConfig {
+    /// Time-constrained mixed scheduling-allocation in `cs` steps using
+    /// `library`'s ALU kinds and cost curves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cs` is zero.
+    pub fn new(cs: u32, library: Library) -> Self {
+        assert!(cs >= 1, "at least one control step is required");
+        MfsaConfig {
+            cs,
+            library,
+            style: DesignStyle::Unrestricted,
+            weights: Weights::default(),
+            clock: None,
+            latency: None,
+            share_interconnect: true,
+            record_trace: false,
+        }
+    }
+
+    /// Selects the RTL design style.
+    pub fn with_style(mut self, style: DesignStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Overrides the Liapunov weights.
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Enables chaining with the given clock period.
+    pub fn with_chaining(mut self, clock: ClockPeriod) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Enables functional pipelining with the given initiation interval.
+    pub fn with_latency(mut self, latency: u32) -> Self {
+        assert!(latency >= 1, "latency must be positive");
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Disables interconnect line sharing in the `f_MUX` estimate
+    /// (paper §5.7 ablation: every signal then counts as its own mux
+    /// input line).
+    pub fn without_interconnect_sharing(mut self) -> Self {
+        self.share_interconnect = false;
+        self
+    }
+
+    /// Records a per-iteration trace of the chosen Liapunov terms.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// The time constraint.
+    pub fn control_steps(&self) -> u32 {
+        self.cs
+    }
+
+    /// The cell library.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// The design style.
+    pub fn style(&self) -> DesignStyle {
+        self.style
+    }
+
+    /// The Liapunov weights.
+    pub fn weights(&self) -> Weights {
+        self.weights
+    }
+
+    /// The chaining clock, if any.
+    pub fn clock(&self) -> Option<ClockPeriod> {
+        self.clock
+    }
+
+    /// The functional-pipelining latency, if any.
+    pub fn latency(&self) -> Option<u32> {
+        self.latency
+    }
+
+    /// Whether interconnect sharing informs `f_MUX`.
+    pub fn shares_interconnect(&self) -> bool {
+        self.share_interconnect
+    }
+
+    /// Whether iteration tracing is on.
+    pub fn records_trace(&self) -> bool {
+        self.record_trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = MfsaConfig::new(4, Library::ncr_like());
+        assert_eq!(c.style(), DesignStyle::Unrestricted);
+        assert_eq!(
+            c.weights(),
+            Weights {
+                time: 1,
+                alu: 1,
+                mux: 1,
+                reg: 1
+            }
+        );
+        assert!(c.shares_interconnect());
+        assert!(!c.records_trace());
+    }
+
+    #[test]
+    fn builder_options() {
+        let c = MfsaConfig::new(4, Library::ncr_like())
+            .with_style(DesignStyle::NoSelfLoop)
+            .with_weights(Weights {
+                time: 2,
+                alu: 1,
+                mux: 0,
+                reg: 0,
+            })
+            .with_latency(2)
+            .without_interconnect_sharing()
+            .with_trace();
+        assert_eq!(c.style(), DesignStyle::NoSelfLoop);
+        assert_eq!(c.weights().time, 2);
+        assert_eq!(c.latency(), Some(2));
+        assert!(!c.shares_interconnect());
+        assert!(c.records_trace());
+        assert!(c.style().to_string().contains("style 2"));
+    }
+}

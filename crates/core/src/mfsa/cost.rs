@@ -1,0 +1,280 @@
+//! The dynamic Liapunov function's cost terms (paper §4.1).
+
+use std::collections::BTreeMap;
+
+use hls_celllib::{Area, Library};
+use hls_dfg::SignalId;
+use hls_rtl::muxopt::{pack, MuxOp};
+
+use crate::mfsa::Weights;
+
+/// A multiplexer input *line* at estimation time. Interconnect sharing
+/// (paper §5.7) folds every value produced by the same ALU onto one
+/// line; with sharing disabled each signal is its own line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) enum EstSource {
+    /// A primary input or constant port.
+    External(SignalId),
+    /// The result path of ALU instance `n` (interconnect sharing on).
+    FromAlu(u32),
+    /// An individual stored signal (interconnect sharing off).
+    Signal(SignalId),
+}
+
+/// Evaluates the four `f` terms for candidate positions.
+#[derive(Debug, Clone)]
+pub(crate) struct CostModel {
+    weights: Weights,
+    /// The `f_TIME` constant `C > w_A·f_ALU^max + w_M·f_MUX^max +
+    /// w_R·f_REG^max`, guaranteeing an earlier feasible step always wins
+    /// when `w_TIME ≥ 1`.
+    c_const: u64,
+    reg_area: u64,
+    mux_table: Vec<u64>,
+}
+
+impl CostModel {
+    pub(crate) fn new(library: &Library, weights: Weights) -> CostModel {
+        let c_const = weights.alu as u64 * library.max_alu_area().as_u64()
+            + weights.mux as u64 * library.max_mux_term().as_u64()
+            + weights.reg as u64 * library.max_reg_term().as_u64()
+            + 1;
+        // Cache the mux curve for the widths we will see.
+        let mux_table = (0..64).map(|r| library.mux().cost(r).as_u64()).collect();
+        CostModel {
+            weights,
+            c_const,
+            reg_area: library.register_area().as_u64(),
+            mux_table,
+        }
+    }
+
+    /// `w_TIME · C · y`.
+    pub(crate) fn f_time(&self, step: u32) -> u64 {
+        self.weights.time as u64 * self.c_const * step as u64
+    }
+
+    /// `w_ALU · ΔALU-area` for a new or upgraded instance.
+    pub(crate) fn f_alu(&self, delta: Area) -> u64 {
+        self.weights.alu as u64 * delta.as_u64()
+    }
+
+    /// `w_MUX · (Cost(MUX¹_after) + Cost(MUX²_after) − before)` under the
+    /// best-case packing of the instance's operand sources.
+    pub(crate) fn f_mux(&self, before: &[MuxOp<EstSource>], candidate: MuxOp<EstSource>) -> u64 {
+        let before_cost = self.mux_pair_cost(before);
+        let mut after = before.to_vec();
+        after.push(candidate);
+        let after_cost = self.mux_pair_cost(&after);
+        self.weights.mux as u64 * after_cost.saturating_sub(before_cost)
+    }
+
+    /// Total cost of the two input multiplexers after optimal packing.
+    pub(crate) fn mux_pair_cost(&self, ops: &[MuxOp<EstSource>]) -> u64 {
+        let packing = pack(ops);
+        self.mux_cost(packing.l1.len()) + self.mux_cost(packing.l2.len())
+    }
+
+    fn mux_cost(&self, inputs: usize) -> u64 {
+        match self.mux_table.get(inputs) {
+            Some(&c) => c,
+            None => {
+                let last = *self.mux_table.last().expect("non-empty");
+                let step = last - self.mux_table[self.mux_table.len() - 2];
+                last + step * (inputs + 1 - self.mux_table.len()) as u64
+            }
+        }
+    }
+
+    /// `w_REG · ΔREG-count · Cost(REG)`.
+    pub(crate) fn f_reg(&self, delta_registers: usize) -> u64 {
+        self.weights.reg as u64 * delta_registers as u64 * self.reg_area
+    }
+}
+
+/// Incremental estimate of the register demand ("a backward look at the
+/// partially constructed schedule", §4.1): one life span per stored
+/// signal, extended as consumers are scheduled; the register count is
+/// the peak number of simultaneously live spans, which the final
+/// left-edge pass meets exactly.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RegEstimate {
+    /// signal → (birth, death), both inclusive.
+    spans: BTreeMap<SignalId, (u32, u32)>,
+}
+
+impl RegEstimate {
+    pub(crate) fn new() -> RegEstimate {
+        RegEstimate::default()
+    }
+
+    /// Current register count (peak simultaneously-live spans).
+    pub(crate) fn count(&self) -> usize {
+        peak(self.spans.values().copied())
+    }
+
+    /// The count if `extensions` were applied: each `(signal, birth,
+    /// death)` inserts or extends a span.
+    pub(crate) fn count_with(&self, extensions: &[(SignalId, u32, u32)]) -> usize {
+        let mut spans = self.spans.clone();
+        apply(&mut spans, extensions);
+        peak(spans.values().copied())
+    }
+
+    /// Applies `extensions` permanently.
+    pub(crate) fn commit(&mut self, extensions: &[(SignalId, u32, u32)]) {
+        apply(&mut self.spans, extensions);
+    }
+}
+
+fn apply(spans: &mut BTreeMap<SignalId, (u32, u32)>, extensions: &[(SignalId, u32, u32)]) {
+    for &(sig, birth, death) in extensions {
+        spans
+            .entry(sig)
+            .and_modify(|(b, d)| {
+                *b = (*b).min(birth);
+                *d = (*d).max(death);
+            })
+            .or_insert((birth, death));
+    }
+}
+
+fn peak(spans: impl Iterator<Item = (u32, u32)> + Clone) -> usize {
+    let max_step = spans.clone().map(|(_, d)| d).max().unwrap_or(0);
+    (1..=max_step)
+        .map(|step| {
+            spans
+                .clone()
+                .filter(|&(b, d)| b <= step && step <= d)
+                .count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::OpKind;
+
+    fn sig(n: usize) -> SignalId {
+        // Construct distinct SignalIds through a throwaway builder.
+        let mut b = hls_dfg::DfgBuilder::new("stub");
+        let mut last = b.input("s0");
+        for i in 1..=n {
+            last = b.input(&format!("s{i}"));
+        }
+        last
+    }
+
+    #[test]
+    fn time_term_dominates_cost_terms() {
+        let lib = Library::ncr_like();
+        let model = CostModel::new(&lib, Weights::default());
+        // One full step of f_TIME exceeds the largest possible sum of
+        // the other three terms (the paper's C inequality).
+        let worst = model.f_alu(lib.max_alu_area())
+            + Weights::default().mux as u64 * lib.max_mux_term().as_u64()
+            + model.f_reg(2);
+        assert!(model.f_time(1) > worst);
+        assert!(model.f_time(2) - model.f_time(1) > worst);
+    }
+
+    #[test]
+    fn f_mux_charges_only_new_lines() {
+        let lib = Library::ncr_like();
+        let model = CostModel::new(&lib, Weights::default());
+        let a = EstSource::External(sig(1));
+        let b = EstSource::External(sig(2));
+        let existing = vec![MuxOp {
+            left: a,
+            right: Some(b),
+            commutative: false,
+        }];
+        // The same operand pair again: no growth, no cost.
+        assert_eq!(
+            model.f_mux(
+                &existing,
+                MuxOp {
+                    left: a,
+                    right: Some(b),
+                    commutative: false
+                }
+            ),
+            0
+        );
+        // A commutative op with swapped operands: packing reuses lines.
+        assert_eq!(
+            model.f_mux(
+                &existing,
+                MuxOp {
+                    left: b,
+                    right: Some(a),
+                    commutative: true
+                }
+            ),
+            0
+        );
+        // A brand-new pair must pay for widening both muxes to 2 inputs.
+        let c = EstSource::External(sig(3));
+        let d = EstSource::External(sig(4));
+        let grow = model.f_mux(
+            &existing,
+            MuxOp {
+                left: c,
+                right: Some(d),
+                commutative: false,
+            },
+        );
+        assert_eq!(grow, 2 * lib.mux().cost(2).as_u64());
+    }
+
+    #[test]
+    fn reg_estimate_counts_peak_overlap() {
+        let mut est = RegEstimate::new();
+        assert_eq!(est.count(), 0);
+        est.commit(&[(sig(1), 1, 3), (sig(2), 2, 4)]);
+        assert_eq!(est.count(), 2);
+        // A third overlapping span raises the count by one.
+        assert_eq!(est.count_with(&[(sig(3), 3, 3)]), 3);
+        // A disjoint span does not.
+        assert_eq!(est.count_with(&[(sig(3), 5, 6)]), 2);
+        // Extending an existing signal's death does not add a register
+        // when nothing else overlaps the extension.
+        assert_eq!(est.count_with(&[(sig(2), 2, 9)]), 2);
+    }
+
+    #[test]
+    fn f_reg_scales_with_register_area() {
+        let lib = Library::ncr_like();
+        let model = CostModel::new(&lib, Weights::default());
+        assert_eq!(model.f_reg(0), 0);
+        assert_eq!(model.f_reg(2), 2 * lib.register_area().as_u64());
+    }
+
+    #[test]
+    fn weights_scale_terms() {
+        let lib = Library::ncr_like();
+        let w = Weights {
+            time: 1,
+            alu: 3,
+            mux: 1,
+            reg: 5,
+        };
+        let model = CostModel::new(&lib, w);
+        let area = lib.fu_area(OpKind::Add).unwrap();
+        assert_eq!(model.f_alu(area), 3 * area.as_u64());
+        assert_eq!(model.f_reg(1), 5 * lib.register_area().as_u64());
+    }
+
+    #[test]
+    fn mux_cost_extrapolates_beyond_the_table() {
+        let lib = Library::ncr_like();
+        let model = CostModel::new(&lib, Weights::default());
+        // Widths beyond the cached table grow linearly.
+        let c64 = model.mux_cost(64);
+        let c65 = model.mux_cost(65);
+        let c66 = model.mux_cost(66);
+        assert_eq!(c66 - c65, c65 - c64);
+    }
+}

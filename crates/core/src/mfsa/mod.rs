@@ -1,0 +1,11 @@
+//! Move Frame Scheduling-Allocation (paper §4): simultaneous scheduling
+//! and allocation of (possibly multifunction) ALUs, registers and
+//! multiplexers, guided by the dynamic Liapunov function
+//! `V = Σ (w_T·f_TIME + w_A·f_ALU + w_M·f_MUX + w_R·f_REG)`.
+
+mod config;
+mod cost;
+mod scheduler;
+
+pub use config::{DesignStyle, MfsaConfig, Weights};
+pub use scheduler::{schedule, IterationTrace, MfsaOutcome};

@@ -1,0 +1,697 @@
+//! The MFSA move loop (paper §4.2).
+
+use std::collections::BTreeMap;
+
+use hls_celllib::{Delay, TimingSpec};
+use hls_dfg::{Dfg, NodeId, NodeKind, SignalId, SignalSource};
+use hls_rtl::muxopt::MuxOp;
+use hls_rtl::{AluAllocation, CostReport, Datapath};
+use hls_schedule::{chained_frames, priority_order, CStep, Schedule, Slot, TimeFrames, UnitId};
+
+use crate::frame::{feasible_step_range, FrameCtx};
+use crate::mfsa::cost::{CostModel, EstSource, RegEstimate};
+use crate::mfsa::{DesignStyle, MfsaConfig};
+use crate::MoveFrameError;
+
+/// One scheduling-allocation decision, for inspection and the ablation
+/// harness (recorded when [`MfsaConfig::with_trace`] is set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterationTrace {
+    /// The placed operation.
+    pub node: NodeId,
+    /// The chosen control step.
+    pub step: CStep,
+    /// The chosen ALU instance.
+    pub instance: u32,
+    /// Whether the instance was created (or upgraded) for this op.
+    pub new_instance: bool,
+    /// The Liapunov terms of the chosen position.
+    pub f_time: u64,
+    /// Incremental ALU term.
+    pub f_alu: u64,
+    /// Incremental multiplexer term.
+    pub f_mux: u64,
+    /// Incremental register term.
+    pub f_reg: u64,
+}
+
+impl IterationTrace {
+    /// The full Liapunov contribution of this decision.
+    pub fn f_total(&self) -> u64 {
+        self.f_time + self.f_alu + self.f_mux + self.f_reg
+    }
+}
+
+/// The result of an MFSA run: schedule, allocation, assembled data path
+/// and its cost report.
+#[derive(Debug, Clone)]
+pub struct MfsaOutcome {
+    /// The complete schedule (every unit an [`UnitId::Alu`]).
+    pub schedule: Schedule,
+    /// Instance → ALU-kind allocation.
+    pub allocation: AluAllocation,
+    /// The derived RTL structure.
+    pub datapath: Datapath,
+    /// Its Table-2 cost report.
+    pub cost: CostReport,
+    /// The ASAP/ALAP frames of the run.
+    pub frames: TimeFrames,
+    /// Per-iteration decisions (empty unless tracing was enabled).
+    pub trace: Vec<IterationTrace>,
+}
+
+/// Internal state of one allocated ALU instance.
+struct Instance {
+    kind_index: usize,
+    ops: Vec<NodeId>,
+    mux_ops: Vec<MuxOp<EstSource>>,
+    /// Wrapped step → occupants.
+    busy: BTreeMap<u32, Vec<NodeId>>,
+}
+
+/// One scored candidate position.
+struct Candidate {
+    step: CStep,
+    /// Existing instance index, or `None` for a new instance.
+    instance: Option<usize>,
+    /// Kind the instance will have after the move (new kind for
+    /// creations and upgrades; unchanged for plain reuse).
+    kind_index: usize,
+    f_time: u64,
+    f_alu: u64,
+    f_mux: u64,
+    f_reg: u64,
+    /// 0 = reuse, 1 = upgrade, 2 = new (tie-break order).
+    flavour: u8,
+}
+
+impl Candidate {
+    fn total(&self) -> u64 {
+        self.f_time + self.f_alu + self.f_mux + self.f_reg
+    }
+}
+
+/// Runs Move Frame Scheduling-Allocation on `dfg` under `spec` and
+/// `config`.
+///
+/// Each operation, in priority order, is offered every feasible
+/// `(control step, ALU)` position inside its move frame, where the ALU
+/// may be an existing compatible instance (`f_ALU = 0`), an existing
+/// instance *upgraded* to a multifunction kind covering its current
+/// operations plus the new one (`f_ALU =` the area difference — this is
+/// how function merging "can significantly decrease the overall ALU
+/// cost", §2.3), or a fresh instance of any capable kind
+/// (`f_ALU =` its area). The dynamic Liapunov function picks the
+/// cheapest position; ties break towards earlier steps, reuse before
+/// upgrade before creation, then lower instance numbers.
+///
+/// # Errors
+///
+/// * [`MoveFrameError::Schedule`] — infeasible time constraint;
+/// * [`MoveFrameError::NoCapableAlu`] — the library cannot perform some
+///   operation;
+/// * [`MoveFrameError::NoPosition`] — no dependency-feasible step exists
+///   (only possible for adversarial partial orders);
+/// * [`MoveFrameError::Dfg`] — folded loop bodies must be scheduled
+///   hierarchically (see [`crate::loops`]), not passed to MFSA.
+pub fn schedule(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    config: &MfsaConfig,
+) -> Result<MfsaOutcome, MoveFrameError> {
+    let cs = config.control_steps();
+    let library = config.library();
+
+    for (id, node) in dfg.nodes() {
+        if matches!(node.kind(), NodeKind::LoopBody { .. }) {
+            return Err(MoveFrameError::Dfg(hls_dfg::DfgError::EmptyLoop(
+                match node.kind() {
+                    NodeKind::LoopBody { loop_id, .. } => loop_id,
+                    _ => unreachable!(),
+                },
+            )));
+        }
+        let op = base_op(dfg, id);
+        if library.alus_supporting(op).next().is_none() {
+            return Err(MoveFrameError::NoCapableAlu { node: id });
+        }
+    }
+
+    let frames = match config.clock() {
+        Some(clock) => chained_frames(dfg, spec, clock, cs)?.into_frames(),
+        None => TimeFrames::compute(dfg, spec, cs)?,
+    };
+    let order = priority_order(dfg, spec, &frames);
+    let model = CostModel::new(library, config.weights());
+
+    let wrap = |step: u32| match config.latency() {
+        Some(l) => (step - 1) % l + 1,
+        None => step,
+    };
+
+    let mut sched = Schedule::new(dfg, cs);
+    let mut offsets: BTreeMap<NodeId, Delay> = BTreeMap::new();
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut reg_est = RegEstimate::new();
+    let mut trace = Vec::new();
+
+    for node in order {
+        let op = base_op(dfg, node);
+        let commutative = match dfg.node(node).kind() {
+            NodeKind::Op(k) => k.is_commutative(),
+            NodeKind::Stage { base, index, .. } => index == 0 && base.is_commutative(),
+            NodeKind::LoopBody { .. } => unreachable!("rejected above"),
+        };
+
+        let (earliest, latest, cycles, mux_op) = {
+            let ctx = FrameCtx {
+                dfg,
+                spec,
+                frames: &frames,
+                schedule: &sched,
+                clock: config.clock(),
+                offsets: &offsets,
+            };
+            let (e, l) = feasible_step_range(&ctx, node);
+            let cycles = ctx.effective_cycles(node);
+            // Operand sources for the f_MUX estimate (independent of the
+            // candidate position in this model).
+            let est = |sig: SignalId| -> EstSource {
+                match dfg.signal(sig).source() {
+                    SignalSource::PrimaryInput | SignalSource::Constant(_) => {
+                        EstSource::External(sig)
+                    }
+                    SignalSource::Node(p) => {
+                        if config.shares_interconnect() {
+                            match sched.slot(p).map(|s| s.unit) {
+                                Some(UnitId::Alu { instance }) => EstSource::FromAlu(instance),
+                                _ => EstSource::Signal(sig),
+                            }
+                        } else {
+                            EstSource::Signal(sig)
+                        }
+                    }
+                }
+            };
+            let inputs = dfg.node(node).inputs();
+            let mux_op = MuxOp {
+                left: est(inputs[0]),
+                right: inputs.get(1).map(|&s| est(s)),
+                commutative,
+            };
+            (e, l, cycles, mux_op)
+        };
+
+        let mut best: Option<Candidate> = None;
+        let mut consider = |c: Candidate| {
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (
+                        c.total(),
+                        c.step,
+                        c.flavour,
+                        c.instance.unwrap_or(usize::MAX),
+                        c.kind_index,
+                    ) < (
+                        b.total(),
+                        b.step,
+                        b.flavour,
+                        b.instance.unwrap_or(usize::MAX),
+                        b.kind_index,
+                    )
+                }
+            };
+            if better {
+                best = Some(c);
+            }
+        };
+
+        let mut step = earliest;
+        while step <= latest {
+            let dep_ok = {
+                let ctx = FrameCtx {
+                    dfg,
+                    spec,
+                    frames: &frames,
+                    schedule: &sched,
+                    clock: config.clock(),
+                    offsets: &offsets,
+                };
+                ctx.dep_feasible(node, step) && step.finish(cycles).get() <= cs
+            };
+            if dep_ok {
+                let f_time = model.f_time(step.get());
+                let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
+                let f_reg = model.f_reg(
+                    reg_est
+                        .count_with(&extensions)
+                        .saturating_sub(reg_est.count()),
+                );
+
+                // Existing instances: reuse or upgrade.
+                for (i, inst) in instances.iter().enumerate() {
+                    if !instance_free(inst, dfg, node, step, cycles, &wrap) {
+                        continue;
+                    }
+                    if config.style() == DesignStyle::NoSelfLoop {
+                        let related = inst
+                            .ops
+                            .iter()
+                            .any(|&o| dfg.preds(node).contains(&o) || dfg.succs(node).contains(&o));
+                        if related {
+                            continue;
+                        }
+                    }
+                    let cur_kind = &library.alus()[inst.kind_index];
+                    if cur_kind.supports(op) {
+                        consider(Candidate {
+                            step,
+                            instance: Some(i),
+                            kind_index: inst.kind_index,
+                            f_time,
+                            f_alu: 0,
+                            f_mux: model.f_mux(&inst.mux_ops, mux_op),
+                            f_reg,
+                            flavour: 0,
+                        });
+                    } else {
+                        // Cheapest superset kind covering old ops + op.
+                        let upgrade = library
+                            .alus()
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, k)| {
+                                k.supports(op) && cur_kind.ops().all(|o| k.supports(o))
+                            })
+                            .min_by_key(|(idx, k)| (k.area(), *idx));
+                        if let Some((kind_index, kind)) = upgrade {
+                            consider(Candidate {
+                                step,
+                                instance: Some(i),
+                                kind_index,
+                                f_time,
+                                f_alu: model.f_alu(kind.area().saturating_sub(cur_kind.area())),
+                                f_mux: model.f_mux(&inst.mux_ops, mux_op),
+                                f_reg,
+                                flavour: 1,
+                            });
+                        }
+                    }
+                }
+
+                // New instances of every capable kind.
+                for (kind_index, kind) in library.alus().iter().enumerate() {
+                    if !kind.supports(op) {
+                        continue;
+                    }
+                    consider(Candidate {
+                        step,
+                        instance: None,
+                        kind_index,
+                        f_time,
+                        f_alu: model.f_alu(kind.area()),
+                        f_mux: model.f_mux(&[], mux_op),
+                        f_reg,
+                        flavour: 2,
+                    });
+                }
+            }
+            step = step.offset(1);
+        }
+
+        let Some(chosen) = best else {
+            return Err(MoveFrameError::NoPosition {
+                node,
+                class: dfg.node(node).kind().fu_class(),
+                max_fu: instances.len() as u32,
+            });
+        };
+
+        // Commit the move.
+        let offset = {
+            let ctx = FrameCtx {
+                dfg,
+                spec,
+                frames: &frames,
+                schedule: &sched,
+                clock: config.clock(),
+                offsets: &offsets,
+            };
+            ctx.offset_after(node, chosen.step)
+        };
+        let instance_idx = match chosen.instance {
+            Some(i) => {
+                instances[i].kind_index = chosen.kind_index;
+                i
+            }
+            None => {
+                instances.push(Instance {
+                    kind_index: chosen.kind_index,
+                    ops: Vec::new(),
+                    mux_ops: Vec::new(),
+                    busy: BTreeMap::new(),
+                });
+                instances.len() - 1
+            }
+        };
+        let inst = &mut instances[instance_idx];
+        inst.ops.push(node);
+        inst.mux_ops.push(mux_op);
+        for k in 0..cycles as u32 {
+            inst.busy
+                .entry(wrap(chosen.step.get() + k))
+                .or_default()
+                .push(node);
+        }
+        sched.assign(
+            node,
+            Slot {
+                step: chosen.step,
+                unit: UnitId::Alu {
+                    instance: instance_idx as u32,
+                },
+            },
+        );
+        offsets.insert(node, offset);
+        let extensions = reg_extensions(dfg, &sched, spec, node, chosen.step, config);
+        reg_est.commit(&extensions);
+        if config.records_trace() {
+            trace.push(IterationTrace {
+                node,
+                step: chosen.step,
+                instance: instance_idx as u32,
+                new_instance: chosen.flavour != 0,
+                f_time: chosen.f_time,
+                f_alu: chosen.f_alu,
+                f_mux: chosen.f_mux,
+                f_reg: chosen.f_reg,
+            });
+        }
+    }
+
+    // Assemble the data path.
+    let mut allocation = AluAllocation::new();
+    for inst in &instances {
+        allocation.push(library.alus()[inst.kind_index].clone());
+    }
+    let datapath = Datapath::build(dfg, &sched, &allocation, spec)
+        .expect("MFSA produces structurally sound bindings");
+    let cost = CostReport::compute(&datapath, library);
+
+    Ok(MfsaOutcome {
+        schedule: sched,
+        allocation,
+        datapath,
+        cost,
+        frames,
+        trace,
+    })
+}
+
+/// The operator an ALU must support to execute `node`.
+fn base_op(dfg: &Dfg, node: NodeId) -> hls_celllib::OpKind {
+    match dfg.node(node).kind() {
+        NodeKind::Op(k) => k,
+        NodeKind::Stage { base, .. } => base,
+        NodeKind::LoopBody { .. } => unreachable!("rejected before scheduling"),
+    }
+}
+
+/// Whether `inst` can host `node` starting at `step` for `cycles` steps.
+fn instance_free(
+    inst: &Instance,
+    dfg: &Dfg,
+    node: NodeId,
+    step: CStep,
+    cycles: u8,
+    wrap: &impl Fn(u32) -> u32,
+) -> bool {
+    for k in 0..cycles as u32 {
+        if let Some(occ) = inst.busy.get(&wrap(step.get() + k)) {
+            if occ.iter().any(|&o| !dfg.mutually_exclusive(node, o)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The register-span extensions placing `node` at `step` would cause
+/// (inputs only, per §4.1).
+fn reg_extensions(
+    dfg: &Dfg,
+    sched: &Schedule,
+    spec: &TimingSpec,
+    node: NodeId,
+    step: CStep,
+    config: &MfsaConfig,
+) -> Vec<(SignalId, u32, u32)> {
+    let _ = config;
+    let mut out = Vec::new();
+    for &sig in dfg.node(node).inputs() {
+        match dfg.signal(sig).source() {
+            SignalSource::Constant(_) => {}
+            SignalSource::PrimaryInput => out.push((sig, 1, step.get())),
+            SignalSource::Node(p) => {
+                if let Some(p_finish) = sched.finish(p, dfg, spec) {
+                    if step > p_finish {
+                        out.push((sig, p_finish.get() + 1, step.get()));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mfsa::Weights;
+    use hls_celllib::{Library, OpKind};
+    use hls_dfg::DfgBuilder;
+    use hls_rtl::verify_datapath;
+    use hls_schedule::{verify, VerifyOptions};
+
+    fn assert_sound(dfg: &Dfg, spec: &TimingSpec, out: &MfsaOutcome, opts: VerifyOptions) {
+        let v = verify(dfg, &out.schedule, spec, opts);
+        assert!(v.is_empty(), "schedule violations: {v:?}");
+        let rv = verify_datapath(dfg, &out.schedule, &out.datapath, spec);
+        assert!(rv.is_empty(), "datapath violations: {rv:?}");
+    }
+
+    fn add_sub_chain() -> Dfg {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.op("a", OpKind::Add, &[x, y]).unwrap();
+        b.op("s", OpKind::Sub, &[a, y]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn merges_add_and_sub_into_one_multifunction_alu() {
+        let g = add_sub_chain();
+        let spec = TimingSpec::uniform_single_cycle();
+        let lib = Library::ncr_like();
+        let out = schedule(&g, &spec, &MfsaConfig::new(2, lib.clone())).unwrap();
+        assert_sound(&g, &spec, &out, VerifyOptions::default());
+        // Upgrading (+) to (+-) costs ~350 vs a fresh (-) at 2330: the
+        // Liapunov function must merge.
+        assert_eq!(out.allocation.len(), 1);
+        assert_eq!(out.datapath.alu_signature(), "(+-)");
+        let merged = lib.alu_by_name("add_sub").unwrap().area();
+        assert_eq!(out.cost.alu_area, merged);
+    }
+
+    #[test]
+    fn parallel_ops_get_parallel_alus() {
+        // Two independent adds forced into one step need two ALUs.
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("a1", OpKind::Add, &[x, x]).unwrap();
+        b.op("a2", OpKind::Add, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let out = schedule(&g, &spec, &MfsaConfig::new(1, Library::ncr_like())).unwrap();
+        assert_sound(&g, &spec, &out, VerifyOptions::default());
+        assert_eq!(out.allocation.len(), 2);
+    }
+
+    #[test]
+    fn sequential_same_type_ops_reuse_one_alu() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let a = b.op("a1", OpKind::Add, &[x, x]).unwrap();
+        let c = b.op("a2", OpKind::Add, &[a, x]).unwrap();
+        b.op("a3", OpKind::Add, &[c, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let out = schedule(&g, &spec, &MfsaConfig::new(3, Library::ncr_like())).unwrap();
+        assert_sound(&g, &spec, &out, VerifyOptions::default());
+        assert_eq!(out.allocation.len(), 1);
+        assert_eq!(out.datapath.alu_signature(), "(+)");
+    }
+
+    #[test]
+    fn style2_forbids_dependent_ops_on_one_alu() {
+        let g = add_sub_chain();
+        let spec = TimingSpec::uniform_single_cycle();
+        let config = MfsaConfig::new(2, Library::ncr_like()).with_style(DesignStyle::NoSelfLoop);
+        let out = schedule(&g, &spec, &config).unwrap();
+        assert_sound(&g, &spec, &out, VerifyOptions::default());
+        // a feeds s, so they may not share an ALU: two instances.
+        assert_eq!(out.allocation.len(), 2);
+    }
+
+    #[test]
+    fn style2_costs_at_least_style1() {
+        let g = add_sub_chain();
+        let spec = TimingSpec::uniform_single_cycle();
+        let lib = Library::ncr_like();
+        let s1 = schedule(&g, &spec, &MfsaConfig::new(2, lib.clone())).unwrap();
+        let s2 = schedule(
+            &g,
+            &spec,
+            &MfsaConfig::new(2, lib).with_style(DesignStyle::NoSelfLoop),
+        )
+        .unwrap();
+        assert!(s2.cost.total() >= s1.cost.total());
+    }
+
+    #[test]
+    fn earlier_steps_win_when_free() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("only", OpKind::Add, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let out = schedule(&g, &spec, &MfsaConfig::new(5, Library::ncr_like())).unwrap();
+        let only = g.node_by_name("only").unwrap();
+        assert_eq!(out.schedule.start(only), Some(CStep::new(1)));
+    }
+
+    #[test]
+    fn zero_time_weight_trades_steps_for_area() {
+        // Two independent adds, cs = 2. With w_TIME = 1 both land in
+        // step 1 on two ALUs; with w_TIME = 0 the second add reuses the
+        // single ALU in step 2.
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("a1", OpKind::Add, &[x, x]).unwrap();
+        b.op("a2", OpKind::Add, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let lib = Library::ncr_like();
+        let fast = schedule(&g, &spec, &MfsaConfig::new(2, lib.clone())).unwrap();
+        assert_eq!(fast.allocation.len(), 2);
+        let cheap = schedule(
+            &g,
+            &spec,
+            &MfsaConfig::new(2, lib).with_weights(Weights {
+                time: 0,
+                alu: 1,
+                mux: 1,
+                reg: 1,
+            }),
+        )
+        .unwrap();
+        assert_eq!(cheap.allocation.len(), 1);
+        assert!(cheap.cost.alu_area < fast.cost.alu_area);
+    }
+
+    #[test]
+    fn trace_records_monotone_liapunov_terms() {
+        let g = add_sub_chain();
+        let spec = TimingSpec::uniform_single_cycle();
+        let config = MfsaConfig::new(2, Library::ncr_like()).with_trace();
+        let out = schedule(&g, &spec, &config).unwrap();
+        assert_eq!(out.trace.len(), 2);
+        for t in &out.trace {
+            assert!(t.f_total() >= t.f_time);
+        }
+    }
+
+    #[test]
+    fn restricted_library_errors_on_unsupported_ops() {
+        let g = add_sub_chain();
+        let spec = TimingSpec::uniform_single_cycle();
+        let lib = Library::ncr_like().restricted(|a| !a.supports(OpKind::Sub));
+        let config = MfsaConfig::new(2, lib);
+        assert!(matches!(
+            schedule(&g, &spec, &config),
+            Err(MoveFrameError::NoCapableAlu { .. })
+        ));
+    }
+
+    #[test]
+    fn multicycle_ops_hold_their_alu() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("m1", OpKind::Mul, &[x, x]).unwrap();
+        b.op("m2", OpKind::Mul, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::two_cycle_multiply();
+        // cs = 2: both multiplies overlap, so two multiplier ALUs.
+        let out = schedule(&g, &spec, &MfsaConfig::new(2, Library::ncr_like())).unwrap();
+        assert_sound(&g, &spec, &out, VerifyOptions::default());
+        assert_eq!(out.allocation.len(), 2);
+        // cs = 4: sequential reuse of one multiplier is cheaper.
+        let out = schedule(&g, &spec, &MfsaConfig::new(4, Library::ncr_like())).unwrap();
+        assert_sound(&g, &spec, &out, VerifyOptions::default());
+        assert_eq!(out.allocation.len(), 2, "time term still dominates");
+        // With w_TIME = 0 the cost term forces reuse.
+        let cheap = schedule(
+            &g,
+            &spec,
+            &MfsaConfig::new(4, Library::ncr_like()).with_weights(Weights {
+                time: 0,
+                alu: 1,
+                mux: 1,
+                reg: 1,
+            }),
+        )
+        .unwrap();
+        assert_sound(&g, &spec, &cheap, VerifyOptions::default());
+        assert_eq!(cheap.allocation.len(), 1);
+    }
+
+    #[test]
+    fn mutually_exclusive_ops_share_an_alu_in_one_step() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let branch = b.begin_branch();
+        b.enter_arm(branch, 0);
+        b.op("t", OpKind::Add, &[x, x]).unwrap();
+        b.exit_arm();
+        b.enter_arm(branch, 1);
+        b.op("e", OpKind::Add, &[x, x]).unwrap();
+        b.exit_arm();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let out = schedule(&g, &spec, &MfsaConfig::new(1, Library::ncr_like())).unwrap();
+        assert_sound(&g, &spec, &out, VerifyOptions::default());
+        assert_eq!(out.allocation.len(), 1);
+    }
+
+    #[test]
+    fn functional_pipelining_shares_modulo_latency() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        for i in 0..4 {
+            b.op(&format!("m{i}"), OpKind::Mul, &[x, x]).unwrap();
+        }
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let config = MfsaConfig::new(4, Library::ncr_like()).with_latency(2);
+        let out = schedule(&g, &spec, &config).unwrap();
+        let opts = VerifyOptions {
+            latency: Some(2),
+            ..Default::default()
+        };
+        assert_sound(&g, &spec, &out, opts);
+        // Steps {1,3} and {2,4} collide: at least 2 multipliers.
+        assert!(out.allocation.len() >= 2);
+    }
+}

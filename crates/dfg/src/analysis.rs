@@ -1,0 +1,245 @@
+//! Graph analyses: critical path and operator mix.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hls_celllib::TimingSpec;
+
+use crate::node::{FuClass, NodeId};
+use crate::Dfg;
+
+/// The longest dependency chain of a DFG, measured in control steps under
+/// a [`TimingSpec`] (multi-cycle operations contribute their cycle
+/// count). Its length is the smallest time constraint for which an ALAP
+/// schedule exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    steps: usize,
+    nodes: Vec<NodeId>,
+}
+
+impl CriticalPath {
+    /// Computes the critical path of `dfg` under `spec`.
+    pub fn compute(dfg: &Dfg, spec: &TimingSpec) -> CriticalPath {
+        let n = dfg.node_count();
+        // finish[i] = earliest step index (1-based) at which node i's last
+        // cycle can complete.
+        let mut finish = vec![0usize; n];
+        let mut best_pred: Vec<Option<NodeId>> = vec![None; n];
+        for &id in dfg.topo_order() {
+            let cycles = dfg.node(id).kind().cycles(spec) as usize;
+            let mut start = 0;
+            for &p in dfg.preds(id) {
+                if finish[p.index()] > start {
+                    start = finish[p.index()];
+                    best_pred[id.index()] = Some(p);
+                }
+            }
+            finish[id.index()] = start + cycles;
+        }
+        let tail = (0..n)
+            .max_by_key(|&i| finish[i])
+            .map(|i| NodeId(i as u32))
+            .expect("graphs are non-empty");
+        let steps = finish[tail.index()];
+        let mut nodes = vec![tail];
+        let mut cur = tail;
+        while let Some(p) = best_pred[cur.index()] {
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        CriticalPath { steps, nodes }
+    }
+
+    /// Length in control steps: no schedule can be shorter.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// One longest chain, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+/// A multiset of functional-unit classes, printed in the paper's table
+/// notation: the class symbol repeated once per unit, classes separated
+/// by commas (e.g. `**,++,-` for 2 multipliers, 2 adders, 1 subtracter).
+///
+/// ```
+/// use hls_celllib::OpKind;
+/// use hls_dfg::{FuClass, OpMix};
+///
+/// let mut mix = OpMix::new();
+/// mix.add(FuClass::Op(OpKind::Mul), 2);
+/// mix.add(FuClass::Op(OpKind::Add), 2);
+/// mix.add(FuClass::Op(OpKind::Sub), 1);
+/// assert_eq!(mix.to_string(), "**,++,-");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpMix {
+    counts: BTreeMap<FuClass, usize>,
+}
+
+impl OpMix {
+    /// An empty mix.
+    pub fn new() -> Self {
+        OpMix::default()
+    }
+
+    /// The operator mix of a whole graph (one unit per operation).
+    pub fn of_graph(dfg: &Dfg) -> OpMix {
+        OpMix {
+            counts: dfg.class_counts(),
+        }
+    }
+
+    /// Adds `count` units of `class`.
+    pub fn add(&mut self, class: FuClass, count: usize) {
+        if count > 0 {
+            *self.counts.entry(class).or_insert(0) += count;
+        }
+    }
+
+    /// Units of `class`.
+    pub fn count(&self, class: FuClass) -> usize {
+        self.counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Total number of units.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Iterates `(class, count)` in class order.
+    pub fn iter(&self) -> impl Iterator<Item = (FuClass, usize)> + '_ {
+        self.counts.iter().map(|(&c, &n)| (c, n))
+    }
+}
+
+impl fmt::Display for OpMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Sort by descending unit weight: multipliers first, as in the
+        // paper's tables. FuClass order is already operator order; the
+        // paper lists `*` before `+` before `-`, which matches the
+        // symbol-importance order below.
+        let mut entries: Vec<(FuClass, usize)> =
+            self.counts.iter().map(|(&c, &n)| (c, n)).collect();
+        entries.sort_by_key(|&(c, _)| match c {
+            FuClass::Op(k) | FuClass::Stage { base: k, .. } => {
+                // Mul, Div first, then Add/Sub, then the rest.
+                let rank = match k {
+                    hls_celllib::OpKind::Mul => 0,
+                    hls_celllib::OpKind::Div => 1,
+                    hls_celllib::OpKind::Add => 2,
+                    hls_celllib::OpKind::Sub => 3,
+                    hls_celllib::OpKind::Inc => 4,
+                    hls_celllib::OpKind::Dec => 5,
+                    _ => 6,
+                };
+                (rank, c)
+            }
+            FuClass::Loop(_) => (7, c),
+        });
+        let mut first = true;
+        for (class, count) in entries {
+            if !first {
+                f.write_str(",")?;
+            }
+            first = false;
+            match class {
+                FuClass::Op(k) => {
+                    for _ in 0..count {
+                        f.write_str(k.symbol())?;
+                    }
+                }
+                other => write!(f, "{count}x{other}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(FuClass, usize)> for OpMix {
+    fn from_iter<I: IntoIterator<Item = (FuClass, usize)>>(iter: I) -> Self {
+        let mut mix = OpMix::new();
+        for (class, count) in iter {
+            mix.add(class, count);
+        }
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfgBuilder;
+    use hls_celllib::OpKind;
+
+    fn chain(len: usize) -> Dfg {
+        let mut b = DfgBuilder::new("chain");
+        let mut prev = b.input("x");
+        for i in 0..len {
+            prev = b.op(&format!("n{i}"), OpKind::Inc, &[prev]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn critical_path_of_chain_is_its_length() {
+        let g = chain(5);
+        let cp = CriticalPath::compute(&g, &TimingSpec::uniform_single_cycle());
+        assert_eq!(cp.steps(), 5);
+        assert_eq!(cp.nodes().len(), 5);
+    }
+
+    #[test]
+    fn multicycle_ops_lengthen_the_path() {
+        let mut b = DfgBuilder::new("mc");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.op("m", OpKind::Mul, &[x, y]).unwrap();
+        let _a = b.op("a", OpKind::Add, &[m, y]).unwrap();
+        let g = b.finish().unwrap();
+        let cp1 = CriticalPath::compute(&g, &TimingSpec::uniform_single_cycle());
+        assert_eq!(cp1.steps(), 2);
+        let cp2 = CriticalPath::compute(&g, &TimingSpec::two_cycle_multiply());
+        assert_eq!(cp2.steps(), 3);
+    }
+
+    #[test]
+    fn critical_path_nodes_form_a_dependency_chain() {
+        let g = chain(4);
+        let cp = CriticalPath::compute(&g, &TimingSpec::uniform_single_cycle());
+        for pair in cp.nodes().windows(2) {
+            assert!(g.preds(pair[1]).contains(&pair[0]));
+        }
+    }
+
+    #[test]
+    fn op_mix_display_matches_paper_notation() {
+        let mut mix = OpMix::new();
+        mix.add(FuClass::Op(OpKind::Add), 2);
+        mix.add(FuClass::Op(OpKind::Mul), 3);
+        mix.add(FuClass::Op(OpKind::Sub), 1);
+        assert_eq!(mix.to_string(), "***,++,-");
+        assert_eq!(mix.total(), 6);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Mul)), 3);
+    }
+
+    #[test]
+    fn op_mix_of_graph_counts_operations() {
+        let g = chain(3);
+        let mix = OpMix::of_graph(&g);
+        assert_eq!(mix.count(FuClass::Op(OpKind::Inc)), 3);
+    }
+
+    #[test]
+    fn zero_counts_are_not_stored() {
+        let mut mix = OpMix::new();
+        mix.add(FuClass::Op(OpKind::Add), 0);
+        assert_eq!(mix.total(), 0);
+        assert_eq!(mix.to_string(), "");
+    }
+}

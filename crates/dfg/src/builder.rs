@@ -1,0 +1,338 @@
+//! Fluent construction of data-flow graphs.
+
+use std::collections::BTreeSet;
+
+use hls_celllib::OpKind;
+
+use crate::graph::LoopRegion;
+use crate::node::{LoopId, Node, NodeId, NodeKind};
+use crate::signal::{BranchArm, BranchId, BranchPath, Signal, SignalId, SignalSource};
+use crate::{Dfg, DfgError};
+
+/// Incremental builder for [`Dfg`] values.
+///
+/// Operations are added in behavioural order; conditional arms and loop
+/// regions are entered/exited with a stack discipline:
+///
+/// ```
+/// use hls_celllib::OpKind;
+/// use hls_dfg::DfgBuilder;
+///
+/// # fn main() -> Result<(), hls_dfg::DfgError> {
+/// let mut b = DfgBuilder::new("cond");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let branch = b.begin_branch();
+/// b.enter_arm(branch, 0);
+/// let t = b.op("t", OpKind::Add, &[x, y])?;
+/// b.exit_arm();
+/// b.enter_arm(branch, 1);
+/// let e = b.op("e", OpKind::Sub, &[x, y])?;
+/// b.exit_arm();
+/// let _m = b.op("m", OpKind::Or, &[t, e])?;
+/// let dfg = b.finish()?;
+/// let t = dfg.node_by_name("t").unwrap();
+/// let e = dfg.node_by_name("e").unwrap();
+/// assert!(dfg.mutually_exclusive(t, e));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DfgBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    signals: Vec<Signal>,
+    loops: Vec<LoopRegion>,
+    names: BTreeSet<String>,
+    next_branch: u32,
+    branch_stack: Vec<BranchArm>,
+    loop_stack: Vec<LoopId>,
+}
+
+impl DfgBuilder {
+    /// Starts an empty graph named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        DfgBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            signals: Vec::new(),
+            loops: Vec::new(),
+            names: BTreeSet::new(),
+            next_branch: 0,
+            branch_stack: Vec::new(),
+            loop_stack: Vec::new(),
+        }
+    }
+
+    fn intern_name(&mut self, name: &str) -> Result<(), DfgError> {
+        if !self.names.insert(name.to_string()) {
+            return Err(DfgError::DuplicateName(name.to_string()));
+        }
+        Ok(())
+    }
+
+    fn push_signal(&mut self, name: String, source: SignalSource) -> SignalId {
+        let id = SignalId(self.signals.len() as u32);
+        self.signals.push(Signal { name, source });
+        id
+    }
+
+    /// Declares a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken; inputs are declared first and
+    /// a clash is a programming error in the caller's benchmark code.
+    pub fn input(&mut self, name: &str) -> SignalId {
+        self.intern_name(name)
+            .unwrap_or_else(|e| panic!("input: {e}"));
+        self.push_signal(name.to_string(), SignalSource::PrimaryInput)
+    }
+
+    /// Declares a named constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken (see [`DfgBuilder::input`]).
+    pub fn constant(&mut self, name: &str, value: i64) -> SignalId {
+        self.intern_name(name)
+            .unwrap_or_else(|e| panic!("constant: {e}"));
+        self.push_signal(name.to_string(), SignalSource::Constant(value))
+    }
+
+    /// Adds an operation node named `name` computing `kind` over
+    /// `inputs`; returns its output signal (also named `name`).
+    ///
+    /// # Errors
+    ///
+    /// [`DfgError::DuplicateName`] if `name` is taken;
+    /// [`DfgError::ArityMismatch`] if `inputs.len()` ≠ the operator's
+    /// arity; [`DfgError::ForeignSignal`] if an input id is out of range.
+    pub fn op(
+        &mut self,
+        name: &str,
+        kind: OpKind,
+        inputs: &[SignalId],
+    ) -> Result<SignalId, DfgError> {
+        if inputs.len() != kind.arity() {
+            return Err(DfgError::ArityMismatch {
+                node: name.to_string(),
+                expected: kind.arity(),
+                got: inputs.len(),
+            });
+        }
+        self.raw_node(name, NodeKind::Op(kind), inputs)
+    }
+
+    /// Adds a node of any [`NodeKind`] (stage and loop-body nodes are
+    /// normally produced by the transformations, but the harnesses need
+    /// this to construct mid-transformation graphs directly).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DfgBuilder::op`], with the arity check relaxed to
+    /// 1–2 inputs for non-`Op` kinds.
+    pub fn raw_node(
+        &mut self,
+        name: &str,
+        kind: NodeKind,
+        inputs: &[SignalId],
+    ) -> Result<SignalId, DfgError> {
+        self.intern_name(name)?;
+        for &input in inputs {
+            if input.index() >= self.signals.len() {
+                return Err(DfgError::ForeignSignal(input));
+            }
+        }
+        let node_id = NodeId(self.nodes.len() as u32);
+        let output = self.push_signal(name.to_string(), SignalSource::Node(node_id));
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            branch: BranchPath::from_arms(self.branch_stack.iter().copied()),
+            loop_id: self.loop_stack.last().copied(),
+        });
+        Ok(output)
+    }
+
+    /// Allocates a fresh conditional construct. Arms are then entered
+    /// with [`DfgBuilder::enter_arm`].
+    pub fn begin_branch(&mut self) -> BranchId {
+        let id = BranchId::new(self.next_branch);
+        self.next_branch += 1;
+        id
+    }
+
+    /// Enters arm `arm` of `branch`; subsequent operations belong to it.
+    pub fn enter_arm(&mut self, branch: BranchId, arm: u32) {
+        self.branch_stack.push(BranchArm { branch, arm });
+    }
+
+    /// Leaves the innermost conditional arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no arm is open (builder misuse).
+    pub fn exit_arm(&mut self) {
+        self.branch_stack
+            .pop()
+            .expect("exit_arm called with no open arm");
+    }
+
+    /// Opens a loop region with a local time constraint (control steps
+    /// for one iteration, paper §5.2). Nested loops are allowed.
+    pub fn begin_loop(&mut self, name: &str, time_constraint: u8) -> LoopId {
+        let id = LoopId::new(self.loops.len() as u32);
+        self.loops.push(LoopRegion {
+            id,
+            name: name.to_string(),
+            parent: self.loop_stack.last().copied(),
+            time_constraint,
+        });
+        self.loop_stack.push(id);
+        id
+    }
+
+    /// Closes the innermost loop region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop is open (builder misuse).
+    pub fn end_loop(&mut self) {
+        self.loop_stack
+            .pop()
+            .expect("end_loop called with no open loop");
+    }
+
+    /// Validates and returns the graph.
+    ///
+    /// # Errors
+    ///
+    /// [`DfgError::Empty`] for a graph without operations and
+    /// [`DfgError::Cycle`] if the dependencies are cyclic (unreachable
+    /// through this builder's safe methods, but checked uniformly).
+    pub fn finish(self) -> Result<Dfg, DfgError> {
+        Dfg::from_parts(self.name, self.nodes, self.signals, self.loops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_op_name_is_an_error() {
+        let mut b = DfgBuilder::new("dup");
+        let x = b.input("x");
+        let y = b.input("y");
+        b.op("t", OpKind::Add, &[x, y]).unwrap();
+        assert_eq!(
+            b.op("t", OpKind::Sub, &[x, y]).unwrap_err(),
+            DfgError::DuplicateName("t".into())
+        );
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let mut b = DfgBuilder::new("arity");
+        let x = b.input("x");
+        assert!(matches!(
+            b.op("t", OpKind::Add, &[x]),
+            Err(DfgError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+        let y = b.input("y");
+        assert!(matches!(
+            b.op("u", OpKind::Inc, &[x, y]),
+            Err(DfgError::ArityMismatch {
+                expected: 1,
+                got: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unary_ops_take_one_input() {
+        let mut b = DfgBuilder::new("unary");
+        let x = b.input("x");
+        let i = b.op("i", OpKind::Inc, &[x]).unwrap();
+        let _d = b.op("d", OpKind::Dec, &[i]).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn loop_membership_is_recorded() {
+        let mut b = DfgBuilder::new("loops");
+        let x = b.input("x");
+        let outer = b.begin_loop("outer", 10);
+        let t = b.op("t", OpKind::Add, &[x, x]).unwrap();
+        let inner = b.begin_loop("inner", 4);
+        let _u = b.op("u", OpKind::Mul, &[t, t]).unwrap();
+        b.end_loop();
+        b.end_loop();
+        let g = b.finish().unwrap();
+        let t = g.node_by_name("t").unwrap();
+        let u = g.node_by_name("u").unwrap();
+        assert_eq!(g.node(t).loop_id(), Some(outer));
+        assert_eq!(g.node(u).loop_id(), Some(inner));
+        assert_eq!(g.loop_region(inner).unwrap().parent(), Some(outer));
+        assert_eq!(g.loop_region(inner).unwrap().time_constraint(), 4);
+        assert_eq!(g.loop_members(inner), vec![u]);
+    }
+
+    #[test]
+    fn branch_stack_nesting() {
+        let mut b = DfgBuilder::new("nest");
+        let x = b.input("x");
+        let outer = b.begin_branch();
+        b.enter_arm(outer, 0);
+        let inner = b.begin_branch();
+        b.enter_arm(inner, 0);
+        b.op("a", OpKind::Inc, &[x]).unwrap();
+        b.exit_arm();
+        b.enter_arm(inner, 1);
+        b.op("c", OpKind::Dec, &[x]).unwrap();
+        b.exit_arm();
+        b.exit_arm();
+        b.enter_arm(outer, 1);
+        b.op("d", OpKind::Neg, &[x]).unwrap();
+        b.exit_arm();
+        let g = b.finish().unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let c = g.node_by_name("c").unwrap();
+        let d = g.node_by_name("d").unwrap();
+        assert!(g.mutually_exclusive(a, c));
+        assert!(g.mutually_exclusive(a, d));
+        assert!(g.mutually_exclusive(c, d));
+        assert_eq!(g.node(a).branch().arms().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open arm")]
+    fn exit_arm_without_enter_panics() {
+        let mut b = DfgBuilder::new("x");
+        b.exit_arm();
+    }
+
+    #[test]
+    fn foreign_signal_rejected() {
+        let mut other = DfgBuilder::new("other");
+        for i in 0..10 {
+            other.input(&format!("i{i}"));
+        }
+        let foreign = SignalId(9);
+        let mut b = DfgBuilder::new("b");
+        let _x = b.input("x");
+        assert!(matches!(
+            b.op("t", OpKind::Inc, &[foreign]),
+            Err(DfgError::ForeignSignal(_))
+        ));
+    }
+}

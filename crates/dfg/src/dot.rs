@@ -1,0 +1,91 @@
+//! Graphviz (DOT) export.
+
+use std::fmt::Write as _;
+
+use crate::signal::SignalSource;
+use crate::Dfg;
+
+impl Dfg {
+    /// Renders the graph in Graphviz DOT syntax: operation nodes as
+    /// boxes labelled `name: kind`, primary inputs/constants as plain
+    /// ellipses, and mutual-exclusion context in the tooltip.
+    ///
+    /// ```
+    /// use hls_celllib::OpKind;
+    /// use hls_dfg::DfgBuilder;
+    ///
+    /// # fn main() -> Result<(), hls_dfg::DfgError> {
+    /// let mut b = DfgBuilder::new("g");
+    /// let x = b.input("x");
+    /// let _t = b.op("t", OpKind::Inc, &[x])?;
+    /// let dot = b.finish()?.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("\"t\""));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=TB;");
+        // External signals that are actually consumed.
+        for (sid, sig) in self.signals() {
+            if sig.is_external() && !self.consumers(sid).is_empty() {
+                let shape = match sig.source() {
+                    SignalSource::Constant(v) => format!("label=\"{} = {v}\"", sig.name()),
+                    _ => format!("label=\"{}\"", sig.name()),
+                };
+                let _ = writeln!(out, "  \"{}\" [shape=ellipse, {shape}];", sig.name());
+            }
+        }
+        for (_, node) in self.nodes() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape=box, label=\"{}: {}\", tooltip=\"{}\"];",
+                node.name(),
+                node.name(),
+                node.kind(),
+                node.branch(),
+            );
+        }
+        for (_, node) in self.nodes() {
+            for &input in node.inputs() {
+                let src = self.signal(input);
+                let _ = writeln!(out, "  \"{}\" -> \"{}\";", src.name(), node.name());
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DfgBuilder;
+    use hls_celllib::OpKind;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let c = b.constant("three", 3);
+        let t = b.op("t", OpKind::Mul, &[x, c]).unwrap();
+        let _u = b.op("u", OpKind::Add, &[t, x]).unwrap();
+        let dot = b.finish().unwrap().to_dot();
+        assert!(dot.contains("\"x\" -> \"t\""));
+        assert!(dot.contains("\"three\" -> \"t\""));
+        assert!(dot.contains("\"t\" -> \"u\""));
+        assert!(dot.contains("three = 3"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn unused_inputs_are_omitted() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let _unused = b.input("unused");
+        let _t = b.op("t", OpKind::Inc, &[x]).unwrap();
+        let dot = b.finish().unwrap().to_dot();
+        assert!(!dot.contains("unused"));
+    }
+}

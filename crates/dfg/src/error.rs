@@ -1,0 +1,99 @@
+//! Error type for DFG construction and analysis.
+
+use std::fmt;
+
+use crate::{NodeId, SignalId};
+
+/// Error produced while building, parsing or analysing a DFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DfgError {
+    /// A signal or node name was declared twice.
+    DuplicateName(String),
+    /// A referenced signal does not exist.
+    UnknownSignal(String),
+    /// A node received the wrong number of inputs for its operation.
+    ArityMismatch {
+        /// The offending node's name.
+        node: String,
+        /// Inputs the operation expects.
+        expected: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+    /// The graph contains a dependency cycle through these nodes.
+    Cycle(Vec<NodeId>),
+    /// The graph has no operation nodes.
+    Empty,
+    /// A signal id from a different graph was used.
+    ForeignSignal(SignalId),
+    /// Text-format parse error at the given 1-based line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A transformation was asked to fold a loop that has no nodes.
+    EmptyLoop(crate::LoopId),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            DfgError::UnknownSignal(name) => write!(f, "unknown signal `{name}`"),
+            DfgError::ArityMismatch {
+                node,
+                expected,
+                got,
+            } => write!(
+                f,
+                "node `{node}` expects {expected} input(s) but received {got}"
+            ),
+            DfgError::Cycle(nodes) => {
+                write!(f, "dependency cycle through ")?;
+                for (i, n) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" -> ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+            DfgError::Empty => f.write_str("the data-flow graph has no operations"),
+            DfgError::ForeignSignal(id) => {
+                write!(f, "signal {id} does not belong to this graph")
+            }
+            DfgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DfgError::EmptyLoop(id) => write!(f, "loop {id} contains no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoopId;
+
+    #[test]
+    fn display_variants() {
+        assert!(DfgError::DuplicateName("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(DfgError::Empty.to_string().contains("no operations"));
+        let arity = DfgError::ArityMismatch {
+            node: "t1".into(),
+            expected: 2,
+            got: 1,
+        };
+        assert!(arity.to_string().contains("t1"));
+        let cycle = DfgError::Cycle(vec![NodeId(0), NodeId(1)]);
+        assert!(cycle.to_string().contains("n0 -> n1"));
+        assert!(DfgError::EmptyLoop(LoopId::new(2))
+            .to_string()
+            .contains("L2"));
+    }
+}

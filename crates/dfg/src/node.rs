@@ -1,0 +1,275 @@
+//! Operation nodes and functional-unit classes.
+
+use std::fmt;
+
+use hls_celllib::{Delay, OpKind, TimingSpec};
+
+use crate::signal::{BranchPath, SignalId};
+
+/// Identifier of a [`Node`] within one [`crate::Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a loop region (used by loop folding, paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub(crate) u32);
+
+impl LoopId {
+    /// Creates a loop id.
+    pub fn new(raw: u32) -> Self {
+        LoopId(raw)
+    }
+}
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// What a node computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An ordinary operation.
+    Op(OpKind),
+    /// One stage of a structurally pipelined multi-cycle operation
+    /// (paper §5.5.1): stage `index` of `of` of a pipelined `base` unit.
+    /// Stage nodes are produced by
+    /// [`crate::transform::expand_structural_stages`] and "represent
+    /// different stages of a multi-stage pipelined functional unit".
+    Stage {
+        /// The operation being pipelined (e.g. `Mul`).
+        base: OpKind,
+        /// Zero-based stage index.
+        index: u8,
+        /// Total number of stages.
+        of: u8,
+    },
+    /// A folded inner loop treated "as a single operation with an
+    /// execution time that is equal to the loop's local time constraint"
+    /// (paper §5.2).
+    LoopBody {
+        /// The folded loop.
+        loop_id: LoopId,
+        /// Its local time constraint in control steps.
+        cycles: u8,
+    },
+}
+
+impl NodeKind {
+    /// The plain operation kind, when the node is an ordinary op.
+    pub fn op(self) -> Option<OpKind> {
+        match self {
+            NodeKind::Op(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Control steps this node occupies under `spec`.
+    pub fn cycles(self, spec: &TimingSpec) -> u8 {
+        match self {
+            NodeKind::Op(k) => spec.cycles(k),
+            NodeKind::Stage { .. } => 1,
+            NodeKind::LoopBody { cycles, .. } => cycles,
+        }
+    }
+
+    /// Combinational delay of the node under `spec` (used by chaining).
+    pub fn delay(self, spec: &TimingSpec) -> Delay {
+        match self {
+            NodeKind::Op(k) => spec.delay(k),
+            // A pipeline stage occupies a full step by construction.
+            NodeKind::Stage { .. } => Delay::ZERO,
+            NodeKind::LoopBody { .. } => Delay::ZERO,
+        }
+    }
+
+    /// The functional-unit class ("type j" in the paper's 3-D placement
+    /// space) this node is scheduled on.
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            NodeKind::Op(k) => FuClass::Op(k),
+            NodeKind::Stage { base, index, .. } => FuClass::Stage { base, index },
+            NodeKind::LoopBody { loop_id, .. } => FuClass::Loop(loop_id),
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Op(k) => write!(f, "{k}"),
+            NodeKind::Stage { base, index, of } => write!(f, "{base}#{}/{of}", index + 1),
+            NodeKind::LoopBody { loop_id, cycles } => write!(f, "{loop_id}[{cycles}]"),
+        }
+    }
+}
+
+/// A functional-unit *type*: one 2-D placement table of the paper's 3-D
+/// space. Ordinary ops map to their operator; structural pipeline stages
+/// map to per-stage classes ("single-cycle operations of different
+/// types", §5.5.1); folded loops get a dedicated class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FuClass {
+    /// Functional units performing one operator.
+    Op(OpKind),
+    /// Stage `index` of a pipelined `base` unit.
+    Stage {
+        /// The pipelined operator.
+        base: OpKind,
+        /// Zero-based stage index.
+        index: u8,
+    },
+    /// The datapath of a folded loop.
+    Loop(LoopId),
+}
+
+impl FuClass {
+    /// The underlying operator for `Op` and `Stage` classes.
+    pub fn base_op(self) -> Option<OpKind> {
+        match self {
+            FuClass::Op(k) => Some(k),
+            FuClass::Stage { base, .. } => Some(base),
+            FuClass::Loop(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuClass::Op(k) => write!(f, "{k}"),
+            FuClass::Stage { base, index } => write!(f, "{base}#{}", index + 1),
+            FuClass::Loop(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+/// One operation node of the DFG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+    pub(crate) inputs: Vec<SignalId>,
+    pub(crate) output: SignalId,
+    pub(crate) branch: BranchPath,
+    pub(crate) loop_id: Option<LoopId>,
+}
+
+impl Node {
+    /// The node's behavioural name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What the node computes.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Input signals, in operand order (1 or 2 entries).
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// The produced signal.
+    pub fn output(&self) -> SignalId {
+        self.output
+    }
+
+    /// Conditional context (for mutual exclusion).
+    pub fn branch(&self) -> &BranchPath {
+        &self.branch
+    }
+
+    /// The loop region containing this node, if any.
+    pub fn loop_id(&self) -> Option<LoopId> {
+        self.loop_id
+    }
+
+    /// Whether this node and `other` are mutually exclusive (different
+    /// arms of a common conditional) and may therefore share a position.
+    pub fn excludes(&self, other: &Node) -> bool {
+        self.branch.excludes(&other.branch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_cycles_follow_timing_spec() {
+        let spec = TimingSpec::two_cycle_multiply();
+        assert_eq!(NodeKind::Op(OpKind::Mul).cycles(&spec), 2);
+        assert_eq!(NodeKind::Op(OpKind::Add).cycles(&spec), 1);
+    }
+
+    #[test]
+    fn stage_nodes_are_single_cycle() {
+        let spec = TimingSpec::two_cycle_multiply();
+        let stage = NodeKind::Stage {
+            base: OpKind::Mul,
+            index: 0,
+            of: 2,
+        };
+        assert_eq!(stage.cycles(&spec), 1);
+    }
+
+    #[test]
+    fn loop_body_cycles_are_fixed() {
+        let spec = TimingSpec::uniform_single_cycle();
+        let body = NodeKind::LoopBody {
+            loop_id: LoopId(0),
+            cycles: 5,
+        };
+        assert_eq!(body.cycles(&spec), 5);
+    }
+
+    #[test]
+    fn fu_class_separates_stages() {
+        let s0 = NodeKind::Stage {
+            base: OpKind::Mul,
+            index: 0,
+            of: 2,
+        };
+        let s1 = NodeKind::Stage {
+            base: OpKind::Mul,
+            index: 1,
+            of: 2,
+        };
+        assert_ne!(s0.fu_class(), s1.fu_class());
+        assert_ne!(s0.fu_class(), NodeKind::Op(OpKind::Mul).fu_class());
+        assert_eq!(s0.fu_class().base_op(), Some(OpKind::Mul));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeKind::Op(OpKind::Add).to_string(), "+");
+        let s = NodeKind::Stage {
+            base: OpKind::Mul,
+            index: 1,
+            of: 2,
+        };
+        assert_eq!(s.to_string(), "*#2/2");
+        let l = NodeKind::LoopBody {
+            loop_id: LoopId(3),
+            cycles: 4,
+        };
+        assert_eq!(l.to_string(), "L3[4]");
+        assert_eq!(FuClass::Op(OpKind::Add).to_string(), "+");
+    }
+}

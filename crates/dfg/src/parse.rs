@@ -1,0 +1,308 @@
+//! A small textual format for data-flow graphs.
+//!
+//! The grammar, one statement per line (`#` starts a comment):
+//!
+//! ```text
+//! dfg NAME                     # optional header; defaults to "dfg"
+//! input  a, b, c
+//! const  three = 3
+//! op     t1 = mul(a, b)                # op NAME = KIND(ARGS)
+//! op     t2 = add(t1, c) @branch(0.1)  # optional branch annotation
+//! ```
+//!
+//! Operation kinds accept both short names (`mul`) and symbols (`*`).
+//! Branch annotations give the full nested path as dot pairs separated by
+//! slashes: `@branch(0.0/1.2)` means arm 0 of branch 0, then arm 2 of
+//! branch 1. Loops are not expressible in the text format; use
+//! [`crate::DfgBuilder`] for hierarchical graphs.
+
+use std::collections::BTreeMap;
+
+use hls_celllib::OpKind;
+
+use crate::signal::{BranchArm, BranchId, BranchPath};
+use crate::{Dfg, DfgBuilder, DfgError, SignalId};
+
+fn err(line: usize, message: impl Into<String>) -> DfgError {
+    DfgError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the textual DFG format described in the module docs.
+///
+/// ```
+/// let text = "
+///     dfg demo
+///     input x, dx
+///     const three = 3
+///     op t1 = mul(x, dx)
+///     op t2 = add(t1, three)
+/// ";
+/// let dfg = hls_dfg::parse_dfg(text)?;
+/// assert_eq!(dfg.name(), "demo");
+/// assert_eq!(dfg.node_count(), 2);
+/// # Ok::<(), hls_dfg::DfgError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`DfgError::Parse`] with the offending 1-based line for any
+/// syntax problem, and the usual structural errors ([`DfgError::UnknownSignal`],
+/// [`DfgError::DuplicateName`], …) for semantic ones.
+pub fn parse_dfg(text: &str) -> Result<Dfg, DfgError> {
+    let mut name = String::from("dfg");
+    let mut signals: BTreeMap<String, SignalId> = BTreeMap::new();
+    // The builder tracks the branch stack itself, but the text format
+    // gives absolute paths per op; collect ops first, then build.
+    struct PendingOp {
+        line: usize,
+        name: String,
+        kind: OpKind,
+        args: Vec<String>,
+        branch: BranchPath,
+    }
+    let mut inputs: Vec<String> = Vec::new();
+    let mut constants: Vec<(String, i64)> = Vec::new();
+    let mut ops: Vec<PendingOp> = Vec::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (head, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match head {
+            "dfg" => {
+                if rest.is_empty() {
+                    return Err(err(lineno, "expected a name after `dfg`"));
+                }
+                name = rest.to_string();
+            }
+            "input" => {
+                for n in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    inputs.push(n.to_string());
+                }
+            }
+            "const" => {
+                let (n, v) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err(lineno, "expected `const NAME = VALUE`"))?;
+                let value: i64 = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, format!("invalid constant value `{}`", v.trim())))?;
+                constants.push((n.trim().to_string(), value));
+            }
+            "op" => {
+                let (op_name, call) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err(lineno, "expected `op NAME = KIND(ARGS)`"))?;
+                let call = call.trim();
+                let (call_part, branch) = match call.split_once('@') {
+                    None => (call, BranchPath::top_level()),
+                    Some((c, ann)) => {
+                        let ann = ann.trim();
+                        let inner = ann
+                            .strip_prefix("branch(")
+                            .and_then(|s| s.strip_suffix(')'))
+                            .ok_or_else(|| err(lineno, "expected `@branch(B.A/…)`"))?;
+                        let mut arms = Vec::new();
+                        for pair in inner.split('/') {
+                            let (b, a) = pair
+                                .split_once('.')
+                                .ok_or_else(|| err(lineno, "branch arm must be `B.A`"))?;
+                            let branch: u32 = b
+                                .trim()
+                                .parse()
+                                .map_err(|_| err(lineno, "branch id must be an integer"))?;
+                            let arm: u32 = a
+                                .trim()
+                                .parse()
+                                .map_err(|_| err(lineno, "arm id must be an integer"))?;
+                            arms.push(BranchArm {
+                                branch: BranchId::new(branch),
+                                arm,
+                            });
+                        }
+                        (c.trim(), BranchPath::from_arms(arms))
+                    }
+                };
+                let open = call_part
+                    .find('(')
+                    .ok_or_else(|| err(lineno, "expected `KIND(ARGS)`"))?;
+                let close = call_part
+                    .rfind(')')
+                    .ok_or_else(|| err(lineno, "missing `)`"))?;
+                if close < open {
+                    return Err(err(lineno, "mismatched parentheses"));
+                }
+                let kind: OpKind = call_part[..open]
+                    .trim()
+                    .parse()
+                    .map_err(|e| err(lineno, format!("{e}")))?;
+                let args: Vec<String> = call_part[open + 1..close]
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                ops.push(PendingOp {
+                    line: lineno,
+                    name: op_name.trim().to_string(),
+                    kind,
+                    args,
+                    branch,
+                });
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    format!("unknown statement `{other}` (expected dfg/input/const/op)"),
+                ));
+            }
+        }
+    }
+
+    let mut b = DfgBuilder::new(name);
+    for n in &inputs {
+        if signals.contains_key(n) {
+            return Err(DfgError::DuplicateName(n.clone()));
+        }
+        let id = b.input(n);
+        signals.insert(n.clone(), id);
+    }
+    for (n, v) in &constants {
+        if signals.contains_key(n) {
+            return Err(DfgError::DuplicateName(n.clone()));
+        }
+        let id = b.constant(n, *v);
+        signals.insert(n.clone(), id);
+    }
+    for op in &ops {
+        let mut arg_ids = Vec::with_capacity(op.args.len());
+        for a in &op.args {
+            let id = signals
+                .get(a)
+                .copied()
+                .ok_or_else(|| DfgError::UnknownSignal(a.clone()))?;
+            arg_ids.push(id);
+        }
+        if arg_ids.len() != op.kind.arity() {
+            return Err(err(
+                op.line,
+                format!(
+                    "`{}` expects {} argument(s), got {}",
+                    op.kind,
+                    op.kind.arity(),
+                    arg_ids.len()
+                ),
+            ));
+        }
+        // Reproduce the builder's branch bookkeeping with an absolute
+        // path: temporarily push the arms around the single op.
+        for arm in op.branch.arms() {
+            b.enter_arm(arm.branch, arm.arm);
+        }
+        let out = b.op(&op.name, op.kind, &arg_ids)?;
+        for _ in op.branch.arms() {
+            b.exit_arm();
+        }
+        signals.insert(op.name.clone(), out);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_small_graph() {
+        let g = parse_dfg(
+            "dfg demo\n\
+             input a, b\n\
+             const k = 7\n\
+             op p = *(a, b)\n\
+             op q = add(p, k)  # trailing comment\n",
+        )
+        .unwrap();
+        assert_eq!(g.name(), "demo");
+        assert_eq!(g.node_count(), 2);
+        let p = g.node_by_name("p").unwrap();
+        let q = g.node_by_name("q").unwrap();
+        assert_eq!(g.preds(q), &[p]);
+    }
+
+    #[test]
+    fn branch_annotations_create_exclusive_ops() {
+        let g = parse_dfg(
+            "input a, b\n\
+             op t = add(a, b) @branch(0.0)\n\
+             op e = sub(a, b) @branch(0.1)\n",
+        )
+        .unwrap();
+        let t = g.node_by_name("t").unwrap();
+        let e = g.node_by_name("e").unwrap();
+        assert!(g.mutually_exclusive(t, e));
+    }
+
+    #[test]
+    fn nested_branch_paths() {
+        let g = parse_dfg(
+            "input a\n\
+             op t = inc(a) @branch(0.0/1.0)\n\
+             op u = dec(a) @branch(0.0/1.1)\n",
+        )
+        .unwrap();
+        let t = g.node_by_name("t").unwrap();
+        assert_eq!(g.node(t).branch().arms().len(), 2);
+        let u = g.node_by_name("u").unwrap();
+        assert!(g.mutually_exclusive(t, u));
+    }
+
+    #[test]
+    fn unknown_signal_is_reported() {
+        let e = parse_dfg("input a\nop t = add(a, missing)\n").unwrap_err();
+        assert_eq!(e, DfgError::UnknownSignal("missing".into()));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let e = parse_dfg("input a\nop t = add a\n").unwrap_err();
+        assert!(matches!(e, DfgError::Parse { line: 2, .. }));
+        let e = parse_dfg("bogus statement\n").unwrap_err();
+        assert!(matches!(e, DfgError::Parse { line: 1, .. }));
+        let e = parse_dfg("const k = x\n").unwrap_err();
+        assert!(matches!(e, DfgError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn arity_errors_are_caught_at_parse_time() {
+        let e = parse_dfg("input a\nop t = add(a)\n").unwrap_err();
+        assert!(matches!(e, DfgError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_op_kind_is_reported() {
+        let e = parse_dfg("input a, b\nop t = frobnicate(a, b)\n").unwrap_err();
+        assert!(matches!(e, DfgError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn ops_can_feed_later_ops_by_name() {
+        let g = parse_dfg(
+            "input a\n\
+             op t = inc(a)\n\
+             op u = inc(t)\n\
+             op v = add(t, u)\n",
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 3);
+        let v = g.node_by_name("v").unwrap();
+        assert_eq!(g.preds(v).len(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Serialisation back to the textual DFG format (the inverse of
+//! [`crate::parse_dfg`]).
+
+use std::fmt::Write as _;
+
+use crate::signal::SignalSource;
+use crate::{Dfg, NodeKind};
+
+impl Dfg {
+    /// Renders the graph in the textual format accepted by
+    /// [`crate::parse_dfg`]. Round-trips exactly for graphs expressible
+    /// in the format (no loop regions, no stage/loop-body nodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when the graph contains constructs the text
+    /// format cannot express (loop regions, stage nodes, folded loops).
+    ///
+    /// ```
+    /// use hls_dfg::parse_dfg;
+    ///
+    /// let text = "dfg demo
+    ///     input a, b
+    ///     const k = 3
+    ///     op p = mul(a, b)
+    ///     op q = add(p, k)";
+    /// let dfg = parse_dfg(text)?;
+    /// let emitted = dfg.to_text().expect("expressible");
+    /// let reparsed = parse_dfg(&emitted)?;
+    /// assert_eq!(dfg, reparsed);
+    /// # Ok::<(), hls_dfg::DfgError>(())
+    /// ```
+    pub fn to_text(&self) -> Option<String> {
+        if !self.loops.is_empty() {
+            return None;
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "dfg {}", self.name());
+        let inputs: Vec<&str> = self
+            .signals()
+            .filter(|(_, s)| matches!(s.source(), SignalSource::PrimaryInput))
+            .map(|(_, s)| s.name())
+            .collect();
+        if !inputs.is_empty() {
+            let _ = writeln!(out, "input {}", inputs.join(", "));
+        }
+        for (_, sig) in self.signals() {
+            if let SignalSource::Constant(v) = sig.source() {
+                let _ = writeln!(out, "const {} = {v}", sig.name());
+            }
+        }
+        // Node-id order is topological for any graph assembled through
+        // the builder or parser (operands must exist before use), and —
+        // unlike `topo_order()` — it is preserved by a parse round
+        // trip, keeping `parse(to_text(g)) == g` id-exact.
+        for (_, node) in self.nodes() {
+            let kind = match node.kind() {
+                NodeKind::Op(k) => k,
+                _ => return None,
+            };
+            let args: Vec<&str> = node
+                .inputs()
+                .iter()
+                .map(|&s| self.signal(s).name())
+                .collect();
+            let _ = write!(
+                out,
+                "op {} = {}({})",
+                node.name(),
+                kind.name(),
+                args.join(", ")
+            );
+            if !node.branch().is_top_level() {
+                let arms: Vec<String> = node
+                    .branch()
+                    .arms()
+                    .iter()
+                    .map(|a| format!("{}.{}", a.branch.get(), a.arm))
+                    .collect();
+                let _ = write!(out, " @branch({})", arms.join("/"));
+            }
+            out.push('\n');
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_dfg, DfgBuilder};
+    use hls_celllib::OpKind;
+
+    #[test]
+    fn round_trips_a_branchy_graph() {
+        let text = "dfg cond
+            input a, b
+            op t = add(a, b) @branch(0.0)
+            op e = sub(a, b) @branch(0.1)
+            op m = or(t, e)";
+        let dfg = parse_dfg(text).unwrap();
+        let emitted = dfg.to_text().unwrap();
+        let reparsed = parse_dfg(&emitted).unwrap();
+        assert_eq!(dfg, reparsed);
+    }
+
+    #[test]
+    fn round_trips_nested_branches() {
+        let text = "input a
+            op t = inc(a) @branch(0.0/1.0)
+            op u = dec(a) @branch(0.0/1.1)";
+        let dfg = parse_dfg(text).unwrap();
+        let reparsed = parse_dfg(&dfg.to_text().unwrap()).unwrap();
+        assert_eq!(dfg, reparsed);
+    }
+
+    #[test]
+    fn loops_are_not_expressible() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.begin_loop("l", 2);
+        b.op("t", OpKind::Inc, &[x]).unwrap();
+        b.end_loop();
+        let g = b.finish().unwrap();
+        assert!(g.to_text().is_none());
+    }
+
+    #[test]
+    fn stage_nodes_are_not_expressible() {
+        use crate::transform::expand_structural_stages;
+        use hls_celllib::TimingSpec;
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("m", OpKind::Mul, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::two_cycle_multiply();
+        let (e, _) =
+            expand_structural_stages(&g, &spec, &[OpKind::Mul].into_iter().collect()).unwrap();
+        assert!(e.to_text().is_none());
+    }
+
+    #[test]
+    fn unused_constants_survive() {
+        let text = "input a\nconst k = -7\nop t = inc(a)";
+        let dfg = parse_dfg(text).unwrap();
+        let emitted = dfg.to_text().unwrap();
+        assert!(emitted.contains("const k = -7"));
+        assert_eq!(parse_dfg(&emitted).unwrap(), dfg);
+    }
+}

@@ -1,0 +1,118 @@
+//! Cost accounting — Table 2's `Cost`, `REG`, `MUX` and `MUXin` columns.
+
+use std::fmt;
+
+use hls_celllib::{Area, Library};
+
+use crate::Datapath;
+
+/// The area breakdown of a data path under a cell library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostReport {
+    /// Total ALU area.
+    pub alu_area: Area,
+    /// Total register area.
+    pub reg_area: Area,
+    /// Total multiplexer area.
+    pub mux_area: Area,
+    /// Number of registers.
+    pub reg_count: usize,
+    /// Number of real (≥ 2 input) multiplexers.
+    pub mux_count: usize,
+    /// Total inputs over real multiplexers.
+    pub mux_inputs: usize,
+}
+
+impl CostReport {
+    /// Computes the report for `datapath` under `library`.
+    pub fn compute(datapath: &Datapath, library: &Library) -> CostReport {
+        let alu_area = datapath.alus().iter().map(|a| a.kind.area()).sum();
+        let reg_count = datapath.register_count();
+        let reg_area = library.register_area() * reg_count as u64;
+        let mux_area = datapath
+            .muxes()
+            .iter()
+            .filter(|m| m.is_real())
+            .map(|m| library.mux().cost(m.sources.len()))
+            .sum();
+        CostReport {
+            alu_area,
+            reg_area,
+            mux_area,
+            reg_count,
+            mux_count: datapath.mux_count(),
+            mux_inputs: datapath.mux_inputs(),
+        }
+    }
+
+    /// The overall cost (ALU + REG + MUX area) — Table 2's `Cost`.
+    pub fn total(&self) -> Area {
+        self.alu_area + self.reg_area + self.mux_area
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cost {} (ALU {}, REG {} x{}, MUX {} x{}/{} inputs)",
+            self.total(),
+            self.alu_area,
+            self.reg_area,
+            self.reg_count,
+            self.mux_area,
+            self.mux_count,
+            self.mux_inputs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::AluAllocation;
+    use hls_celllib::{OpKind, TimingSpec};
+    use hls_dfg::DfgBuilder;
+    use hls_schedule::{CStep, Schedule, Slot, UnitId};
+
+    #[test]
+    fn report_adds_up() {
+        let lib = Library::ncr_like();
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let p = b.op("p", OpKind::Add, &[x, y]).unwrap();
+        b.op("q", OpKind::Add, &[p, x]).unwrap();
+        let g = b.finish().unwrap();
+        let mut s = Schedule::new(&g, 2);
+        s.assign(
+            g.node_by_name("p").unwrap(),
+            Slot {
+                step: CStep::new(1),
+                unit: UnitId::Alu { instance: 0 },
+            },
+        );
+        s.assign(
+            g.node_by_name("q").unwrap(),
+            Slot {
+                step: CStep::new(2),
+                unit: UnitId::Alu { instance: 0 },
+            },
+        );
+        let mut alloc = AluAllocation::new();
+        alloc.push(lib.alu_by_name("add").unwrap().clone());
+        let dp = Datapath::build(&g, &s, &alloc, &TimingSpec::uniform_single_cycle()).unwrap();
+        let report = CostReport::compute(&dp, &lib);
+        assert_eq!(
+            report.total(),
+            report.alu_area + report.reg_area + report.mux_area
+        );
+        assert_eq!(report.alu_area, lib.fu_area(OpKind::Add).unwrap());
+        assert_eq!(
+            report.reg_area,
+            lib.register_area() * report.reg_count as u64
+        );
+        assert!(report.total() > Area::ZERO);
+        assert!(report.to_string().contains("cost"));
+    }
+}

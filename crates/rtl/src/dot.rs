@@ -1,0 +1,97 @@
+//! Graphviz export of a data path.
+
+use std::fmt::Write as _;
+
+use hls_dfg::Dfg;
+
+use crate::Datapath;
+
+impl Datapath {
+    /// Renders the data path in Graphviz DOT: ALUs as boxes, registers
+    /// as records, muxes as trapezoid-ish diamonds, with the selected
+    /// net sources as edges.
+    pub fn to_dot(&self, dfg: &Dfg) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}-datapath\" {{", dfg.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        for alu in self.alus() {
+            let ops: Vec<&str> = alu.ops.iter().map(|&n| dfg.node(n).name()).collect();
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape=box, label=\"{} {}\\n{}\"];",
+                alu.id,
+                alu.id,
+                alu.kind,
+                ops.join(",")
+            );
+        }
+        for reg in self.registers() {
+            let names: Vec<&str> = reg.signals.iter().map(|&s| dfg.signal(s).name()).collect();
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape=record, label=\"{}|{}\"];",
+                reg.id,
+                reg.id,
+                names.join("\\n")
+            );
+        }
+        for mux in self.muxes().iter().filter(|m| m.is_real()) {
+            let mux_name = format!("{}_mux{}", mux.alu, mux.port);
+            let _ = writeln!(out, "  \"{mux_name}\" [shape=invtrapezium, label=\"mux\"];");
+            let _ = writeln!(out, "  \"{mux_name}\" -> \"{}\";", mux.alu);
+            for src in &mux.sources {
+                let _ = writeln!(out, "  \"{src}\" -> \"{mux_name}\";");
+            }
+        }
+        // Direct (mux-less) connections.
+        for mux in self.muxes().iter().filter(|m| !m.is_real()) {
+            for src in &mux.sources {
+                let _ = writeln!(out, "  \"{src}\" -> \"{}\";", mux.alu);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::AluAllocation;
+    use crate::Datapath;
+    use hls_celllib::{Library, OpKind, TimingSpec};
+    use hls_dfg::DfgBuilder;
+    use hls_schedule::{CStep, Schedule, Slot, UnitId};
+
+    #[test]
+    fn dot_mentions_alus_and_registers() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let p = b.op("p", OpKind::Add, &[x, x]).unwrap();
+        b.op("q", OpKind::Add, &[p, x]).unwrap();
+        let g = b.finish().unwrap();
+        let mut s = Schedule::new(&g, 2);
+        s.assign(
+            g.node_by_name("p").unwrap(),
+            Slot {
+                step: CStep::new(1),
+                unit: UnitId::Alu { instance: 0 },
+            },
+        );
+        s.assign(
+            g.node_by_name("q").unwrap(),
+            Slot {
+                step: CStep::new(2),
+                unit: UnitId::Alu { instance: 0 },
+            },
+        );
+        let lib = Library::ncr_like();
+        let mut alloc = AluAllocation::new();
+        alloc.push(lib.alu_by_name("add").unwrap().clone());
+        let dp = Datapath::build(&g, &s, &alloc, &TimingSpec::uniform_single_cycle()).unwrap();
+        let dot = dp.to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("ALU0"));
+        assert!(dot.contains("R0"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for data-path construction.
+
+use std::fmt;
+
+use hls_dfg::{NodeId, SignalId};
+
+use crate::AluId;
+
+/// Error produced while assembling a [`crate::Datapath`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// An operation has no slot in the schedule.
+    UnboundNode(NodeId),
+    /// An operation is bound to a single-function FU, not an ALU
+    /// instance (an MFS schedule was passed where an MFSA one is
+    /// expected).
+    NotAluBound(NodeId),
+    /// An operation references an instance the allocation does not have.
+    UnknownInstance {
+        /// The operation.
+        node: NodeId,
+        /// The missing instance number.
+        instance: u32,
+    },
+    /// An operation is bound to an ALU that cannot perform it.
+    IncapableAlu {
+        /// The operation.
+        node: NodeId,
+        /// The incapable instance.
+        alu: AluId,
+    },
+    /// A consumed signal has no register covering its consumption step.
+    MissingStorage {
+        /// The unstored signal.
+        signal: SignalId,
+    },
+    /// The node kind cannot appear in a data path (folded loop bodies
+    /// must be expanded back before RTL generation).
+    UnsupportedNode(NodeId),
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::UnboundNode(n) => write!(f, "operation {n} is not scheduled"),
+            RtlError::NotAluBound(n) => {
+                write!(
+                    f,
+                    "operation {n} is bound to a plain FU, not an ALU instance"
+                )
+            }
+            RtlError::UnknownInstance { node, instance } => {
+                write!(
+                    f,
+                    "operation {node} references unknown ALU instance {instance}"
+                )
+            }
+            RtlError::IncapableAlu { node, alu } => {
+                write!(f, "ALU {alu} cannot perform operation {node}")
+            }
+            RtlError::MissingStorage { signal } => {
+                write!(
+                    f,
+                    "signal {signal} has no register covering its consumption"
+                )
+            }
+            RtlError::UnsupportedNode(n) => {
+                write!(f, "node {n} cannot be realised in a data path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_are_informative() {
+        let e = RtlError::IncapableAlu {
+            node: hls_dfg_stub_node(),
+            alu: AluId(3),
+        };
+        assert!(e.to_string().contains("ALU3"));
+    }
+
+    fn hls_dfg_stub_node() -> NodeId {
+        use hls_celllib::OpKind;
+        let mut b = hls_dfg::DfgBuilder::new("stub");
+        let x = b.input("x");
+        b.op("t", OpKind::Inc, &[x]).unwrap();
+        b.finish().unwrap().node_ids().next().unwrap()
+    }
+}

@@ -1,0 +1,41 @@
+//! RTL data-path substrate for the `moveframe-hls` workspace.
+//!
+//! MFSA (the paper's mixed scheduling-allocation algorithm) produces a
+//! register-transfer-level structure: ALU instances fed by two input
+//! multiplexers each, registers holding signal life spans, and the
+//! interconnect between them. This crate owns that structure and the
+//! algorithms the paper uses to optimise it:
+//!
+//! * [`muxopt`] — the constructive input-signal packing that builds the
+//!   two multiplexer input lists `L1`/`L2` of an ALU with `|L1| + |L2|`
+//!   minimal (paper §5.6), trying both operand orders of commutative
+//!   operations;
+//! * [`regalloc`] — signal life spans and the left-edge /
+//!   activity-selection register allocation (paper §5.8, after REAL);
+//! * [`Datapath`] — the assembled netlist with its cost report
+//!   (Table 2's `Cost`/`REG`/`MUX`/`MUXin` columns) and an independent
+//!   structural verifier.
+//!
+//! The data path is *derived deterministically* from a schedule whose
+//! operations are bound to ALU instances ([`hls_schedule::UnitId::Alu`])
+//! plus the instance→kind allocation: MFSA's incremental Liapunov terms
+//! estimate these costs during the search, and this crate recomputes them
+//! from scratch as the single source of truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod datapath;
+mod dot;
+mod error;
+pub mod muxopt;
+pub mod regalloc;
+mod source;
+mod verify;
+
+pub use cost::CostReport;
+pub use datapath::{AluAllocation, AluInstance, Datapath, MuxInfo, RegisterInfo};
+pub use error::RtlError;
+pub use source::{AluId, NetSource, RegId};
+pub use verify::{verify_datapath, RtlViolation};

@@ -1,0 +1,228 @@
+//! Multiplexer input packing (paper §5.6).
+//!
+//! "MFSA uses a constructive algorithm which reads the set of operations
+//! assigned to a specific ALU and their corresponding inputs and
+//! constructs two lists of input signals L1 and L2 such that |L1| + |L2|
+//! is minimum. Briefly, the algorithm first assigns the non-commutative
+//! operations to the appropriate MUX's of an ALU and then checks two
+//! possibilities for arranging input signals for each commutative
+//! operation in L1 and L2."
+
+use std::collections::BTreeSet;
+
+/// One operation's operand sources as seen by the ALU's two input ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MuxOp<S> {
+    /// First operand's source.
+    pub left: S,
+    /// Second operand's source (`None` for unary operations, which only
+    /// use port 1).
+    pub right: Option<S>,
+    /// Whether the operand order may be swapped.
+    pub commutative: bool,
+}
+
+/// The packing produced by [`pack`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuxPacking<S> {
+    /// Sources multiplexed onto ALU input port 1.
+    pub l1: BTreeSet<S>,
+    /// Sources multiplexed onto ALU input port 2.
+    pub l2: BTreeSet<S>,
+    /// Chosen orientation per input op: `true` = swapped.
+    pub swapped: Vec<bool>,
+}
+
+impl<S: Ord> MuxPacking<S> {
+    /// `|L1| + |L2|` — the quantity the packing minimises.
+    pub fn total_inputs(&self) -> usize {
+        self.l1.len() + self.l2.len()
+    }
+}
+
+/// Packs the operand sources of an ALU's operations onto its two input
+/// ports, following the paper's constructive algorithm: non-commutative
+/// operations bind their operands to ports 1/2 verbatim; commutative
+/// operations then greedily pick the orientation adding the fewest new
+/// sources (preferring the unswapped order on ties, and re-examined in a
+/// second pass once all sources are known).
+///
+/// ```
+/// use hls_rtl::muxopt::{pack, MuxOp};
+///
+/// // sub(a,b) fixes a→L1, b→L2; add(b,a) can swap to reuse both lines.
+/// let ops = [
+///     MuxOp { left: "a", right: Some("b"), commutative: false },
+///     MuxOp { left: "b", right: Some("a"), commutative: true },
+/// ];
+/// let packing = pack(&ops);
+/// assert_eq!(packing.total_inputs(), 2);
+/// assert!(packing.swapped[1]);
+/// ```
+pub fn pack<S: Ord + Clone>(ops: &[MuxOp<S>]) -> MuxPacking<S> {
+    let mut l1: BTreeSet<S> = BTreeSet::new();
+    let mut l2: BTreeSet<S> = BTreeSet::new();
+    let mut swapped = vec![false; ops.len()];
+
+    // Pass 1: fixed (non-commutative and unary) operations.
+    for op in ops {
+        if !op.commutative || op.right.is_none() {
+            l1.insert(op.left.clone());
+            if let Some(r) = &op.right {
+                l2.insert(r.clone());
+            }
+        }
+    }
+
+    // Pass 2: commutative operations, greedy orientation.
+    for (i, op) in ops.iter().enumerate() {
+        if !op.commutative || op.right.is_none() {
+            continue;
+        }
+        let r = op.right.as_ref().expect("checked above");
+        let cost_plain = usize::from(!l1.contains(&op.left)) + usize::from(!l2.contains(r));
+        let cost_swap = usize::from(!l1.contains(r)) + usize::from(!l2.contains(&op.left));
+        if cost_swap < cost_plain {
+            swapped[i] = true;
+            l1.insert(r.clone());
+            l2.insert(op.left.clone());
+        } else {
+            l1.insert(op.left.clone());
+            l2.insert(r.clone());
+        }
+    }
+
+    // Pass 3: re-examine orientations now that all sources are known —
+    // an early greedy choice may have inserted a source a later op made
+    // redundant. A flip is taken only when it strictly reduces the
+    // total, so the pass terminates.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, op) in ops.iter().enumerate() {
+            if !op.commutative || op.right.is_none() {
+                continue;
+            }
+            let r = op.right.as_ref().expect("checked above");
+            let (cur_a, cur_b) = if swapped[i] {
+                (r, &op.left)
+            } else {
+                (&op.left, r)
+            };
+            // Would flipping reduce the packing?
+            let mut trial1 = BTreeSet::new();
+            let mut trial2 = BTreeSet::new();
+            for (j, oj) in ops.iter().enumerate() {
+                let (a, b) = if j == i {
+                    (cur_b, oj.right.as_ref().map(|_| cur_a))
+                } else if swapped[j] && oj.right.is_some() {
+                    (oj.right.as_ref().expect("some"), Some(&oj.left))
+                } else {
+                    (&oj.left, oj.right.as_ref())
+                };
+                trial1.insert(a.clone());
+                if let Some(b) = b {
+                    trial2.insert(b.clone());
+                }
+            }
+            if trial1.len() + trial2.len() < l1.len() + l2.len() {
+                swapped[i] = !swapped[i];
+                l1 = trial1;
+                l2 = trial2;
+                changed = true;
+            }
+        }
+    }
+
+    MuxPacking { l1, l2, swapped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(l: &str, r: &str, c: bool) -> MuxOp<String> {
+        MuxOp {
+            left: l.to_string(),
+            right: Some(r.to_string()),
+            commutative: c,
+        }
+    }
+
+    #[test]
+    fn single_op_uses_two_inputs() {
+        let p = pack(&[op("a", "b", true)]);
+        assert_eq!(p.total_inputs(), 2);
+    }
+
+    #[test]
+    fn identical_ops_share_everything() {
+        let p = pack(&[op("a", "b", false), op("a", "b", false)]);
+        assert_eq!(p.total_inputs(), 2);
+    }
+
+    #[test]
+    fn commutative_swap_reuses_lines() {
+        let p = pack(&[op("a", "b", false), op("b", "a", true)]);
+        assert_eq!(p.total_inputs(), 2);
+        assert!(p.swapped[1]);
+    }
+
+    #[test]
+    fn non_commutative_mirror_needs_four_lines() {
+        let p = pack(&[op("a", "b", false), op("b", "a", false)]);
+        assert_eq!(p.total_inputs(), 4);
+    }
+
+    #[test]
+    fn unary_ops_occupy_port_one_only() {
+        let ops = [MuxOp {
+            left: "x".to_string(),
+            right: None,
+            commutative: false,
+        }];
+        let p = pack(&ops);
+        assert_eq!(p.l1.len(), 1);
+        assert_eq!(p.l2.len(), 0);
+    }
+
+    #[test]
+    fn refinement_pass_fixes_greedy_mistakes() {
+        // Greedy on c1 = (a,b) picks a→L1, b→L2. Then nc = sub(b, a)
+        // forces b→L1, a→L2. Flipping c1 in pass 3 reaches the optimum
+        // of 2 total inputs.
+        let ops = [op("a", "b", true), op("b", "a", false)];
+        let p = pack(&ops);
+        assert_eq!(p.total_inputs(), 2, "packing: {p:?}");
+        assert!(p.swapped[0]);
+    }
+
+    #[test]
+    fn packing_covers_every_operation() {
+        // Whatever the orientation, each op's operands must be present
+        // on the respective ports.
+        let ops = [
+            op("a", "b", true),
+            op("c", "d", false),
+            op("b", "c", true),
+            op("d", "a", true),
+        ];
+        let p = pack(&ops);
+        for (i, o) in ops.iter().enumerate() {
+            let (x, y) = if p.swapped[i] {
+                (o.right.clone().expect("binary"), o.left.clone())
+            } else {
+                (o.left.clone(), o.right.clone().expect("binary"))
+            };
+            assert!(p.l1.contains(&x), "op {i} port-1 source missing");
+            assert!(p.l2.contains(&y), "op {i} port-2 source missing");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_packing() {
+        let p = pack::<String>(&[]);
+        assert_eq!(p.total_inputs(), 0);
+        assert!(p.swapped.is_empty());
+    }
+}

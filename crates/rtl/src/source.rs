@@ -1,0 +1,84 @@
+//! Identifiers of data-path elements and net sources.
+
+use std::fmt;
+
+use hls_dfg::SignalId;
+
+/// Identifier of an ALU instance in a [`crate::Datapath`]. Matches the
+/// `instance` number of [`hls_schedule::UnitId::Alu`] bindings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AluId(pub u32);
+
+impl fmt::Display for AluId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ALU{}", self.0)
+    }
+}
+
+/// Identifier of a register in a [`crate::Datapath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(pub u32);
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// What physically drives a multiplexer input line.
+///
+/// Two operand signals that resolve to the same source share one mux
+/// input — this is where the paper's interconnect optimisation (§5.7)
+/// surfaces: values stored in the same register, or produced by the same
+/// ALU and consumed in the producing step (chaining), arrive over one
+/// line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NetSource {
+    /// A primary input or constant port.
+    External(SignalId),
+    /// A register output.
+    Register(RegId),
+    /// A direct (unregistered) ALU output, for same-step chained
+    /// consumption.
+    Alu(AluId),
+}
+
+impl fmt::Display for NetSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetSource::External(s) => write!(f, "in:{s}"),
+            NetSource::Register(r) => write!(f, "{r}"),
+            NetSource::Alu(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut v = vec![
+            NetSource::Alu(AluId(1)),
+            NetSource::Register(RegId(0)),
+            NetSource::Alu(AluId(0)),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                NetSource::Register(RegId(0)),
+                NetSource::Alu(AluId(0)),
+                NetSource::Alu(AluId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AluId(2).to_string(), "ALU2");
+        assert_eq!(RegId(5).to_string(), "R5");
+        assert_eq!(NetSource::Register(RegId(1)).to_string(), "R1");
+    }
+}

@@ -1,0 +1,212 @@
+//! Independent structural verification of a data path.
+
+use std::collections::BTreeMap;
+
+use hls_celllib::TimingSpec;
+use hls_dfg::{Dfg, NodeId, NodeKind, SignalId, SignalSource};
+use hls_schedule::Schedule;
+
+use crate::{AluId, Datapath, NetSource};
+
+/// A structural defect found by [`verify_datapath`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlViolation {
+    /// Two non-exclusive operations execute on the same ALU in
+    /// overlapping steps.
+    AluConflict {
+        /// First operation.
+        a: NodeId,
+        /// Second operation.
+        b: NodeId,
+        /// The contended instance.
+        alu: AluId,
+    },
+    /// An operation's operand source is missing from the corresponding
+    /// mux input list.
+    MuxMissingSource {
+        /// The operation.
+        node: NodeId,
+        /// The port (1 or 2) whose mux lacks the source.
+        port: u8,
+    },
+    /// A stored signal's register holds an overlapping life span.
+    RegisterOverlap {
+        /// The register with colliding spans.
+        register: crate::RegId,
+    },
+    /// A signal consumed strictly after production has no register.
+    Unstored {
+        /// The signal.
+        signal: SignalId,
+        /// The consumer.
+        consumer: NodeId,
+    },
+}
+
+/// Re-derives every structural requirement of `datapath` from the graph
+/// and schedule, independently of how it was built.
+pub fn verify_datapath(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    datapath: &Datapath,
+    spec: &TimingSpec,
+) -> Vec<RtlViolation> {
+    let mut violations = Vec::new();
+
+    // ALU occupancy.
+    for alu in datapath.alus() {
+        for (i, &a) in alu.ops.iter().enumerate() {
+            for &b in &alu.ops[i + 1..] {
+                if dfg.mutually_exclusive(a, b) {
+                    continue;
+                }
+                let (Some(sa), Some(sb)) = (schedule.start(a), schedule.start(b)) else {
+                    continue;
+                };
+                let fa = sa.finish(dfg.node(a).kind().cycles(spec));
+                let fb = sb.finish(dfg.node(b).kind().cycles(spec));
+                if sa <= fb && sb <= fa {
+                    violations.push(RtlViolation::AluConflict { a, b, alu: alu.id });
+                }
+            }
+        }
+    }
+
+    // Mux coverage: each op's oriented sources must be on its ALU ports.
+    let mut mux_of: BTreeMap<(AluId, u8), &crate::MuxInfo> = BTreeMap::new();
+    for m in datapath.muxes() {
+        mux_of.insert((m.alu, m.port), m);
+    }
+    for alu in datapath.alus() {
+        for &op in &alu.ops {
+            let Some((p1, p2)) = datapath.operand_sources(op) else {
+                violations.push(RtlViolation::MuxMissingSource { node: op, port: 1 });
+                continue;
+            };
+            let m1 = mux_of.get(&(alu.id, 1));
+            if !m1.is_some_and(|m| m.sources.contains(&p1)) {
+                violations.push(RtlViolation::MuxMissingSource { node: op, port: 1 });
+            }
+            if let Some(p2) = p2 {
+                let m2 = mux_of.get(&(alu.id, 2));
+                if !m2.is_some_and(|m| m.sources.contains(&p2)) {
+                    violations.push(RtlViolation::MuxMissingSource { node: op, port: 2 });
+                }
+            }
+        }
+    }
+
+    // Register life spans must not overlap within a register.
+    for (reg, spans) in datapath.register_allocation().iter() {
+        for (i, a) in spans.iter().enumerate() {
+            for b in &spans[i + 1..] {
+                if a.overlaps(b) {
+                    violations.push(RtlViolation::RegisterOverlap { register: reg });
+                }
+            }
+        }
+    }
+
+    // Every non-chained consumption must come from a register (and the
+    // oriented operand sources must say so).
+    for id in dfg.node_ids() {
+        let node = dfg.node(id);
+        if matches!(node.kind(), NodeKind::LoopBody { .. }) {
+            continue;
+        }
+        let Some(c_start) = schedule.start(id) else {
+            continue;
+        };
+        for &sig in node.inputs() {
+            if let SignalSource::Node(producer) = dfg.signal(sig).source() {
+                let Some(p_finish) = schedule.finish(producer, dfg, spec) else {
+                    continue;
+                };
+                if c_start > p_finish {
+                    let stored = datapath.register_allocation().register_of(sig).is_some();
+                    let sourced = datapath.operand_sources(id).is_some_and(|(a, b)| {
+                        let want = datapath
+                            .register_allocation()
+                            .register_of(sig)
+                            .map(NetSource::Register);
+                        match want {
+                            None => false,
+                            Some(w) => a == w || b == Some(w),
+                        }
+                    });
+                    if !stored || !sourced {
+                        violations.push(RtlViolation::Unstored {
+                            signal: sig,
+                            consumer: id,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AluAllocation;
+    use hls_celllib::{Library, OpKind};
+    use hls_dfg::DfgBuilder;
+    use hls_schedule::{CStep, Slot, UnitId};
+
+    fn fixture() -> (Dfg, Schedule, AluAllocation, TimingSpec) {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let p = b.op("p", OpKind::Add, &[x, y]).unwrap();
+        b.op("q", OpKind::Sub, &[p, y]).unwrap();
+        let g = b.finish().unwrap();
+        let mut s = Schedule::new(&g, 2);
+        s.assign(
+            g.node_by_name("p").unwrap(),
+            Slot {
+                step: CStep::new(1),
+                unit: UnitId::Alu { instance: 0 },
+            },
+        );
+        s.assign(
+            g.node_by_name("q").unwrap(),
+            Slot {
+                step: CStep::new(2),
+                unit: UnitId::Alu { instance: 0 },
+            },
+        );
+        let lib = Library::ncr_like();
+        let mut alloc = AluAllocation::new();
+        alloc.push(lib.alu_by_name("add_sub").unwrap().clone());
+        (g, s, alloc, TimingSpec::uniform_single_cycle())
+    }
+
+    #[test]
+    fn well_formed_datapath_verifies_clean() {
+        let (g, s, alloc, spec) = fixture();
+        let dp = Datapath::build(&g, &s, &alloc, &spec).unwrap();
+        assert!(verify_datapath(&g, &s, &dp, &spec).is_empty());
+    }
+
+    #[test]
+    fn alu_conflict_is_detected_when_schedule_shifts() {
+        let (g, mut s, alloc, spec) = fixture();
+        let dp = Datapath::build(&g, &s, &alloc, &spec).unwrap();
+        // Move q onto p's step after building: conflict.
+        s.assign(
+            g.node_by_name("q").unwrap(),
+            Slot {
+                step: CStep::new(1),
+                unit: UnitId::Alu { instance: 0 },
+            },
+        );
+        let v = verify_datapath(&g, &s, &dp, &spec);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, RtlViolation::AluConflict { .. })));
+    }
+}

@@ -1,0 +1,222 @@
+//! ASAP/ALAP schedules, time frames and mobility (paper §3.2, step 1).
+
+use hls_celllib::TimingSpec;
+use hls_dfg::{Dfg, NodeId};
+
+use crate::{CStep, ScheduleError};
+
+/// As-soon-as-possible start step of every node (1-based, multi-cycle
+/// aware): an operation starts one step after the latest finish of its
+/// predecessors.
+///
+/// ```
+/// use hls_celllib::{OpKind, TimingSpec};
+/// use hls_dfg::DfgBuilder;
+/// use hls_schedule::{asap, CStep};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new("g");
+/// let x = b.input("x");
+/// let m = b.op("m", OpKind::Mul, &[x, x])?;
+/// let _a = b.op("a", OpKind::Add, &[m, x])?;
+/// let dfg = b.finish()?;
+/// let starts = asap(&dfg, &TimingSpec::two_cycle_multiply());
+/// let a = dfg.node_by_name("a").unwrap();
+/// assert_eq!(starts[a.index()], CStep::new(3)); // mul occupies t1–t2
+/// # Ok(())
+/// # }
+/// ```
+pub fn asap(dfg: &Dfg, spec: &TimingSpec) -> Vec<CStep> {
+    let mut start = vec![CStep::FIRST; dfg.node_count()];
+    for &id in dfg.topo_order() {
+        let mut earliest = 1u32;
+        for &p in dfg.preds(id) {
+            let p_cycles = dfg.node(p).kind().cycles(spec) as u32;
+            let p_finish = start[p.index()].get() + p_cycles - 1;
+            earliest = earliest.max(p_finish + 1);
+        }
+        start[id.index()] = CStep::new(earliest);
+    }
+    start
+}
+
+/// As-late-as-possible start step of every node within `cs` control
+/// steps.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::InfeasibleTime`] when the critical path does
+/// not fit in `cs` steps.
+pub fn alap(dfg: &Dfg, spec: &TimingSpec, cs: u32) -> Result<Vec<CStep>, ScheduleError> {
+    let mut start = vec![0i64; dfg.node_count()];
+    for &id in dfg.topo_order().iter().rev() {
+        let cycles = dfg.node(id).kind().cycles(spec) as i64;
+        let mut latest = cs as i64 - cycles + 1;
+        for &s in dfg.succs(id) {
+            latest = latest.min(start[s.index()] - cycles);
+        }
+        start[id.index()] = latest;
+    }
+    let min = start.iter().copied().min().unwrap_or(1);
+    if min < 1 {
+        let needed = cs as i64 + (1 - min);
+        return Err(ScheduleError::InfeasibleTime {
+            needed: needed as u32,
+            given: cs,
+        });
+    }
+    Ok(start.into_iter().map(|s| CStep::new(s as u32)).collect())
+}
+
+/// ASAP/ALAP time frames of every operation within a time constraint —
+/// the `[ASAP_cstep, ALAP_cstep]` interval the paper's primary frame is
+/// built from — plus mobilities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeFrames {
+    cs: u32,
+    asap: Vec<CStep>,
+    alap: Vec<CStep>,
+}
+
+impl TimeFrames {
+    /// Computes frames for `dfg` under `spec` within `cs` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InfeasibleTime`] when the critical path
+    /// exceeds `cs`.
+    pub fn compute(dfg: &Dfg, spec: &TimingSpec, cs: u32) -> Result<TimeFrames, ScheduleError> {
+        let asap = asap(dfg, spec);
+        let alap = alap(dfg, spec, cs)?;
+        Ok(TimeFrames { cs, asap, alap })
+    }
+
+    /// Builds frames from precomputed ASAP/ALAP vectors (used by the
+    /// chaining analysis, which derives steps from delays).
+    pub(crate) fn from_parts(cs: u32, asap: Vec<CStep>, alap: Vec<CStep>) -> TimeFrames {
+        TimeFrames { cs, asap, alap }
+    }
+
+    /// The time constraint the frames were computed for.
+    pub fn control_steps(&self) -> u32 {
+        self.cs
+    }
+
+    /// Earliest start step of `node`.
+    pub fn asap(&self, node: NodeId) -> CStep {
+        self.asap[node.index()]
+    }
+
+    /// Latest start step of `node`.
+    pub fn alap(&self, node: NodeId) -> CStep {
+        self.alap[node.index()]
+    }
+
+    /// The paper's mobility: `ALAP_cstep − ASAP_cstep`.
+    pub fn mobility(&self, node: NodeId) -> u32 {
+        self.alap[node.index()].get() - self.asap[node.index()].get()
+    }
+
+    /// Tightens the earliest start of `node` (used when predecessors get
+    /// fixed during move-frame scheduling).
+    pub fn raise_asap(&mut self, node: NodeId, to: CStep) {
+        if to > self.asap[node.index()] {
+            self.asap[node.index()] = to;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::OpKind;
+    use hls_dfg::DfgBuilder;
+
+    fn diamond() -> Dfg {
+        let mut b = DfgBuilder::new("d");
+        let x = b.input("x");
+        let y = b.input("y");
+        let p = b.op("p", OpKind::Mul, &[x, y]).unwrap();
+        let q = b.op("q", OpKind::Add, &[x, y]).unwrap();
+        b.op("r", OpKind::Sub, &[p, q]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn asap_respects_dependencies() {
+        let g = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let starts = asap(&g, &spec);
+        let r = g.node_by_name("r").unwrap();
+        assert_eq!(starts[r.index()], CStep::new(2));
+    }
+
+    #[test]
+    fn alap_pushes_late() {
+        let g = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let starts = alap(&g, &spec, 4).unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let p = g.node_by_name("p").unwrap();
+        assert_eq!(starts[r.index()], CStep::new(4));
+        assert_eq!(starts[p.index()], CStep::new(3));
+    }
+
+    #[test]
+    fn infeasible_time_is_reported_with_the_needed_length() {
+        let g = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        assert_eq!(
+            alap(&g, &spec, 1),
+            Err(ScheduleError::InfeasibleTime {
+                needed: 2,
+                given: 1
+            })
+        );
+    }
+
+    #[test]
+    fn mobility_is_zero_on_the_critical_path() {
+        let g = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let frames = TimeFrames::compute(&g, &spec, 2).unwrap();
+        for n in g.node_ids() {
+            assert_eq!(frames.mobility(n), 0);
+        }
+    }
+
+    #[test]
+    fn mobility_grows_with_slack() {
+        let g = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let frames = TimeFrames::compute(&g, &spec, 5).unwrap();
+        for n in g.node_ids() {
+            assert_eq!(frames.mobility(n), 3);
+        }
+    }
+
+    #[test]
+    fn multicycle_alap_reserves_room() {
+        let mut b = DfgBuilder::new("mc");
+        let x = b.input("x");
+        b.op("m", OpKind::Mul, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::two_cycle_multiply();
+        let starts = alap(&g, &spec, 4).unwrap();
+        let m = g.node_by_name("m").unwrap();
+        // A 2-cycle op can start at t3 at the latest in a 4-step budget.
+        assert_eq!(starts[m.index()], CStep::new(3));
+    }
+
+    #[test]
+    fn raise_asap_never_lowers() {
+        let g = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut frames = TimeFrames::compute(&g, &spec, 5).unwrap();
+        let p = g.node_by_name("p").unwrap();
+        frames.raise_asap(p, CStep::new(3));
+        assert_eq!(frames.asap(p), CStep::new(3));
+        frames.raise_asap(p, CStep::new(2));
+        assert_eq!(frames.asap(p), CStep::new(3));
+    }
+}

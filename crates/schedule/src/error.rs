@@ -1,0 +1,72 @@
+//! Error type for scheduling computations.
+
+use std::fmt;
+
+use hls_dfg::NodeId;
+
+/// Error produced by the scheduling substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The time constraint is shorter than the critical path: no ALAP
+    /// schedule exists.
+    InfeasibleTime {
+        /// Control steps required by the critical path.
+        needed: u32,
+        /// Control steps allowed by the constraint.
+        given: u32,
+    },
+    /// A computation required `node` to be scheduled but it is not.
+    NotScheduled(NodeId),
+    /// The requested latency is invalid (zero, or larger than the time
+    /// constraint).
+    InvalidLatency {
+        /// The requested initiation interval.
+        latency: u32,
+        /// The time constraint it must not exceed.
+        cs: u32,
+    },
+    /// Chaining analysis found a single operation slower than the clock
+    /// period, so no chained schedule can exist.
+    OpSlowerThanClock {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InfeasibleTime { needed, given } => write!(
+                f,
+                "time constraint of {given} control step(s) is below the critical path of {needed}"
+            ),
+            ScheduleError::NotScheduled(node) => {
+                write!(f, "operation {node} has not been scheduled")
+            }
+            ScheduleError::InvalidLatency { latency, cs } => {
+                write!(f, "latency {latency} is invalid for a {cs}-step schedule")
+            }
+            ScheduleError::OpSlowerThanClock { node } => {
+                write!(f, "operation {node} is slower than the clock period")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_numbers() {
+        let e = ScheduleError::InfeasibleTime {
+            needed: 17,
+            given: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("17") && s.contains("12"));
+    }
+}

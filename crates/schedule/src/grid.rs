@@ -1,0 +1,299 @@
+//! The paper's 2-D placement table (control steps × FU index), one per
+//! functional-unit class.
+
+use std::collections::BTreeMap;
+
+use hls_dfg::{Dfg, FuClass, NodeId};
+
+use crate::{CStep, FuIndex};
+
+/// Occupancy table for one FU class: the "grid table" of Figure 1, where
+/// an operation occupies `(FU index, control step)` cells.
+///
+/// The grid optionally wraps control steps modulo a functional-pipelining
+/// latency `L`: "for a given latency L, the operations scheduled into
+/// control step `t + k·L` run concurrently" (paper §5.5.2), so occupancy
+/// conflicts are evaluated on `(step − 1) mod L`.
+///
+/// Mutual exclusion is honoured: a cell may hold several operations as
+/// long as they are pairwise mutually exclusive (paper §5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    class: FuClass,
+    cs: u32,
+    max_fu: u32,
+    latency: Option<u32>,
+    cells: BTreeMap<(u32, u32), Vec<NodeId>>,
+    placements: BTreeMap<NodeId, (CStep, FuIndex, u8)>,
+}
+
+impl Grid {
+    /// An empty grid for `class` with `cs` steps and at most `max_fu`
+    /// unit columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cs` or `max_fu` is zero.
+    pub fn new(class: FuClass, cs: u32, max_fu: u32) -> Self {
+        assert!(cs >= 1 && max_fu >= 1, "grid dimensions are 1-based");
+        Grid {
+            class,
+            cs,
+            max_fu,
+            latency: None,
+            cells: BTreeMap::new(),
+            placements: BTreeMap::new(),
+        }
+    }
+
+    /// Enables modulo-`latency` occupancy for functional pipelining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero.
+    pub fn with_latency(mut self, latency: u32) -> Self {
+        assert!(latency >= 1, "latency must be positive");
+        self.latency = Some(latency);
+        self
+    }
+
+    /// The FU class this grid belongs to.
+    pub fn class(&self) -> FuClass {
+        self.class
+    }
+
+    /// Number of control steps.
+    pub fn control_steps(&self) -> u32 {
+        self.cs
+    }
+
+    /// Column budget (`max_j`).
+    pub fn max_fu(&self) -> u32 {
+        self.max_fu
+    }
+
+    /// Raises the column budget (local rescheduling may discover that
+    /// the initial `max_j` estimate was too small when it was derived
+    /// from ASAP/ALAP concurrency rather than a user constraint).
+    pub fn grow_max_fu(&mut self, max_fu: u32) {
+        self.max_fu = self.max_fu.max(max_fu);
+    }
+
+    fn wrap(&self, step: u32) -> u32 {
+        match self.latency {
+            Some(l) => (step - 1) % l + 1,
+            None => step,
+        }
+    }
+
+    /// Occupants of the cell `(step, fu)` (after wrap-around).
+    pub fn occupants(&self, step: CStep, fu: FuIndex) -> &[NodeId] {
+        self.cells
+            .get(&(self.wrap(step.get()), fu.get()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether `node` (occupying `cycles` steps from `step` on column
+    /// `fu`) can be placed: all its cells are inside the grid and every
+    /// current occupant is mutually exclusive with it.
+    pub fn is_free_for(
+        &self,
+        dfg: &Dfg,
+        node: NodeId,
+        step: CStep,
+        fu: FuIndex,
+        cycles: u8,
+    ) -> bool {
+        if fu.get() > self.max_fu {
+            return false;
+        }
+        if step.finish(cycles).get() > self.cs {
+            return false;
+        }
+        for c in 0..cycles as u32 {
+            for &occ in self.occupants(step.offset(c), fu) {
+                if !dfg.mutually_exclusive(node, occ) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Places `node` at `(step, fu)` for `cycles` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already placed or the cells are outside the
+    /// grid — schedulers check [`Grid::is_free_for`] first, so either is
+    /// a scheduler bug.
+    pub fn occupy(&mut self, node: NodeId, step: CStep, fu: FuIndex, cycles: u8) {
+        assert!(
+            !self.placements.contains_key(&node),
+            "node {node} is already placed"
+        );
+        assert!(fu.get() <= self.max_fu, "column {fu} beyond max_fu");
+        assert!(
+            step.finish(cycles).get() <= self.cs,
+            "placement overruns the time constraint"
+        );
+        for c in 0..cycles as u32 {
+            self.cells
+                .entry((self.wrap(step.offset(c).get()), fu.get()))
+                .or_default()
+                .push(node);
+        }
+        self.placements.insert(node, (step, fu, cycles));
+    }
+
+    /// Removes `node`'s placement (local rescheduling). Returns the old
+    /// `(step, fu)` if it was placed.
+    pub fn vacate(&mut self, node: NodeId) -> Option<(CStep, FuIndex)> {
+        let (step, fu, cycles) = self.placements.remove(&node)?;
+        for c in 0..cycles as u32 {
+            if let Some(cell) = self
+                .cells
+                .get_mut(&(self.wrap(step.offset(c).get()), fu.get()))
+            {
+                cell.retain(|&n| n != node);
+            }
+        }
+        Some((step, fu))
+    }
+
+    /// The placement of `node`, if any.
+    pub fn placement(&self, node: NodeId) -> Option<(CStep, FuIndex)> {
+        self.placements.get(&node).map(|&(s, f, _)| (s, f))
+    }
+
+    /// Number of placed nodes.
+    pub fn placed_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Highest column index in use (the FU count this grid implies).
+    pub fn columns_used(&self) -> u32 {
+        self.placements
+            .values()
+            .map(|&(_, f, _)| f.get())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over placements `(node, step, fu)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, CStep, FuIndex)> + '_ {
+        self.placements.iter().map(|(&n, &(s, f, _))| (n, s, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::OpKind;
+    use hls_dfg::DfgBuilder;
+
+    fn exclusive_pair() -> (Dfg, NodeId, NodeId, NodeId) {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let branch = b.begin_branch();
+        b.enter_arm(branch, 0);
+        b.op("t", OpKind::Add, &[x, y]).unwrap();
+        b.exit_arm();
+        b.enter_arm(branch, 1);
+        b.op("e", OpKind::Add, &[x, y]).unwrap();
+        b.exit_arm();
+        b.op("u", OpKind::Add, &[x, y]).unwrap();
+        let g = b.finish().unwrap();
+        let t = g.node_by_name("t").unwrap();
+        let e = g.node_by_name("e").unwrap();
+        let u = g.node_by_name("u").unwrap();
+        (g, t, e, u)
+    }
+
+    #[test]
+    fn occupied_cell_blocks_non_exclusive_ops() {
+        let (g, t, e, u) = exclusive_pair();
+        let mut grid = Grid::new(FuClass::Op(OpKind::Add), 4, 2);
+        grid.occupy(t, CStep::new(1), FuIndex::new(1), 1);
+        // Mutually exclusive `e` can share the cell; unrelated `u` cannot.
+        assert!(grid.is_free_for(&g, e, CStep::new(1), FuIndex::new(1), 1));
+        assert!(!grid.is_free_for(&g, u, CStep::new(1), FuIndex::new(1), 1));
+        assert!(grid.is_free_for(&g, u, CStep::new(1), FuIndex::new(2), 1));
+        grid.occupy(e, CStep::new(1), FuIndex::new(1), 1);
+        assert_eq!(grid.occupants(CStep::new(1), FuIndex::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let (g, t, _, _) = exclusive_pair();
+        let grid = Grid::new(FuClass::Op(OpKind::Add), 3, 2);
+        assert!(!grid.is_free_for(&g, t, CStep::new(1), FuIndex::new(3), 1));
+        assert!(!grid.is_free_for(&g, t, CStep::new(3), FuIndex::new(1), 2));
+        assert!(grid.is_free_for(&g, t, CStep::new(3), FuIndex::new(1), 1));
+    }
+
+    #[test]
+    fn multicycle_occupies_consecutive_cells() {
+        let (g, t, _, u) = exclusive_pair();
+        let mut grid = Grid::new(FuClass::Op(OpKind::Add), 4, 1);
+        grid.occupy(t, CStep::new(2), FuIndex::new(1), 2);
+        assert!(!grid.is_free_for(&g, u, CStep::new(2), FuIndex::new(1), 1));
+        assert!(!grid.is_free_for(&g, u, CStep::new(3), FuIndex::new(1), 1));
+        assert!(grid.is_free_for(&g, u, CStep::new(1), FuIndex::new(1), 1));
+        assert!(grid.is_free_for(&g, u, CStep::new(4), FuIndex::new(1), 1));
+    }
+
+    #[test]
+    fn vacate_restores_the_cell() {
+        let (g, t, _, u) = exclusive_pair();
+        let mut grid = Grid::new(FuClass::Op(OpKind::Add), 4, 1);
+        grid.occupy(t, CStep::new(1), FuIndex::new(1), 1);
+        assert_eq!(grid.vacate(t), Some((CStep::new(1), FuIndex::new(1))));
+        assert!(grid.is_free_for(&g, u, CStep::new(1), FuIndex::new(1), 1));
+        assert_eq!(grid.vacate(t), None);
+        assert_eq!(grid.placed_count(), 0);
+    }
+
+    #[test]
+    fn latency_wrap_detects_modulo_conflicts() {
+        let (g, t, _, u) = exclusive_pair();
+        let mut grid = Grid::new(FuClass::Op(OpKind::Add), 6, 1).with_latency(2);
+        grid.occupy(t, CStep::new(1), FuIndex::new(1), 1);
+        // Steps 3 and 5 collide with step 1 modulo L=2.
+        assert!(!grid.is_free_for(&g, u, CStep::new(3), FuIndex::new(1), 1));
+        assert!(!grid.is_free_for(&g, u, CStep::new(5), FuIndex::new(1), 1));
+        assert!(grid.is_free_for(&g, u, CStep::new(2), FuIndex::new(1), 1));
+    }
+
+    #[test]
+    fn columns_used_tracks_peak() {
+        let (_, t, e, u) = exclusive_pair();
+        let mut grid = Grid::new(FuClass::Op(OpKind::Add), 4, 3);
+        assert_eq!(grid.columns_used(), 0);
+        grid.occupy(t, CStep::new(1), FuIndex::new(1), 1);
+        grid.occupy(u, CStep::new(1), FuIndex::new(3), 1);
+        grid.occupy(e, CStep::new(2), FuIndex::new(2), 1);
+        assert_eq!(grid.columns_used(), 3);
+        assert_eq!(grid.placed_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already placed")]
+    fn double_placement_panics() {
+        let (_, t, _, _) = exclusive_pair();
+        let mut grid = Grid::new(FuClass::Op(OpKind::Add), 4, 1);
+        grid.occupy(t, CStep::new(1), FuIndex::new(1), 1);
+        grid.occupy(t, CStep::new(2), FuIndex::new(1), 1);
+    }
+
+    #[test]
+    fn grow_max_fu_never_shrinks() {
+        let mut grid = Grid::new(FuClass::Op(OpKind::Add), 4, 2);
+        grid.grow_max_fu(5);
+        assert_eq!(grid.max_fu(), 5);
+        grid.grow_max_fu(3);
+        assert_eq!(grid.max_fu(), 5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Schedule statistics: FU usage and concurrency profiles.
+
+use hls_celllib::TimingSpec;
+use hls_dfg::{Dfg, OpMix};
+
+use crate::Schedule;
+
+/// Summary statistics of a schedule, as reported in the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Per-class FU counts, paper-notation printable.
+    pub mix: OpMix,
+    /// Number of operations executing in each step (index 0 = step 1).
+    pub concurrency: Vec<usize>,
+    /// The time constraint.
+    pub control_steps: u32,
+}
+
+impl ScheduleStats {
+    /// Computes statistics for a (complete) schedule.
+    pub fn compute(dfg: &Dfg, schedule: &Schedule, spec: &TimingSpec) -> ScheduleStats {
+        ScheduleStats {
+            mix: fu_mix(schedule),
+            concurrency: step_concurrency(dfg, schedule, spec),
+            control_steps: schedule.control_steps(),
+        }
+    }
+
+    /// The largest per-step concurrency.
+    pub fn peak_concurrency(&self) -> usize {
+        self.concurrency.iter().copied().max().unwrap_or(0)
+    }
+
+    /// A balance measure: peak minus average concurrency (0 = perfectly
+    /// balanced). MFS aims for "a balanced schedule (minimum
+    /// concurrency)".
+    pub fn imbalance(&self) -> f64 {
+        if self.concurrency.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.concurrency.iter().sum();
+        let avg = total as f64 / self.concurrency.len() as f64;
+        self.peak_concurrency() as f64 - avg
+    }
+}
+
+/// The functional-unit mix a schedule requires: for every class, the
+/// highest FU index bound (paper Table 1's per-type FU counts).
+pub fn fu_mix(schedule: &Schedule) -> OpMix {
+    schedule
+        .fu_counts()
+        .into_iter()
+        .map(|(class, count)| (class, count as usize))
+        .collect()
+}
+
+/// Number of operations executing (not merely starting) in each step.
+/// Mutually exclusive operations both count — the profile measures graph
+/// activity, not hardware usage.
+pub fn step_concurrency(dfg: &Dfg, schedule: &Schedule, spec: &TimingSpec) -> Vec<usize> {
+    let cs = schedule.control_steps() as usize;
+    let mut profile = vec![0usize; cs];
+    for (node, slot) in schedule.iter() {
+        let cycles = dfg.node(node).kind().cycles(spec) as u32;
+        for k in 0..cycles {
+            let step = slot.step.get() + k;
+            if (step as usize) <= cs {
+                profile[step as usize - 1] += 1;
+            }
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CStep, FuIndex, Slot, UnitId};
+    use hls_celllib::OpKind;
+    use hls_dfg::{DfgBuilder, FuClass};
+
+    fn unit(k: OpKind, i: u32) -> UnitId {
+        UnitId::Fu {
+            class: FuClass::Op(k),
+            index: FuIndex::new(i),
+        }
+    }
+
+    #[test]
+    fn mix_and_concurrency() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let m = b.op("m", OpKind::Mul, &[x, x]).unwrap();
+        b.op("a", OpKind::Add, &[m, x]).unwrap();
+        b.op("b", OpKind::Add, &[m, x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::two_cycle_multiply();
+        let mut s = Schedule::new(&g, 3);
+        s.assign(
+            g.node_by_name("m").unwrap(),
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Mul, 1),
+            },
+        );
+        s.assign(
+            g.node_by_name("a").unwrap(),
+            Slot {
+                step: CStep::new(3),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        s.assign(
+            g.node_by_name("b").unwrap(),
+            Slot {
+                step: CStep::new(3),
+                unit: unit(OpKind::Add, 2),
+            },
+        );
+        let stats = ScheduleStats::compute(&g, &s, &spec);
+        assert_eq!(stats.mix.to_string(), "*,++");
+        assert_eq!(stats.concurrency, vec![1, 1, 2]);
+        assert_eq!(stats.peak_concurrency(), 2);
+        assert!(stats.imbalance() > 0.0);
+    }
+
+    #[test]
+    fn empty_schedule_has_empty_stats() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("t", OpKind::Inc, &[x]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let s = Schedule::new(&g, 2);
+        let stats = ScheduleStats::compute(&g, &s, &spec);
+        assert_eq!(stats.mix.total(), 0);
+        assert_eq!(stats.concurrency, vec![0, 0]);
+        assert_eq!(stats.peak_concurrency(), 0);
+    }
+}

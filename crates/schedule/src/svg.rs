@@ -1,0 +1,179 @@
+//! SVG Gantt rendering of schedules — a visual artefact for reports and
+//! debugging, complementing the ASCII renderers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use hls_celllib::TimingSpec;
+use hls_dfg::Dfg;
+
+use crate::{Schedule, UnitId};
+
+const STEP_W: u32 = 90;
+const ROW_H: u32 = 26;
+const LEFT_W: u32 = 110;
+const TOP_H: u32 = 30;
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders a complete schedule as an SVG Gantt chart: one row per
+/// hardware unit, one column per control step, one box per operation
+/// (spanning its cycles). Colours cycle per unit row.
+///
+/// ```
+/// use hls_celllib::{OpKind, TimingSpec};
+/// use hls_dfg::{DfgBuilder, FuClass};
+/// use hls_schedule::{render_svg, CStep, FuIndex, Schedule, Slot, UnitId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new("g");
+/// let x = b.input("x");
+/// let _t = b.op("t", OpKind::Inc, &[x])?;
+/// let dfg = b.finish()?;
+/// let mut s = Schedule::new(&dfg, 2);
+/// s.assign(dfg.node_by_name("t").unwrap(), Slot {
+///     step: CStep::new(1),
+///     unit: UnitId::Fu { class: FuClass::Op(OpKind::Inc), index: FuIndex::new(1) },
+/// });
+/// let svg = render_svg(&dfg, &s, &TimingSpec::uniform_single_cycle());
+/// assert!(svg.starts_with("<svg"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_svg(dfg: &Dfg, schedule: &Schedule, spec: &TimingSpec) -> String {
+    // Collect rows: one per distinct unit, sorted.
+    let mut rows: Vec<UnitId> = schedule.iter().map(|(_, slot)| slot.unit).collect();
+    rows.sort();
+    rows.dedup();
+    let row_of: BTreeMap<UnitId, usize> = rows.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+
+    let cs = schedule.control_steps();
+    let width = LEFT_W + cs * STEP_W + 10;
+    let height = TOP_H + rows.len() as u32 * ROW_H + 10;
+    let palette = [
+        "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+    ];
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         font-family=\"monospace\" font-size=\"12\">"
+    );
+    let _ = writeln!(
+        out,
+        "  <text x=\"4\" y=\"16\" font-weight=\"bold\">{}</text>",
+        escape(dfg.name())
+    );
+    // Step grid and headers.
+    for t in 1..=cs {
+        let x = LEFT_W + (t - 1) * STEP_W;
+        let _ = writeln!(
+            out,
+            "  <line x1=\"{x}\" y1=\"{TOP_H}\" x2=\"{x}\" y2=\"{height}\" stroke=\"#ddd\"/>"
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"{}\" y=\"{}\" fill=\"#555\">t{t}</text>",
+            x + STEP_W / 2 - 8,
+            TOP_H - 6
+        );
+    }
+    // Unit rows.
+    for (i, unit) in rows.iter().enumerate() {
+        let y = TOP_H + i as u32 * ROW_H;
+        let _ = writeln!(
+            out,
+            "  <text x=\"4\" y=\"{}\" fill=\"#333\">{}</text>",
+            y + ROW_H - 8,
+            escape(&unit.to_string())
+        );
+        let _ = writeln!(
+            out,
+            "  <line x1=\"0\" y1=\"{y}\" x2=\"{width}\" y2=\"{y}\" stroke=\"#eee\"/>"
+        );
+    }
+    // Operation boxes.
+    for (node, slot) in schedule.iter() {
+        let row = row_of[&slot.unit];
+        let cycles = dfg.node(node).kind().cycles(spec) as u32;
+        let x = LEFT_W + (slot.step.get() - 1) * STEP_W + 2;
+        let y = TOP_H + row as u32 * ROW_H + 2;
+        let w = cycles * STEP_W - 4;
+        let h = ROW_H - 4;
+        let colour = palette[row % palette.len()];
+        let _ = writeln!(
+            out,
+            "  <rect x=\"{x}\" y=\"{y}\" width=\"{w}\" height=\"{h}\" rx=\"4\" \
+             fill=\"{colour}\" fill-opacity=\"0.85\"/>"
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"{}\" y=\"{}\" fill=\"#fff\">{}</text>",
+            x + 6,
+            y + h - 6,
+            escape(dfg.node(node).name())
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CStep, FuIndex, Slot};
+    use hls_celllib::OpKind;
+    use hls_dfg::{DfgBuilder, FuClass};
+
+    #[test]
+    fn svg_contains_all_operations_and_steps() {
+        let mut b = DfgBuilder::new("gantt");
+        let x = b.input("x");
+        let m = b.op("mul_op", OpKind::Mul, &[x, x]).unwrap();
+        b.op("add_op", OpKind::Add, &[m, x]).unwrap();
+        let dfg = b.finish().unwrap();
+        let spec = TimingSpec::two_cycle_multiply();
+        let mut s = Schedule::new(&dfg, 3);
+        s.assign(
+            dfg.node_by_name("mul_op").unwrap(),
+            Slot {
+                step: CStep::new(1),
+                unit: UnitId::Fu {
+                    class: FuClass::Op(OpKind::Mul),
+                    index: FuIndex::new(1),
+                },
+            },
+        );
+        s.assign(
+            dfg.node_by_name("add_op").unwrap(),
+            Slot {
+                step: CStep::new(3),
+                unit: UnitId::Alu { instance: 0 },
+            },
+        );
+        let svg = render_svg(&dfg, &s, &spec);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("mul_op"));
+        assert!(svg.contains("add_op"));
+        assert!(svg.contains(">t3<"));
+        // The 2-cycle multiply box spans two step widths minus padding.
+        assert!(svg.contains(&format!("width=\"{}\"", 2 * STEP_W - 4)));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut b = DfgBuilder::new("a<b&c");
+        let x = b.input("x");
+        b.op("n", OpKind::Inc, &[x]).unwrap();
+        let dfg = b.finish().unwrap();
+        let s = Schedule::new(&dfg, 1);
+        let svg = render_svg(&dfg, &s, &TimingSpec::uniform_single_cycle());
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+}

@@ -1,0 +1,524 @@
+//! Independent schedule verification.
+//!
+//! Every scheduler in the workspace (MFS, MFSA and the baselines) is
+//! checked against this verifier in the test suite; it re-derives all
+//! constraints from the DFG and the timing spec rather than trusting the
+//! scheduler's internal bookkeeping.
+
+use std::collections::BTreeMap;
+
+use hls_celllib::{ClockPeriod, TimingSpec};
+use hls_dfg::{Dfg, NodeId, NodeKind};
+
+use crate::{CStep, Schedule, UnitId};
+
+/// What to verify beyond the core constraints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyOptions {
+    /// Functional-pipelining initiation interval: resource conflicts are
+    /// evaluated modulo this latency.
+    pub latency: Option<u32>,
+    /// Chaining clock period: dependent single-cycle operations may share
+    /// a step when their accumulated delay fits within one period.
+    /// Without it, dependencies must be strictly ordered by step.
+    pub clock: Option<ClockPeriod>,
+}
+
+/// A constraint violation found by [`verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// An operation has no slot.
+    Unscheduled(NodeId),
+    /// A successor starts before (or, without chaining, not after) its
+    /// predecessor finishes.
+    DependencyOrder {
+        /// The producing operation.
+        pred: NodeId,
+        /// The consuming operation.
+        succ: NodeId,
+    },
+    /// The accumulated combinational delay within a step exceeds the
+    /// clock period.
+    ChainingOverflow {
+        /// The step whose delay path overflows.
+        step: CStep,
+        /// Accumulated delay on the worst path, in time units.
+        delay: u32,
+        /// The clock period, in time units.
+        clock: u32,
+    },
+    /// Two non-exclusive operations overlap on the same unit.
+    ResourceConflict {
+        /// First operation.
+        a: NodeId,
+        /// Second operation.
+        b: NodeId,
+    },
+    /// An operation finishes after the time constraint.
+    TimeExceeded {
+        /// The late operation.
+        node: NodeId,
+        /// Its finish step.
+        finish: CStep,
+    },
+    /// A pipeline stage does not start exactly one step after its
+    /// predecessor stage.
+    StageNotConsecutive {
+        /// The earlier stage.
+        prev: NodeId,
+        /// The later stage.
+        next: NodeId,
+    },
+    /// An operation is bound to a single-function unit of the wrong
+    /// class.
+    UnitClassMismatch {
+        /// The mis-bound operation.
+        node: NodeId,
+    },
+}
+
+/// Checks `schedule` against `dfg` and `spec`; returns every violation
+/// found (empty = valid).
+///
+/// ```
+/// use hls_celllib::{OpKind, TimingSpec};
+/// use hls_dfg::{DfgBuilder, FuClass};
+/// use hls_schedule::{verify, CStep, FuIndex, Schedule, Slot, UnitId, VerifyOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new("g");
+/// let x = b.input("x");
+/// let t = b.op("t", OpKind::Inc, &[x])?;
+/// let _u = b.op("u", OpKind::Dec, &[t])?;
+/// let dfg = b.finish()?;
+/// let t = dfg.node_by_name("t").unwrap();
+/// let u = dfg.node_by_name("u").unwrap();
+/// let spec = TimingSpec::uniform_single_cycle();
+///
+/// let mut s = Schedule::new(&dfg, 2);
+/// let unit = |k, i| UnitId::Fu { class: FuClass::Op(k), index: FuIndex::new(i) };
+/// s.assign(t, Slot { step: CStep::new(1), unit: unit(OpKind::Inc, 1) });
+/// s.assign(u, Slot { step: CStep::new(2), unit: unit(OpKind::Dec, 1) });
+/// assert!(verify(&dfg, &s, &spec, VerifyOptions::default()).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    spec: &TimingSpec,
+    options: VerifyOptions,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let cs = schedule.control_steps();
+
+    // Completeness & horizon.
+    for id in dfg.node_ids() {
+        match schedule.slot(id) {
+            None => violations.push(Violation::Unscheduled(id)),
+            Some(slot) => {
+                let finish = slot.step.finish(dfg.node(id).kind().cycles(spec));
+                if finish.get() > cs {
+                    violations.push(Violation::TimeExceeded { node: id, finish });
+                }
+                if let UnitId::Fu { class, .. } = slot.unit {
+                    if class != dfg.node(id).kind().fu_class() {
+                        violations.push(Violation::UnitClassMismatch { node: id });
+                    }
+                }
+            }
+        }
+    }
+
+    // Dependency ordering (and stage consecutiveness).
+    for id in dfg.node_ids() {
+        let Some(slot) = schedule.slot(id) else {
+            continue;
+        };
+        let node = dfg.node(id);
+        let chainable_succ = options.clock.is_some()
+            && node.kind().cycles(spec) == 1
+            && node.kind().delay(spec).as_u32() > 0;
+        for &p in dfg.preds(id) {
+            let Some(p_slot) = schedule.slot(p) else {
+                continue;
+            };
+            let p_node = dfg.node(p);
+            let p_finish = p_slot.step.finish(p_node.kind().cycles(spec));
+            let chainable_pred = options.clock.is_some()
+                && p_node.kind().cycles(spec) == 1
+                && p_node.kind().delay(spec).as_u32() > 0;
+            let ok = if chainable_succ && chainable_pred {
+                slot.step >= p_finish
+            } else {
+                slot.step > p_finish
+            };
+            if !ok {
+                violations.push(Violation::DependencyOrder { pred: p, succ: id });
+            }
+            if let NodeKind::Stage { index, .. } = node.kind() {
+                if index > 0
+                    && matches!(p_node.kind(), NodeKind::Stage { .. })
+                    && slot.step.get() != p_slot.step.get() + 1
+                {
+                    violations.push(Violation::StageNotConsecutive { prev: p, next: id });
+                }
+            }
+        }
+    }
+
+    // Chaining delay budget per step: longest within-step delay path.
+    if let Some(clock) = options.clock {
+        // Only single-cycle ops participate; edges within the same step.
+        let mut path = vec![0u32; dfg.node_count()];
+        let mut worst: BTreeMap<u32, u32> = BTreeMap::new();
+        for &id in dfg.topo_order() {
+            let Some(slot) = schedule.slot(id) else {
+                continue;
+            };
+            let node = dfg.node(id);
+            if node.kind().cycles(spec) != 1 {
+                continue;
+            }
+            let d = node.kind().delay(spec).as_u32();
+            let mut start = 0u32;
+            for &p in dfg.preds(id) {
+                if schedule.slot(p).map(|s| s.step) == Some(slot.step)
+                    && dfg.node(p).kind().cycles(spec) == 1
+                {
+                    start = start.max(path[p.index()]);
+                }
+            }
+            path[id.index()] = start + d;
+            let w = worst.entry(slot.step.get()).or_insert(0);
+            *w = (*w).max(path[id.index()]);
+        }
+        for (step, delay) in worst {
+            if delay > clock.as_u32() {
+                violations.push(Violation::ChainingOverflow {
+                    step: CStep::new(step),
+                    delay,
+                    clock: clock.as_u32(),
+                });
+            }
+        }
+    }
+
+    // Resource conflicts: same unit, overlapping (wrapped) spans, not
+    // mutually exclusive.
+    let mut by_unit: BTreeMap<UnitId, Vec<NodeId>> = BTreeMap::new();
+    for (n, slot) in schedule.iter() {
+        by_unit.entry(slot.unit).or_default().push(n);
+    }
+    let wrap = |s: u32| match options.latency {
+        Some(l) => (s - 1) % l,
+        None => s - 1,
+    };
+    for nodes in by_unit.values() {
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                if dfg.mutually_exclusive(a, b) {
+                    continue;
+                }
+                let (sa, sb) = (
+                    schedule.slot(a).expect("in map"),
+                    schedule.slot(b).expect("in map"),
+                );
+                let ca = dfg.node(a).kind().cycles(spec) as u32;
+                let cb = dfg.node(b).kind().cycles(spec) as u32;
+                let steps_a: Vec<u32> = (0..ca).map(|k| wrap(sa.step.get() + k)).collect();
+                let overlap = (0..cb)
+                    .map(|k| wrap(sb.step.get() + k))
+                    .any(|s| steps_a.contains(&s));
+                if overlap {
+                    violations.push(Violation::ResourceConflict { a, b });
+                }
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FuIndex, Slot};
+    use hls_celllib::OpKind;
+    use hls_dfg::{DfgBuilder, FuClass};
+
+    fn unit(k: OpKind, i: u32) -> UnitId {
+        UnitId::Fu {
+            class: FuClass::Op(k),
+            index: FuIndex::new(i),
+        }
+    }
+
+    fn pair() -> (Dfg, NodeId, NodeId) {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let t = b.op("t", OpKind::Add, &[x, x]).unwrap();
+        b.op("u", OpKind::Add, &[t, x]).unwrap();
+        let g = b.finish().unwrap();
+        let t = g.node_by_name("t").unwrap();
+        let u = g.node_by_name("u").unwrap();
+        (g, t, u)
+    }
+
+    #[test]
+    fn missing_slot_is_reported() {
+        let (g, t, u) = pair();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut s = Schedule::new(&g, 2);
+        s.assign(
+            t,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        let v = verify(&g, &s, &spec, VerifyOptions::default());
+        assert_eq!(v, vec![Violation::Unscheduled(u)]);
+    }
+
+    #[test]
+    fn dependency_violation_is_reported() {
+        let (g, t, u) = pair();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut s = Schedule::new(&g, 2);
+        s.assign(
+            t,
+            Slot {
+                step: CStep::new(2),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        s.assign(
+            u,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Add, 2),
+            },
+        );
+        let v = verify(&g, &s, &spec, VerifyOptions::default());
+        assert!(v.contains(&Violation::DependencyOrder { pred: t, succ: u }));
+    }
+
+    #[test]
+    fn same_step_dependency_needs_chaining() {
+        let (g, t, u) = pair();
+        let mut s = Schedule::new(&g, 1);
+        s.assign(
+            t,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        s.assign(
+            u,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Add, 2),
+            },
+        );
+        // Without chaining: violation.
+        let spec0 = TimingSpec::uniform_single_cycle();
+        let v = verify(&g, &s, &spec0, VerifyOptions::default());
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::DependencyOrder { .. })));
+        // With chaining and a generous clock: fine.
+        let spec = TimingSpec::with_delays();
+        let opts = VerifyOptions {
+            clock: Some(ClockPeriod::new(200)),
+            ..Default::default()
+        };
+        assert!(verify(&g, &s, &spec, opts).is_empty());
+        // With a tight clock: chaining overflow.
+        let opts = VerifyOptions {
+            clock: Some(ClockPeriod::new(90)),
+            ..Default::default()
+        };
+        let v = verify(&g, &s, &spec, opts);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ChainingOverflow { .. })));
+    }
+
+    #[test]
+    fn resource_conflicts_are_reported() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("a", OpKind::Add, &[x, x]).unwrap();
+        b.op("b", OpKind::Add, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut s = Schedule::new(&g, 2);
+        s.assign(
+            a,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        s.assign(
+            bb,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        let v = verify(&g, &s, &spec, VerifyOptions::default());
+        assert_eq!(v, vec![Violation::ResourceConflict { a, b: bb }]);
+    }
+
+    #[test]
+    fn exclusive_ops_may_share_a_unit_and_step() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let branch = b.begin_branch();
+        b.enter_arm(branch, 0);
+        b.op("a", OpKind::Add, &[x, x]).unwrap();
+        b.exit_arm();
+        b.enter_arm(branch, 1);
+        b.op("b", OpKind::Add, &[x, x]).unwrap();
+        b.exit_arm();
+        let g = b.finish().unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut s = Schedule::new(&g, 1);
+        s.assign(
+            a,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        s.assign(
+            bb,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        assert!(verify(&g, &s, &spec, VerifyOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn latency_wrap_finds_modulo_conflicts() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("a", OpKind::Add, &[x, x]).unwrap();
+        b.op("b", OpKind::Add, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut s = Schedule::new(&g, 4);
+        s.assign(
+            a,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        s.assign(
+            bb,
+            Slot {
+                step: CStep::new(3),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        assert!(verify(&g, &s, &spec, VerifyOptions::default()).is_empty());
+        let opts = VerifyOptions {
+            latency: Some(2),
+            ..Default::default()
+        };
+        let v = verify(&g, &s, &spec, opts);
+        assert_eq!(v, vec![Violation::ResourceConflict { a, b: bb }]);
+    }
+
+    #[test]
+    fn time_overrun_is_reported() {
+        let (g, t, u) = pair();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut s = Schedule::new(&g, 1);
+        s.assign(
+            t,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        s.assign(
+            u,
+            Slot {
+                step: CStep::new(2),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        let v = verify(&g, &s, &spec, VerifyOptions::default());
+        assert!(v.contains(&Violation::TimeExceeded {
+            node: u,
+            finish: CStep::new(2)
+        }));
+    }
+
+    #[test]
+    fn wrong_unit_class_is_reported() {
+        let (g, t, u) = pair();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut s = Schedule::new(&g, 2);
+        s.assign(
+            t,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Mul, 1),
+            },
+        );
+        s.assign(
+            u,
+            Slot {
+                step: CStep::new(2),
+                unit: unit(OpKind::Add, 1),
+            },
+        );
+        let v = verify(&g, &s, &spec, VerifyOptions::default());
+        assert_eq!(v, vec![Violation::UnitClassMismatch { node: t }]);
+    }
+
+    #[test]
+    fn multicycle_overlap_is_a_conflict() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("a", OpKind::Mul, &[x, x]).unwrap();
+        b.op("b", OpKind::Mul, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let spec = TimingSpec::two_cycle_multiply();
+        let mut s = Schedule::new(&g, 3);
+        s.assign(
+            a,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Mul, 1),
+            },
+        );
+        s.assign(
+            bb,
+            Slot {
+                step: CStep::new(2),
+                unit: unit(OpKind::Mul, 1),
+            },
+        );
+        let v = verify(&g, &s, &spec, VerifyOptions::default());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::ResourceConflict { .. }));
+    }
+}

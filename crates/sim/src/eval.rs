@@ -1,0 +1,87 @@
+//! Reference semantics of the operator set.
+
+use hls_celllib::OpKind;
+
+/// Evaluates one operation on 64-bit integers: wrapping arithmetic,
+/// comparisons yielding 0/1, shift counts masked to 0–63, and division
+/// by zero defined as 0 (hardware-friendly total semantics).
+///
+/// Unary operators ignore `b` (pass 0 by convention).
+///
+/// ```
+/// use hls_celllib::OpKind;
+/// use hls_sim::eval_op;
+///
+/// assert_eq!(eval_op(OpKind::Add, 3, 4), 7);
+/// assert_eq!(eval_op(OpKind::Lt, 3, 4), 1);
+/// assert_eq!(eval_op(OpKind::Div, 10, 0), 0);
+/// assert_eq!(eval_op(OpKind::Neg, 5, 0), -5);
+/// ```
+pub fn eval_op(kind: OpKind, a: i64, b: i64) -> i64 {
+    match kind {
+        OpKind::Add => a.wrapping_add(b),
+        OpKind::Sub => a.wrapping_sub(b),
+        OpKind::Mul => a.wrapping_mul(b),
+        OpKind::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        OpKind::And => a & b,
+        OpKind::Or => a | b,
+        OpKind::Xor => a ^ b,
+        OpKind::Not => !a,
+        OpKind::Eq => i64::from(a == b),
+        OpKind::Ne => i64::from(a != b),
+        OpKind::Lt => i64::from(a < b),
+        OpKind::Gt => i64::from(a > b),
+        OpKind::Shl => a.wrapping_shl((b & 63) as u32),
+        OpKind::Shr => a.wrapping_shr((b & 63) as u32),
+        OpKind::Inc => a.wrapping_add(1),
+        OpKind::Dec => a.wrapping_sub(1),
+        OpKind::Neg => a.wrapping_neg(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(eval_op(OpKind::Add, i64::MAX, 1), i64::MIN);
+        assert_eq!(eval_op(OpKind::Mul, i64::MAX, 2), -2);
+        assert_eq!(eval_op(OpKind::Neg, i64::MIN, 0), i64::MIN);
+    }
+
+    #[test]
+    fn comparisons_are_boolean() {
+        assert_eq!(eval_op(OpKind::Eq, 5, 5), 1);
+        assert_eq!(eval_op(OpKind::Ne, 5, 5), 0);
+        assert_eq!(eval_op(OpKind::Gt, -1, -2), 1);
+    }
+
+    #[test]
+    fn division_is_total() {
+        assert_eq!(eval_op(OpKind::Div, 42, 0), 0);
+        assert_eq!(
+            eval_op(OpKind::Div, i64::MIN, -1),
+            i64::MIN.wrapping_div(-1)
+        );
+    }
+
+    #[test]
+    fn shifts_mask_their_count() {
+        assert_eq!(eval_op(OpKind::Shl, 1, 64), 1);
+        assert_eq!(eval_op(OpKind::Shl, 1, 65), 2);
+        assert_eq!(eval_op(OpKind::Shr, 8, 2), 2);
+    }
+
+    #[test]
+    fn unary_ops_ignore_b() {
+        assert_eq!(eval_op(OpKind::Inc, 7, 999), 8);
+        assert_eq!(eval_op(OpKind::Not, 0, 999), -1);
+    }
+}

@@ -1,0 +1,156 @@
+//! The behavioural reference interpreter.
+
+use std::collections::BTreeMap;
+
+use hls_dfg::{Dfg, NodeKind, SignalId, SignalSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{eval_op, SimError};
+
+/// Evaluates the graph on the given primary-input values, returning the
+/// value of **every** signal (inputs, constants and operation results).
+///
+/// Structural-pipeline stage chains compute their base operation at
+/// stage 1 and forward the value through later stages, so an expanded
+/// graph evaluates to the same values as its source.
+///
+/// # Errors
+///
+/// [`SimError::MissingInput`] if a consumed primary input has no value;
+/// [`SimError::Unsupported`] for folded loop bodies.
+pub fn interpret(
+    dfg: &Dfg,
+    inputs: &BTreeMap<SignalId, i64>,
+) -> Result<BTreeMap<SignalId, i64>, SimError> {
+    let mut values: BTreeMap<SignalId, i64> = BTreeMap::new();
+    for (sid, sig) in dfg.signals() {
+        match sig.source() {
+            SignalSource::Constant(v) => {
+                values.insert(sid, v);
+            }
+            SignalSource::PrimaryInput => {
+                if let Some(&v) = inputs.get(&sid) {
+                    values.insert(sid, v);
+                }
+            }
+            SignalSource::Node(_) => {}
+        }
+    }
+    for &id in dfg.topo_order() {
+        let node = dfg.node(id);
+        let operand = |i: usize| -> Result<i64, SimError> {
+            let sig = node.inputs()[i];
+            values.get(&sig).copied().ok_or(SimError::MissingInput(sig))
+        };
+        let value = match node.kind() {
+            NodeKind::Op(k) => {
+                let a = operand(0)?;
+                let b = if k.arity() == 2 { operand(1)? } else { 0 };
+                eval_op(k, a, b)
+            }
+            NodeKind::Stage { base, index, .. } => {
+                if index == 0 {
+                    let a = operand(0)?;
+                    let b = if base.arity() == 2 { operand(1)? } else { 0 };
+                    eval_op(base, a, b)
+                } else {
+                    // Later stages forward the pipeline value.
+                    operand(0)?
+                }
+            }
+            NodeKind::LoopBody { .. } => return Err(SimError::Unsupported(id)),
+        };
+        values.insert(node.output(), value);
+    }
+    Ok(values)
+}
+
+/// Generates a deterministic pseudo-random input vector for `dfg`
+/// (small magnitudes, so products stay meaningful).
+pub fn random_inputs(dfg: &Dfg, seed: u64) -> BTreeMap<SignalId, i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    dfg.signals()
+        .filter(|(_, s)| matches!(s.source(), SignalSource::PrimaryInput))
+        .map(|(id, _)| (id, rng.gen_range(-1000..=1000)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::{OpKind, TimingSpec};
+    use hls_dfg::DfgBuilder;
+
+    #[test]
+    fn evaluates_a_small_program() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let k = b.constant("k", 10);
+        let p = b.op("p", OpKind::Mul, &[x, y]).unwrap();
+        let q = b.op("q", OpKind::Add, &[p, k]).unwrap();
+        b.op("r", OpKind::Gt, &[q, x]).unwrap();
+        let g = b.finish().unwrap();
+        let inputs = [(x, 6), (y, 7)].into_iter().collect();
+        let values = interpret(&g, &inputs).unwrap();
+        assert_eq!(values[&g.signal_by_name("p").unwrap()], 42);
+        assert_eq!(values[&g.signal_by_name("q").unwrap()], 52);
+        assert_eq!(values[&g.signal_by_name("r").unwrap()], 1);
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("p", OpKind::Inc, &[x]).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(
+            interpret(&g, &BTreeMap::new()),
+            Err(SimError::MissingInput(x))
+        );
+    }
+
+    #[test]
+    fn stage_expansion_preserves_values() {
+        use hls_dfg::transform::expand_structural_stages;
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.op("m", OpKind::Mul, &[x, y]).unwrap();
+        b.op("a", OpKind::Add, &[m, y]).unwrap();
+        let g = b.finish().unwrap();
+        let spec = TimingSpec::two_cycle_multiply();
+        let (expanded, _) =
+            expand_structural_stages(&g, &spec, &[OpKind::Mul].into_iter().collect()).unwrap();
+        let inputs_g = [(x, 11), (y, 5)].into_iter().collect();
+        let base = interpret(&g, &inputs_g).unwrap();
+        // Map inputs by name onto the expanded graph.
+        let inputs_e = [
+            (expanded.signal_by_name("x").unwrap(), 11),
+            (expanded.signal_by_name("y").unwrap(), 5),
+        ]
+        .into_iter()
+        .collect();
+        let exp = interpret(&expanded, &inputs_e).unwrap();
+        assert_eq!(
+            base[&g.signal_by_name("a").unwrap()],
+            exp[&expanded.signal_by_name("a").unwrap()]
+        );
+        assert_eq!(exp[&expanded.signal_by_name("m.s2").unwrap()], 55);
+    }
+
+    #[test]
+    fn random_inputs_cover_all_primary_inputs_deterministically() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        b.op("p", OpKind::Add, &[x, y]).unwrap();
+        let g = b.finish().unwrap();
+        let a = random_inputs(&g, 3);
+        let c = random_inputs(&g, 3);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a, c);
+        assert_ne!(a, random_inputs(&g, 4));
+    }
+}

@@ -1,0 +1,167 @@
+//! VCD (value-change-dump) waveform export of a simulation run, for
+//! viewing in GTKWave and friends.
+
+use std::fmt::Write as _;
+
+use hls_dfg::Dfg;
+use hls_rtl::Datapath;
+
+use crate::SimOutcome;
+
+fn vcd_id(index: usize) -> String {
+    // Printable VCD identifier characters: '!'..='~'.
+    let mut index = index;
+    let mut id = String::new();
+    loop {
+        id.push((b'!' + (index % 94) as u8) as char);
+        index /= 94;
+        if index == 0 {
+            break;
+        }
+    }
+    id
+}
+
+fn bits64(value: i64) -> String {
+    format!("b{:064b}", value as u64)
+}
+
+/// Renders the simulation trace as a VCD document: one timestep per
+/// control step, with the state counter, every register and every ALU
+/// output as 64-bit variables.
+///
+/// ```
+/// # use hls_celllib::{Library, OpKind, TimingSpec};
+/// # use hls_dfg::DfgBuilder;
+/// # use hls_sim::{simulate, write_vcd, random_inputs};
+/// # use moveframe::mfsa::{self, MfsaConfig};
+/// # use hls_control::Controller;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new("g");
+/// let x = b.input("x");
+/// let p = b.op("p", OpKind::Inc, &[x])?;
+/// let _q = b.op("q", OpKind::Dec, &[p])?;
+/// let dfg = b.finish()?;
+/// let spec = TimingSpec::uniform_single_cycle();
+/// let out = mfsa::schedule(&dfg, &spec, &MfsaConfig::new(2, Library::ncr_like()))?;
+/// let ctl = Controller::generate(&dfg, &out.schedule, &out.datapath, &spec)?;
+/// let sim = simulate(&dfg, &out.schedule, &out.datapath, &ctl, &spec, &random_inputs(&dfg, 1))?;
+/// let vcd = write_vcd(&dfg, &out.datapath, &sim);
+/// assert!(vcd.contains("$enddefinitions"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_vcd(dfg: &Dfg, datapath: &Datapath, outcome: &SimOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$version moveframe-hls simulator $end");
+    let _ = writeln!(out, "$timescale 1 ns $end");
+    let _ = writeln!(out, "$scope module {} $end", dfg.name().replace(' ', "_"));
+
+    // Variable declarations: state, registers, ALU outputs.
+    let mut vars: Vec<(String, String)> = Vec::new(); // (vcd id, kind)
+    let state_id = vcd_id(0);
+    let _ = writeln!(out, "$var wire 32 {state_id} state $end");
+    let mut next = 1usize;
+    let mut reg_ids = Vec::new();
+    for reg in datapath.registers() {
+        let id = vcd_id(next);
+        next += 1;
+        let _ = writeln!(out, "$var wire 64 {id} {} $end", reg.id);
+        reg_ids.push((reg.id, id.clone()));
+        vars.push((id, "reg".into()));
+    }
+    let mut alu_ids = Vec::new();
+    for alu in datapath.alus() {
+        let id = vcd_id(next);
+        next += 1;
+        let _ = writeln!(out, "$var wire 64 {id} {}_y $end", alu.id);
+        alu_ids.push((alu.id, id.clone()));
+        vars.push((id, "alu".into()));
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // Initial values: x (unknown).
+    let _ = writeln!(out, "#0");
+    let _ = writeln!(out, "b0 {state_id}");
+    for (id, _) in &vars {
+        let _ = writeln!(out, "bx {id}");
+    }
+
+    for trace in &outcome.trace {
+        let _ = writeln!(out, "#{}", trace.step * 10);
+        let _ = writeln!(out, "{} {state_id}", bits64(trace.step as i64));
+        for (reg, id) in &reg_ids {
+            if let Some(&v) = trace.registers.get(reg) {
+                let _ = writeln!(out, "{} {id}", bits64(v));
+            }
+        }
+        for (alu, id) in &alu_ids {
+            match trace.alu_values.get(alu) {
+                Some(&v) => {
+                    let _ = writeln!(out, "{} {id}", bits64(v));
+                }
+                None => {
+                    let _ = writeln!(out, "bx {id}");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{random_inputs, simulate};
+    use hls_celllib::{Library, OpKind, TimingSpec};
+    use hls_control::Controller;
+    use hls_dfg::DfgBuilder;
+    use hls_rtl::AluAllocation;
+    use hls_schedule::{CStep, Schedule, Slot, UnitId};
+
+    #[test]
+    fn vcd_contains_headers_steps_and_values() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let p = b.op("p", OpKind::Add, &[x, x]).unwrap();
+        b.op("q", OpKind::Sub, &[p, x]).unwrap();
+        let dfg = b.finish().unwrap();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut s = Schedule::new(&dfg, 2);
+        for (i, name) in ["p", "q"].iter().enumerate() {
+            s.assign(
+                dfg.node_by_name(name).unwrap(),
+                Slot {
+                    step: CStep::new(i as u32 + 1),
+                    unit: UnitId::Alu { instance: 0 },
+                },
+            );
+        }
+        let lib = Library::ncr_like();
+        let mut alloc = AluAllocation::new();
+        alloc.push(lib.alu_by_name("add_sub").unwrap().clone());
+        let dp = hls_rtl::Datapath::build(&dfg, &s, &alloc, &spec).unwrap();
+        let ctl = Controller::generate(&dfg, &s, &dp, &spec).unwrap();
+        let sim = simulate(&dfg, &s, &dp, &ctl, &spec, &random_inputs(&dfg, 5)).unwrap();
+        let vcd = write_vcd(&dfg, &dp, &sim);
+        assert!(vcd.contains("$timescale"));
+        assert!(vcd.contains("$var wire 32"));
+        assert!(vcd.contains("$var wire 64"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("#10"));
+        assert!(vcd.contains("#20"));
+        // Two steps traced.
+        assert_eq!(sim.trace.len(), 2);
+    }
+
+    #[test]
+    fn vcd_ids_are_unique_and_printable() {
+        let ids: Vec<String> = (0..200).map(vcd_id).collect();
+        let set: std::collections::BTreeSet<&String> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Functional pipelining (loop folding): schedule a filter body so that
+//! successive loop initiations overlap every `L` steps — the paper's
+//! §5.5.2 two-instance construction.
+//!
+//! ```sh
+//! cargo run --example pipelined_filter
+//! ```
+
+use moveframe_hls::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The loop body: a biquad-like section.
+    let mut b = DfgBuilder::new("biquad");
+    let x = b.input("x");
+    let w1 = b.input("w1");
+    let w2 = b.input("w2");
+    let (a1, a2, b1, b2) = (b.input("a1"), b.input("a2"), b.input("b1"), b.input("b2"));
+    let m1 = b.op("m1", OpKind::Mul, &[w1, a1])?;
+    let m2 = b.op("m2", OpKind::Mul, &[w2, a2])?;
+    let s1 = b.op("s1", OpKind::Add, &[m1, m2])?;
+    let w0 = b.op("w0", OpKind::Add, &[x, s1])?;
+    let m3 = b.op("m3", OpKind::Mul, &[w1, b1])?;
+    let m4 = b.op("m4", OpKind::Mul, &[w2, b2])?;
+    let s2 = b.op("s2", OpKind::Add, &[m3, m4])?;
+    let _y = b.op("y", OpKind::Add, &[w0, s2])?;
+    let body = b.finish()?;
+    let spec = TimingSpec::uniform_single_cycle();
+    let cs = 4;
+
+    println!(
+        "loop body: {} ops, scheduled in {cs} steps\n",
+        body.node_count()
+    );
+    let note = "(throughput = 1 result / L steps)";
+    println!("{:<9} {:<20} {note}", "latency", "units");
+    for latency in [4u32, 2, 1] {
+        let out = schedule_two_instance(&body, &spec, cs, latency)?;
+        let mix: OpMix = out
+            .fu_counts()
+            .into_iter()
+            .map(|(c, n)| (c, n as usize))
+            .collect();
+        println!("L = {latency:<6}{{{mix}}}");
+        // The doubled schedule materialises two overlapping initiations
+        // and passes verification with explicit instances:
+        let v = verify(
+            &out.doubled,
+            &out.doubled_schedule,
+            &spec,
+            VerifyOptions::default(),
+        );
+        assert!(v.is_empty());
+    }
+
+    println!("\nL = 1 runs a new initiation every step: every operation needs");
+    println!("its own unit. L = cs is ordinary (non-overlapped) scheduling.");
+
+    // Show the overlapped schedule at L = 2.
+    let out = schedule_two_instance(&body, &spec, cs, 2)?;
+    println!(
+        "\noverlapped double schedule at L = 2 (partition boundary d = {}):",
+        out.partition_boundary
+    );
+    print!(
+        "{}",
+        render_schedule(&out.doubled, &out.doubled_schedule, &spec)
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: describe a behaviour, schedule it with MFS, inspect the
+//! result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use moveframe_hls::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A behaviour in the textual DFG format: three taps of a tiny
+    // filter followed by a threshold test.
+    let dfg = parse_dfg(
+        "dfg quickstart
+         input x0, x1, x2, c0, c1, c2, threshold
+         op p0 = mul(x0, c0)
+         op p1 = mul(x1, c1)
+         op p2 = mul(x2, c2)
+         op s0 = add(p0, p1)
+         op s1 = add(s0, p2)
+         op hit = gt(s1, threshold)",
+    )?;
+
+    println!(
+        "behaviour `{}`: {} operations",
+        dfg.name(),
+        dfg.node_count()
+    );
+    let spec = TimingSpec::uniform_single_cycle();
+    let cp = CriticalPath::compute(&dfg, &spec);
+    println!("critical path: {} control steps\n", cp.steps());
+
+    // Schedule under a 4-step time constraint.
+    let outcome = mfs::schedule(&dfg, &spec, &MfsConfig::time_constrained(4))?;
+    print!("{}", render_schedule(&dfg, &outcome.schedule, &spec));
+
+    // The schedule is independently verifiable.
+    let violations = verify(&dfg, &outcome.schedule, &spec, VerifyOptions::default());
+    assert!(violations.is_empty());
+    println!("\nverified: no violations");
+
+    // Tighter time costs more hardware; looser time costs less.
+    for t in [3, 4, 6] {
+        let out = mfs::schedule(&dfg, &spec, &MfsConfig::time_constrained(t))?;
+        let mix: OpMix = out
+            .fu_counts()
+            .into_iter()
+            .map(|(c, n)| (c, n as usize))
+            .collect();
+        println!("T = {t}: functional units {{{mix}}}");
+    }
+    Ok(())
+}

@@ -1,0 +1,554 @@
+//! `mfhls` — the moveframe-hls command-line front end.
+//!
+//! ```text
+//! mfhls info <file.dfg> [--dot]
+//! mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]...
+//!                [--chain CLOCK] [--latency L] [--two-cycle-mul]
+//!                [--svg FILE]
+//! mfhls synth <file.dfg> --cs N [--style2] [--weights T,A,M,R]
+//!             [--lib FILE.lib] [--two-cycle-mul] [--microcode]
+//!             [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]
+//! ```
+//!
+//! Reads the textual DFG format (see `hls-dfg`), schedules with MFS or
+//! synthesises with MFSA against the built-in NCR-like library, and
+//! prints schedules, data paths, cost reports, microcode or Verilog.
+
+use std::process::ExitCode;
+
+use moveframe_hls::control::{emit_testbench, emit_verilog};
+use moveframe_hls::prelude::*;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Command {
+    Info {
+        file: String,
+        dot: bool,
+    },
+    Schedule {
+        file: String,
+        cs: u32,
+        resource: bool,
+        limits: Vec<(OpKind, u32)>,
+        chain: Option<u32>,
+        latency: Option<u32>,
+        two_cycle_mul: bool,
+        svg: Option<String>,
+    },
+    Synth {
+        file: String,
+        cs: u32,
+        style2: bool,
+        weights: Option<[u32; 4]>,
+        lib: Option<String>,
+        two_cycle_mul: bool,
+        microcode: bool,
+        verilog: bool,
+        testbench: bool,
+        check: bool,
+        svg: Option<String>,
+        vcd: Option<String>,
+    },
+}
+
+fn usage() -> String {
+    "usage:\n  mfhls info <file.dfg> [--dot]\n  mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]... [--chain CLOCK] [--latency L] [--two-cycle-mul] [--svg FILE]\n  mfhls synth <file.dfg> --cs N [--style2] [--weights T,A,M,R] [--lib FILE.lib] [--two-cycle-mul] [--microcode] [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]".to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().peekable();
+    let sub = it.next().ok_or_else(usage)?;
+    let file = it.next().ok_or("missing input file")?.clone();
+    let mut cs = None;
+    let mut resource = false;
+    let mut limits = Vec::new();
+    let mut chain = None;
+    let mut latency = None;
+    let mut two_cycle_mul = false;
+    let mut style2 = false;
+    let mut weights = None;
+    let mut lib = None;
+    let mut microcode = false;
+    let mut verilog = false;
+    let mut testbench = false;
+    let mut check = false;
+    let mut dot = false;
+    let mut svg = None;
+    let mut vcd = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--cs" => {
+                let v = it.next().ok_or("--cs needs a value")?;
+                cs = Some(v.parse::<u32>().map_err(|_| "invalid --cs value")?);
+            }
+            "--resource" => resource = true,
+            "--limit" => {
+                let v = it.next().ok_or("--limit needs OP=N")?;
+                let (op, n) = v.split_once('=').ok_or("--limit needs OP=N")?;
+                let op: OpKind = op.parse().map_err(|e| format!("{e}"))?;
+                let n: u32 = n.parse().map_err(|_| "invalid --limit count")?;
+                limits.push((op, n));
+            }
+            "--chain" => {
+                let v = it.next().ok_or("--chain needs a clock period")?;
+                chain = Some(v.parse::<u32>().map_err(|_| "invalid clock period")?);
+            }
+            "--latency" => {
+                let v = it.next().ok_or("--latency needs a value")?;
+                latency = Some(v.parse::<u32>().map_err(|_| "invalid latency")?);
+            }
+            "--two-cycle-mul" => two_cycle_mul = true,
+            "--style2" => style2 = true,
+            "--weights" => {
+                let v = it.next().ok_or("--weights needs T,A,M,R")?;
+                let parts: Vec<u32> = v
+                    .split(',')
+                    .map(|p| p.parse::<u32>().map_err(|_| "invalid weight"))
+                    .collect::<Result<_, _>>()?;
+                if parts.len() != 4 {
+                    return Err("--weights needs exactly four values".into());
+                }
+                weights = Some([parts[0], parts[1], parts[2], parts[3]]);
+            }
+            "--lib" => {
+                let v = it.next().ok_or("--lib needs a file path")?;
+                lib = Some(v.clone());
+            }
+            "--microcode" => microcode = true,
+            "--verilog" => verilog = true,
+            "--testbench" => testbench = true,
+            "--check" => check = true,
+            "--dot" => dot = true,
+            "--svg" => {
+                let v = it.next().ok_or("--svg needs a file path")?;
+                svg = Some(v.clone());
+            }
+            "--vcd" => {
+                let v = it.next().ok_or("--vcd needs a file path")?;
+                vcd = Some(v.clone());
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    match sub.as_str() {
+        "info" => Ok(Command::Info { file, dot }),
+        "schedule" => Ok(Command::Schedule {
+            file,
+            cs: cs.ok_or("schedule requires --cs")?,
+            resource,
+            limits,
+            chain,
+            latency,
+            two_cycle_mul,
+            svg,
+        }),
+        "synth" => Ok(Command::Synth {
+            file,
+            cs: cs.ok_or("synth requires --cs")?,
+            style2,
+            weights,
+            lib,
+            two_cycle_mul,
+            microcode,
+            verilog,
+            testbench,
+            check,
+            svg,
+            vcd,
+        }),
+        other => Err(format!("unknown subcommand `{other}`\n{}", usage())),
+    }
+}
+
+fn load(file: &str) -> Result<Dfg, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    parse_dfg(&text).map_err(|e| format!("{file}: {e}"))
+}
+
+fn spec_for(two_cycle_mul: bool, chained: bool) -> TimingSpec {
+    if chained {
+        TimingSpec::with_delays()
+    } else if two_cycle_mul {
+        TimingSpec::two_cycle_multiply()
+    } else {
+        TimingSpec::uniform_single_cycle()
+    }
+}
+
+fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Info { file, dot } => {
+            let dfg = load(&file)?;
+            let spec = TimingSpec::uniform_single_cycle();
+            let cp = CriticalPath::compute(&dfg, &spec);
+            println!(
+                "{}: {} operation(s), {} signal(s)",
+                dfg.name(),
+                dfg.node_count(),
+                dfg.signal_count()
+            );
+            println!("operator mix: {}", OpMix::of_graph(&dfg));
+            println!(
+                "critical path: {} control step(s) (single-cycle)",
+                cp.steps()
+            );
+            let cp2 = CriticalPath::compute(&dfg, &TimingSpec::two_cycle_multiply());
+            println!(
+                "critical path: {} control step(s) (2-cycle multiply)",
+                cp2.steps()
+            );
+            if dot {
+                println!("\n{}", dfg.to_dot());
+            }
+            Ok(())
+        }
+        Command::Schedule {
+            file,
+            cs,
+            resource,
+            limits,
+            chain,
+            latency,
+            two_cycle_mul,
+            svg,
+        } => {
+            let dfg = load(&file)?;
+            let spec = spec_for(two_cycle_mul, chain.is_some());
+            let mut config = if resource {
+                MfsConfig::resource_constrained(cs)
+            } else {
+                MfsConfig::time_constrained(cs)
+            };
+            for &(op, n) in &limits {
+                config = config.with_fu_limit(FuClass::Op(op), n);
+            }
+            if let Some(clock) = chain {
+                config = config.with_chaining(ClockPeriod::new(clock));
+            }
+            if let Some(l) = latency {
+                config = config.with_latency(l);
+            }
+            let outcome = mfs::schedule(&dfg, &spec, &config).map_err(|e| e.to_string())?;
+            print!("{}", render_schedule(&dfg, &outcome.schedule, &spec));
+            if let Some(path) = svg {
+                let image = moveframe_hls::schedule::render_svg(&dfg, &outcome.schedule, &spec);
+                std::fs::write(&path, image).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            let opts = VerifyOptions {
+                clock: chain.map(ClockPeriod::new),
+                latency,
+            };
+            let violations = verify(&dfg, &outcome.schedule, &spec, opts);
+            if violations.is_empty() {
+                println!(
+                    "verified: ok ({} local rescheduling(s))",
+                    outcome.reschedule_count
+                );
+                Ok(())
+            } else {
+                Err(format!(
+                    "internal error: schedule failed verification: {violations:?}"
+                ))
+            }
+        }
+        Command::Synth {
+            file,
+            cs,
+            style2,
+            weights,
+            lib,
+            two_cycle_mul,
+            microcode,
+            verilog,
+            testbench,
+            check,
+            svg,
+            vcd,
+        } => {
+            let dfg = load(&file)?;
+            let spec = spec_for(two_cycle_mul, false);
+            let library = match lib {
+                None => Library::ncr_like(),
+                Some(path) => {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    moveframe_hls::celllib::parse_library(&text)
+                        .map_err(|e| format!("{path}: {e}"))?
+                }
+            };
+            let mut config = MfsaConfig::new(cs, library);
+            if style2 {
+                config = config.with_style(DesignStyle::NoSelfLoop);
+            }
+            if let Some([t, a, m, r]) = weights {
+                config = config.with_weights(Weights {
+                    time: t,
+                    alu: a,
+                    mux: m,
+                    reg: r,
+                });
+            }
+            let out = mfsa::schedule(&dfg, &spec, &config).map_err(|e| e.to_string())?;
+            print!("{}", render_schedule(&dfg, &out.schedule, &spec));
+            print!("{}", out.datapath);
+            println!("{}", out.cost);
+            let controller = Controller::generate(&dfg, &out.schedule, &out.datapath, &spec)
+                .map_err(|e| e.to_string())?;
+            if microcode {
+                print!("\n{}", controller.render(&dfg));
+            }
+            if check {
+                let mut worst = 0usize;
+                for seed in 0..8u64 {
+                    let inputs = random_inputs(&dfg, seed);
+                    let mismatches =
+                        check_equivalence(&dfg, &out.schedule, &out.datapath, &spec, &inputs)
+                            .map_err(|e| e.to_string())?;
+                    worst = worst.max(mismatches.len());
+                }
+                if worst == 0 {
+                    println!("equivalence check: ok (8 random vectors)");
+                } else {
+                    return Err(format!(
+                        "equivalence check FAILED: {worst} mismatching op(s)"
+                    ));
+                }
+            }
+            if verilog {
+                let v = emit_verilog(&dfg, &out.schedule, &out.datapath, &controller, &spec)
+                    .map_err(|e| e.to_string())?;
+                println!("\n{v}");
+            }
+            if testbench {
+                let inputs = random_inputs(&dfg, 0);
+                let values = interpret(&dfg, &inputs).map_err(|e| e.to_string())?;
+                let expected: std::collections::BTreeMap<_, _> = dfg
+                    .signals()
+                    .filter(|(sid, s)| {
+                        matches!(s.source(), moveframe_hls::dfg::SignalSource::Node(_))
+                            && dfg.consumers(*sid).is_empty()
+                    })
+                    .map(|(sid, _)| (sid, values[&sid]))
+                    .collect();
+                let tb = emit_testbench(&dfg, &inputs, &expected).map_err(|e| e.to_string())?;
+                println!("\n{tb}");
+            }
+            if testbench {
+                let inputs = random_inputs(&dfg, 0);
+                let values = interpret(&dfg, &inputs).map_err(|e| e.to_string())?;
+                let expected: std::collections::BTreeMap<_, _> = dfg
+                    .signals()
+                    .filter(|(sid, s)| {
+                        matches!(s.source(), moveframe_hls::dfg::SignalSource::Node(_))
+                            && dfg.consumers(*sid).is_empty()
+                    })
+                    .map(|(sid, _)| (sid, values[&sid]))
+                    .collect();
+                let tb = emit_testbench(&dfg, &inputs, &expected).map_err(|e| e.to_string())?;
+                println!("\n{tb}");
+            }
+            if let Some(path) = svg {
+                let image = moveframe_hls::schedule::render_svg(&dfg, &out.schedule, &spec);
+                std::fs::write(&path, image).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            if let Some(path) = vcd {
+                let inputs = random_inputs(&dfg, 0);
+                let sim = simulate(
+                    &dfg,
+                    &out.schedule,
+                    &out.datapath,
+                    &controller,
+                    &spec,
+                    &inputs,
+                )
+                .map_err(|e| e.to_string())?;
+                let dump = moveframe_hls::sim::write_vcd(&dfg, &out.datapath, &sim);
+                std::fs::write(&path, dump).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("wrote {path} (inputs from seed 0)");
+            }
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    match parse_args(&args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Command, String> {
+        let args: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        parse_args(&args)
+    }
+
+    #[test]
+    fn parses_info() {
+        assert_eq!(
+            parse(&["info", "x.dfg", "--dot"]).unwrap(),
+            Command::Info {
+                file: "x.dfg".into(),
+                dot: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_schedule_with_all_flags() {
+        let c = parse(&[
+            "schedule",
+            "x.dfg",
+            "--cs",
+            "5",
+            "--resource",
+            "--limit",
+            "mul=2",
+            "--limit",
+            "+=1",
+            "--chain",
+            "100",
+            "--latency",
+            "2",
+            "--two-cycle-mul",
+        ])
+        .unwrap();
+        match c {
+            Command::Schedule {
+                cs,
+                resource,
+                limits,
+                chain,
+                latency,
+                two_cycle_mul,
+                ..
+            } => {
+                assert_eq!(cs, 5);
+                assert!(resource);
+                assert_eq!(limits, vec![(OpKind::Mul, 2), (OpKind::Add, 1)]);
+                assert_eq!(chain, Some(100));
+                assert_eq!(latency, Some(2));
+                assert!(two_cycle_mul);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_synth_weights() {
+        let c = parse(&[
+            "synth",
+            "x.dfg",
+            "--cs",
+            "4",
+            "--weights",
+            "0,1,2,3",
+            "--check",
+        ])
+        .unwrap();
+        match c {
+            Command::Synth { weights, check, .. } => {
+                assert_eq!(weights, Some([0, 1, 2, 3]));
+                assert!(check);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_cs_is_an_error() {
+        assert!(parse(&["schedule", "x.dfg"]).unwrap_err().contains("--cs"));
+        assert!(parse(&["synth", "x.dfg"]).unwrap_err().contains("--cs"));
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        assert!(parse(&["schedule", "x.dfg", "--cs", "4", "--bogus"])
+            .unwrap_err()
+            .contains("--bogus"));
+        assert!(parse(&["frobnicate", "x.dfg"])
+            .unwrap_err()
+            .contains("frobnicate"));
+        assert!(parse(&["schedule", "x.dfg", "--cs", "four"])
+            .unwrap_err()
+            .contains("invalid"));
+        assert!(parse(&["synth", "x.dfg", "--cs", "4", "--weights", "1,2"])
+            .unwrap_err()
+            .contains("four values"));
+    }
+
+    #[test]
+    fn end_to_end_on_a_temp_file() {
+        let dir = std::env::temp_dir().join("mfhls-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("toy.dfg");
+        std::fs::write(&file, "input a, b\nop p = mul(a, b)\nop q = add(p, b)\n").unwrap();
+        let path = file.to_string_lossy().to_string();
+        run(Command::Info {
+            file: path.clone(),
+            dot: false,
+        })
+        .unwrap();
+        run(Command::Schedule {
+            file: path.clone(),
+            cs: 2,
+            resource: false,
+            limits: vec![],
+            chain: None,
+            latency: None,
+            two_cycle_mul: false,
+            svg: Some(dir.join("toy.svg").to_string_lossy().to_string()),
+        })
+        .unwrap();
+        assert!(dir.join("toy.svg").exists());
+        run(Command::Synth {
+            file: path.clone(),
+            cs: 3,
+            style2: true,
+            weights: None,
+            lib: None,
+            two_cycle_mul: false,
+            microcode: true,
+            verilog: true,
+            testbench: true,
+            check: true,
+            svg: None,
+            vcd: Some(dir.join("toy.vcd").to_string_lossy().to_string()),
+        })
+        .unwrap();
+        assert!(dir.join("toy.vcd").exists());
+        // With a custom library written next to the design.
+        let lib_file = std::path::Path::new(&path).with_extension("lib");
+        std::fs::write(&lib_file, Library::ncr_like().to_text()).unwrap();
+        run(Command::Synth {
+            file: path,
+            cs: 3,
+            style2: false,
+            weights: None,
+            lib: Some(lib_file.to_string_lossy().to_string()),
+            two_cycle_mul: false,
+            microcode: false,
+            verilog: false,
+            testbench: false,
+            check: true,
+            svg: None,
+            vcd: None,
+        })
+        .unwrap();
+    }
+}

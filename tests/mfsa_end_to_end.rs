@@ -1,0 +1,119 @@
+//! End-to-end MFSA: every Table-2 configuration must yield a verified
+//! schedule AND a structurally verified data path whose reported cost is
+//! reproducible from the netlist.
+
+use moveframe_hls::benchmarks::examples;
+use moveframe_hls::prelude::*;
+
+fn configs(e: &examples::Example, style: DesignStyle) -> MfsaConfig {
+    let config = MfsaConfig::new(e.mfsa_cs, Library::ncr_like()).with_style(style);
+    let config = match e.clock() {
+        Some(clock) => config.with_chaining(clock),
+        None => config,
+    };
+    match e.latency_for(e.mfsa_cs) {
+        Some(l) => config.with_latency(l),
+        None => config,
+    }
+}
+
+#[test]
+fn every_table2_cell_verifies() {
+    for e in examples::all() {
+        for style in [DesignStyle::Unrestricted, DesignStyle::NoSelfLoop] {
+            let out = mfsa::schedule(&e.dfg, &e.spec, &configs(&e, style))
+                .unwrap_or_else(|err| panic!("ex{} {style}: {err}", e.id));
+            // Schedule-level constraints.
+            let opts = VerifyOptions {
+                clock: e.clock(),
+                latency: e.latency_for(e.mfsa_cs),
+            };
+            let v = verify(&e.dfg, &out.schedule, &e.spec, opts);
+            assert!(v.is_empty(), "ex{} {style}: {v:?}", e.id);
+            // Netlist-level constraints.
+            let rv = verify_datapath(&e.dfg, &out.schedule, &out.datapath, &e.spec);
+            assert!(rv.is_empty(), "ex{} {style}: {rv:?}", e.id);
+            // The reported cost is reproducible from the netlist.
+            let recomputed = CostReport::compute(&out.datapath, &Library::ncr_like());
+            assert_eq!(recomputed, out.cost, "ex{} {style}: cost drifted", e.id);
+        }
+    }
+}
+
+#[test]
+fn style2_never_coallocates_dependent_ops() {
+    for e in examples::all() {
+        let out = mfsa::schedule(&e.dfg, &e.spec, &configs(&e, DesignStyle::NoSelfLoop))
+            .unwrap_or_else(|err| panic!("ex{}: {err}", e.id));
+        for alu in out.datapath.alus() {
+            for (i, &a) in alu.ops.iter().enumerate() {
+                for &b in &alu.ops[i + 1..] {
+                    let related = e.dfg.preds(a).contains(&b) || e.dfg.succs(a).contains(&b);
+                    assert!(
+                        !related,
+                        "ex{}: dependent ops {} and {} share {}",
+                        e.id,
+                        e.dfg.node(a).name(),
+                        e.dfg.node(b).name(),
+                        alu.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_alu_supports_all_its_ops() {
+    for e in examples::all() {
+        let out = mfsa::schedule(&e.dfg, &e.spec, &configs(&e, DesignStyle::Unrestricted))
+            .unwrap_or_else(|err| panic!("ex{}: {err}", e.id));
+        for alu in out.datapath.alus() {
+            for &op in &alu.ops {
+                let kind = e.dfg.node(op).kind().op().expect("plain ops");
+                assert!(alu.kind.supports(kind));
+            }
+        }
+    }
+}
+
+#[test]
+fn weighted_liapunov_trades_time_for_area() {
+    // With the time term muted, the area of every example is at most
+    // the balanced run's area (usually strictly smaller).
+    for e in examples::all() {
+        let balanced =
+            mfsa::schedule(&e.dfg, &e.spec, &configs(&e, DesignStyle::Unrestricted)).unwrap();
+        let config = configs(&e, DesignStyle::Unrestricted).with_weights(Weights {
+            time: 0,
+            alu: 1,
+            mux: 1,
+            reg: 1,
+        });
+        let cheap = mfsa::schedule(&e.dfg, &e.spec, &config).unwrap();
+        assert!(
+            cheap.cost.alu_area <= balanced.cost.alu_area,
+            "ex{}: muting w_TIME increased ALU area ({} > {})",
+            e.id,
+            cheap.cost.alu_area,
+            balanced.cost.alu_area
+        );
+    }
+}
+
+#[test]
+fn register_counts_match_left_edge_lower_bound() {
+    use moveframe_hls::rtl::regalloc::{left_edge, peak_live, signal_lifetimes};
+    for e in examples::all() {
+        let out = mfsa::schedule(&e.dfg, &e.spec, &configs(&e, DesignStyle::Unrestricted)).unwrap();
+        let lifetimes = signal_lifetimes(&e.dfg, &out.schedule, &e.spec);
+        let alloc = left_edge(&lifetimes);
+        assert_eq!(
+            alloc.register_count(),
+            peak_live(&lifetimes),
+            "ex{}: left-edge must meet the interval lower bound",
+            e.id
+        );
+        assert_eq!(out.cost.reg_count, alloc.register_count());
+    }
+}
