@@ -1,0 +1,160 @@
+//! Instrumented wrappers around the baseline schedulers.
+//!
+//! The wrappers time each baseline as a phase span and record counters
+//! under the same naming scheme the MFS/MFSA schedulers use, so a bench
+//! harness can put `mfs.moves_committed` next to
+//! `baseline.list.ops_scheduled` in one report.
+
+use std::collections::BTreeMap;
+
+use hls_celllib::{Library, TimingSpec};
+use hls_dfg::{Dfg, FuClass};
+use hls_schedule::{Schedule, ScheduleError};
+use hls_telemetry::Instrument;
+
+use crate::anneal::{anneal_schedule, AnnealParams, AnnealStats};
+use crate::fds::force_directed_schedule;
+use crate::list::list_schedule;
+
+/// [`list_schedule`] as the `baseline.list` phase span, counting runs
+/// and scheduled operations.
+///
+/// # Errors
+///
+/// As for [`list_schedule`].
+pub fn list_schedule_traced(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    limits: &BTreeMap<FuClass, u32>,
+    cs_bound: u32,
+    instr: &mut Instrument<'_>,
+) -> Result<Schedule, ScheduleError> {
+    instr.span("baseline.list", |instr| {
+        let sched = list_schedule(dfg, spec, limits, cs_bound)?;
+        instr.inc("baseline.list.runs", 1);
+        instr.inc("baseline.list.ops_scheduled", dfg.node_count() as u64);
+        Ok(sched)
+    })
+}
+
+/// [`force_directed_schedule`] as the `baseline.fds` phase span,
+/// counting runs and scheduled operations.
+///
+/// # Errors
+///
+/// As for [`force_directed_schedule`].
+pub fn force_directed_schedule_traced(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    cs: u32,
+    instr: &mut Instrument<'_>,
+) -> Result<Schedule, ScheduleError> {
+    instr.span("baseline.fds", |instr| {
+        let sched = force_directed_schedule(dfg, spec, cs)?;
+        instr.inc("baseline.fds.runs", 1);
+        instr.inc("baseline.fds.ops_scheduled", dfg.node_count() as u64);
+        Ok(sched)
+    })
+}
+
+/// [`anneal_schedule`] as the `baseline.anneal` phase span. The
+/// annealer's own statistics flow into `baseline.anneal.accepted` /
+/// `.attempted` counters and a `baseline.anneal.final_energy` histogram
+/// (energies truncate to integral µm²), making its move budget directly
+/// comparable with `mfs.moves_committed`.
+///
+/// # Errors
+///
+/// As for [`anneal_schedule`].
+pub fn anneal_schedule_traced(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    cs: u32,
+    library: &Library,
+    params: &AnnealParams,
+    instr: &mut Instrument<'_>,
+) -> Result<(Schedule, AnnealStats), ScheduleError> {
+    instr.span("baseline.anneal", |instr| {
+        let (sched, stats) = anneal_schedule(dfg, spec, cs, library, params)?;
+        instr.inc("baseline.anneal.runs", 1);
+        instr.inc("baseline.anneal.accepted", stats.accepted);
+        instr.inc("baseline.anneal.attempted", stats.attempted);
+        instr.observe("baseline.anneal.final_energy", stats.final_energy as u64);
+        Ok((sched, stats))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::OpKind;
+    use hls_dfg::DfgBuilder;
+    use hls_telemetry::{MemorySink, Metrics, TraceEvent};
+
+    fn adds(n: usize) -> Dfg {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        for i in 0..n {
+            b.op(&format!("a{i}"), OpKind::Add, &[x, x]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn wrappers_record_spans_and_match_untraced_results() {
+        let g = adds(4);
+        let spec = TimingSpec::uniform_single_cycle();
+        let limits = [(FuClass::Op(OpKind::Add), 2)].into_iter().collect();
+
+        let mut sink = MemorySink::new();
+        let mut metrics = Metrics::new();
+        let mut instr = Instrument::new(&mut sink, &mut metrics);
+
+        let traced = list_schedule_traced(&g, &spec, &limits, 8, &mut instr).unwrap();
+        let plain = list_schedule(&g, &spec, &limits, 8).unwrap();
+        assert_eq!(traced, plain);
+
+        let traced = force_directed_schedule_traced(&g, &spec, 2, &mut instr).unwrap();
+        let plain = force_directed_schedule(&g, &spec, 2).unwrap();
+        assert_eq!(traced, plain);
+
+        assert_eq!(metrics.counter("baseline.list.runs"), 1);
+        assert_eq!(metrics.counter("baseline.list.ops_scheduled"), 4);
+        assert_eq!(metrics.counter("baseline.fds.runs"), 1);
+        let phases: Vec<_> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::PhaseSpan { phase, .. } => Some(phase.as_ref()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases, vec!["baseline.list", "baseline.fds"]);
+    }
+
+    #[test]
+    fn anneal_wrapper_reports_the_annealer_stats() {
+        let g = adds(3);
+        let spec = TimingSpec::uniform_single_cycle();
+        let library = Library::ncr_like();
+        let params = AnnealParams::default();
+
+        let mut sink = MemorySink::new();
+        let mut metrics = Metrics::new();
+        let mut instr = Instrument::new(&mut sink, &mut metrics);
+        let (_, stats) =
+            anneal_schedule_traced(&g, &spec, 3, &library, &params, &mut instr).unwrap();
+        assert_eq!(
+            metrics.counter("baseline.anneal.attempted"),
+            stats.attempted
+        );
+        assert_eq!(metrics.counter("baseline.anneal.accepted"), stats.accepted);
+        assert_eq!(
+            metrics
+                .histogram("baseline.anneal.final_energy")
+                .unwrap()
+                .count(),
+            1
+        );
+    }
+}

@@ -25,7 +25,9 @@ mod runner;
 mod tables;
 
 pub use figures::{figure1, figure2};
-pub use runner::{run_example_mfs, run_example_mfsa, MfsRun};
+pub use runner::{
+    run_example_mfs, run_example_mfs_traced, run_example_mfsa, run_example_mfsa_traced, MfsRun,
+};
 pub use tables::{
     render_table1, render_table2, table1, table2, table2_with, tables_with_weights,
     tables_without_interconnect, Table1Row, Table2Row,

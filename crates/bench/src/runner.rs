@@ -5,9 +5,10 @@ use std::time::{Duration, Instant};
 
 use hls_benchmarks::examples::{Example, Feature};
 use hls_dfg::OpMix;
+use hls_telemetry::Instrument;
 use moveframe::mfs::{self, MfsConfig};
 use moveframe::mfsa::{self, MfsaConfig};
-use moveframe::pipeline::{pipelined_fu_counts, schedule_structural};
+use moveframe::pipeline::{pipelined_fu_counts, schedule_structural, schedule_structural_traced};
 use moveframe::MoveFrameError;
 
 /// The distilled result of one MFS run on an example.
@@ -64,6 +65,56 @@ pub fn run_example_mfs(example: &Example, t: u32) -> Result<MfsRun, MoveFrameErr
     })
 }
 
+/// [`run_example_mfs`] with instrumentation: scheduler events and
+/// counters flow into `instr`, and the runner adds `bench.mfs.runs` and
+/// a `bench.mfs.wall_ns` histogram of the scheduling wall time.
+///
+/// # Errors
+///
+/// As for [`run_example_mfs`].
+pub fn run_example_mfs_traced(
+    example: &Example,
+    t: u32,
+    instr: &mut Instrument<'_>,
+) -> Result<MfsRun, MoveFrameError> {
+    let mut config = MfsConfig::time_constrained(t);
+    if let Some(clock) = example.clock() {
+        config = config.with_chaining(clock);
+    }
+    if let Some(latency) = example.latency_for(t) {
+        config = config.with_latency(latency);
+    }
+    let start = Instant::now();
+    let (mix, reschedules) = match &example.feature {
+        Feature::StructuralPipelining(ops) => {
+            let (_, _, outcome) =
+                schedule_structural_traced(&example.dfg, &example.spec, &config, ops, instr)?;
+            let mix = pipelined_fu_counts(&outcome)
+                .into_iter()
+                .map(|(c, n)| (c, n as usize))
+                .collect();
+            (mix, outcome.reschedule_count)
+        }
+        _ => {
+            let outcome = mfs::schedule_traced(&example.dfg, &example.spec, &config, instr)?;
+            let mix = outcome
+                .fu_counts()
+                .into_iter()
+                .map(|(c, n)| (c, n as usize))
+                .collect();
+            (mix, outcome.reschedule_count)
+        }
+    };
+    let wall = start.elapsed();
+    instr.inc("bench.mfs.runs", 1);
+    instr.observe("bench.mfs.wall_ns", wall.as_nanos() as u64);
+    Ok(MfsRun {
+        mix,
+        reschedules,
+        wall,
+    })
+}
+
 /// Runs MFSA on `example` at its Table-2 time constraint with the given
 /// style, returning the outcome and the wall time.
 ///
@@ -89,6 +140,34 @@ pub fn run_example_mfsa(
     let start = Instant::now();
     let outcome = mfsa::schedule(&example.dfg, &example.spec, &config)?;
     Ok((outcome, start.elapsed()))
+}
+
+/// [`run_example_mfsa`] with instrumentation: scheduler events and
+/// counters flow into `instr`, and the runner adds `bench.mfsa.runs`
+/// and a `bench.mfsa.wall_ns` histogram of the scheduling wall time.
+///
+/// # Errors
+///
+/// As for [`run_example_mfsa`].
+pub fn run_example_mfsa_traced(
+    example: &Example,
+    config: MfsaConfig,
+    instr: &mut Instrument<'_>,
+) -> Result<(mfsa::MfsaOutcome, Duration), MoveFrameError> {
+    let config = match example.clock() {
+        Some(clock) => config.with_chaining(clock),
+        None => config,
+    };
+    let config = match example.latency_for(config.control_steps()) {
+        Some(latency) => config.with_latency(latency),
+        None => config,
+    };
+    let start = Instant::now();
+    let outcome = mfsa::schedule_traced(&example.dfg, &example.spec, &config, instr)?;
+    let wall = start.elapsed();
+    instr.inc("bench.mfsa.runs", 1);
+    instr.observe("bench.mfsa.wall_ns", wall.as_nanos() as u64);
+    Ok((outcome, wall))
 }
 
 #[cfg(test)]

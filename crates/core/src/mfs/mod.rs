@@ -6,4 +6,4 @@ mod config;
 mod scheduler;
 
 pub use config::MfsConfig;
-pub use scheduler::{minimize_steps, schedule, MfsOutcome};
+pub use scheduler::{minimize_steps, schedule, schedule_traced, MfsOutcome};

@@ -8,6 +8,8 @@ use hls_schedule::{
     chained_frames, priority_order_with, CStep, Grid, Schedule, Slot, TimeFrames, UnitId,
 };
 
+use hls_telemetry::{Instrument, Metrics, NullSink, TraceEvent};
+
 use crate::frame::{compute_move_frame, FrameCtx, FrameSnapshot};
 use crate::mfs::MfsConfig;
 use crate::{MoveFrameError, StaticLiapunov};
@@ -90,13 +92,52 @@ pub fn schedule(
     spec: &TimingSpec,
     config: &MfsConfig,
 ) -> Result<MfsOutcome, MoveFrameError> {
+    let mut sink = NullSink;
+    let mut metrics = Metrics::new();
+    schedule_traced(
+        dfg,
+        spec,
+        config,
+        &mut Instrument::new(&mut sink, &mut metrics),
+    )
+}
+
+/// [`schedule`] with instrumentation: phase spans, counters and (when
+/// the sink is enabled) per-move trace events flow into `instr`.
+///
+/// Event conventions (see `hls-telemetry`):
+///
+/// * `FrameComputed` — one per placement attempt, with the PF length,
+///   hidden RF columns, FF step count and the move-frame size;
+/// * `EnergyEvaluated` — one per free cell of the move frame;
+/// * `MoveCommitted` — `from` is the present position `O^p` (the ALFAP
+///   corner at the current column), `to` the committed cell, `v` its
+///   static Liapunov energy, and `system_v` the total system energy
+///   after the move (placed operations at their committed energy,
+///   unplaced ones at their grid's worst cell) — non-increasing over a
+///   pass by construction;
+/// * `LocalReschedule` — one per empty-frame retry, with the widened
+///   `current_j`.
+///
+/// Instrumentation is write-only: the returned outcome is bit-identical
+/// to [`schedule`]'s for any sink.
+///
+/// # Errors
+///
+/// As for [`schedule`].
+pub fn schedule_traced(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    config: &MfsConfig,
+    instr: &mut Instrument<'_>,
+) -> Result<MfsOutcome, MoveFrameError> {
     let cs = config.control_steps();
 
     // Step 1: time frames (chaining-aware when a clock is given).
-    let frames = match config.clock() {
-        Some(clock) => chained_frames(dfg, spec, clock, cs)?.into_frames(),
-        None => TimeFrames::compute(dfg, spec, cs)?,
-    };
+    let frames = instr.span("mfs.frames", |_| match config.clock() {
+        Some(clock) => Ok(chained_frames(dfg, spec, clock, cs)?.into_frames()),
+        None => TimeFrames::compute(dfg, spec, cs),
+    })?;
 
     // Effective cycles (chaining can stretch slow ops over steps).
     let empty_offsets: BTreeMap<NodeId, Delay> = BTreeMap::new();
@@ -170,7 +211,9 @@ pub fn schedule(
         .collect();
 
     // Step 2 (cont.): priority order.
-    let order = priority_order_with(dfg, spec, &frames, config.priority_rule());
+    let order = instr.span("mfs.priority", |_| {
+        priority_order_with(dfg, spec, &frames, config.priority_rule())
+    });
 
     // Step 4: the move loop. When an operation's move frame is empty,
     // `current_j` grows and the pass restarts — the paper's local
@@ -181,98 +224,159 @@ pub fn schedule(
     // limit never grows.
     let growth_bound = dfg.node_count() as u32 + 1;
 
-    'restart: loop {
-        let mut sched = Schedule::new(dfg, cs);
-        let mut offsets: BTreeMap<NodeId, Delay> = BTreeMap::new();
-        let mut snapshots = Vec::new();
-        let mut pass_grids = grids.clone();
+    instr.span("mfs.move_loop", |instr| {
+        'restart: loop {
+            let mut sched = Schedule::new(dfg, cs);
+            let mut offsets: BTreeMap<NodeId, Delay> = BTreeMap::new();
+            let mut snapshots = Vec::new();
+            let mut pass_grids = grids.clone();
 
-        for &node in &order {
-            let class = dfg.node(node).kind().fu_class();
-            let cycles = eff_cycles[&node];
-            let snap = {
-                let ctx = FrameCtx {
-                    dfg,
-                    spec,
-                    frames: &frames,
-                    schedule: &sched,
-                    clock: config.clock(),
-                    offsets: &offsets,
-                };
-                compute_move_frame(&ctx, node, &pass_grids[&class], current[&class])
+            // System energy of this pass: placed operations contribute their
+            // committed V, unplaced ones their grid's worst cell. Every
+            // commit replaces a worst-cell term with a no-larger chosen-cell
+            // term, so the trace is non-increasing by construction.
+            let mut system_v = if instr.enabled() {
+                dfg.node_ids()
+                    .map(|n| {
+                        let class = dfg.node(n).kind().fu_class();
+                        liapunov.value(max_fu[&class], cs)
+                    })
+                    .sum::<u64>()
+            } else {
+                0
             };
-            let best = snap
-                .movable
-                .iter()
-                .min_by_key(|p| (liapunov.value(p.fu.get(), p.step.get()), p.step, p.fu))
-                .copied();
-            match best {
-                Some(pos) => {
-                    let offset = {
-                        let ctx = FrameCtx {
-                            dfg,
-                            spec,
-                            frames: &frames,
-                            schedule: &sched,
-                            clock: config.clock(),
-                            offsets: &offsets,
-                        };
-                        ctx.offset_after(node, pos.step)
+
+            for &node in &order {
+                let class = dfg.node(node).kind().fu_class();
+                let cycles = eff_cycles[&node];
+                let snap = {
+                    let ctx = FrameCtx {
+                        dfg,
+                        spec,
+                        frames: &frames,
+                        schedule: &sched,
+                        clock: config.clock(),
+                        offsets: &offsets,
                     };
-                    pass_grids
-                        .get_mut(&class)
-                        .expect("grid exists for every class")
-                        .occupy(node, pos.step, pos.fu, cycles);
-                    sched.assign(
-                        node,
-                        Slot {
-                            step: pos.step,
-                            unit: UnitId::Fu {
-                                class,
-                                index: pos.fu,
-                            },
-                        },
-                    );
-                    offsets.insert(node, offset);
-                    if config.records_frames() {
-                        snapshots.push(snap);
-                    }
-                }
-                None => {
-                    // Local rescheduling: widen the visible columns and
-                    // go back to step 3.
-                    reschedule_count += 1;
-                    let cur = current.get_mut(&class).expect("class present");
-                    let max = max_fu.get_mut(&class).expect("class present");
-                    if *cur < *max {
-                        *cur += 1;
-                    } else if config.fu_limit(class).is_none() && *max < growth_bound {
-                        *max += 1;
-                        *cur = *max;
-                        grids
-                            .get_mut(&class)
-                            .expect("grid exists")
-                            .grow_max_fu(*max);
-                    } else {
-                        return Err(MoveFrameError::NoPosition {
-                            node,
-                            class,
-                            max_fu: *max,
+                    compute_move_frame(&ctx, node, &pass_grids[&class], current[&class])
+                };
+                instr.inc("mfs.frames_computed", 1);
+                instr.inc("mfs.energy_evaluations", snap.movable.len() as u64);
+                instr.observe("mfs.mf_size", snap.movable.len() as u64);
+                if instr.enabled() {
+                    let (asap, alap) = snap.primary;
+                    // Forbidden steps: [ASAP, earliest) and (latest, ALAP].
+                    let ff = snap.earliest_feasible.get().saturating_sub(asap.get())
+                        + alap.get().saturating_sub(snap.latest_feasible.get());
+                    instr.emit(TraceEvent::FrameComputed {
+                        op: node.index() as u32,
+                        pf: alap.get() - asap.get() + 1,
+                        rf: snap.max_fu - snap.current_fu,
+                        ff,
+                        mf_size: snap.movable.len() as u32,
+                    });
+                    for p in &snap.movable {
+                        instr.emit(TraceEvent::EnergyEvaluated {
+                            op: node.index() as u32,
+                            pos: (p.fu.get(), p.step.get()),
+                            v: liapunov.value(p.fu.get(), p.step.get()),
                         });
                     }
-                    continue 'restart;
+                }
+                let best = snap
+                    .movable
+                    .iter()
+                    .min_by_key(|p| (liapunov.value(p.fu.get(), p.step.get()), p.step, p.fu))
+                    .copied();
+                match best {
+                    Some(pos) => {
+                        let offset = {
+                            let ctx = FrameCtx {
+                                dfg,
+                                spec,
+                                frames: &frames,
+                                schedule: &sched,
+                                clock: config.clock(),
+                                offsets: &offsets,
+                            };
+                            ctx.offset_after(node, pos.step)
+                        };
+                        pass_grids
+                            .get_mut(&class)
+                            .expect("grid exists for every class")
+                            .occupy(node, pos.step, pos.fu, cycles);
+                        sched.assign(
+                            node,
+                            Slot {
+                                step: pos.step,
+                                unit: UnitId::Fu {
+                                    class,
+                                    index: pos.fu,
+                                },
+                            },
+                        );
+                        offsets.insert(node, offset);
+                        instr.inc("mfs.moves_committed", 1);
+                        if instr.enabled() {
+                            let v = liapunov.value(pos.fu.get(), pos.step.get());
+                            system_v -= liapunov.value(max_fu[&class], cs) - v;
+                            instr.emit(TraceEvent::MoveCommitted {
+                                op: node.index() as u32,
+                                // O^p: the ALFAP corner of the frame at the
+                                // current column (paper §3.2).
+                                from: Some((snap.current_fu, snap.primary.1.get())),
+                                to: (pos.fu.get(), pos.step.get()),
+                                v,
+                                system_v: Some(system_v),
+                            });
+                        }
+                        if config.records_frames() {
+                            snapshots.push(snap);
+                        }
+                    }
+                    None => {
+                        // Local rescheduling: widen the visible columns and
+                        // go back to step 3.
+                        reschedule_count += 1;
+                        instr.inc("mfs.local_reschedules", 1);
+                        let cur = current.get_mut(&class).expect("class present");
+                        let max = max_fu.get_mut(&class).expect("class present");
+                        if *cur < *max {
+                            *cur += 1;
+                        } else if config.fu_limit(class).is_none() && *max < growth_bound {
+                            *max += 1;
+                            *cur = *max;
+                            grids
+                                .get_mut(&class)
+                                .expect("grid exists")
+                                .grow_max_fu(*max);
+                        } else {
+                            return Err(MoveFrameError::NoPosition {
+                                node,
+                                class,
+                                max_fu: *max,
+                            });
+                        }
+                        if instr.enabled() {
+                            instr.emit(TraceEvent::LocalReschedule {
+                                op_kind: class.to_string(),
+                                current_j: *current.get(&class).expect("class present"),
+                            });
+                        }
+                        continue 'restart;
+                    }
                 }
             }
-        }
 
-        return Ok(MfsOutcome {
-            schedule: sched,
-            grids: pass_grids,
-            frames,
-            reschedule_count,
-            snapshots,
-        });
-    }
+            return Ok(MfsOutcome {
+                schedule: sched,
+                grids: pass_grids,
+                frames,
+                reschedule_count,
+                snapshots,
+            });
+        }
+    })
 }
 
 #[cfg(test)]

@@ -8,4 +8,4 @@ mod cost;
 mod scheduler;
 
 pub use config::{DesignStyle, MfsaConfig, Weights};
-pub use scheduler::{schedule, IterationTrace, MfsaOutcome};
+pub use scheduler::{schedule, schedule_traced, IterationTrace, MfsaOutcome};

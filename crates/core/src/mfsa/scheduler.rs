@@ -8,6 +8,8 @@ use hls_rtl::muxopt::MuxOp;
 use hls_rtl::{AluAllocation, CostReport, Datapath};
 use hls_schedule::{chained_frames, priority_order, CStep, Schedule, Slot, TimeFrames, UnitId};
 
+use hls_telemetry::{Instrument, Metrics, NullSink, TraceEvent};
+
 use crate::frame::{feasible_step_range, FrameCtx};
 use crate::mfsa::cost::{CostModel, EstSource, RegEstimate};
 use crate::mfsa::{DesignStyle, MfsaConfig};
@@ -119,6 +121,45 @@ pub fn schedule(
     spec: &TimingSpec,
     config: &MfsaConfig,
 ) -> Result<MfsaOutcome, MoveFrameError> {
+    let mut sink = NullSink;
+    let mut metrics = Metrics::new();
+    schedule_traced(
+        dfg,
+        spec,
+        config,
+        &mut Instrument::new(&mut sink, &mut metrics),
+    )
+}
+
+/// [`schedule`] with instrumentation: phase spans, counters and (when
+/// the sink is enabled) per-candidate trace events flow into `instr`.
+///
+/// Event conventions (see `hls-telemetry`):
+///
+/// * `EnergyEvaluated` — one per scored candidate, `pos = (instance,
+///   step)` 1-based (a new instance gets the next free number) and `v`
+///   the dynamic `f_TIME + f_ALU + f_MUX + f_REG`;
+/// * `MoveCommitted` — the winning candidate; `from`/`system_v` are
+///   `None` (MFSA moves operations out of a conceptual unplaced pool, so
+///   there is no prior grid cell and the dynamic terms are incremental).
+///
+/// Counters split committed moves by flavour (`mfsa.reuse_moves`,
+/// `mfsa.upgrade_moves`, `mfsa.new_instances` — the §2.3 function-merging
+/// signal), and the `mfsa.candidates` histogram records how many
+/// positions each operation was offered.
+///
+/// Instrumentation is write-only: the returned outcome is bit-identical
+/// to [`schedule`]'s for any sink.
+///
+/// # Errors
+///
+/// As for [`schedule`].
+pub fn schedule_traced(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    config: &MfsaConfig,
+    instr: &mut Instrument<'_>,
+) -> Result<MfsaOutcome, MoveFrameError> {
     let cs = config.control_steps();
     let library = config.library();
 
@@ -137,11 +178,11 @@ pub fn schedule(
         }
     }
 
-    let frames = match config.clock() {
-        Some(clock) => chained_frames(dfg, spec, clock, cs)?.into_frames(),
-        None => TimeFrames::compute(dfg, spec, cs)?,
-    };
-    let order = priority_order(dfg, spec, &frames);
+    let frames = instr.span("mfsa.frames", |_| match config.clock() {
+        Some(clock) => Ok(chained_frames(dfg, spec, clock, cs)?.into_frames()),
+        None => TimeFrames::compute(dfg, spec, cs),
+    })?;
+    let order = instr.span("mfsa.priority", |_| priority_order(dfg, spec, &frames));
     let model = CostModel::new(library, config.weights());
 
     let wrap = |step: u32| match config.latency() {
@@ -155,81 +196,16 @@ pub fn schedule(
     let mut reg_est = RegEstimate::new();
     let mut trace = Vec::new();
 
-    for node in order {
-        let op = base_op(dfg, node);
-        let commutative = match dfg.node(node).kind() {
-            NodeKind::Op(k) => k.is_commutative(),
-            NodeKind::Stage { base, index, .. } => index == 0 && base.is_commutative(),
-            NodeKind::LoopBody { .. } => unreachable!("rejected above"),
-        };
+    instr.span("mfsa.move_loop", |instr| {
+        for node in order {
+            let op = base_op(dfg, node);
+            let commutative = match dfg.node(node).kind() {
+                NodeKind::Op(k) => k.is_commutative(),
+                NodeKind::Stage { base, index, .. } => index == 0 && base.is_commutative(),
+                NodeKind::LoopBody { .. } => unreachable!("rejected above"),
+            };
 
-        let (earliest, latest, cycles, mux_op) = {
-            let ctx = FrameCtx {
-                dfg,
-                spec,
-                frames: &frames,
-                schedule: &sched,
-                clock: config.clock(),
-                offsets: &offsets,
-            };
-            let (e, l) = feasible_step_range(&ctx, node);
-            let cycles = ctx.effective_cycles(node);
-            // Operand sources for the f_MUX estimate (independent of the
-            // candidate position in this model).
-            let est = |sig: SignalId| -> EstSource {
-                match dfg.signal(sig).source() {
-                    SignalSource::PrimaryInput | SignalSource::Constant(_) => {
-                        EstSource::External(sig)
-                    }
-                    SignalSource::Node(p) => {
-                        if config.shares_interconnect() {
-                            match sched.slot(p).map(|s| s.unit) {
-                                Some(UnitId::Alu { instance }) => EstSource::FromAlu(instance),
-                                _ => EstSource::Signal(sig),
-                            }
-                        } else {
-                            EstSource::Signal(sig)
-                        }
-                    }
-                }
-            };
-            let inputs = dfg.node(node).inputs();
-            let mux_op = MuxOp {
-                left: est(inputs[0]),
-                right: inputs.get(1).map(|&s| est(s)),
-                commutative,
-            };
-            (e, l, cycles, mux_op)
-        };
-
-        let mut best: Option<Candidate> = None;
-        let mut consider = |c: Candidate| {
-            let better = match &best {
-                None => true,
-                Some(b) => {
-                    (
-                        c.total(),
-                        c.step,
-                        c.flavour,
-                        c.instance.unwrap_or(usize::MAX),
-                        c.kind_index,
-                    ) < (
-                        b.total(),
-                        b.step,
-                        b.flavour,
-                        b.instance.unwrap_or(usize::MAX),
-                        b.kind_index,
-                    )
-                }
-            };
-            if better {
-                best = Some(c);
-            }
-        };
-
-        let mut step = earliest;
-        while step <= latest {
-            let dep_ok = {
+            let (earliest, latest, cycles, mux_op) = {
                 let ctx = FrameCtx {
                     dfg,
                     spec,
@@ -238,166 +214,269 @@ pub fn schedule(
                     clock: config.clock(),
                     offsets: &offsets,
                 };
-                ctx.dep_feasible(node, step) && step.finish(cycles).get() <= cs
-            };
-            if dep_ok {
-                let f_time = model.f_time(step.get());
-                let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
-                let f_reg = model.f_reg(
-                    reg_est
-                        .count_with(&extensions)
-                        .saturating_sub(reg_est.count()),
-                );
-
-                // Existing instances: reuse or upgrade.
-                for (i, inst) in instances.iter().enumerate() {
-                    if !instance_free(inst, dfg, node, step, cycles, &wrap) {
-                        continue;
-                    }
-                    if config.style() == DesignStyle::NoSelfLoop {
-                        let related = inst
-                            .ops
-                            .iter()
-                            .any(|&o| dfg.preds(node).contains(&o) || dfg.succs(node).contains(&o));
-                        if related {
-                            continue;
+                let (e, l) = feasible_step_range(&ctx, node);
+                let cycles = ctx.effective_cycles(node);
+                // Operand sources for the f_MUX estimate (independent of the
+                // candidate position in this model).
+                let est = |sig: SignalId| -> EstSource {
+                    match dfg.signal(sig).source() {
+                        SignalSource::PrimaryInput | SignalSource::Constant(_) => {
+                            EstSource::External(sig)
+                        }
+                        SignalSource::Node(p) => {
+                            if config.shares_interconnect() {
+                                match sched.slot(p).map(|s| s.unit) {
+                                    Some(UnitId::Alu { instance }) => EstSource::FromAlu(instance),
+                                    _ => EstSource::Signal(sig),
+                                }
+                            } else {
+                                EstSource::Signal(sig)
+                            }
                         }
                     }
-                    let cur_kind = &library.alus()[inst.kind_index];
-                    if cur_kind.supports(op) {
-                        consider(Candidate {
-                            step,
-                            instance: Some(i),
-                            kind_index: inst.kind_index,
-                            f_time,
-                            f_alu: 0,
-                            f_mux: model.f_mux(&inst.mux_ops, mux_op),
-                            f_reg,
-                            flavour: 0,
-                        });
-                    } else {
-                        // Cheapest superset kind covering old ops + op.
-                        let upgrade = library
-                            .alus()
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, k)| {
-                                k.supports(op) && cur_kind.ops().all(|o| k.supports(o))
-                            })
-                            .min_by_key(|(idx, k)| (k.area(), *idx));
-                        if let Some((kind_index, kind)) = upgrade {
+                };
+                let inputs = dfg.node(node).inputs();
+                let mux_op = MuxOp {
+                    left: est(inputs[0]),
+                    right: inputs.get(1).map(|&s| est(s)),
+                    commutative,
+                };
+                (e, l, cycles, mux_op)
+            };
+
+            let mut best: Option<Candidate> = None;
+            let mut n_candidates = 0u64;
+            let next_instance = instances.len() as u32 + 1;
+            let mut consider = |c: Candidate| {
+                n_candidates += 1;
+                if instr.enabled() {
+                    instr.emit(TraceEvent::EnergyEvaluated {
+                        op: node.index() as u32,
+                        pos: (
+                            c.instance.map_or(next_instance, |i| i as u32 + 1),
+                            c.step.get(),
+                        ),
+                        v: c.total(),
+                    });
+                }
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        (
+                            c.total(),
+                            c.step,
+                            c.flavour,
+                            c.instance.unwrap_or(usize::MAX),
+                            c.kind_index,
+                        ) < (
+                            b.total(),
+                            b.step,
+                            b.flavour,
+                            b.instance.unwrap_or(usize::MAX),
+                            b.kind_index,
+                        )
+                    }
+                };
+                if better {
+                    best = Some(c);
+                }
+            };
+
+            let mut step = earliest;
+            while step <= latest {
+                let dep_ok = {
+                    let ctx = FrameCtx {
+                        dfg,
+                        spec,
+                        frames: &frames,
+                        schedule: &sched,
+                        clock: config.clock(),
+                        offsets: &offsets,
+                    };
+                    ctx.dep_feasible(node, step) && step.finish(cycles).get() <= cs
+                };
+                if dep_ok {
+                    let f_time = model.f_time(step.get());
+                    let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
+                    let f_reg = model.f_reg(
+                        reg_est
+                            .count_with(&extensions)
+                            .saturating_sub(reg_est.count()),
+                    );
+
+                    // Existing instances: reuse or upgrade.
+                    for (i, inst) in instances.iter().enumerate() {
+                        if !instance_free(inst, dfg, node, step, cycles, &wrap) {
+                            continue;
+                        }
+                        if config.style() == DesignStyle::NoSelfLoop {
+                            let related = inst.ops.iter().any(|&o| {
+                                dfg.preds(node).contains(&o) || dfg.succs(node).contains(&o)
+                            });
+                            if related {
+                                continue;
+                            }
+                        }
+                        let cur_kind = &library.alus()[inst.kind_index];
+                        if cur_kind.supports(op) {
                             consider(Candidate {
                                 step,
                                 instance: Some(i),
-                                kind_index,
+                                kind_index: inst.kind_index,
                                 f_time,
-                                f_alu: model.f_alu(kind.area().saturating_sub(cur_kind.area())),
+                                f_alu: 0,
                                 f_mux: model.f_mux(&inst.mux_ops, mux_op),
                                 f_reg,
-                                flavour: 1,
+                                flavour: 0,
                             });
+                        } else {
+                            // Cheapest superset kind covering old ops + op.
+                            let upgrade = library
+                                .alus()
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, k)| {
+                                    k.supports(op) && cur_kind.ops().all(|o| k.supports(o))
+                                })
+                                .min_by_key(|(idx, k)| (k.area(), *idx));
+                            if let Some((kind_index, kind)) = upgrade {
+                                consider(Candidate {
+                                    step,
+                                    instance: Some(i),
+                                    kind_index,
+                                    f_time,
+                                    f_alu: model.f_alu(kind.area().saturating_sub(cur_kind.area())),
+                                    f_mux: model.f_mux(&inst.mux_ops, mux_op),
+                                    f_reg,
+                                    flavour: 1,
+                                });
+                            }
                         }
                     }
-                }
 
-                // New instances of every capable kind.
-                for (kind_index, kind) in library.alus().iter().enumerate() {
-                    if !kind.supports(op) {
-                        continue;
+                    // New instances of every capable kind.
+                    for (kind_index, kind) in library.alus().iter().enumerate() {
+                        if !kind.supports(op) {
+                            continue;
+                        }
+                        consider(Candidate {
+                            step,
+                            instance: None,
+                            kind_index,
+                            f_time,
+                            f_alu: model.f_alu(kind.area()),
+                            f_mux: model.f_mux(&[], mux_op),
+                            f_reg,
+                            flavour: 2,
+                        });
                     }
-                    consider(Candidate {
-                        step,
-                        instance: None,
-                        kind_index,
-                        f_time,
-                        f_alu: model.f_alu(kind.area()),
-                        f_mux: model.f_mux(&[], mux_op),
-                        f_reg,
-                        flavour: 2,
-                    });
                 }
+                step = step.offset(1);
             }
-            step = step.offset(1);
-        }
 
-        let Some(chosen) = best else {
-            return Err(MoveFrameError::NoPosition {
-                node,
-                class: dfg.node(node).kind().fu_class(),
-                max_fu: instances.len() as u32,
-            });
-        };
-
-        // Commit the move.
-        let offset = {
-            let ctx = FrameCtx {
-                dfg,
-                spec,
-                frames: &frames,
-                schedule: &sched,
-                clock: config.clock(),
-                offsets: &offsets,
-            };
-            ctx.offset_after(node, chosen.step)
-        };
-        let instance_idx = match chosen.instance {
-            Some(i) => {
-                instances[i].kind_index = chosen.kind_index;
-                i
-            }
-            None => {
-                instances.push(Instance {
-                    kind_index: chosen.kind_index,
-                    ops: Vec::new(),
-                    mux_ops: Vec::new(),
-                    busy: BTreeMap::new(),
+            instr.inc("mfsa.energy_evaluations", n_candidates);
+            instr.observe("mfsa.candidates", n_candidates);
+            let Some(chosen) = best else {
+                return Err(MoveFrameError::NoPosition {
+                    node,
+                    class: dfg.node(node).kind().fu_class(),
+                    max_fu: instances.len() as u32,
                 });
-                instances.len() - 1
+            };
+
+            // Commit the move.
+            let offset = {
+                let ctx = FrameCtx {
+                    dfg,
+                    spec,
+                    frames: &frames,
+                    schedule: &sched,
+                    clock: config.clock(),
+                    offsets: &offsets,
+                };
+                ctx.offset_after(node, chosen.step)
+            };
+            let instance_idx = match chosen.instance {
+                Some(i) => {
+                    instances[i].kind_index = chosen.kind_index;
+                    i
+                }
+                None => {
+                    instances.push(Instance {
+                        kind_index: chosen.kind_index,
+                        ops: Vec::new(),
+                        mux_ops: Vec::new(),
+                        busy: BTreeMap::new(),
+                    });
+                    instances.len() - 1
+                }
+            };
+            let inst = &mut instances[instance_idx];
+            inst.ops.push(node);
+            inst.mux_ops.push(mux_op);
+            for k in 0..cycles as u32 {
+                inst.busy
+                    .entry(wrap(chosen.step.get() + k))
+                    .or_default()
+                    .push(node);
             }
-        };
-        let inst = &mut instances[instance_idx];
-        inst.ops.push(node);
-        inst.mux_ops.push(mux_op);
-        for k in 0..cycles as u32 {
-            inst.busy
-                .entry(wrap(chosen.step.get() + k))
-                .or_default()
-                .push(node);
-        }
-        sched.assign(
-            node,
-            Slot {
-                step: chosen.step,
-                unit: UnitId::Alu {
-                    instance: instance_idx as u32,
-                },
-            },
-        );
-        offsets.insert(node, offset);
-        let extensions = reg_extensions(dfg, &sched, spec, node, chosen.step, config);
-        reg_est.commit(&extensions);
-        if config.records_trace() {
-            trace.push(IterationTrace {
+            sched.assign(
                 node,
-                step: chosen.step,
-                instance: instance_idx as u32,
-                new_instance: chosen.flavour != 0,
-                f_time: chosen.f_time,
-                f_alu: chosen.f_alu,
-                f_mux: chosen.f_mux,
-                f_reg: chosen.f_reg,
-            });
+                Slot {
+                    step: chosen.step,
+                    unit: UnitId::Alu {
+                        instance: instance_idx as u32,
+                    },
+                },
+            );
+            offsets.insert(node, offset);
+            let extensions = reg_extensions(dfg, &sched, spec, node, chosen.step, config);
+            reg_est.commit(&extensions);
+            instr.inc("mfsa.moves_committed", 1);
+            instr.inc(
+                match chosen.flavour {
+                    0 => "mfsa.reuse_moves",
+                    1 => "mfsa.upgrade_moves",
+                    _ => "mfsa.new_instances",
+                },
+                1,
+            );
+            if instr.enabled() {
+                instr.emit(TraceEvent::MoveCommitted {
+                    op: node.index() as u32,
+                    from: None,
+                    to: (instance_idx as u32 + 1, chosen.step.get()),
+                    v: chosen.total(),
+                    system_v: None,
+                });
+            }
+            if config.records_trace() {
+                trace.push(IterationTrace {
+                    node,
+                    step: chosen.step,
+                    instance: instance_idx as u32,
+                    new_instance: chosen.flavour != 0,
+                    f_time: chosen.f_time,
+                    f_alu: chosen.f_alu,
+                    f_mux: chosen.f_mux,
+                    f_reg: chosen.f_reg,
+                });
+            }
         }
-    }
+        Ok(())
+    })?;
 
     // Assemble the data path.
     let mut allocation = AluAllocation::new();
     for inst in &instances {
         allocation.push(library.alus()[inst.kind_index].clone());
     }
-    let datapath = Datapath::build(dfg, &sched, &allocation, spec)
-        .expect("MFSA produces structurally sound bindings");
-    let cost = CostReport::compute(&datapath, library);
+    let (datapath, cost) = instr.span("mfsa.datapath", |_| {
+        let datapath = Datapath::build(dfg, &sched, &allocation, spec)
+            .expect("MFSA produces structurally sound bindings");
+        let cost = CostReport::compute(&datapath, library);
+        (datapath, cost)
+    });
 
     Ok(MfsaOutcome {
         schedule: sched,

@@ -35,6 +35,27 @@ pub fn schedule_structural(
     Ok((expanded, report, outcome))
 }
 
+/// [`schedule_structural`] with instrumentation: the stage expansion is
+/// timed as the `mfs.stage_expansion` phase span and the inner run uses
+/// [`mfs::schedule_traced`].
+///
+/// # Errors
+///
+/// As for [`schedule_structural`].
+pub fn schedule_structural_traced(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    config: &MfsConfig,
+    pipelined: &BTreeSet<OpKind>,
+    instr: &mut hls_telemetry::Instrument<'_>,
+) -> Result<(Dfg, StageExpansion, MfsOutcome), MoveFrameError> {
+    let (expanded, report) = instr.span("mfs.stage_expansion", |_| {
+        expand_structural_stages(dfg, spec, pipelined)
+    })?;
+    let outcome = mfs::schedule_traced(&expanded, spec, config, instr)?;
+    Ok((expanded, report, outcome))
+}
+
 /// Folds the per-stage FU counts of a structurally pipelined schedule
 /// back into whole pipelined units: a k-stage multiplier exists once per
 /// `max` over its stage classes.

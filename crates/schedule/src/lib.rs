@@ -59,4 +59,4 @@ pub use schedule::{CStep, FuIndex, Schedule, Slot, UnitId};
 pub use stats::{fu_mix, step_concurrency, ScheduleStats};
 pub use svg::render_svg;
 pub use timing::{chained_frames, ChainedFrames};
-pub use verify::{verify, VerifyOptions, Violation};
+pub use verify::{verify, verify_traced, VerifyOptions, Violation};

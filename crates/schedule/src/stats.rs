@@ -26,6 +26,26 @@ impl ScheduleStats {
         }
     }
 
+    /// [`ScheduleStats::compute`] with instrumentation: runs as the
+    /// `schedule.stats` phase span, counts the run, and feeds the
+    /// per-step concurrency profile into the `schedule.concurrency`
+    /// histogram (so batch harnesses see peak/mean load across runs).
+    pub fn compute_traced(
+        dfg: &Dfg,
+        schedule: &Schedule,
+        spec: &TimingSpec,
+        instr: &mut hls_telemetry::Instrument<'_>,
+    ) -> ScheduleStats {
+        instr.span("schedule.stats", |instr| {
+            let stats = ScheduleStats::compute(dfg, schedule, spec);
+            instr.inc("schedule.stats.runs", 1);
+            for &c in &stats.concurrency {
+                instr.observe("schedule.concurrency", c as u64);
+            }
+            stats
+        })
+    }
+
     /// The largest per-step concurrency.
     pub fn peak_concurrency(&self) -> usize {
         self.concurrency.iter().copied().max().unwrap_or(0)

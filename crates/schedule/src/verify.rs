@@ -241,6 +241,25 @@ pub fn verify(
     violations
 }
 
+/// [`verify`] with instrumentation: the check runs as the
+/// `schedule.verify` phase span, and the counters
+/// `schedule.verify.runs` / `schedule.verify.violations` accumulate in
+/// the registry — a cheap health signal for batch harnesses.
+pub fn verify_traced(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    spec: &TimingSpec,
+    options: VerifyOptions,
+    instr: &mut hls_telemetry::Instrument<'_>,
+) -> Vec<Violation> {
+    instr.span("schedule.verify", |instr| {
+        let violations = verify(dfg, schedule, spec, options);
+        instr.inc("schedule.verify.runs", 1);
+        instr.inc("schedule.verify.violations", violations.len() as u64);
+        violations
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

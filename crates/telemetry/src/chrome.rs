@@ -1,0 +1,86 @@
+//! Chrome `trace_event` export: flame-style profiles from phase spans.
+//!
+//! The output is the JSON object format understood by `about://tracing`
+//! and [Perfetto](https://ui.perfetto.dev): a `traceEvents` array of
+//! complete (`"ph":"X"`) events with microsecond timestamps. Load the
+//! file in Perfetto to see the pipeline's phases as a flame chart.
+
+use std::fmt::Write as _;
+
+use crate::event::{escape_json, TraceEvent};
+
+/// Builds a Chrome-trace JSON document from the [`TraceEvent::PhaseSpan`]
+/// events in `events` (other events are ignored). Nested spans nest in
+/// the flame chart because child spans start later and end earlier on
+/// the same thread track.
+pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for event in events {
+        let TraceEvent::PhaseSpan {
+            phase,
+            start_ns,
+            dur_ns,
+        } = event
+        else {
+            continue;
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        escape_json(&mut out, phase);
+        // ts/dur are microseconds; fractions keep ns precision.
+        let _ = write!(
+            out,
+            "\",\"cat\":\"hls\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":1}}",
+            *start_ns as f64 / 1000.0,
+            *dur_ns as f64 / 1000.0
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_only_phase_spans() {
+        let events = [
+            TraceEvent::PhaseSpan {
+                phase: "mfs.frames".into(),
+                start_ns: 1000,
+                dur_ns: 2500,
+            },
+            TraceEvent::EnergyEvaluated {
+                op: 1,
+                pos: (1, 1),
+                v: 3,
+            },
+            TraceEvent::PhaseSpan {
+                phase: "mfs.move_loop".into(),
+                start_ns: 4000,
+                dur_ns: 500,
+            },
+        ];
+        let json = chrome_trace(events.iter());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"name\":\"mfs.frames\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(!json.contains("energy"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        assert_eq!(
+            chrome_trace(std::iter::empty()),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! The metrics registry: monotonic counters and log₂-bucket histograms.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::escape_json;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples whose value has `i` significant bits
+/// (bucket 0 counts zeros), i.e. boundaries at 1, 2, 4, 8, …. Exact
+/// count/sum/min/max are kept alongside, so means are exact and
+/// quantiles are right up to one power of two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[(64 - value.leading_zeros()) as usize] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 ≤ q ≤ 1.0`); exact up to one power of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << (i - 1) };
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// A named registry of monotonic counters and histograms.
+///
+/// Names are dot-namespaced by producer (`"mfs.moves_committed"`,
+/// `"phase.mfsa.move_loop.ns"`). The registry renders itself as an
+/// aligned text report or a JSON object, and registries merge, so a
+/// bench harness can aggregate across runs.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<Cow<'static, str>, u64>,
+    histograms: BTreeMap<Cow<'static, str>, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the counter `name`, creating it at zero.
+    pub fn inc(&mut self, name: impl Into<Cow<'static, str>>, by: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += by;
+    }
+
+    /// Records `value` into the histogram `name`, creating it empty.
+    pub fn observe(&mut self, name: impl Into<Cow<'static, str>>, value: u64) {
+        self.histograms
+            .entry(name.into())
+            .or_default()
+            .observe(value);
+    }
+
+    /// The current value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_ref(), v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_ref(), v))
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Keeps only entries whose name satisfies `keep` (e.g. dropping
+    /// nondeterministic `*.ns` timings before a committed snapshot).
+    pub fn retain(&mut self, mut keep: impl FnMut(&str) -> bool) {
+        self.counters.retain(|k, _| keep(k));
+        self.histograms.retain(|k, _| keep(k));
+    }
+
+    /// Folds `other` into `self` (counters add, histograms merge).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// An aligned, human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.counters.is_empty() && self.histograms.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+            return out;
+        }
+        let width = self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {value}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  n={} min={} mean={:.1} p90≤{} max={}",
+                    h.count(),
+                    h.min(),
+                    h.mean(),
+                    h.quantile(0.9),
+                    h.max()
+                );
+            }
+        }
+        out
+    }
+
+    /// The registry as one JSON object:
+    /// `{"counters":{...},"histograms":{name:{count,sum,min,max,mean}}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            escape_json(&mut s, name);
+            let _ = write!(s, "\":{value}");
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            escape_json(&mut s, name);
+            let _ = write!(
+                s,
+                "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3}}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.mean()
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.inc("mfs.moves_committed", 1);
+        m.inc("mfs.moves_committed", 2);
+        assert_eq!(m.counter("mfs.moves_committed"), 3);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 110.0 / 6.0).abs() < 1e-9);
+        assert_eq!(h.quantile(0.0), 0);
+        assert!(h.quantile(1.0) >= 64, "100 lives in the [64,128) bucket");
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Metrics::new();
+        a.inc("c", 1);
+        a.observe("h", 4);
+        let mut b = Metrics::new();
+        b.inc("c", 2);
+        b.inc("d", 5);
+        b.observe("h", 8);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("d"), 5);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 12);
+    }
+
+    #[test]
+    fn reports_render() {
+        let mut m = Metrics::new();
+        m.inc("runs", 2);
+        m.observe("ns", 1500);
+        let text = m.render_text();
+        assert!(text.contains("runs"));
+        assert!(text.contains("histograms:"));
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"runs\":2"));
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn empty_report_says_so() {
+        assert!(Metrics::new().render_text().contains("no metrics"));
+    }
+}

@@ -4,11 +4,18 @@
 //! mfhls info <file.dfg> [--dot]
 //! mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]...
 //!                [--chain CLOCK] [--latency L] [--two-cycle-mul]
-//!                [--svg FILE]
+//!                [--svg FILE] [telemetry flags]
 //! mfhls synth <file.dfg> --cs N [--style2] [--weights T,A,M,R]
 //!             [--lib FILE.lib] [--two-cycle-mul] [--microcode]
 //!             [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]
+//!             [telemetry flags]
 //! ```
+//!
+//! Telemetry flags (schedule & synth): `--trace FILE.jsonl` streams the
+//! scheduler's trace events as JSON Lines, `--chrome-trace FILE.json`
+//! writes the phase spans as a Chrome/Perfetto flame chart,
+//! `--metrics` prints the counter/histogram report, `-v` adds a phase
+//! timing summary on stderr, `-q` silences routine output.
 //!
 //! Reads the textual DFG format (see `hls-dfg`), schedules with MFS or
 //! synthesises with MFSA against the built-in NCR-like library, and
@@ -18,6 +25,28 @@ use std::process::ExitCode;
 
 use moveframe_hls::control::{emit_testbench, emit_verilog};
 use moveframe_hls::prelude::*;
+
+/// Observability options shared by `schedule` and `synth`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Telemetry {
+    /// Write trace events as JSON Lines to this file.
+    trace: Option<String>,
+    /// Print the metrics report after the run.
+    metrics: bool,
+    /// Write phase spans as a Chrome/Perfetto trace to this file.
+    chrome: Option<String>,
+    /// Extra diagnostics on stderr.
+    verbose: bool,
+    /// Silence routine stdout output.
+    quiet: bool,
+}
+
+impl Telemetry {
+    /// Whether any option needs the scheduler's event stream.
+    fn wants_events(&self) -> bool {
+        self.trace.is_some() || self.chrome.is_some()
+    }
+}
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +64,7 @@ enum Command {
         latency: Option<u32>,
         two_cycle_mul: bool,
         svg: Option<String>,
+        tel: Telemetry,
     },
     Synth {
         file: String,
@@ -49,11 +79,12 @@ enum Command {
         check: bool,
         svg: Option<String>,
         vcd: Option<String>,
+        tel: Telemetry,
     },
 }
 
 fn usage() -> String {
-    "usage:\n  mfhls info <file.dfg> [--dot]\n  mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]... [--chain CLOCK] [--latency L] [--two-cycle-mul] [--svg FILE]\n  mfhls synth <file.dfg> --cs N [--style2] [--weights T,A,M,R] [--lib FILE.lib] [--two-cycle-mul] [--microcode] [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]".to_string()
+    "usage:\n  mfhls info <file.dfg> [--dot]\n  mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]... [--chain CLOCK] [--latency L] [--two-cycle-mul] [--svg FILE]\n  mfhls synth <file.dfg> --cs N [--style2] [--weights T,A,M,R] [--lib FILE.lib] [--two-cycle-mul] [--microcode] [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]\n  mfhls --version\ntelemetry (schedule/synth): [--trace FILE.jsonl] [--chrome-trace FILE.json] [--metrics] [-v|--verbose] [-q|--quiet]".to_string()
 }
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -76,6 +107,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut dot = false;
     let mut svg = None;
     let mut vcd = None;
+    let mut tel = Telemetry::default();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--cs" => {
@@ -128,6 +160,17 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 let v = it.next().ok_or("--vcd needs a file path")?;
                 vcd = Some(v.clone());
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a file path")?;
+                tel.trace = Some(v.clone());
+            }
+            "--chrome-trace" => {
+                let v = it.next().ok_or("--chrome-trace needs a file path")?;
+                tel.chrome = Some(v.clone());
+            }
+            "--metrics" => tel.metrics = true,
+            "-v" | "--verbose" => tel.verbose = true,
+            "-q" | "--quiet" => tel.quiet = true,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -142,6 +185,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             latency,
             two_cycle_mul,
             svg,
+            tel,
         }),
         "synth" => Ok(Command::Synth {
             file,
@@ -156,6 +200,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             check,
             svg,
             vcd,
+            tel,
         }),
         other => Err(format!("unknown subcommand `{other}`\n{}", usage())),
     }
@@ -212,6 +257,7 @@ fn run(command: Command) -> Result<(), String> {
             latency,
             two_cycle_mul,
             svg,
+            tel,
         } => {
             let dfg = load(&file)?;
             let spec = spec_for(two_cycle_mul, chain.is_some());
@@ -229,23 +275,52 @@ fn run(command: Command) -> Result<(), String> {
             if let Some(l) = latency {
                 config = config.with_latency(l);
             }
-            let outcome = mfs::schedule(&dfg, &spec, &config).map_err(|e| e.to_string())?;
-            print!("{}", render_schedule(&dfg, &outcome.schedule, &spec));
-            if let Some(path) = svg {
-                let image = moveframe_hls::schedule::render_svg(&dfg, &outcome.schedule, &spec);
-                std::fs::write(&path, image).map_err(|e| format!("cannot write {path}: {e}"))?;
-                println!("wrote {path}");
-            }
             let opts = VerifyOptions {
                 clock: chain.map(ClockPeriod::new),
                 latency,
             };
-            let violations = verify(&dfg, &outcome.schedule, &spec, opts);
+            let mut mem = MemorySink::new();
+            let mut null = NullSink;
+            let mut metrics = Metrics::new();
+            let (outcome, violations) = {
+                let sink: &mut dyn TraceSink = if tel.wants_events() {
+                    &mut mem
+                } else {
+                    &mut null
+                };
+                let mut instr = Instrument::new(sink, &mut metrics);
+                let outcome = mfs::schedule_traced(&dfg, &spec, &config, &mut instr)
+                    .map_err(|e| e.to_string())?;
+                let violations = verify_traced(&dfg, &outcome.schedule, &spec, opts, &mut instr);
+                if tel.verbose {
+                    let stats =
+                        ScheduleStats::compute_traced(&dfg, &outcome.schedule, &spec, &mut instr);
+                    eprintln!(
+                        "stats: peak concurrency {}, imbalance {:.2}",
+                        stats.peak_concurrency(),
+                        stats.imbalance()
+                    );
+                }
+                (outcome, violations)
+            };
+            if !tel.quiet {
+                print!("{}", render_schedule(&dfg, &outcome.schedule, &spec));
+            }
+            if let Some(path) = svg {
+                let image = moveframe_hls::schedule::render_svg(&dfg, &outcome.schedule, &spec);
+                std::fs::write(&path, image).map_err(|e| format!("cannot write {path}: {e}"))?;
+                if !tel.quiet {
+                    println!("wrote {path}");
+                }
+            }
+            finish_telemetry(&tel, mem.events(), &metrics)?;
             if violations.is_empty() {
-                println!(
-                    "verified: ok ({} local rescheduling(s))",
-                    outcome.reschedule_count
-                );
+                if !tel.quiet {
+                    println!(
+                        "verified: ok ({} local rescheduling(s))",
+                        outcome.reschedule_count
+                    );
+                }
                 Ok(())
             } else {
                 Err(format!(
@@ -266,6 +341,7 @@ fn run(command: Command) -> Result<(), String> {
             check,
             svg,
             vcd,
+            tel,
         } => {
             let dfg = load(&file)?;
             let spec = spec_for(two_cycle_mul, false);
@@ -290,10 +366,34 @@ fn run(command: Command) -> Result<(), String> {
                     reg: r,
                 });
             }
-            let out = mfsa::schedule(&dfg, &spec, &config).map_err(|e| e.to_string())?;
-            print!("{}", render_schedule(&dfg, &out.schedule, &spec));
-            print!("{}", out.datapath);
-            println!("{}", out.cost);
+            let mut mem = MemorySink::new();
+            let mut null = NullSink;
+            let mut metrics = Metrics::new();
+            let out = {
+                let sink: &mut dyn TraceSink = if tel.wants_events() {
+                    &mut mem
+                } else {
+                    &mut null
+                };
+                let mut instr = Instrument::new(sink, &mut metrics);
+                let out = mfsa::schedule_traced(&dfg, &spec, &config, &mut instr)
+                    .map_err(|e| e.to_string())?;
+                if tel.verbose {
+                    let stats =
+                        ScheduleStats::compute_traced(&dfg, &out.schedule, &spec, &mut instr);
+                    eprintln!(
+                        "stats: peak concurrency {}, imbalance {:.2}",
+                        stats.peak_concurrency(),
+                        stats.imbalance()
+                    );
+                }
+                out
+            };
+            if !tel.quiet {
+                print!("{}", render_schedule(&dfg, &out.schedule, &spec));
+                print!("{}", out.datapath);
+                println!("{}", out.cost);
+            }
             let controller = Controller::generate(&dfg, &out.schedule, &out.datapath, &spec)
                 .map_err(|e| e.to_string())?;
             if microcode {
@@ -335,24 +435,12 @@ fn run(command: Command) -> Result<(), String> {
                 let tb = emit_testbench(&dfg, &inputs, &expected).map_err(|e| e.to_string())?;
                 println!("\n{tb}");
             }
-            if testbench {
-                let inputs = random_inputs(&dfg, 0);
-                let values = interpret(&dfg, &inputs).map_err(|e| e.to_string())?;
-                let expected: std::collections::BTreeMap<_, _> = dfg
-                    .signals()
-                    .filter(|(sid, s)| {
-                        matches!(s.source(), moveframe_hls::dfg::SignalSource::Node(_))
-                            && dfg.consumers(*sid).is_empty()
-                    })
-                    .map(|(sid, _)| (sid, values[&sid]))
-                    .collect();
-                let tb = emit_testbench(&dfg, &inputs, &expected).map_err(|e| e.to_string())?;
-                println!("\n{tb}");
-            }
             if let Some(path) = svg {
                 let image = moveframe_hls::schedule::render_svg(&dfg, &out.schedule, &spec);
                 std::fs::write(&path, image).map_err(|e| format!("cannot write {path}: {e}"))?;
-                println!("wrote {path}");
+                if !tel.quiet {
+                    println!("wrote {path}");
+                }
             }
             if let Some(path) = vcd {
                 let inputs = random_inputs(&dfg, 0);
@@ -367,17 +455,68 @@ fn run(command: Command) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
                 let dump = moveframe_hls::sim::write_vcd(&dfg, &out.datapath, &sim);
                 std::fs::write(&path, dump).map_err(|e| format!("cannot write {path}: {e}"))?;
-                println!("wrote {path} (inputs from seed 0)");
+                if !tel.quiet {
+                    println!("wrote {path} (inputs from seed 0)");
+                }
             }
+            finish_telemetry(&tel, mem.events(), &metrics)?;
             Ok(())
         }
     }
+}
+
+/// Writes/prints the requested telemetry artifacts after a run.
+fn finish_telemetry(
+    tel: &Telemetry,
+    events: &[TraceEvent],
+    metrics: &Metrics,
+) -> Result<(), String> {
+    if let Some(path) = &tel.trace {
+        let mut out = String::new();
+        for e in events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !tel.quiet {
+            println!("wrote {path} ({} event(s))", events.len());
+        }
+    }
+    if let Some(path) = &tel.chrome {
+        std::fs::write(path, chrome_trace(events.iter()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !tel.quiet {
+            println!("wrote {path} (load in chrome://tracing or Perfetto)");
+        }
+    }
+    if tel.metrics {
+        print!("{}", metrics.render_text());
+    }
+    if tel.verbose {
+        for (name, h) in metrics.histograms() {
+            if let Some(phase) = name
+                .strip_prefix("phase.")
+                .and_then(|n| n.strip_suffix(".ns"))
+            {
+                eprintln!(
+                    "phase {phase}: {:.3} ms over {} call(s)",
+                    h.sum() as f64 / 1e6,
+                    h.count()
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if args[0] == "--version" || args[0] == "-V" {
+        println!("mfhls {}", env!("CARGO_PKG_VERSION"));
         return ExitCode::SUCCESS;
     }
     match parse_args(&args).and_then(run) {
@@ -513,6 +652,7 @@ mod tests {
             latency: None,
             two_cycle_mul: false,
             svg: Some(dir.join("toy.svg").to_string_lossy().to_string()),
+            tel: Telemetry::default(),
         })
         .unwrap();
         assert!(dir.join("toy.svg").exists());
@@ -529,6 +669,7 @@ mod tests {
             check: true,
             svg: None,
             vcd: Some(dir.join("toy.vcd").to_string_lossy().to_string()),
+            tel: Telemetry::default(),
         })
         .unwrap();
         assert!(dir.join("toy.vcd").exists());
@@ -548,7 +689,76 @@ mod tests {
             check: true,
             svg: None,
             vcd: None,
+            tel: Telemetry::default(),
         })
         .unwrap();
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let c = parse(&[
+            "synth",
+            "x.dfg",
+            "--cs",
+            "4",
+            "--trace",
+            "out.jsonl",
+            "--chrome-trace",
+            "out.json",
+            "--metrics",
+            "-q",
+        ])
+        .unwrap();
+        match c {
+            Command::Synth { tel, .. } => {
+                assert_eq!(tel.trace.as_deref(), Some("out.jsonl"));
+                assert_eq!(tel.chrome.as_deref(), Some("out.json"));
+                assert!(tel.metrics);
+                assert!(tel.quiet);
+                assert!(!tel.verbose);
+                assert!(tel.wants_events());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_artifacts_are_written() {
+        let dir = std::env::temp_dir().join("mfhls-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("toy.dfg");
+        std::fs::write(&file, "input a, b\nop p = mul(a, b)\nop q = add(p, b)\n").unwrap();
+        let trace = dir.join("toy.jsonl");
+        let chrome = dir.join("toy.trace.json");
+        run(Command::Schedule {
+            file: file.to_string_lossy().to_string(),
+            cs: 3,
+            resource: false,
+            limits: vec![],
+            chain: None,
+            latency: None,
+            two_cycle_mul: false,
+            svg: None,
+            tel: Telemetry {
+                trace: Some(trace.to_string_lossy().to_string()),
+                chrome: Some(chrome.to_string_lossy().to_string()),
+                metrics: true,
+                verbose: false,
+                quiet: true,
+            },
+        })
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            assert!(
+                line.starts_with("{\"event\":\"") && line.ends_with('}'),
+                "{line}"
+            );
+        }
+        assert!(jsonl.contains("\"event\":\"move_committed\""));
+        let chrome_json = std::fs::read_to_string(&chrome).unwrap();
+        assert!(chrome_json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(chrome_json.contains("\"name\":\"mfs.move_loop\""));
     }
 }

@@ -39,6 +39,7 @@ pub use hls_dfg as dfg;
 pub use hls_rtl as rtl;
 pub use hls_schedule as schedule;
 pub use hls_sim as sim;
+pub use hls_telemetry as telemetry;
 pub use moveframe;
 
 /// Convenience re-exports for examples and quick starts.
@@ -50,13 +51,19 @@ pub mod prelude {
     pub use hls_control::{verify_controller, Controller};
     pub use hls_dfg::{parse_dfg, CriticalPath, Dfg, DfgBuilder, FuClass, NodeId, OpMix};
     pub use hls_rtl::{verify_datapath, AluAllocation, CostReport, Datapath};
-    pub use hls_schedule::{render_schedule, verify, CStep, Schedule, TimeFrames, VerifyOptions};
+    pub use hls_schedule::{
+        render_schedule, verify, verify_traced, CStep, Schedule, ScheduleStats, TimeFrames,
+        VerifyOptions,
+    };
     pub use hls_sim::{check_equivalence, interpret, random_inputs, simulate};
+    pub use hls_telemetry::{
+        chrome_trace, Instrument, JsonlSink, MemorySink, Metrics, NullSink, TraceEvent, TraceSink,
+    };
     pub use moveframe::loops::schedule_hierarchical;
     pub use moveframe::mfs::{self, MfsConfig};
     pub use moveframe::mfsa::{self, DesignStyle, MfsaConfig, Weights};
     pub use moveframe::pipeline::{
-        pipelined_fu_counts, schedule_structural, schedule_two_instance,
+        pipelined_fu_counts, schedule_structural, schedule_structural_traced, schedule_two_instance,
     };
     pub use moveframe::{MfsObjective, MoveFrameError};
 }

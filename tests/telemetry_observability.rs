@@ -1,0 +1,165 @@
+//! Observability contract tests: the instrumented schedulers emit a
+//! monotone committed-energy trajectory (the paper's Liapunov descent)
+//! and never perturb the result they observe.
+
+use moveframe_hls::benchmarks::classic;
+use moveframe_hls::prelude::*;
+
+/// MFS on the paper's Figure-1 differential-equation example at cs = 6:
+/// within each scheduling pass, every committed move lowers (or keeps)
+/// the system Liapunov energy. A local rescheduling grows the unit
+/// capacity, which changes the Liapunov function itself, so the
+/// trajectory restarts at each [`TraceEvent::LocalReschedule`].
+#[test]
+fn mfs_committed_energy_is_monotone_non_increasing() {
+    let dfg = classic::diffeq();
+    let spec = TimingSpec::uniform_single_cycle();
+    let config = MfsConfig::time_constrained(6);
+
+    let mut sink = MemorySink::new();
+    let mut metrics = Metrics::new();
+    let outcome = mfs::schedule_traced(
+        &dfg,
+        &spec,
+        &config,
+        &mut Instrument::new(&mut sink, &mut metrics),
+    )
+    .expect("diffeq schedules at cs=6");
+    assert!(outcome.schedule.is_complete());
+
+    let mut passes: Vec<Vec<u64>> = vec![Vec::new()];
+    for event in sink.events() {
+        match event {
+            TraceEvent::LocalReschedule { .. } => passes.push(Vec::new()),
+            TraceEvent::MoveCommitted {
+                system_v: Some(v), ..
+            } => passes.last_mut().unwrap().push(*v),
+            _ => {}
+        }
+    }
+    let final_pass = passes.last().unwrap();
+    assert_eq!(
+        final_pass.len(),
+        dfg.node_ids().count(),
+        "the final pass commits one move per operation"
+    );
+    for energies in &passes {
+        assert!(
+            energies.windows(2).all(|w| w[1] <= w[0]),
+            "system Liapunov energy must be non-increasing within a pass: {energies:?}"
+        );
+    }
+    // The final pass commits one move per operation node.
+    let ops = dfg.node_ids().count() as u64;
+    assert!(metrics.counter("mfs.moves_committed") >= ops);
+    assert!(metrics.counter("mfs.frames_computed") >= ops);
+    assert!(metrics.counter("mfs.energy_evaluations") >= ops);
+}
+
+/// Instrumentation is observation only: a run through a [`NullSink`]
+/// (and through a recording [`MemorySink`]) is bit-identical to the
+/// plain `mfs::schedule` entry point.
+#[test]
+fn mfs_instrumented_run_matches_uninstrumented() {
+    let dfg = classic::diffeq();
+    let spec = TimingSpec::uniform_single_cycle();
+    for cs in [4, 6, 8] {
+        let config = MfsConfig::time_constrained(cs);
+        let plain = mfs::schedule(&dfg, &spec, &config).expect("plain run");
+
+        let mut null = NullSink;
+        let mut metrics = Metrics::new();
+        let nulled = mfs::schedule_traced(
+            &dfg,
+            &spec,
+            &config,
+            &mut Instrument::new(&mut null, &mut metrics),
+        )
+        .expect("NullSink run");
+
+        let mut mem = MemorySink::new();
+        let mut metrics = Metrics::new();
+        let recorded = mfs::schedule_traced(
+            &dfg,
+            &spec,
+            &config,
+            &mut Instrument::new(&mut mem, &mut metrics),
+        )
+        .expect("MemorySink run");
+
+        for traced in [&nulled, &recorded] {
+            assert_eq!(traced.schedule, plain.schedule, "cs={cs}");
+            assert_eq!(traced.grids, plain.grids, "cs={cs}");
+            assert_eq!(traced.reschedule_count, plain.reschedule_count, "cs={cs}");
+        }
+        assert!(!mem.events().is_empty());
+    }
+}
+
+/// Same contract for MFSA: tracing does not change the schedule,
+/// allocation or cost, and the candidate counters line up with the
+/// recorded evaluation events.
+#[test]
+fn mfsa_instrumented_run_matches_uninstrumented() {
+    let dfg = classic::diffeq();
+    let spec = TimingSpec::uniform_single_cycle();
+    let config = MfsaConfig::new(4, Library::ncr_like());
+    let plain = mfsa::schedule(&dfg, &spec, &config).expect("plain MFSA run");
+
+    let mut mem = MemorySink::new();
+    let mut metrics = Metrics::new();
+    let traced = mfsa::schedule_traced(
+        &dfg,
+        &spec,
+        &config,
+        &mut Instrument::new(&mut mem, &mut metrics),
+    )
+    .expect("traced MFSA run");
+
+    assert_eq!(traced.schedule, plain.schedule);
+    assert_eq!(traced.allocation, plain.allocation);
+    assert_eq!(traced.cost, plain.cost);
+
+    let evaluations = mem
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::EnergyEvaluated { .. }))
+        .count() as u64;
+    assert_eq!(metrics.counter("mfsa.energy_evaluations"), evaluations);
+    let ops = dfg.node_ids().count() as u64;
+    assert_eq!(metrics.counter("mfsa.moves_committed"), ops);
+    assert_eq!(
+        metrics.counter("mfsa.reuse_moves")
+            + metrics.counter("mfsa.upgrade_moves")
+            + metrics.counter("mfsa.new_instances"),
+        ops
+    );
+}
+
+/// The JSONL and Chrome exports of a recorded run are well-formed.
+#[test]
+fn exports_are_well_formed() {
+    let dfg = classic::diffeq();
+    let spec = TimingSpec::uniform_single_cycle();
+    let mut sink = MemorySink::new();
+    let mut metrics = Metrics::new();
+    mfs::schedule_traced(
+        &dfg,
+        &spec,
+        &MfsConfig::time_constrained(6),
+        &mut Instrument::new(&mut sink, &mut metrics),
+    )
+    .expect("diffeq schedules at cs=6");
+
+    for event in sink.events() {
+        let json = event.to_json();
+        assert!(
+            json.starts_with("{\"event\":\"") && json.ends_with('}'),
+            "{json}"
+        );
+    }
+    let chrome = chrome_trace(sink.events().iter());
+    assert!(chrome.starts_with('{') && chrome.ends_with('}'));
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("mfs.move_loop"));
+}
