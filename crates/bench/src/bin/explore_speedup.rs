@@ -1,0 +1,151 @@
+//! Measures the exploration engine's parallel speedup on the full
+//! paper grid and emits `BENCH_explore.json`.
+//!
+//! ```text
+//! cargo run --release -p hls-bench --bin explore_speedup [-- out.json]
+//! ```
+//!
+//! For each thread count the whole grid — the six examples, each with
+//! its Table-1 MFS sweep, both Table-2 MFSA styles, and the
+//! list/FDS/annealing baselines at every time constraint — is explored
+//! with a **fresh cache** (memoization would let later runs freeload on
+//! earlier ones and fake the speedup). Each configuration runs three
+//! times and the best wall time is kept. A final pass re-explores the
+//! full grid on the already-warm cache, measuring the memoization win.
+//! The JSON records the host's `available_parallelism`: on a
+//! single-hardware-thread host the thread-sweep speedup is bounded at
+//! ~1.0× no matter the worker count, and the report says so. It also
+//! records that the Pareto fronts were bit-identical across thread
+//! counts.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hls_bench::paper_points;
+use hls_benchmarks::examples::{self, Example};
+use hls_explore::{Algorithm, DesignPoint, Engine, ExploreOptions};
+
+/// The paper points plus the baseline schedulers at every sweep point.
+fn full_grid(example: &Example) -> Vec<DesignPoint> {
+    let mut points = paper_points(example);
+    for &t in &example.time_constraints {
+        for alg in [Algorithm::List, Algorithm::Fds, Algorithm::Anneal] {
+            points.push(DesignPoint::new(alg, t));
+        }
+    }
+    points
+}
+
+/// Explores the whole grid once on the given engine; returns the wall
+/// time in ns and the concatenated per-example front JSON.
+fn run_grid(
+    engine: &Engine,
+    grids: &[(Example, Vec<DesignPoint>)],
+    threads: usize,
+) -> (u64, String) {
+    let start = Instant::now();
+    let mut fronts = String::new();
+    for (e, points) in grids {
+        let report = engine.explore(&e.dfg, &e.spec, points, ExploreOptions { threads });
+        fronts.push_str(&report.front_json());
+        fronts.push('\n');
+    }
+    (start.elapsed().as_nanos() as u64, fronts)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_explore.json".to_string());
+    let grids: Vec<(Example, Vec<DesignPoint>)> = examples::all()
+        .into_iter()
+        .map(|e| {
+            let points = full_grid(&e);
+            (e, points)
+        })
+        .collect();
+    let total_points: usize = grids.iter().map(|(_, p)| p.len()).sum();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut best_ns = Vec::new();
+    let mut reference_fronts: Option<String> = None;
+    let mut fronts_identical = true;
+    for &threads in &thread_counts {
+        let mut best = u64::MAX;
+        for _ in 0..3 {
+            let (ns, fronts) = run_grid(&Engine::new(), &grids, threads);
+            best = best.min(ns);
+            match &reference_fronts {
+                None => reference_fronts = Some(fronts),
+                Some(reference) => fronts_identical &= *reference == fronts,
+            }
+        }
+        eprintln!(
+            "threads={threads}: {:.2} ms for {total_points} point(s)",
+            best as f64 / 1e6
+        );
+        best_ns.push(best);
+    }
+
+    // Warm-cache pass: explore the full grid twice on one engine; the
+    // second pass answers every point from the result cache.
+    let warm_engine = Engine::new();
+    let (cold_ns, _) = run_grid(&warm_engine, &grids, 1);
+    let (warm_ns, warm_fronts) = run_grid(&warm_engine, &grids, 1);
+    fronts_identical &= reference_fronts.as_deref() == Some(warm_fronts.as_str());
+    eprintln!(
+        "warm cache: {:.2} ms (cold {:.2} ms)",
+        warm_ns as f64 / 1e6,
+        cold_ns as f64 / 1e6
+    );
+
+    let serial = best_ns[0] as f64;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"grid_points\": {total_points},");
+    let _ = writeln!(json, "  \"examples\": {},", grids.len());
+    let _ = writeln!(json, "  \"repeats\": 3,");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"thread-sweep speedup is bounded by available_parallelism; on a 1-core host it stays ~1.0 regardless of worker count\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"fronts_identical_across_threads\": {fronts_identical},"
+    );
+    json.push_str("  \"runs\": [\n");
+    for (i, (&threads, &ns)) in thread_counts.iter().zip(&best_ns).enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {threads}, \"wall_ms\": {:.3}, \"speedup\": {:.2}}}",
+            ns as f64 / 1e6,
+            serial / ns as f64
+        );
+        json.push_str(if i + 1 < thread_counts.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"warm_cache\": {{\"cold_wall_ms\": {:.3}, \"warm_wall_ms\": {:.3}, \"speedup\": {:.1}}}",
+        cold_ns as f64 / 1e6,
+        warm_ns as f64 / 1e6,
+        cold_ns as f64 / warm_ns as f64
+    );
+    json.push('}');
+    json.push('\n');
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("wrote {out_path}");
+    print!("{json}");
+    if !fronts_identical {
+        eprintln!("error: Pareto fronts differed across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -12,7 +12,11 @@
 //! * `cargo run -p hls-bench --bin figure1` — a populated placement
 //!   table with an operation's present/next position;
 //! * `cargo run -p hls-bench --bin figure2` — the PF/RF/FF/MF frames of
-//!   an operation at its scheduling moment.
+//!   an operation at its scheduling moment;
+//! * `cargo run --release -p hls-bench --bin explore_speedup` — the
+//!   full paper grid through the `hls-explore` engine at 1/2/4/8
+//!   worker threads plus a warm-cache pass, emitting
+//!   `BENCH_explore.json`.
 //!
 //! Benches: `runtime` (MFS/MFSA vs list/FDS/annealing), `scaling`
 //! (O(l³) growth on generated graphs), `ablation`.
@@ -20,10 +24,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod explore_grid;
 mod figures;
 mod runner;
 mod tables;
 
+pub use explore_grid::{
+    explore_paper_grid, mfs_point, mfsa_point, paper_points, table1_engine, table2_engine,
+};
 pub use figures::{figure1, figure2};
 pub use runner::{
     run_example_mfs, run_example_mfs_traced, run_example_mfsa, run_example_mfsa_traced, MfsRun,

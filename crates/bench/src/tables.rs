@@ -28,7 +28,7 @@ pub struct Table1Row {
     pub wall: Duration,
 }
 
-fn feature_flag(e: &Example) -> String {
+pub(crate) fn feature_flag(e: &Example) -> String {
     match &e.feature {
         Feature::SingleCycle => "1".into(),
         Feature::TwoCycleMultiply => "2".into(),

@@ -131,12 +131,45 @@ pub fn schedule_traced(
     config: &MfsConfig,
     instr: &mut Instrument<'_>,
 ) -> Result<MfsOutcome, MoveFrameError> {
+    schedule_traced_with_frames(dfg, spec, config, None, instr)
+}
+
+/// [`schedule_traced`] with optionally precomputed time frames.
+///
+/// Batch harnesses (the `hls-explore` engine) compute ASAP/ALAP frames
+/// once per `(dfg, spec, cs, clock)` and share them across every design
+/// point at that time constraint; passing them here skips step 1. The
+/// frames **must** come from the same graph, timing spec, clock setting
+/// and time constraint as this run — as a guard, frames whose
+/// control-step count differs from `config.control_steps()` are
+/// discarded and recomputed. The outcome is bit-identical to
+/// [`schedule_traced`]'s either way.
+///
+/// # Errors
+///
+/// As for [`schedule`].
+pub fn schedule_traced_with_frames(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    config: &MfsConfig,
+    precomputed: Option<TimeFrames>,
+    instr: &mut Instrument<'_>,
+) -> Result<MfsOutcome, MoveFrameError> {
     let cs = config.control_steps();
 
-    // Step 1: time frames (chaining-aware when a clock is given).
-    let frames = instr.span("mfs.frames", |_| match config.clock() {
-        Some(clock) => Ok(chained_frames(dfg, spec, clock, cs)?.into_frames()),
-        None => TimeFrames::compute(dfg, spec, cs),
+    // Step 1: time frames (chaining-aware when a clock is given),
+    // unless the caller already has them.
+    let frames = instr.span("mfs.frames", |instr| {
+        match precomputed.filter(|f| f.control_steps() == cs) {
+            Some(frames) => {
+                instr.inc("mfs.frames.reused", 1);
+                Ok(frames)
+            }
+            None => match config.clock() {
+                Some(clock) => Ok(chained_frames(dfg, spec, clock, cs)?.into_frames()),
+                None => TimeFrames::compute(dfg, spec, cs),
+            },
+        }
     })?;
 
     // Effective cycles (chaining can stretch slow ops over steps).

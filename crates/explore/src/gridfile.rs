@@ -1,0 +1,468 @@
+//! Grid files: a TOML subset describing an exploration grid.
+//!
+//! The format (documented for users in `EXPERIMENTS.md`):
+//!
+//! ```toml
+//! # comments and blank lines are ignored
+//! [defaults]            # applies to every point below
+//! algorithm = ["mfs", "list"]   # array -> cross product
+//! cs = [4, 5, 6]                # array -> cross product
+//! clock = 100                   # chaining clock in ns
+//! latency = 2                   # functional-pipelining latency
+//! limits = ["*=2", "+=1"]       # per-op FU bounds (op symbol = count)
+//! pipeline = ["*"]              # structurally pipelined ops (MFS)
+//! style = 2                     # MFSA design style (1 or 2)
+//! weights = [1, 1, 1, 1]        # MFSA Liapunov weights (t, a, m, r)
+//!
+//! [[point]]             # one explicit point (inherits the defaults)
+//! label = "tight"
+//! algorithm = "mfsa"
+//! cs = 4
+//! ```
+//!
+//! `algorithm` and `cs` may be arrays; a `[[point]]` (or the defaults
+//! section when no `[[point]]` exists) expands to the cross product in
+//! file order — algorithms outer, time constraints inner. Every other
+//! key is scalar. Unknown keys and malformed values are hard errors:
+//! a silently ignored constraint would corrupt a sweep.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hls_celllib::OpKind;
+use hls_dfg::FuClass;
+
+use crate::point::{Algorithm, DesignPoint};
+
+/// A grid-file parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridError {
+    /// 1-based line of the offending entry (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "grid: {}", self.message)
+        } else {
+            write!(f, "grid line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+fn err(line: usize, message: impl Into<String>) -> GridError {
+    GridError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One scalar value of the subset: integer or string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Scalar {
+    Int(u32),
+    Str(String),
+}
+
+impl Scalar {
+    fn parse(raw: &str, line: usize) -> Result<Scalar, GridError> {
+        let raw = raw.trim();
+        if let Some(stripped) = raw.strip_prefix('"') {
+            let Some(inner) = stripped.strip_suffix('"') else {
+                return Err(err(line, format!("unterminated string: {raw}")));
+            };
+            return Ok(Scalar::Str(inner.to_string()));
+        }
+        raw.parse::<u32>().map(Scalar::Int).map_err(|_| {
+            err(
+                line,
+                format!("expected an integer or \"string\", got {raw}"),
+            )
+        })
+    }
+
+    fn as_int(&self, key: &str, line: usize) -> Result<u32, GridError> {
+        match self {
+            Scalar::Int(v) => Ok(*v),
+            Scalar::Str(s) => Err(err(line, format!("{key} wants an integer, got \"{s}\""))),
+        }
+    }
+
+    fn as_str(&self, key: &str, line: usize) -> Result<&str, GridError> {
+        match self {
+            Scalar::Str(s) => Ok(s),
+            Scalar::Int(v) => Err(err(line, format!("{key} wants a string, got {v}"))),
+        }
+    }
+}
+
+/// A parsed `key = value` with the value as scalar or array.
+#[derive(Debug, Clone)]
+enum Value {
+    One(Scalar),
+    Many(Vec<Scalar>),
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, GridError> {
+    let raw = raw.trim();
+    if let Some(stripped) = raw.strip_prefix('[') {
+        let Some(inner) = stripped.strip_suffix(']') else {
+            return Err(err(line, format!("unterminated array: {raw}")));
+        };
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Value::Many(Vec::new()));
+        }
+        let items = inner
+            .split(',')
+            .map(|item| Scalar::parse(item, line))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Value::Many(items));
+    }
+    Ok(Value::One(Scalar::parse(raw, line)?))
+}
+
+fn op_by_symbol(symbol: &str) -> Option<OpKind> {
+    OpKind::ALL.into_iter().find(|k| k.symbol() == symbol)
+}
+
+/// The accumulated settings of one section (defaults or a point).
+#[derive(Debug, Clone, Default)]
+struct Section {
+    label: Option<String>,
+    algorithms: Option<Vec<Algorithm>>,
+    cs: Option<Vec<u32>>,
+    clock: Option<u32>,
+    latency: Option<u32>,
+    limits: Option<BTreeMap<FuClass, u32>>,
+    pipeline: Option<BTreeSet<OpKind>>,
+    style: Option<u8>,
+    weights: Option<(u32, u32, u32, u32)>,
+}
+
+impl Section {
+    fn apply(&mut self, key: &str, value: Value, line: usize) -> Result<(), GridError> {
+        let scalars = |v: &Value| -> Vec<Scalar> {
+            match v {
+                Value::One(s) => vec![s.clone()],
+                Value::Many(list) => list.clone(),
+            }
+        };
+        let one = |v: &Value| -> Result<Scalar, GridError> {
+            match v {
+                Value::One(s) => Ok(s.clone()),
+                Value::Many(_) => Err(err(line, format!("{key} must be a single value"))),
+            }
+        };
+        match key {
+            "label" => self.label = Some(one(&value)?.as_str(key, line)?.to_string()),
+            "algorithm" => {
+                let algs = scalars(&value)
+                    .iter()
+                    .map(|s| {
+                        let name = s.as_str(key, line)?;
+                        Algorithm::parse(name)
+                            .ok_or_else(|| err(line, format!("unknown algorithm {name}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if algs.is_empty() {
+                    return Err(err(line, "algorithm array is empty"));
+                }
+                self.algorithms = Some(algs);
+            }
+            "cs" => {
+                let cs = scalars(&value)
+                    .iter()
+                    .map(|s| s.as_int(key, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if cs.is_empty() {
+                    return Err(err(line, "cs array is empty"));
+                }
+                self.cs = Some(cs);
+            }
+            "clock" => self.clock = Some(one(&value)?.as_int(key, line)?),
+            "latency" => self.latency = Some(one(&value)?.as_int(key, line)?),
+            "limits" => {
+                let mut limits = BTreeMap::new();
+                for s in scalars(&value) {
+                    let spec = s.as_str(key, line)?;
+                    let Some((sym, count)) = spec.split_once('=') else {
+                        return Err(err(line, format!("limit {spec} is not op=count")));
+                    };
+                    let op = op_by_symbol(sym.trim())
+                        .ok_or_else(|| err(line, format!("unknown op symbol {sym}")))?;
+                    let count: u32 = count
+                        .trim()
+                        .parse()
+                        .map_err(|_| err(line, format!("bad limit count in {spec}")))?;
+                    limits.insert(FuClass::Op(op), count);
+                }
+                self.limits = Some(limits);
+            }
+            "pipeline" => {
+                let mut ops = BTreeSet::new();
+                for s in scalars(&value) {
+                    let sym = s.as_str(key, line)?;
+                    let op = op_by_symbol(sym)
+                        .ok_or_else(|| err(line, format!("unknown op symbol {sym}")))?;
+                    ops.insert(op);
+                }
+                self.pipeline = Some(ops);
+            }
+            "style" => {
+                let style = one(&value)?.as_int(key, line)?;
+                if !(1..=2).contains(&style) {
+                    return Err(err(line, format!("style must be 1 or 2, got {style}")));
+                }
+                self.style = Some(style as u8);
+            }
+            "weights" => {
+                let w = scalars(&value)
+                    .iter()
+                    .map(|s| s.as_int(key, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let [t, a, m, r] = w[..] else {
+                    return Err(err(line, "weights wants exactly 4 integers"));
+                };
+                self.weights = Some((t, a, m, r));
+            }
+            other => return Err(err(line, format!("unknown key {other}"))),
+        }
+        Ok(())
+    }
+
+    fn inherit(&self, defaults: &Section) -> Section {
+        Section {
+            label: self.label.clone(),
+            algorithms: self
+                .algorithms
+                .clone()
+                .or_else(|| defaults.algorithms.clone()),
+            cs: self.cs.clone().or_else(|| defaults.cs.clone()),
+            clock: self.clock.or(defaults.clock),
+            latency: self.latency.or(defaults.latency),
+            limits: self.limits.clone().or_else(|| defaults.limits.clone()),
+            pipeline: self.pipeline.clone().or_else(|| defaults.pipeline.clone()),
+            style: self.style.or(defaults.style),
+            weights: self.weights.or(defaults.weights),
+        }
+    }
+
+    fn expand(&self, out: &mut Vec<DesignPoint>, line: usize) -> Result<(), GridError> {
+        let algorithms = self
+            .algorithms
+            .clone()
+            .ok_or_else(|| err(line, "no algorithm given (here or in [defaults])"))?;
+        let cs_list = self
+            .cs
+            .clone()
+            .ok_or_else(|| err(line, "no cs given (here or in [defaults])"))?;
+        let multi = algorithms.len() * cs_list.len() > 1;
+        for &alg in &algorithms {
+            for &cs in &cs_list {
+                let mut p = DesignPoint::new(alg, cs);
+                if let Some(label) = &self.label {
+                    // Cross-product points get a disambiguating suffix.
+                    p.label = if multi {
+                        format!("{label} {alg}@T{cs}")
+                    } else {
+                        label.clone()
+                    };
+                }
+                if let Some(limits) = &self.limits {
+                    p.fu_limits = limits.clone();
+                }
+                p.clock = self.clock;
+                p.latency = self.latency;
+                if let Some(pipeline) = &self.pipeline {
+                    p.pipeline_ops = pipeline.clone();
+                }
+                p.style = self.style.unwrap_or(1);
+                p.weights = self.weights;
+                out.push(p);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a grid file into its design points, in file order.
+///
+/// # Errors
+///
+/// [`GridError`] (with a line number) on any unknown key, malformed
+/// value, unknown algorithm/op name, or a file that yields no points.
+pub fn parse_grid(text: &str) -> Result<Vec<DesignPoint>, GridError> {
+    #[derive(PartialEq)]
+    enum Where {
+        Preamble,
+        Defaults,
+        Point,
+    }
+    let mut defaults = Section::default();
+    let mut current = Section::default();
+    let mut current_line = 0usize;
+    let mut state = Where::Preamble;
+    let mut points = Vec::new();
+
+    let close = |state: &Where,
+                 current: &mut Section,
+                 defaults: &mut Section,
+                 points: &mut Vec<DesignPoint>,
+                 line: usize|
+     -> Result<(), GridError> {
+        match state {
+            Where::Preamble => Ok(()),
+            Where::Defaults => {
+                *defaults = current.clone();
+                Ok(())
+            }
+            Where::Point => current.inherit(defaults).expand(points, line),
+        }
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[defaults]" {
+            close(
+                &state,
+                &mut current,
+                &mut defaults,
+                &mut points,
+                current_line,
+            )?;
+            current = Section::default();
+            current_line = line_no;
+            state = Where::Defaults;
+        } else if line == "[[point]]" {
+            close(
+                &state,
+                &mut current,
+                &mut defaults,
+                &mut points,
+                current_line,
+            )?;
+            current = Section::default();
+            current_line = line_no;
+            state = Where::Point;
+        } else if line.starts_with('[') {
+            return Err(err(line_no, format!("unknown section {line}")));
+        } else {
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(line_no, format!("expected key = value, got {line}")));
+            };
+            let value = parse_value(value, line_no)?;
+            current.apply(key.trim(), value, line_no)?;
+        }
+    }
+    close(
+        &state,
+        &mut current,
+        &mut defaults,
+        &mut points,
+        current_line,
+    )?;
+
+    // A file with only [defaults] is itself a grid: expand the defaults.
+    if points.is_empty() && (defaults.algorithms.is_some() || defaults.cs.is_some()) {
+        defaults.expand(&mut points, 0)?;
+    }
+    if points.is_empty() {
+        return Err(err(0, "the grid file defines no points"));
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cross_product() {
+        let points = parse_grid(
+            r#"
+            # a sweep
+            [defaults]
+            algorithm = ["mfs", "list"]
+            cs = [4, 5]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].algorithm, Algorithm::Mfs);
+        assert_eq!(points[0].cs, 4);
+        assert_eq!(points[3].algorithm, Algorithm::List);
+        assert_eq!(points[3].cs, 5);
+    }
+
+    #[test]
+    fn points_inherit_and_override_defaults() {
+        let points = parse_grid(
+            r#"
+            [defaults]
+            algorithm = "mfs"
+            cs = 8
+            clock = 100
+
+            [[point]]
+            label = "tight"
+            cs = 4
+
+            [[point]]
+            algorithm = "mfsa"
+            style = 2
+            "#,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].label, "tight");
+        assert_eq!(points[0].cs, 4);
+        assert_eq!(points[0].clock, Some(100));
+        assert_eq!(points[1].algorithm, Algorithm::Mfsa);
+        assert_eq!(points[1].cs, 8);
+        assert_eq!(points[1].style, 2);
+    }
+
+    #[test]
+    fn limits_pipeline_and_weights_parse() {
+        let points = parse_grid(
+            r#"
+            [[point]]
+            algorithm = "mfs"
+            cs = 9
+            limits = ["*=2", "+=1"]
+            pipeline = ["*"]
+            weights = [1, 2, 3, 4]
+            "#,
+        )
+        .unwrap();
+        let p = &points[0];
+        assert_eq!(p.fu_limits[&FuClass::Op(OpKind::Mul)], 2);
+        assert_eq!(p.fu_limits[&FuClass::Op(OpKind::Add)], 1);
+        assert!(p.pipeline_ops.contains(&OpKind::Mul));
+        assert_eq!(p.weights, Some((1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_grid("[defaults]\nalgorithm = \"nope\"\ncs = 4").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown algorithm"));
+        let e = parse_grid("[defaults]\nwat = 3\n").unwrap_err();
+        assert!(e.to_string().contains("unknown key"));
+        assert!(parse_grid("").is_err());
+        let e = parse_grid("[[point]]\nalgorithm = \"mfs\"\n").unwrap_err();
+        assert!(e.to_string().contains("no cs"));
+    }
+}

@@ -1,0 +1,161 @@
+//! The Pareto front over (control steps, FU cost, registers).
+//!
+//! All three objectives are minimised. The front is computed from the
+//! index-ordered result list with a stable tie-break (duplicate
+//! objective triples keep the lowest point index), then sorted by
+//! `(csteps, fu_cost, registers, index)` — so the rendered front is a
+//! pure function of the result list and therefore bit-identical for
+//! any thread count.
+
+use crate::engine::{PointMetrics, PointResult};
+
+/// The objective triple of one scheduled point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Objectives {
+    /// Control steps actually used (latency).
+    pub csteps: u32,
+    /// Functional-unit / ALU area in µm².
+    pub fu_cost: u64,
+    /// Register count (peak live values).
+    pub registers: usize,
+}
+
+impl Objectives {
+    /// Extracts the objectives of a scheduled point.
+    pub fn of(m: &PointMetrics) -> Objectives {
+        Objectives {
+            csteps: m.csteps,
+            fu_cost: m.fu_cost,
+            registers: m.registers,
+        }
+    }
+
+    /// Pareto dominance: at least as good everywhere, better somewhere.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        self.csteps <= other.csteps
+            && self.fu_cost <= other.fu_cost
+            && self.registers <= other.registers
+            && (self.csteps < other.csteps
+                || self.fu_cost < other.fu_cost
+                || self.registers < other.registers)
+    }
+}
+
+/// One entry of the Pareto front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontEntry {
+    /// Index of the point in the input grid.
+    pub index: usize,
+    /// The point's display label.
+    pub label: String,
+    /// The algorithm that produced it.
+    pub algorithm: &'static str,
+    /// Its objectives.
+    pub objectives: Objectives,
+}
+
+/// Computes the Pareto front of the successful points.
+///
+/// Failed points never enter. Exact-duplicate objective triples are
+/// collapsed to the lowest input index (stable tie-break); the
+/// surviving entries are sorted by `(csteps, fu_cost, registers,
+/// index)`.
+pub fn pareto_front(results: &[PointResult]) -> Vec<FrontEntry> {
+    let ok: Vec<(usize, &PointResult, Objectives)> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.outcome.as_ref().ok().map(|m| (i, r, Objectives::of(m))))
+        .collect();
+    let mut front: Vec<FrontEntry> = Vec::new();
+    for &(i, r, obj) in &ok {
+        let dominated = ok.iter().any(|&(_, _, other)| other.dominates(&obj));
+        let duplicate = ok.iter().any(|&(j, _, other)| j < i && other == obj);
+        if !dominated && !duplicate {
+            front.push(FrontEntry {
+                index: i,
+                label: r.label.clone(),
+                algorithm: r.algorithm.name(),
+                objectives: obj,
+            });
+        }
+    }
+    front.sort_by_key(|e| {
+        (
+            e.objectives.csteps,
+            e.objectives.fu_cost,
+            e.objectives.registers,
+            e.index,
+        )
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Algorithm;
+
+    fn result(label: &str, csteps: u32, fu_cost: u64, registers: usize) -> PointResult {
+        PointResult {
+            index: 0,
+            label: label.to_string(),
+            algorithm: Algorithm::Mfs,
+            outcome: Ok(PointMetrics {
+                csteps,
+                fu_cost,
+                registers,
+                mix: String::new(),
+                reschedules: 0,
+                mfsa: None,
+            }),
+            wall_ns: 0,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let results = vec![
+            result("good", 4, 100, 5),
+            result("worse", 5, 200, 6),
+            result("tradeoff", 3, 300, 7),
+        ];
+        let front = pareto_front(&results);
+        let labels: Vec<&str> = front.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["tradeoff", "good"]); // sorted by csteps
+    }
+
+    #[test]
+    fn duplicates_keep_the_lowest_index() {
+        let results = vec![result("first", 4, 100, 5), result("twin", 4, 100, 5)];
+        let front = pareto_front(&results);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].label, "first");
+        assert_eq!(front[0].index, 0);
+    }
+
+    #[test]
+    fn errors_never_enter_the_front() {
+        let mut bad = result("bad", 1, 1, 1);
+        bad.outcome = Err("infeasible".into());
+        let front = pareto_front(&[bad, result("ok", 4, 100, 5)]);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].label, "ok");
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        let a = Objectives {
+            csteps: 4,
+            fu_cost: 100,
+            registers: 5,
+        };
+        assert!(!a.dominates(&a));
+        let b = Objectives {
+            csteps: 4,
+            fu_cost: 99,
+            registers: 5,
+        };
+        assert!(b.dominates(&a));
+        assert!(!a.dominates(&b));
+    }
+}

@@ -1,0 +1,93 @@
+//! A minimal self-scheduling thread pool over `std::thread::scope`.
+//!
+//! Jobs are identified by index; workers pull the next index off a
+//! shared atomic counter (classic self-scheduling / work-stealing from
+//! a single global queue), so load balances automatically however
+//! uneven the per-job cost is. Results are reassembled **in index
+//! order**, which is what makes the engine's output independent of the
+//! thread count and of scheduling luck.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: `std::thread::available_parallelism`,
+/// falling back to 1 when the platform cannot say.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `job(0..n_jobs)` on up to `threads` workers and returns the
+/// results in index order.
+///
+/// `threads == 1` (or `n_jobs <= 1`) runs inline on the caller's
+/// thread — the differential tests compare exactly this serial path
+/// against the parallel one. Panics in `job` propagate (the scope
+/// re-raises them), so a poisoned results mutex is unreachable
+/// afterwards.
+pub fn run_indexed<T, F>(n_jobs: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(n_jobs.max(1));
+    if workers == 1 {
+        return (0..n_jobs).map(&job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n_jobs));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_jobs {
+                        break;
+                    }
+                    local.push((i, job(i)));
+                }
+                collected
+                    .lock()
+                    .expect("no worker panicked while holding the results lock")
+                    .extend(local);
+            });
+        }
+    });
+    let mut results = collected.into_inner().expect("scope joined every worker");
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 8] {
+            let out = run_indexed(37, threads, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let _ = run_indexed(100, 8, |i| hits[i].fetch_add(1, Ordering::SeqCst));
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,4 +1,4 @@
-//! Signal life spans and register allocation (paper §5.8).
+//! Register allocation (paper §5.8).
 //!
 //! "We use an expanded version of the activity selection algorithm … a
 //! greedy algorithm capable of finding the best solution for one register
@@ -6,101 +6,21 @@
 //! it is compatible (no time conflict) with other signals in the register
 //! it will be assigned to that register" — i.e. the left-edge algorithm
 //! of REAL, which is optimal for interval graphs.
+//!
+//! The life spans themselves ([`Lifetime`], [`signal_lifetimes`],
+//! [`peak_live`]) live in `hls-schedule` so that [`ScheduleStats`]'s
+//! register counting and this allocator share one definition; they are
+//! re-exported here for compatibility.
+//!
+//! [`ScheduleStats`]: hls_schedule::ScheduleStats
 
 use std::collections::BTreeMap;
 
-use hls_celllib::TimingSpec;
-use hls_dfg::{Dfg, SignalId, SignalSource};
-use hls_schedule::Schedule;
+use hls_dfg::SignalId;
+
+pub use hls_schedule::{peak_live, signal_lifetimes, Lifetime};
 
 use crate::RegId;
-
-/// The life span of one stored signal: the register is occupied during
-/// control steps `[birth, death]`, both inclusive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Lifetime {
-    /// The stored signal.
-    pub signal: SignalId,
-    /// First step the value sits in a register (the step after its
-    /// producer finishes; step 1 for primary inputs).
-    pub birth: u32,
-    /// Last step the value is read.
-    pub death: u32,
-}
-
-impl Lifetime {
-    /// Whether two life spans overlap (cannot share a register).
-    pub fn overlaps(&self, other: &Lifetime) -> bool {
-        self.birth <= other.death && other.birth <= self.death
-    }
-}
-
-/// Computes the life span of every signal that needs storage under the
-/// given (complete) schedule.
-///
-/// Rules (documented in `DESIGN.md`):
-///
-/// * an operation result is born one step after its producer finishes
-///   and dies at its last consumer's start step; consumers reading in
-///   the producer's own finish step (chaining) read the ALU output
-///   directly and do not extend the span;
-/// * results nobody consumes (design outputs) are held for one step;
-/// * primary inputs are born at step 1 and die at their last consumer
-///   (they occupy registers, matching the paper's REG counts);
-/// * constants are hardwired and never stored.
-pub fn signal_lifetimes(dfg: &Dfg, schedule: &Schedule, spec: &TimingSpec) -> Vec<Lifetime> {
-    let mut lifetimes = Vec::new();
-    for (sid, sig) in dfg.signals() {
-        let consumers = dfg.consumers(sid);
-        match sig.source() {
-            SignalSource::Constant(_) => {}
-            SignalSource::PrimaryInput => {
-                let death = consumers
-                    .iter()
-                    .filter_map(|&c| schedule.start(c))
-                    .map(|s| s.get())
-                    .max();
-                if let Some(death) = death {
-                    lifetimes.push(Lifetime {
-                        signal: sid,
-                        birth: 1,
-                        death,
-                    });
-                }
-            }
-            SignalSource::Node(producer) => {
-                let Some(finish) = schedule.finish(producer, dfg, spec) else {
-                    continue;
-                };
-                let birth = finish.get() + 1;
-                let death = consumers
-                    .iter()
-                    .filter_map(|&c| schedule.start(c))
-                    .map(|s| s.get())
-                    // Same-step (chained) consumers read the ALU output.
-                    .filter(|&s| s > finish.get())
-                    .max();
-                match death {
-                    Some(death) => lifetimes.push(Lifetime {
-                        signal: sid,
-                        birth,
-                        death,
-                    }),
-                    None if consumers.is_empty() => {
-                        // A design output: latch it for one step.
-                        lifetimes.push(Lifetime {
-                            signal: sid,
-                            birth,
-                            death: birth,
-                        });
-                    }
-                    None => {} // all consumers chained: no storage
-                }
-            }
-        }
-    }
-    lifetimes
-}
 
 /// A register allocation: which signals share which register.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -163,28 +83,10 @@ pub fn left_edge(lifetimes: &[Lifetime]) -> RegAllocation {
     RegAllocation { registers, map }
 }
 
-/// The interval-graph lower bound: the peak number of simultaneously
-/// live values. [`left_edge`] always meets it exactly; the property
-/// tests assert this.
-pub fn peak_live(lifetimes: &[Lifetime]) -> usize {
-    let max_step = lifetimes.iter().map(|l| l.death).max().unwrap_or(0);
-    (1..=max_step)
-        .map(|step| {
-            lifetimes
-                .iter()
-                .filter(|l| l.birth <= step && step <= l.death)
-                .count()
-        })
-        .max()
-        .unwrap_or(0)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hls_celllib::OpKind;
     use hls_dfg::DfgBuilder;
-    use hls_schedule::{CStep, FuIndex, Slot, UnitId};
 
     fn life(signal_stub: SignalId, birth: u32, death: u32) -> Lifetime {
         Lifetime {
@@ -215,94 +117,5 @@ mod tests {
         let alloc = left_edge(&lifetimes);
         assert_eq!(alloc.register_count(), 4);
         assert_eq!(peak_live(&lifetimes), 4);
-    }
-
-    fn schedule_linear(dfg: &Dfg, steps: &[(&str, u32)]) -> Schedule {
-        let mut s = Schedule::new(dfg, steps.iter().map(|&(_, t)| t).max().unwrap_or(1));
-        for &(name, t) in steps {
-            let id = dfg.node_by_name(name).unwrap();
-            s.assign(
-                id,
-                Slot {
-                    step: CStep::new(t),
-                    unit: UnitId::Fu {
-                        class: dfg.node(id).kind().fu_class(),
-                        index: FuIndex::new(1),
-                    },
-                },
-            );
-        }
-        s
-    }
-
-    #[test]
-    fn lifetimes_span_producer_to_last_consumer() {
-        let mut b = DfgBuilder::new("g");
-        let x = b.input("x");
-        let p = b.op("p", OpKind::Inc, &[x]).unwrap();
-        b.op("q", OpKind::Dec, &[p]).unwrap();
-        b.op("r", OpKind::Neg, &[p]).unwrap();
-        let g = b.finish().unwrap();
-        let spec = TimingSpec::uniform_single_cycle();
-        let s = schedule_linear(&g, &[("p", 1), ("q", 2), ("r", 4)]);
-        let lifetimes = signal_lifetimes(&g, &s, &spec);
-        let p_sig = g.signal_by_name("p").unwrap();
-        let p_life = lifetimes.iter().find(|l| l.signal == p_sig).unwrap();
-        assert_eq!((p_life.birth, p_life.death), (2, 4));
-        // Primary input x: born at 1, dies at its only consumer (step 1).
-        let x_life = lifetimes.iter().find(|l| l.signal == x).unwrap();
-        assert_eq!((x_life.birth, x_life.death), (1, 1));
-    }
-
-    #[test]
-    fn constants_are_never_stored() {
-        let mut b = DfgBuilder::new("g");
-        let x = b.input("x");
-        let k = b.constant("k", 3);
-        b.op("p", OpKind::Add, &[x, k]).unwrap();
-        let g = b.finish().unwrap();
-        let spec = TimingSpec::uniform_single_cycle();
-        let s = schedule_linear(&g, &[("p", 1)]);
-        let lifetimes = signal_lifetimes(&g, &s, &spec);
-        assert!(lifetimes.iter().all(|l| l.signal != k));
-    }
-
-    #[test]
-    fn outputs_are_latched_one_step() {
-        let mut b = DfgBuilder::new("g");
-        let x = b.input("x");
-        b.op("p", OpKind::Inc, &[x]).unwrap();
-        let g = b.finish().unwrap();
-        let spec = TimingSpec::uniform_single_cycle();
-        let s = schedule_linear(&g, &[("p", 2)]);
-        let lifetimes = signal_lifetimes(&g, &s, &spec);
-        let p_sig = g.signal_by_name("p").unwrap();
-        let p_life = lifetimes.iter().find(|l| l.signal == p_sig).unwrap();
-        assert_eq!((p_life.birth, p_life.death), (3, 3));
-    }
-
-    #[test]
-    fn multicycle_producers_delay_the_birth() {
-        let mut b = DfgBuilder::new("g");
-        let x = b.input("x");
-        let m = b.op("m", OpKind::Mul, &[x, x]).unwrap();
-        b.op("a", OpKind::Add, &[m, x]).unwrap();
-        let g = b.finish().unwrap();
-        let spec = TimingSpec::two_cycle_multiply();
-        let s = schedule_linear(&g, &[("m", 1), ("a", 4)]);
-        let lifetimes = signal_lifetimes(&g, &s, &spec);
-        let m_sig = g.signal_by_name("m").unwrap();
-        let m_life = lifetimes.iter().find(|l| l.signal == m_sig).unwrap();
-        // mul finishes at step 2 → born at 3.
-        assert_eq!((m_life.birth, m_life.death), (3, 4));
-    }
-
-    #[test]
-    fn overlap_predicate() {
-        let mut b = DfgBuilder::new("stub");
-        let s0 = b.input("s0");
-        let s1 = b.input("s1");
-        assert!(life(s0, 1, 3).overlaps(&life(s1, 3, 5)));
-        assert!(!life(s0, 1, 2).overlaps(&life(s1, 3, 5)));
     }
 }

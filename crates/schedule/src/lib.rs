@@ -42,6 +42,7 @@
 mod asap_alap;
 mod error;
 mod grid;
+mod lifetime;
 mod priority;
 mod render;
 mod schedule;
@@ -53,6 +54,7 @@ mod verify;
 pub use asap_alap::{alap, asap, TimeFrames};
 pub use error::ScheduleError;
 pub use grid::Grid;
+pub use lifetime::{peak_live, signal_lifetimes, Lifetime};
 pub use priority::{priority_order, priority_order_with, PriorityRule};
 pub use render::{render_grid, render_schedule};
 pub use schedule::{CStep, FuIndex, Schedule, Slot, UnitId};

@@ -3,6 +3,7 @@
 use hls_celllib::TimingSpec;
 use hls_dfg::{Dfg, OpMix};
 
+use crate::lifetime::{peak_live, signal_lifetimes};
 use crate::Schedule;
 
 /// Summary statistics of a schedule, as reported in the paper's Table 1.
@@ -14,6 +15,11 @@ pub struct ScheduleStats {
     pub concurrency: Vec<usize>,
     /// The time constraint.
     pub control_steps: u32,
+    /// Registers needed by an optimal (left-edge) packing of the signal
+    /// life spans: the peak number of simultaneously live values. Both
+    /// the MFS and MFSA paths report through this one definition, so it
+    /// always agrees with the data path's `CostReport::reg_count`.
+    pub registers: usize,
 }
 
 impl ScheduleStats {
@@ -23,6 +29,7 @@ impl ScheduleStats {
             mix: fu_mix(schedule),
             concurrency: step_concurrency(dfg, schedule, spec),
             control_steps: schedule.control_steps(),
+            registers: peak_live(&signal_lifetimes(dfg, schedule, spec)),
         }
     }
 
@@ -142,6 +149,8 @@ mod tests {
         assert_eq!(stats.concurrency, vec![1, 1, 2]);
         assert_eq!(stats.peak_concurrency(), 2);
         assert!(stats.imbalance() > 0.0);
+        // x lives 1–3, m lives 3–3, a and b latch in step 4: peak 2.
+        assert_eq!(stats.registers, 2);
     }
 
     #[test]
@@ -156,5 +165,6 @@ mod tests {
         assert_eq!(stats.mix.total(), 0);
         assert_eq!(stats.concurrency, vec![0, 0]);
         assert_eq!(stats.peak_concurrency(), 0);
+        assert_eq!(stats.registers, 0);
     }
 }

@@ -9,6 +9,10 @@
 //!             [--lib FILE.lib] [--two-cycle-mul] [--microcode]
 //!             [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]
 //!             [telemetry flags]
+//! mfhls explore <file.dfg> (--grid FILE.grid | --cs N[,M...] [--alg A[,B...]])
+//!               [--limit OP=N]... [--chain CLOCK] [--latency L] [--style2]
+//!               [--weights T,A,M,R] [--two-cycle-mul] [--threads N]
+//!               [--emit front.json] [--metrics] [-q]
 //! ```
 //!
 //! Telemetry flags (schedule & synth): `--trace FILE.jsonl` streams the
@@ -81,17 +85,32 @@ enum Command {
         vcd: Option<String>,
         tel: Telemetry,
     },
+    Explore {
+        file: String,
+        grid: Option<String>,
+        algs: Vec<Algorithm>,
+        cs_list: Vec<u32>,
+        limits: Vec<(OpKind, u32)>,
+        chain: Option<u32>,
+        latency: Option<u32>,
+        style2: bool,
+        weights: Option<[u32; 4]>,
+        two_cycle_mul: bool,
+        threads: usize,
+        emit: Option<String>,
+        tel: Telemetry,
+    },
 }
 
 fn usage() -> String {
-    "usage:\n  mfhls info <file.dfg> [--dot]\n  mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]... [--chain CLOCK] [--latency L] [--two-cycle-mul] [--svg FILE]\n  mfhls synth <file.dfg> --cs N [--style2] [--weights T,A,M,R] [--lib FILE.lib] [--two-cycle-mul] [--microcode] [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]\n  mfhls --version\ntelemetry (schedule/synth): [--trace FILE.jsonl] [--chrome-trace FILE.json] [--metrics] [-v|--verbose] [-q|--quiet]".to_string()
+    "usage:\n  mfhls info <file.dfg> [--dot]\n  mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]... [--chain CLOCK] [--latency L] [--two-cycle-mul] [--svg FILE]\n  mfhls synth <file.dfg> --cs N [--style2] [--weights T,A,M,R] [--lib FILE.lib] [--two-cycle-mul] [--microcode] [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]\n  mfhls explore <file.dfg> (--grid FILE | --cs N[,M...] [--alg mfs,mfsa,list,fds,anneal]) [--limit OP=N]... [--chain CLOCK] [--latency L] [--style2] [--weights T,A,M,R] [--two-cycle-mul] [--threads N] [--emit front.json]\n  mfhls --version\ntelemetry (schedule/synth): [--trace FILE.jsonl] [--chrome-trace FILE.json] [--metrics] [-v|--verbose] [-q|--quiet]".to_string()
 }
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().peekable();
     let sub = it.next().ok_or_else(usage)?;
     let file = it.next().ok_or("missing input file")?.clone();
-    let mut cs = None;
+    let mut cs_list: Vec<u32> = Vec::new();
     let mut resource = false;
     let mut limits = Vec::new();
     let mut chain = None;
@@ -107,12 +126,19 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut dot = false;
     let mut svg = None;
     let mut vcd = None;
+    let mut grid = None;
+    let mut algs: Vec<Algorithm> = Vec::new();
+    let mut threads = 0usize;
+    let mut emit = None;
     let mut tel = Telemetry::default();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--cs" => {
                 let v = it.next().ok_or("--cs needs a value")?;
-                cs = Some(v.parse::<u32>().map_err(|_| "invalid --cs value")?);
+                cs_list = v
+                    .split(',')
+                    .map(|p| p.parse::<u32>().map_err(|_| "invalid --cs value"))
+                    .collect::<Result<_, _>>()?;
             }
             "--resource" => resource = true,
             "--limit" => {
@@ -160,6 +186,27 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 let v = it.next().ok_or("--vcd needs a file path")?;
                 vcd = Some(v.clone());
             }
+            "--grid" => {
+                let v = it.next().ok_or("--grid needs a file path")?;
+                grid = Some(v.clone());
+            }
+            "--alg" => {
+                let v = it.next().ok_or("--alg needs a list of algorithms")?;
+                algs = v
+                    .split(',')
+                    .map(|name| {
+                        Algorithm::parse(name).ok_or_else(|| format!("unknown algorithm `{name}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads = v.parse::<usize>().map_err(|_| "invalid --threads value")?;
+            }
+            "--emit" => {
+                let v = it.next().ok_or("--emit needs a file path")?;
+                emit = Some(v.clone());
+            }
             "--trace" => {
                 let v = it.next().ok_or("--trace needs a file path")?;
                 tel.trace = Some(v.clone());
@@ -174,11 +221,18 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
+    let single_cs = |name: &str| -> Result<u32, String> {
+        match cs_list[..] {
+            [one] => Ok(one),
+            [] => Err(format!("{name} requires --cs")),
+            _ => Err(format!("{name} takes a single --cs value")),
+        }
+    };
     match sub.as_str() {
         "info" => Ok(Command::Info { file, dot }),
         "schedule" => Ok(Command::Schedule {
             file,
-            cs: cs.ok_or("schedule requires --cs")?,
+            cs: single_cs("schedule")?,
             resource,
             limits,
             chain,
@@ -189,7 +243,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }),
         "synth" => Ok(Command::Synth {
             file,
-            cs: cs.ok_or("synth requires --cs")?,
+            cs: single_cs("synth")?,
             style2,
             weights,
             lib,
@@ -202,6 +256,32 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             vcd,
             tel,
         }),
+        "explore" => {
+            if grid.is_some() && (!algs.is_empty() || !cs_list.is_empty()) {
+                return Err("use either --grid or --alg/--cs, not both".into());
+            }
+            if grid.is_none() && cs_list.is_empty() {
+                return Err("explore requires --grid or --cs".into());
+            }
+            if tel.wants_events() {
+                return Err("explore does not support --trace/--chrome-trace".into());
+            }
+            Ok(Command::Explore {
+                file,
+                grid,
+                algs,
+                cs_list,
+                limits,
+                chain,
+                latency,
+                style2,
+                weights,
+                two_cycle_mul,
+                threads,
+                emit,
+                tel,
+            })
+        }
         other => Err(format!("unknown subcommand `{other}`\n{}", usage())),
     }
 }
@@ -462,6 +542,74 @@ fn run(command: Command) -> Result<(), String> {
             finish_telemetry(&tel, mem.events(), &metrics)?;
             Ok(())
         }
+        Command::Explore {
+            file,
+            grid,
+            algs,
+            cs_list,
+            limits,
+            chain,
+            latency,
+            style2,
+            weights,
+            two_cycle_mul,
+            threads,
+            emit,
+            tel,
+        } => {
+            let dfg = load(&file)?;
+            let points = match grid {
+                Some(path) => {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    parse_grid(&text).map_err(|e| format!("{path}: {e}"))?
+                }
+                None => {
+                    let algs = if algs.is_empty() {
+                        vec![Algorithm::Mfs]
+                    } else {
+                        algs
+                    };
+                    let mut points = Vec::new();
+                    for &alg in &algs {
+                        for &cs in &cs_list {
+                            let mut p = DesignPoint::new(alg, cs);
+                            for &(op, n) in &limits {
+                                p.fu_limits.insert(FuClass::Op(op), n);
+                            }
+                            p.clock = chain;
+                            p.latency = latency;
+                            p.style = if style2 { 2 } else { 1 };
+                            p.weights = weights.map(|[t, a, m, r]| (t, a, m, r));
+                            points.push(p);
+                        }
+                    }
+                    points
+                }
+            };
+            let chained = points.iter().any(|p| p.clock.is_some());
+            let spec = spec_for(two_cycle_mul, chained);
+            let report = Engine::new().explore(&dfg, &spec, &points, ExploreOptions { threads });
+            if !tel.quiet {
+                print!("{}", report.render_text());
+            }
+            if let Some(path) = emit {
+                let mut json = report.front_json();
+                json.push('\n');
+                std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                if !tel.quiet {
+                    println!("wrote {path}");
+                }
+            }
+            if tel.metrics {
+                print!("{}", report.metrics.render_text());
+            }
+            let errors = report.results.iter().filter(|r| r.outcome.is_err()).count();
+            if errors == report.results.len() {
+                return Err("every design point failed to schedule".into());
+            }
+            Ok(())
+        }
     }
 }
 
@@ -692,6 +840,92 @@ mod tests {
             tel: Telemetry::default(),
         })
         .unwrap();
+    }
+
+    #[test]
+    fn parses_explore() {
+        let c = parse(&[
+            "explore",
+            "x.dfg",
+            "--cs",
+            "4,5,6",
+            "--alg",
+            "mfs,list",
+            "--threads",
+            "8",
+            "--emit",
+            "front.json",
+        ])
+        .unwrap();
+        match c {
+            Command::Explore {
+                algs,
+                cs_list,
+                threads,
+                emit,
+                grid,
+                ..
+            } => {
+                assert_eq!(algs, vec![Algorithm::Mfs, Algorithm::List]);
+                assert_eq!(cs_list, vec![4, 5, 6]);
+                assert_eq!(threads, 8);
+                assert_eq!(emit.as_deref(), Some("front.json"));
+                assert!(grid.is_none());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&["explore", "x.dfg"]).unwrap_err().contains("--cs"));
+        assert!(
+            parse(&["explore", "x.dfg", "--grid", "g.toml", "--cs", "4"])
+                .unwrap_err()
+                .contains("not both")
+        );
+        assert!(parse(&["explore", "x.dfg", "--cs", "4", "--alg", "bogus"])
+            .unwrap_err()
+            .contains("bogus"));
+        assert!(
+            parse(&["schedule", "x.dfg", "--cs", "4,5"])
+                .unwrap_err()
+                .contains("single"),
+            "schedule rejects cs lists"
+        );
+    }
+
+    #[test]
+    fn explore_end_to_end_with_a_grid_file() {
+        let dir = std::env::temp_dir().join("mfhls-explore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("toy.dfg");
+        std::fs::write(&file, "input a, b\nop p = mul(a, b)\nop q = add(p, b)\n").unwrap();
+        let grid = dir.join("toy.grid");
+        std::fs::write(
+            &grid,
+            "[defaults]\nalgorithm = [\"mfs\", \"list\"]\ncs = [2, 3]\n",
+        )
+        .unwrap();
+        let front = dir.join("front.json");
+        run(Command::Explore {
+            file: file.to_string_lossy().to_string(),
+            grid: Some(grid.to_string_lossy().to_string()),
+            algs: vec![],
+            cs_list: vec![],
+            limits: vec![],
+            chain: None,
+            latency: None,
+            style2: false,
+            weights: None,
+            two_cycle_mul: false,
+            threads: 2,
+            emit: Some(front.to_string_lossy().to_string()),
+            tel: Telemetry {
+                quiet: true,
+                ..Telemetry::default()
+            },
+        })
+        .unwrap();
+        let json = std::fs::read_to_string(&front).unwrap();
+        assert!(json.starts_with("{\"points\":4,"), "{json}");
+        assert!(json.contains("\"front\":["));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub use hls_benchmarks as benchmarks;
 pub use hls_celllib as celllib;
 pub use hls_control as control;
 pub use hls_dfg as dfg;
+pub use hls_explore as explore;
 pub use hls_rtl as rtl;
 pub use hls_schedule as schedule;
 pub use hls_sim as sim;
@@ -50,6 +51,9 @@ pub mod prelude {
     };
     pub use hls_control::{verify_controller, Controller};
     pub use hls_dfg::{parse_dfg, CriticalPath, Dfg, DfgBuilder, FuClass, NodeId, OpMix};
+    pub use hls_explore::{
+        parse_grid, Algorithm, DesignPoint, Engine, ExploreOptions, ExploreReport,
+    };
     pub use hls_rtl::{verify_datapath, AluAllocation, CostReport, Datapath};
     pub use hls_schedule::{
         render_schedule, verify, verify_traced, CStep, Schedule, ScheduleStats, TimeFrames,

@@ -1,0 +1,165 @@
+//! Property tests for the frame algebra of §3.2: for every operation at
+//! its scheduling moment the move frame satisfies
+//! `MF = PF − (RF ∪ FF)` — it lies inside the primary frame, never
+//! touches the redundant columns or the dependency-forbidden steps —
+//! and the move loop's local rescheduling terminates within its column
+//! budget.
+
+use proptest::prelude::*;
+
+use moveframe_hls::benchmarks::generate::{generate, GeneratorConfig};
+use moveframe_hls::moveframe::FrameSnapshot;
+use moveframe_hls::prelude::*;
+
+/// The same layered-DAG strategy as `property_tests.rs`.
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (1u64..1000, 1usize..6, 1usize..7, 2usize..6, 0u32..100).prop_map(
+        |(seed, layers, width, inputs, locality)| GeneratorConfig {
+            seed,
+            layers,
+            width,
+            inputs,
+            locality_pct: locality,
+            ..GeneratorConfig::default()
+        },
+    )
+}
+
+/// Schedules with frame recording on and returns the final pass's
+/// snapshots plus the outcome.
+fn schedule_recorded(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    t: u32,
+) -> (
+    Vec<FrameSnapshot>,
+    moveframe_hls::moveframe::mfs::MfsOutcome,
+) {
+    let config = MfsConfig::time_constrained(t).with_frame_recording();
+    let outcome = mfs::schedule(dfg, spec, &config).expect("feasible time constraint");
+    (outcome.snapshots.clone(), outcome)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn move_frames_stay_inside_the_primary_frame(
+        config in config_strategy(),
+        slack in 0u32..4,
+    ) {
+        let dfg = generate(&config);
+        let spec = TimingSpec::uniform_single_cycle();
+        let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+        let (snapshots, _) = schedule_recorded(&dfg, &spec, cp + slack);
+        prop_assert_eq!(snapshots.len(), dfg.node_count());
+        for snap in &snapshots {
+            let (asap, alap) = snap.primary;
+            prop_assert!(asap <= alap);
+            for p in &snap.movable {
+                // MF ⊆ PF: inside the time range and the column budget.
+                prop_assert!(
+                    p.step >= asap && p.step <= alap,
+                    "node {:?}: step {} outside PF [{}, {}]",
+                    snap.node, p.step.get(), asap.get(), alap.get()
+                );
+                prop_assert!(
+                    p.fu.get() >= 1 && p.fu.get() <= snap.max_fu,
+                    "node {:?}: column {} outside [1, {}]",
+                    snap.node, p.fu.get(), snap.max_fu
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn move_frames_never_touch_the_redundant_frame(config in config_strategy()) {
+        let dfg = generate(&config);
+        let spec = TimingSpec::uniform_single_cycle();
+        let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+        let (snapshots, _) = schedule_recorded(&dfg, &spec, cp + 1);
+        for snap in &snapshots {
+            // RF = columns (current_j, max_j]: invisible to the frame.
+            prop_assert!(snap.current_fu <= snap.max_fu);
+            for p in &snap.movable {
+                prop_assert!(
+                    p.fu.get() <= snap.current_fu,
+                    "node {:?}: column {} is in RF (current_j = {})",
+                    snap.node, p.fu.get(), snap.current_fu
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn move_frames_never_touch_the_forbidden_frame(
+        config in config_strategy(),
+        slack in 0u32..3,
+    ) {
+        let dfg = generate(&config);
+        let spec = TimingSpec::uniform_single_cycle();
+        let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+        let (snapshots, _) = schedule_recorded(&dfg, &spec, cp + slack);
+        for snap in &snapshots {
+            // FF = dependency-excluded steps below `earliest_feasible`
+            // or above `latest_feasible`.
+            for p in &snap.movable {
+                prop_assert!(
+                    p.step >= snap.earliest_feasible && p.step <= snap.latest_feasible,
+                    "node {:?}: step {} is in FF (feasible [{}, {}])",
+                    snap.node, p.step.get(),
+                    snap.earliest_feasible.get(), snap.latest_feasible.get()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn committed_moves_respect_predecessor_precedence(
+        config in config_strategy(),
+        slack in 0u32..4,
+    ) {
+        let dfg = generate(&config);
+        let spec = TimingSpec::two_cycle_multiply();
+        let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+        let (_, outcome) = schedule_recorded(&dfg, &spec, cp + slack);
+        prop_assert!(outcome.schedule.is_complete());
+        let v = verify(&dfg, &outcome.schedule, &spec, VerifyOptions::default());
+        prop_assert!(v.is_empty(), "{v:?}");
+        for node in dfg.node_ids() {
+            let start = outcome.schedule.start(node).expect("complete schedule");
+            for &p in dfg.preds(node) {
+                let pf = outcome
+                    .schedule
+                    .finish(p, &dfg, &spec)
+                    .expect("complete schedule");
+                prop_assert!(
+                    start > pf,
+                    "{:?} starts at {} but its predecessor {:?} finishes at {}",
+                    node, start.get(), p, pf.get()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_rescheduling_terminates_within_the_column_budget(
+        config in config_strategy(),
+    ) {
+        // Each empty frame either widens current_j toward max_j or grows
+        // a derived max_j toward node_count + 1, so per class the bumps
+        // are bounded by ~2 · (node_count + 2); termination is
+        // structural, not lucky.
+        let dfg = generate(&config);
+        let spec = TimingSpec::uniform_single_cycle();
+        let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+        let (_, outcome) = schedule_recorded(&dfg, &spec, cp);
+        let classes = dfg.class_counts().len() as u32;
+        let bound = classes * 2 * (dfg.node_count() as u32 + 2);
+        prop_assert!(
+            outcome.reschedule_count <= bound,
+            "{} reschedules exceed the structural bound {}",
+            outcome.reschedule_count, bound
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Golden-table regression tests: the reconstructed Tables 1 and 2 of
+//! the paper (as documented in `EXPERIMENTS.md`) pinned as fixtures and
+//! regenerated **through the exploration engine**, so any drift in the
+//! schedulers, the cost model, or the engine plumbing fails loudly.
+
+use hls_bench::{table1_engine, table2_engine};
+use moveframe_hls::prelude::*;
+
+/// Table 1 fixture: (example, T, FU mix, local reschedulings).
+const TABLE1: &[(u8, u32, &str, u32)] = &[
+    (1, 4, "**,++,-,&,|,=", 2),
+    (1, 5, "*,+,-,&,|,=", 0),
+    (2, 4, "+,--", 1),
+    (3, 4, "***,+,-,>", 2),
+    (3, 6, "*,+,-,>", 0),
+    (3, 8, "*,+,-,>", 0),
+    (4, 8, "*,+,-,<", 0),
+    (4, 9, "*,+,-,<", 0),
+    (4, 13, "*,+,-,<", 0),
+    (5, 9, "***,++,--", 4),
+    (5, 10, "***,++,-", 3),
+    (5, 13, "**,+,-", 0),
+    (6, 17, "*,++", 0),
+    (6, 19, "*,++", 0),
+    (6, 21, "*,++", 0),
+];
+
+/// Table 2 fixture: (example, style, ALUs, cost, REG, MUX, MUXin).
+const TABLE2: &[(u8, u8, &str, u64, usize, usize, usize)] = &[
+    (1, 1, "(&|),(*),(+*),(+-),(+-=>)", 59551, 8, 7, 17),
+    (1, 2, "(&),(*),(+*),(+-),(+-=>),(|)", 59762, 8, 5, 14),
+    (2, 1, "2(+),2(-)", 16005, 4, 5, 10),
+    (2, 2, "2(+),2(-)", 16005, 4, 5, 10),
+    (3, 1, "(*),(+*),(+-*),(+>),(-)", 74135, 6, 4, 8),
+    (3, 2, "(*),(+),(+*),(+-*),(+->)", 74838, 6, 5, 10),
+    (4, 1, "2(*),(+*),(+-*),(+-<)", 96782, 9, 6, 15),
+    (4, 2, "2(*),2(+-*),(+),(<)", 97820, 9, 6, 13),
+    (5, 1, "4(*),4(+-*)", 194149, 20, 16, 51),
+    (5, 2, "4(*),4(+-*)", 194287, 20, 16, 52),
+    (6, 1, "3(+*),(+)", 88592, 16, 8, 40),
+    (6, 2, "4(+*),(+)", 108079, 16, 8, 35),
+];
+
+#[test]
+fn table1_matches_the_golden_fixture_via_the_engine() {
+    let rows = table1_engine(&Engine::new(), 4);
+    assert_eq!(rows.len(), TABLE1.len(), "row count drifted");
+    for (row, &(example, t, mix, reschedules)) in rows.iter().zip(TABLE1) {
+        assert_eq!((row.example, row.t), (example, t), "row order drifted");
+        assert_eq!(row.mix, mix, "ex{example} T={t}: FU mix drifted");
+        assert_eq!(
+            row.reschedules, reschedules,
+            "ex{example} T={t}: reschedule count drifted"
+        );
+    }
+}
+
+#[test]
+fn table2_matches_the_golden_fixture_via_the_engine() {
+    let rows = table2_engine(&Engine::new(), 4);
+    assert_eq!(rows.len(), TABLE2.len(), "row count drifted");
+    for (row, &(example, style, alus, cost, reg, mux, muxin)) in rows.iter().zip(TABLE2) {
+        assert_eq!(
+            (row.example, row.style),
+            (example, style),
+            "row order drifted"
+        );
+        assert_eq!(row.alus, alus, "ex{example} style {style}: ALU set drifted");
+        assert_eq!(row.cost, cost, "ex{example} style {style}: cost drifted");
+        assert_eq!(
+            (row.reg, row.mux, row.muxin),
+            (reg, mux, muxin),
+            "ex{example} style {style}: REG/MUX/MUXin drifted"
+        );
+    }
+}
+
+#[test]
+fn golden_tables_are_thread_invariant() {
+    // The fixtures above ran at 4 threads; a serial regeneration must
+    // produce the identical tables.
+    let serial1 = table1_engine(&Engine::new(), 1);
+    let parallel1 = table1_engine(&Engine::new(), 8);
+    for (a, b) in serial1.iter().zip(&parallel1) {
+        assert_eq!(
+            (a.example, a.t, &a.mix, a.reschedules),
+            (b.example, b.t, &b.mix, b.reschedules)
+        );
+    }
+    let serial2 = table2_engine(&Engine::new(), 1);
+    let parallel2 = table2_engine(&Engine::new(), 8);
+    for (a, b) in serial2.iter().zip(&parallel2) {
+        assert_eq!(
+            (a.example, a.style, &a.alus, a.cost, a.reg, a.mux, a.muxin),
+            (b.example, b.style, &b.alus, b.cost, b.reg, b.mux, b.muxin)
+        );
+    }
+}

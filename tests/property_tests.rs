@@ -290,3 +290,36 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn proptest_regression_seed_461_narrow_dag() {
+    // Triaged from `property_tests.proptest-regressions`: proptest once
+    // shrank a failure to this narrow 4×3 DAG (seed 461, 4 inputs,
+    // locality 34 %). Kept as a directed case so the exact graph runs
+    // on every CI pass, shim or real proptest alike.
+    let config = GeneratorConfig {
+        seed: 461,
+        layers: 4,
+        width: 3,
+        inputs: 4,
+        locality_pct: 34,
+        ..GeneratorConfig::default()
+    };
+    let dfg = generate(&config);
+    let spec = TimingSpec::uniform_single_cycle();
+    let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+    for slack in 0..4 {
+        let out = mfs::schedule(&dfg, &spec, &MfsConfig::time_constrained(cp + slack)).unwrap();
+        assert!(out.schedule.is_complete());
+        let v = verify(&dfg, &out.schedule, &spec, VerifyOptions::default());
+        assert!(v.is_empty(), "slack {slack}: {v:?}");
+    }
+    let out = mfsa::schedule(&dfg, &spec, &MfsaConfig::new(cp + 2, Library::ncr_like())).unwrap();
+    assert!(verify(&dfg, &out.schedule, &spec, VerifyOptions::default()).is_empty());
+    assert!(verify_datapath(&dfg, &out.schedule, &out.datapath, &spec).is_empty());
+    let lifetimes = signal_lifetimes(&dfg, &out.schedule, &spec);
+    assert_eq!(
+        left_edge(&lifetimes).register_count(),
+        peak_live(&lifetimes)
+    );
+}
