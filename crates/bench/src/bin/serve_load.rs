@@ -1,0 +1,201 @@
+//! Load-tests the `hls-serve` daemon in-process and emits
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p hls-bench --bin serve_load [-- out.json]
+//! ```
+//!
+//! Three phases against real sockets on an ephemeral port:
+//!
+//! 1. **cold** — several client threads sweep a mixed benchmark
+//!    workload against a fresh daemon; every unique job computes.
+//! 2. **warm** — the identical sweep against the same daemon; every
+//!    job is a cache hit, which is the daemon's core value proposition.
+//! 3. **overload** — a one-worker, tiny-queue daemon is hammered with
+//!    concurrent compute jobs; the report records how many requests
+//!    the bounded queue rejected with 429 instead of queueing forever.
+//!
+//! Latency is measured per request (connect → full response read) and
+//! reported as p50/p99; throughput is total requests over wall time.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use hls_serve::{ServeConfig, Server};
+use hls_telemetry::NullSink;
+
+/// The mixed workload: both algorithms, several graphs and knobs.
+const JOBS: &[&str] = &[
+    r#"{"benchmark":"diffeq","alg":"mfs","cs":4}"#,
+    r#"{"benchmark":"diffeq","alg":"mfs","cs":6}"#,
+    r#"{"benchmark":"diffeq","alg":"mfsa","cs":4}"#,
+    r#"{"benchmark":"ar","alg":"mfs","cs":8}"#,
+    r#"{"benchmark":"ewf","alg":"mfs","cs":17}"#,
+    r#"{"benchmark":"fir","alg":"mfs","cs":12,"limit":"mul:2"}"#,
+    r#"{"benchmark":"facet","alg":"mfsa","cs":4}"#,
+    r#"{"benchmark":"bandpass","alg":"mfs","cs":9}"#,
+];
+
+fn post(addr: SocketAddr, body: &[u8]) -> (u16, u64) {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "POST /schedule HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write");
+    stream.write_all(body).expect("write");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let status: u16 = std::str::from_utf8(&raw)
+        .ok()
+        .and_then(|t| t.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, start.elapsed().as_nanos() as u64)
+}
+
+fn start(config: ServeConfig) -> Server {
+    Server::start(config, Box::new(NullSink)).expect("server starts")
+}
+
+/// Runs `clients` threads, each sending every job `rounds` times in a
+/// rotated order; returns (wall_ns, per-request latencies, statuses).
+fn sweep(addr: SocketAddr, clients: usize, rounds: usize) -> (u64, Vec<u64>, Vec<u16>) {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for r in 0..rounds {
+                    for i in 0..JOBS.len() {
+                        let job = JOBS[(i + c + r) % JOBS.len()];
+                        out.push(post(addr, job.as_bytes()));
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut statuses = Vec::new();
+    for h in handles {
+        for (status, ns) in h.join().expect("client") {
+            statuses.push(status);
+            latencies.push(ns);
+        }
+    }
+    (start.elapsed().as_nanos() as u64, latencies, statuses)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64 / 1e6
+}
+
+fn phase_json(name: &str, wall_ns: u64, latencies: &mut [u64]) -> String {
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    let wall_ms = wall_ns as f64 / 1e6;
+    format!(
+        "  \"{name}\": {{\"requests\": {requests}, \"wall_ms\": {:.3}, \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+        wall_ms,
+        requests as f64 / (wall_ns as f64 / 1e9),
+        percentile(latencies, 0.50),
+        percentile(latencies, 0.99),
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let clients = 4;
+    let rounds = 4;
+
+    // Cold: fresh daemon, every unique job computes once.
+    let server = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let (cold_wall, mut cold_lat, cold_status) = sweep(addr, clients, rounds);
+    assert!(
+        cold_status.iter().all(|&s| s == 200),
+        "cold sweep had non-200 answers"
+    );
+
+    // Warm: identical sweep on the now-warm cache.
+    let (warm_wall, mut warm_lat, warm_status) = sweep(addr, clients, rounds);
+    assert!(warm_status.iter().all(|&s| s == 200));
+    let m = server.app().metrics_snapshot();
+    let misses = m.counter("serve.cache.results.misses");
+    let hits = m.counter("serve.cache.results.hits");
+    server.shutdown();
+    server.join();
+
+    // Overload: one worker, two queue slots, all clients at once.
+    let tiny = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 2,
+        ..ServeConfig::default()
+    });
+    let tiny_addr = tiny.local_addr();
+    let (_, _, overload_status) = sweep(tiny_addr, 8, 2);
+    let rejected = overload_status.iter().filter(|&&s| s == 429).count();
+    let served = overload_status.iter().filter(|&&s| s == 200).count();
+    let total = overload_status.len();
+    tiny.shutdown();
+    tiny.join();
+
+    let cold_p50 = {
+        cold_lat.sort_unstable();
+        percentile(&cold_lat, 0.50)
+    };
+    let warm_p50 = {
+        warm_lat.sort_unstable();
+        percentile(&warm_lat, 0.50)
+    };
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"unique_jobs\": {},", JOBS.len());
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(
+        json,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    json.push_str(&phase_json("cold", cold_wall, &mut cold_lat));
+    json.push_str(",\n");
+    json.push_str(&phase_json("warm", warm_wall, &mut warm_lat));
+    json.push_str(",\n");
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{\"misses\": {misses}, \"hits\": {hits}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"warm_speedup_p50\": {:.1},",
+        if warm_p50 > 0.0 {
+            cold_p50 / warm_p50
+        } else {
+            0.0
+        }
+    );
+    let _ = writeln!(
+        json,
+        "  \"overload\": {{\"workers\": 1, \"queue_cap\": 2, \"requests\": {total}, \"served_200\": {served}, \"rejected_429\": {rejected}, \"reject_rate\": {:.3}}}",
+        rejected as f64 / total as f64
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

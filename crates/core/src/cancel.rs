@@ -1,0 +1,135 @@
+//! Cooperative cancellation for long-running scheduling passes.
+//!
+//! A [`CancelToken`] is threaded into a run through
+//! [`crate::mfs::MfsConfig::with_cancel`] /
+//! [`crate::mfsa::MfsaConfig::with_cancel`]. The schedulers poll it at
+//! *checkpoints* — before frame computation, at every pass restart and
+//! once per operation placement — and abort with
+//! [`crate::MoveFrameError::Cancelled`] when it fires. Serving stacks
+//! use this for per-request deadlines and graceful shutdown; a token
+//! that never fires ([`CancelToken::never`], the default) makes every
+//! checkpoint a branch on a `None`, so batch runs pay nothing.
+//!
+//! Cancellation is strictly an early *exit*, never a different answer:
+//! a run that completes under a token is bit-identical to one without.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::MoveFrameError;
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation token with an optional deadline.
+///
+/// Clones share one flag: cancelling any clone cancels them all.
+///
+/// ```
+/// use moveframe::CancelToken;
+///
+/// let token = CancelToken::manual();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// assert!(token.checkpoint().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never fires; checkpoints against it are free.
+    pub const fn never() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A token fired only by an explicit [`CancelToken::cancel`] call.
+    pub fn manual() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that fires once `timeout` has elapsed from now (or on an
+    /// explicit [`CancelToken::cancel`] call, whichever comes first).
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        Self::deadline_at(Instant::now() + timeout)
+    }
+
+    /// A token that fires at the absolute instant `deadline`.
+    pub fn deadline_at(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+            })),
+        }
+    }
+
+    /// Fires the token: every clone reports cancelled from now on.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the token has fired (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.flag.load(Ordering::Acquire)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// The scheduler-side poll: `Err(MoveFrameError::Cancelled)` once
+    /// the token has fired, `Ok(())` before.
+    pub fn checkpoint(&self) -> Result<(), MoveFrameError> {
+        if self.is_cancelled() {
+            Err(MoveFrameError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_is_free_and_never_fires() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert!(t.checkpoint().is_ok());
+        assert!(CancelToken::default().checkpoint().is_ok());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::manual();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(matches!(a.checkpoint(), Err(MoveFrameError::Cancelled)));
+    }
+
+    #[test]
+    fn expired_deadline_fires_immediately() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+}

@@ -35,6 +35,9 @@ pub enum MoveFrameError {
         /// The time constraint.
         cs: u32,
     },
+    /// The run was cancelled at a cooperative checkpoint (deadline
+    /// exceeded or shutdown requested via [`crate::CancelToken`]).
+    Cancelled,
 }
 
 impl fmt::Display for MoveFrameError {
@@ -55,6 +58,9 @@ impl fmt::Display for MoveFrameError {
             }
             MoveFrameError::InvalidLatency { latency, cs } => {
                 write!(f, "latency {latency} is invalid for a {cs}-step schedule")
+            }
+            MoveFrameError::Cancelled => {
+                f.write_str("cancelled: deadline exceeded or shutdown requested")
             }
         }
     }

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod error;
 mod frame;
 mod liapunov;
@@ -56,6 +57,7 @@ pub mod mfs;
 pub mod mfsa;
 pub mod pipeline;
 
+pub use cancel::CancelToken;
 pub use error::MoveFrameError;
 pub use frame::{FrameSnapshot, Position};
 pub use liapunov::{MfsObjective, StaticLiapunov};

@@ -6,7 +6,7 @@ use hls_celllib::ClockPeriod;
 use hls_dfg::FuClass;
 use hls_schedule::PriorityRule;
 
-use crate::MfsObjective;
+use crate::{CancelToken, MfsObjective};
 
 /// Configuration of one MFS run.
 ///
@@ -42,6 +42,7 @@ pub struct MfsConfig {
     record_frames: bool,
     priority_rule: PriorityRule,
     lazy_columns: bool,
+    cancel: CancelToken,
 }
 
 impl MfsConfig {
@@ -61,6 +62,7 @@ impl MfsConfig {
             record_frames: false,
             priority_rule: PriorityRule::default(),
             lazy_columns: false,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -82,6 +84,7 @@ impl MfsConfig {
             record_frames: false,
             priority_rule: PriorityRule::default(),
             lazy_columns: false,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -128,6 +131,21 @@ impl MfsConfig {
     pub fn with_lazy_columns(mut self) -> Self {
         self.lazy_columns = true;
         self
+    }
+
+    /// Attaches a cooperative cancellation token; the scheduler polls
+    /// it at checkpoints (frame computation, pass restarts, every
+    /// placement) and aborts with [`crate::MoveFrameError::Cancelled`]
+    /// once it fires. Cancellation never changes a completed result.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The attached cancellation token ([`CancelToken::never`] by
+    /// default).
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// The control-step budget (time-constrained) or bound

@@ -156,6 +156,7 @@ pub fn schedule_traced_with_frames(
     instr: &mut Instrument<'_>,
 ) -> Result<MfsOutcome, MoveFrameError> {
     let cs = config.control_steps();
+    config.cancel().checkpoint()?;
 
     // Step 1: time frames (chaining-aware when a clock is given),
     // unless the caller already has them.
@@ -259,6 +260,7 @@ pub fn schedule_traced_with_frames(
 
     instr.span("mfs.move_loop", |instr| {
         'restart: loop {
+            config.cancel().checkpoint()?;
             let mut sched = Schedule::new(dfg, cs);
             let mut offsets: BTreeMap<NodeId, Delay> = BTreeMap::new();
             let mut snapshots = Vec::new();
@@ -280,6 +282,7 @@ pub fn schedule_traced_with_frames(
             };
 
             for &node in &order {
+                config.cancel().checkpoint()?;
                 let class = dfg.node(node).kind().fu_class();
                 let cycles = eff_cycles[&node];
                 let snap = {

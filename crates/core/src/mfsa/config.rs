@@ -2,6 +2,8 @@
 
 use hls_celllib::{ClockPeriod, Library};
 
+use crate::CancelToken;
+
 /// The RTL design styles of the paper's §4.2 / Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DesignStyle {
@@ -71,6 +73,7 @@ pub struct MfsaConfig {
     latency: Option<u32>,
     share_interconnect: bool,
     record_trace: bool,
+    cancel: CancelToken,
 }
 
 impl MfsaConfig {
@@ -91,6 +94,7 @@ impl MfsaConfig {
             latency: None,
             share_interconnect: true,
             record_trace: false,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -131,6 +135,21 @@ impl MfsaConfig {
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
         self
+    }
+
+    /// Attaches a cooperative cancellation token; the scheduler polls
+    /// it at checkpoints (frame computation, every placement, data-path
+    /// assembly) and aborts with [`crate::MoveFrameError::Cancelled`]
+    /// once it fires. Cancellation never changes a completed result.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The attached cancellation token ([`CancelToken::never`] by
+    /// default).
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// The time constraint.

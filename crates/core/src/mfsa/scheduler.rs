@@ -186,6 +186,7 @@ pub fn schedule_traced_with_frames(
 ) -> Result<MfsaOutcome, MoveFrameError> {
     let cs = config.control_steps();
     let library = config.library();
+    config.cancel().checkpoint()?;
 
     for (id, node) in dfg.nodes() {
         if matches!(node.kind(), NodeKind::LoopBody { .. }) {
@@ -230,6 +231,7 @@ pub fn schedule_traced_with_frames(
 
     instr.span("mfsa.move_loop", |instr| {
         for node in order {
+            config.cancel().checkpoint()?;
             let op = base_op(dfg, node);
             let commutative = match dfg.node(node).kind() {
                 NodeKind::Op(k) => k.is_commutative(),
@@ -499,6 +501,7 @@ pub fn schedule_traced_with_frames(
     })?;
 
     // Assemble the data path.
+    config.cancel().checkpoint()?;
     let mut allocation = AluAllocation::new();
     for inst in &instances {
         allocation.push(library.alus()[inst.kind_index].clone());

@@ -7,7 +7,8 @@
 //!   (MFS, MFSA and the baselines all start from the same frames);
 //! * **results** — whole [`PointMetrics`] per `(DFG fingerprint, point
 //!   fingerprint)`, so repeated queries (same point twice in a grid,
-//!   or across [`crate::Engine::explore`] calls) are free.
+//!   across [`crate::Engine::explore`] calls, or repeated requests to a
+//!   long-lived `hls-serve` daemon) are free.
 //!
 //! Entries are `Arc<OnceLock<_>>`: the map lock is held only to fetch
 //! the slot, and `OnceLock::get_or_init` gives **exactly-once**
@@ -16,6 +17,12 @@
 //! guarantee is what keeps the merged telemetry counters deterministic:
 //! every unique query contributes its scheduler counters exactly once,
 //! whatever the thread count.
+//!
+//! Both layers are **bounded**: each holds at most its configured entry
+//! cap and evicts least-recently-used slots past it, so a long-lived
+//! server cannot grow memory without limit. Eviction only ever forgets
+//! memoized *pure* results — a later identical query recomputes the
+//! same bytes — so cache pressure never changes any answer.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -27,35 +34,110 @@ use hls_schedule::{chained_frames, TimeFrames};
 use crate::engine::PointMetrics;
 
 type Slot<T> = Arc<OnceLock<T>>;
-type CacheMap<K, T> = Mutex<HashMap<K, Slot<Result<T, String>>>>;
 
-/// The shared cache; cheap to clone handles via the engine, internally
+/// Default entry cap of the results layer — generous: a server would
+/// need thousands of *distinct* (graph, knob) queries live at once to
+/// hit it.
+pub const DEFAULT_RESULTS_CAP: usize = 4096;
+/// Default entry cap of the frames layer.
+pub const DEFAULT_FRAMES_CAP: usize = 1024;
+
+/// A small LRU map: a `HashMap` with a logical clock per entry. Reads
+/// and writes bump the clock; inserts past `cap` evict the stalest
+/// entry. O(n) eviction scans are fine at these caps — eviction is the
+/// rare path, and n is bounded by construction.
+#[derive(Debug)]
+struct Lru<K, T> {
+    map: HashMap<K, (Slot<T>, u64)>,
+    tick: u64,
+    cap: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Copy, T> Lru<K, T> {
+    fn new(cap: usize) -> Self {
+        Lru {
+            map: HashMap::new(),
+            tick: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// The slot for `key` (created empty if absent), plus how many
+    /// entries were evicted to make room.
+    fn slot(&mut self, key: K) -> (Slot<T>, u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((slot, used)) = self.map.get_mut(&key) {
+            *used = tick;
+            return (slot.clone(), 0);
+        }
+        let mut evicted = 0;
+        while self.map.len() >= self.cap {
+            let stalest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(&k, _)| k)
+                .expect("non-empty map over cap");
+            self.map.remove(&stalest);
+            evicted += 1;
+        }
+        let slot: Slot<T> = Arc::default();
+        self.map.insert(key, (slot.clone(), tick));
+        (slot, evicted)
+    }
+}
+
+/// Hit/miss/evict totals per cache layer, for telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from a populated slot.
+    pub hits: u64,
+    /// Queries that had to compute.
+    pub misses: u64,
+    /// Entries evicted to respect the cap.
+    pub evictions: u64,
+}
+
+/// Frame-layer key: `(dfg_fingerprint, cs, chaining clock)`.
+type FramesKey = (u64, u32, Option<u32>);
+/// Result-layer key: `(dfg_fingerprint, point_fingerprint)`.
+type ResultsKey = (u64, u64);
+
+/// The shared cache; cheap to share via the engine, internally
 /// synchronised.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ExploreCache {
-    frames: CacheMap<(u64, u32, Option<u32>), TimeFrames>,
-    results: CacheMap<(u64, u64), PointMetrics>,
+    frames: Mutex<Lru<FramesKey, Result<TimeFrames, String>>>,
+    results: Mutex<Lru<ResultsKey, Result<PointMetrics, String>>>,
+    stats: Mutex<(CacheStats, CacheStats)>, // (frames, results)
+}
+
+impl Default for ExploreCache {
+    fn default() -> Self {
+        Self::with_caps(DEFAULT_FRAMES_CAP, DEFAULT_RESULTS_CAP)
+    }
 }
 
 impl ExploreCache {
-    /// An empty cache.
+    /// An empty cache with the default caps.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn slot<K: std::hash::Hash + Eq + Copy, T>(
-        map: &Mutex<HashMap<K, Slot<T>>>,
-        key: K,
-    ) -> Slot<T> {
-        map.lock()
-            .expect("cache lock is never poisoned (no panics inside)")
-            .entry(key)
-            .or_default()
-            .clone()
+    /// An empty cache holding at most `frames_cap` frame entries and
+    /// `results_cap` result entries (each clamped to at least 1).
+    pub fn with_caps(frames_cap: usize, results_cap: usize) -> Self {
+        ExploreCache {
+            frames: Mutex::new(Lru::new(frames_cap)),
+            results: Mutex::new(Lru::new(results_cap)),
+            stats: Mutex::new((CacheStats::default(), CacheStats::default())),
+        }
     }
 
     /// The ASAP/ALAP frames for `(dfg_fp, cs, clock)`, computed at most
-    /// once. Returns the frames plus whether this call computed them.
+    /// once while cached. Returns the frames plus whether this call
+    /// computed them.
     pub fn frames(
         &self,
         dfg_fp: u64,
@@ -64,7 +146,11 @@ impl ExploreCache {
         cs: u32,
         clock: Option<ClockPeriod>,
     ) -> (Result<TimeFrames, String>, bool) {
-        let slot = Self::slot(&self.frames, (dfg_fp, cs, clock.map(|c| c.as_u32())));
+        let (slot, evicted) = self
+            .frames
+            .lock()
+            .expect("cache lock is never poisoned (no panics inside)")
+            .slot((dfg_fp, cs, clock.map(|c| c.as_u32())));
         let mut computed = false;
         let value = slot.get_or_init(|| {
             computed = true;
@@ -75,30 +161,71 @@ impl ExploreCache {
                 None => TimeFrames::compute(dfg, spec, cs).map_err(|e| e.to_string()),
             }
         });
+        let mut stats = self.stats.lock().expect("stats lock");
+        stats.0.evictions += evicted;
+        if computed {
+            stats.0.misses += 1;
+        } else {
+            stats.0.hits += 1;
+        }
         (value.clone(), computed)
     }
 
     /// The memoized result for `(dfg_fp, point_fp)`: runs `compute` at
-    /// most once per key. Returns the result plus whether this call
-    /// computed it (false = cache hit).
+    /// most once while the key stays cached. Returns the result plus
+    /// whether this call computed it (false = cache hit).
     pub fn result(
         &self,
         dfg_fp: u64,
         point_fp: u64,
         compute: impl FnOnce() -> Result<PointMetrics, String>,
     ) -> (Result<PointMetrics, String>, bool) {
-        let slot = Self::slot(&self.results, (dfg_fp, point_fp));
+        let (slot, evicted) = self
+            .results
+            .lock()
+            .expect("cache lock is never poisoned (no panics inside)")
+            .slot((dfg_fp, point_fp));
         let mut computed = false;
         let value = slot.get_or_init(|| {
             computed = true;
             compute()
         });
+        let mut stats = self.stats.lock().expect("stats lock");
+        stats.1.evictions += evicted;
+        if computed {
+            stats.1.misses += 1;
+        } else {
+            stats.1.hits += 1;
+        }
         (value.clone(), computed)
+    }
+
+    /// Drops the result entry for `(dfg_fp, point_fp)`, if present.
+    ///
+    /// The engine calls this for results poisoned by cancellation (a
+    /// deadline firing mid-compute must not make every later identical
+    /// request fail); it is also handy for tests.
+    pub fn forget(&self, dfg_fp: u64, point_fp: u64) {
+        self.results
+            .lock()
+            .expect("cache lock")
+            .map
+            .remove(&(dfg_fp, point_fp));
     }
 
     /// Number of distinct result entries currently cached.
     pub fn result_entries(&self) -> usize {
-        self.results.lock().expect("cache lock").len()
+        self.results.lock().expect("cache lock").map.len()
+    }
+
+    /// Totals for the frames layer.
+    pub fn frames_stats(&self) -> CacheStats {
+        self.stats.lock().expect("stats lock").0
+    }
+
+    /// Totals for the results layer.
+    pub fn results_stats(&self) -> CacheStats {
+        self.stats.lock().expect("stats lock").1
     }
 }
 
@@ -128,6 +255,14 @@ mod tests {
         assert_eq!(cache.result_entries(), 1);
         let (_, computed) = cache.result(1, 3, || Ok(metrics(5)));
         assert!(computed, "a different point fingerprint is a new key");
+        assert_eq!(
+            cache.results_stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -138,6 +273,40 @@ mod tests {
         let (r, computed) = cache.result(9, 9, || Ok(metrics(1)));
         assert!(r.is_err(), "the cached error wins");
         assert!(!computed);
+    }
+
+    #[test]
+    fn forget_reopens_the_key() {
+        let cache = ExploreCache::new();
+        let (_, computed) = cache.result(5, 5, || Err("cancelled".into()));
+        assert!(computed);
+        cache.forget(5, 5);
+        let (r, computed) = cache.result(5, 5, || Ok(metrics(3)));
+        assert!(computed, "a forgotten key recomputes");
+        assert_eq!(r.unwrap().csteps, 3);
+    }
+
+    #[test]
+    fn cap_bounds_entries_and_evicts_lru() {
+        let cache = ExploreCache::with_caps(4, 2);
+        let (_, c) = cache.result(1, 1, || Ok(metrics(1)));
+        assert!(c);
+        let (_, c) = cache.result(1, 2, || Ok(metrics(2)));
+        assert!(c);
+        // Touch key 1 so key 2 is the LRU victim.
+        let (_, c) = cache.result(1, 1, || panic!("cached"));
+        assert!(!c);
+        let (_, c) = cache.result(1, 3, || Ok(metrics(3)));
+        assert!(c);
+        assert_eq!(cache.result_entries(), 2);
+        assert_eq!(cache.results_stats().evictions, 1);
+        // Key 2 was evicted and recomputes (displacing key 1, the new
+        // LRU); key 3 — most recently inserted — survives throughout.
+        let (_, c) = cache.result(1, 2, || Ok(metrics(2)));
+        assert!(c, "the LRU victim recomputes");
+        assert_eq!(cache.results_stats().evictions, 2);
+        let (r, _) = cache.result(1, 3, || panic!("must still be cached"));
+        assert_eq!(r.unwrap().csteps, 3);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use hls_telemetry::{Instrument, Metrics, NullSink};
 use moveframe::mfs::{self, MfsConfig};
 use moveframe::mfsa::{self, DesignStyle, MfsaConfig, Weights};
 use moveframe::pipeline::{pipelined_fu_counts, schedule_structural};
+use moveframe::CancelToken;
 
 use crate::cache::ExploreCache;
 use crate::fingerprint::dfg_fingerprint;
@@ -184,14 +185,106 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// An engine with an empty cache.
+    /// An engine with an empty cache at the default caps.
     pub fn new() -> Engine {
         Engine::default()
+    }
+
+    /// An engine whose cache holds at most `frames_cap` frame entries
+    /// and `results_cap` result entries (LRU-evicted past that).
+    pub fn with_caps(frames_cap: usize, results_cap: usize) -> Engine {
+        Engine {
+            cache: ExploreCache::with_caps(frames_cap, results_cap),
+        }
     }
 
     /// Access to the cache (for tests and diagnostics).
     pub fn cache(&self) -> &ExploreCache {
         &self.cache
+    }
+
+    /// Schedules a single design point through the cache, cooperatively
+    /// honouring `cancel`.
+    ///
+    /// Returns the metrics (or the scheduling error as a string) plus
+    /// whether the answer came **warm** from the cache (true = cache
+    /// hit, nothing recomputed). Cancellation hygiene: a result aborted
+    /// by `cancel` is reported to this caller but *forgotten* by the
+    /// cache, so a later identical request recomputes instead of
+    /// inheriting the timeout; symmetrically, a stale cancelled entry
+    /// found by a live (non-cancelled) request is discarded and retried
+    /// once.
+    pub fn schedule_point(
+        &self,
+        dfg: &Dfg,
+        spec: &TimingSpec,
+        point: &DesignPoint,
+        cancel: &CancelToken,
+        instr: &mut Instrument<'_>,
+    ) -> (Result<PointMetrics, String>, bool) {
+        let dfg_fp = dfg_fingerprint(dfg, spec);
+        let library = Library::ncr_like();
+        self.lookup_point(dfg_fp, dfg, spec, point, &library, cancel, instr)
+    }
+
+    /// The shared cache-lookup path behind [`Engine::schedule_point`]
+    /// and each [`Engine::explore`] grid point.
+    #[allow(clippy::too_many_arguments)]
+    fn lookup_point(
+        &self,
+        dfg_fp: u64,
+        dfg: &Dfg,
+        spec: &TimingSpec,
+        point: &DesignPoint,
+        library: &Library,
+        cancel: &CancelToken,
+        instr: &mut Instrument<'_>,
+    ) -> (Result<PointMetrics, String>, bool) {
+        // Shared ASAP/ALAP frames (not applicable to structural
+        // pipelining, which stage-expands the graph first).
+        let frames = if point.pipeline_ops.is_empty() {
+            let clock = point.clock.map(ClockPeriod::new);
+            let (frames, computed) = self.cache.frames(dfg_fp, dfg, spec, point.cs, clock);
+            if computed {
+                instr.inc("explore.frames.computed", 1);
+            } else {
+                instr.inc("explore.frames.reused", 1);
+            }
+            frames.ok()
+        } else {
+            None
+        };
+
+        let point_fp = point.fingerprint();
+        let (mut outcome, mut computed) = self.cache.result(dfg_fp, point_fp, || {
+            run_point(dfg, spec, point, library, frames.clone(), cancel, instr)
+        });
+        if is_cancelled(&outcome) {
+            if computed {
+                // Our own deadline fired mid-compute: hand the error to
+                // this caller, but do not let it poison the key.
+                self.cache.forget(dfg_fp, point_fp);
+            } else if !cancel.is_cancelled() {
+                // A racing request's cancellation got cached before we
+                // arrived; this request is live, so recompute.
+                self.cache.forget(dfg_fp, point_fp);
+                (outcome, computed) = self.cache.result(dfg_fp, point_fp, || {
+                    run_point(dfg, spec, point, library, frames, cancel, instr)
+                });
+                if computed && is_cancelled(&outcome) {
+                    self.cache.forget(dfg_fp, point_fp);
+                }
+            }
+        }
+        instr.inc(
+            if computed {
+                "explore.cache.miss"
+            } else {
+                "explore.cache.hit"
+            },
+            1,
+        );
+        (outcome, !computed)
     }
 
     /// Explores `points` on `dfg` under `spec` and reduces to a Pareto
@@ -217,6 +310,8 @@ impl Engine {
         };
         let dfg_fp = dfg_fingerprint(dfg, spec);
         let library = Library::ncr_like();
+        let evictions_before =
+            self.cache.frames_stats().evictions + self.cache.results_stats().evictions;
 
         let per_point = run_indexed(points.len(), threads, |i| {
             let point = &points[i];
@@ -226,31 +321,14 @@ impl Engine {
             let mut instr = Instrument::new(&mut sink, &mut metrics);
             instr.inc("explore.points", 1);
 
-            // Shared ASAP/ALAP frames (not applicable to structural
-            // pipelining, which stage-expands the graph first).
-            let frames = if point.pipeline_ops.is_empty() {
-                let clock = point.clock.map(ClockPeriod::new);
-                let (frames, computed) = self.cache.frames(dfg_fp, dfg, spec, point.cs, clock);
-                if computed {
-                    instr.inc("explore.frames.computed", 1);
-                } else {
-                    instr.inc("explore.frames.reused", 1);
-                }
-                frames.ok()
-            } else {
-                None
-            };
-
-            let (outcome, computed) = self.cache.result(dfg_fp, point.fingerprint(), || {
-                run_point(dfg, spec, point, &library, frames, &mut instr)
-            });
-            instr.inc(
-                if computed {
-                    "explore.cache.miss"
-                } else {
-                    "explore.cache.hit"
-                },
-                1,
+            let (outcome, _warm) = self.lookup_point(
+                dfg_fp,
+                dfg,
+                spec,
+                point,
+                &library,
+                &CancelToken::never(),
+                &mut instr,
             );
             if outcome.is_err() {
                 instr.inc("explore.errors", 1);
@@ -274,6 +352,11 @@ impl Engine {
         for (result, metrics) in per_point {
             merged.merge(&metrics);
             results.push(result);
+        }
+        let evicted = self.cache.frames_stats().evictions + self.cache.results_stats().evictions
+            - evictions_before;
+        if evicted > 0 {
+            merged.inc("explore.cache.evict", evicted);
         }
         let front = pareto_front(&results);
         ExploreReport {
@@ -341,6 +424,16 @@ fn fu_point_metrics(
     }
 }
 
+/// Whether an outcome is a cooperative-cancellation abort (matched by
+/// the stable `"cancelled"` prefix of
+/// [`moveframe::MoveFrameError::Cancelled`]'s display form).
+fn is_cancelled(outcome: &Result<PointMetrics, String>) -> bool {
+    outcome
+        .as_ref()
+        .err()
+        .is_some_and(|e| e.starts_with("cancelled"))
+}
+
 /// Runs one design point. Pure with respect to the cache: the caller
 /// memoizes the result.
 fn run_point(
@@ -349,11 +442,12 @@ fn run_point(
     point: &DesignPoint,
     library: &Library,
     frames: Option<TimeFrames>,
+    cancel: &CancelToken,
     instr: &mut Instrument<'_>,
 ) -> Result<PointMetrics, String> {
     match point.algorithm {
         Algorithm::Mfs => {
-            let mut config = MfsConfig::time_constrained(point.cs);
+            let mut config = MfsConfig::time_constrained(point.cs).with_cancel(cancel.clone());
             for (&class, &limit) in &point.fu_limits {
                 config = config.with_fu_limit(class, limit);
             }
@@ -390,8 +484,9 @@ fn run_point(
             }
         }
         Algorithm::Mfsa => {
-            let mut config =
-                MfsaConfig::new(point.cs, library.clone()).with_style(if point.style == 2 {
+            let mut config = MfsaConfig::new(point.cs, library.clone())
+                .with_cancel(cancel.clone())
+                .with_style(if point.style == 2 {
                     DesignStyle::NoSelfLoop
                 } else {
                     DesignStyle::Unrestricted
@@ -427,16 +522,19 @@ fn run_point(
             })
         }
         Algorithm::List => {
+            cancel.checkpoint().map_err(|e| e.to_string())?;
             let schedule = hls_baselines::list_schedule(dfg, spec, &point.fu_limits, point.cs)
                 .map_err(|e| e.to_string())?;
             Ok(fu_point_metrics(dfg, spec, &schedule, library, 0))
         }
         Algorithm::Fds => {
+            cancel.checkpoint().map_err(|e| e.to_string())?;
             let schedule = hls_baselines::force_directed_schedule(dfg, spec, point.cs)
                 .map_err(|e| e.to_string())?;
             Ok(fu_point_metrics(dfg, spec, &schedule, library, 0))
         }
         Algorithm::Anneal => {
+            cancel.checkpoint().map_err(|e| e.to_string())?;
             let (schedule, _) = hls_baselines::anneal_schedule(
                 dfg,
                 spec,

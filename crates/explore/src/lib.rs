@@ -32,7 +32,7 @@ mod pareto;
 mod point;
 mod pool;
 
-pub use cache::ExploreCache;
+pub use cache::{CacheStats, ExploreCache, DEFAULT_FRAMES_CAP, DEFAULT_RESULTS_CAP};
 pub use engine::{
     explore, Engine, ExploreOptions, ExploreReport, MfsaDetail, PointMetrics, PointResult,
 };

@@ -1,0 +1,618 @@
+//! The service API: endpoints, job parsing, and response bodies.
+//!
+//! `POST /schedule` accepts either a raw `.dfg` text body (knobs in the
+//! query string) or a flat JSON job object naming a built-in benchmark
+//! or carrying the DFG inline. The success body for `emit=json` is
+//! [`point_json`] — a **pure function of the design point and its
+//! metrics**, shared with `mfhls schedule --json`, so a served answer
+//! is byte-identical to the serial CLI output.
+//!
+//! Status codes: 200 served, 400 malformed input (DFG parse errors,
+//! bad knobs, unknown benchmark), 404 unknown endpoint, 405 wrong
+//! method, 413 oversized body, 422 well-formed but unschedulable
+//! (e.g. `cs` below the critical path), 429 queue full (emitted by the
+//! acceptor), 504 deadline exceeded.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hls_benchmarks::classic;
+use hls_celllib::{ClockPeriod, Library, OpKind, TimingSpec};
+use hls_dfg::{parse_dfg, Dfg, FuClass};
+use hls_explore::{Algorithm, DesignPoint, Engine, PointMetrics};
+use hls_schedule::render_schedule;
+use hls_telemetry::{Instrument, Metrics, NullSink};
+use moveframe::mfs::MfsConfig;
+use moveframe::mfsa::{DesignStyle, MfsaConfig, Weights};
+use moveframe::{mfs, mfsa, CancelToken};
+
+use crate::http::{Request, Response};
+use crate::json::{self, JsonValue};
+
+/// What `POST /schedule` should return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Emit {
+    /// The cached JSON stats line (default).
+    #[default]
+    Json,
+    /// The human-readable schedule table (MFS/MFSA only; bypasses the
+    /// cache because it needs the full schedule, not the metrics).
+    Text,
+    /// Graphviz DOT of the parsed DFG (no scheduling).
+    Dot,
+}
+
+/// One fully parsed scheduling job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The graph to schedule.
+    pub dfg: Dfg,
+    /// The timing model, derived from the chaining/multiplier knobs
+    /// exactly as the CLI derives it.
+    pub spec: TimingSpec,
+    /// The design point (algorithm × constraint × knobs).
+    pub point: DesignPoint,
+    /// Requested output form.
+    pub emit: Emit,
+    /// Per-request deadline override in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// The shared application state behind every worker.
+#[derive(Debug)]
+pub struct AppState {
+    engine: Engine,
+    metrics: Mutex<Metrics>,
+    default_deadline_ms: Option<u64>,
+}
+
+impl AppState {
+    /// State with a result cache capped at `cache_cap` entries and an
+    /// optional default per-request deadline.
+    pub fn new(cache_cap: usize, default_deadline_ms: Option<u64>) -> AppState {
+        AppState {
+            engine: Engine::with_caps(hls_explore::DEFAULT_FRAMES_CAP, cache_cap),
+            metrics: Mutex::new(Metrics::new()),
+            default_deadline_ms,
+        }
+    }
+
+    /// The exploration engine (cache included).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Adds `by` to counter `name` in the shared registry.
+    pub fn inc(&self, name: String, by: u64) {
+        self.metrics.lock().expect("metrics lock").inc(name, by);
+    }
+
+    /// Records `value` into histogram `name` in the shared registry.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .observe(name, value);
+    }
+
+    /// A snapshot of the shared registry plus the engine's cache
+    /// hit/miss/evict totals (`serve.cache.*`).
+    pub fn metrics_snapshot(&self) -> Metrics {
+        let mut m = self.metrics.lock().expect("metrics lock").clone();
+        let r = self.engine.cache().results_stats();
+        let f = self.engine.cache().frames_stats();
+        m.inc("serve.cache.results.hits", r.hits);
+        m.inc("serve.cache.results.misses", r.misses);
+        m.inc("serve.cache.results.evictions", r.evictions);
+        m.inc("serve.cache.frames.hits", f.hits);
+        m.inc("serve.cache.frames.misses", f.misses);
+        m.inc("serve.cache.frames.evictions", f.evictions);
+        m
+    }
+}
+
+const INDEX: &str = "mfhls serve — synthesis as a service\n\
+\n\
+  GET  /healthz            liveness probe\n\
+  GET  /metrics            Prometheus text metrics\n\
+  POST /schedule           schedule a DFG\n\
+\n\
+POST a raw .dfg text body with knobs in the query string\n\
+(?alg=mfs&cs=4&limit=mul:2&chain=100&latency=2&style=2&\n\
+ weights=1,1,1,1&two_cycle_mul=1&emit=json|text|dot&deadline_ms=N),\n\
+or a flat JSON job: {\"benchmark\":\"diffeq\",\"alg\":\"mfs\",\"cs\":4}\n\
+(benchmarks: diffeq fir ar ewf facet dct8 bandpass; or \"dfg\":\"...\").\n";
+
+/// Routes one parsed request to its handler.
+pub fn handle(state: &AppState, req: &Request, enqueued: Instant) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/") => Response::text(200, INDEX),
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => Response::text(200, state.metrics_snapshot().render_prometheus()),
+        ("POST", "/schedule") => match parse_job(req) {
+            Ok(job) => run_job(state, &job, enqueued),
+            Err(message) => Response::error(400, &message),
+        },
+        (_, "/schedule") | (_, "/healthz") | (_, "/metrics") | (_, "/") => {
+            Response::error(405, &format!("{} is not supported here", req.method))
+        }
+        (_, path) => Response::error(404, &format!("no such endpoint: {path}")),
+    }
+}
+
+/// A built-in benchmark graph by name.
+pub fn benchmark(name: &str) -> Option<Dfg> {
+    match name {
+        "diffeq" => Some(classic::diffeq()),
+        "fir" => Some(classic::fir(16)),
+        "ar" => Some(classic::ar_filter()),
+        "ewf" => Some(classic::ewf()),
+        "facet" => Some(classic::facet_style()),
+        "dct8" => Some(classic::dct8()),
+        "bandpass" => Some(classic::bandpass()),
+        _ => None,
+    }
+}
+
+/// Parses the request's query string and body into a [`Job`]; the
+/// error string becomes the 400 body.
+pub fn parse_job(req: &Request) -> Result<Job, String> {
+    let body = std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
+    // Knobs: query pairs first, JSON keys override.
+    let mut knobs: BTreeMap<String, JsonValue> = req
+        .query
+        .iter()
+        .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+        .collect();
+    let dfg = if body.trim_start().starts_with('{') {
+        let job = json::parse_flat_object(body).map_err(|e| format!("invalid JSON job: {e}"))?;
+        knobs.extend(job);
+        match (knobs.get("dfg").cloned(), knobs.get("benchmark").cloned()) {
+            (Some(_), Some(_)) => {
+                return Err("give either \"dfg\" or \"benchmark\", not both".into())
+            }
+            (Some(v), None) => {
+                let text = v.as_str().ok_or("\"dfg\" must be a string")?;
+                parse_dfg(text).map_err(|e| e.to_string())?
+            }
+            (None, Some(v)) => {
+                let name = v.as_str().ok_or("\"benchmark\" must be a string")?;
+                benchmark(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?
+            }
+            (None, None) => return Err("a JSON job needs \"dfg\" or \"benchmark\"".into()),
+        }
+    } else if body.trim().is_empty() {
+        match knobs.get("benchmark").and_then(|v| v.as_str()) {
+            Some(name) => benchmark(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?,
+            None => return Err("empty body: POST a .dfg text or a JSON job".into()),
+        }
+    } else {
+        parse_dfg(body).map_err(|e| e.to_string())?
+    };
+
+    let get_str = |k: &str| knobs.get(k).and_then(|v| v.as_str().map(str::to_string));
+    let get_u32 = |k: &str| -> Result<Option<u32>, String> {
+        match knobs.get(k) {
+            None => Ok(None),
+            Some(JsonValue::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .map(Some)
+                .ok_or_else(|| format!("`{k}` must be a non-negative integer")),
+        }
+    };
+    let get_bool = |k: &str| -> Result<bool, String> {
+        match knobs.get(k) {
+            None | Some(JsonValue::Null) => Ok(false),
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| format!("`{k}` must be a boolean")),
+        }
+    };
+
+    let emit = match get_str("emit").as_deref() {
+        None | Some("json") => Emit::Json,
+        Some("text") => Emit::Text,
+        Some("dot") => Emit::Dot,
+        Some(other) => return Err(format!("unknown emit form `{other}` (json|text|dot)")),
+    };
+
+    let algorithm = match get_str("alg").as_deref() {
+        None => Algorithm::Mfs,
+        Some(name) => {
+            Algorithm::parse(name).ok_or_else(|| format!("unknown algorithm `{name}`"))?
+        }
+    };
+    let cs = match get_u32("cs")? {
+        Some(cs) if cs >= 1 => cs,
+        Some(_) => return Err("`cs` must be at least 1".into()),
+        // DOT rendering never schedules, so a placeholder is fine.
+        None if emit == Emit::Dot => 1,
+        None => return Err("missing `cs` (the control-step constraint)".into()),
+    };
+
+    let mut point = DesignPoint::new(algorithm, cs);
+    if let Some(spec) = get_str("limit") {
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (op, n) = part
+                .split_once(':')
+                .or_else(|| part.split_once('='))
+                .ok_or_else(|| format!("`limit` entry `{part}` is not OP:N"))?;
+            let op: OpKind = op.parse().map_err(|e| format!("{e}"))?;
+            let n: u32 =
+                n.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("`limit` count in `{part}` must be a positive integer")
+                })?;
+            point.fu_limits.insert(FuClass::Op(op), n);
+        }
+    }
+    if let Some(spec) = get_str("pipeline") {
+        for name in spec.split(',').filter(|p| !p.is_empty()) {
+            let op: OpKind = name.parse().map_err(|e| format!("{e}"))?;
+            point.pipeline_ops.insert(op);
+        }
+    }
+    point.clock = get_u32("chain")?;
+    point.latency = get_u32("latency")?;
+    match get_u32("style")? {
+        None | Some(1) => {}
+        Some(2) => point.style = 2,
+        Some(other) => return Err(format!("unknown design style `{other}` (1|2)")),
+    }
+    if let Some(w) = get_str("weights") {
+        let parts: Vec<u32> = w
+            .split(',')
+            .map(|p| p.trim().parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| "`weights` must be four integers T,A,M,R".to_string())?;
+        if parts.len() != 4 {
+            return Err("`weights` must be four integers T,A,M,R".into());
+        }
+        point.weights = Some((parts[0], parts[1], parts[2], parts[3]));
+    }
+    if let Some(label) = get_str("label") {
+        point.label = label;
+    }
+    let two_cycle_mul = get_bool("two_cycle_mul")?;
+    let spec = if point.clock.is_some() {
+        TimingSpec::with_delays()
+    } else if two_cycle_mul {
+        TimingSpec::two_cycle_multiply()
+    } else {
+        TimingSpec::uniform_single_cycle()
+    };
+    let deadline_ms = match knobs.get("deadline_ms") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("`deadline_ms` must be a non-negative integer")?,
+        ),
+    };
+    Ok(Job {
+        dfg,
+        spec,
+        point,
+        emit,
+        deadline_ms,
+    })
+}
+
+/// The canonical JSON stats body of a scheduled point (one line,
+/// newline-terminated). `mfhls schedule --json` / `synth --json` print
+/// exactly this, which is what makes served responses diffable against
+/// the CLI.
+pub fn point_json(point: &DesignPoint, m: &PointMetrics) -> String {
+    let mut s = String::from("{\"label\":\"");
+    json::escape_into(&mut s, &point.display_label());
+    let _ = write!(
+        s,
+        "\",\"algorithm\":\"{}\",\"csteps\":{},\"mix\":\"",
+        point.algorithm, m.csteps
+    );
+    json::escape_into(&mut s, &m.mix);
+    let _ = write!(
+        s,
+        "\",\"fu_cost\":{},\"registers\":{},\"reschedules\":{}",
+        m.fu_cost, m.registers, m.reschedules
+    );
+    if let Some(d) = &m.mfsa {
+        s.push_str(",\"alus\":\"");
+        json::escape_into(&mut s, &d.alus);
+        let _ = write!(
+            s,
+            "\",\"total_cost\":{},\"mux\":{},\"muxin\":{}",
+            d.total_cost, d.mux, d.muxin
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Builds the cancellation token for a job admitted at `enqueued`: the
+/// deadline covers queue wait + compute, so an overloaded server times
+/// requests out instead of silently serving them late.
+fn deadline_token(state: &AppState, job: &Job, enqueued: Instant) -> CancelToken {
+    match job.deadline_ms.or(state.default_deadline_ms) {
+        Some(ms) => CancelToken::deadline_at(enqueued + Duration::from_millis(ms)),
+        None => CancelToken::never(),
+    }
+}
+
+fn error_response(state: &AppState, message: &str) -> Response {
+    if message.starts_with("cancelled") {
+        state.inc("serve.jobs.deadline".into(), 1);
+        Response::error(504, "deadline exceeded")
+    } else {
+        Response::error(422, message)
+    }
+}
+
+/// Runs a parsed job and renders the response.
+pub fn run_job(state: &AppState, job: &Job, enqueued: Instant) -> Response {
+    state.inc("serve.jobs".into(), 1);
+    let cancel = deadline_token(state, job, enqueued);
+    match job.emit {
+        Emit::Dot => Response::text(200, job.dfg.to_dot()),
+        Emit::Json => {
+            let mut sink = NullSink;
+            let mut metrics = Metrics::new();
+            let (outcome, warm) = {
+                let mut instr = Instrument::new(&mut sink, &mut metrics);
+                state
+                    .engine
+                    .schedule_point(&job.dfg, &job.spec, &job.point, &cancel, &mut instr)
+            };
+            state.metrics.lock().expect("metrics lock").merge(&metrics);
+            state.inc(
+                if warm {
+                    "serve.jobs.warm".into()
+                } else {
+                    "serve.jobs.cold".into()
+                },
+                1,
+            );
+            match outcome {
+                Ok(m) => Response::json(200, point_json(&job.point, &m)),
+                Err(e) => error_response(state, &e),
+            }
+        }
+        Emit::Text => {
+            // The text form needs the full schedule, which the metrics
+            // cache does not keep — run the scheduler directly.
+            let mut sink = NullSink;
+            let mut metrics = Metrics::new();
+            let mut instr = Instrument::new(&mut sink, &mut metrics);
+            let point = &job.point;
+            let rendered = match point.algorithm {
+                Algorithm::Mfs => {
+                    let mut config =
+                        MfsConfig::time_constrained(point.cs).with_cancel(cancel.clone());
+                    for (&class, &limit) in &point.fu_limits {
+                        config = config.with_fu_limit(class, limit);
+                    }
+                    if let Some(clock) = point.clock {
+                        config = config.with_chaining(ClockPeriod::new(clock));
+                    }
+                    if let Some(l) = point.latency {
+                        config = config.with_latency(l);
+                    }
+                    mfs::schedule_traced(&job.dfg, &job.spec, &config, &mut instr)
+                        .map(|out| render_schedule(&job.dfg, &out.schedule, &job.spec))
+                        .map_err(|e| e.to_string())
+                }
+                Algorithm::Mfsa => {
+                    let mut config = MfsaConfig::new(point.cs, Library::ncr_like())
+                        .with_cancel(cancel.clone())
+                        .with_style(if point.style == 2 {
+                            DesignStyle::NoSelfLoop
+                        } else {
+                            DesignStyle::Unrestricted
+                        });
+                    if let Some((time, alu, mux, reg)) = point.weights {
+                        config = config.with_weights(Weights {
+                            time,
+                            alu,
+                            mux,
+                            reg,
+                        });
+                    }
+                    if let Some(clock) = point.clock {
+                        config = config.with_chaining(ClockPeriod::new(clock));
+                    }
+                    if let Some(l) = point.latency {
+                        config = config.with_latency(l);
+                    }
+                    mfsa::schedule_traced(&job.dfg, &job.spec, &config, &mut instr)
+                        .map(|out| {
+                            format!(
+                                "{}{}{}\n",
+                                render_schedule(&job.dfg, &out.schedule, &job.spec),
+                                out.datapath,
+                                out.cost
+                            )
+                        })
+                        .map_err(|e| e.to_string())
+                }
+                other => Err(format!("emit=text supports alg=mfs|mfsa, not {other}")),
+            };
+            match rendered {
+                Ok(text) => Response::text(200, text),
+                Err(e) if e.starts_with("emit=text") => Response::error(400, &e),
+                Err(e) => error_response(state, &e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, target: &str, body: &str) -> Request {
+        let (path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        Request {
+            method: method.into(),
+            path: path.into(),
+            query: raw_query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (pair.to_string(), String::new()),
+                })
+                .collect(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn state() -> AppState {
+        AppState::new(1024, None)
+    }
+
+    const TOY: &str = "input a, b\nop p = mul(a, b)\nop q = add(p, b)\n";
+
+    #[test]
+    fn healthz_and_index() {
+        let s = state();
+        let now = Instant::now();
+        let r = handle(&s, &request("GET", "/healthz", ""), now);
+        assert_eq!((r.status, r.body.as_slice()), (200, b"ok\n".as_slice()));
+        assert_eq!(handle(&s, &request("GET", "/", ""), now).status, 200);
+        assert_eq!(handle(&s, &request("GET", "/nope", ""), now).status, 404);
+        assert_eq!(handle(&s, &request("PUT", "/healthz", ""), now).status, 405);
+    }
+
+    #[test]
+    fn schedules_a_dfg_text_body() {
+        let s = state();
+        let r = handle(&s, &request("POST", "/schedule?cs=2", TOY), Instant::now());
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.starts_with("{\"label\":\"mfs@T2\",\"algorithm\":\"mfs\",\"csteps\":2,"));
+        assert!(body.ends_with("}\n"));
+    }
+
+    #[test]
+    fn schedules_a_benchmark_json_job_and_reuses_the_cache() {
+        let s = state();
+        let job = r#"{"benchmark":"diffeq","alg":"mfs","cs":4}"#;
+        let first = handle(&s, &request("POST", "/schedule", job), Instant::now());
+        assert_eq!(first.status, 200);
+        let second = handle(&s, &request("POST", "/schedule", job), Instant::now());
+        assert_eq!(second.status, 200);
+        assert_eq!(first.body, second.body, "repeat requests are identical");
+        let m = s.metrics_snapshot();
+        assert_eq!(m.counter("serve.jobs.cold"), 1);
+        assert_eq!(m.counter("serve.jobs.warm"), 1);
+        assert_eq!(m.counter("serve.cache.results.hits"), 1);
+        assert_eq!(m.counter("serve.cache.results.misses"), 1);
+    }
+
+    #[test]
+    fn malformed_inputs_are_400() {
+        let s = state();
+        let now = Instant::now();
+        for (target, body) in [
+            ("/schedule?cs=2", "input a\nop p = mul(a, missing)\n"),
+            ("/schedule?cs=2", "op p = mul(a\n"),
+            ("/schedule?cs=2", "{\"benchmark\":\"nope\",\"cs\":2}"),
+            ("/schedule?cs=2", "{\"cs\":2}"),
+            ("/schedule?cs=2", "{broken json"),
+            ("/schedule", TOY),                       // missing cs
+            ("/schedule?cs=0", TOY),                  // zero cs
+            ("/schedule?cs=2&alg=bogus", TOY),        // unknown algorithm
+            ("/schedule?cs=2&limit=mul", TOY),        // malformed limit
+            ("/schedule?cs=2&emit=yaml", TOY),        // unknown emit
+            ("/schedule?cs=2&weights=1,2", TOY),      // short weights
+            ("/schedule?cs=2&style=7", TOY),          // unknown style
+            ("/schedule?cs=2&deadline_ms=soon", TOY), // bad deadline
+        ] {
+            let r = handle(&s, &request("POST", target, body), now);
+            assert_eq!(r.status, 400, "{target} {body:?}");
+            assert!(r.body.starts_with(b"{\"error\":\""), "{target}");
+        }
+    }
+
+    #[test]
+    fn infeasible_schedules_are_422() {
+        let s = state();
+        let r = handle(
+            &s,
+            &request("POST", "/schedule?cs=1", TOY), // below the critical path
+            Instant::now(),
+        );
+        assert_eq!(r.status, 422, "{:?}", String::from_utf8_lossy(&r.body));
+    }
+
+    #[test]
+    fn expired_deadlines_are_504_and_not_cached() {
+        let s = state();
+        let job = r#"{"benchmark":"diffeq","cs":4,"deadline_ms":0}"#;
+        let r = handle(&s, &request("POST", "/schedule", job), Instant::now());
+        assert_eq!(r.status, 504);
+        // The poisoned result must not be served to a live request.
+        let ok = handle(
+            &s,
+            &request("POST", "/schedule", r#"{"benchmark":"diffeq","cs":4}"#),
+            Instant::now(),
+        );
+        assert_eq!(ok.status, 200);
+        assert_eq!(s.metrics_snapshot().counter("serve.jobs.deadline"), 1);
+    }
+
+    #[test]
+    fn emit_text_and_dot() {
+        let s = state();
+        let now = Instant::now();
+        let text = handle(&s, &request("POST", "/schedule?cs=2&emit=text", TOY), now);
+        assert_eq!(text.status, 200);
+        assert!(String::from_utf8(text.body).unwrap().contains("step"));
+        let synth = handle(
+            &s,
+            &request("POST", "/schedule?cs=3&alg=mfsa&emit=text", TOY),
+            now,
+        );
+        assert_eq!(synth.status, 200);
+        let dot = handle(&s, &request("POST", "/schedule?emit=dot", TOY), now);
+        assert_eq!(dot.status, 200);
+        assert!(String::from_utf8(dot.body).unwrap().starts_with("digraph"));
+        let bad = handle(
+            &s,
+            &request("POST", "/schedule?cs=2&alg=list&emit=text", TOY),
+            now,
+        );
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn mfsa_jobs_carry_the_datapath_detail() {
+        let s = state();
+        let r = handle(
+            &s,
+            &request("POST", "/schedule?cs=3&alg=mfsa", TOY),
+            Instant::now(),
+        );
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"alus\":\""), "{body}");
+        assert!(body.contains("\"total_cost\":"), "{body}");
+    }
+
+    #[test]
+    fn metrics_endpoint_renders_prometheus_text() {
+        let s = state();
+        let now = Instant::now();
+        let _ = handle(&s, &request("POST", "/schedule?cs=2", TOY), now);
+        let m = handle(&s, &request("GET", "/metrics", ""), now);
+        assert_eq!(m.status, 200);
+        let text = String::from_utf8(m.body).unwrap();
+        assert!(text.contains("# TYPE serve_jobs counter"), "{text}");
+        assert!(text.contains("serve_cache_results_misses 1"), "{text}");
+    }
+}

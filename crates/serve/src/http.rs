@@ -1,0 +1,337 @@
+//! A hand-rolled HTTP/1.1 subset over blocking `std::io` streams.
+//!
+//! The build container is offline, so there is no tokio/hyper; the
+//! daemon speaks the minimum of HTTP/1.1 a load generator or `curl`
+//! needs: one request per connection (`Connection: close`),
+//! `Content-Length`-delimited bodies, no chunked transfer coding, no
+//! keep-alive. That subset keeps the server a plain thread-per-request
+//! loop with no protocol state machine.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on the request line + headers, independent of the body
+/// cap.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, decoded path, decoded query pairs, raw
+/// body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`).
+    pub method: String,
+    /// Percent-decoded path, without the query string.
+    pub path: String,
+    /// Percent-decoded query pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The raw body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The last value of query key `name`, if present.
+    pub fn query_value(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, headers, or unsupported framing → 400.
+    BadRequest(String),
+    /// Body larger than the configured cap → 413.
+    TooLarge,
+    /// The peer vanished or timed out mid-request; nothing to answer.
+    Io(io::Error),
+}
+
+/// Reads and parses one request from `stream`.
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+    // Accumulate until the blank line ending the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest("request head too large".into()));
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Io(io::ErrorKind::UnexpectedEof.into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::BadRequest("expected an HTTP/1.x version".into())),
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::BadRequest(
+                "chunked transfer coding is not supported".into(),
+            ));
+        }
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest("invalid Content-Length".into()))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::TooLarge);
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Io(io::ErrorKind::UnexpectedEof.into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = raw_query
+        .split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method,
+        path: percent_decode(raw_path),
+        query,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Decodes `%XX` escapes and `+` (form encoding) into UTF-8 text;
+/// malformed escapes pass through literally, invalid UTF-8 is replaced.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A response ready to serialise: status, content type, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An error response with body `{"error":"<message>"}` + newline.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\":\"");
+        crate::json::escape_into(&mut body, message);
+        body.push_str("\"}\n");
+        Response::json(status, body)
+    }
+
+    /// Serialises the response (status line, headers, body) onto `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The standard reason phrase of the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        read_request(&mut cursor, 1024)
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let r =
+            parse(b"GET /schedule?alg=mfs&cs=4&limit=mul%3A2 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/schedule");
+        assert_eq!(r.query_value("alg"), Some("mfs"));
+        assert_eq!(r.query_value("cs"), Some("4"));
+        assert_eq!(r.query_value("limit"), Some("mul:2"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let r =
+            parse(b"POST /schedule HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello trailing-ignored")
+                .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_bad_framing() {
+        assert!(matches!(parse(b"\r\n\r\n"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse(b"GET /x\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: nine\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_413() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn truncated_requests_are_io_errors() {
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Io(_))
+        ));
+        assert!(matches!(parse(b"GET /x HT"), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("mul%3A2"), "mul:2");
+        assert_eq!(percent_decode("100%"), "100%");
+    }
+
+    #[test]
+    fn responses_serialise_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::text(200, "ok\n").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+        let e = Response::error(422, "no \"such\" schedule");
+        assert_eq!(e.status, 422);
+        assert_eq!(
+            String::from_utf8(e.body).unwrap(),
+            "{\"error\":\"no \\\"such\\\" schedule\"}\n"
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! The daemon: listener, bounded admission, worker pool, graceful
+//! shutdown.
+//!
+//! One acceptor thread polls a non-blocking listener (so it can notice
+//! the shutdown flag between accepts) and admits connections into the
+//! bounded [`crate::queue::Bounded`] queue; a full queue answers 429
+//! inline — overload costs the acceptor one small write, never a
+//! blocked accept loop. Worker threads pop connections, parse, compute
+//! and respond. [`Server::shutdown`] stops admission and closes the
+//! queue; workers drain what was already admitted, so every accepted
+//! request is answered before [`Server::join`] returns.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hls_explore::default_threads;
+use hls_telemetry::{TraceEvent, TraceSink};
+
+use crate::api::{self, AppState};
+use crate::http::{read_request, HttpError, Response};
+use crate::queue::Bounded;
+
+/// How often the acceptor re-checks the listener and shutdown flag
+/// while idle. This bounds the accept latency of the first request
+/// after an idle period, so it is kept small; one wakeup per
+/// millisecond costs a negligible sliver of an idle core.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7433` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads; 0 means [`default_threads`].
+    pub workers: usize,
+    /// Bounded admission queue capacity; a full queue answers 429.
+    pub queue_cap: usize,
+    /// Result-cache entry cap (LRU past this).
+    pub cache_cap: usize,
+    /// Default per-request deadline in ms (`None` = no deadline unless
+    /// the request asks for one).
+    pub default_deadline_ms: Option<u64>,
+    /// Largest accepted request body; beyond it the answer is 413.
+    pub max_body_bytes: usize,
+    /// Socket read timeout while parsing a request.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7433".into(),
+            workers: 0,
+            queue_cap: 64,
+            cache_cap: hls_explore::DEFAULT_RESULTS_CAP,
+            default_deadline_ms: None,
+            max_body_bytes: 1024 * 1024,
+            read_timeout_ms: 5000,
+        }
+    }
+}
+
+struct Shared {
+    app: AppState,
+    sink: Mutex<Box<dyn TraceSink + Send>>,
+    queue: Bounded<(TcpStream, Instant)>,
+    shutdown: AtomicBool,
+    max_body_bytes: usize,
+    read_timeout_ms: u64,
+}
+
+/// A running daemon. Dropping it without [`Server::join`] detaches the
+/// threads; the intended lifecycle is `start` → `shutdown` → `join`.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the daemon; per-request access-log events go to
+    /// `sink`.
+    pub fn start(config: ServeConfig, sink: Box<dyn TraceSink + Send>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            default_threads()
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            app: AppState::new(config.cache_cap, config.default_deadline_ms),
+            sink: Mutex::new(sink),
+            queue: Bounded::new(config.queue_cap),
+            shutdown: AtomicBool::new(false),
+            max_body_bytes: config.max_body_bytes,
+            read_timeout_ms: config.read_timeout_ms,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        };
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    while let Some((stream, enqueued)) = shared.queue.pop() {
+                        handle_connection(&shared, stream, enqueued);
+                    }
+                })
+            })
+            .collect();
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state (metrics, cache) — for tests.
+    pub fn app(&self) -> &AppState {
+        &self.shared.app
+    }
+
+    /// Requests a graceful shutdown: stop accepting, then drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Waits for the acceptor and all workers to finish. Call
+    /// [`Server::shutdown`] first, or this blocks forever.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                match shared.queue.try_push((stream, Instant::now())) {
+                    Ok(()) => {}
+                    Err((stream, _)) => reject_overload(shared, stream),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // No more admissions; workers drain the backlog and exit.
+    shared.queue.close();
+}
+
+/// Answers 429 inline from the acceptor — the one response that must
+/// not wait for a worker, because no worker slot is what it reports.
+fn reject_overload(shared: &Shared, mut stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.read_timeout_ms)));
+    let response = Response::error(429, "job queue is full, retry later");
+    let _ = response.write_to(&mut stream);
+    // Drain whatever the client already sent before closing: dropping a
+    // socket with unread data makes the kernel RST the connection,
+    // which can discard the 429 before the peer reads it.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 4096];
+    while matches!(io::Read::read(&mut stream, &mut scratch), Ok(n) if n > 0) {}
+    shared.app.inc("serve.queue.rejected".into(), 1);
+    record(shared, "?", "?", &response, started);
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream, enqueued: Instant) {
+    let started = Instant::now();
+    let timeout = Duration::from_millis(shared.read_timeout_ms);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let (method, path, response) = match read_request(&mut stream, shared.max_body_bytes) {
+        Ok(request) => {
+            let response = api::handle(&shared.app, &request, enqueued);
+            (request.method, request.path, response)
+        }
+        Err(HttpError::TooLarge) => (
+            "?".into(),
+            "?".into(),
+            Response::error(413, "request body too large"),
+        ),
+        Err(HttpError::BadRequest(message)) => {
+            ("?".into(), "?".into(), Response::error(400, &message))
+        }
+        Err(HttpError::Io(_)) => {
+            // The peer vanished or stalled; there is no one to answer.
+            shared.app.inc("serve.io_errors".into(), 1);
+            return;
+        }
+    };
+    let _ = response.write_to(&mut stream);
+    record(shared, &method, &path, &response, started);
+}
+
+/// Counts the response and emits the access-log event.
+fn record(shared: &Shared, method: &str, path: &str, response: &Response, started: Instant) {
+    let dur_ns = started.elapsed().as_nanos() as u64;
+    shared.app.inc("serve.requests".into(), 1);
+    shared.app.inc(format!("serve.http.{}", response.status), 1);
+    shared.app.observe("serve.request.wall_ns", dur_ns);
+    let mut sink = shared.sink.lock().expect("sink lock");
+    if sink.enabled() {
+        sink.record(TraceEvent::HttpRequest {
+            method: method.into(),
+            path: path.into(),
+            status: response.status,
+            bytes: response.body.len() as u64,
+            dur_ns,
+        });
+    }
+}

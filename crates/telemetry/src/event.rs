@@ -72,6 +72,20 @@ pub enum TraceEvent {
         /// Duration in nanoseconds.
         dur_ns: u64,
     },
+    /// One served HTTP request — the `hls-serve` daemon's access-log
+    /// line.
+    HttpRequest {
+        /// Request method (`"GET"`, `"POST"`).
+        method: String,
+        /// Request path, without the query string.
+        path: String,
+        /// Response status code.
+        status: u16,
+        /// Response body length in bytes.
+        bytes: u64,
+        /// Wall time from parsed request to written response, in ns.
+        dur_ns: u64,
+    },
 }
 
 /// Escapes `s` into `out` as JSON string contents (without quotes).
@@ -100,6 +114,7 @@ impl TraceEvent {
             TraceEvent::MoveCommitted { .. } => "move_committed",
             TraceEvent::LocalReschedule { .. } => "local_reschedule",
             TraceEvent::PhaseSpan { .. } => "phase_span",
+            TraceEvent::HttpRequest { .. } => "http_request",
         }
     }
 
@@ -154,6 +169,22 @@ impl TraceEvent {
                 escape_json(&mut s, phase);
                 let _ = write!(s, "\",\"start_ns\":{start_ns},\"dur_ns\":{dur_ns}");
             }
+            TraceEvent::HttpRequest {
+                method,
+                path,
+                status,
+                bytes,
+                dur_ns,
+            } => {
+                s.push_str(",\"method\":\"");
+                escape_json(&mut s, method);
+                s.push_str("\",\"path\":\"");
+                escape_json(&mut s, path);
+                let _ = write!(
+                    s,
+                    "\",\"status\":{status},\"bytes\":{bytes},\"dur_ns\":{dur_ns}"
+                );
+            }
         }
         s.push('}');
         s
@@ -202,6 +233,13 @@ mod tests {
                 start_ns: 100,
                 dur_ns: 50,
             },
+            TraceEvent::HttpRequest {
+                method: "POST".into(),
+                path: "/schedule".into(),
+                status: 200,
+                bytes: 181,
+                dur_ns: 420,
+            },
         ];
         let lines: Vec<String> = events.iter().map(TraceEvent::to_json).collect();
         assert_eq!(
@@ -227,6 +265,10 @@ mod tests {
         assert_eq!(
             lines[5],
             r#"{"event":"phase_span","phase":"mfs.move_loop","start_ns":100,"dur_ns":50}"#
+        );
+        assert_eq!(
+            lines[6],
+            r#"{"event":"http_request","method":"POST","path":"/schedule","status":200,"bytes":181,"dur_ns":420}"#
         );
     }
 

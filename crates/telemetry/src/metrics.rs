@@ -228,6 +228,44 @@ impl Metrics {
         out
     }
 
+    /// The registry in the Prometheus text exposition format (v0.0.4),
+    /// as served by `hls-serve`'s `/metrics` endpoint.
+    ///
+    /// Dot-namespaced names are sanitised to metric-name charset
+    /// (`serve.http.200` → `serve_http_200`). Counters render as
+    /// `counter` samples; each histogram renders its exact aggregates
+    /// as `<name>_count`, `<name>_sum`, `<name>_min` and `<name>_max`
+    /// (the log₂ buckets are a storage detail, not an exposition
+    /// promise).
+    pub fn render_prometheus(&self) -> String {
+        fn sanitise(out: &mut String, name: &str) {
+            for (i, c) in name.chars().enumerate() {
+                match c {
+                    'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+                    '0'..='9' if i > 0 => out.push(c),
+                    _ => out.push('_'),
+                }
+            }
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let mut id = String::with_capacity(name.len());
+            sanitise(&mut id, name);
+            let _ = writeln!(out, "# TYPE {id} counter");
+            let _ = writeln!(out, "{id} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let mut id = String::with_capacity(name.len());
+            sanitise(&mut id, name);
+            let _ = writeln!(out, "# TYPE {id} summary");
+            let _ = writeln!(out, "{id}_count {}", h.count());
+            let _ = writeln!(out, "{id}_sum {}", h.sum());
+            let _ = writeln!(out, "{id}_min {}", h.min());
+            let _ = writeln!(out, "{id}_max {}", h.max());
+        }
+        out
+    }
+
     /// The registry as one JSON object:
     /// `{"counters":{...},"histograms":{name:{count,sum,min,max,mean}}}`.
     pub fn to_json(&self) -> String {
@@ -324,5 +362,21 @@ mod tests {
     #[test]
     fn empty_report_says_so() {
         assert!(Metrics::new().render_text().contains("no metrics"));
+    }
+
+    #[test]
+    fn prometheus_rendering_sanitises_names() {
+        let mut m = Metrics::new();
+        m.inc("serve.http.200", 3);
+        m.observe("serve.request.wall_ns", 1000);
+        m.observe("serve.request.wall_ns", 3000);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE serve_http_200 counter\nserve_http_200 3\n"));
+        assert!(text.contains("# TYPE serve_request_wall_ns summary\n"));
+        assert!(text.contains("serve_request_wall_ns_count 2\n"));
+        assert!(text.contains("serve_request_wall_ns_sum 4000\n"));
+        assert!(text.contains("serve_request_wall_ns_min 1000\n"));
+        assert!(text.contains("serve_request_wall_ns_max 3000\n"));
+        assert!(Metrics::new().render_prometheus().is_empty());
     }
 }

@@ -13,6 +13,8 @@
 //!               [--limit OP=N]... [--chain CLOCK] [--latency L] [--style2]
 //!               [--weights T,A,M,R] [--two-cycle-mul] [--threads N]
 //!               [--emit front.json] [--metrics] [-q]
+//! mfhls serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!             [--cache-cap N] [--deadline-ms N] [--access-log FILE] [-q]
 //! ```
 //!
 //! Telemetry flags (schedule & synth): `--trace FILE.jsonl` streams the
@@ -67,6 +69,7 @@ enum Command {
         chain: Option<u32>,
         latency: Option<u32>,
         two_cycle_mul: bool,
+        json: bool,
         svg: Option<String>,
         tel: Telemetry,
     },
@@ -77,6 +80,7 @@ enum Command {
         weights: Option<[u32; 4]>,
         lib: Option<String>,
         two_cycle_mul: bool,
+        json: bool,
         microcode: bool,
         verilog: bool,
         testbench: bool,
@@ -100,15 +104,76 @@ enum Command {
         emit: Option<String>,
         tel: Telemetry,
     },
+    Serve {
+        addr: String,
+        workers: usize,
+        queue_cap: usize,
+        cache_cap: usize,
+        deadline_ms: Option<u64>,
+        access_log: Option<String>,
+        quiet: bool,
+    },
 }
 
 fn usage() -> String {
-    "usage:\n  mfhls info <file.dfg> [--dot]\n  mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]... [--chain CLOCK] [--latency L] [--two-cycle-mul] [--svg FILE]\n  mfhls synth <file.dfg> --cs N [--style2] [--weights T,A,M,R] [--lib FILE.lib] [--two-cycle-mul] [--microcode] [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]\n  mfhls explore <file.dfg> (--grid FILE | --cs N[,M...] [--alg mfs,mfsa,list,fds,anneal]) [--limit OP=N]... [--chain CLOCK] [--latency L] [--style2] [--weights T,A,M,R] [--two-cycle-mul] [--threads N] [--emit front.json]\n  mfhls --version\ntelemetry (schedule/synth): [--trace FILE.jsonl] [--chrome-trace FILE.json] [--metrics] [-v|--verbose] [-q|--quiet]".to_string()
+    "usage:\n  mfhls info <file.dfg> [--dot]\n  mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]... [--chain CLOCK] [--latency L] [--two-cycle-mul] [--json] [--svg FILE]\n  mfhls synth <file.dfg> --cs N [--style2] [--weights T,A,M,R] [--lib FILE.lib] [--two-cycle-mul] [--json] [--microcode] [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]\n  mfhls explore <file.dfg> (--grid FILE | --cs N[,M...] [--alg mfs,mfsa,list,fds,anneal]) [--limit OP=N]... [--chain CLOCK] [--latency L] [--style2] [--weights T,A,M,R] [--two-cycle-mul] [--threads N] [--emit front.json]\n  mfhls serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--deadline-ms N] [--access-log FILE.jsonl] [-q]\n  mfhls --version\ntelemetry (schedule/synth): [--trace FILE.jsonl] [--chrome-trace FILE.json] [--metrics] [-v|--verbose] [-q|--quiet]".to_string()
+}
+
+/// Parses the `serve` subcommand's flags (no input file: the daemon
+/// receives designs over HTTP).
+fn parse_serve<'a, I: Iterator<Item = &'a String>>(mut it: I) -> Result<Command, String> {
+    let defaults = ServeConfig::default();
+    let mut addr = defaults.addr;
+    let mut workers = defaults.workers;
+    let mut queue_cap = defaults.queue_cap;
+    let mut cache_cap = defaults.cache_cap;
+    let mut deadline_ms = defaults.default_deadline_ms;
+    let mut access_log = None;
+    let mut quiet = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                workers = v.parse().map_err(|_| "invalid --workers value")?;
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                queue_cap = v.parse().map_err(|_| "invalid --queue-cap value")?;
+            }
+            "--cache-cap" => {
+                let v = it.next().ok_or("--cache-cap needs a value")?;
+                cache_cap = v.parse().map_err(|_| "invalid --cache-cap value")?;
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value")?;
+                deadline_ms = Some(v.parse().map_err(|_| "invalid --deadline-ms value")?);
+            }
+            "--access-log" => {
+                let v = it.next().ok_or("--access-log needs a file path")?;
+                access_log = Some(v.clone());
+            }
+            "-q" | "--quiet" => quiet = true,
+            other => return Err(format!("unknown serve flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Command::Serve {
+        addr,
+        workers,
+        queue_cap,
+        cache_cap,
+        deadline_ms,
+        access_log,
+        quiet,
+    })
 }
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().peekable();
     let sub = it.next().ok_or_else(usage)?;
+    if sub == "serve" {
+        return parse_serve(it);
+    }
     let file = it.next().ok_or("missing input file")?.clone();
     let mut cs_list: Vec<u32> = Vec::new();
     let mut resource = false;
@@ -116,6 +181,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut chain = None;
     let mut latency = None;
     let mut two_cycle_mul = false;
+    let mut json = false;
     let mut style2 = false;
     let mut weights = None;
     let mut lib = None;
@@ -157,6 +223,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 latency = Some(v.parse::<u32>().map_err(|_| "invalid latency")?);
             }
             "--two-cycle-mul" => two_cycle_mul = true,
+            "--json" => json = true,
             "--style2" => style2 = true,
             "--weights" => {
                 let v = it.next().ok_or("--weights needs T,A,M,R")?;
@@ -238,6 +305,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             chain,
             latency,
             two_cycle_mul,
+            json,
             svg,
             tel,
         }),
@@ -248,6 +316,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             weights,
             lib,
             two_cycle_mul,
+            json,
             microcode,
             verilog,
             testbench,
@@ -336,11 +405,29 @@ fn run(command: Command) -> Result<(), String> {
             chain,
             latency,
             two_cycle_mul,
+            json,
             svg,
             tel,
         } => {
             let dfg = load(&file)?;
             let spec = spec_for(two_cycle_mul, chain.is_some());
+            if json {
+                if resource {
+                    return Err(
+                        "--json supports time-constrained scheduling; drop --resource".into(),
+                    );
+                }
+                if svg.is_some() {
+                    return Err("--json and --svg are mutually exclusive".into());
+                }
+                let mut point = DesignPoint::new(Algorithm::Mfs, cs);
+                for &(op, n) in &limits {
+                    point.fu_limits.insert(FuClass::Op(op), n);
+                }
+                point.clock = chain;
+                point.latency = latency;
+                return run_point_json(&dfg, &spec, &point, &tel);
+            }
             let mut config = if resource {
                 MfsConfig::resource_constrained(cs)
             } else {
@@ -415,6 +502,7 @@ fn run(command: Command) -> Result<(), String> {
             weights,
             lib,
             two_cycle_mul,
+            json,
             microcode,
             verilog,
             testbench,
@@ -425,6 +513,25 @@ fn run(command: Command) -> Result<(), String> {
         } => {
             let dfg = load(&file)?;
             let spec = spec_for(two_cycle_mul, false);
+            if json {
+                if lib.is_some()
+                    || microcode
+                    || verilog
+                    || testbench
+                    || check
+                    || svg.is_some()
+                    || vcd.is_some()
+                {
+                    return Err(
+                        "--json prints the stats summary only; drop --lib/--microcode/--verilog/--testbench/--check/--svg/--vcd"
+                            .into(),
+                    );
+                }
+                let mut point = DesignPoint::new(Algorithm::Mfsa, cs);
+                point.style = if style2 { 2 } else { 1 };
+                point.weights = weights.map(|[t, a, m, r]| (t, a, m, r));
+                return run_point_json(&dfg, &spec, &point, &tel);
+            }
             let library = match lib {
                 None => Library::ncr_like(),
                 Some(path) => {
@@ -610,7 +717,76 @@ fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Serve {
+            addr,
+            workers,
+            queue_cap,
+            cache_cap,
+            deadline_ms,
+            access_log,
+            quiet,
+        } => {
+            let config = ServeConfig {
+                addr,
+                workers,
+                queue_cap,
+                cache_cap,
+                default_deadline_ms: deadline_ms,
+                ..ServeConfig::default()
+            };
+            let sink: Box<dyn TraceSink + Send> = match &access_log {
+                Some(path) => {
+                    let file = std::fs::File::create(path)
+                        .map_err(|e| format!("cannot create {path}: {e}"))?;
+                    Box::new(JsonlSink::new(file))
+                }
+                None if quiet => Box::new(NullSink),
+                None => Box::new(JsonlSink::new(std::io::stderr())),
+            };
+            let server =
+                Server::start(config, sink).map_err(|e| format!("cannot start server: {e}"))?;
+            if !quiet {
+                eprintln!("mfhls serve: listening on http://{}", server.local_addr());
+                eprintln!("mfhls serve: SIGINT/SIGTERM drains and exits");
+            }
+            moveframe_hls::serve::signal::install();
+            while !moveframe_hls::serve::signal::triggered() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            if !quiet {
+                eprintln!("mfhls serve: shutdown signal received, draining");
+            }
+            server.shutdown();
+            server.join();
+            Ok(())
+        }
     }
+}
+
+/// Schedules one design point through the exploration engine (the same
+/// path `mfhls serve` uses) and prints the canonical JSON stats line,
+/// so CLI and daemon answers are byte-identical.
+fn run_point_json(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    point: &DesignPoint,
+    tel: &Telemetry,
+) -> Result<(), String> {
+    if tel.wants_events() {
+        return Err("--json does not support --trace/--chrome-trace".into());
+    }
+    let mut null = NullSink;
+    let mut metrics = Metrics::new();
+    let (outcome, _warm) = {
+        let mut instr = Instrument::new(&mut null, &mut metrics);
+        Engine::new().schedule_point(dfg, spec, point, &CancelToken::never(), &mut instr)
+    };
+    let m = outcome?;
+    print!("{}", moveframe_hls::serve::point_json(point, &m));
+    if tel.metrics {
+        print!("{}", metrics.render_text());
+    }
+    Ok(())
 }
 
 /// Writes/prints the requested telemetry artifacts after a run.
@@ -799,6 +975,7 @@ mod tests {
             chain: None,
             latency: None,
             two_cycle_mul: false,
+            json: false,
             svg: Some(dir.join("toy.svg").to_string_lossy().to_string()),
             tel: Telemetry::default(),
         })
@@ -811,6 +988,7 @@ mod tests {
             weights: None,
             lib: None,
             two_cycle_mul: false,
+            json: false,
             microcode: true,
             verilog: true,
             testbench: true,
@@ -831,6 +1009,7 @@ mod tests {
             weights: None,
             lib: Some(lib_file.to_string_lossy().to_string()),
             two_cycle_mul: false,
+            json: false,
             microcode: false,
             verilog: false,
             testbench: false,
@@ -929,6 +1108,151 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve() {
+        let c = parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:8080",
+            "--workers",
+            "3",
+            "--queue-cap",
+            "16",
+            "--cache-cap",
+            "100",
+            "--deadline-ms",
+            "250",
+            "--access-log",
+            "access.jsonl",
+            "-q",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "0.0.0.0:8080".into(),
+                workers: 3,
+                queue_cap: 16,
+                cache_cap: 100,
+                deadline_ms: Some(250),
+                access_log: Some("access.jsonl".into()),
+                quiet: true,
+            }
+        );
+        // Defaults match ServeConfig so the CLI and library agree.
+        let d = ServeConfig::default();
+        match parse(&["serve"]).unwrap() {
+            Command::Serve {
+                addr,
+                workers,
+                queue_cap,
+                cache_cap,
+                deadline_ms,
+                access_log,
+                quiet,
+            } => {
+                assert_eq!(addr, d.addr);
+                assert_eq!(workers, d.workers);
+                assert_eq!(queue_cap, d.queue_cap);
+                assert_eq!(cache_cap, d.cache_cap);
+                assert_eq!(deadline_ms, d.default_deadline_ms);
+                assert_eq!(access_log, None);
+                assert!(!quiet);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&["serve", "--workers", "many"])
+            .unwrap_err()
+            .contains("invalid --workers"));
+        assert!(parse(&["serve", "--cs", "4"])
+            .unwrap_err()
+            .contains("unknown serve flag"));
+    }
+
+    #[test]
+    fn parses_json_flag() {
+        match parse(&["schedule", "x.dfg", "--cs", "4", "--json"]).unwrap() {
+            Command::Schedule { json, .. } => assert!(json),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&["synth", "x.dfg", "--cs", "4", "--json"]).unwrap() {
+            Command::Synth { json, .. } => assert!(json),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_mode_rejects_conflicting_flags() {
+        let dir = std::env::temp_dir().join("mfhls-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("toy.dfg");
+        std::fs::write(&file, "input a, b\nop p = mul(a, b)\nop q = add(p, b)\n").unwrap();
+        let path = file.to_string_lossy().to_string();
+        let err = run(Command::Schedule {
+            file: path.clone(),
+            cs: 2,
+            resource: true,
+            limits: vec![],
+            chain: None,
+            latency: None,
+            two_cycle_mul: false,
+            json: true,
+            svg: None,
+            tel: Telemetry::default(),
+        })
+        .unwrap_err();
+        assert!(err.contains("--resource"), "{err}");
+        let err = run(Command::Synth {
+            file: path.clone(),
+            cs: 3,
+            style2: false,
+            weights: None,
+            lib: None,
+            two_cycle_mul: false,
+            json: true,
+            microcode: true,
+            verilog: false,
+            testbench: false,
+            check: false,
+            svg: None,
+            vcd: None,
+            tel: Telemetry::default(),
+        })
+        .unwrap_err();
+        assert!(err.contains("--microcode"), "{err}");
+        // The happy path prints the stats JSON and succeeds.
+        run(Command::Schedule {
+            file: path.clone(),
+            cs: 2,
+            resource: false,
+            limits: vec![],
+            chain: None,
+            latency: None,
+            two_cycle_mul: false,
+            json: true,
+            svg: None,
+            tel: Telemetry::default(),
+        })
+        .unwrap();
+        run(Command::Synth {
+            file: path,
+            cs: 3,
+            style2: false,
+            weights: None,
+            lib: None,
+            two_cycle_mul: false,
+            json: true,
+            microcode: false,
+            verilog: false,
+            testbench: false,
+            check: false,
+            svg: None,
+            vcd: None,
+            tel: Telemetry::default(),
+        })
+        .unwrap();
+    }
+
+    #[test]
     fn parses_telemetry_flags() {
         let c = parse(&[
             "synth",
@@ -972,6 +1296,7 @@ mod tests {
             chain: None,
             latency: None,
             two_cycle_mul: false,
+            json: false,
             svg: None,
             tel: Telemetry {
                 trace: Some(trace.to_string_lossy().to_string()),

@@ -39,6 +39,7 @@ pub use hls_dfg as dfg;
 pub use hls_explore as explore;
 pub use hls_rtl as rtl;
 pub use hls_schedule as schedule;
+pub use hls_serve as serve;
 pub use hls_sim as sim;
 pub use hls_telemetry as telemetry;
 pub use moveframe;
@@ -59,6 +60,7 @@ pub mod prelude {
         render_schedule, verify, verify_traced, CStep, Schedule, ScheduleStats, TimeFrames,
         VerifyOptions,
     };
+    pub use hls_serve::{ServeConfig, Server};
     pub use hls_sim::{check_equivalence, interpret, random_inputs, simulate};
     pub use hls_telemetry::{
         chrome_trace, Instrument, JsonlSink, MemorySink, Metrics, NullSink, TraceEvent, TraceSink,
@@ -69,5 +71,5 @@ pub mod prelude {
     pub use moveframe::pipeline::{
         pipelined_fu_counts, schedule_structural, schedule_structural_traced, schedule_two_instance,
     };
-    pub use moveframe::{MfsObjective, MoveFrameError};
+    pub use moveframe::{CancelToken, MfsObjective, MoveFrameError};
 }

@@ -1,0 +1,132 @@
+//! Malformed-input battery: every broken `.dfg` text must surface as a
+//! typed [`DfgError`] from the parser and as an HTTP 400 from a live
+//! `hls-serve` daemon — never as a panic, a hang, or a 5xx.
+
+mod common;
+
+use moveframe_hls::dfg::DfgError;
+use moveframe_hls::prelude::*;
+
+/// Rough shape of the expected parser error, so the battery pins the
+/// *category* of each failure without over-fitting message text.
+enum Expect {
+    Parse,
+    UnknownSignal,
+    Duplicate,
+    Empty,
+    /// Any error is fine; the case exists for the 400 side.
+    AnyError,
+}
+
+fn cases() -> Vec<(&'static str, &'static str, Expect)> {
+    vec![
+        (
+            "undeclared operand",
+            "input a\nop q = add(a, missing)\n",
+            Expect::UnknownSignal,
+        ),
+        (
+            "forward reference",
+            "input a\nop p = add(q, a)\nop q = add(p, a)\n",
+            Expect::UnknownSignal,
+        ),
+        ("wrong arity", "input a\nop q = add(a)\n", Expect::Parse),
+        (
+            "unknown op kind",
+            "input a, b\nop q = frobnicate(a, b)\n",
+            Expect::Parse,
+        ),
+        (
+            "missing close paren",
+            "input a, b\nop q = add(a, b\n",
+            Expect::Parse,
+        ),
+        (
+            "missing op name",
+            "input a, b\nop add(a, b)\n",
+            Expect::Parse,
+        ),
+        (
+            "duplicate input",
+            "input a\ninput a\nop q = inc(a)\n",
+            Expect::Duplicate,
+        ),
+        (
+            "duplicate op name",
+            "input a, b\nop q = add(a, b)\nop q = mul(a, b)\n",
+            Expect::AnyError,
+        ),
+        ("no operations", "input a, b\n", Expect::Empty),
+        ("empty text", "", Expect::Empty),
+        ("free-form garbage", "garbage !!\n", Expect::Parse),
+        (
+            "bad constant value",
+            "input a\nconst k = many\nop q = add(a, k)\n",
+            Expect::Parse,
+        ),
+        (
+            "bad branch annotation",
+            "input a, b\nop q = add(a, b) @branch(zero)\n",
+            Expect::Parse,
+        ),
+    ]
+}
+
+#[test]
+fn parser_reports_typed_errors_without_panicking() {
+    for (name, text, expect) in cases() {
+        let err = parse_dfg(text).unwrap_err();
+        let ok = match expect {
+            Expect::Parse => matches!(err, DfgError::Parse { .. }),
+            Expect::UnknownSignal => matches!(err, DfgError::UnknownSignal(_)),
+            Expect::Duplicate => matches!(err, DfgError::DuplicateName(_)),
+            Expect::Empty => matches!(err, DfgError::Empty),
+            Expect::AnyError => true,
+        };
+        assert!(ok, "{name}: unexpected error {err:?}");
+        assert!(!err.to_string().is_empty(), "{name}: blank message");
+    }
+}
+
+#[test]
+fn server_answers_400_for_every_malformed_input() {
+    let server = common::start(common::ephemeral_config());
+    let addr = server.local_addr();
+    for (name, text, _) in cases() {
+        let (status, body) = common::post(addr, "/schedule?cs=4", text.as_bytes());
+        assert_eq!(status, 400, "{name}: {body}");
+        assert!(body.starts_with("{\"error\":\""), "{name}: {body}");
+    }
+    // Malformed inputs must not degrade the daemon: a valid request
+    // straight after the battery still schedules.
+    let (status, body) = common::post(addr, "/schedule", br#"{"benchmark":"diffeq","cs":4}"#);
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn malformed_json_jobs_are_400_too() {
+    let server = common::start(common::ephemeral_config());
+    let addr = server.local_addr();
+    for (name, body) in [
+        ("broken JSON", "{broken"),
+        ("nested value", r#"{"benchmark":"diffeq","cs":{"n":4}}"#),
+        ("unknown benchmark", r#"{"benchmark":"nope","cs":4}"#),
+        (
+            "dfg and benchmark",
+            r#"{"dfg":"input a","benchmark":"diffeq","cs":4}"#,
+        ),
+        ("neither dfg nor benchmark", r#"{"cs":4}"#),
+        ("missing cs", r#"{"benchmark":"diffeq"}"#),
+        (
+            "bad deadline",
+            r#"{"benchmark":"diffeq","cs":4,"deadline_ms":"soon"}"#,
+        ),
+    ] {
+        let (status, reply) = common::post(addr, "/schedule", body.as_bytes());
+        assert_eq!(status, 400, "{name}: {reply}");
+    }
+    server.shutdown();
+    server.join();
+}

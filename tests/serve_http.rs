@@ -1,0 +1,143 @@
+//! End-to-end daemon tests over real sockets: endpoints, warm-cache
+//! reuse, queue backpressure, and graceful drain-and-shutdown.
+
+mod common;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use moveframe_hls::prelude::*;
+
+const DIFFEQ_JOB: &[u8] = br#"{"benchmark":"diffeq","cs":4}"#;
+
+#[test]
+fn endpoints_answer_over_a_real_socket() {
+    let server = common::start(common::ephemeral_config());
+    let addr = server.local_addr();
+
+    let (status, body) = common::get(addr, "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, body) = common::get(addr, "/");
+    assert_eq!(status, 200);
+    assert!(body.contains("POST /schedule"), "{body}");
+
+    assert_eq!(common::get(addr, "/nothing-here").0, 404);
+    assert_eq!(common::post(addr, "/healthz", b"").0, 405);
+
+    let (status, body) = common::get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("# TYPE serve_requests counter"), "{body}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn repeat_requests_hit_the_warm_cache() {
+    let server = common::start(common::ephemeral_config());
+    let addr = server.local_addr();
+
+    let (status, first) = common::post(addr, "/schedule", DIFFEQ_JOB);
+    assert_eq!(status, 200, "{first}");
+    let (status, second) = common::post(addr, "/schedule", DIFFEQ_JOB);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "warm answer must be byte-identical");
+
+    let m = server.app().metrics_snapshot();
+    assert_eq!(m.counter("serve.jobs.cold"), 1);
+    assert_eq!(m.counter("serve.jobs.warm"), 1);
+    assert_eq!(m.counter("serve.cache.results.hits"), 1);
+    assert_eq!(m.counter("serve.cache.results.misses"), 1);
+
+    server.shutdown();
+    server.join();
+}
+
+/// A connection that has been accepted but never sends its request:
+/// it pins a worker (or a queue slot) until dropped or timed out.
+fn stalled_connection(addr: std::net::SocketAddr) -> TcpStream {
+    TcpStream::connect(addr).expect("connect")
+}
+
+#[test]
+fn overload_answers_429_and_the_pool_recovers() {
+    let server = common::start(ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        read_timeout_ms: 2000,
+        ..common::ephemeral_config()
+    });
+    let addr = server.local_addr();
+
+    // Pin the single worker on a connection that never speaks, then
+    // fill the one queue slot with a second mute connection.
+    let pinned = stalled_connection(addr);
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = stalled_connection(addr);
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The queue is full: the acceptor must answer 429 inline.
+    let (status, body) = common::get(addr, "/healthz");
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("queue"), "{body}");
+
+    // Release the stalled connections; the worker sheds them as read
+    // errors and the daemon keeps serving.
+    drop(pinned);
+    drop(queued);
+    let mut recovered = false;
+    for _ in 0..40 {
+        std::thread::sleep(Duration::from_millis(50));
+        if let (200, _) = common::get(addr, "/healthz") {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "pool did not recover after overload");
+    assert!(
+        server
+            .app()
+            .metrics_snapshot()
+            .counter("serve.queue.rejected")
+            >= 1
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_admitted_requests() {
+    let server = common::start(ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        read_timeout_ms: 2000,
+        ..common::ephemeral_config()
+    });
+    let addr = server.local_addr();
+
+    // Pin the worker, then enqueue a complete request behind it.
+    let pinned = stalled_connection(addr);
+    std::thread::sleep(Duration::from_millis(150));
+    let mut queued = TcpStream::connect(addr).expect("connect");
+    queued
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("write");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Shutdown stops admission but must answer what was admitted.
+    server.shutdown();
+    drop(pinned);
+    let mut raw = Vec::new();
+    std::io::Read::read_to_end(&mut queued, &mut raw).expect("read");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.ends_with("ok\n"), "{text}");
+
+    server.join();
+
+    // After join the listener is gone.
+    assert!(TcpStream::connect(addr).is_err(), "listener still up");
+}
