@@ -84,23 +84,29 @@ impl AppState {
         &self.engine
     }
 
+    /// The shared registry, recovering from poison: a caught panic in
+    /// one request must not take the metrics (and with them every later
+    /// request) down for the life of the daemon.
+    fn locked_metrics(&self) -> std::sync::MutexGuard<'_, Metrics> {
+        self.metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Adds `by` to counter `name` in the shared registry.
     pub fn inc(&self, name: String, by: u64) {
-        self.metrics.lock().expect("metrics lock").inc(name, by);
+        self.locked_metrics().inc(name, by);
     }
 
     /// Records `value` into histogram `name` in the shared registry.
     pub fn observe(&self, name: &'static str, value: u64) {
-        self.metrics
-            .lock()
-            .expect("metrics lock")
-            .observe(name, value);
+        self.locked_metrics().observe(name, value);
     }
 
     /// A snapshot of the shared registry plus the engine's cache
     /// hit/miss/evict totals (`serve.cache.*`).
     pub fn metrics_snapshot(&self) -> Metrics {
-        let mut m = self.metrics.lock().expect("metrics lock").clone();
+        let mut m = self.locked_metrics().clone();
         let r = self.engine.cache().results_stats();
         let f = self.engine.cache().frames_stats();
         m.inc("serve.cache.results.hits", r.hits);
@@ -255,7 +261,11 @@ pub fn parse_job(req: &Request) -> Result<Job, String> {
             point.pipeline_ops.insert(op);
         }
     }
-    point.clock = get_u32("chain")?;
+    point.clock = match get_u32("chain")? {
+        // ClockPeriod::new panics on zero; reject it here as a 400.
+        Some(0) => return Err("`chain` (clock period in ns) must be at least 1".into()),
+        other => other,
+    };
     point.latency = get_u32("latency")?;
     match get_u32("style")? {
         None | Some(1) => {}
@@ -365,7 +375,7 @@ pub fn run_job(state: &AppState, job: &Job, enqueued: Instant) -> Response {
                     .engine
                     .schedule_point(&job.dfg, &job.spec, &job.point, &cancel, &mut instr)
             };
-            state.metrics.lock().expect("metrics lock").merge(&metrics);
+            state.locked_metrics().merge(&metrics);
             state.inc(
                 if warm {
                     "serve.jobs.warm".into()
@@ -384,60 +394,63 @@ pub fn run_job(state: &AppState, job: &Job, enqueued: Instant) -> Response {
             // cache does not keep — run the scheduler directly.
             let mut sink = NullSink;
             let mut metrics = Metrics::new();
-            let mut instr = Instrument::new(&mut sink, &mut metrics);
             let point = &job.point;
-            let rendered = match point.algorithm {
-                Algorithm::Mfs => {
-                    let mut config =
-                        MfsConfig::time_constrained(point.cs).with_cancel(cancel.clone());
-                    for (&class, &limit) in &point.fu_limits {
-                        config = config.with_fu_limit(class, limit);
+            let rendered = {
+                let mut instr = Instrument::new(&mut sink, &mut metrics);
+                match point.algorithm {
+                    Algorithm::Mfs => {
+                        let mut config =
+                            MfsConfig::time_constrained(point.cs).with_cancel(cancel.clone());
+                        for (&class, &limit) in &point.fu_limits {
+                            config = config.with_fu_limit(class, limit);
+                        }
+                        if let Some(clock) = point.clock {
+                            config = config.with_chaining(ClockPeriod::new(clock));
+                        }
+                        if let Some(l) = point.latency {
+                            config = config.with_latency(l);
+                        }
+                        mfs::schedule_traced(&job.dfg, &job.spec, &config, &mut instr)
+                            .map(|out| render_schedule(&job.dfg, &out.schedule, &job.spec))
+                            .map_err(|e| e.to_string())
                     }
-                    if let Some(clock) = point.clock {
-                        config = config.with_chaining(ClockPeriod::new(clock));
+                    Algorithm::Mfsa => {
+                        let mut config = MfsaConfig::new(point.cs, Library::ncr_like())
+                            .with_cancel(cancel.clone())
+                            .with_style(if point.style == 2 {
+                                DesignStyle::NoSelfLoop
+                            } else {
+                                DesignStyle::Unrestricted
+                            });
+                        if let Some((time, alu, mux, reg)) = point.weights {
+                            config = config.with_weights(Weights {
+                                time,
+                                alu,
+                                mux,
+                                reg,
+                            });
+                        }
+                        if let Some(clock) = point.clock {
+                            config = config.with_chaining(ClockPeriod::new(clock));
+                        }
+                        if let Some(l) = point.latency {
+                            config = config.with_latency(l);
+                        }
+                        mfsa::schedule_traced(&job.dfg, &job.spec, &config, &mut instr)
+                            .map(|out| {
+                                format!(
+                                    "{}{}{}\n",
+                                    render_schedule(&job.dfg, &out.schedule, &job.spec),
+                                    out.datapath,
+                                    out.cost
+                                )
+                            })
+                            .map_err(|e| e.to_string())
                     }
-                    if let Some(l) = point.latency {
-                        config = config.with_latency(l);
-                    }
-                    mfs::schedule_traced(&job.dfg, &job.spec, &config, &mut instr)
-                        .map(|out| render_schedule(&job.dfg, &out.schedule, &job.spec))
-                        .map_err(|e| e.to_string())
+                    other => Err(format!("emit=text supports alg=mfs|mfsa, not {other}")),
                 }
-                Algorithm::Mfsa => {
-                    let mut config = MfsaConfig::new(point.cs, Library::ncr_like())
-                        .with_cancel(cancel.clone())
-                        .with_style(if point.style == 2 {
-                            DesignStyle::NoSelfLoop
-                        } else {
-                            DesignStyle::Unrestricted
-                        });
-                    if let Some((time, alu, mux, reg)) = point.weights {
-                        config = config.with_weights(Weights {
-                            time,
-                            alu,
-                            mux,
-                            reg,
-                        });
-                    }
-                    if let Some(clock) = point.clock {
-                        config = config.with_chaining(ClockPeriod::new(clock));
-                    }
-                    if let Some(l) = point.latency {
-                        config = config.with_latency(l);
-                    }
-                    mfsa::schedule_traced(&job.dfg, &job.spec, &config, &mut instr)
-                        .map(|out| {
-                            format!(
-                                "{}{}{}\n",
-                                render_schedule(&job.dfg, &out.schedule, &job.spec),
-                                out.datapath,
-                                out.cost
-                            )
-                        })
-                        .map_err(|e| e.to_string())
-                }
-                other => Err(format!("emit=text supports alg=mfs|mfsa, not {other}")),
             };
+            state.locked_metrics().merge(&metrics);
             match rendered {
                 Ok(text) => Response::text(200, text),
                 Err(e) if e.starts_with("emit=text") => Response::error(400, &e),
@@ -524,14 +537,16 @@ mod tests {
             ("/schedule?cs=2", "{\"benchmark\":\"nope\",\"cs\":2}"),
             ("/schedule?cs=2", "{\"cs\":2}"),
             ("/schedule?cs=2", "{broken json"),
-            ("/schedule", TOY),                       // missing cs
-            ("/schedule?cs=0", TOY),                  // zero cs
-            ("/schedule?cs=2&alg=bogus", TOY),        // unknown algorithm
-            ("/schedule?cs=2&limit=mul", TOY),        // malformed limit
-            ("/schedule?cs=2&emit=yaml", TOY),        // unknown emit
-            ("/schedule?cs=2&weights=1,2", TOY),      // short weights
-            ("/schedule?cs=2&style=7", TOY),          // unknown style
-            ("/schedule?cs=2&deadline_ms=soon", TOY), // bad deadline
+            ("/schedule", TOY),                        // missing cs
+            ("/schedule?cs=0", TOY),                   // zero cs
+            ("/schedule?cs=2&alg=bogus", TOY),         // unknown algorithm
+            ("/schedule?cs=2&limit=mul", TOY),         // malformed limit
+            ("/schedule?cs=2&emit=yaml", TOY),         // unknown emit
+            ("/schedule?cs=2&weights=1,2", TOY),       // short weights
+            ("/schedule?cs=2&chain=0", TOY),           // zero clock period
+            ("/schedule?cs=2&chain=0&emit=text", TOY), // ... on the uncached path too
+            ("/schedule?cs=2&style=7", TOY),           // unknown style
+            ("/schedule?cs=2&deadline_ms=soon", TOY),  // bad deadline
         ] {
             let r = handle(&s, &request("POST", target, body), now);
             assert_eq!(r.status, 400, "{target} {body:?}");
@@ -588,6 +603,11 @@ mod tests {
             now,
         );
         assert_eq!(bad.status, 400);
+        // The uncached text path must feed the shared registry too:
+        // /metrics would otherwise undercount emit=text scheduler runs.
+        let m = s.metrics_snapshot();
+        assert!(m.counter("mfs.frames_computed") >= 1, "{m:?}");
+        assert!(m.counter("mfsa.moves_committed") >= 1, "{m:?}");
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
         _ => return Err(HttpError::BadRequest("expected an HTTP/1.x version".into())),
     }
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -98,11 +98,20 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
             ));
         }
         if name == "content-length" {
-            content_length = value
+            let parsed = value
                 .parse()
                 .map_err(|_| HttpError::BadRequest("invalid Content-Length".into()))?;
+            // RFC 7230 §3.3.2: conflicting Content-Length values make
+            // the framing ambiguous and must be rejected.
+            if content_length.is_some() && content_length != Some(parsed) {
+                return Err(HttpError::BadRequest(
+                    "conflicting Content-Length headers".into(),
+                ));
+            }
+            content_length = Some(parsed);
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(HttpError::TooLarge);
     }
@@ -294,6 +303,18 @@ mod tests {
             parse(b"POST /x HTTP/1.1\r\nContent-Length: nine\r\n\r\n"),
             Err(HttpError::BadRequest(_))
         ));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhello"),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Duplicates that agree are harmless and accepted.
+        let r = parse(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        assert_eq!(r.body, b"hello");
     }
 
     #[test]

@@ -112,7 +112,16 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
                     while let Some((stream, enqueued)) = shared.queue.pop() {
-                        handle_connection(&shared, stream, enqueued);
+                        // Backstop: a panic that escapes the handler's
+                        // own catch_unwind (response writing, logging)
+                        // must not shrink the worker pool.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                handle_connection(&shared, stream, enqueued)
+                            }));
+                        if outcome.is_err() {
+                            shared.app.inc("serve.panics".into(), 1);
+                        }
                     }
                 })
             })
@@ -184,11 +193,23 @@ fn reject_overload(shared: &Shared, mut stream: TcpStream) {
     let _ = response.write_to(&mut stream);
     // Drain whatever the client already sent before closing: dropping a
     // socket with unread data makes the kernel RST the connection,
-    // which can discard the 429 before the peer reads it.
+    // which can discard the 429 before the peer reads it. The drain is
+    // bounded in bytes and wall clock — this runs on the acceptor
+    // thread, and a client streaming an endless body must not stall
+    // every new accept.
+    const DRAIN_MAX_BYTES: usize = 64 * 1024;
+    const DRAIN_MAX_WAIT: Duration = Duration::from_millis(200);
     let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let drain_started = Instant::now();
     let mut scratch = [0u8; 4096];
-    while matches!(io::Read::read(&mut stream, &mut scratch), Ok(n) if n > 0) {}
+    let mut drained = 0usize;
+    while drained < DRAIN_MAX_BYTES && drain_started.elapsed() < DRAIN_MAX_WAIT {
+        match io::Read::read(&mut stream, &mut scratch) {
+            Ok(n) if n > 0 => drained += n,
+            _ => break,
+        }
+    }
     shared.app.inc("serve.queue.rejected".into(), 1);
     record(shared, "?", "?", &response, started);
 }
@@ -200,7 +221,16 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, enqueued: Instant) 
     let _ = stream.set_write_timeout(Some(timeout));
     let (method, path, response) = match read_request(&mut stream, shared.max_body_bytes) {
         Ok(request) => {
-            let response = api::handle(&shared.app, &request, enqueued);
+            // A panic in parsing/scheduling answers 500 instead of
+            // unwinding through the worker thread: the pool must keep
+            // its full size no matter what a request does.
+            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                api::handle(&shared.app, &request, enqueued)
+            }))
+            .unwrap_or_else(|_| {
+                shared.app.inc("serve.panics".into(), 1);
+                Response::error(500, "internal error")
+            });
             (request.method, request.path, response)
         }
         Err(HttpError::TooLarge) => (
@@ -227,7 +257,12 @@ fn record(shared: &Shared, method: &str, path: &str, response: &Response, starte
     shared.app.inc("serve.requests".into(), 1);
     shared.app.inc(format!("serve.http.{}", response.status), 1);
     shared.app.observe("serve.request.wall_ns", dur_ns);
-    let mut sink = shared.sink.lock().expect("sink lock");
+    // Recover a poisoned lock: a panic in one access-log write must not
+    // take logging (or the worker that trips over it) down with it.
+    let mut sink = shared
+        .sink
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if sink.enabled() {
         sink.record(TraceEvent::HttpRequest {
             method: method.into(),

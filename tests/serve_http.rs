@@ -108,6 +108,35 @@ fn overload_answers_429_and_the_pool_recovers() {
     server.join();
 }
 
+/// Regression: `chain=0` used to reach `ClockPeriod::new` and panic in
+/// the worker; with no panic isolation each such request permanently
+/// killed one worker. It must answer 400, and firing more of them than
+/// there are workers must leave the pool fully serviceable.
+#[test]
+fn chain_zero_is_400_and_never_kills_a_worker() {
+    let server = common::start(ServeConfig {
+        workers: 2,
+        ..common::ephemeral_config()
+    });
+    let addr = server.local_addr();
+
+    for _ in 0..4 {
+        let (status, body) = common::post(
+            addr,
+            "/schedule",
+            br#"{"benchmark":"diffeq","cs":4,"chain":0}"#,
+        );
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("chain"), "{body}");
+    }
+    let (status, body) = common::post(addr, "/schedule", DIFFEQ_JOB);
+    assert_eq!(status, 200, "pool degraded after chain=0 battery: {body}");
+    assert_eq!(server.app().metrics_snapshot().counter("serve.panics"), 0);
+
+    server.shutdown();
+    server.join();
+}
+
 #[test]
 fn shutdown_drains_admitted_requests() {
     let server = common::start(ServeConfig {
