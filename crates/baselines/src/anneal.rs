@@ -61,7 +61,9 @@ pub struct AnnealStats {
 /// # Errors
 ///
 /// [`ScheduleError::InfeasibleTime`] when the critical path exceeds
-/// `cs`.
+/// `cs`; [`ScheduleError::MemoryUnsupported`] for graphs with banked
+/// arrays (the annealer's greedy binder invents units on demand and
+/// cannot honour a bank's port limit).
 pub fn anneal_schedule(
     dfg: &Dfg,
     spec: &TimingSpec,
@@ -69,6 +71,9 @@ pub fn anneal_schedule(
     library: &Library,
     params: &AnnealParams,
 ) -> Result<(Schedule, AnnealStats), ScheduleError> {
+    if !dfg.memory().is_empty() {
+        return Err(ScheduleError::MemoryUnsupported);
+    }
     let tf = TimeFrames::compute(dfg, spec, cs)?;
     let cycles: Vec<u32> = dfg
         .node_ids()

@@ -48,7 +48,16 @@ fn bind(dfg: &Dfg, spec: &TimingSpec, starts: &[CStep], cs: u32) -> Schedule {
 }
 
 /// The ASAP baseline: every operation starts as early as possible.
+///
+/// # Errors
+///
+/// [`ScheduleError::MemoryUnsupported`] for graphs with banked arrays:
+/// ASAP binding invents units on demand and cannot honour a bank's
+/// port limit.
 pub fn asap_schedule(dfg: &Dfg, spec: &TimingSpec, cs: u32) -> Result<Schedule, ScheduleError> {
+    if !dfg.memory().is_empty() {
+        return Err(ScheduleError::MemoryUnsupported);
+    }
     let starts = asap(dfg, spec);
     // Check the horizon.
     for (i, &s) in starts.iter().enumerate() {
@@ -69,8 +78,12 @@ pub fn asap_schedule(dfg: &Dfg, spec: &TimingSpec, cs: u32) -> Result<Schedule, 
 /// # Errors
 ///
 /// [`ScheduleError::InfeasibleTime`] when the critical path exceeds
-/// `cs`.
+/// `cs`; [`ScheduleError::MemoryUnsupported`] for graphs with banked
+/// arrays.
 pub fn alap_schedule(dfg: &Dfg, spec: &TimingSpec, cs: u32) -> Result<Schedule, ScheduleError> {
+    if !dfg.memory().is_empty() {
+        return Err(ScheduleError::MemoryUnsupported);
+    }
     let starts = alap(dfg, spec, cs)?;
     Ok(bind(dfg, spec, &starts, cs))
 }

@@ -30,12 +30,17 @@ impl Frame {
 /// # Errors
 ///
 /// [`ScheduleError::InfeasibleTime`] when the critical path exceeds
-/// `cs`.
+/// `cs`; [`ScheduleError::MemoryUnsupported`] for graphs with banked
+/// arrays (FDS binding invents units on demand and cannot honour a
+/// bank's port limit).
 pub fn force_directed_schedule(
     dfg: &Dfg,
     spec: &TimingSpec,
     cs: u32,
 ) -> Result<Schedule, ScheduleError> {
+    if !dfg.memory().is_empty() {
+        return Err(ScheduleError::MemoryUnsupported);
+    }
     let tf = TimeFrames::compute(dfg, spec, cs)?;
     let mut frames: Vec<Frame> = dfg
         .node_ids()

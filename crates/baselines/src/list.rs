@@ -13,6 +13,9 @@ use hls_schedule::{asap, CStep, FuIndex, Schedule, ScheduleError, Slot, UnitId};
 /// ALAP at the `cs_bound` horizon), ties by node id.
 ///
 /// Returns a schedule of minimal-ish length within `cs_bound` steps.
+/// For graphs with banked arrays, each bank's port count is merged
+/// into the limits as a hard cap on its `Mem` class, so the result is
+/// always port-safe.
 ///
 /// ```
 /// use hls_celllib::{OpKind, TimingSpec};
@@ -45,6 +48,19 @@ pub fn list_schedule(
     limits: &BTreeMap<FuClass, u32>,
     cs_bound: u32,
 ) -> Result<Schedule, ScheduleError> {
+    // Bank port counts are implicit hard limits on their Mem classes:
+    // memory graphs stay port-safe even with an empty limit map.
+    let mut limits = limits.clone();
+    for bank in dfg.memory().banks() {
+        let class = FuClass::Mem(bank.id());
+        let cap = limits
+            .get(&class)
+            .copied()
+            .unwrap_or(u32::MAX)
+            .min(bank.ports());
+        limits.insert(class, cap);
+    }
+    let limits = &limits;
     let asap_starts = asap(dfg, spec);
     // Mobility against the bound horizon (for priorities only).
     let alap_starts = hls_schedule::alap(dfg, spec, cs_bound)?;

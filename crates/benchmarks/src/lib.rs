@@ -13,7 +13,10 @@
 //!   paper's Table 1 rows (operator mixes, timing profiles, chaining /
 //!   pipelining features and time-constraint sweeps); and
 //! * a seeded random layered-DAG workload generator ([`generate`]) for
-//!   the scaling benches.
+//!   the scaling benches; and
+//! * memory-access kernels ([`memory`]): an array-coefficient FIR and a
+//!   matrix–vector product whose schedule length is governed by the
+//!   memory bank's port count (the port-sweep experiment).
 //!
 //! Where the original graph is not recoverable (see `DESIGN.md`), the
 //! reconstruction matches the published operation counts and critical
@@ -25,3 +28,4 @@
 pub mod classic;
 pub mod examples;
 pub mod generate;
+pub mod memory;

@@ -1,0 +1,180 @@
+//! Memory-access benchmark kernels: array-based graphs that stress bank
+//! port scheduling.
+//!
+//! Both kernels follow the realistic on-chip-memory pattern: a *fill*
+//! phase stores streamed inputs into a banked array, a *compute* phase
+//! loads them back (possibly many times) and combines them with
+//! operator nodes, and the results are stored into a second array in
+//! the same bank. Stores to one array are serialised by data-ordering
+//! tokens; loads between stores are free to run concurrently — so the
+//! minimum schedule length is a direct function of the bank's port
+//! count, which is exactly what the port-sweep experiment measures.
+
+use hls_celllib::OpKind;
+use hls_dfg::{Dfg, DfgBuilder};
+
+/// A `taps`-tap FIR filter with its coefficients held in a banked
+/// array.
+///
+/// Phase 1 stores the `taps` streamed coefficients into `c[taps]`
+/// (serialised by ordering tokens); phase 2 loads each coefficient
+/// back, multiplies it with its sample input and reduces the products
+/// with an adder tree; the final sum is stored into `y[1]`. With `p`
+/// ports the load phase needs `⌈taps / p⌉` steps, so schedule length
+/// improves monotonically with the port count.
+///
+/// `4·taps` nodes: `taps` stores + `taps` loads + `taps` multiplies +
+/// `taps − 1` additions + 1 result store.
+///
+/// # Panics
+///
+/// Panics if `taps` is zero or `ports` is zero.
+///
+/// ```
+/// let dfg = hls_benchmarks::memory::array_fir(8, 2);
+/// assert_eq!(dfg.node_count(), 32);
+/// assert_eq!(dfg.memory().banks()[0].ports(), 2);
+/// ```
+pub fn array_fir(taps: usize, ports: u32) -> Dfg {
+    assert!(taps >= 1, "a FIR filter needs at least one tap");
+    assert!(ports >= 1, "a bank needs at least one port");
+    let mut b = DfgBuilder::new(format!("array_fir{taps}_p{ports}"));
+    let bank = b.declare_bank("coeff_ram", ports);
+    let c = b.declare_array("c", taps as u32, bank);
+    let y = b.declare_array("y", 1, bank);
+
+    // Fill: stream the coefficients into the array.
+    for i in 0..taps {
+        let ci = b.input(&format!("c{i}"));
+        let idx = b.constant(&format!("ci{i}"), i as i64);
+        b.store(&format!("wc{i}"), c, idx, ci).expect("array_fir");
+    }
+    // Compute: load each coefficient back and form the products.
+    let mut level: Vec<_> = (0..taps)
+        .map(|i| {
+            let x = b.input(&format!("x{i}"));
+            let idx = b.constant(&format!("li{i}"), i as i64);
+            let cv = b.load(&format!("rc{i}"), c, idx).expect("array_fir");
+            b.op(&format!("m{i}"), OpKind::Mul, &[cv, x])
+                .expect("array_fir")
+        })
+        .collect();
+    // Adder tree.
+    let mut n = 0usize;
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    n += 1;
+                    b.op(&format!("a{n}"), OpKind::Add, &[pair[0], pair[1]])
+                        .expect("array_fir")
+                } else {
+                    pair[0]
+                }
+            })
+            .collect();
+    }
+    let zero = b.constant("yi", 0);
+    b.store("wy", y, zero, level[0]).expect("array_fir");
+    b.finish().expect("array_fir is well-formed")
+}
+
+/// An `n × n` matrix–vector product with the vector held in a banked
+/// array.
+///
+/// Phase 1 stores the `n` vector elements into `x[n]`; phase 2 computes
+/// each row sum `y_i = Σ_j m_ij · x[j]`, re-loading every vector
+/// element once per row (`n²` loads), and stores the `n` results into
+/// `y[n]`. The `n²` loads dominate and are limited only by the bank's
+/// port count.
+///
+/// `n² · 2 + (n² − n) + 2n` nodes: `n` fill stores + `n²` loads + `n²`
+/// multiplies + `n(n−1)` additions + `n` result stores.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `ports` is zero.
+///
+/// ```
+/// let dfg = hls_benchmarks::memory::matvec(3, 2);
+/// assert_eq!(dfg.node_count(), 3 + 9 + 9 + 6 + 3);
+/// ```
+pub fn matvec(n: usize, ports: u32) -> Dfg {
+    assert!(n >= 1, "matvec needs at least a 1x1 matrix");
+    assert!(ports >= 1, "a bank needs at least one port");
+    let mut b = DfgBuilder::new(format!("matvec{n}_p{ports}"));
+    let bank = b.declare_bank("vec_ram", ports);
+    let x = b.declare_array("x", n as u32, bank);
+    let y = b.declare_array("y", n as u32, bank);
+
+    for j in 0..n {
+        let xj = b.input(&format!("x{j}"));
+        let idx = b.constant(&format!("xi{j}"), j as i64);
+        b.store(&format!("wx{j}"), x, idx, xj).expect("matvec");
+    }
+    for i in 0..n {
+        let mut terms: Vec<_> = (0..n)
+            .map(|j| {
+                let m = b.input(&format!("m{i}_{j}"));
+                let idx = b.constant(&format!("r{i}i{j}"), j as i64);
+                let xv = b.load(&format!("r{i}x{j}"), x, idx).expect("matvec");
+                b.op(&format!("p{i}_{j}"), OpKind::Mul, &[m, xv])
+                    .expect("matvec")
+            })
+            .collect();
+        let mut k = 0usize;
+        while terms.len() > 1 {
+            terms = terms
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        k += 1;
+                        b.op(&format!("s{i}_{k}"), OpKind::Add, &[pair[0], pair[1]])
+                            .expect("matvec")
+                    } else {
+                        pair[0]
+                    }
+                })
+                .collect();
+        }
+        let idx = b.constant(&format!("yi{i}"), i as i64);
+        b.store(&format!("wy{i}"), y, idx, terms[0])
+            .expect("matvec");
+    }
+    b.finish().expect("matvec is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_fir_shape() {
+        for taps in [1, 4, 8] {
+            let g = array_fir(taps, 2);
+            assert_eq!(g.node_count(), 4 * taps);
+            let mem = g.memory();
+            assert_eq!(mem.banks().len(), 1);
+            assert_eq!(mem.arrays().len(), 2);
+            assert_eq!(mem.array_by_name("c").unwrap().size(), taps as u32);
+        }
+    }
+
+    #[test]
+    fn matvec_shape() {
+        for n in [1, 2, 3] {
+            let g = matvec(n, 2);
+            assert_eq!(g.node_count(), 2 * n * n + (n * n - n) + 2 * n);
+            assert_eq!(g.memory().arrays().len(), 2);
+        }
+    }
+
+    #[test]
+    fn port_count_is_recorded() {
+        for p in [1, 2, 4] {
+            assert_eq!(array_fir(4, p).memory().banks()[0].ports(), p);
+            assert_eq!(matvec(2, p).memory().banks()[0].ports(), p);
+        }
+    }
+}

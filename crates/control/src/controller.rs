@@ -4,11 +4,13 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use hls_celllib::TimingSpec;
-use hls_dfg::{Dfg, NodeKind, SignalSource};
+use hls_dfg::{Dfg, FuClass, NodeKind, SignalSource};
 use hls_rtl::{AluId, Datapath, NetSource};
 use hls_schedule::{CStep, Schedule, UnitId};
 
-use crate::word::{render_word, AluActivity, ControlWord, InputLoad, RegWrite};
+use crate::word::{
+    render_word, AluActivity, ControlWord, InputLoad, MemAccess, RegWrite, WriteSource,
+};
 use crate::ControlError;
 
 /// A horizontal-microcode controller: one [`ControlWord`] per control
@@ -64,9 +66,30 @@ impl Controller {
             order.iter().position(|&s| s == src).map(Some)
         };
 
-        // ALU activities.
+        // ALU activities and memory accesses.
         for id in dfg.node_ids() {
             let slot = schedule.slot(id).ok_or(ControlError::UnboundNode(id))?;
+            if dfg.node(id).kind().is_mem_access() {
+                // A memory access occupies a bank port, not an ALU: the
+                // word records the port's address/data routing and write
+                // enable instead of a function select.
+                let UnitId::Fu {
+                    class: FuClass::Mem(bank),
+                    index,
+                } = slot.unit
+                else {
+                    return Err(ControlError::UnboundNode(id));
+                };
+                let write = matches!(dfg.node(id).kind(), NodeKind::Store { .. });
+                let start = slot.step.get() as usize - 1;
+                words[start].mem.push(MemAccess {
+                    bank,
+                    port: index.get(),
+                    node: id,
+                    write,
+                });
+                continue;
+            }
             let UnitId::Alu { instance } = slot.unit else {
                 return Err(ControlError::UnboundNode(id));
             };
@@ -74,7 +97,7 @@ impl Controller {
             let function = match dfg.node(id).kind() {
                 NodeKind::Op(k) => k,
                 NodeKind::Stage { base, .. } => base,
-                NodeKind::LoopBody { .. } => return Err(ControlError::UnboundNode(id)),
+                _ => return Err(ControlError::UnboundNode(id)),
             };
             let (p1, p2) = datapath
                 .operand_sources(id)
@@ -119,8 +142,16 @@ impl Controller {
                         let slot = schedule
                             .slot(producer)
                             .ok_or(ControlError::UnboundNode(producer))?;
-                        let UnitId::Alu { instance } = slot.unit else {
-                            return Err(ControlError::UnboundNode(producer));
+                        let source = match slot.unit {
+                            UnitId::Alu { instance } => WriteSource::Alu(AluId(instance)),
+                            UnitId::Fu {
+                                class: FuClass::Mem(bank),
+                                index,
+                            } => WriteSource::Mem {
+                                bank,
+                                port: index.get(),
+                            },
+                            UnitId::Fu { .. } => return Err(ControlError::UnboundNode(producer)),
                         };
                         // Latched at the end of the producer's finish
                         // step = span birth − 1.
@@ -128,7 +159,7 @@ impl Controller {
                         if write_step >= 1 && write_step <= cs {
                             words[write_step - 1].writes.push(RegWrite {
                                 register: reg,
-                                source: AluId(instance),
+                                source,
                                 signal: sig,
                             });
                         }
@@ -141,6 +172,7 @@ impl Controller {
         for w in &mut words {
             w.activities.sort_by_key(|a| a.alu);
             w.busy.sort();
+            w.mem.sort_by_key(|m| (m.bank, m.port));
             w.writes.sort_by_key(|x| (x.register, x.signal));
         }
         input_loads.sort_by_key(|l| (l.register, l.signal));

@@ -56,4 +56,4 @@ pub use controller::Controller;
 pub use error::ControlError;
 pub use verify::{verify_controller, ControlViolation};
 pub use verilog::{emit_testbench, emit_verilog};
-pub use word::{AluActivity, ControlWord, InputLoad, RegWrite};
+pub use word::{AluActivity, ControlWord, InputLoad, MemAccess, RegWrite, WriteSource};

@@ -42,6 +42,15 @@ pub enum ControlViolation {
         /// The step (1-based).
         step: u32,
     },
+    /// Two memory accesses issue on the same bank port in one step.
+    MemPortConflict {
+        /// The contended bank.
+        bank: hls_dfg::BankId,
+        /// The contended port (1-based).
+        port: u32,
+        /// The step (1-based).
+        step: u32,
+    },
 }
 
 /// Re-checks a controller against the design it was generated for:
@@ -58,11 +67,14 @@ pub fn verify_controller(
     let _ = spec;
     let mut violations = Vec::new();
 
-    // Issue counts and steps.
+    // Issue counts and steps (ALU activities and memory accesses alike).
     let mut issues: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
     for (i, word) in controller.words().iter().enumerate() {
         for a in &word.activities {
             issues.entry(a.node).or_default().push(i as u32 + 1);
+        }
+        for m in &word.mem {
+            issues.entry(m.node).or_default().push(i as u32 + 1);
         }
     }
     for id in dfg.node_ids() {
@@ -73,6 +85,23 @@ pub fn verify_controller(
                 node: id,
                 issues: steps.len(),
             });
+        }
+    }
+
+    // Bank-port occupancy: one access per port per step.
+    for (i, word) in controller.words().iter().enumerate() {
+        let mut per_port: BTreeMap<(hls_dfg::BankId, u32), usize> = BTreeMap::new();
+        for m in &word.mem {
+            *per_port.entry((m.bank, m.port)).or_insert(0) += 1;
+        }
+        for ((bank, port), n) in per_port {
+            if n > 1 {
+                violations.push(ControlViolation::MemPortConflict {
+                    bank,
+                    port,
+                    step: i as u32 + 1,
+                });
+            }
         }
     }
 

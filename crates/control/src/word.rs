@@ -3,7 +3,7 @@
 use std::fmt;
 
 use hls_celllib::OpKind;
-use hls_dfg::{NodeId, SignalId};
+use hls_dfg::{BankId, NodeId, SignalId};
 use hls_rtl::{AluId, RegId};
 use hls_schedule::CStep;
 
@@ -24,15 +24,54 @@ pub struct AluActivity {
     pub mux2: Option<usize>,
 }
 
+/// What drives a register's write port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteSource {
+    /// An ALU's combinational output.
+    Alu(AluId),
+    /// A memory bank port: the read-data line for loads, the write-data
+    /// line for a store's forwarded value.
+    Mem {
+        /// The bank.
+        bank: BankId,
+        /// The 1-based port.
+        port: u32,
+    },
+}
+
+impl fmt::Display for WriteSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteSource::Alu(a) => write!(f, "{a}"),
+            WriteSource::Mem { bank, port } => write!(f, "{bank}.p{port}"),
+        }
+    }
+}
+
 /// A register write latched at the end of a step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegWrite {
     /// The written register.
     pub register: RegId,
-    /// The ALU whose result is captured.
-    pub source: AluId,
+    /// The unit whose result is captured.
+    pub source: WriteSource,
     /// The signal (value) being stored — for tracing and verification.
     pub signal: SignalId,
+}
+
+/// One memory access issued in a control step: the controller drives the
+/// port's address mux (and, for stores, its write-data mux and write
+/// enable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// The accessed bank.
+    pub bank: BankId,
+    /// The 1-based bank port serving the access.
+    pub port: u32,
+    /// The load/store node.
+    pub node: NodeId,
+    /// Whether this is a store (write enable asserted).
+    pub write: bool,
 }
 
 /// A primary input latched into a register before step 1.
@@ -53,6 +92,8 @@ pub struct ControlWord {
     /// Multi-cycle operations still occupying their ALU (no new
     /// function issued; the ALU holds its computation).
     pub busy: Vec<(AluId, NodeId)>,
+    /// Memory accesses issued this step.
+    pub mem: Vec<MemAccess>,
     /// Register writes latched at the end of this step.
     pub writes: Vec<RegWrite>,
 }
@@ -60,7 +101,10 @@ pub struct ControlWord {
 impl ControlWord {
     /// Whether nothing happens in this step (a pure wait state).
     pub fn is_idle(&self) -> bool {
-        self.activities.is_empty() && self.busy.is_empty() && self.writes.is_empty()
+        self.activities.is_empty()
+            && self.busy.is_empty()
+            && self.mem.is_empty()
+            && self.writes.is_empty()
     }
 }
 
@@ -83,6 +127,10 @@ pub(crate) fn render_word(step: CStep, word: &ControlWord) -> String {
     }
     for (alu, _) in &word.busy {
         parts.push(format!("{alu}:busy"));
+    }
+    for m in &word.mem {
+        let dir = if m.write { "st" } else { "ld" };
+        parts.push(format!("{}.p{}:={dir}", m.bank, m.port));
     }
     for w in &word.writes {
         parts.push(format!("{}<-{}", w.register, w.source));

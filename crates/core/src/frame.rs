@@ -36,6 +36,12 @@ pub struct FrameSnapshot {
     /// Steps of the primary range excluded by already-scheduled
     /// successors: every step strictly above this bound.
     pub latest_feasible: CStep,
+    /// The access-conflict frame `AF`: dependency-feasible steps excluded
+    /// solely because every visible port of the node's memory bank is
+    /// already occupied. Always empty for non-memory classes, where a
+    /// fully-occupied step is an ordinary resource conflict rather than a
+    /// port conflict. `MF = PF − (RF ∪ FF ∪ AF)`.
+    pub af_steps: Vec<CStep>,
     /// The resulting move frame: free, dependency-feasible positions.
     pub movable: Vec<Position>,
 }
@@ -216,14 +222,22 @@ pub(crate) fn compute_move_frame(
     let (earliest, latest) = feasible_step_range(ctx, node);
 
     let mut movable = Vec::new();
+    let mut af_steps = Vec::new();
+    let is_mem = matches!(class, FuClass::Mem(_));
     let mut step = earliest;
     while step <= latest {
         if ctx.dep_feasible(node, step) {
+            let before = movable.len();
             for fu in 1..=current_fu {
                 let fu = FuIndex::new(fu);
                 if grid.is_free_for(ctx.dfg, node, step, fu, cycles) {
                     movable.push(Position { step, fu });
                 }
+            }
+            if is_mem && movable.len() == before {
+                // Every visible port of the bank is taken this step: the
+                // step belongs to the access-conflict frame.
+                af_steps.push(step);
             }
         }
         step = step.offset(1);
@@ -237,6 +251,7 @@ pub(crate) fn compute_move_frame(
         max_fu: grid.max_fu(),
         earliest_feasible: earliest,
         latest_feasible: latest,
+        af_steps,
         movable,
     }
 }

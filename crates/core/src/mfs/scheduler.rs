@@ -191,6 +191,20 @@ pub fn schedule_traced_with_frames(
     };
 
     // Step 2: max_j per class (user constraint, else ASAP/ALAP peak).
+    // A memory bank's declared port count is a *hard* column budget, just
+    // like a user FU limit: the grid never grows past the ports that
+    // physically exist, and local rescheduling can only widen `current_j`
+    // up to it.
+    let hard_limit = |class: FuClass| -> Option<u32> {
+        let user = config.fu_limit(class);
+        match class {
+            FuClass::Mem(bank) => {
+                let ports = dfg.bank_ports(bank);
+                Some(user.map_or(ports, |u| u.min(ports)))
+            }
+            _ => user,
+        }
+    };
     let class_counts = dfg.class_counts();
     let asap_peak = peak_concurrency(dfg, |n| frames.asap(n), |n| eff_cycles[&n], cs);
     let alap_peak = peak_concurrency(dfg, |n| frames.alap(n), |n| eff_cycles[&n], cs);
@@ -202,7 +216,7 @@ pub fn schedule_traced_with_frames(
             .unwrap_or(1)
             .max(alap_peak.get(&class).copied().unwrap_or(1))
             .max(1);
-        max_fu.insert(class, config.fu_limit(class).unwrap_or(derived));
+        max_fu.insert(class, hard_limit(class).unwrap_or(derived));
     }
 
     // The Liapunov weight n: the paper's "presummed big number" upper
@@ -299,6 +313,11 @@ pub fn schedule_traced_with_frames(
                 instr.inc("mfs.frames_computed", 1);
                 instr.inc("mfs.energy_evaluations", snap.movable.len() as u64);
                 instr.observe("mfs.mf_size", snap.movable.len() as u64);
+                if !snap.af_steps.is_empty() {
+                    // Bank-port saturation carved steps out of this frame.
+                    instr.inc("mem.port_conflicts", 1);
+                    instr.inc("mem.af_steps_excluded", snap.af_steps.len() as u64);
+                }
                 if instr.enabled() {
                     let (asap, alap) = snap.primary;
                     // Forbidden steps: [ASAP, earliest) and (latest, ALAP].
@@ -375,11 +394,14 @@ pub fn schedule_traced_with_frames(
                         // go back to step 3.
                         reschedule_count += 1;
                         instr.inc("mfs.local_reschedules", 1);
+                        if matches!(class, FuClass::Mem(_)) {
+                            instr.inc("mem.port_reschedules", 1);
+                        }
                         let cur = current.get_mut(&class).expect("class present");
                         let max = max_fu.get_mut(&class).expect("class present");
                         if *cur < *max {
                             *cur += 1;
-                        } else if config.fu_limit(class).is_none() && *max < growth_bound {
+                        } else if hard_limit(class).is_none() && *max < growth_bound {
                             *max += 1;
                             *cur = *max;
                             grids

@@ -3,10 +3,12 @@
 use std::collections::BTreeMap;
 
 use hls_celllib::{Delay, TimingSpec};
-use hls_dfg::{Dfg, NodeId, NodeKind, SignalId, SignalSource};
+use hls_dfg::{BankId, Dfg, FuClass, NodeId, NodeKind, SignalId, SignalSource};
 use hls_rtl::muxopt::MuxOp;
 use hls_rtl::{AluAllocation, CostReport, Datapath};
-use hls_schedule::{chained_frames, priority_order, CStep, Schedule, Slot, TimeFrames, UnitId};
+use hls_schedule::{
+    chained_frames, priority_order, CStep, FuIndex, Schedule, Slot, TimeFrames, UnitId,
+};
 
 use hls_telemetry::{Instrument, Metrics, NullSink, TraceEvent};
 
@@ -197,6 +199,11 @@ pub fn schedule_traced_with_frames(
                 },
             )));
         }
+        // Memory accesses run on bank ports declared in the graph, not
+        // on library ALUs — no capability check applies.
+        if node.kind().is_mem_access() {
+            continue;
+        }
         let op = base_op(dfg, id);
         if library.alus_supporting(op).next().is_none() {
             return Err(MoveFrameError::NoCapableAlu { node: id });
@@ -226,17 +233,164 @@ pub fn schedule_traced_with_frames(
     let mut sched = Schedule::new(dfg, cs);
     let mut offsets: BTreeMap<NodeId, Delay> = BTreeMap::new();
     let mut instances: Vec<Instance> = Vec::new();
+    // Bank-port occupancy: (bank, 1-based port, wrapped step) → nodes.
+    let mut mem_busy: BTreeMap<(BankId, u32, u32), Vec<NodeId>> = BTreeMap::new();
     let mut reg_est = RegEstimate::new();
     let mut trace = Vec::new();
 
     instr.span("mfsa.move_loop", |instr| {
         for node in order {
             config.cancel().checkpoint()?;
+
+            // Memory accesses: the candidate positions are (step, bank
+            // port) pairs. Ports are free hardware once the bank exists,
+            // so only the time and register terms of the Liapunov
+            // function apply; the declared port count is a hard limit,
+            // which makes every committed schedule port-safe by
+            // construction.
+            if dfg.node(node).kind().is_mem_access() {
+                let FuClass::Mem(bank) = dfg.node(node).kind().fu_class() else {
+                    unreachable!("mem accesses have a Mem class");
+                };
+                let ports = dfg.bank_ports(bank);
+                let (earliest, latest, cycles) = {
+                    let ctx = FrameCtx {
+                        dfg,
+                        spec,
+                        frames: &frames,
+                        schedule: &sched,
+                        clock: config.clock(),
+                        offsets: &offsets,
+                    };
+                    let (e, l) = feasible_step_range(&ctx, node);
+                    (e, l, ctx.effective_cycles(node))
+                };
+                // (total, step, port, f_time, f_reg), min by (total,
+                // step, port).
+                let mut best: Option<(u64, CStep, u32, u64, u64)> = None;
+                let mut n_candidates = 0u64;
+                let mut step = earliest;
+                while step <= latest {
+                    let dep_ok = {
+                        let ctx = FrameCtx {
+                            dfg,
+                            spec,
+                            frames: &frames,
+                            schedule: &sched,
+                            clock: config.clock(),
+                            offsets: &offsets,
+                        };
+                        ctx.dep_feasible(node, step) && step.finish(cycles).get() <= cs
+                    };
+                    if dep_ok {
+                        let f_time = model.f_time(step.get());
+                        let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
+                        let f_reg = model.f_reg(
+                            reg_est
+                                .count_with(&extensions)
+                                .saturating_sub(reg_est.count()),
+                        );
+                        for port in 1..=ports {
+                            let free = (0..cycles as u32).all(|k| {
+                                mem_busy
+                                    .get(&(bank, port, wrap(step.get() + k)))
+                                    .is_none_or(|occ| {
+                                        occ.iter().all(|&o| dfg.mutually_exclusive(node, o))
+                                    })
+                            });
+                            if !free {
+                                continue;
+                            }
+                            n_candidates += 1;
+                            let total = f_time + f_reg;
+                            if instr.enabled() {
+                                instr.emit(TraceEvent::EnergyEvaluated {
+                                    op: node.index() as u32,
+                                    pos: (port, step.get()),
+                                    v: total,
+                                });
+                            }
+                            let better = match best {
+                                None => true,
+                                Some((bt, bs, bp, ..)) => (total, step, port) < (bt, bs, bp),
+                            };
+                            if better {
+                                best = Some((total, step, port, f_time, f_reg));
+                            }
+                        }
+                    }
+                    step = step.offset(1);
+                }
+                instr.inc("mfsa.energy_evaluations", n_candidates);
+                instr.observe("mfsa.candidates", n_candidates);
+                let Some((total, step, port, f_time, f_reg)) = best else {
+                    return Err(MoveFrameError::NoPosition {
+                        node,
+                        class: FuClass::Mem(bank),
+                        max_fu: ports,
+                    });
+                };
+                let offset = {
+                    let ctx = FrameCtx {
+                        dfg,
+                        spec,
+                        frames: &frames,
+                        schedule: &sched,
+                        clock: config.clock(),
+                        offsets: &offsets,
+                    };
+                    ctx.offset_after(node, step)
+                };
+                for k in 0..cycles as u32 {
+                    mem_busy
+                        .entry((bank, port, wrap(step.get() + k)))
+                        .or_default()
+                        .push(node);
+                }
+                sched.assign(
+                    node,
+                    Slot {
+                        step,
+                        unit: UnitId::Fu {
+                            class: FuClass::Mem(bank),
+                            index: FuIndex::new(port),
+                        },
+                    },
+                );
+                offsets.insert(node, offset);
+                let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
+                reg_est.commit(&extensions);
+                instr.inc("mfsa.moves_committed", 1);
+                instr.inc("mfsa.mem_moves", 1);
+                if instr.enabled() {
+                    instr.emit(TraceEvent::MoveCommitted {
+                        op: node.index() as u32,
+                        from: None,
+                        to: (port, step.get()),
+                        v: total,
+                        system_v: None,
+                    });
+                }
+                if config.records_trace() {
+                    trace.push(IterationTrace {
+                        node,
+                        step,
+                        instance: port,
+                        new_instance: false,
+                        f_time,
+                        f_alu: 0,
+                        f_mux: 0,
+                        f_reg,
+                    });
+                }
+                continue;
+            }
+
             let op = base_op(dfg, node);
             let commutative = match dfg.node(node).kind() {
                 NodeKind::Op(k) => k.is_commutative(),
                 NodeKind::Stage { base, index, .. } => index == 0 && base.is_commutative(),
-                NodeKind::LoopBody { .. } => unreachable!("rejected above"),
+                _ => unreachable!("loops rejected above, mem accesses handled above"),
             };
 
             let (earliest, latest, cycles, mux_op) = {
@@ -528,7 +682,7 @@ fn base_op(dfg: &Dfg, node: NodeId) -> hls_celllib::OpKind {
     match dfg.node(node).kind() {
         NodeKind::Op(k) => k,
         NodeKind::Stage { base, .. } => base,
-        NodeKind::LoopBody { .. } => unreachable!("rejected before scheduling"),
+        _ => unreachable!("loops and mem accesses never reach base_op"),
     }
 }
 

@@ -141,6 +141,7 @@ impl fmt::Display for OpMix {
                 (rank, c)
             }
             FuClass::Loop(_) => (7, c),
+            FuClass::Mem(_) => (8, c),
         });
         let mut first = true;
         for (class, count) in entries {

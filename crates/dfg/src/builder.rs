@@ -1,13 +1,24 @@
 //! Fluent construction of data-flow graphs.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use hls_celllib::OpKind;
 
 use crate::graph::LoopRegion;
+use crate::memory::{ArrayDecl, ArrayId, BankDecl, BankId, MemoryDecls};
 use crate::node::{LoopId, Node, NodeId, NodeKind};
 use crate::signal::{BranchArm, BranchId, BranchPath, Signal, SignalId, SignalSource};
 use crate::{Dfg, DfgError};
+
+/// Per-array access-ordering state: the token signals the next access
+/// must consume to preserve RAW/WAW/WAR order.
+#[derive(Debug, Clone, Default)]
+struct MemOrder {
+    /// Output of the latest store (RAW for loads, WAW for stores).
+    last_store: Option<SignalId>,
+    /// Outputs of loads issued since the latest store (WAR for stores).
+    loads_since: Vec<SignalId>,
+}
 
 /// Incremental builder for [`Dfg`] values.
 ///
@@ -43,6 +54,8 @@ pub struct DfgBuilder {
     nodes: Vec<Node>,
     signals: Vec<Signal>,
     loops: Vec<LoopRegion>,
+    memory: MemoryDecls,
+    mem_order: BTreeMap<ArrayId, MemOrder>,
     names: BTreeSet<String>,
     next_branch: u32,
     branch_stack: Vec<BranchArm>,
@@ -57,6 +70,8 @@ impl DfgBuilder {
             nodes: Vec::new(),
             signals: Vec::new(),
             loops: Vec::new(),
+            memory: MemoryDecls::default(),
+            mem_order: BTreeMap::new(),
             names: BTreeSet::new(),
             next_branch: 0,
             branch_stack: Vec::new(),
@@ -157,6 +172,120 @@ impl DfgBuilder {
         Ok(output)
     }
 
+    /// Declares a memory bank with `ports` concurrent access ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is taken or `ports` is zero — banks are
+    /// declared up front like inputs, so either is a programming error
+    /// in the caller's benchmark code.
+    pub fn declare_bank(&mut self, name: &str, ports: u32) -> BankId {
+        assert!(ports >= 1, "bank `{name}` must have at least one port");
+        self.intern_name(name)
+            .unwrap_or_else(|e| panic!("declare_bank: {e}"));
+        let id = BankId(self.memory.banks.len() as u32);
+        self.memory.banks.push(BankDecl {
+            id,
+            name: name.to_string(),
+            ports,
+        });
+        id
+    }
+
+    /// Declares an array of `size` elements living in `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is taken, `size` is zero, or `bank` was not
+    /// declared (see [`DfgBuilder::declare_bank`]).
+    pub fn declare_array(&mut self, name: &str, size: u32, bank: BankId) -> ArrayId {
+        assert!(size >= 1, "array `{name}` must have at least one element");
+        assert!(
+            self.memory.bank(bank).is_some(),
+            "array `{name}` references an undeclared bank"
+        );
+        self.intern_name(name)
+            .unwrap_or_else(|e| panic!("declare_array: {e}"));
+        let id = ArrayId(self.memory.arrays.len() as u32);
+        self.memory.arrays.push(ArrayDecl {
+            id,
+            name: name.to_string(),
+            size,
+            bank,
+        });
+        id
+    }
+
+    /// Adds a `load name = array[index]` node; returns the loaded value's
+    /// signal. Ordering tokens from earlier stores to the same array are
+    /// appended automatically, so accesses can never be reordered across
+    /// a write.
+    ///
+    /// # Errors
+    ///
+    /// [`DfgError::UnknownArray`] if `array` was not declared;
+    /// [`DfgError::DuplicateName`] / [`DfgError::ForeignSignal`] as for
+    /// [`DfgBuilder::op`].
+    pub fn load(
+        &mut self,
+        name: &str,
+        array: ArrayId,
+        index: SignalId,
+    ) -> Result<SignalId, DfgError> {
+        let Some(decl) = self.memory.array(array) else {
+            return Err(DfgError::UnknownArray(array.to_string()));
+        };
+        let bank = decl.bank;
+        let mut inputs = vec![index];
+        let order = self.mem_order.entry(array).or_default();
+        if let Some(tok) = order.last_store {
+            if tok != index {
+                inputs.push(tok);
+            }
+        }
+        let out = self.raw_node(name, NodeKind::Load { array, bank }, &inputs)?;
+        self.mem_order
+            .entry(array)
+            .or_default()
+            .loads_since
+            .push(out);
+        Ok(out)
+    }
+
+    /// Adds a `store array[index] = value` node; returns the store's
+    /// output signal, which carries the stored value and doubles as the
+    /// ordering token for later accesses. Tokens for WAW (previous
+    /// store) and WAR (loads since the previous store) hazards are
+    /// appended automatically.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DfgBuilder::load`].
+    pub fn store(
+        &mut self,
+        name: &str,
+        array: ArrayId,
+        index: SignalId,
+        value: SignalId,
+    ) -> Result<SignalId, DfgError> {
+        let Some(decl) = self.memory.array(array) else {
+            return Err(DfgError::UnknownArray(array.to_string()));
+        };
+        let bank = decl.bank;
+        let mut inputs = vec![index, value];
+        let order = self.mem_order.entry(array).or_default();
+        for tok in order.last_store.iter().chain(order.loads_since.iter()) {
+            if !inputs.contains(tok) {
+                inputs.push(*tok);
+            }
+        }
+        let out = self.raw_node(name, NodeKind::Store { array, bank }, &inputs)?;
+        let order = self.mem_order.entry(array).or_default();
+        order.last_store = Some(out);
+        order.loads_since.clear();
+        Ok(out)
+    }
+
     /// Allocates a fresh conditional construct. Arms are then entered
     /// with [`DfgBuilder::enter_arm`].
     pub fn begin_branch(&mut self) -> BranchId {
@@ -214,7 +343,7 @@ impl DfgBuilder {
     /// [`DfgError::Cycle`] if the dependencies are cyclic (unreachable
     /// through this builder's safe methods, but checked uniformly).
     pub fn finish(self) -> Result<Dfg, DfgError> {
-        Dfg::from_parts(self.name, self.nodes, self.signals, self.loops)
+        Dfg::from_parts(self.name, self.nodes, self.signals, self.loops, self.memory)
     }
 }
 

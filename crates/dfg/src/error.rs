@@ -36,6 +36,21 @@ pub enum DfgError {
     },
     /// A transformation was asked to fold a loop that has no nodes.
     EmptyLoop(crate::LoopId),
+    /// A load or store referenced an array that is not declared.
+    UnknownArray(String),
+    /// An array was bound to a bank that is not declared.
+    UnknownBank(String),
+    /// A constant array index lies outside the declared bounds.
+    IndexOutOfRange {
+        /// The array's name.
+        array: String,
+        /// The offending index.
+        index: i64,
+        /// The declared element count.
+        size: u32,
+    },
+    /// A bank was declared with zero ports.
+    BadPortCount(String),
 }
 
 impl fmt::Display for DfgError {
@@ -67,6 +82,15 @@ impl fmt::Display for DfgError {
             }
             DfgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             DfgError::EmptyLoop(id) => write!(f, "loop {id} contains no nodes"),
+            DfgError::UnknownArray(name) => write!(f, "unknown array `{name}`"),
+            DfgError::UnknownBank(name) => write!(f, "unknown bank `{name}`"),
+            DfgError::IndexOutOfRange { array, index, size } => write!(
+                f,
+                "index {index} is out of range for array `{array}` of size {size}"
+            ),
+            DfgError::BadPortCount(bank) => {
+                write!(f, "bank `{bank}` must have at least one port")
+            }
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::memory::{ArrayDecl, ArrayId, BankDecl, BankId, MemoryDecls};
 use crate::node::{FuClass, LoopId, Node, NodeId, NodeKind};
 use crate::signal::{Signal, SignalId, SignalSource};
 use crate::DfgError;
@@ -51,6 +52,7 @@ pub struct Dfg {
     pub(crate) nodes: Vec<Node>,
     pub(crate) signals: Vec<Signal>,
     pub(crate) loops: Vec<LoopRegion>,
+    pub(crate) memory: MemoryDecls,
     preds: Vec<Vec<NodeId>>,
     succs: Vec<Vec<NodeId>>,
     topo: Vec<NodeId>,
@@ -64,9 +66,22 @@ impl Dfg {
         nodes: Vec<Node>,
         signals: Vec<Signal>,
         loops: Vec<LoopRegion>,
+        memory: MemoryDecls,
     ) -> Result<Self, DfgError> {
         if nodes.is_empty() {
             return Err(DfgError::Empty);
+        }
+        // Memory declarations must be internally sound before any node
+        // can reference them.
+        for bank in &memory.banks {
+            if bank.ports == 0 {
+                return Err(DfgError::BadPortCount(bank.name.clone()));
+            }
+        }
+        for array in &memory.arrays {
+            if memory.bank(array.bank).is_none() {
+                return Err(DfgError::UnknownBank(array.bank.to_string()));
+            }
         }
         // Arity and signal-range checks.
         for node in &nodes {
@@ -98,6 +113,29 @@ impl Dfg {
                 // signals (including none, when the body only reads
                 // loop-carried or constant values).
                 NodeKind::LoopBody { .. } => {}
+                // A load reads [index, ordering tokens…]; a store reads
+                // [index, value, ordering tokens…]. Both must reference
+                // a declared array whose bank matches the node kind.
+                NodeKind::Load { array, bank } | NodeKind::Store { array, bank } => {
+                    let min = if matches!(node.kind, NodeKind::Load { .. }) {
+                        1
+                    } else {
+                        2
+                    };
+                    if node.inputs.len() < min {
+                        return Err(DfgError::ArityMismatch {
+                            node: node.name.clone(),
+                            expected: min,
+                            got: node.inputs.len(),
+                        });
+                    }
+                    let Some(decl) = memory.array(array) else {
+                        return Err(DfgError::UnknownArray(array.to_string()));
+                    };
+                    if decl.bank != bank {
+                        return Err(DfgError::UnknownBank(bank.to_string()));
+                    }
+                }
             }
         }
         // Output back-pointers.
@@ -156,6 +194,7 @@ impl Dfg {
             nodes,
             signals,
             loops,
+            memory,
             preds,
             succs,
             topo,
@@ -284,6 +323,45 @@ impl Dfg {
     /// therefore share an FU in the same control step.
     pub fn mutually_exclusive(&self, a: NodeId, b: NodeId) -> bool {
         self.node(a).excludes(self.node(b))
+    }
+
+    /// The memory declarations (banks and arrays; empty for pure
+    /// operator graphs).
+    pub fn memory(&self) -> &MemoryDecls {
+        &self.memory
+    }
+
+    /// Whether the graph contains memory accesses or declarations.
+    pub fn has_memory(&self) -> bool {
+        !self.memory.is_empty()
+    }
+
+    /// The declaration of `array`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids always come from this
+    /// graph, where every access was validated against the declarations).
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        self.memory.array(id).expect("array id from this graph")
+    }
+
+    /// The declaration of `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (see [`Dfg::array`]).
+    pub fn bank(&self, id: BankId) -> &BankDecl {
+        self.memory.bank(id).expect("bank id from this graph")
+    }
+
+    /// The port count of `bank` — the hard per-step access limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (see [`Dfg::array`]).
+    pub fn bank_ports(&self, id: BankId) -> u32 {
+        self.bank(id).ports
     }
 }
 

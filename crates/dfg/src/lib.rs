@@ -41,6 +41,7 @@ mod builder;
 mod dot;
 mod error;
 mod graph;
+mod memory;
 mod node;
 mod parse;
 mod signal;
@@ -51,6 +52,7 @@ pub use analysis::{CriticalPath, OpMix};
 pub use builder::DfgBuilder;
 pub use error::DfgError;
 pub use graph::{Dfg, LoopRegion};
+pub use memory::{ArrayDecl, ArrayId, BankDecl, BankId, MemoryDecls};
 pub use node::{FuClass, LoopId, Node, NodeId, NodeKind};
 pub use parse::parse_dfg;
 pub use signal::{BranchArm, BranchId, BranchPath, Signal, SignalId, SignalSource};

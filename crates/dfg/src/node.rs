@@ -4,6 +4,7 @@ use std::fmt;
 
 use hls_celllib::{Delay, OpKind, TimingSpec};
 
+use crate::memory::{ArrayId, BankId};
 use crate::signal::{BranchPath, SignalId};
 
 /// Identifier of a [`Node`] within one [`crate::Dfg`].
@@ -67,6 +68,27 @@ pub enum NodeKind {
         /// Its local time constraint in control steps.
         cycles: u8,
     },
+    /// A memory read `load a[i]`: input 0 is the index signal; further
+    /// inputs are ordering tokens from earlier stores to the same array.
+    /// Scheduled on a port of the array's bank ([`FuClass::Mem`]).
+    Load {
+        /// The array being read.
+        array: ArrayId,
+        /// The bank the array lives in (denormalised from the array
+        /// declaration so [`NodeKind::fu_class`] needs no graph access).
+        bank: BankId,
+    },
+    /// A memory write `store a[i] = v`: input 0 is the index signal,
+    /// input 1 the stored value; further inputs are ordering tokens from
+    /// earlier accesses to the same array. The output signal carries the
+    /// stored value (and serves as the ordering token for later
+    /// accesses).
+    Store {
+        /// The array being written.
+        array: ArrayId,
+        /// The bank the array lives in.
+        bank: BankId,
+    },
 }
 
 impl NodeKind {
@@ -84,6 +106,8 @@ impl NodeKind {
             NodeKind::Op(k) => spec.cycles(k),
             NodeKind::Stage { .. } => 1,
             NodeKind::LoopBody { cycles, .. } => cycles,
+            // One step per access: the bank is synchronous single-cycle.
+            NodeKind::Load { .. } | NodeKind::Store { .. } => 1,
         }
     }
 
@@ -94,6 +118,8 @@ impl NodeKind {
             // A pipeline stage occupies a full step by construction.
             NodeKind::Stage { .. } => Delay::ZERO,
             NodeKind::LoopBody { .. } => Delay::ZERO,
+            // Accesses occupy their full step; they never chain.
+            NodeKind::Load { .. } | NodeKind::Store { .. } => Delay::ZERO,
         }
     }
 
@@ -104,7 +130,21 @@ impl NodeKind {
             NodeKind::Op(k) => FuClass::Op(k),
             NodeKind::Stage { base, index, .. } => FuClass::Stage { base, index },
             NodeKind::LoopBody { loop_id, .. } => FuClass::Loop(loop_id),
+            NodeKind::Load { bank, .. } | NodeKind::Store { bank, .. } => FuClass::Mem(bank),
         }
+    }
+
+    /// The accessed array, when the node is a load or store.
+    pub fn array(self) -> Option<ArrayId> {
+        match self {
+            NodeKind::Load { array, .. } | NodeKind::Store { array, .. } => Some(array),
+            _ => None,
+        }
+    }
+
+    /// Whether the node is a memory access (load or store).
+    pub fn is_mem_access(self) -> bool {
+        matches!(self, NodeKind::Load { .. } | NodeKind::Store { .. })
     }
 }
 
@@ -114,6 +154,8 @@ impl fmt::Display for NodeKind {
             NodeKind::Op(k) => write!(f, "{k}"),
             NodeKind::Stage { base, index, of } => write!(f, "{base}#{}/{of}", index + 1),
             NodeKind::LoopBody { loop_id, cycles } => write!(f, "{loop_id}[{cycles}]"),
+            NodeKind::Load { array, .. } => write!(f, "ld:{array}"),
+            NodeKind::Store { array, .. } => write!(f, "st:{array}"),
         }
     }
 }
@@ -135,6 +177,10 @@ pub enum FuClass {
     },
     /// The datapath of a folded loop.
     Loop(LoopId),
+    /// The access ports of a memory bank: "unit" `k` of this class is
+    /// the bank's `k`-th port, and the bank's declared port count is a
+    /// hard column budget (ports cannot be synthesised on demand).
+    Mem(BankId),
 }
 
 impl FuClass {
@@ -143,7 +189,15 @@ impl FuClass {
         match self {
             FuClass::Op(k) => Some(k),
             FuClass::Stage { base, .. } => Some(base),
-            FuClass::Loop(_) => None,
+            FuClass::Loop(_) | FuClass::Mem(_) => None,
+        }
+    }
+
+    /// The bank for `Mem` classes.
+    pub fn bank(self) -> Option<BankId> {
+        match self {
+            FuClass::Mem(b) => Some(b),
+            _ => None,
         }
     }
 }
@@ -154,6 +208,7 @@ impl fmt::Display for FuClass {
             FuClass::Op(k) => write!(f, "{k}"),
             FuClass::Stage { base, index } => write!(f, "{base}#{}", index + 1),
             FuClass::Loop(id) => write!(f, "{id}"),
+            FuClass::Mem(id) => write!(f, "mem:{id}"),
         }
     }
 }

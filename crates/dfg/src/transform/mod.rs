@@ -18,6 +18,7 @@ pub use stages::{expand_structural_stages, StageExpansion};
 use std::collections::BTreeMap;
 
 use crate::graph::LoopRegion;
+use crate::memory::MemoryDecls;
 use crate::node::LoopId;
 use crate::node::{Node, NodeId, NodeKind};
 use crate::signal::{BranchPath, Signal, SignalId, SignalSource};
@@ -29,6 +30,9 @@ pub(crate) struct Rebuilder {
     signals: Vec<Signal>,
     /// old signal id -> new signal id
     sig_map: BTreeMap<SignalId, SignalId>,
+    /// Memory declarations carry over unchanged: transformations remap
+    /// nodes and signals, never banks or arrays.
+    memory: MemoryDecls,
 }
 
 impl Rebuilder {
@@ -39,6 +43,7 @@ impl Rebuilder {
             nodes: Vec::new(),
             signals: Vec::new(),
             sig_map: BTreeMap::new(),
+            memory: dfg.memory().clone(),
         };
         for (sid, sig) in dfg.signals() {
             if sig.is_external() {
@@ -123,6 +128,6 @@ impl Rebuilder {
 
     /// Validates and assembles the rebuilt graph.
     pub(crate) fn finish(self, name: String, loops: Vec<LoopRegion>) -> Result<Dfg, DfgError> {
-        Dfg::from_parts(name, self.nodes, self.signals, loops)
+        Dfg::from_parts(name, self.nodes, self.signals, loops, self.memory)
     }
 }

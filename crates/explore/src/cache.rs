@@ -240,6 +240,7 @@ mod tests {
             fu_cost: 0,
             registers: 0,
             reschedules: 0,
+            mem: Vec::new(),
             mfsa: None,
         }
     }

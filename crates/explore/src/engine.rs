@@ -48,8 +48,40 @@ pub struct PointMetrics {
     pub registers: usize,
     /// Local reschedulings (MFS) — 0 for the other algorithms.
     pub reschedules: u32,
+    /// Per-bank port pressure (memory-aware designs; empty otherwise).
+    pub mem: Vec<BankPressure>,
     /// Present only for MFSA points.
     pub mfsa: Option<MfsaDetail>,
+}
+
+/// Per-bank port pressure of one scheduled point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankPressure {
+    /// The bank's name.
+    pub bank: String,
+    /// Declared port count.
+    pub ports: u32,
+    /// Peak simultaneous per-step access demand over the schedule.
+    pub peak: u32,
+}
+
+/// Per-bank pressure of a schedule (empty for pure operator graphs;
+/// also empty — rather than failing the point — if the bindings are
+/// not analysable, which the schedulers rule out by construction).
+fn mem_pressure(dfg: &Dfg, schedule: &Schedule) -> Vec<BankPressure> {
+    match hls_mem::port_pressure(dfg, schedule) {
+        Ok(p) => dfg
+            .memory()
+            .banks()
+            .iter()
+            .map(|b| BankPressure {
+                bank: b.name().to_string(),
+                ports: b.ports(),
+                peak: p.peak(b.id()),
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    }
 }
 
 /// The outcome of one grid point.
@@ -420,6 +452,7 @@ fn fu_point_metrics(
         fu_cost: mix_area(&counts, library),
         registers: stats.registers,
         reschedules,
+        mem: mem_pressure(dfg, schedule),
         mfsa: None,
     }
 }
@@ -479,6 +512,7 @@ fn run_point(
                     fu_cost: mix_area(&folded, library),
                     registers: stats.registers,
                     reschedules: outcome.reschedule_count,
+                    mem: mem_pressure(&expanded, &outcome.schedule),
                     mfsa: None,
                 })
             }
@@ -513,6 +547,7 @@ fn run_point(
                 fu_cost: out.cost.alu_area.as_u64(),
                 registers: out.cost.reg_count,
                 reschedules: 0,
+                mem: mem_pressure(dfg, &out.schedule),
                 mfsa: Some(MfsaDetail {
                     alus: out.datapath.alu_signature(),
                     total_cost: out.cost.total().as_u64(),

@@ -120,6 +120,16 @@ pub fn dfg_fingerprint(dfg: &Dfg, spec: &TimingSpec) -> u64 {
                 h.write_u32(12);
                 h.write_u32(cycles as u32);
             }
+            hls_dfg::NodeKind::Load { array, bank } => {
+                h.write_u32(13);
+                h.write_u32(array.index() as u32);
+                h.write_u32(bank.index() as u32);
+            }
+            hls_dfg::NodeKind::Store { array, bank } => {
+                h.write_u32(14);
+                h.write_u32(array.index() as u32);
+                h.write_u32(bank.index() as u32);
+            }
         }
         for &sig in node.inputs() {
             h.write_u64(sig.index() as u64);
@@ -143,6 +153,19 @@ pub fn dfg_fingerprint(dfg: &Dfg, spec: &TimingSpec) -> u64 {
         for member in dfg.loop_members(region.id()) {
             h.write_u64(member.index() as u64);
         }
+    }
+
+    // Memory declarations: bank port counts are scheduling resources and
+    // array sizes/placements are behaviour, so both key the cache (names
+    // stay excluded, as for nodes and signals).
+    for bank in dfg.memory().banks() {
+        h.write_u32(21);
+        h.write_u32(bank.ports());
+    }
+    for arr in dfg.memory().arrays() {
+        h.write_u32(22);
+        h.write_u32(arr.size());
+        h.write_u32(arr.bank().index() as u32);
     }
 
     // Timing of every kind in use (the same graph under a different

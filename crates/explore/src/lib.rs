@@ -34,7 +34,8 @@ mod pool;
 
 pub use cache::{CacheStats, ExploreCache, DEFAULT_FRAMES_CAP, DEFAULT_RESULTS_CAP};
 pub use engine::{
-    explore, Engine, ExploreOptions, ExploreReport, MfsaDetail, PointMetrics, PointResult,
+    explore, BankPressure, Engine, ExploreOptions, ExploreReport, MfsaDetail, PointMetrics,
+    PointResult,
 };
 pub use fingerprint::{dfg_fingerprint, Fnv1a};
 pub use gridfile::{parse_grid, GridError};

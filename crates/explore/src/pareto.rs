@@ -106,6 +106,7 @@ mod tests {
                 registers,
                 mix: String::new(),
                 reschedules: 0,
+                mem: Vec::new(),
                 mfsa: None,
             }),
             wall_ns: 0,

@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use hls_celllib::{AluKind, TimingSpec};
-use hls_dfg::{Dfg, NodeId, NodeKind, SignalId, SignalSource};
+use hls_dfg::{BankId, Dfg, FuClass, NodeId, NodeKind, SignalId, SignalSource};
 use hls_schedule::{Schedule, UnitId};
 
 use crate::muxopt::{pack, MuxOp};
@@ -92,6 +92,24 @@ impl MuxInfo {
     }
 }
 
+/// One port of a memory bank with the accesses it serves and the nets
+/// feeding its address and write-data lines. The address mux plays the
+/// same interconnect role as an ALU's operand muxes; the data mux only
+/// exists on ports that serve stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemPort {
+    /// The bank this port belongs to.
+    pub bank: BankId,
+    /// 1-based port number within the bank (≤ the declared port count).
+    pub port: u32,
+    /// Accesses bound to this port, in schedule order.
+    pub accesses: Vec<NodeId>,
+    /// Distinct nets on the address line.
+    pub addr_sources: BTreeSet<NetSource>,
+    /// Distinct nets on the write-data line (stores only).
+    pub data_sources: BTreeSet<NetSource>,
+}
+
 /// A complete RTL data path: ALU instances, registers (via left-edge
 /// allocation) and input multiplexers, derived deterministically from an
 /// ALU-bound schedule.
@@ -100,9 +118,12 @@ pub struct Datapath {
     alus: Vec<AluInstance>,
     regalloc: RegAllocation,
     muxes: Vec<MuxInfo>,
+    /// Memory bank ports with their address/data interconnect.
+    mem_ports: Vec<MemPort>,
     /// Per-op operand orientation chosen by the mux packer.
     swapped: BTreeMap<NodeId, bool>,
-    /// Per-op operand sources `(port1, port2)` after orientation.
+    /// Per-op operand sources `(port1, port2)` after orientation. For a
+    /// load this is `(address, None)`; for a store `(address, data)`.
     op_sources: BTreeMap<NodeId, (NetSource, Option<NetSource>)>,
 }
 
@@ -123,10 +144,25 @@ impl Datapath {
         allocation: &AluAllocation,
         spec: &TimingSpec,
     ) -> Result<Datapath, RtlError> {
-        // Validate bindings and group ops by instance.
+        // Validate bindings and group ops by instance. Memory accesses
+        // keep their FU binding (a bank port); everything else must be
+        // on an ALU.
         let mut ops_of: BTreeMap<AluId, Vec<NodeId>> = BTreeMap::new();
+        let mut accesses_of: BTreeMap<(BankId, u32), Vec<NodeId>> = BTreeMap::new();
         for id in dfg.node_ids() {
             let slot = schedule.slot(id).ok_or(RtlError::UnboundNode(id))?;
+            if dfg.node(id).kind().is_mem_access() {
+                match slot.unit {
+                    UnitId::Fu {
+                        class: FuClass::Mem(bank),
+                        index,
+                    } => {
+                        accesses_of.entry((bank, index.get())).or_default().push(id);
+                    }
+                    _ => return Err(RtlError::NotPortBound(id)),
+                }
+                continue;
+            }
             let instance = match slot.unit {
                 UnitId::Alu { instance } => instance,
                 UnitId::Fu { .. } => return Err(RtlError::NotAluBound(id)),
@@ -138,7 +174,7 @@ impl Datapath {
             let op = match dfg.node(id).kind() {
                 NodeKind::Op(op) => op,
                 NodeKind::Stage { base, .. } => base,
-                NodeKind::LoopBody { .. } => return Err(RtlError::UnsupportedNode(id)),
+                _ => return Err(RtlError::UnsupportedNode(id)),
             };
             if !kind.supports(op) {
                 return Err(RtlError::IncapableAlu { node: id, alu });
@@ -146,6 +182,9 @@ impl Datapath {
             ops_of.entry(alu).or_default().push(id);
         }
         for ops in ops_of.values_mut() {
+            ops.sort_by_key(|&n| (schedule.start(n), n));
+        }
+        for ops in accesses_of.values_mut() {
             ops.sort_by_key(|&n| (schedule.start(n), n));
         }
 
@@ -200,7 +239,7 @@ impl Datapath {
                 let commutative = match node.kind() {
                     NodeKind::Op(k) => k.is_commutative(),
                     NodeKind::Stage { base, index, .. } => index == 0 && base.is_commutative(),
-                    NodeKind::LoopBody { .. } => unreachable!("rejected above"),
+                    _ => unreachable!("rejected above"),
                 };
                 mux_ops.push(MuxOp {
                     left,
@@ -238,13 +277,50 @@ impl Datapath {
             });
         }
 
+        // Bank ports: address (and, for stores, write-data) nets. The
+        // trailing ordering-token inputs of a load/store are dependency
+        // edges only — they never reach hardware.
+        let mut mem_ports = Vec::new();
+        for ((bank, port), accesses) in &accesses_of {
+            let mut addr_sources = BTreeSet::new();
+            let mut data_sources = BTreeSet::new();
+            for &op in accesses {
+                let node = dfg.node(op);
+                let addr = source_of(op, node.inputs()[0])?;
+                addr_sources.insert(addr);
+                let data = match node.kind() {
+                    NodeKind::Store { .. } => {
+                        let d = source_of(op, node.inputs()[1])?;
+                        data_sources.insert(d);
+                        Some(d)
+                    }
+                    _ => None,
+                };
+                op_sources.insert(op, (addr, data));
+            }
+            mem_ports.push(MemPort {
+                bank: *bank,
+                port: *port,
+                accesses: accesses.clone(),
+                addr_sources,
+                data_sources,
+            });
+        }
+
         Ok(Datapath {
             alus,
             regalloc,
             muxes,
+            mem_ports,
             swapped,
             op_sources,
         })
+    }
+
+    /// The memory bank ports, ordered by `(bank, port)`. Empty for
+    /// designs without arrays.
+    pub fn mem_ports(&self) -> &[MemPort] {
+        &self.mem_ports
     }
 
     /// The ALU instances, in id order.
@@ -334,6 +410,15 @@ impl fmt::Display for Datapath {
         )?;
         for alu in &self.alus {
             writeln!(f, "  {} {}: {} op(s)", alu.id, alu.kind, alu.ops.len())?;
+        }
+        for p in &self.mem_ports {
+            writeln!(
+                f,
+                "  {}.p{}: {} access(es)",
+                p.bank,
+                p.port,
+                p.accesses.len()
+            )?;
         }
         Ok(())
     }

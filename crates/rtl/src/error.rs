@@ -38,6 +38,9 @@ pub enum RtlError {
     /// The node kind cannot appear in a data path (folded loop bodies
     /// must be expanded back before RTL generation).
     UnsupportedNode(NodeId),
+    /// A memory access is not bound to a bank port
+    /// ([`hls_schedule::UnitId::Fu`] with a `Mem` class).
+    NotPortBound(NodeId),
 }
 
 impl fmt::Display for RtlError {
@@ -67,6 +70,9 @@ impl fmt::Display for RtlError {
             }
             RtlError::UnsupportedNode(n) => {
                 write!(f, "node {n} cannot be realised in a data path")
+            }
+            RtlError::NotPortBound(n) => {
+                write!(f, "memory access {n} is not bound to a bank port")
             }
         }
     }

@@ -35,7 +35,7 @@ mod source;
 mod verify;
 
 pub use cost::CostReport;
-pub use datapath::{AluAllocation, AluInstance, Datapath, MuxInfo, RegisterInfo};
+pub use datapath::{AluAllocation, AluInstance, Datapath, MemPort, MuxInfo, RegisterInfo};
 pub use error::RtlError;
 pub use source::{AluId, NetSource, RegId};
 pub use verify::{verify_datapath, RtlViolation};

@@ -42,6 +42,18 @@ pub enum RtlViolation {
         /// The consumer.
         consumer: NodeId,
     },
+    /// Two non-exclusive memory accesses execute on the same bank port
+    /// in the same control step.
+    PortConflict {
+        /// First access.
+        a: NodeId,
+        /// Second access.
+        b: NodeId,
+        /// The contended bank.
+        bank: hls_dfg::BankId,
+        /// The contended port.
+        port: u32,
+    },
 }
 
 /// Re-derives every structural requirement of `datapath` from the graph
@@ -97,6 +109,28 @@ pub fn verify_datapath(
         }
     }
 
+    // Bank-port occupancy: single-cycle accesses, so a conflict is two
+    // accesses sharing a step on one port.
+    for p in datapath.mem_ports() {
+        for (i, &a) in p.accesses.iter().enumerate() {
+            for &b in &p.accesses[i + 1..] {
+                if dfg.mutually_exclusive(a, b) {
+                    continue;
+                }
+                if let (Some(sa), Some(sb)) = (schedule.start(a), schedule.start(b)) {
+                    if sa == sb {
+                        violations.push(RtlViolation::PortConflict {
+                            a,
+                            b,
+                            bank: p.bank,
+                            port: p.port,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     // Register life spans must not overlap within a register.
     for (reg, spans) in datapath.register_allocation().iter() {
         for (i, a) in spans.iter().enumerate() {
@@ -118,7 +152,19 @@ pub fn verify_datapath(
         let Some(c_start) = schedule.start(id) else {
             continue;
         };
-        for &sig in node.inputs() {
+        // A memory access's physical operands are its address (and, for
+        // a store, its data); trailing ordering tokens are dependency
+        // edges only and need no storage.
+        let physical_inputs: &[SignalId] = if node.kind().is_mem_access() {
+            let n = match node.kind() {
+                NodeKind::Store { .. } => 2,
+                _ => 1,
+            };
+            &node.inputs()[..n]
+        } else {
+            node.inputs()
+        };
+        for &sig in physical_inputs {
             if let SignalSource::Node(producer) = dfg.signal(sig).source() {
                 let Some(p_finish) = schedule.finish(producer, dfg, spec) else {
                     continue;

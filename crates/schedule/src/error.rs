@@ -32,6 +32,10 @@ pub enum ScheduleError {
         /// The offending node.
         node: NodeId,
     },
+    /// The graph declares banked arrays but the scheduler has no notion
+    /// of memory-port capacity, so any schedule it produced could
+    /// oversubscribe a bank. Port-aware schedulers: MFS, MFSA, list.
+    MemoryUnsupported,
 }
 
 impl fmt::Display for ScheduleError {
@@ -50,6 +54,10 @@ impl fmt::Display for ScheduleError {
             ScheduleError::OpSlowerThanClock { node } => {
                 write!(f, "operation {node} is slower than the clock period")
             }
+            ScheduleError::MemoryUnsupported => write!(
+                f,
+                "this scheduler is memory-port unaware; use mfs, mfsa or list for graphs with banked arrays"
+            ),
         }
     }
 }

@@ -129,7 +129,8 @@ POST a raw .dfg text body with knobs in the query string\n\
 (?alg=mfs&cs=4&limit=mul:2&chain=100&latency=2&style=2&\n\
  weights=1,1,1,1&two_cycle_mul=1&emit=json|text|dot&deadline_ms=N),\n\
 or a flat JSON job: {\"benchmark\":\"diffeq\",\"alg\":\"mfs\",\"cs\":4}\n\
-(benchmarks: diffeq fir ar ewf facet dct8 bandpass; or \"dfg\":\"...\").\n";
+(benchmarks: diffeq fir ar ewf facet dct8 bandpass, and memory\n\
+ kernels array_fir matvec with _p1/_p4 port variants; or \"dfg\":\"...\").\n";
 
 /// Routes one parsed request to its handler.
 pub fn handle(state: &AppState, req: &Request, enqueued: Instant) -> Response {
@@ -158,6 +159,13 @@ pub fn benchmark(name: &str) -> Option<Dfg> {
         "facet" => Some(classic::facet_style()),
         "dct8" => Some(classic::dct8()),
         "bandpass" => Some(classic::bandpass()),
+        // Memory kernels, with 1/2/4-port bank variants.
+        "array_fir" => Some(hls_benchmarks::memory::array_fir(8, 2)),
+        "array_fir_p1" => Some(hls_benchmarks::memory::array_fir(8, 1)),
+        "array_fir_p4" => Some(hls_benchmarks::memory::array_fir(8, 4)),
+        "matvec" => Some(hls_benchmarks::memory::matvec(3, 2)),
+        "matvec_p1" => Some(hls_benchmarks::memory::matvec(3, 1)),
+        "matvec_p4" => Some(hls_benchmarks::memory::matvec(3, 4)),
         _ => None,
     }
 }
@@ -328,6 +336,18 @@ pub fn point_json(point: &DesignPoint, m: &PointMetrics) -> String {
         "\",\"fu_cost\":{},\"registers\":{},\"reschedules\":{}",
         m.fu_cost, m.registers, m.reschedules
     );
+    if !m.mem.is_empty() {
+        s.push_str(",\"mem\":[");
+        for (i, b) in m.mem.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"bank\":\"");
+            json::escape_into(&mut s, &b.bank);
+            let _ = write!(s, "\",\"ports\":{},\"peak\":{}}}", b.ports, b.peak);
+        }
+        s.push(']');
+    }
     if let Some(d) = &m.mfsa {
         s.push_str(",\"alus\":\"");
         json::escape_into(&mut s, &d.alus);
@@ -622,6 +642,64 @@ mod tests {
         let body = String::from_utf8(r.body).unwrap();
         assert!(body.contains("\"alus\":\""), "{body}");
         assert!(body.contains("\"total_cost\":"), "{body}");
+    }
+
+    #[test]
+    fn memory_jobs_report_per_bank_pressure() {
+        let s = state();
+        let now = Instant::now();
+        let job = r#"{"benchmark":"array_fir","alg":"mfsa","cs":28}"#;
+        let r = handle(&s, &request("POST", "/schedule", job), now);
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(
+            body.contains("\"mem\":[{\"bank\":\"coeff_ram\",\"ports\":2,\"peak\":"),
+            "{body}"
+        );
+        // A raw .dfg with banked arrays reports pressure too.
+        let dfg = "input i, v\narray a[8] @ ram(ports=1)\nstore a[i] = v\nload x = a[i]\n";
+        let r = handle(&s, &request("POST", "/schedule?cs=4", dfg), now);
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(
+            body.contains("\"mem\":[{\"bank\":\"ram\",\"ports\":1,"),
+            "{body}"
+        );
+        // Memory-free designs keep the historical shape: no "mem" key.
+        let r = handle(&s, &request("POST", "/schedule?cs=2", TOY), now);
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(!body.contains("\"mem\":"), "{body}");
+    }
+
+    #[test]
+    fn malformed_memory_inputs_are_400_with_typed_messages() {
+        let s = state();
+        let now = Instant::now();
+        for (text, needle) in [
+            (
+                "input v\narray a[4] @ m(ports=1)\nstore a[9] = v\n",
+                "out of range",
+            ),
+            (
+                "input i\narray a[4] @ m(ports=1)\nload v = nope[i]\n",
+                "unknown array",
+            ),
+            (
+                "input i, v\narray a[4] @ ghost\nstore a[i] = v\n",
+                "unknown bank",
+            ),
+            (
+                "input i\nbank ram(ports=0)\narray a[4] @ ram\nload v = a[i]\n",
+                "port",
+            ),
+        ] {
+            let r = handle(&s, &request("POST", "/schedule?cs=4", text), now);
+            assert_eq!(r.status, 400, "{text:?}");
+            let body = String::from_utf8(r.body).unwrap();
+            assert!(body.starts_with("{\"error\":\""), "{body}");
+            assert!(body.contains(needle), "{body} should mention {needle:?}");
+        }
     }
 
     #[test]

@@ -2,11 +2,29 @@
 
 use std::collections::BTreeMap;
 
-use hls_dfg::{Dfg, NodeKind, SignalId, SignalSource};
+use hls_dfg::{ArrayId, Dfg, NodeKind, SignalId, SignalSource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::{eval_op, SimError};
+
+/// Final contents of every declared array, keyed by array id.
+pub type MemoryState = BTreeMap<ArrayId, Vec<i64>>;
+
+/// Zero-initialised backing storage for every declared array.
+pub(crate) fn initial_memory(dfg: &Dfg) -> MemoryState {
+    dfg.memory()
+        .arrays()
+        .iter()
+        .map(|a| (a.id(), vec![0i64; a.size() as usize]))
+        .collect()
+}
+
+/// Euclidean index wrap: arrays behave as circular buffers, matching the
+/// emitted Verilog's `((i % n) + n) % n` addressing on negative indices.
+pub(crate) fn wrap_index(index: i64, size: usize) -> usize {
+    index.rem_euclid(size as i64) as usize
+}
 
 /// Evaluates the graph on the given primary-input values, returning the
 /// value of **every** signal (inputs, constants and operation results).
@@ -23,6 +41,26 @@ pub fn interpret(
     dfg: &Dfg,
     inputs: &BTreeMap<SignalId, i64>,
 ) -> Result<BTreeMap<SignalId, i64>, SimError> {
+    interpret_with_memory(dfg, inputs).map(|(values, _)| values)
+}
+
+/// Like [`interpret`], but also returns the final contents of every
+/// declared array (all elements start at zero). This is the behavioural
+/// reference the RTL simulation's final memory state is compared
+/// against.
+///
+/// Loads and stores execute in topological order; the graph's ordering
+/// tokens (read-after-write, write-after-write, write-after-read) make
+/// every order the sort can pick observationally equivalent.
+///
+/// # Errors
+///
+/// As [`interpret`].
+pub fn interpret_with_memory(
+    dfg: &Dfg,
+    inputs: &BTreeMap<SignalId, i64>,
+) -> Result<(BTreeMap<SignalId, i64>, MemoryState), SimError> {
+    let mut memory = initial_memory(dfg);
     let mut values: BTreeMap<SignalId, i64> = BTreeMap::new();
     for (sid, sig) in dfg.signals() {
         match sig.source() {
@@ -59,11 +97,25 @@ pub fn interpret(
                     operand(0)?
                 }
             }
+            NodeKind::Load { array, .. } => {
+                let storage = memory.get(&array).ok_or(SimError::Unsupported(id))?;
+                storage[wrap_index(operand(0)?, storage.len())]
+            }
+            NodeKind::Store { array, .. } => {
+                let index = operand(0)?;
+                let value = operand(1)?;
+                let storage = memory.get_mut(&array).ok_or(SimError::Unsupported(id))?;
+                let at = wrap_index(index, storage.len());
+                storage[at] = value;
+                // The store's output *is* the stored value (the ordering
+                // token consumed by later accesses).
+                value
+            }
             NodeKind::LoopBody { .. } => return Err(SimError::Unsupported(id)),
         };
         values.insert(node.output(), value);
     }
-    Ok(values)
+    Ok((values, memory))
 }
 
 /// Generates a deterministic pseudo-random input vector for `dfg`

@@ -55,6 +55,6 @@ pub(crate) use hls_rtl::AluId as AluIdAlias;
 
 pub use error::SimError;
 pub use eval::eval_op;
-pub use interp::{interpret, random_inputs};
+pub use interp::{interpret, interpret_with_memory, random_inputs, MemoryState};
 pub use rtl_sim::{check_equivalence, simulate, Mismatch, SimOutcome, StepTrace};
 pub use vcd::write_vcd;

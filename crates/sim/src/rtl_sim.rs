@@ -4,11 +4,12 @@ use std::collections::BTreeMap;
 
 use hls_celllib::TimingSpec;
 use hls_control::Controller;
-use hls_dfg::{Dfg, NodeId, NodeKind, SignalId, SignalSource};
+use hls_dfg::{ArrayId, Dfg, NodeId, NodeKind, SignalId, SignalSource};
 use hls_rtl::{Datapath, RegId};
 use hls_schedule::Schedule;
 
-use crate::{eval_op, interpret, SimError};
+use crate::interp::{initial_memory, interpret_with_memory, wrap_index, MemoryState};
+use crate::{eval_op, SimError};
 
 /// The state visible at the end of one control step (for waveform
 /// dumps and debugging).
@@ -21,6 +22,9 @@ pub struct StepTrace {
     pub alu_values: BTreeMap<crate::AluIdAlias, i64>,
     /// Register-file contents after the step's writes latched.
     pub registers: BTreeMap<RegId, i64>,
+    /// Array contents after the step's stores latched (empty map for
+    /// designs without memory).
+    pub memory: MemoryState,
 }
 
 /// The result of one simulation run.
@@ -30,6 +34,8 @@ pub struct SimOutcome {
     pub node_values: BTreeMap<NodeId, i64>,
     /// Register-file contents after the last step.
     pub final_registers: BTreeMap<RegId, i64>,
+    /// Final contents of every declared array.
+    pub final_memory: MemoryState,
     /// The design outputs (signals without consumers).
     pub outputs: BTreeMap<SignalId, i64>,
     /// Per-step machine state, in step order.
@@ -106,6 +112,7 @@ pub fn simulate(
         .collect();
 
     let mut node_values: BTreeMap<NodeId, i64> = BTreeMap::new();
+    let mut memory = initial_memory(dfg);
     let mut trace: Vec<StepTrace> = Vec::with_capacity(cs as usize);
 
     for step in 1..=cs {
@@ -114,50 +121,69 @@ pub fn simulate(
         let mut activities = word.activities.clone();
         activities.sort_by_key(|a| rank[&a.node]);
 
+        // Structural operand resolution, shared by ALU operations and
+        // memory accesses.
+        let resolve = |consumer: NodeId,
+                       sig: SignalId,
+                       registers: &BTreeMap<RegId, i64>,
+                       node_values: &BTreeMap<NodeId, i64>|
+         -> Result<i64, SimError> {
+            match dfg.signal(sig).source() {
+                SignalSource::Constant(_) | SignalSource::PrimaryInput => {
+                    // Stored inputs read through their register;
+                    // constants and unstored inputs through ports.
+                    match datapath.register_allocation().register_of(sig) {
+                        Some(r) => registers
+                            .get(&r)
+                            .copied()
+                            .ok_or(SimError::ValueUnavailable {
+                                node: consumer,
+                                signal: sig,
+                            }),
+                        None => external
+                            .get(&sig)
+                            .copied()
+                            .ok_or(SimError::MissingInput(sig)),
+                    }
+                }
+                SignalSource::Node(producer) => {
+                    let p_finish = schedule
+                        .finish(producer, dfg, spec)
+                        .ok_or(SimError::Unbound(producer))?;
+                    if p_finish.get() >= step {
+                        // Chained: combinational read of the producing
+                        // ALU within this step.
+                        node_values
+                            .get(&producer)
+                            .copied()
+                            .ok_or(SimError::ValueUnavailable {
+                                node: consumer,
+                                signal: sig,
+                            })
+                    } else {
+                        let r = datapath.register_allocation().register_of(sig).ok_or(
+                            SimError::ValueUnavailable {
+                                node: consumer,
+                                signal: sig,
+                            },
+                        )?;
+                        registers
+                            .get(&r)
+                            .copied()
+                            .ok_or(SimError::ValueUnavailable {
+                                node: consumer,
+                                signal: sig,
+                            })
+                    }
+                }
+            }
+        };
+
         for activity in &activities {
             let node = dfg.node(activity.node);
-            // Resolve operands structurally.
             let mut vals = [0i64; 2];
             for (i, &sig) in node.inputs().iter().enumerate() {
-                vals[i] = match dfg.signal(sig).source() {
-                    SignalSource::Constant(_) | SignalSource::PrimaryInput => {
-                        // Stored inputs read through their register;
-                        // constants and unstored inputs through ports.
-                        match datapath.register_allocation().register_of(sig) {
-                            Some(r) => *registers.get(&r).ok_or(SimError::ValueUnavailable {
-                                node: activity.node,
-                                signal: sig,
-                            })?,
-                            None => *external.get(&sig).ok_or(SimError::MissingInput(sig))?,
-                        }
-                    }
-                    SignalSource::Node(producer) => {
-                        let p_finish = schedule
-                            .finish(producer, dfg, spec)
-                            .ok_or(SimError::Unbound(producer))?;
-                        if p_finish.get() >= step {
-                            // Chained: combinational read of the
-                            // producing ALU within this step.
-                            *node_values
-                                .get(&producer)
-                                .ok_or(SimError::ValueUnavailable {
-                                    node: activity.node,
-                                    signal: sig,
-                                })?
-                        } else {
-                            let r = datapath.register_allocation().register_of(sig).ok_or(
-                                SimError::ValueUnavailable {
-                                    node: activity.node,
-                                    signal: sig,
-                                },
-                            )?;
-                            *registers.get(&r).ok_or(SimError::ValueUnavailable {
-                                node: activity.node,
-                                signal: sig,
-                            })?
-                        }
-                    }
-                };
+                vals[i] = resolve(activity.node, sig, &registers, &node_values)?;
             }
             let value = match node.kind() {
                 NodeKind::Op(k) => eval_op(k, vals[0], vals[1]),
@@ -168,10 +194,45 @@ pub fn simulate(
                         vals[0]
                     }
                 }
-                NodeKind::LoopBody { .. } => return Err(SimError::Unsupported(activity.node)),
+                _ => return Err(SimError::Unsupported(activity.node)),
             };
             node_values.insert(activity.node, value);
             alu_values.insert(activity.alu, value);
+        }
+
+        // Memory accesses: loads read the pre-step array contents;
+        // stores latch at the end of the step (non-blocking assignment
+        // semantics, matching the emitted Verilog). Ordering tokens in
+        // the graph rule out same-step read-after-write hazards, so the
+        // in-step order is immaterial.
+        let mut pending_stores: Vec<(ArrayId, usize, i64)> = Vec::new();
+        let mut accesses = word.mem.clone();
+        accesses.sort_by_key(|m| rank[&m.node]);
+        for access in &accesses {
+            let node = dfg.node(access.node);
+            let array = node
+                .kind()
+                .array()
+                .ok_or(SimError::Unsupported(access.node))?;
+            let len = memory
+                .get(&array)
+                .ok_or(SimError::Unsupported(access.node))?
+                .len();
+            let index = wrap_index(
+                resolve(access.node, node.inputs()[0], &registers, &node_values)?,
+                len,
+            );
+            let value = if access.write {
+                let v = resolve(access.node, node.inputs()[1], &registers, &node_values)?;
+                pending_stores.push((array, index, v));
+                v
+            } else {
+                memory[&array][index]
+            };
+            node_values.insert(access.node, value);
+        }
+        for (array, index, v) in pending_stores {
+            memory.get_mut(&array).expect("validated above")[index] = v;
         }
 
         // End of step: latch register writes.
@@ -196,6 +257,7 @@ pub fn simulate(
             step,
             alu_values,
             registers: registers.clone(),
+            memory: memory.clone(),
         });
     }
 
@@ -214,6 +276,7 @@ pub fn simulate(
     Ok(SimOutcome {
         node_values,
         final_registers: registers,
+        final_memory: memory,
         outputs,
         trace,
     })
@@ -221,7 +284,9 @@ pub fn simulate(
 
 /// Runs the behavioural interpreter and the RTL simulator on the same
 /// inputs and returns every operation whose values disagree (empty =
-/// the synthesis run is semantics-preserving on this vector).
+/// the synthesis run is semantics-preserving on this vector). For
+/// designs with memory, the final contents of every array are compared
+/// too: a differing element is reported against a store to that array.
 ///
 /// The controller is generated internally with
 /// [`Controller::generate`].
@@ -239,7 +304,7 @@ pub fn check_equivalence(
 ) -> Result<Vec<Mismatch>, SimError> {
     let controller = Controller::generate(dfg, schedule, datapath, spec)
         .map_err(|_| SimError::Unbound(dfg.topo_order()[0]))?;
-    let expected = interpret(dfg, inputs)?;
+    let (expected, expected_memory) = interpret_with_memory(dfg, inputs)?;
     let got = simulate(dfg, schedule, datapath, &controller, spec, inputs)?;
     let mut mismatches = Vec::new();
     for (id, node) in dfg.nodes() {
@@ -257,6 +322,27 @@ pub fn check_equivalence(
                 got: i64::MIN,
             }),
         }
+    }
+    for (array, want) in &expected_memory {
+        let have = got.final_memory.get(array).cloned().unwrap_or_default();
+        if &have == want {
+            continue;
+        }
+        let at = (0..want.len())
+            .find(|&i| have.get(i) != Some(&want[i]))
+            .unwrap_or(0);
+        let culprit = dfg
+            .node_ids()
+            .find(|&id| {
+                matches!(dfg.node(id).kind(),
+                    NodeKind::Store { array: a, .. } if a == *array)
+            })
+            .unwrap_or(dfg.topo_order()[0]);
+        mismatches.push(Mismatch {
+            node: culprit,
+            expected: want[at],
+            got: have.get(at).copied().unwrap_or(i64::MIN),
+        });
     }
     Ok(mismatches)
 }

@@ -78,6 +78,18 @@ pub fn write_vcd(dfg: &Dfg, datapath: &Datapath, outcome: &SimOutcome) -> String
         alu_ids.push((alu.id, id.clone()));
         vars.push((id, "alu".into()));
     }
+    // One variable per array element, named `array[i]`, so stores are
+    // visible in the waveform as they latch.
+    let mut mem_ids = Vec::new();
+    for arr in dfg.memory().arrays() {
+        for i in 0..arr.size() as usize {
+            let id = vcd_id(next);
+            next += 1;
+            let _ = writeln!(out, "$var wire 64 {id} {}[{i}] $end", arr.name());
+            mem_ids.push((arr.id(), i, id.clone()));
+            vars.push((id, "mem".into()));
+        }
+    }
     let _ = writeln!(out, "$upscope $end");
     let _ = writeln!(out, "$enddefinitions $end");
 
@@ -104,6 +116,11 @@ pub fn write_vcd(dfg: &Dfg, datapath: &Datapath, outcome: &SimOutcome) -> String
                 None => {
                     let _ = writeln!(out, "bx {id}");
                 }
+            }
+        }
+        for (array, i, id) in &mem_ids {
+            if let Some(storage) = trace.memory.get(array) {
+                let _ = writeln!(out, "{} {id}", bits64(storage[*i]));
             }
         }
     }

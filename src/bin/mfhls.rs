@@ -1,5 +1,8 @@
 //! `mfhls` — the moveframe-hls command-line front end.
 //!
+//! `mfhls help` lists the subcommands; `mfhls help <subcommand>` prints
+//! that subcommand's flags. The summary:
+//!
 //! ```text
 //! mfhls info <file.dfg> [--dot]
 //! mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]...
@@ -57,6 +60,9 @@ impl Telemetry {
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Command {
+    Help {
+        topic: Option<String>,
+    },
     Info {
         file: String,
         dot: bool,
@@ -115,8 +121,220 @@ enum Command {
     },
 }
 
+/// The subcommands, in help order.
+const SUBCOMMANDS: &[&str] = &["info", "schedule", "synth", "explore", "serve"];
+
 fn usage() -> String {
-    "usage:\n  mfhls info <file.dfg> [--dot]\n  mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]... [--chain CLOCK] [--latency L] [--two-cycle-mul] [--json] [--svg FILE]\n  mfhls synth <file.dfg> --cs N [--style2] [--weights T,A,M,R] [--lib FILE.lib] [--two-cycle-mul] [--json] [--microcode] [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]\n  mfhls explore <file.dfg> (--grid FILE | --cs N[,M...] [--alg mfs,mfsa,list,fds,anneal]) [--limit OP=N]... [--chain CLOCK] [--latency L] [--style2] [--weights T,A,M,R] [--two-cycle-mul] [--threads N] [--emit front.json]\n  mfhls serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--deadline-ms N] [--access-log FILE.jsonl] [-q]\n  mfhls --version\ntelemetry (schedule/synth): [--trace FILE.jsonl] [--chrome-trace FILE.json] [--metrics] [-v|--verbose] [-q|--quiet]".to_string()
+    "usage: mfhls <subcommand> [args]\n\
+     \n\
+     subcommands:\n\
+     \x20 info      inspect a .dfg file (operator mix, critical path, memory decls)\n\
+     \x20 schedule  MFS move-frame scheduling (time- or resource-constrained)\n\
+     \x20 synth     MFSA mixed scheduling-allocation down to RTL\n\
+     \x20 explore   parallel design-space exploration over algorithms and budgets\n\
+     \x20 serve     synthesis-as-a-service HTTP daemon\n\
+     \n\
+     run `mfhls help <subcommand>` for that subcommand's flags.\n\
+     `mfhls --version` prints the version."
+        .to_string()
+}
+
+/// Detailed usage for one subcommand (`mfhls help <sub>`).
+fn usage_for(sub: &str) -> Option<String> {
+    let text = match sub {
+        "info" => {
+            "usage: mfhls info <file.dfg> [--dot]\n\
+             \n\
+             Prints the graph's operator mix, node/signal counts, critical path\n\
+             (single-cycle and 2-cycle-multiply timing) and, for memory-aware\n\
+             designs, the declared banks and arrays.\n\
+             \n\
+             flags:\n\
+             \x20 --dot    also print the graph in Graphviz DOT format"
+        }
+        "schedule" => {
+            "usage: mfhls schedule <file.dfg> --cs N [flags]\n\
+             \n\
+             Move-frame scheduling (MFS). Accepts memory-aware .dfg files:\n\
+             loads/stores are scheduled against their bank's port count.\n\
+             \n\
+             flags:\n\
+             \x20 --cs N            time constraint in control steps (required)\n\
+             \x20 --resource        resource-constrained mode (--cs is the budget)\n\
+             \x20 --limit OP=N      cap the unit count of one operator class\n\
+             \x20 --chain CLOCK     enable operator chaining under this clock period\n\
+             \x20 --latency L       loop pipelining initiation interval\n\
+             \x20 --two-cycle-mul   use the 2-cycle-multiply timing profile\n\
+             \x20 --json            print the canonical stats JSON line instead of text\n\
+             \x20 --svg FILE        render the schedule as an SVG\n\
+             \n\
+             telemetry:\n\
+             \x20 --trace FILE.jsonl scheduler trace events as JSON Lines\n\
+             \x20 --chrome-trace F   phase spans for chrome://tracing / Perfetto\n\
+             \x20 --metrics          print the counter/histogram report\n\
+             \x20 -v|--verbose       phase timing summary on stderr\n\
+             \x20 -q|--quiet         silence routine output"
+        }
+        "synth" => {
+            "usage: mfhls synth <file.dfg> --cs N [flags]\n\
+             \n\
+             Mixed scheduling-allocation (MFSA): schedule, bind ALUs/registers/\n\
+             muxes and report costs. Memory-aware designs get per-bank port\n\
+             binding, address/data muxing and Verilog memory instantiation.\n\
+             \n\
+             flags:\n\
+             \x20 --cs N            time constraint in control steps (required)\n\
+             \x20 --style2          no-self-loop design style (paper style 2)\n\
+             \x20 --weights T,A,M,R Liapunov weight vector\n\
+             \x20 --lib FILE.lib    use a custom cell library\n\
+             \x20 --two-cycle-mul   use the 2-cycle-multiply timing profile\n\
+             \x20 --json            print the canonical stats JSON line instead of text\n\
+             \x20 --microcode       print the control-word listing\n\
+             \x20 --verilog         emit synthesisable Verilog\n\
+             \x20 --testbench       emit a self-checking Verilog testbench\n\
+             \x20 --check           run the interpreter-vs-RTL equivalence check\n\
+             \x20 --svg FILE        render the schedule as an SVG\n\
+             \x20 --vcd FILE        simulate seed 0 and write a VCD waveform\n\
+             \n\
+             telemetry:\n\
+             \x20 --trace FILE.jsonl scheduler trace events as JSON Lines\n\
+             \x20 --chrome-trace F   phase spans for chrome://tracing / Perfetto\n\
+             \x20 --metrics          print the counter/histogram report\n\
+             \x20 -v|--verbose       phase timing summary on stderr\n\
+             \x20 -q|--quiet         silence routine output"
+        }
+        "explore" => {
+            "usage: mfhls explore <file.dfg> (--grid FILE | --cs N[,M...]) [flags]\n\
+             \n\
+             Schedules many design points in parallel and reports the Pareto\n\
+             front. Memory-aware designs work with mfs, mfsa and list; the\n\
+             port-unaware baselines (asap, fds, anneal) report a typed error\n\
+             per point.\n\
+             \n\
+             flags:\n\
+             \x20 --grid FILE       read the point grid from a file\n\
+             \x20 --cs N[,M...]     time constraints to sweep\n\
+             \x20 --alg A[,B...]    algorithms: mfs,mfsa,list,fds,anneal (default mfs)\n\
+             \x20 --limit OP=N      cap the unit count of one operator class\n\
+             \x20 --chain CLOCK     enable operator chaining under this clock period\n\
+             \x20 --latency L       loop pipelining initiation interval\n\
+             \x20 --style2          no-self-loop design style for mfsa points\n\
+             \x20 --weights T,A,M,R Liapunov weight vector for mfsa points\n\
+             \x20 --two-cycle-mul   use the 2-cycle-multiply timing profile\n\
+             \x20 --threads N       worker threads (0 = all cores)\n\
+             \x20 --emit FILE       write the Pareto front as JSON\n\
+             \x20 --metrics         print the engine's metrics report\n\
+             \x20 -q|--quiet        silence routine output"
+        }
+        "serve" => {
+            "usage: mfhls serve [flags]\n\
+             \n\
+             Synthesis-as-a-service HTTP daemon. POST jobs name a built-in\n\
+             benchmark (including the memory kernels array_fir/matvec) or\n\
+             carry an inline .dfg; answers are the same JSON the --json CLI\n\
+             modes print.\n\
+             \n\
+             flags:\n\
+             \x20 --addr HOST:PORT   listen address\n\
+             \x20 --workers N        scheduler worker threads\n\
+             \x20 --queue-cap N      bounded job-queue length\n\
+             \x20 --cache-cap N      warm schedule-cache capacity\n\
+             \x20 --deadline-ms N    default per-job deadline\n\
+             \x20 --access-log FILE  append JSONL access records to FILE\n\
+             \x20 -q|--quiet         silence startup/shutdown chatter"
+        }
+        _ => return None,
+    };
+    Some(text.to_string())
+}
+
+/// The flags each subcommand accepts (drives scoped unknown-flag
+/// errors: a flag that exists elsewhere names its proper subcommand).
+fn allowed_flags(sub: &str) -> &'static [&'static str] {
+    match sub {
+        "info" => &["--dot"],
+        "schedule" => &[
+            "--cs",
+            "--resource",
+            "--limit",
+            "--chain",
+            "--latency",
+            "--two-cycle-mul",
+            "--json",
+            "--svg",
+            "--trace",
+            "--chrome-trace",
+            "--metrics",
+            "-v",
+            "--verbose",
+            "-q",
+            "--quiet",
+        ],
+        "synth" => &[
+            "--cs",
+            "--style2",
+            "--weights",
+            "--lib",
+            "--two-cycle-mul",
+            "--json",
+            "--microcode",
+            "--verilog",
+            "--testbench",
+            "--check",
+            "--svg",
+            "--vcd",
+            "--trace",
+            "--chrome-trace",
+            "--metrics",
+            "-v",
+            "--verbose",
+            "-q",
+            "--quiet",
+        ],
+        "explore" => &[
+            "--grid",
+            "--cs",
+            "--alg",
+            "--limit",
+            "--chain",
+            "--latency",
+            "--style2",
+            "--weights",
+            "--two-cycle-mul",
+            "--threads",
+            "--emit",
+            "--metrics",
+            "-q",
+            "--quiet",
+        ],
+        "serve" => &[
+            "--addr",
+            "--workers",
+            "--queue-cap",
+            "--cache-cap",
+            "--deadline-ms",
+            "--access-log",
+            "-q",
+            "--quiet",
+        ],
+        _ => &[],
+    }
+}
+
+/// A scoped unknown-flag error: names the subcommand, and if the flag
+/// belongs to other subcommands, points there.
+fn unknown_flag(sub: &str, flag: &str) -> String {
+    let owners: Vec<&str> = SUBCOMMANDS
+        .iter()
+        .filter(|s| allowed_flags(s).contains(&flag))
+        .copied()
+        .collect();
+    let hint = if owners.is_empty() {
+        String::new()
+    } else {
+        format!(" (a `{}` flag)", owners.join("`/`"))
+    };
+    format!("unknown {sub} flag `{flag}`{hint}; see `mfhls help {sub}`")
 }
 
 /// Parses the `serve` subcommand's flags (no input file: the daemon
@@ -154,7 +372,7 @@ fn parse_serve<'a, I: Iterator<Item = &'a String>>(mut it: I) -> Result<Command,
                 access_log = Some(v.clone());
             }
             "-q" | "--quiet" => quiet = true,
-            other => return Err(format!("unknown serve flag `{other}`\n{}", usage())),
+            other => return Err(unknown_flag("serve", other)),
         }
     }
     Ok(Command::Serve {
@@ -171,6 +389,14 @@ fn parse_serve<'a, I: Iterator<Item = &'a String>>(mut it: I) -> Result<Command,
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().peekable();
     let sub = it.next().ok_or_else(usage)?;
+    if sub == "help" {
+        return Ok(Command::Help {
+            topic: it.next().cloned(),
+        });
+    }
+    if !SUBCOMMANDS.contains(&sub.as_str()) {
+        return Err(format!("unknown subcommand `{sub}`\n{}", usage()));
+    }
     if sub == "serve" {
         return parse_serve(it);
     }
@@ -198,6 +424,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut emit = None;
     let mut tel = Telemetry::default();
     while let Some(flag) = it.next() {
+        if !allowed_flags(sub).contains(&flag.as_str()) {
+            return Err(unknown_flag(sub, flag));
+        }
         match flag.as_str() {
             "--cs" => {
                 let v = it.next().ok_or("--cs needs a value")?;
@@ -285,7 +514,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             "--metrics" => tel.metrics = true,
             "-v" | "--verbose" => tel.verbose = true,
             "-q" | "--quiet" => tel.quiet = true,
-            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+            other => return Err(unknown_flag(sub, other)),
         }
     }
     let single_cs = |name: &str| -> Result<u32, String> {
@@ -372,6 +601,22 @@ fn spec_for(two_cycle_mul: bool, chained: bool) -> TimingSpec {
 
 fn run(command: Command) -> Result<(), String> {
     match command {
+        Command::Help { topic } => match topic {
+            None => {
+                println!("{}", usage());
+                Ok(())
+            }
+            Some(sub) => match usage_for(&sub) {
+                Some(text) => {
+                    println!("{text}");
+                    Ok(())
+                }
+                None => Err(format!(
+                    "no help for `{sub}`; subcommands: {}",
+                    SUBCOMMANDS.join(", ")
+                )),
+            },
+        },
         Command::Info { file, dot } => {
             let dfg = load(&file)?;
             let spec = TimingSpec::uniform_single_cycle();
@@ -383,6 +628,19 @@ fn run(command: Command) -> Result<(), String> {
                 dfg.signal_count()
             );
             println!("operator mix: {}", OpMix::of_graph(&dfg));
+            for bank in dfg.memory().banks() {
+                let arrays: Vec<String> = dfg
+                    .memory()
+                    .arrays_in_bank(bank.id())
+                    .map(|a| format!("{}[{}]", a.name(), a.size()))
+                    .collect();
+                println!(
+                    "memory bank {}: {} port(s), arrays: {}",
+                    bank.name(),
+                    bank.ports(),
+                    arrays.join(", ")
+                );
+            }
             println!(
                 "critical path: {} control step(s) (single-cycle)",
                 cp.steps()
@@ -937,6 +1195,62 @@ mod tests {
     fn missing_cs_is_an_error() {
         assert!(parse(&["schedule", "x.dfg"]).unwrap_err().contains("--cs"));
         assert!(parse(&["synth", "x.dfg"]).unwrap_err().contains("--cs"));
+    }
+
+    #[test]
+    fn help_subcommand_parses_and_runs() {
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help { topic: None });
+        assert_eq!(
+            parse(&["help", "synth"]).unwrap(),
+            Command::Help {
+                topic: Some("synth".into())
+            }
+        );
+        run(Command::Help { topic: None }).unwrap();
+        for sub in SUBCOMMANDS {
+            run(Command::Help {
+                topic: Some(sub.to_string()),
+            })
+            .unwrap();
+        }
+        let err = run(Command::Help {
+            topic: Some("bogus".into()),
+        })
+        .unwrap_err();
+        assert!(err.contains("bogus") && err.contains("schedule"), "{err}");
+    }
+
+    #[test]
+    fn every_subcommand_has_help_and_flag_coverage() {
+        for sub in SUBCOMMANDS {
+            let text = usage_for(sub).unwrap();
+            // Every allowed flag appears in its subcommand's help text.
+            for flag in allowed_flags(sub) {
+                let named = flag.trim_start_matches('-');
+                assert!(
+                    text.contains(flag) || text.contains(named),
+                    "help for `{sub}` is missing `{flag}`"
+                );
+            }
+        }
+        assert!(usage_for("bogus").is_none());
+    }
+
+    #[test]
+    fn unknown_flags_are_scoped_to_the_subcommand() {
+        // A flag valid elsewhere names its proper subcommand.
+        let err = parse(&["schedule", "x.dfg", "--cs", "4", "--verilog"]).unwrap_err();
+        assert!(err.contains("unknown schedule flag"), "{err}");
+        assert!(err.contains("`synth`"), "{err}");
+        assert!(err.contains("mfhls help schedule"), "{err}");
+        // A flag valid nowhere gets no cross-reference.
+        let err = parse(&["synth", "x.dfg", "--cs", "4", "--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown synth flag"), "{err}");
+        assert!(!err.contains("(a `"), "{err}");
+        // info rejects scheduling flags.
+        let err = parse(&["info", "x.dfg", "--cs", "4"]).unwrap_err();
+        assert!(err.contains("unknown info flag"), "{err}");
+        assert!(err.contains("`schedule`"), "{err}");
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub use hls_celllib as celllib;
 pub use hls_control as control;
 pub use hls_dfg as dfg;
 pub use hls_explore as explore;
+pub use hls_mem as mem;
 pub use hls_rtl as rtl;
 pub use hls_schedule as schedule;
 pub use hls_serve as serve;
@@ -54,6 +55,10 @@ pub mod prelude {
     pub use hls_dfg::{parse_dfg, CriticalPath, Dfg, DfgBuilder, FuClass, NodeId, OpMix};
     pub use hls_explore::{
         parse_grid, Algorithm, DesignPoint, Engine, ExploreOptions, ExploreReport,
+    };
+    pub use hls_mem::{
+        access_bindings, bank_usage, check_port_safety, port_pressure, AccessBinding, BankUsage,
+        MemError, PortPressure, PortViolation,
     };
     pub use hls_rtl::{verify_datapath, AluAllocation, CostReport, Datapath};
     pub use hls_schedule::{

@@ -14,6 +14,10 @@ enum Expect {
     UnknownSignal,
     Duplicate,
     Empty,
+    UnknownArray,
+    UnknownBank,
+    IndexOutOfRange,
+    BadPortCount,
     /// Any error is fine; the case exists for the 400 side.
     AnyError,
 }
@@ -69,6 +73,51 @@ fn cases() -> Vec<(&'static str, &'static str, Expect)> {
             "input a, b\nop q = add(a, b) @branch(zero)\n",
             Expect::Parse,
         ),
+        (
+            "load index past the array bound",
+            "input v\nbank ram(ports=1)\narray a[4] @ ram\nstore a[0] = v\nload x = a[9]\n",
+            Expect::IndexOutOfRange,
+        ),
+        (
+            "negative store index",
+            "input v\narray a[4] @ m(ports=1)\nstore a[-1] = v\n",
+            Expect::IndexOutOfRange,
+        ),
+        (
+            "load from an undeclared array",
+            "input i\narray a[4] @ m(ports=1)\nload v = nope[i]\n",
+            Expect::UnknownArray,
+        ),
+        (
+            "store to an undeclared array",
+            "input i, v\nstore ghost[i] = v\n",
+            Expect::UnknownArray,
+        ),
+        (
+            "array bound to an undeclared bank",
+            "input i, v\narray a[4] @ missing\nstore a[i] = v\n",
+            Expect::UnknownBank,
+        ),
+        (
+            "bank with zero ports",
+            "input i\nbank ram(ports=0)\narray a[4] @ ram\nload v = a[i]\n",
+            Expect::BadPortCount,
+        ),
+        (
+            "implicit bank with zero ports",
+            "input i\narray a[4] @ m(ports=0)\nload v = a[i]\n",
+            Expect::BadPortCount,
+        ),
+        (
+            "load index signal never declared",
+            "input v\narray a[4] @ m(ports=1)\nload x = a[j]\n",
+            Expect::UnknownSignal,
+        ),
+        (
+            "conflicting implicit port counts",
+            "input i\narray a[4] @ m(ports=2)\narray b[4] @ m(ports=1)\nload v = a[i]\n",
+            Expect::Parse,
+        ),
     ]
 }
 
@@ -81,6 +130,10 @@ fn parser_reports_typed_errors_without_panicking() {
             Expect::UnknownSignal => matches!(err, DfgError::UnknownSignal(_)),
             Expect::Duplicate => matches!(err, DfgError::DuplicateName(_)),
             Expect::Empty => matches!(err, DfgError::Empty),
+            Expect::UnknownArray => matches!(err, DfgError::UnknownArray(_)),
+            Expect::UnknownBank => matches!(err, DfgError::UnknownBank(_)),
+            Expect::IndexOutOfRange => matches!(err, DfgError::IndexOutOfRange { .. }),
+            Expect::BadPortCount => matches!(err, DfgError::BadPortCount(_)),
             Expect::AnyError => true,
         };
         assert!(ok, "{name}: unexpected error {err:?}");

@@ -1,13 +1,15 @@
 //! Property tests for the frame algebra of §3.2: for every operation at
 //! its scheduling moment the move frame satisfies
-//! `MF = PF − (RF ∪ FF)` — it lies inside the primary frame, never
-//! touches the redundant columns or the dependency-forbidden steps —
-//! and the move loop's local rescheduling terminates within its column
-//! budget.
+//! `MF = PF − (RF ∪ FF ∪ AF)` — it lies inside the primary frame, never
+//! touches the redundant columns, the dependency-forbidden steps, or
+//! the access-conflict steps of a fully-occupied memory bank — and the
+//! move loop's local rescheduling terminates within its column budget.
 
 use proptest::prelude::*;
 
 use moveframe_hls::benchmarks::generate::{generate, GeneratorConfig};
+use moveframe_hls::benchmarks::memory;
+use moveframe_hls::mem::{check_port_safety, port_pressure};
 use moveframe_hls::moveframe::FrameSnapshot;
 use moveframe_hls::prelude::*;
 
@@ -161,5 +163,108 @@ proptest! {
             "{} reschedules exceed the structural bound {}",
             outcome.reschedule_count, bound
         );
+    }
+}
+
+/// Schedules a memory-bearing DFG with frame recording on, searching
+/// upward from the dependency critical path for the first time
+/// constraint the bank ports admit.
+fn schedule_memory_recorded(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    slack: u32,
+) -> (
+    Vec<FrameSnapshot>,
+    moveframe_hls::moveframe::mfs::MfsOutcome,
+) {
+    let cp = CriticalPath::compute(dfg, spec).steps() as u32;
+    for t in cp..cp + 64 {
+        let config = MfsConfig::time_constrained(t + slack).with_frame_recording();
+        if let Ok(outcome) = mfs::schedule(dfg, spec, &config) {
+            return (outcome.snapshots.clone(), outcome);
+        }
+    }
+    panic!("no feasible time constraint within cp + 64");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn move_frames_never_touch_the_access_conflict_frame(
+        taps in 2usize..6,
+        ports in 1u32..4,
+        slack in 0u32..3,
+    ) {
+        let dfg = memory::array_fir(taps, ports);
+        let spec = TimingSpec::uniform_single_cycle();
+        let (snapshots, _) = schedule_memory_recorded(&dfg, &spec, slack);
+        prop_assert_eq!(snapshots.len(), dfg.node_count());
+        let mut saw_af = false;
+        for snap in &snapshots {
+            if !matches!(snap.class, FuClass::Mem(_)) {
+                // AF is a memory-port notion; a fully-occupied step of an
+                // ALU class is an ordinary resource conflict, not AF.
+                prop_assert!(
+                    snap.af_steps.is_empty(),
+                    "node {:?}: non-memory class {:?} has AF {:?}",
+                    snap.node, snap.class, snap.af_steps
+                );
+                continue;
+            }
+            saw_af |= !snap.af_steps.is_empty();
+            for s in &snap.af_steps {
+                // AF ⊆ the dependency-feasible range: it collects steps
+                // excluded *solely* by port occupancy, so FF and AF are
+                // disjoint by construction.
+                prop_assert!(
+                    *s >= snap.earliest_feasible && *s <= snap.latest_feasible,
+                    "node {:?}: AF step {} outside the feasible range [{}, {}]",
+                    snap.node, s.get(),
+                    snap.earliest_feasible.get(), snap.latest_feasible.get()
+                );
+            }
+            for p in &snap.movable {
+                // MF ∩ AF = ∅: the move frame never offers a step whose
+                // bank ports are all taken.
+                prop_assert!(
+                    !snap.af_steps.contains(&p.step),
+                    "node {:?}: movable step {} is in AF {:?}",
+                    snap.node, p.step.get(), snap.af_steps
+                );
+            }
+        }
+        if ports == 1 && slack == 0 {
+            // At one port and zero slack the load phase is saturated, so
+            // at least one access must have seen a port-conflict step.
+            prop_assert!(saw_af, "expected a non-empty AF at ports=1");
+        }
+    }
+
+    #[test]
+    fn schedules_never_exceed_bank_port_counts(
+        n in 2usize..5,
+        ports in 1u32..4,
+        slack in 0u32..3,
+    ) {
+        let dfg = memory::matvec(n, ports);
+        let spec = TimingSpec::uniform_single_cycle();
+        let (_, outcome) = schedule_memory_recorded(&dfg, &spec, slack);
+        prop_assert!(outcome.schedule.is_complete());
+        // The independent witness re-derives occupancy from the bound
+        // schedule: no step oversubscribes a bank, no port is
+        // double-booked, no binding names a port past the bank's count.
+        let violations = check_port_safety(&dfg, &outcome.schedule)
+            .expect("complete, port-bound schedule");
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        let pressure = port_pressure(&dfg, &outcome.schedule)
+            .expect("complete, port-bound schedule");
+        for bank in dfg.memory().banks() {
+            prop_assert!(
+                pressure.peak(bank.id()) <= bank.ports(),
+                "bank {} peak {} exceeds {} port(s)",
+                bank.name(), pressure.peak(bank.id()), bank.ports()
+            );
+        }
     }
 }
