@@ -1,7 +1,5 @@
 //! Frame computation: `MF = PF − (RF ∪ FF)` (paper §3.2, step 4).
 
-use std::collections::BTreeMap;
-
 use hls_celllib::{ClockPeriod, Delay, TimingSpec};
 use hls_dfg::{Dfg, FuClass, NodeId};
 use hls_schedule::{CStep, FuIndex, Grid, Schedule, TimeFrames};
@@ -53,6 +51,125 @@ impl FrameSnapshot {
     }
 }
 
+/// Incrementally-maintained per-node scheduling bounds.
+///
+/// Frame computation needs, for every unscheduled operation, the latest
+/// finish step among its *scheduled* predecessors (the forbidden-frame
+/// floor) and the earliest start step among its *scheduled* successors
+/// (the ceiling). Rescanning the neighbour lists for every candidate
+/// step of every operation made `feasible_step_range` the scheduler's
+/// hottest loop; this cache updates the two numbers on each
+/// occupy/vacate of a neighbour instead:
+///
+/// * [`BoundsCache::on_assign`] — O(degree) max/min merges;
+/// * [`BoundsCache::on_unassign`] — O(degree × neighbour degree)
+///   recomputation, paid only on the rare local-rescheduling path.
+///
+/// Effective cycle counts (declared cycles, or `⌈delay/T⌉` under a
+/// chaining clock) are precomputed per node as well, since they are
+/// pure functions of the graph and clock.
+#[derive(Debug, Clone)]
+pub struct BoundsCache {
+    /// Effective cycles per node under the (optional) clock.
+    cycles: Vec<u8>,
+    /// Whether the node may share a step boundary under chaining.
+    chainable: Vec<bool>,
+    /// Max finish step over scheduled predecessors (0 = none).
+    pred_finish: Vec<u32>,
+    /// Min start step over scheduled successors (`u32::MAX` = none).
+    succ_start: Vec<u32>,
+}
+
+impl BoundsCache {
+    /// Builds the cache for an empty schedule.
+    pub fn new(dfg: &Dfg, spec: &TimingSpec, clock: Option<ClockPeriod>) -> Self {
+        let n = dfg.node_count();
+        let mut cycles = Vec::with_capacity(n);
+        let mut chainable = Vec::with_capacity(n);
+        for (_, node) in dfg.nodes() {
+            let kind = node.kind();
+            let declared = kind.cycles(spec);
+            let eff = match clock {
+                None => declared,
+                Some(t) => {
+                    let d = kind.delay(spec).as_u32();
+                    let derived = if d == 0 {
+                        1
+                    } else {
+                        d.div_ceil(t.as_u32()) as u8
+                    };
+                    declared.max(derived)
+                }
+            };
+            cycles.push(eff);
+            chainable.push(clock.is_some() && eff == 1 && kind.delay(spec).as_u32() > 0);
+        }
+        BoundsCache {
+            cycles,
+            chainable,
+            pred_finish: vec![0; n],
+            succ_start: vec![u32::MAX; n],
+        }
+    }
+
+    /// Effective cycle count of `node`.
+    pub fn cycles(&self, node: NodeId) -> u8 {
+        self.cycles[node.index()]
+    }
+
+    /// Records that `node` was scheduled to start at `step`: its
+    /// neighbours' bounds tighten monotonically.
+    pub fn on_assign(&mut self, dfg: &Dfg, node: NodeId, step: CStep) {
+        let finish = step.finish(self.cycles[node.index()]).get();
+        for &s in dfg.succs(node) {
+            let f = &mut self.pred_finish[s.index()];
+            *f = (*f).max(finish);
+        }
+        for &p in dfg.preds(node) {
+            let s = &mut self.succ_start[p.index()];
+            *s = (*s).min(step.get());
+        }
+    }
+
+    /// Records that `node` was unscheduled (local rescheduling): its
+    /// neighbours' bounds are recomputed from their remaining scheduled
+    /// neighbours. `schedule` must already reflect the removal.
+    pub fn on_unassign(&mut self, dfg: &Dfg, schedule: &Schedule, node: NodeId) {
+        for &s in dfg.succs(node) {
+            self.pred_finish[s.index()] = dfg
+                .preds(s)
+                .iter()
+                .filter_map(|&p| {
+                    schedule
+                        .start(p)
+                        .map(|st| st.finish(self.cycles[p.index()]).get())
+                })
+                .max()
+                .unwrap_or(0);
+        }
+        for &p in dfg.preds(node) {
+            self.succ_start[p.index()] = dfg
+                .succs(p)
+                .iter()
+                .filter_map(|&q| schedule.start(q))
+                .map(|st| st.get())
+                .min()
+                .unwrap_or(u32::MAX);
+        }
+    }
+
+    /// Max finish step over `node`'s scheduled predecessors (0 = none).
+    pub fn pred_finish(&self, node: NodeId) -> u32 {
+        self.pred_finish[node.index()]
+    }
+
+    /// Min start step over `node`'s scheduled successors
+    /// (`u32::MAX` = none).
+    pub fn succ_start(&self, node: NodeId) -> u32 {
+        self.succ_start[node.index()]
+    }
+}
+
 /// Everything frame computation needs to see.
 pub(crate) struct FrameCtx<'a> {
     pub dfg: &'a Dfg,
@@ -62,8 +179,10 @@ pub(crate) struct FrameCtx<'a> {
     /// Chaining clock; `None` disables chaining.
     pub clock: Option<ClockPeriod>,
     /// Finish offsets (accumulated within-step delay) of scheduled
-    /// chainable operations.
-    pub offsets: &'a BTreeMap<NodeId, Delay>,
+    /// chainable operations, `NodeId`-indexed.
+    pub offsets: &'a [Delay],
+    /// Incremental per-node bounds, kept in lock-step with `schedule`.
+    pub bounds: &'a BoundsCache,
 }
 
 impl FrameCtx<'_> {
@@ -71,27 +190,12 @@ impl FrameCtx<'_> {
     /// declared cycles, or `⌈delay/T⌉` for operations slower than the
     /// clock.
     pub(crate) fn effective_cycles(&self, node: NodeId) -> u8 {
-        let kind = self.dfg.node(node).kind();
-        let declared = kind.cycles(self.spec);
-        match self.clock {
-            None => declared,
-            Some(t) => {
-                let d = kind.delay(self.spec).as_u32();
-                let derived = if d == 0 {
-                    1
-                } else {
-                    d.div_ceil(t.as_u32()) as u8
-                };
-                declared.max(derived)
-            }
-        }
+        self.bounds.cycles[node.index()]
     }
 
     /// Whether `node` may share a step boundary with a dependent op.
     fn chainable(&self, node: NodeId) -> bool {
-        self.clock.is_some()
-            && self.effective_cycles(node) == 1
-            && self.dfg.node(node).kind().delay(self.spec).as_u32() > 0
+        self.bounds.chainable[node.index()]
     }
 
     /// Finish step of a scheduled node.
@@ -103,7 +207,20 @@ impl FrameCtx<'_> {
 
     /// Whether placing `node` at `step` satisfies every *scheduled*
     /// predecessor and, under chaining, the within-step delay budget.
+    ///
+    /// Almost always a single compare against the cached predecessor
+    /// bound: any step past the latest scheduled-predecessor finish is
+    /// feasible with a zero chaining base, any step before it is not.
+    /// Only the boundary step itself needs the per-predecessor walk
+    /// (chaining may or may not admit it).
     pub(crate) fn dep_feasible(&self, node: NodeId, step: CStep) -> bool {
+        let bound = self.bounds.pred_finish[node.index()];
+        if step.get() > bound {
+            return true;
+        }
+        if step.get() < bound {
+            return false;
+        }
         let node_chainable = self.chainable(node);
         let mut offset_base = Delay::ZERO;
         for &p in self.dfg.preds(node) {
@@ -114,8 +231,7 @@ impl FrameCtx<'_> {
                 continue;
             }
             if step == pf && node_chainable && self.chainable(p) {
-                let p_off = self.offsets.get(&p).copied().unwrap_or(Delay::ZERO);
-                offset_base = offset_base.max(p_off);
+                offset_base = offset_base.max(self.offsets[p.index()]);
                 continue;
             }
             return false;
@@ -138,7 +254,7 @@ impl FrameCtx<'_> {
         let mut base = Delay::ZERO;
         for &p in self.dfg.preds(node) {
             if self.finish_step(p) == Some(step) && self.chainable(p) {
-                base = base.max(self.offsets.get(&p).copied().unwrap_or(Delay::ZERO));
+                base = base.max(self.offsets[p.index()]);
             }
         }
         base + self.dfg.node(node).kind().delay(self.spec)
@@ -149,6 +265,13 @@ impl FrameCtx<'_> {
 /// `node` under the current partial schedule (empty when
 /// `earliest > latest`). This is the time extent of `PF − FF`, shared by
 /// MFS and MFSA.
+///
+/// Derived in O(1) from the [`BoundsCache`] instead of scanning the
+/// primary range: with `M` the latest scheduled-predecessor finish,
+/// every step below `M` is dependency-infeasible, `M` itself is feasible
+/// exactly when chaining admits the boundary, and everything above `M`
+/// is feasible — so the earliest feasible step is the ASAP/ALAP clamp of
+/// that threshold, bit-identical to the scan it replaces.
 pub(crate) fn feasible_step_range(ctx: &FrameCtx<'_>, node: NodeId) -> (CStep, CStep) {
     let cycles = ctx.effective_cycles(node);
     let asap = ctx.frames.asap(node);
@@ -179,27 +302,32 @@ pub(crate) fn feasible_step_range(ctx: &FrameCtx<'_>, node: NodeId) -> (CStep, C
         }
     }
 
-    // Forbidden frame lower bound: the smallest dependency-feasible step.
-    // (Chaining can make feasibility non-monotonic only at the single
-    // boundary step, so scanning from ASAP is exact.)
-    let mut earliest = asap;
-    while earliest <= alap && !ctx.dep_feasible(node, earliest) {
-        earliest = earliest.offset(1);
-    }
+    // Forbidden frame lower bound: the smallest dependency-feasible step,
+    // clamped into [ASAP, ALAP + 1]. (Chaining can make feasibility
+    // non-monotonic only at the single boundary step M.)
+    let m = ctx.bounds.pred_finish[node.index()];
+    let mut earliest = if m < asap.get() {
+        asap
+    } else if m > alap.get() {
+        alap.offset(1)
+    } else if ctx.dep_feasible(node, CStep::new(m)) {
+        CStep::new(m)
+    } else {
+        CStep::new(m + 1)
+    };
 
     // Scheduled successors cap the start step from above.
     let mut latest = alap;
-    for &s in ctx.dfg.succs(node) {
-        if let Some(sq) = ctx.schedule.start(s) {
-            // finish(node) ≤ start(succ) − 1 ⇒ start ≤ start(succ) − cycles.
-            let bound = sq.get().saturating_sub(cycles as u32);
-            if bound < latest.get() {
-                if bound == 0 {
-                    // No feasible step at all; empty range.
-                    latest = CStep::FIRST;
-                    earliest = latest.offset(1);
-                    break;
-                }
+    let s_min = ctx.bounds.succ_start[node.index()];
+    if s_min != u32::MAX {
+        // finish(node) ≤ start(succ) − 1 ⇒ start ≤ start(succ) − cycles.
+        let bound = s_min.saturating_sub(cycles as u32);
+        if bound < latest.get() {
+            if bound == 0 {
+                // No feasible step at all; empty range.
+                latest = CStep::FIRST;
+                earliest = latest.offset(1);
+            } else {
                 latest = CStep::new(bound);
             }
         }
@@ -256,6 +384,37 @@ pub(crate) fn compute_move_frame(
     }
 }
 
+/// Computes the move frame of `node` from caller-owned state — the
+/// public probing entry used by tests and microbenchmarks. `offsets` is
+/// `NodeId`-indexed (use `Delay::ZERO` for unscheduled or non-chainable
+/// nodes) and `bounds` must be consistent with `schedule` (every
+/// assignment mirrored through [`BoundsCache::on_assign`] /
+/// [`BoundsCache::on_unassign`]).
+#[allow(clippy::too_many_arguments)]
+pub fn probe_move_frame(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    frames: &TimeFrames,
+    schedule: &Schedule,
+    clock: Option<ClockPeriod>,
+    offsets: &[Delay],
+    bounds: &BoundsCache,
+    node: NodeId,
+    grid: &Grid,
+    current_fu: u32,
+) -> FrameSnapshot {
+    let ctx = FrameCtx {
+        dfg,
+        spec,
+        frames,
+        schedule,
+        clock,
+        offsets,
+        bounds,
+    };
+    compute_move_frame(&ctx, node, grid, current_fu)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +438,7 @@ mod tests {
         let q = g.node_by_name("q").unwrap();
         let frames = TimeFrames::compute(&g, &spec, 4).unwrap();
         let mut sched = hls_schedule::Schedule::new(&g, 4);
+        let mut bounds = BoundsCache::new(&g, &spec, None);
         // Schedule p late (step 2): q's frame must start at 3.
         sched.assign(
             p,
@@ -290,7 +450,8 @@ mod tests {
                 },
             },
         );
-        let offsets = BTreeMap::new();
+        bounds.on_assign(&g, p, CStep::new(2));
+        let offsets = vec![Delay::ZERO; g.node_count()];
         let ctx = FrameCtx {
             dfg: &g,
             spec: &spec,
@@ -298,6 +459,7 @@ mod tests {
             schedule: &sched,
             clock: None,
             offsets: &offsets,
+            bounds: &bounds,
         };
         let grid = Grid::new(FuClass::Op(OpKind::Add), 4, 2);
         let snap = compute_move_frame(&ctx, q, &grid, 2);
@@ -313,6 +475,7 @@ mod tests {
         let q = g.node_by_name("q").unwrap();
         let frames = TimeFrames::compute(&g, &spec, 4).unwrap();
         let mut sched = hls_schedule::Schedule::new(&g, 4);
+        let mut bounds = BoundsCache::new(&g, &spec, None);
         sched.assign(
             q,
             Slot {
@@ -323,7 +486,8 @@ mod tests {
                 },
             },
         );
-        let offsets = BTreeMap::new();
+        bounds.on_assign(&g, q, CStep::new(3));
+        let offsets = vec![Delay::ZERO; g.node_count()];
         let ctx = FrameCtx {
             dfg: &g,
             spec: &spec,
@@ -331,6 +495,7 @@ mod tests {
             schedule: &sched,
             clock: None,
             offsets: &offsets,
+            bounds: &bounds,
         };
         let grid = Grid::new(FuClass::Op(OpKind::Add), 4, 2);
         let snap = compute_move_frame(&ctx, p, &grid, 2);
@@ -345,7 +510,8 @@ mod tests {
         let q = g.node_by_name("q").unwrap();
         let frames = TimeFrames::compute(&g, &spec, 2).unwrap();
         let sched = hls_schedule::Schedule::new(&g, 2);
-        let offsets = BTreeMap::new();
+        let bounds = BoundsCache::new(&g, &spec, None);
+        let offsets = vec![Delay::ZERO; g.node_count()];
         let ctx = FrameCtx {
             dfg: &g,
             spec: &spec,
@@ -353,6 +519,7 @@ mod tests {
             schedule: &sched,
             clock: None,
             offsets: &offsets,
+            bounds: &bounds,
         };
         let mut grid = Grid::new(FuClass::Op(OpKind::Add), 2, 1);
         grid.occupy(p, CStep::new(1), FuIndex::new(1), 1);
@@ -378,6 +545,7 @@ mod tests {
             .unwrap()
             .into_frames();
         let mut sched = hls_schedule::Schedule::new(&g, 2);
+        let mut bounds = BoundsCache::new(&g, &spec, Some(clock));
         sched.assign(
             p,
             Slot {
@@ -388,8 +556,9 @@ mod tests {
                 },
             },
         );
-        let mut offsets = BTreeMap::new();
-        offsets.insert(p, Delay::new(48));
+        bounds.on_assign(&g, p, CStep::new(1));
+        let mut offsets = vec![Delay::ZERO; g.node_count()];
+        offsets[p.index()] = Delay::new(48);
         let ctx = FrameCtx {
             dfg: &g,
             spec: &spec,
@@ -397,6 +566,7 @@ mod tests {
             schedule: &sched,
             clock: Some(clock),
             offsets: &offsets,
+            bounds: &bounds,
         };
         let grid = Grid::new(FuClass::Op(OpKind::Add), 2, 2);
         let snap = compute_move_frame(&ctx, q, &grid, 2);
@@ -405,8 +575,12 @@ mod tests {
         assert_eq!(ctx.offset_after(q, CStep::new(1)), Delay::new(96));
         // With a tighter clock the boundary step is rejected.
         let tight = ClockPeriod::new(90);
+        let bounds_tight = BoundsCache::new(&g, &spec, Some(tight));
+        let mut bounds_tight = bounds_tight;
+        bounds_tight.on_assign(&g, p, CStep::new(1));
         let ctx = FrameCtx {
             clock: Some(tight),
+            bounds: &bounds_tight,
             ..ctx
         };
         assert!(!ctx.dep_feasible(q, CStep::new(1)));

@@ -10,7 +10,7 @@ use hls_schedule::{
 
 use hls_telemetry::{Instrument, Metrics, NullSink, TraceEvent};
 
-use crate::frame::{compute_move_frame, FrameCtx, FrameSnapshot};
+use crate::frame::{compute_move_frame, BoundsCache, FrameCtx, FrameSnapshot};
 use crate::mfs::MfsConfig;
 use crate::{MoveFrameError, StaticLiapunov};
 
@@ -173,22 +173,10 @@ pub fn schedule_traced_with_frames(
         }
     })?;
 
-    // Effective cycles (chaining can stretch slow ops over steps).
-    let empty_offsets: BTreeMap<NodeId, Delay> = BTreeMap::new();
-    let probe_schedule = Schedule::new(dfg, cs);
-    let eff_cycles: BTreeMap<NodeId, u8> = {
-        let ctx = FrameCtx {
-            dfg,
-            spec,
-            frames: &frames,
-            schedule: &probe_schedule,
-            clock: config.clock(),
-            offsets: &empty_offsets,
-        };
-        dfg.node_ids()
-            .map(|n| (n, ctx.effective_cycles(n)))
-            .collect()
-    };
+    // Effective cycles (chaining can stretch slow ops over steps) live in
+    // the dependency-bounds cache; a pristine copy doubles as the
+    // template each pass clones (passes start from an empty schedule).
+    let bounds_template = BoundsCache::new(dfg, spec, config.clock());
 
     // Step 2: max_j per class (user constraint, else ASAP/ALAP peak).
     // A memory bank's declared port count is a *hard* column budget, just
@@ -206,8 +194,8 @@ pub fn schedule_traced_with_frames(
         }
     };
     let class_counts = dfg.class_counts();
-    let asap_peak = peak_concurrency(dfg, |n| frames.asap(n), |n| eff_cycles[&n], cs);
-    let alap_peak = peak_concurrency(dfg, |n| frames.alap(n), |n| eff_cycles[&n], cs);
+    let asap_peak = peak_concurrency(dfg, |n| frames.asap(n), |n| bounds_template.cycles(n), cs);
+    let alap_peak = peak_concurrency(dfg, |n| frames.alap(n), |n| bounds_template.cycles(n), cs);
     let mut max_fu: BTreeMap<FuClass, u32> = BTreeMap::new();
     for &class in class_counts.keys() {
         let derived = asap_peak
@@ -276,7 +264,8 @@ pub fn schedule_traced_with_frames(
         'restart: loop {
             config.cancel().checkpoint()?;
             let mut sched = Schedule::new(dfg, cs);
-            let mut offsets: BTreeMap<NodeId, Delay> = BTreeMap::new();
+            let mut offsets: Vec<Delay> = vec![Delay::ZERO; dfg.node_count()];
+            let mut bounds = bounds_template.clone();
             let mut snapshots = Vec::new();
             let mut pass_grids = grids.clone();
 
@@ -298,7 +287,7 @@ pub fn schedule_traced_with_frames(
             for &node in &order {
                 config.cancel().checkpoint()?;
                 let class = dfg.node(node).kind().fu_class();
-                let cycles = eff_cycles[&node];
+                let cycles = bounds.cycles(node);
                 let snap = {
                     let ctx = FrameCtx {
                         dfg,
@@ -307,10 +296,23 @@ pub fn schedule_traced_with_frames(
                         schedule: &sched,
                         clock: config.clock(),
                         offsets: &offsets,
+                        bounds: &bounds,
                     };
                     compute_move_frame(&ctx, node, &pass_grids[&class], current[&class])
                 };
                 instr.inc("mfs.frames_computed", 1);
+                {
+                    // Which bound derivation ran: the O(1) cached formula,
+                    // or the chaining boundary walk (a scheduled
+                    // predecessor finishes inside the primary frame)?
+                    let m = bounds.pred_finish(node);
+                    let (asap_b, alap_b) = snap.primary;
+                    if m != 0 && m >= asap_b.get() && m <= alap_b.get() {
+                        instr.inc("mfs.bounds.boundary_walks", 1);
+                    } else {
+                        instr.inc("mfs.bounds.fast_path", 1);
+                    }
+                }
                 instr.inc("mfs.energy_evaluations", snap.movable.len() as u64);
                 instr.observe("mfs.mf_size", snap.movable.len() as u64);
                 if !snap.af_steps.is_empty() {
@@ -353,6 +355,7 @@ pub fn schedule_traced_with_frames(
                                 schedule: &sched,
                                 clock: config.clock(),
                                 offsets: &offsets,
+                                bounds: &bounds,
                             };
                             ctx.offset_after(node, pos.step)
                         };
@@ -370,7 +373,8 @@ pub fn schedule_traced_with_frames(
                                 },
                             },
                         );
-                        offsets.insert(node, offset);
+                        offsets[node.index()] = offset;
+                        bounds.on_assign(dfg, node, pos.step);
                         instr.inc("mfs.moves_committed", 1);
                         if instr.enabled() {
                             let v = liapunov.value(pos.fu.get(), pos.step.get());

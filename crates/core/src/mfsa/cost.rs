@@ -101,6 +101,11 @@ impl CostModel {
 pub(crate) struct RegEstimate {
     /// signal → (birth, death), both inclusive.
     spans: BTreeMap<SignalId, (u32, u32)>,
+    /// Spans covering each step (index = step, entry 0 unused).
+    live: Vec<u32>,
+    /// Cached `max(live)` — exact because spans only widen, so per-step
+    /// coverage (and hence the peak) is monotone under `commit`.
+    peak: usize,
 }
 
 impl RegEstimate {
@@ -110,46 +115,83 @@ impl RegEstimate {
 
     /// Current register count (peak simultaneously-live spans).
     pub(crate) fn count(&self) -> usize {
-        peak(self.spans.values().copied())
+        self.peak
     }
 
     /// The count if `extensions` were applied: each `(signal, birth,
-    /// death)` inserts or extends a span.
+    /// death)` inserts or extends a span. Evaluated against the cached
+    /// per-step coverage — only the *newly covered* steps can raise the
+    /// peak, so no span map is cloned and no full rescan runs.
     pub(crate) fn count_with(&self, extensions: &[(SignalId, u32, u32)]) -> usize {
-        let mut spans = self.spans.clone();
-        apply(&mut spans, extensions);
-        peak(spans.values().copied())
+        let mut newly: Vec<u32> = Vec::new();
+        // Spans already widened by earlier extensions in this same call
+        // (an op can consume one signal twice); tiny, so linear search.
+        let mut overlay: Vec<(SignalId, (u32, u32))> = Vec::new();
+        for &(sig, birth, death) in extensions {
+            match overlay.iter_mut().find(|(s, _)| *s == sig) {
+                Some((_, span)) => {
+                    let (ob, od) = *span;
+                    let (nb, nd) = (ob.min(birth), od.max(death));
+                    newly.extend(nb..ob);
+                    newly.extend(od + 1..=nd);
+                    *span = (nb, nd);
+                }
+                None => match self.spans.get(&sig).copied() {
+                    Some((ob, od)) => {
+                        let (nb, nd) = (ob.min(birth), od.max(death));
+                        newly.extend(nb..ob);
+                        newly.extend(od + 1..=nd);
+                        overlay.push((sig, (nb, nd)));
+                    }
+                    None => {
+                        newly.extend(birth..=death);
+                        overlay.push((sig, (birth, death)));
+                    }
+                },
+            }
+        }
+        // Steps without new coverage keep their old count ≤ peak.
+        newly.sort_unstable();
+        let mut peak = self.peak;
+        let mut i = 0;
+        while i < newly.len() {
+            let step = newly[i];
+            let mut j = i;
+            while j < newly.len() && newly[j] == step {
+                j += 1;
+            }
+            let base = self.live.get(step as usize).copied().unwrap_or(0);
+            peak = peak.max((base + (j - i) as u32) as usize);
+            i = j;
+        }
+        peak
     }
 
     /// Applies `extensions` permanently.
     pub(crate) fn commit(&mut self, extensions: &[(SignalId, u32, u32)]) {
-        apply(&mut self.spans, extensions);
+        for &(sig, birth, death) in extensions {
+            let (cover_a, cover_b) = match self.spans.get_mut(&sig) {
+                Some(span) => {
+                    let (ob, od) = *span;
+                    let (nb, nd) = (ob.min(birth), od.max(death));
+                    *span = (nb, nd);
+                    (nb..ob, od + 1..=nd)
+                }
+                None => {
+                    self.spans.insert(sig, (birth, death));
+                    (1..1, birth..=death)
+                }
+            };
+            for step in cover_a.chain(cover_b) {
+                let idx = step as usize;
+                if self.live.len() <= idx {
+                    self.live.resize(idx + 1, 0);
+                }
+                self.live[idx] += 1;
+                self.peak = self.peak.max(self.live[idx] as usize);
+            }
+        }
     }
-}
-
-fn apply(spans: &mut BTreeMap<SignalId, (u32, u32)>, extensions: &[(SignalId, u32, u32)]) {
-    for &(sig, birth, death) in extensions {
-        spans
-            .entry(sig)
-            .and_modify(|(b, d)| {
-                *b = (*b).min(birth);
-                *d = (*d).max(death);
-            })
-            .or_insert((birth, death));
-    }
-}
-
-fn peak(spans: impl Iterator<Item = (u32, u32)> + Clone) -> usize {
-    let max_step = spans.clone().map(|(_, d)| d).max().unwrap_or(0);
-    (1..=max_step)
-        .map(|step| {
-            spans
-                .clone()
-                .filter(|&(b, d)| b <= step && step <= d)
-                .count()
-        })
-        .max()
-        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use hls_schedule::{
 
 use hls_telemetry::{Instrument, Metrics, NullSink, TraceEvent};
 
-use crate::frame::{feasible_step_range, FrameCtx};
+use crate::frame::{feasible_step_range, BoundsCache, FrameCtx};
 use crate::mfsa::cost::{CostModel, EstSource, RegEstimate};
 use crate::mfsa::{DesignStyle, MfsaConfig};
 use crate::MoveFrameError;
@@ -71,6 +71,10 @@ struct Instance {
     mux_ops: Vec<MuxOp<EstSource>>,
     /// Wrapped step → occupants.
     busy: BTreeMap<u32, Vec<NodeId>>,
+    /// One bit per wrapped step with any occupant — the fast reject for
+    /// [`instance_free`]; the map above is only walked when a bit is set
+    /// *and* the probing node has mutual exclusions to check.
+    busy_bits: Vec<u64>,
 }
 
 /// One scored candidate position.
@@ -94,6 +98,11 @@ impl Candidate {
         self.f_time + self.f_alu + self.f_mux + self.f_reg
     }
 }
+
+/// Step-invariant part of a reuse/upgrade candidate for one instance:
+/// `(kind after the move, f_ALU, f_MUX, flavour)`, or `None` when the
+/// instance can never host the op.
+type InstCost = Option<(usize, u64, u64, u8)>;
 
 /// Runs Move Frame Scheduling-Allocation on `dfg` under `spec` and
 /// `config`.
@@ -231,7 +240,8 @@ pub fn schedule_traced_with_frames(
     };
 
     let mut sched = Schedule::new(dfg, cs);
-    let mut offsets: BTreeMap<NodeId, Delay> = BTreeMap::new();
+    let mut offsets: Vec<Delay> = vec![Delay::ZERO; dfg.node_count()];
+    let mut bounds = BoundsCache::new(dfg, spec, config.clock());
     let mut instances: Vec<Instance> = Vec::new();
     // Bank-port occupancy: (bank, 1-based port, wrapped step) → nodes.
     let mut mem_busy: BTreeMap<(BankId, u32, u32), Vec<NodeId>> = BTreeMap::new();
@@ -253,7 +263,11 @@ pub fn schedule_traced_with_frames(
                     unreachable!("mem accesses have a Mem class");
                 };
                 let ports = dfg.bank_ports(bank);
-                let (earliest, latest, cycles) = {
+                // (total, step, port, f_time, f_reg), min by (total,
+                // step, port).
+                let mut best: Option<(u64, CStep, u32, u64, u64)> = None;
+                let mut n_candidates = 0u64;
+                let (cycles, offset) = {
                     let ctx = FrameCtx {
                         dfg,
                         spec,
@@ -261,66 +275,57 @@ pub fn schedule_traced_with_frames(
                         schedule: &sched,
                         clock: config.clock(),
                         offsets: &offsets,
+                        bounds: &bounds,
                     };
-                    let (e, l) = feasible_step_range(&ctx, node);
-                    (e, l, ctx.effective_cycles(node))
-                };
-                // (total, step, port, f_time, f_reg), min by (total,
-                // step, port).
-                let mut best: Option<(u64, CStep, u32, u64, u64)> = None;
-                let mut n_candidates = 0u64;
-                let mut step = earliest;
-                while step <= latest {
-                    let dep_ok = {
-                        let ctx = FrameCtx {
-                            dfg,
-                            spec,
-                            frames: &frames,
-                            schedule: &sched,
-                            clock: config.clock(),
-                            offsets: &offsets,
-                        };
-                        ctx.dep_feasible(node, step) && step.finish(cycles).get() <= cs
-                    };
-                    if dep_ok {
-                        let f_time = model.f_time(step.get());
-                        let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
-                        let f_reg = model.f_reg(
-                            reg_est
-                                .count_with(&extensions)
-                                .saturating_sub(reg_est.count()),
-                        );
-                        for port in 1..=ports {
-                            let free = (0..cycles as u32).all(|k| {
-                                mem_busy
-                                    .get(&(bank, port, wrap(step.get() + k)))
-                                    .is_none_or(|occ| {
-                                        occ.iter().all(|&o| dfg.mutually_exclusive(node, o))
-                                    })
-                            });
-                            if !free {
-                                continue;
-                            }
-                            n_candidates += 1;
-                            let total = f_time + f_reg;
-                            if instr.enabled() {
-                                instr.emit(TraceEvent::EnergyEvaluated {
-                                    op: node.index() as u32,
-                                    pos: (port, step.get()),
-                                    v: total,
+                    let (earliest, latest) = feasible_step_range(&ctx, node);
+                    let cycles = ctx.effective_cycles(node);
+                    let mut step = earliest;
+                    while step <= latest {
+                        if ctx.dep_feasible(node, step) && step.finish(cycles).get() <= cs {
+                            let f_time = model.f_time(step.get());
+                            let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
+                            let f_reg = model.f_reg(
+                                reg_est
+                                    .count_with(&extensions)
+                                    .saturating_sub(reg_est.count()),
+                            );
+                            for port in 1..=ports {
+                                let free = (0..cycles as u32).all(|k| {
+                                    mem_busy
+                                        .get(&(bank, port, wrap(step.get() + k)))
+                                        .is_none_or(|occ| {
+                                            occ.iter().all(|&o| dfg.mutually_exclusive(node, o))
+                                        })
                                 });
-                            }
-                            let better = match best {
-                                None => true,
-                                Some((bt, bs, bp, ..)) => (total, step, port) < (bt, bs, bp),
-                            };
-                            if better {
-                                best = Some((total, step, port, f_time, f_reg));
+                                if !free {
+                                    continue;
+                                }
+                                n_candidates += 1;
+                                let total = f_time + f_reg;
+                                if instr.enabled() {
+                                    instr.emit(TraceEvent::EnergyEvaluated {
+                                        op: node.index() as u32,
+                                        pos: (port, step.get()),
+                                        v: total,
+                                    });
+                                }
+                                let better = match best {
+                                    None => true,
+                                    Some((bt, bs, bp, ..)) => (total, step, port) < (bt, bs, bp),
+                                };
+                                if better {
+                                    best = Some((total, step, port, f_time, f_reg));
+                                }
                             }
                         }
+                        step = step.offset(1);
                     }
-                    step = step.offset(1);
-                }
+                    let offset = match best {
+                        Some((_, step, ..)) => ctx.offset_after(node, step),
+                        None => Delay::ZERO,
+                    };
+                    (cycles, offset)
+                };
                 instr.inc("mfsa.energy_evaluations", n_candidates);
                 instr.observe("mfsa.candidates", n_candidates);
                 let Some((total, step, port, f_time, f_reg)) = best else {
@@ -329,17 +334,6 @@ pub fn schedule_traced_with_frames(
                         class: FuClass::Mem(bank),
                         max_fu: ports,
                     });
-                };
-                let offset = {
-                    let ctx = FrameCtx {
-                        dfg,
-                        spec,
-                        frames: &frames,
-                        schedule: &sched,
-                        clock: config.clock(),
-                        offsets: &offsets,
-                    };
-                    ctx.offset_after(node, step)
                 };
                 for k in 0..cycles as u32 {
                     mem_busy
@@ -357,7 +351,8 @@ pub fn schedule_traced_with_frames(
                         },
                     },
                 );
-                offsets.insert(node, offset);
+                offsets[node.index()] = offset;
+                bounds.on_assign(dfg, node, step);
                 let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
                 reg_est.commit(&extensions);
                 instr.inc("mfsa.moves_committed", 1);
@@ -393,7 +388,11 @@ pub fn schedule_traced_with_frames(
                 _ => unreachable!("loops rejected above, mem accesses handled above"),
             };
 
-            let (earliest, latest, cycles, mux_op) = {
+            let mut best: Option<Candidate> = None;
+            let mut n_candidates = 0u64;
+            let next_instance = instances.len() as u32 + 1;
+
+            let (cycles, mux_op, offset) = {
                 let ctx = FrameCtx {
                     dfg,
                     spec,
@@ -401,8 +400,9 @@ pub fn schedule_traced_with_frames(
                     schedule: &sched,
                     clock: config.clock(),
                     offsets: &offsets,
+                    bounds: &bounds,
                 };
-                let (e, l) = feasible_step_range(&ctx, node);
+                let (earliest, latest) = feasible_step_range(&ctx, node);
                 let cycles = ctx.effective_cycles(node);
                 // Operand sources for the f_MUX estimate (independent of the
                 // candidate position in this model).
@@ -429,138 +429,153 @@ pub fn schedule_traced_with_frames(
                     right: inputs.get(1).map(|&s| est(s)),
                     commutative,
                 };
-                (e, l, cycles, mux_op)
-            };
 
-            let mut best: Option<Candidate> = None;
-            let mut n_candidates = 0u64;
-            let next_instance = instances.len() as u32 + 1;
-            let mut consider = |c: Candidate| {
-                n_candidates += 1;
-                if instr.enabled() {
-                    instr.emit(TraceEvent::EnergyEvaluated {
-                        op: node.index() as u32,
-                        pos: (
-                            c.instance.map_or(next_instance, |i| i as u32 + 1),
-                            c.step.get(),
-                        ),
-                        v: c.total(),
-                    });
-                }
-                let better = match &best {
-                    None => true,
-                    Some(b) => {
-                        (
-                            c.total(),
-                            c.step,
-                            c.flavour,
-                            c.instance.unwrap_or(usize::MAX),
-                            c.kind_index,
-                        ) < (
-                            b.total(),
-                            b.step,
-                            b.flavour,
-                            b.instance.unwrap_or(usize::MAX),
-                            b.kind_index,
-                        )
+                // Step-invariant candidate terms, memoized per instance
+                // instead of recomputed per (step, instance): the mux
+                // repacking and the upgrade-kind search depend only on the
+                // instance state, which is frozen while this node scans its
+                // frame. Filled lazily on the first step where the instance
+                // is actually free, so fully-busy instances never pay for a
+                // repack. Inner `None` = the instance can never host this
+                // op (style conflict, or no superset kind exists).
+                let mut inst_costs: Vec<Option<InstCost>> = vec![None; instances.len()];
+                let fresh_mux = model.f_mux(&[], mux_op);
+                let new_kinds: Vec<(usize, u64)> = library
+                    .alus()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, k)| k.supports(op))
+                    .map(|(kind_index, k)| (kind_index, model.f_alu(k.area())))
+                    .collect();
+
+                let mut consider = |c: Candidate| {
+                    n_candidates += 1;
+                    if instr.enabled() {
+                        instr.emit(TraceEvent::EnergyEvaluated {
+                            op: node.index() as u32,
+                            pos: (
+                                c.instance.map_or(next_instance, |i| i as u32 + 1),
+                                c.step.get(),
+                            ),
+                            v: c.total(),
+                        });
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            (
+                                c.total(),
+                                c.step,
+                                c.flavour,
+                                c.instance.unwrap_or(usize::MAX),
+                                c.kind_index,
+                            ) < (
+                                b.total(),
+                                b.step,
+                                b.flavour,
+                                b.instance.unwrap_or(usize::MAX),
+                                b.kind_index,
+                            )
+                        }
+                    };
+                    if better {
+                        best = Some(c);
                     }
                 };
-                if better {
-                    best = Some(c);
-                }
-            };
 
-            let mut step = earliest;
-            while step <= latest {
-                let dep_ok = {
-                    let ctx = FrameCtx {
-                        dfg,
-                        spec,
-                        frames: &frames,
-                        schedule: &sched,
-                        clock: config.clock(),
-                        offsets: &offsets,
-                    };
-                    ctx.dep_feasible(node, step) && step.finish(cycles).get() <= cs
-                };
-                if dep_ok {
-                    let f_time = model.f_time(step.get());
-                    let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
-                    let f_reg = model.f_reg(
-                        reg_est
-                            .count_with(&extensions)
-                            .saturating_sub(reg_est.count()),
-                    );
+                let mut step = earliest;
+                while step <= latest {
+                    if ctx.dep_feasible(node, step) && step.finish(cycles).get() <= cs {
+                        let f_time = model.f_time(step.get());
+                        let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
+                        let f_reg = model.f_reg(
+                            reg_est
+                                .count_with(&extensions)
+                                .saturating_sub(reg_est.count()),
+                        );
 
-                    // Existing instances: reuse or upgrade.
-                    for (i, inst) in instances.iter().enumerate() {
-                        if !instance_free(inst, dfg, node, step, cycles, &wrap) {
-                            continue;
-                        }
-                        if config.style() == DesignStyle::NoSelfLoop {
-                            let related = inst.ops.iter().any(|&o| {
-                                dfg.preds(node).contains(&o) || dfg.succs(node).contains(&o)
-                            });
-                            if related {
+                        // Existing instances: reuse or upgrade.
+                        for (i, inst) in instances.iter().enumerate() {
+                            if !instance_free(inst, dfg, node, step, cycles, &wrap) {
                                 continue;
                             }
-                        }
-                        let cur_kind = &library.alus()[inst.kind_index];
-                        if cur_kind.supports(op) {
+                            let cost = inst_costs[i].get_or_insert_with(|| {
+                                if config.style() == DesignStyle::NoSelfLoop {
+                                    let related = inst.ops.iter().any(|&o| {
+                                        dfg.preds(node).contains(&o) || dfg.succs(node).contains(&o)
+                                    });
+                                    if related {
+                                        return None;
+                                    }
+                                }
+                                let cur_kind = &library.alus()[inst.kind_index];
+                                if cur_kind.supports(op) {
+                                    Some((
+                                        inst.kind_index,
+                                        0,
+                                        model.f_mux(&inst.mux_ops, mux_op),
+                                        0,
+                                    ))
+                                } else {
+                                    // Cheapest superset kind covering old
+                                    // ops + op.
+                                    library
+                                        .alus()
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(_, k)| {
+                                            k.supports(op) && cur_kind.ops().all(|o| k.supports(o))
+                                        })
+                                        .min_by_key(|(idx, k)| (k.area(), *idx))
+                                        .map(|(kind_index, kind)| {
+                                            (
+                                                kind_index,
+                                                model.f_alu(
+                                                    kind.area().saturating_sub(cur_kind.area()),
+                                                ),
+                                                model.f_mux(&inst.mux_ops, mux_op),
+                                                1,
+                                            )
+                                        })
+                                }
+                            });
+                            let Some((kind_index, f_alu, f_mux, flavour)) = *cost else {
+                                continue;
+                            };
                             consider(Candidate {
                                 step,
                                 instance: Some(i),
-                                kind_index: inst.kind_index,
+                                kind_index,
                                 f_time,
-                                f_alu: 0,
-                                f_mux: model.f_mux(&inst.mux_ops, mux_op),
+                                f_alu,
+                                f_mux,
                                 f_reg,
-                                flavour: 0,
+                                flavour,
                             });
-                        } else {
-                            // Cheapest superset kind covering old ops + op.
-                            let upgrade = library
-                                .alus()
-                                .iter()
-                                .enumerate()
-                                .filter(|(_, k)| {
-                                    k.supports(op) && cur_kind.ops().all(|o| k.supports(o))
-                                })
-                                .min_by_key(|(idx, k)| (k.area(), *idx));
-                            if let Some((kind_index, kind)) = upgrade {
-                                consider(Candidate {
-                                    step,
-                                    instance: Some(i),
-                                    kind_index,
-                                    f_time,
-                                    f_alu: model.f_alu(kind.area().saturating_sub(cur_kind.area())),
-                                    f_mux: model.f_mux(&inst.mux_ops, mux_op),
-                                    f_reg,
-                                    flavour: 1,
-                                });
-                            }
                         }
-                    }
 
-                    // New instances of every capable kind.
-                    for (kind_index, kind) in library.alus().iter().enumerate() {
-                        if !kind.supports(op) {
-                            continue;
+                        // New instances of every capable kind.
+                        for &(kind_index, f_alu) in &new_kinds {
+                            consider(Candidate {
+                                step,
+                                instance: None,
+                                kind_index,
+                                f_time,
+                                f_alu,
+                                f_mux: fresh_mux,
+                                f_reg,
+                                flavour: 2,
+                            });
                         }
-                        consider(Candidate {
-                            step,
-                            instance: None,
-                            kind_index,
-                            f_time,
-                            f_alu: model.f_alu(kind.area()),
-                            f_mux: model.f_mux(&[], mux_op),
-                            f_reg,
-                            flavour: 2,
-                        });
                     }
+                    step = step.offset(1);
                 }
-                step = step.offset(1);
-            }
+                let offset = match &best {
+                    Some(c) => ctx.offset_after(node, c.step),
+                    None => Delay::ZERO,
+                };
+                (cycles, mux_op, offset)
+            };
 
             instr.inc("mfsa.energy_evaluations", n_candidates);
             instr.observe("mfsa.candidates", n_candidates);
@@ -573,17 +588,6 @@ pub fn schedule_traced_with_frames(
             };
 
             // Commit the move.
-            let offset = {
-                let ctx = FrameCtx {
-                    dfg,
-                    spec,
-                    frames: &frames,
-                    schedule: &sched,
-                    clock: config.clock(),
-                    offsets: &offsets,
-                };
-                ctx.offset_after(node, chosen.step)
-            };
             let instance_idx = match chosen.instance {
                 Some(i) => {
                     instances[i].kind_index = chosen.kind_index;
@@ -595,6 +599,7 @@ pub fn schedule_traced_with_frames(
                         ops: Vec::new(),
                         mux_ops: Vec::new(),
                         busy: BTreeMap::new(),
+                        busy_bits: Vec::new(),
                     });
                     instances.len() - 1
                 }
@@ -603,10 +608,13 @@ pub fn schedule_traced_with_frames(
             inst.ops.push(node);
             inst.mux_ops.push(mux_op);
             for k in 0..cycles as u32 {
-                inst.busy
-                    .entry(wrap(chosen.step.get() + k))
-                    .or_default()
-                    .push(node);
+                let s = wrap(chosen.step.get() + k);
+                inst.busy.entry(s).or_default().push(node);
+                let word = s as usize / 64;
+                if inst.busy_bits.len() <= word {
+                    inst.busy_bits.resize(word + 1, 0);
+                }
+                inst.busy_bits[word] |= 1 << (s % 64);
             }
             sched.assign(
                 node,
@@ -617,7 +625,8 @@ pub fn schedule_traced_with_frames(
                     },
                 },
             );
-            offsets.insert(node, offset);
+            offsets[node.index()] = offset;
+            bounds.on_assign(dfg, node, chosen.step);
             let extensions = reg_extensions(dfg, &sched, spec, node, chosen.step, config);
             reg_est.commit(&extensions);
             instr.inc("mfsa.moves_committed", 1);
@@ -695,6 +704,19 @@ fn instance_free(
     cycles: u8,
     wrap: &impl Fn(u32) -> u32,
 ) -> bool {
+    let occupied = (0..cycles as u32).any(|k| {
+        let s = wrap(step.get() + k);
+        inst.busy_bits
+            .get(s as usize / 64)
+            .is_some_and(|w| w >> (s % 64) & 1 == 1)
+    });
+    if !occupied {
+        return true;
+    }
+    // Occupied steps are only survivable through mutual exclusion.
+    if !dfg.has_exclusions(node) {
+        return false;
+    }
     for k in 0..cycles as u32 {
         if let Some(occ) = inst.busy.get(&wrap(step.get() + k)) {
             if occ.iter().any(|&o| !dfg.mutually_exclusive(node, o)) {

@@ -56,6 +56,18 @@ pub struct Dfg {
     preds: Vec<Vec<NodeId>>,
     succs: Vec<Vec<NodeId>>,
     topo: Vec<NodeId>,
+    /// Per-node compact index into `mutex_bits`, or `u32::MAX` for
+    /// unconditional nodes (which exclude nothing). Only nodes inside a
+    /// branch arm get a row, so branch-free graphs pay nothing.
+    mutex_index: Vec<u32>,
+    /// Symmetric k×k bitset over the branched nodes: bit `(i, j)` is set
+    /// iff their branch paths are mutually exclusive.
+    mutex_bits: Vec<u64>,
+    /// Words per `mutex_bits` row.
+    mutex_words: usize,
+    /// One bit per node: whether it excludes at least one other node
+    /// (i.e. occupancy sharing is even worth checking for it).
+    excluders: Vec<u64>,
 }
 
 impl Dfg {
@@ -189,6 +201,32 @@ impl Dfg {
                 .collect();
             return Err(DfgError::Cycle(cyclic));
         }
+        // Mutual-exclusion cache (paper §5.1): pairwise `excludes` over
+        // the branched nodes only, folded into bitsets so the schedulers'
+        // hot probes are O(1) bit tests instead of arm-list walks.
+        let branched: Vec<usize> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.branch.is_top_level())
+            .map(|(i, _)| i)
+            .collect();
+        let mut mutex_index = vec![u32::MAX; nodes.len()];
+        for (compact, &i) in branched.iter().enumerate() {
+            mutex_index[i] = compact as u32;
+        }
+        let mutex_words = branched.len().div_ceil(64);
+        let mut mutex_bits = vec![0u64; branched.len() * mutex_words];
+        let mut excluders = vec![0u64; nodes.len().div_ceil(64)];
+        for (ia, &a) in branched.iter().enumerate() {
+            for (ib, &b) in branched.iter().enumerate().skip(ia + 1) {
+                if nodes[a].branch.excludes(&nodes[b].branch) {
+                    mutex_bits[ia * mutex_words + ib / 64] |= 1 << (ib % 64);
+                    mutex_bits[ib * mutex_words + ia / 64] |= 1 << (ia % 64);
+                    excluders[a / 64] |= 1 << (a % 64);
+                    excluders[b / 64] |= 1 << (b % 64);
+                }
+            }
+        }
         Ok(Dfg {
             name,
             nodes,
@@ -198,6 +236,10 @@ impl Dfg {
             preds,
             succs,
             topo,
+            mutex_index,
+            mutex_bits,
+            mutex_words,
+            excluders,
         })
     }
 
@@ -320,9 +362,24 @@ impl Dfg {
     }
 
     /// Whether two nodes are mutually exclusive (paper §5.1) and may
-    /// therefore share an FU in the same control step.
+    /// therefore share an FU in the same control step. A precomputed
+    /// bitset lookup — O(1), no arm-list comparison.
     pub fn mutually_exclusive(&self, a: NodeId, b: NodeId) -> bool {
-        self.node(a).excludes(self.node(b))
+        let ia = self.mutex_index[a.index()];
+        let ib = self.mutex_index[b.index()];
+        if ia == u32::MAX || ib == u32::MAX {
+            return false;
+        }
+        let (ia, ib) = (ia as usize, ib as usize);
+        self.mutex_bits[ia * self.mutex_words + ib / 64] >> (ib % 64) & 1 == 1
+    }
+
+    /// Whether `id` excludes at least one other node. When this is
+    /// `false` (always, for unconditional nodes), an occupied grid cell
+    /// can never be shared with `id`, so occupancy probes may skip the
+    /// per-occupant check entirely.
+    pub fn has_exclusions(&self, id: NodeId) -> bool {
+        self.excluders[id.index() / 64] >> (id.index() % 64) & 1 == 1
     }
 
     /// The memory declarations (banks and arrays; empty for pure
@@ -436,6 +493,36 @@ mod tests {
         assert!(g.node_by_name("zz").is_none());
         assert!(g.signal_by_name("x").is_some());
         assert!(g.signal_by_name("zz").is_none());
+    }
+
+    #[test]
+    fn mutex_cache_matches_pairwise_excludes() {
+        let mut b = DfgBuilder::new("branches");
+        let x = b.input("x");
+        let y = b.input("y");
+        let br = b.begin_branch();
+        b.enter_arm(br, 0);
+        b.op("t", OpKind::Add, &[x, y]).unwrap();
+        b.exit_arm();
+        b.enter_arm(br, 1);
+        b.op("e", OpKind::Add, &[x, y]).unwrap();
+        b.exit_arm();
+        b.op("u", OpKind::Add, &[x, y]).unwrap();
+        let g = b.finish().unwrap();
+        for a in g.node_ids() {
+            for c in g.node_ids() {
+                assert_eq!(
+                    g.mutually_exclusive(a, c),
+                    g.node(a).excludes(g.node(c)),
+                    "cache disagrees for ({a}, {c})"
+                );
+            }
+        }
+        let t = g.node_by_name("t").unwrap();
+        let u = g.node_by_name("u").unwrap();
+        assert!(g.has_exclusions(t));
+        assert!(!g.has_exclusions(u));
+        assert_eq!(NodeId::from_index(t.index()), t);
     }
 
     #[test]

@@ -16,6 +16,13 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds an id from [`NodeId::index`] — for dense, index-addressed
+    /// side tables (schedules, grids, bound caches). The caller is
+    /// responsible for only using indices obtained from the same graph.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
 }
 
 impl fmt::Display for NodeId {

@@ -7,6 +7,19 @@ use hls_dfg::{Dfg, FuClass, NodeId};
 
 use crate::{CStep, FuIndex};
 
+/// Occupant record of one grid cell.
+///
+/// Almost every occupied cell holds exactly one operation; only cells
+/// shared under mutual exclusion (paper §5.1) spill into the side map,
+/// so the dense per-cell storage stays one word wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellOcc {
+    Empty,
+    One(NodeId),
+    /// Two or more occupants — the list lives in [`Grid::shared`].
+    Shared,
+}
+
 /// Occupancy table for one FU class: the "grid table" of Figure 1, where
 /// an operation occupies `(FU index, control step)` cells.
 ///
@@ -17,14 +30,42 @@ use crate::{CStep, FuIndex};
 ///
 /// Mutual exclusion is honoured: a cell may hold several operations as
 /// long as they are pairwise mutually exclusive (paper §5.1).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// # Representation
+///
+/// Occupancy is a flat, column-major bitset (`wpc` words per column, one
+/// bit per `(step, fu)` cell), so the hot [`Grid::is_free_for`] probe is
+/// a bounds check plus a mask test. Occupant identity lives in a dense
+/// one-word-per-cell side table, with a `BTreeMap` only for the rare
+/// mutually-exclusive shared cells. Columns are materialised on first
+/// touch, so a grid whose `max_fu` budget later grows (local
+/// rescheduling) never reallocates more than it uses.
+#[derive(Debug, Clone)]
 pub struct Grid {
     class: FuClass,
     cs: u32,
     max_fu: u32,
     latency: Option<u32>,
-    cells: BTreeMap<(u32, u32), Vec<NodeId>>,
-    placements: BTreeMap<NodeId, (CStep, FuIndex, u8)>,
+    /// Height of the wrap space: `latency.unwrap_or(cs)` rows.
+    rows: u32,
+    /// Occupancy words per column.
+    wpc: usize,
+    /// Materialised columns (`≤ max_fu`).
+    cols: u32,
+    /// `cols × wpc` occupancy words; a set bit means "≥ 1 occupant".
+    occ: Vec<u64>,
+    /// `cols × rows` occupant records.
+    cell: Vec<CellOcc>,
+    /// Occupant lists of mutually-exclusive shared cells, keyed by
+    /// `(wrapped row, fu)` in occupancy order.
+    shared: BTreeMap<(u32, u32), Vec<NodeId>>,
+    /// `NodeId`-indexed placements (grown on demand).
+    placements: Vec<Option<(CStep, FuIndex, u8)>>,
+    placed: usize,
+    /// Placements per materialised column, for the high-water mark.
+    col_counts: Vec<u32>,
+    /// Highest column currently in use (maintained, not scanned).
+    hwm: u32,
 }
 
 impl Grid {
@@ -41,8 +82,16 @@ impl Grid {
             cs,
             max_fu,
             latency: None,
-            cells: BTreeMap::new(),
-            placements: BTreeMap::new(),
+            rows: cs,
+            wpc: (cs as usize).div_ceil(64),
+            cols: 0,
+            occ: Vec::new(),
+            cell: Vec::new(),
+            shared: BTreeMap::new(),
+            placements: Vec::new(),
+            placed: 0,
+            col_counts: Vec::new(),
+            hwm: 0,
         }
     }
 
@@ -53,7 +102,10 @@ impl Grid {
     /// Panics if `latency` is zero.
     pub fn with_latency(mut self, latency: u32) -> Self {
         assert!(latency >= 1, "latency must be positive");
+        debug_assert!(self.placed == 0, "latency is fixed before placement");
         self.latency = Some(latency);
+        self.rows = latency;
+        self.wpc = (latency as usize).div_ceil(64);
         self
     }
 
@@ -79,19 +131,63 @@ impl Grid {
         self.max_fu = self.max_fu.max(max_fu);
     }
 
-    fn wrap(&self, step: u32) -> u32 {
+    /// 0-based wrapped row of a 1-based step.
+    fn row(&self, step: u32) -> u32 {
         match self.latency {
-            Some(l) => (step - 1) % l + 1,
-            None => step,
+            Some(l) => (step - 1) % l,
+            None => step - 1,
+        }
+    }
+
+    /// Materialises storage up to column `col` (0-based).
+    fn ensure_col(&mut self, col: u32) {
+        if col >= self.cols {
+            let cols = col + 1;
+            self.occ.resize(cols as usize * self.wpc, 0);
+            self.cell
+                .resize(cols as usize * self.rows as usize, CellOcc::Empty);
+            self.col_counts.resize(cols as usize, 0);
+            self.cols = cols;
         }
     }
 
     /// Occupants of the cell `(step, fu)` (after wrap-around).
     pub fn occupants(&self, step: CStep, fu: FuIndex) -> &[NodeId] {
-        self.cells
-            .get(&(self.wrap(step.get()), fu.get()))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let col = fu.get() - 1;
+        if col >= self.cols {
+            return &[];
+        }
+        let row = self.row(step.get());
+        match &self.cell[(col * self.rows + row) as usize] {
+            CellOcc::Empty => &[],
+            CellOcc::One(node) => std::slice::from_ref(node),
+            CellOcc::Shared => &self.shared[&(row + 1, fu.get())],
+        }
+    }
+
+    /// Whether any cell in the `cycles`-step span starting at `step` on
+    /// column `col` (0-based, materialised) is occupied.
+    fn span_occupied(&self, col: u32, step: CStep, cycles: u8) -> bool {
+        let base = col as usize * self.wpc;
+        if self.latency.is_none() {
+            // Contiguous rows: test whole words of the column bitset.
+            let mut r = (step.get() - 1) as usize;
+            let end = r + cycles as usize;
+            while r < end {
+                let span = (64 - r % 64).min(end - r);
+                let mask = (!0u64 >> (64 - span)) << (r % 64);
+                if self.occ[base + r / 64] & mask != 0 {
+                    return true;
+                }
+                r += span;
+            }
+            false
+        } else {
+            (0..cycles as u32).any(|c| {
+                let r = self.row(step.get() + c) as usize;
+                self.occ[base + r / 64] >> (r % 64) & 1 == 1
+            })
+        }
     }
 
     /// Whether `node` (occupying `cycles` steps from `step` on column
@@ -109,6 +205,15 @@ impl Grid {
             return false;
         }
         if step.finish(cycles).get() > self.cs {
+            return false;
+        }
+        let col = fu.get() - 1;
+        if col >= self.cols || !self.span_occupied(col, step, cycles) {
+            return true;
+        }
+        // Something is there. A node that excludes nothing can never
+        // share a cell, so only branched nodes walk the occupant lists.
+        if !dfg.has_exclusions(node) {
             return false;
         }
         for c in 0..cycles as u32 {
@@ -129,8 +234,11 @@ impl Grid {
     /// grid — schedulers check [`Grid::is_free_for`] first, so either is
     /// a scheduler bug.
     pub fn occupy(&mut self, node: NodeId, step: CStep, fu: FuIndex, cycles: u8) {
+        if node.index() >= self.placements.len() {
+            self.placements.resize(node.index() + 1, None);
+        }
         assert!(
-            !self.placements.contains_key(&node),
+            self.placements[node.index()].is_none(),
             "node {node} is already placed"
         );
         assert!(fu.get() <= self.max_fu, "column {fu} beyond max_fu");
@@ -138,60 +246,221 @@ impl Grid {
             step.finish(cycles).get() <= self.cs,
             "placement overruns the time constraint"
         );
+        let col = fu.get() - 1;
+        self.ensure_col(col);
         for c in 0..cycles as u32 {
-            self.cells
-                .entry((self.wrap(step.offset(c).get()), fu.get()))
-                .or_default()
-                .push(node);
+            let row = self.row(step.get() + c);
+            self.occ[col as usize * self.wpc + row as usize / 64] |= 1 << (row % 64);
+            let cell = &mut self.cell[(col * self.rows + row) as usize];
+            match *cell {
+                CellOcc::Empty => *cell = CellOcc::One(node),
+                CellOcc::One(first) => {
+                    *cell = CellOcc::Shared;
+                    self.shared.insert((row + 1, fu.get()), vec![first, node]);
+                }
+                CellOcc::Shared => {
+                    self.shared
+                        .get_mut(&(row + 1, fu.get()))
+                        .expect("shared cell has a list")
+                        .push(node);
+                }
+            }
         }
-        self.placements.insert(node, (step, fu, cycles));
+        self.placements[node.index()] = Some((step, fu, cycles));
+        self.placed += 1;
+        self.col_counts[col as usize] += 1;
+        self.hwm = self.hwm.max(fu.get());
     }
 
     /// Removes `node`'s placement (local rescheduling). Returns the old
     /// `(step, fu)` if it was placed.
+    ///
+    /// Cell and column state is fully reclaimed: no empty occupant lists
+    /// linger and the high-water mark drops with the vacated column.
     pub fn vacate(&mut self, node: NodeId) -> Option<(CStep, FuIndex)> {
-        let (step, fu, cycles) = self.placements.remove(&node)?;
+        let (step, fu, cycles) = self.placements.get_mut(node.index())?.take()?;
+        let col = fu.get() - 1;
         for c in 0..cycles as u32 {
-            if let Some(cell) = self
-                .cells
-                .get_mut(&(self.wrap(step.offset(c).get()), fu.get()))
-            {
-                cell.retain(|&n| n != node);
+            let row = self.row(step.get() + c);
+            let cell = &mut self.cell[(col * self.rows + row) as usize];
+            match *cell {
+                // Already cleared: a multi-cycle op whose span wraps
+                // around a short latency touches the same row twice.
+                CellOcc::Empty => {}
+                CellOcc::One(n) => {
+                    debug_assert_eq!(n, node, "cell occupant matches placement");
+                    *cell = CellOcc::Empty;
+                    self.occ[col as usize * self.wpc + row as usize / 64] &= !(1 << (row % 64));
+                }
+                CellOcc::Shared => {
+                    let key = (row + 1, fu.get());
+                    let list = self.shared.get_mut(&key).expect("shared cell has a list");
+                    list.retain(|&n| n != node);
+                    match list.len() {
+                        0 => {
+                            self.shared.remove(&key);
+                            *cell = CellOcc::Empty;
+                            self.occ[col as usize * self.wpc + row as usize / 64] &=
+                                !(1 << (row % 64));
+                        }
+                        1 => {
+                            *cell = CellOcc::One(list[0]);
+                            self.shared.remove(&key);
+                        }
+                        _ => {}
+                    }
+                }
             }
+        }
+        self.placed -= 1;
+        self.col_counts[col as usize] -= 1;
+        while self.hwm > 0 && self.col_counts[self.hwm as usize - 1] == 0 {
+            self.hwm -= 1;
         }
         Some((step, fu))
     }
 
     /// The placement of `node`, if any.
     pub fn placement(&self, node: NodeId) -> Option<(CStep, FuIndex)> {
-        self.placements.get(&node).map(|&(s, f, _)| (s, f))
+        self.placements
+            .get(node.index())
+            .and_then(|p| p.map(|(s, f, _)| (s, f)))
     }
 
     /// Number of placed nodes.
     pub fn placed_count(&self) -> usize {
-        self.placements.len()
+        self.placed
     }
 
-    /// Highest column index in use (the FU count this grid implies).
+    /// Highest column index in use (the FU count this grid implies) —
+    /// O(1), maintained on occupy/vacate.
     pub fn columns_used(&self) -> u32 {
-        self.placements
-            .values()
-            .map(|&(_, f, _)| f.get())
-            .max()
-            .unwrap_or(0)
+        self.hwm
     }
 
-    /// Iterates over placements `(node, step, fu)`.
+    /// Iterates over placements `(node, step, fu)` in node-id order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, CStep, FuIndex)> + '_ {
-        self.placements.iter().map(|(&n, &(s, f, _))| (n, s, f))
+        self.placements
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|(s, f, _)| (NodeId::from_index(i), s, f)))
     }
 }
+
+/// Equality compares the logical content (dimensions and placements),
+/// not the lazily-materialised storage.
+impl PartialEq for Grid {
+    fn eq(&self, other: &Self) -> bool {
+        self.class == other.class
+            && self.cs == other.cs
+            && self.max_fu == other.max_fu
+            && self.latency == other.latency
+            && self.placed == other.placed
+            && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Grid {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hls_celllib::OpKind;
     use hls_dfg::DfgBuilder;
+    use proptest::prelude::*;
+
+    /// The original `BTreeMap`-backed grid, kept verbatim as a
+    /// differential-testing oracle for the dense implementation.
+    struct ReferenceGrid {
+        cs: u32,
+        max_fu: u32,
+        latency: Option<u32>,
+        cells: BTreeMap<(u32, u32), Vec<NodeId>>,
+        placements: BTreeMap<NodeId, (CStep, FuIndex, u8)>,
+    }
+
+    impl ReferenceGrid {
+        fn new(cs: u32, max_fu: u32) -> Self {
+            ReferenceGrid {
+                cs,
+                max_fu,
+                latency: None,
+                cells: BTreeMap::new(),
+                placements: BTreeMap::new(),
+            }
+        }
+
+        fn with_latency(mut self, latency: u32) -> Self {
+            self.latency = Some(latency);
+            self
+        }
+
+        fn wrap(&self, step: u32) -> u32 {
+            match self.latency {
+                Some(l) => (step - 1) % l + 1,
+                None => step,
+            }
+        }
+
+        fn occupants(&self, step: CStep, fu: FuIndex) -> &[NodeId] {
+            self.cells
+                .get(&(self.wrap(step.get()), fu.get()))
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+        }
+
+        fn is_free_for(
+            &self,
+            dfg: &Dfg,
+            node: NodeId,
+            step: CStep,
+            fu: FuIndex,
+            cycles: u8,
+        ) -> bool {
+            if fu.get() > self.max_fu || step.finish(cycles).get() > self.cs {
+                return false;
+            }
+            for c in 0..cycles as u32 {
+                for &occ in self.occupants(step.offset(c), fu) {
+                    if !dfg.mutually_exclusive(node, occ) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+
+        fn occupy(&mut self, node: NodeId, step: CStep, fu: FuIndex, cycles: u8) {
+            for c in 0..cycles as u32 {
+                self.cells
+                    .entry((self.wrap(step.offset(c).get()), fu.get()))
+                    .or_default()
+                    .push(node);
+            }
+            self.placements.insert(node, (step, fu, cycles));
+        }
+
+        fn vacate(&mut self, node: NodeId) -> Option<(CStep, FuIndex)> {
+            let (step, fu, cycles) = self.placements.remove(&node)?;
+            for c in 0..cycles as u32 {
+                if let Some(cell) = self
+                    .cells
+                    .get_mut(&(self.wrap(step.offset(c).get()), fu.get()))
+                {
+                    cell.retain(|&n| n != node);
+                }
+            }
+            Some((step, fu))
+        }
+
+        fn columns_used(&self) -> u32 {
+            self.placements
+                .values()
+                .map(|&(_, f, _)| f.get())
+                .max()
+                .unwrap_or(0)
+        }
+    }
 
     fn exclusive_pair() -> (Dfg, NodeId, NodeId, NodeId) {
         let mut b = DfgBuilder::new("g");
@@ -257,6 +526,30 @@ mod tests {
     }
 
     #[test]
+    fn vacate_reclaims_shared_cells() {
+        let (g, t, e, u) = exclusive_pair();
+        let mut grid = Grid::new(FuClass::Op(OpKind::Add), 4, 1);
+        grid.occupy(t, CStep::new(1), FuIndex::new(1), 1);
+        grid.occupy(e, CStep::new(1), FuIndex::new(1), 1);
+        assert!(
+            grid.shared.len() == 1,
+            "two occupants spill to the side map"
+        );
+        grid.vacate(t);
+        assert!(
+            grid.shared.is_empty(),
+            "single occupant returns to dense storage"
+        );
+        assert_eq!(grid.occupants(CStep::new(1), FuIndex::new(1)), &[e]);
+        grid.vacate(e);
+        assert!(grid.is_free_for(&g, u, CStep::new(1), FuIndex::new(1), 1));
+        assert!(
+            grid.cell.iter().all(|c| *c == CellOcc::Empty),
+            "no lingering cells"
+        );
+    }
+
+    #[test]
     fn latency_wrap_detects_modulo_conflicts() {
         let (g, t, _, u) = exclusive_pair();
         let mut grid = Grid::new(FuClass::Op(OpKind::Add), 6, 1).with_latency(2);
@@ -280,6 +573,21 @@ mod tests {
     }
 
     #[test]
+    fn columns_used_drops_after_vacating_the_peak() {
+        let (_, t, e, u) = exclusive_pair();
+        let mut grid = Grid::new(FuClass::Op(OpKind::Add), 4, 3);
+        grid.occupy(t, CStep::new(1), FuIndex::new(1), 1);
+        grid.occupy(u, CStep::new(1), FuIndex::new(3), 1);
+        grid.occupy(e, CStep::new(2), FuIndex::new(2), 1);
+        grid.vacate(u);
+        assert_eq!(grid.columns_used(), 2);
+        grid.vacate(e);
+        assert_eq!(grid.columns_used(), 1);
+        grid.vacate(t);
+        assert_eq!(grid.columns_used(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "already placed")]
     fn double_placement_panics() {
         let (_, t, _, _) = exclusive_pair();
@@ -295,5 +603,97 @@ mod tests {
         assert_eq!(grid.max_fu(), 5);
         grid.grow_max_fu(3);
         assert_eq!(grid.max_fu(), 5);
+    }
+
+    /// A graph of `n` adds where nodes in the same arm-pair layer are
+    /// mutually exclusive — rich enough to exercise shared cells.
+    fn branchy_graph(n: usize) -> (Dfg, Vec<NodeId>) {
+        let mut b = DfgBuilder::new("branchy");
+        let x = b.input("x");
+        let y = b.input("y");
+        let mut names = Vec::new();
+        let mut i = 0;
+        while i < n {
+            if n - i >= 2 && i % 3 == 0 {
+                let branch = b.begin_branch();
+                b.enter_arm(branch, 0);
+                b.op(&format!("a{i}"), OpKind::Add, &[x, y]).unwrap();
+                b.exit_arm();
+                b.enter_arm(branch, 1);
+                b.op(&format!("b{i}"), OpKind::Add, &[x, y]).unwrap();
+                b.exit_arm();
+                names.push(format!("a{i}"));
+                names.push(format!("b{i}"));
+                i += 2;
+            } else {
+                b.op(&format!("u{i}"), OpKind::Add, &[x, y]).unwrap();
+                names.push(format!("u{i}"));
+                i += 1;
+            }
+        }
+        let g = b.finish().unwrap();
+        let ids = names.iter().map(|s| g.node_by_name(s).unwrap()).collect();
+        (g, ids)
+    }
+
+    proptest! {
+        /// Differential test: random occupy/vacate/probe sequences give
+        /// identical answers from the dense grid and the reference.
+        #[test]
+        fn dense_grid_matches_reference(
+            ops in proptest::collection::vec((0usize..12, 1u32..9, 1u32..5, 1u8..3, 0u8..3), 1..60),
+            latency in 0u32..4,
+        ) {
+            let (g, nodes) = branchy_graph(12);
+            let cs = 8;
+            let max_fu = 4;
+            let (mut dense, mut reference) = if latency > 0 {
+                (
+                    Grid::new(FuClass::Op(OpKind::Add), cs, max_fu).with_latency(latency),
+                    ReferenceGrid::new(cs, max_fu).with_latency(latency),
+                )
+            } else {
+                (
+                    Grid::new(FuClass::Op(OpKind::Add), cs, max_fu),
+                    ReferenceGrid::new(cs, max_fu),
+                )
+            };
+            for &(ni, step, fu, cycles, action) in &ops {
+                let node = nodes[ni];
+                let (step, fu) = (CStep::new(step), FuIndex::new(fu));
+                match action {
+                    // Probe.
+                    0 => prop_assert_eq!(
+                        dense.is_free_for(&g, node, step, fu, cycles),
+                        reference.is_free_for(&g, node, step, fu, cycles)
+                    ),
+                    // Occupy (when legal in the reference semantics).
+                    1 => {
+                        if dense.placement(node).is_none()
+                            && reference.is_free_for(&g, node, step, fu, cycles)
+                        {
+                            dense.occupy(node, step, fu, cycles);
+                            reference.occupy(node, step, fu, cycles);
+                        }
+                    }
+                    // Vacate.
+                    _ => {
+                        let got = dense.vacate(node);
+                        prop_assert_eq!(got, reference.vacate(node));
+                    }
+                }
+                prop_assert_eq!(dense.columns_used(), reference.columns_used());
+                prop_assert_eq!(dense.placed_count(), reference.placements.len());
+                for s in 1..=cs {
+                    for f in 1..=max_fu {
+                        prop_assert_eq!(
+                            dense.occupants(CStep::new(s), FuIndex::new(f)),
+                            reference.occupants(CStep::new(s), FuIndex::new(f)),
+                            "occupants diverge at ({}, {})", s, f
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -154,7 +154,11 @@ pub struct Slot {
 pub struct Schedule {
     cs: u32,
     node_count: usize,
-    slots: BTreeMap<NodeId, Slot>,
+    /// `NodeId`-indexed slots (`node_count` entries) — O(1) lookup and
+    /// assignment; iteration in index order matches the previous
+    /// `BTreeMap<NodeId, _>` key order exactly.
+    slots: Vec<Option<Slot>>,
+    assigned: usize,
 }
 
 impl Schedule {
@@ -168,7 +172,8 @@ impl Schedule {
         Schedule {
             cs,
             node_count: dfg.node_count(),
-            slots: BTreeMap::new(),
+            slots: vec![None; dfg.node_count()],
+            assigned: 0,
         }
     }
 
@@ -179,17 +184,23 @@ impl Schedule {
 
     /// Assigns (or reassigns) a slot to `node`.
     pub fn assign(&mut self, node: NodeId, slot: Slot) {
-        self.slots.insert(node, slot);
+        if self.slots[node.index()].replace(slot).is_none() {
+            self.assigned += 1;
+        }
     }
 
     /// Removes `node`'s slot (local rescheduling).
     pub fn unassign(&mut self, node: NodeId) -> Option<Slot> {
-        self.slots.remove(&node)
+        let old = self.slots[node.index()].take();
+        if old.is_some() {
+            self.assigned -= 1;
+        }
+        old
     }
 
     /// The slot of `node`, if assigned.
     pub fn slot(&self, node: NodeId) -> Option<Slot> {
-        self.slots.get(&node).copied()
+        self.slots[node.index()]
     }
 
     /// The start step of `node`, if assigned.
@@ -205,17 +216,20 @@ impl Schedule {
 
     /// Whether every operation has a slot.
     pub fn is_complete(&self) -> bool {
-        self.slots.len() == self.node_count
+        self.assigned == self.node_count
     }
 
     /// Number of assigned operations.
     pub fn assigned_count(&self) -> usize {
-        self.slots.len()
+        self.assigned
     }
 
     /// Iterates `(node, slot)` over assigned operations in node order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Slot)> + '_ {
-        self.slots.iter().map(|(&n, &s)| (n, s))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (NodeId::from_index(i), s)))
     }
 
     /// Operations starting in `step`.
