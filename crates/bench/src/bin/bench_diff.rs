@@ -1,0 +1,153 @@
+//! `bench_diff` — the bench-regression gate: regenerates the
+//! deterministic snapshot documents and structurally compares them
+//! against the committed `BENCH_*.json` files.
+//!
+//! Three snapshots are covered:
+//!
+//! * `BENCH_core.json` — fresh scaling-sweep entries are paired with
+//!   committed ones by `(nodes, alg, mode)` and every deterministic
+//!   field (cs, work counters, schedule fingerprint) must match
+//!   **exactly**; only the machine-local `wall_ms` is ignored. This is
+//!   stricter than `core_scaling --check`, which tolerates
+//!   improvements — the diff gate pins the numbers the repo claims.
+//! * `BENCH_mem.json` — regenerated and compared as trimmed text (the
+//!   document contains no timing fields).
+//! * `BENCH_telemetry.json` — regenerated without timing histograms and
+//!   compared as trimmed text.
+//!
+//! ```text
+//! bench_diff --quick --check             # CI gate: 1k core size only
+//! bench_diff --check                     # full sweep (slow)
+//! bench_diff --quick                     # report drift, exit 0
+//! bench_diff --quick --check --core F    # compare against F instead
+//! ```
+//!
+//! Without `--check` drift is reported but the exit status stays 0
+//! (useful while intentionally re-baselining). The `--core`, `--mem`
+//! and `--telemetry` flags override the committed file paths — CI uses
+//! `--core` on a perturbed copy to prove the gate actually fails.
+
+use hls_bench::scaling::{bench_size, diff_exact, FULL_SIZES, QUICK_SIZES};
+use hls_bench::snapshots::{mem_snapshot, telemetry_snapshot};
+
+struct Options {
+    quick: bool,
+    check: bool,
+    core: String,
+    mem: String,
+    telemetry: String,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        quick: false,
+        check: false,
+        core: "BENCH_core.json".into(),
+        mem: "BENCH_mem.json".into(),
+        telemetry: "BENCH_telemetry.json".into(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut path = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a file path"))
+                .clone()
+        };
+        match flag.as_str() {
+            "--quick" => opts.quick = true,
+            "--check" => opts.check = true,
+            "--core" => opts.core = path("--core"),
+            "--mem" => opts.mem = path("--mem"),
+            "--telemetry" => opts.telemetry = path("--telemetry"),
+            other => {
+                eprintln!("unknown flag `{other}`; see the bench_diff doc comment");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Trimmed-text comparison for the documents with no volatile fields.
+fn diff_text(label: &str, fresh: &str, committed: &str) -> Vec<String> {
+    if fresh.trim() == committed.trim() {
+        return Vec::new();
+    }
+    // Point at the first differing line so the drift is actionable
+    // without a side-by-side diff tool.
+    let mut fresh_lines = fresh.trim().lines();
+    let mut committed_lines = committed.trim().lines();
+    loop {
+        match (fresh_lines.next(), committed_lines.next()) {
+            (Some(f), Some(c)) if f == c => continue,
+            (Some(f), Some(c)) => {
+                return vec![format!(
+                    "{label}: first drift:\n  committed: {c}\n  fresh:     {f}"
+                )]
+            }
+            (Some(f), None) => return vec![format!("{label}: fresh run has extra line: {f}")],
+            (None, Some(c)) => return vec![format!("{label}: fresh run lost line: {c}")],
+            (None, None) => return vec![format!("{label}: whitespace-only drift")],
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut drift: Vec<String> = Vec::new();
+
+    eprintln!("# bench_diff: core scaling sweep ({})", opts.core);
+    let sizes: &[usize] = if opts.quick {
+        &QUICK_SIZES
+    } else {
+        &FULL_SIZES
+    };
+    let mut entries = Vec::new();
+    for &ops in sizes {
+        bench_size(ops, &mut entries);
+    }
+    let committed_core = read(&opts.core);
+    drift.extend(diff_exact(&entries, &committed_core));
+    eprintln!(
+        "#   {} fresh entr{} compared (wall_ms ignored)",
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" }
+    );
+    if opts.quick {
+        eprintln!("#   --quick: larger committed sizes left unverified");
+    }
+
+    eprintln!("# bench_diff: memory port sweep ({})", opts.mem);
+    drift.extend(diff_text("mem", &mem_snapshot(), &read(&opts.mem)));
+
+    eprintln!("# bench_diff: telemetry snapshot ({})", opts.telemetry);
+    drift.extend(diff_text(
+        "telemetry",
+        &telemetry_snapshot(false),
+        &read(&opts.telemetry),
+    ));
+
+    if drift.is_empty() {
+        println!("bench_diff: ok — fresh runs match the committed snapshots");
+        return;
+    }
+    println!(
+        "bench_diff: {} drift(s) from the committed snapshots:",
+        drift.len()
+    );
+    for d in &drift {
+        println!("  {d}");
+    }
+    if opts.check {
+        std::process::exit(1);
+    }
+    println!("(informational: run with --check to fail on drift)");
+}

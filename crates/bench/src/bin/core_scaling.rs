@@ -1,24 +1,7 @@
 //! Scaling benchmark for the dense scheduler core (`BENCH_core.json`).
 //!
-//! Generates seeded layered random DFGs at several sizes and runs the
-//! two paper kernels in both constraint styles:
-//!
-//! * `mfs/time` — time-constrained MFS with slack above the critical
-//!   path (wide move frames, the Figure-1 grid hot path);
-//! * `mfs/resource` — resource-constrained MFS under the unit budgets
-//!   the time run discovered (restart/local-reschedule hot path);
-//! * `mfsa/time` — MFSA with the default weights (instance reuse and
-//!   upgrade scans);
-//! * `mfsa/area` — MFSA with `w_TIME = 0` (area-first packing, the
-//!   register/mux estimator hot path).
-//!
-//! Every entry records the wall time plus the deterministic work
-//! counters (`mfs.frames_computed`, energy evaluations, local
-//! reschedules) and an FNV-1a fingerprint of the resulting schedule.
-//! Counters and fingerprints are bit-stable across runs and machines;
-//! wall times are not and are ignored by `--check`.
-//!
-//! Usage:
+//! The sweep itself lives in [`hls_bench::scaling`] (shared with
+//! `bench_diff`); this binary adds the CLI:
 //!
 //! ```text
 //! core_scaling                  # full sweep (1k/5k/20k), JSON to stdout
@@ -27,263 +10,12 @@
 //!                               # re-run and fail on counter regression
 //!                               # or fingerprint drift vs the snapshot
 //! ```
+//!
+//! `--check` is tolerant of improvements: counters may shrink but not
+//! grow, and fingerprints must match. `bench_diff` applies the stricter
+//! exact comparison.
 
-use std::time::Instant;
-
-use hls_benchmarks::generate::{generate, GeneratorConfig};
-use hls_celllib::{Library, TimingSpec};
-use hls_dfg::{CriticalPath, Dfg};
-use hls_telemetry::{Instrument, Metrics, NullSink};
-use moveframe::mfs::{self, MfsConfig};
-use moveframe::mfsa::{self, MfsaConfig, Weights};
-
-/// Requested op counts; the generator rounds up to full layers.
-const FULL_SIZES: [usize; 3] = [1_000, 5_000, 20_000];
-const QUICK_SIZES: [usize; 1] = [1_000];
-const SEED: u64 = 42;
-/// Control-step slack above the critical path (wide move frames).
-const SLACK: u32 = 8;
-
-/// One benchmark measurement (everything but `wall_ms` is
-/// deterministic).
-struct Entry {
-    nodes: usize,
-    alg: &'static str,
-    mode: &'static str,
-    cs: u32,
-    wall_ms: f64,
-    frames_computed: u64,
-    energy_evaluations: u64,
-    reschedules: u64,
-    fingerprint: u64,
-}
-
-impl Entry {
-    /// The deterministic part, used by `--check` comparisons.
-    fn key(&self) -> String {
-        format!(
-            "\"nodes\":{},\"alg\":\"{}\",\"mode\":\"{}\"",
-            self.nodes, self.alg, self.mode
-        )
-    }
-
-    fn render(&self) -> String {
-        format!(
-            "    {{{},\"cs\":{},\"wall_ms\":{:.1},\"frames_computed\":{},\"energy_evaluations\":{},\"reschedules\":{},\"fingerprint\":\"{:016x}\"}}",
-            self.key(),
-            self.cs,
-            self.wall_ms,
-            self.frames_computed,
-            self.energy_evaluations,
-            self.reschedules,
-            self.fingerprint
-        )
-    }
-}
-
-/// FNV-1a over the schedule's `(node, step, unit)` triples — a cheap,
-/// stable witness that a code change kept the output bit-identical.
-fn fingerprint(dfg: &Dfg, schedule: &hls_schedule::Schedule) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1_0000_01b3);
-        }
-    };
-    for (node, slot) in schedule.iter() {
-        mix(&(node.index() as u32).to_le_bytes());
-        mix(&slot.step.get().to_le_bytes());
-        mix(slot.unit.to_string().as_bytes());
-    }
-    let _ = dfg;
-    h
-}
-
-fn run_mfs(dfg: &Dfg, spec: &TimingSpec, config: &MfsConfig, mode: &'static str) -> Entry {
-    let mut sink = NullSink;
-    let mut metrics = Metrics::new();
-    let start = Instant::now();
-    let out = {
-        let mut instr = Instrument::new(&mut sink, &mut metrics);
-        mfs::schedule_traced(dfg, spec, config, &mut instr)
-            .unwrap_or_else(|e| panic!("mfs/{mode} at {} nodes: {e}", dfg.node_count()))
-    };
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    Entry {
-        nodes: dfg.node_count(),
-        alg: "mfs",
-        mode,
-        cs: config.control_steps(),
-        wall_ms,
-        frames_computed: metrics.counter("mfs.frames_computed"),
-        energy_evaluations: metrics.counter("mfs.energy_evaluations"),
-        reschedules: metrics.counter("mfs.local_reschedules"),
-        fingerprint: fingerprint(dfg, &out.schedule),
-    }
-}
-
-fn run_mfsa(dfg: &Dfg, spec: &TimingSpec, config: &MfsaConfig, mode: &'static str) -> Entry {
-    let mut sink = NullSink;
-    let mut metrics = Metrics::new();
-    let start = Instant::now();
-    let out = {
-        let mut instr = Instrument::new(&mut sink, &mut metrics);
-        mfsa::schedule_traced(dfg, spec, config, &mut instr)
-            .unwrap_or_else(|e| panic!("mfsa/{mode} at {} nodes: {e}", dfg.node_count()))
-    };
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    Entry {
-        nodes: dfg.node_count(),
-        alg: "mfsa",
-        mode,
-        cs: config.control_steps(),
-        wall_ms,
-        frames_computed: metrics.counter("mfsa.moves_committed"),
-        energy_evaluations: metrics.counter("mfsa.energy_evaluations"),
-        reschedules: metrics.counter("mfsa.new_instances"),
-        fingerprint: fingerprint(dfg, &out.schedule),
-    }
-}
-
-/// Fixed-depth, growing-width graphs: the critical path (and thus the
-/// control-step budget) stays constant across sizes, so the sweep
-/// isolates how cost scales with operation count — the wide-datapath
-/// shape `hls-explore`/`hls-serve` batches hit in practice.
-const LAYERS: usize = 32;
-
-fn workload(ops: usize) -> GeneratorConfig {
-    GeneratorConfig {
-        seed: SEED,
-        layers: LAYERS,
-        width: ops.div_ceil(LAYERS).max(1),
-        inputs: 16,
-        branch_pct: 10,
-        ..GeneratorConfig::default()
-    }
-}
-
-fn bench_size(ops: usize, entries: &mut Vec<Entry>) {
-    let spec = TimingSpec::uniform_single_cycle();
-    let dfg = generate(&workload(ops));
-    let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
-    let cs = cp + SLACK;
-    eprintln!("# {} nodes (critical path {cp}, cs {cs})", dfg.node_count());
-
-    let time_cfg = MfsConfig::time_constrained(cs);
-    let mfs_time = run_mfs(&dfg, &spec, &time_cfg, "time");
-    // Resource-constrained MFS starts from the unit budgets the time run
-    // discovered; the greedy pass is not complete, so widen the budgets
-    // by a (deterministic) margin until a feasible layout is found.
-    let budgets = {
-        let out = mfs::schedule(&dfg, &spec, &time_cfg).expect("time run succeeded above");
-        out.fu_counts()
-    };
-    // The margin ladder is proportional so it scales with graph width:
-    // +p% of each class budget (at least +p units at p ≥ 1).
-    let res_cfg = [0u32, 5, 10, 20, 40, 80, 160, 320]
-        .iter()
-        .map(|&pct| {
-            let mut cfg = MfsConfig::resource_constrained(cs);
-            for (&class, &limit) in &budgets {
-                let margin = (limit * pct).div_ceil(100).max(pct.min(1));
-                cfg = cfg.with_fu_limit(class, limit + margin);
-            }
-            cfg
-        })
-        .find(|cfg| mfs::schedule(&dfg, &spec, cfg).is_ok())
-        .expect("a feasible budget margin within the +320% ladder");
-    let mfs_resource = run_mfs(&dfg, &spec, &res_cfg, "resource");
-    entries.push(mfs_time);
-    entries.push(mfs_resource);
-
-    entries.push(run_mfsa(
-        &dfg,
-        &spec,
-        &MfsaConfig::new(cs, Library::ncr_like()),
-        "time",
-    ));
-    entries.push(run_mfsa(
-        &dfg,
-        &spec,
-        &MfsaConfig::new(cs, Library::ncr_like()).with_weights(Weights {
-            time: 0,
-            alu: 1,
-            mux: 1,
-            reg: 1,
-        }),
-        "area",
-    ));
-    for e in &entries[entries.len() - 4..] {
-        eprintln!(
-            "#   {}/{}: {:.1} ms, {} frames, {} evals",
-            e.alg, e.mode, e.wall_ms, e.frames_computed, e.energy_evaluations
-        );
-    }
-}
-
-fn render(entries: &[Entry]) -> String {
-    let rows: Vec<String> = entries.iter().map(Entry::render).collect();
-    format!(
-        "{{\n  \"note\": \"dense scheduler core scaling sweep; counters and fingerprints are deterministic, wall_ms is machine-local and ignored by --check\",\n  \"seed\": {SEED},\n  \"slack\": {SLACK},\n  \"entries\": [\n{}\n  ]\n}}",
-        rows.join(",\n")
-    )
-}
-
-/// Compares fresh entries against the committed snapshot: the work
-/// counters must not regress (grow) and fingerprints must match.
-fn check(entries: &[Entry], snapshot_path: &str) -> Result<(), String> {
-    let snapshot = std::fs::read_to_string(snapshot_path)
-        .map_err(|e| format!("cannot read {snapshot_path}: {e}"))?;
-    for e in entries {
-        let line = snapshot
-            .lines()
-            .find(|l| l.contains(&e.key()))
-            .ok_or_else(|| format!("snapshot has no entry for {}", e.key()))?;
-        let field = |name: &str| -> Result<u64, String> {
-            let tag = format!("\"{name}\":");
-            let rest = line
-                .split(&tag)
-                .nth(1)
-                .ok_or_else(|| format!("snapshot entry {} lacks {name}", e.key()))?;
-            let digits: String = rest
-                .chars()
-                .skip_while(|c| *c == '"')
-                .take_while(|c| c.is_ascii_hexdigit())
-                .collect();
-            let radix = if rest.starts_with('"') { 16 } else { 10 };
-            u64::from_str_radix(&digits, radix).map_err(|err| format!("bad {name}: {err}"))
-        };
-        let base_frames = field("frames_computed")?;
-        let base_evals = field("energy_evaluations")?;
-        let base_print = field("fingerprint")?;
-        if e.frames_computed > base_frames {
-            return Err(format!(
-                "{}: frames_computed regressed {} -> {}",
-                e.key(),
-                base_frames,
-                e.frames_computed
-            ));
-        }
-        if e.energy_evaluations > base_evals {
-            return Err(format!(
-                "{}: energy_evaluations regressed {} -> {}",
-                e.key(),
-                base_evals,
-                e.energy_evaluations
-            ));
-        }
-        if e.fingerprint != base_print {
-            return Err(format!(
-                "{}: schedule fingerprint drifted {:016x} -> {:016x}",
-                e.key(),
-                base_print,
-                e.fingerprint
-            ));
-        }
-    }
-    Ok(())
-}
+use hls_bench::scaling::{bench_size, check_no_regression, render, FULL_SIZES, QUICK_SIZES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -300,13 +32,17 @@ fn main() {
     }
 
     match check_path {
-        Some(path) => match check(&entries, &path) {
-            Ok(()) => eprintln!("# counters and fingerprints match {path}"),
-            Err(msg) => {
-                eprintln!("core_scaling check FAILED: {msg}");
-                std::process::exit(1);
+        Some(path) => {
+            let snapshot = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            match check_no_regression(&entries, &snapshot) {
+                Ok(()) => eprintln!("# counters and fingerprints match {path}"),
+                Err(msg) => {
+                    eprintln!("core_scaling check FAILED: {msg}");
+                    std::process::exit(1);
+                }
             }
-        },
+        }
         None => println!("{}", render(&entries)),
     }
 }

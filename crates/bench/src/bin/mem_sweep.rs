@@ -1,89 +1,13 @@
-//! Emits the committed memory port-sweep snapshot (`BENCH_mem.json`):
-//! each memory benchmark kernel rebuilt at 1, 2 and 4 bank ports, with
-//! the minimum feasible time constraint of MFS and MFSA found by
-//! upward search from the dependency critical path, plus the peak
-//! per-bank port pressure of the MFSA schedule at that minimum.
+//! Emits the committed memory port-sweep snapshot (`BENCH_mem.json`).
 //!
-//! The sweep is the experiment behind the EXPERIMENTS.md memory table:
-//! halving the port count must never *shorten* the schedule, and the
-//! dependency critical path lower-bounds every row. Everything emitted
-//! is deterministic and diffable across commits.
-
-use hls_celllib::{Library, TimingSpec};
-use hls_dfg::{CriticalPath, Dfg};
-use hls_mem::port_pressure;
-use moveframe::mfs::{self, MfsConfig};
-use moveframe::mfsa::{self, MfsaConfig};
-
-const PORTS: [u32; 3] = [1, 2, 4];
-/// How far past the critical path the search is willing to go before
-/// declaring a kernel infeasible (never reached in practice).
-const SEARCH_SPAN: u32 = 256;
-
-/// The smallest `cs >= cp` the scheduler accepts, or `None`.
-fn min_feasible(dfg: &Dfg, spec: &TimingSpec, mut try_cs: impl FnMut(u32) -> bool) -> Option<u32> {
-    let cp = CriticalPath::compute(dfg, spec).steps() as u32;
-    (cp..cp + SEARCH_SPAN).find(|&cs| try_cs(cs))
-}
-
-fn sweep(label: &str, build: impl Fn(u32) -> Dfg) -> String {
-    let spec = TimingSpec::uniform_single_cycle();
-    let mut rows = Vec::new();
-    let mut last_mfsa = None;
-    for ports in PORTS {
-        let dfg = build(ports);
-        let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
-        let mfs_min = min_feasible(&dfg, &spec, |cs| {
-            mfs::schedule(&dfg, &spec, &MfsConfig::time_constrained(cs)).is_ok()
-        })
-        .unwrap_or_else(|| panic!("{label} ports={ports}: MFS found no feasible cs"));
-        let mut out = None;
-        let mfsa_min = min_feasible(&dfg, &spec, |cs| {
-            match mfsa::schedule(&dfg, &spec, &MfsaConfig::new(cs, Library::ncr_like())) {
-                Ok(o) => {
-                    out = Some(o);
-                    true
-                }
-                Err(_) => false,
-            }
-        })
-        .unwrap_or_else(|| panic!("{label} ports={ports}: MFSA found no feasible cs"));
-        let out = out.expect("search success stores the outcome");
-        let pressure = port_pressure(&dfg, &out.schedule).expect("port-bound MFSA schedule");
-        let peaks: Vec<String> = dfg
-            .memory()
-            .banks()
-            .iter()
-            .map(|b| {
-                format!(
-                    "{{\"bank\":\"{}\",\"ports\":{},\"peak\":{}}}",
-                    b.name(),
-                    b.ports(),
-                    pressure.peak(b.id())
-                )
-            })
-            .collect();
-        // The monotonicity the CI smoke job also pins: more ports never
-        // lengthen the minimum schedule.
-        if let Some(prev) = last_mfsa {
-            assert!(
-                mfsa_min <= prev,
-                "{label}: {ports} ports needs {mfsa_min} steps, more than {prev} at fewer ports"
-            );
-        }
-        last_mfsa = Some(mfsa_min);
-        rows.push(format!(
-            "    {{\"ports\":{ports},\"critical_path\":{cp},\"min_csteps_mfs\":{mfs_min},\"min_csteps_mfsa\":{mfsa_min},\"peak_pressure\":[{}]}}",
-            peaks.join(",")
-        ));
-    }
-    format!("  \"{label}\": [\n{}\n  ]", rows.join(",\n"))
-}
+//! The sweep itself lives in [`hls_bench::snapshots::mem_snapshot`]
+//! (shared with `bench_diff`): each memory benchmark kernel rebuilt at
+//! 1, 2 and 4 bank ports, with the minimum feasible time constraint of
+//! MFS and MFSA found by upward search from the dependency critical
+//! path, plus the peak per-bank port pressure of the MFSA schedule at
+//! that minimum. Everything emitted is deterministic and diffable
+//! across commits.
 
 fn main() {
-    let fir = sweep("array_fir_8", |p| hls_benchmarks::memory::array_fir(8, p));
-    let mv = sweep("matvec_3", |p| hls_benchmarks::memory::matvec(3, p));
-    println!(
-        "{{\n  \"note\": \"minimum feasible control steps by bank port count; searched upward from the dependency critical path\",\n{fir},\n{mv}\n}}"
-    );
+    println!("{}", hls_bench::snapshots::mem_snapshot());
 }

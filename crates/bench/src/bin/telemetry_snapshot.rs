@@ -1,37 +1,14 @@
-//! Emits the workspace's committed metrics snapshot (`BENCH_telemetry.json`):
-//! every paper example run through instrumented MFS (at each Table-1
-//! time constraint) and MFSA (at its Table-2 constraint), with all
-//! counters and histograms merged into one registry.
+//! Emits the workspace's committed metrics snapshot
+//! (`BENCH_telemetry.json`).
 //!
-//! Timing histograms (`phase.*.ns`, `bench.*.wall_ns`) vary run to run,
-//! so they are dropped by default — everything left (the move/candidate
-//! counters, `mfs.mf_size`, …) is deterministic and diffable across
-//! commits. Pass `--with-timings` to keep the timing histograms.
-
-use hls_bench::{run_example_mfs_traced, run_example_mfsa_traced};
-use hls_benchmarks::examples;
-use hls_celllib::Library;
-use hls_telemetry::{Instrument, Metrics, NullSink};
-use moveframe::mfsa::MfsaConfig;
+//! The run itself lives in [`hls_bench::snapshots::telemetry_snapshot`]
+//! (shared with `bench_diff`): every paper example through instrumented
+//! MFS (at each Table-1 time constraint) and MFSA (at its Table-2
+//! constraint), with all counters and histograms merged into one
+//! registry. Timing histograms vary run to run and are dropped by
+//! default; pass `--with-timings` to keep them.
 
 fn main() {
     let with_timings = std::env::args().any(|a| a == "--with-timings");
-    let mut sink = NullSink;
-    let mut metrics = Metrics::new();
-    let mut instr = Instrument::new(&mut sink, &mut metrics);
-
-    for e in examples::all() {
-        for &t in &e.time_constraints {
-            run_example_mfs_traced(&e, t, &mut instr)
-                .unwrap_or_else(|err| panic!("ex{} at T={t}: {err}", e.id));
-        }
-        let config = MfsaConfig::new(e.mfsa_cs, Library::ncr_like());
-        run_example_mfsa_traced(&e, config, &mut instr)
-            .unwrap_or_else(|err| panic!("ex{} MFSA: {err}", e.id));
-    }
-
-    if !with_timings {
-        metrics.retain(|name| !name.ends_with(".ns") && !name.ends_with("_ns"));
-    }
-    println!("{}", metrics.to_json());
+    println!("{}", hls_bench::snapshots::telemetry_snapshot(with_timings));
 }

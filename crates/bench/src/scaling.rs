@@ -1,0 +1,370 @@
+//! The dense-scheduler scaling sweep behind `BENCH_core.json`, shared
+//! by the `core_scaling` and `bench_diff` binaries.
+//!
+//! Generates seeded layered random DFGs at several sizes and runs the
+//! two paper kernels in both constraint styles. Every entry records the
+//! wall time plus the deterministic work counters and an FNV-1a
+//! fingerprint of the resulting schedule. Counters and fingerprints are
+//! bit-stable across runs and machines; wall times are not and are
+//! ignored by every comparison.
+
+use std::time::Instant;
+
+use hls_benchmarks::generate::{generate, scaling_workload, SCALING_SEED};
+use hls_celllib::{Library, TimingSpec};
+use hls_dfg::{CriticalPath, Dfg};
+use hls_telemetry::{Instrument, Metrics, NullSink};
+use moveframe::mfs::{self, MfsConfig};
+use moveframe::mfsa::{self, MfsaConfig, Weights};
+
+/// Requested op counts of the full sweep; the generator rounds up to
+/// full layers.
+pub const FULL_SIZES: [usize; 3] = [1_000, 5_000, 20_000];
+/// The smallest size only — the CI smoke subset.
+pub const QUICK_SIZES: [usize; 1] = [1_000];
+/// The sweep's workload seed (the canonical scaling seed).
+pub const SEED: u64 = SCALING_SEED;
+/// Control-step slack above the critical path (wide move frames).
+pub const SLACK: u32 = 8;
+
+/// One benchmark measurement (everything but `wall_ms` is
+/// deterministic).
+pub struct Entry {
+    /// Node count of the generated graph.
+    pub nodes: usize,
+    /// Kernel name (`"mfs"` / `"mfsa"`).
+    pub alg: &'static str,
+    /// Constraint style (`"time"` / `"resource"` / `"area"`).
+    pub mode: &'static str,
+    /// The control-step budget the run used.
+    pub cs: u32,
+    /// Machine-local wall time — excluded from every comparison.
+    pub wall_ms: f64,
+    /// Move frames computed (deterministic).
+    pub frames_computed: u64,
+    /// Liapunov energies evaluated (deterministic).
+    pub energy_evaluations: u64,
+    /// Local reschedulings / new instances (deterministic).
+    pub reschedules: u64,
+    /// FNV-1a fingerprint of the `(node, step, unit)` triples.
+    pub fingerprint: u64,
+}
+
+impl Entry {
+    /// The deterministic identity used to pair fresh entries with
+    /// committed snapshot lines.
+    pub fn key(&self) -> String {
+        format!(
+            "\"nodes\":{},\"alg\":\"{}\",\"mode\":\"{}\"",
+            self.nodes, self.alg, self.mode
+        )
+    }
+
+    /// One snapshot line.
+    pub fn render(&self) -> String {
+        format!(
+            "    {{{},\"cs\":{},\"wall_ms\":{:.1},\"frames_computed\":{},\"energy_evaluations\":{},\"reschedules\":{},\"fingerprint\":\"{:016x}\"}}",
+            self.key(),
+            self.cs,
+            self.wall_ms,
+            self.frames_computed,
+            self.energy_evaluations,
+            self.reschedules,
+            self.fingerprint
+        )
+    }
+}
+
+/// FNV-1a over the schedule's `(node, step, unit)` triples — a cheap,
+/// stable witness that a code change kept the output bit-identical.
+pub fn fingerprint(schedule: &hls_schedule::Schedule) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    for (node, slot) in schedule.iter() {
+        mix(&(node.index() as u32).to_le_bytes());
+        mix(&slot.step.get().to_le_bytes());
+        mix(slot.unit.to_string().as_bytes());
+    }
+    h
+}
+
+fn run_mfs(dfg: &Dfg, spec: &TimingSpec, config: &MfsConfig, mode: &'static str) -> Entry {
+    let mut sink = NullSink;
+    let mut metrics = Metrics::new();
+    let start = Instant::now();
+    let out = {
+        let mut instr = Instrument::new(&mut sink, &mut metrics);
+        mfs::schedule_traced(dfg, spec, config, &mut instr)
+            .unwrap_or_else(|e| panic!("mfs/{mode} at {} nodes: {e}", dfg.node_count()))
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Entry {
+        nodes: dfg.node_count(),
+        alg: "mfs",
+        mode,
+        cs: config.control_steps(),
+        wall_ms,
+        frames_computed: metrics.counter("mfs.frames_computed"),
+        energy_evaluations: metrics.counter("mfs.energy_evaluations"),
+        reschedules: metrics.counter("mfs.local_reschedules"),
+        fingerprint: fingerprint(&out.schedule),
+    }
+}
+
+fn run_mfsa(dfg: &Dfg, spec: &TimingSpec, config: &MfsaConfig, mode: &'static str) -> Entry {
+    let mut sink = NullSink;
+    let mut metrics = Metrics::new();
+    let start = Instant::now();
+    let out = {
+        let mut instr = Instrument::new(&mut sink, &mut metrics);
+        mfsa::schedule_traced(dfg, spec, config, &mut instr)
+            .unwrap_or_else(|e| panic!("mfsa/{mode} at {} nodes: {e}", dfg.node_count()))
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Entry {
+        nodes: dfg.node_count(),
+        alg: "mfsa",
+        mode,
+        cs: config.control_steps(),
+        wall_ms,
+        frames_computed: metrics.counter("mfsa.moves_committed"),
+        energy_evaluations: metrics.counter("mfsa.energy_evaluations"),
+        reschedules: metrics.counter("mfsa.new_instances"),
+        fingerprint: fingerprint(&out.schedule),
+    }
+}
+
+/// Runs the four kernel/mode combinations at one size and appends the
+/// entries; progress goes to stderr.
+pub fn bench_size(ops: usize, entries: &mut Vec<Entry>) {
+    let spec = TimingSpec::uniform_single_cycle();
+    // The canonical fixed-depth workload shared with `mfhls profile
+    // gen:OPS`, so hotspot reports attribute exactly this sweep's work.
+    let dfg = generate(&scaling_workload(ops));
+    let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+    let cs = cp + SLACK;
+    eprintln!("# {} nodes (critical path {cp}, cs {cs})", dfg.node_count());
+
+    let time_cfg = MfsConfig::time_constrained(cs);
+    let mfs_time = run_mfs(&dfg, &spec, &time_cfg, "time");
+    // Resource-constrained MFS starts from the unit budgets the time run
+    // discovered; the greedy pass is not complete, so widen the budgets
+    // by a (deterministic) margin until a feasible layout is found.
+    let budgets = {
+        let out = mfs::schedule(&dfg, &spec, &time_cfg).expect("time run succeeded above");
+        out.fu_counts()
+    };
+    // The margin ladder is proportional so it scales with graph width:
+    // +p% of each class budget (at least +p units at p ≥ 1).
+    let res_cfg = [0u32, 5, 10, 20, 40, 80, 160, 320]
+        .iter()
+        .map(|&pct| {
+            let mut cfg = MfsConfig::resource_constrained(cs);
+            for (&class, &limit) in &budgets {
+                let margin = (limit * pct).div_ceil(100).max(pct.min(1));
+                cfg = cfg.with_fu_limit(class, limit + margin);
+            }
+            cfg
+        })
+        .find(|cfg| mfs::schedule(&dfg, &spec, cfg).is_ok())
+        .expect("a feasible budget margin within the +320% ladder");
+    let mfs_resource = run_mfs(&dfg, &spec, &res_cfg, "resource");
+    entries.push(mfs_time);
+    entries.push(mfs_resource);
+
+    entries.push(run_mfsa(
+        &dfg,
+        &spec,
+        &MfsaConfig::new(cs, Library::ncr_like()),
+        "time",
+    ));
+    entries.push(run_mfsa(
+        &dfg,
+        &spec,
+        &MfsaConfig::new(cs, Library::ncr_like()).with_weights(Weights {
+            time: 0,
+            alu: 1,
+            mux: 1,
+            reg: 1,
+        }),
+        "area",
+    ));
+    for e in &entries[entries.len() - 4..] {
+        eprintln!(
+            "#   {}/{}: {:.1} ms, {} frames, {} evals",
+            e.alg, e.mode, e.wall_ms, e.frames_computed, e.energy_evaluations
+        );
+    }
+}
+
+/// Renders the full `BENCH_core.json` document.
+pub fn render(entries: &[Entry]) -> String {
+    let rows: Vec<String> = entries.iter().map(Entry::render).collect();
+    format!(
+        "{{\n  \"note\": \"dense scheduler core scaling sweep; counters and fingerprints are deterministic, wall_ms is machine-local and ignored by --check\",\n  \"seed\": {SEED},\n  \"slack\": {SLACK},\n  \"entries\": [\n{}\n  ]\n}}",
+        rows.join(",\n")
+    )
+}
+
+/// Reads one named field out of a committed snapshot line. Decimal
+/// fields are bare; the fingerprint is a quoted 16-digit hex string.
+fn snapshot_field(line: &str, name: &str) -> Result<u64, String> {
+    let tag = format!("\"{name}\":");
+    let rest = line
+        .split(&tag)
+        .nth(1)
+        .ok_or_else(|| format!("snapshot entry lacks {name}"))?;
+    let digits: String = rest
+        .chars()
+        .skip_while(|c| *c == '"')
+        .take_while(|c| c.is_ascii_hexdigit())
+        .collect();
+    let radix = if rest.starts_with('"') { 16 } else { 10 };
+    u64::from_str_radix(&digits, radix).map_err(|err| format!("bad {name}: {err}"))
+}
+
+/// Finds the committed line matching `entry`'s key.
+fn snapshot_line<'a>(snapshot: &'a str, entry: &Entry) -> Result<&'a str, String> {
+    snapshot
+        .lines()
+        .find(|l| l.contains(&entry.key()))
+        .ok_or_else(|| format!("snapshot has no entry for {}", entry.key()))
+}
+
+/// The tolerant comparison `core_scaling --check` applies: counters must
+/// not regress (grow) and fingerprints must match exactly.
+pub fn check_no_regression(entries: &[Entry], snapshot: &str) -> Result<(), String> {
+    for e in entries {
+        let line = snapshot_line(snapshot, e)?;
+        let field =
+            |name: &str| snapshot_field(line, name).map_err(|err| format!("{}: {err}", e.key()));
+        let base_frames = field("frames_computed")?;
+        let base_evals = field("energy_evaluations")?;
+        let base_print = field("fingerprint")?;
+        if e.frames_computed > base_frames {
+            return Err(format!(
+                "{}: frames_computed regressed {} -> {}",
+                e.key(),
+                base_frames,
+                e.frames_computed
+            ));
+        }
+        if e.energy_evaluations > base_evals {
+            return Err(format!(
+                "{}: energy_evaluations regressed {} -> {}",
+                e.key(),
+                base_evals,
+                e.energy_evaluations
+            ));
+        }
+        if e.fingerprint != base_print {
+            return Err(format!(
+                "{}: schedule fingerprint drifted {:016x} -> {:016x}",
+                e.key(),
+                base_print,
+                e.fingerprint
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The exact comparison `bench_diff` applies: every deterministic field
+/// (cs, counters, fingerprint) must match the committed snapshot
+/// bit-for-bit; only `wall_ms` is ignored. Returns one message per
+/// drifted field, empty when the fresh entries match.
+pub fn diff_exact(entries: &[Entry], snapshot: &str) -> Vec<String> {
+    let mut drift = Vec::new();
+    for e in entries {
+        let line = match snapshot_line(snapshot, e) {
+            Ok(line) => line,
+            Err(msg) => {
+                drift.push(msg);
+                continue;
+            }
+        };
+        let mut field = |name: &str, fresh: u64, hex: bool| match snapshot_field(line, name) {
+            Ok(base) if base == fresh => {}
+            Ok(base) => drift.push(if hex {
+                format!("{}: {name} {base:016x} -> {fresh:016x}", e.key())
+            } else {
+                format!("{}: {name} {base} -> {fresh}", e.key())
+            }),
+            Err(msg) => drift.push(format!("{}: {msg}", e.key())),
+        };
+        field("cs", e.cs as u64, false);
+        field("frames_computed", e.frames_computed, false);
+        field("energy_evaluations", e.energy_evaluations, false);
+        field("reschedules", e.reschedules, false);
+        field("fingerprint", e.fingerprint, true);
+    }
+    drift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> Entry {
+        Entry {
+            nodes: 1024,
+            alg: "mfs",
+            mode: "time",
+            cs: 40,
+            wall_ms: 1.5,
+            frames_computed: 10,
+            energy_evaluations: 100,
+            reschedules: 2,
+            fingerprint: 0xabcd,
+        }
+    }
+
+    #[test]
+    fn exact_diff_ignores_wall_clock_only() {
+        let e = entry();
+        let snapshot = render(&[e]);
+        let mut fresh = entry();
+        fresh.wall_ms = 9999.0;
+        assert!(diff_exact(&[fresh], &snapshot).is_empty());
+
+        let mut drifted = entry();
+        drifted.energy_evaluations += 1;
+        drifted.fingerprint ^= 1;
+        let drift = diff_exact(&[drifted], &snapshot);
+        assert_eq!(drift.len(), 2, "{drift:?}");
+        assert!(
+            drift[0].contains("energy_evaluations 100 -> 101"),
+            "{drift:?}"
+        );
+        assert!(
+            drift[1].contains("fingerprint 000000000000abcd"),
+            "{drift:?}"
+        );
+    }
+
+    #[test]
+    fn exact_diff_reports_missing_entries() {
+        let mut other = entry();
+        other.mode = "resource";
+        let drift = diff_exact(&[other], &render(&[entry()]));
+        assert_eq!(drift.len(), 1);
+        assert!(drift[0].contains("no entry"), "{drift:?}");
+    }
+
+    #[test]
+    fn regression_check_tolerates_improvement_but_not_growth() {
+        let snapshot = render(&[entry()]);
+        let mut better = entry();
+        better.energy_evaluations -= 50;
+        assert!(check_no_regression(&[better], &snapshot).is_ok());
+        let mut worse = entry();
+        worse.energy_evaluations += 1;
+        let err = check_no_regression(&[worse], &snapshot).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+}

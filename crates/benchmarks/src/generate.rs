@@ -61,6 +61,34 @@ impl GeneratorConfig {
     }
 }
 
+/// Seed of the canonical scaling workload — shared by the
+/// `core_scaling` benchmark and `mfhls profile gen:OPS` so both tools
+/// observe the same graphs.
+pub const SCALING_SEED: u64 = 42;
+
+/// Dependency-layer count of the canonical scaling workload. Depth is
+/// fixed and width grows with the requested op count, so the critical
+/// path (and thus the control-step budget) stays constant across sizes
+/// and the sweep isolates how cost scales with operation count.
+pub const SCALING_LAYERS: usize = 32;
+
+/// The canonical scaling workload of roughly `ops` operations: the
+/// fixed-depth, growing-width shape the `hls-explore`/`hls-serve`
+/// batches hit in practice. This is the single definition used by both
+/// `core_scaling` (BENCH_core.json) and `mfhls profile gen:OPS` — a
+/// profile taken here attributes exactly the work the benchmark gate
+/// counts.
+pub fn scaling_workload(ops: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        seed: SCALING_SEED,
+        layers: SCALING_LAYERS,
+        width: ops.div_ceil(SCALING_LAYERS).max(1),
+        inputs: 16,
+        branch_pct: 10,
+        ..GeneratorConfig::default()
+    }
+}
+
 /// Generates a random layered DAG: layer 0 reads the primary inputs,
 /// each later operation draws operands from the previous layer (with
 /// `locality_pct` probability) or any earlier value.
@@ -201,6 +229,19 @@ mod tests {
                 "asked {ops}, got {got}"
             );
         }
+    }
+
+    #[test]
+    fn scaling_workload_is_deterministic_and_fixed_depth() {
+        let a = generate(&scaling_workload(1_000));
+        let b = generate(&scaling_workload(1_000));
+        assert_eq!(a, b);
+        assert_eq!(
+            a.node_count(),
+            1_000usize.div_ceil(SCALING_LAYERS) * SCALING_LAYERS
+        );
+        let cp = CriticalPath::compute(&a, &TimingSpec::uniform_single_cycle());
+        assert!(cp.steps() <= SCALING_LAYERS);
     }
 
     #[test]

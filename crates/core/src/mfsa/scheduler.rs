@@ -390,6 +390,8 @@ pub fn schedule_traced_with_frames(
 
             let mut best: Option<Candidate> = None;
             let mut n_candidates = 0u64;
+            let mut memo_hits = 0u64;
+            let mut memo_fills = 0u64;
             let next_instance = instances.len() as u32 + 1;
 
             let (cycles, mux_op, offset) = {
@@ -499,6 +501,11 @@ pub fn schedule_traced_with_frames(
                             if !instance_free(inst, dfg, node, step, cycles, &wrap) {
                                 continue;
                             }
+                            if inst_costs[i].is_some() {
+                                memo_hits += 1;
+                            } else {
+                                memo_fills += 1;
+                            }
                             let cost = inst_costs[i].get_or_insert_with(|| {
                                 if config.style() == DesignStyle::NoSelfLoop {
                                     let related = inst.ops.iter().any(|&o| {
@@ -579,6 +586,8 @@ pub fn schedule_traced_with_frames(
 
             instr.inc("mfsa.energy_evaluations", n_candidates);
             instr.observe("mfsa.candidates", n_candidates);
+            instr.inc("mfsa.reuse_memo.hits", memo_hits);
+            instr.inc("mfsa.reuse_memo.fills", memo_fills);
             let Some(chosen) = best else {
                 return Err(MoveFrameError::NoPosition {
                     node,

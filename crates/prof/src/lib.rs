@@ -1,0 +1,48 @@
+//! **hls-prof** — deterministic cost attribution for the moveframe-hls
+//! pipeline.
+//!
+//! `BENCH_core.json` can say a 5k-node MFSA run burns millions of
+//! energy evaluations; this crate says *which nodes, steps and phases*
+//! burn them. It layers on hls-telemetry's typed event stream:
+//!
+//! * [`Profiler`] — a [`hls_telemetry::TraceSink`] that folds
+//!   `FrameComputed` / `EnergyEvaluated` / `MoveCommitted` /
+//!   `LocalReschedule` / `PhaseSpan` events into per-node, per-step and
+//!   per-phase ledgers, with deterministic top-K hotspot extraction
+//!   ([`Profiler::hotspots`]) — the seed a feedback-guided iteration
+//!   mode consumes;
+//! * [`ProfileReport`] — combines the ledgers with the run's
+//!   [`hls_telemetry::Metrics`] counters (bounds fast-path vs boundary
+//!   walks, reuse-cost memo hits, frame reuse) into a human-readable
+//!   report and machine JSON, as emitted by `mfhls profile`.
+//!
+//! Like every sink, the profiler is write-only: a profiled run is
+//! bit-identical to an unprofiled one. Every ledger is an ordered map
+//! and every ranking is a total order (count descending, index
+//! ascending), so reports are byte-deterministic for a given design and
+//! config, regardless of host load or thread count.
+//!
+//! ```
+//! use hls_prof::{Profiler, ProfileReport};
+//! use hls_telemetry::{Instrument, Metrics, TraceEvent};
+//!
+//! let mut profiler = Profiler::new();
+//! let mut metrics = Metrics::new();
+//! let mut instr = Instrument::new(&mut profiler, &mut metrics);
+//! instr.span("demo.place", |i| {
+//!     i.inc("mfs.energy_evaluations", 1);
+//!     i.emit(TraceEvent::EnergyEvaluated { op: 3, pos: (1, 2), v: 9 });
+//! });
+//! let report = ProfileReport::build(&profiler, &metrics, 10);
+//! assert_eq!(report.hotspots[0].op, 3);
+//! assert_eq!(report.coverage_pct, 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod profiler;
+mod report;
+
+pub use profiler::{Hotspot, NodeLedger, PhaseLedger, Profiler, StepLedger};
+pub use report::ProfileReport;

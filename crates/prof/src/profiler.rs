@@ -1,0 +1,309 @@
+//! The [`Profiler`] sink: folds the trace stream into attribution
+//! ledgers.
+
+use std::collections::BTreeMap;
+
+use hls_telemetry::{TraceEvent, TraceSink};
+
+/// Everything the profiler attributes to one operation node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeLedger {
+    /// Move frames computed for this node (≥ 1 per scheduling pass the
+    /// node participated in).
+    pub frames_computed: u64,
+    /// Liapunov energies evaluated while placing this node — the unit
+    /// of scheduler work the hotspot ranking orders by.
+    pub energy_evals: u64,
+    /// Moves this node committed.
+    pub moves_committed: u64,
+    /// Total free move-frame cells this node scanned (sum of `mf_size`
+    /// over its frames): the frame-geometry explanation for a high
+    /// evaluation count.
+    pub mf_cells: u64,
+    /// The node's final committed cell `(fu, step)`, if it placed.
+    pub committed: Option<(u32, u32)>,
+    /// The energy of the final committed move.
+    pub committed_v: Option<u64>,
+}
+
+/// Per-control-step evaluation tallies (candidate steps probed and
+/// moves landed), keyed by the step index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepLedger {
+    /// Candidate evaluations probing this step.
+    pub energy_evals: u64,
+    /// Moves that committed into this step.
+    pub moves_committed: u64,
+}
+
+/// Work attributed to one timed pipeline phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseLedger {
+    /// Number of spans recorded under this phase name.
+    pub calls: u64,
+    /// Total wall time across those spans, in ns.
+    pub total_ns: u64,
+    /// Energy evaluations attributed to this phase.
+    pub energy_evals: u64,
+    /// Committed moves attributed to this phase.
+    pub moves_committed: u64,
+    /// Move frames attributed to this phase.
+    pub frames_computed: u64,
+    /// Local reschedulings attributed to this phase.
+    pub reschedules: u64,
+}
+
+/// One row of [`Profiler::hotspots`]: a node and the work it consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hotspot {
+    /// The operation's node index.
+    pub op: u32,
+    /// Its attribution ledger.
+    pub ledger: NodeLedger,
+}
+
+/// A [`TraceSink`] that folds the event stream into per-node, per-step
+/// and per-phase attribution ledgers.
+///
+/// The profiler is pure observation: it implements the same write-only
+/// sink contract as every other sink, so a profiled run is bit-identical
+/// to an unprofiled one (the workspace contract tests assert this).
+/// All ledgers live in `BTreeMap`s and every ranking breaks ties on the
+/// node index, so reports are deterministic for a given event stream.
+///
+/// **Phase attribution.** Work events (frames, evaluations, moves,
+/// reschedulings) arrive *before* the span that encloses them, because
+/// [`hls_telemetry::Instrument::span`] records a span at its end and
+/// inner spans finish first. The profiler therefore keeps a pending
+/// tally and lets each arriving span absorb it: work lands on the
+/// *innermost* enclosing phase, and anything between an inner span's
+/// end and its parent's end lands on the parent.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    nodes: BTreeMap<u32, NodeLedger>,
+    steps: BTreeMap<u32, StepLedger>,
+    phases: BTreeMap<String, PhaseLedger>,
+    reschedules_by_kind: BTreeMap<String, u64>,
+    pending: PhaseLedger,
+    totals: PhaseLedger,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-node ledgers, keyed by node index.
+    pub fn nodes(&self) -> &BTreeMap<u32, NodeLedger> {
+        &self.nodes
+    }
+
+    /// Per-step ledgers, keyed by control step.
+    pub fn steps(&self) -> &BTreeMap<u32, StepLedger> {
+        &self.steps
+    }
+
+    /// Per-phase ledgers, keyed by phase name.
+    pub fn phases(&self) -> &BTreeMap<String, PhaseLedger> {
+        &self.phases
+    }
+
+    /// Local reschedulings by unit class (`"*"`, `"+"`, …).
+    pub fn reschedules_by_kind(&self) -> &BTreeMap<String, u64> {
+        &self.reschedules_by_kind
+    }
+
+    /// Grand totals over the whole stream (the `calls`/`total_ns`
+    /// fields cover every span).
+    pub fn totals(&self) -> &PhaseLedger {
+        &self.totals
+    }
+
+    /// Work observed after the last span closed (or before any span):
+    /// attributed to no phase. Zero for a run whose outermost span
+    /// encloses everything.
+    pub fn unattributed(&self) -> &PhaseLedger {
+        &self.pending
+    }
+
+    /// The `k` nodes that consumed the most energy evaluations,
+    /// descending; ties break on the lower node index, so the ranking
+    /// is a total order and identical across runs.
+    pub fn hotspots(&self, k: usize) -> Vec<Hotspot> {
+        let mut all: Vec<Hotspot> = self
+            .nodes
+            .iter()
+            .map(|(&op, &ledger)| Hotspot { op, ledger })
+            .collect();
+        all.sort_by(|a, b| {
+            b.ledger
+                .energy_evals
+                .cmp(&a.ledger.energy_evals)
+                .then(a.op.cmp(&b.op))
+        });
+        all.truncate(k);
+        all
+    }
+
+    /// The `k` control steps probed by the most candidate evaluations,
+    /// descending; ties break on the lower step.
+    pub fn step_hotspots(&self, k: usize) -> Vec<(u32, StepLedger)> {
+        let mut all: Vec<(u32, StepLedger)> = self.steps.iter().map(|(&s, &l)| (s, l)).collect();
+        all.sort_by(|a, b| b.1.energy_evals.cmp(&a.1.energy_evals).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+impl TraceSink for Profiler {
+    fn record(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::FrameComputed { op, mf_size, .. } => {
+                let node = self.nodes.entry(op).or_default();
+                node.frames_computed += 1;
+                node.mf_cells += mf_size as u64;
+                self.pending.frames_computed += 1;
+                self.totals.frames_computed += 1;
+            }
+            TraceEvent::EnergyEvaluated { op, pos, .. } => {
+                self.nodes.entry(op).or_default().energy_evals += 1;
+                self.steps.entry(pos.1).or_default().energy_evals += 1;
+                self.pending.energy_evals += 1;
+                self.totals.energy_evals += 1;
+            }
+            TraceEvent::MoveCommitted { op, to, v, .. } => {
+                let node = self.nodes.entry(op).or_default();
+                node.moves_committed += 1;
+                node.committed = Some(to);
+                node.committed_v = Some(v);
+                self.steps.entry(to.1).or_default().moves_committed += 1;
+                self.pending.moves_committed += 1;
+                self.totals.moves_committed += 1;
+            }
+            TraceEvent::LocalReschedule { op_kind, .. } => {
+                *self.reschedules_by_kind.entry(op_kind).or_default() += 1;
+                self.pending.reschedules += 1;
+                self.totals.reschedules += 1;
+            }
+            TraceEvent::PhaseSpan { phase, dur_ns, .. } => {
+                let ledger = self.phases.entry(phase.into_owned()).or_default();
+                ledger.calls += 1;
+                ledger.total_ns += dur_ns;
+                ledger.energy_evals += self.pending.energy_evals;
+                ledger.moves_committed += self.pending.moves_committed;
+                ledger.frames_computed += self.pending.frames_computed;
+                ledger.reschedules += self.pending.reschedules;
+                self.pending = PhaseLedger::default();
+                self.totals.calls += 1;
+                self.totals.total_ns += dur_ns;
+            }
+            TraceEvent::HttpRequest { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(op: u32, step: u32) -> TraceEvent {
+        TraceEvent::EnergyEvaluated {
+            op,
+            pos: (1, step),
+            v: 5,
+        }
+    }
+
+    #[test]
+    fn ledgers_fold_the_stream() {
+        let mut p = Profiler::new();
+        p.record(TraceEvent::FrameComputed {
+            op: 7,
+            pf: 4,
+            rf: 1,
+            ff: 1,
+            mf_size: 3,
+        });
+        for _ in 0..3 {
+            p.record(eval(7, 2));
+        }
+        p.record(TraceEvent::MoveCommitted {
+            op: 7,
+            from: None,
+            to: (1, 2),
+            v: 5,
+            system_v: None,
+        });
+        p.record(TraceEvent::LocalReschedule {
+            op_kind: "*".into(),
+            current_j: 2,
+        });
+
+        let node = p.nodes()[&7];
+        assert_eq!(node.frames_computed, 1);
+        assert_eq!(node.energy_evals, 3);
+        assert_eq!(node.mf_cells, 3);
+        assert_eq!(node.committed, Some((1, 2)));
+        assert_eq!(node.committed_v, Some(5));
+        assert_eq!(p.steps()[&2].energy_evals, 3);
+        assert_eq!(p.steps()[&2].moves_committed, 1);
+        assert_eq!(p.reschedules_by_kind()["*"], 1);
+        assert_eq!(p.totals().energy_evals, 3);
+    }
+
+    #[test]
+    fn spans_absorb_pending_work_innermost_first() {
+        let mut p = Profiler::new();
+        // Inner phase does 2 evals and closes; one more eval lands
+        // between inner-end and outer-end, so it belongs to the outer.
+        p.record(eval(1, 1));
+        p.record(eval(1, 2));
+        p.record(TraceEvent::PhaseSpan {
+            phase: "inner".into(),
+            start_ns: 0,
+            dur_ns: 10,
+        });
+        p.record(eval(2, 1));
+        p.record(TraceEvent::PhaseSpan {
+            phase: "outer".into(),
+            start_ns: 0,
+            dur_ns: 30,
+        });
+
+        assert_eq!(p.phases()["inner"].energy_evals, 2);
+        assert_eq!(p.phases()["outer"].energy_evals, 1);
+        assert_eq!(p.phases()["outer"].total_ns, 30);
+        assert_eq!(p.unattributed().energy_evals, 0);
+        assert_eq!(p.totals().energy_evals, 3);
+    }
+
+    #[test]
+    fn hotspots_rank_by_evals_then_node() {
+        let mut p = Profiler::new();
+        for _ in 0..5 {
+            p.record(eval(3, 1));
+        }
+        for _ in 0..5 {
+            p.record(eval(1, 1));
+        }
+        p.record(eval(9, 4));
+
+        let hot = p.hotspots(2);
+        assert_eq!(hot.len(), 2);
+        // 1 and 3 tie at 5 evals; the lower index wins.
+        assert_eq!(hot[0].op, 1);
+        assert_eq!(hot[1].op, 3);
+        assert_eq!(p.hotspots(10).len(), 3);
+        assert_eq!(
+            p.step_hotspots(1),
+            vec![(
+                1,
+                StepLedger {
+                    energy_evals: 10,
+                    moves_committed: 0
+                }
+            )]
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //! (e.g. `cs` below the critical path), 429 queue full (emitted by the
 //! acceptor), 504 deadline exceeded.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -99,7 +100,7 @@ impl AppState {
     }
 
     /// Records `value` into histogram `name` in the shared registry.
-    pub fn observe(&self, name: &'static str, value: u64) {
+    pub fn observe(&self, name: impl Into<Cow<'static, str>>, value: u64) {
         self.locked_metrics().observe(name, value);
     }
 
@@ -361,12 +362,20 @@ pub fn point_json(point: &DesignPoint, m: &PointMetrics) -> String {
     s
 }
 
-/// Builds the cancellation token for a job admitted at `enqueued`: the
-/// deadline covers queue wait + compute, so an overloaded server times
-/// requests out instead of silently serving them late.
-fn deadline_token(state: &AppState, job: &Job, enqueued: Instant) -> CancelToken {
-    match job.deadline_ms.or(state.default_deadline_ms) {
-        Some(ms) => CancelToken::deadline_at(enqueued + Duration::from_millis(ms)),
+/// The job's effective deadline instant, if it has one: the window
+/// opens at `enqueued`, so it covers queue wait + compute, and an
+/// overloaded server times requests out instead of silently serving
+/// them late.
+fn deadline_instant(state: &AppState, job: &Job, enqueued: Instant) -> Option<Instant> {
+    job.deadline_ms
+        .or(state.default_deadline_ms)
+        .map(|ms| enqueued + Duration::from_millis(ms))
+}
+
+/// Builds the cancellation token for a job admitted at `enqueued`.
+fn deadline_token(deadline: Option<Instant>) -> CancelToken {
+    match deadline {
+        Some(at) => CancelToken::deadline_at(at),
         None => CancelToken::never(),
     }
 }
@@ -383,8 +392,9 @@ fn error_response(state: &AppState, message: &str) -> Response {
 /// Runs a parsed job and renders the response.
 pub fn run_job(state: &AppState, job: &Job, enqueued: Instant) -> Response {
     state.inc("serve.jobs".into(), 1);
-    let cancel = deadline_token(state, job, enqueued);
-    match job.emit {
+    let deadline = deadline_instant(state, job, enqueued);
+    let cancel = deadline_token(deadline);
+    let response = match job.emit {
         Emit::Dot => Response::text(200, job.dfg.to_dot()),
         Emit::Json => {
             let mut sink = NullSink;
@@ -477,7 +487,8 @@ pub fn run_job(state: &AppState, job: &Job, enqueued: Instant) -> Response {
                 Err(e) => error_response(state, &e),
             }
         }
-    }
+    };
+    response.with_deadline(deadline)
 }
 
 #[cfg(test)]
@@ -712,5 +723,20 @@ mod tests {
         let text = String::from_utf8(m.body).unwrap();
         assert!(text.contains("# TYPE serve_jobs counter"), "{text}");
         assert!(text.contains("serve_cache_results_misses 1"), "{text}");
+        // Latency histograms render in full exposition form. The
+        // request-level serve.* histograms are recorded by the daemon's
+        // worker loop, not by `handle` directly, so the scheduler-phase
+        // histograms stand in here; the integration tests assert the
+        // serve_latency_* families end to end.
+        assert!(
+            text.contains("# TYPE phase_mfs_move_loop_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("phase_mfs_move_loop_ns_bucket{le=\"+Inf\"} "),
+            "{text}"
+        );
+        assert!(text.contains("phase_mfs_move_loop_ns_sum "), "{text}");
+        assert!(text.contains("phase_mfs_move_loop_ns_count "), "{text}");
     }
 }

@@ -8,6 +8,7 @@
 //! loop with no protocol state machine.
 
 use std::io::{self, Read, Write};
+use std::time::Instant;
 
 /// Upper bound on the request line + headers, independent of the body
 /// cap.
@@ -197,6 +198,10 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// The deadline the producing job ran under, if any — carried so
+    /// the access log can report how much margin the answer had left
+    /// (never serialised onto the wire).
+    pub deadline: Option<Instant>,
 }
 
 impl Response {
@@ -206,6 +211,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
+            deadline: None,
         }
     }
 
@@ -215,7 +221,14 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into().into_bytes(),
+            deadline: None,
         }
+    }
+
+    /// Tags the response with the deadline its job ran under.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Response {
+        self.deadline = deadline;
+        self
     }
 
     /// An error response with body `{"error":"<message>"}` + newline.

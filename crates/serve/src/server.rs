@@ -211,52 +211,99 @@ fn reject_overload(shared: &Shared, mut stream: TcpStream) {
         }
     }
     shared.app.inc("serve.queue.rejected".into(), 1);
-    record(shared, "?", "?", &response, started);
+    record(shared, "?", "?", &response, started, 0, 0);
 }
 
 fn handle_connection(shared: &Shared, mut stream: TcpStream, enqueued: Instant) {
     let started = Instant::now();
+    let queue_ns = started.saturating_duration_since(enqueued).as_nanos() as u64;
     let timeout = Duration::from_millis(shared.read_timeout_ms);
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_write_timeout(Some(timeout));
-    let (method, path, response) = match read_request(&mut stream, shared.max_body_bytes) {
-        Ok(request) => {
-            // A panic in parsing/scheduling answers 500 instead of
-            // unwinding through the worker thread: the pool must keep
-            // its full size no matter what a request does.
-            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                api::handle(&shared.app, &request, enqueued)
-            }))
-            .unwrap_or_else(|_| {
-                shared.app.inc("serve.panics".into(), 1);
-                Response::error(500, "internal error")
-            });
-            (request.method, request.path, response)
-        }
-        Err(HttpError::TooLarge) => (
-            "?".into(),
-            "?".into(),
-            Response::error(413, "request body too large"),
-        ),
-        Err(HttpError::BadRequest(message)) => {
-            ("?".into(), "?".into(), Response::error(400, &message))
-        }
-        Err(HttpError::Io(_)) => {
-            // The peer vanished or stalled; there is no one to answer.
-            shared.app.inc("serve.io_errors".into(), 1);
-            return;
-        }
-    };
+    let (method, path, response, compute_ns) =
+        match read_request(&mut stream, shared.max_body_bytes) {
+            Ok(request) => {
+                // A panic in parsing/scheduling answers 500 instead of
+                // unwinding through the worker thread: the pool must keep
+                // its full size no matter what a request does.
+                let compute_started = Instant::now();
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    api::handle(&shared.app, &request, enqueued)
+                }))
+                .unwrap_or_else(|_| {
+                    shared.app.inc("serve.panics".into(), 1);
+                    Response::error(500, "internal error")
+                });
+                let compute_ns = compute_started.elapsed().as_nanos() as u64;
+                (request.method, request.path, response, compute_ns)
+            }
+            Err(HttpError::TooLarge) => (
+                "?".into(),
+                "?".into(),
+                Response::error(413, "request body too large"),
+                0,
+            ),
+            Err(HttpError::BadRequest(message)) => {
+                ("?".into(), "?".into(), Response::error(400, &message), 0)
+            }
+            Err(HttpError::Io(_)) => {
+                // The peer vanished or stalled; there is no one to answer.
+                shared.app.inc("serve.io_errors".into(), 1);
+                return;
+            }
+        };
     let _ = response.write_to(&mut stream);
-    record(shared, &method, &path, &response, started);
+    record(
+        shared, &method, &path, &response, started, queue_ns, compute_ns,
+    );
 }
 
-/// Counts the response and emits the access-log event.
-fn record(shared: &Shared, method: &str, path: &str, response: &Response, started: Instant) {
+/// The fixed latency-histogram family a request path belongs to. Paths
+/// map onto a closed set of endpoint classes so a scanning client
+/// cannot mint unbounded metric families.
+fn endpoint_class(path: &str) -> &'static str {
+    match path {
+        "/schedule" => "schedule",
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        "/" => "index",
+        _ => "other",
+    }
+}
+
+/// Counts the response, records the per-endpoint latency histograms
+/// and emits the access-log event.
+fn record(
+    shared: &Shared,
+    method: &str,
+    path: &str,
+    response: &Response,
+    started: Instant,
+    queue_ns: u64,
+    compute_ns: u64,
+) {
     let dur_ns = started.elapsed().as_nanos() as u64;
     shared.app.inc("serve.requests".into(), 1);
     shared.app.inc(format!("serve.http.{}", response.status), 1);
     shared.app.observe("serve.request.wall_ns", dur_ns);
+    let ep = endpoint_class(path);
+    shared
+        .app
+        .observe(format!("serve.latency.{ep}.ns"), queue_ns + dur_ns);
+    shared
+        .app
+        .observe(format!("serve.queue_wait.{ep}.ns"), queue_ns);
+    shared
+        .app
+        .observe(format!("serve.compute.{ep}.ns"), compute_ns);
+    let deadline_remaining_ms = response.deadline.map(|at| {
+        let now = Instant::now();
+        if now <= at {
+            (at - now).as_millis() as i64
+        } else {
+            -((now - at).as_millis() as i64)
+        }
+    });
     // Recover a poisoned lock: a panic in one access-log write must not
     // take logging (or the worker that trips over it) down with it.
     let mut sink = shared
@@ -270,6 +317,8 @@ fn record(shared: &Shared, method: &str, path: &str, response: &Response, starte
             status: response.status,
             bytes: response.body.len() as u64,
             dur_ns,
+            queue_ns,
+            deadline_remaining_ms,
         });
     }
 }

@@ -2,42 +2,69 @@
 //!
 //! The output is the JSON object format understood by `about://tracing`
 //! and [Perfetto](https://ui.perfetto.dev): a `traceEvents` array of
-//! complete (`"ph":"X"`) events with microsecond timestamps. Load the
-//! file in Perfetto to see the pipeline's phases as a flame chart.
+//! complete (`"ph":"X"`) events with microsecond timestamps, preceded
+//! by name/sort metadata (`"ph":"M"`) so the process and track are
+//! labelled, and interleaved with counter-track samples (`"ph":"C"`)
+//! carrying the running scheduler work totals. Load the file in
+//! Perfetto to see the pipeline's phases as a flame chart with an
+//! energy-evaluation counter track alongside.
 
 use std::fmt::Write as _;
 
 use crate::event::{escape_json, TraceEvent};
 
-/// Builds a Chrome-trace JSON document from the [`TraceEvent::PhaseSpan`]
-/// events in `events` (other events are ignored). Nested spans nest in
-/// the flame chart because child spans start later and end earlier on
-/// the same thread track.
+/// The fixed pid/tid the exporter attributes everything to: the
+/// pipeline is single-threaded per run, so one labelled track suffices.
+const PID: u32 = 1;
+const TID: u32 = 1;
+
+/// Builds a Chrome-trace JSON document from `events`.
+///
+/// [`TraceEvent::PhaseSpan`]s become complete slices. The per-move
+/// events (frames, energy evaluations, commits, reschedules) are folded
+/// into running totals and emitted as one counter-track sample per
+/// closed span, timestamped at the span's end — the moment the totals
+/// were observed. Metadata events name the process and thread and pin
+/// the track's sort order, so the profile loads cleanly in Perfetto.
 pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
-    let mut first = true;
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"args\":{{\"name\":\"mfhls\"}}}},\
+         {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{TID},\"args\":{{\"name\":\"pipeline\"}}}},\
+         {{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{TID},\"args\":{{\"sort_index\":0}}}}"
+    );
+    let (mut frames, mut evals, mut moves, mut reschedules) = (0u64, 0u64, 0u64, 0u64);
     for event in events {
-        let TraceEvent::PhaseSpan {
-            phase,
-            start_ns,
-            dur_ns,
-        } = event
-        else {
-            continue;
-        };
-        if !first {
-            out.push(',');
+        match event {
+            TraceEvent::FrameComputed { .. } => frames += 1,
+            TraceEvent::EnergyEvaluated { .. } => evals += 1,
+            TraceEvent::MoveCommitted { .. } => moves += 1,
+            TraceEvent::LocalReschedule { .. } => reschedules += 1,
+            TraceEvent::PhaseSpan {
+                phase,
+                start_ns,
+                dur_ns,
+            } => {
+                out.push_str(",{\"name\":\"");
+                escape_json(&mut out, phase);
+                // ts/dur are microseconds; fractions keep ns precision.
+                let _ = write!(
+                    out,
+                    "\",\"cat\":\"hls\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{PID},\"tid\":{TID}}}",
+                    *start_ns as f64 / 1000.0,
+                    *dur_ns as f64 / 1000.0
+                );
+                let _ = write!(
+                    out,
+                    ",{{\"name\":\"scheduler work\",\"cat\":\"hls\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":{PID},\
+                     \"args\":{{\"frames_computed\":{frames},\"energy_evals\":{evals},\
+                     \"moves_committed\":{moves},\"local_reschedules\":{reschedules}}}}}",
+                    (*start_ns + *dur_ns) as f64 / 1000.0
+                );
+            }
+            TraceEvent::HttpRequest { .. } => {}
         }
-        first = false;
-        out.push_str("{\"name\":\"");
-        escape_json(&mut out, phase);
-        // ts/dur are microseconds; fractions keep ns precision.
-        let _ = write!(
-            out,
-            "\",\"cat\":\"hls\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":1}}",
-            *start_ns as f64 / 1000.0,
-            *dur_ns as f64 / 1000.0
-        );
     }
     out.push_str("]}");
     out
@@ -48,17 +75,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn exports_only_phase_spans() {
+    fn exports_spans_counters_and_metadata() {
         let events = [
+            TraceEvent::EnergyEvaluated {
+                op: 1,
+                pos: (1, 1),
+                v: 3,
+            },
             TraceEvent::PhaseSpan {
                 phase: "mfs.frames".into(),
                 start_ns: 1000,
                 dur_ns: 2500,
             },
-            TraceEvent::EnergyEvaluated {
+            TraceEvent::MoveCommitted {
                 op: 1,
-                pos: (1, 1),
+                from: None,
+                to: (1, 1),
                 v: 3,
+                system_v: None,
             },
             TraceEvent::PhaseSpan {
                 phase: "mfs.move_loop".into(),
@@ -73,14 +107,27 @@ mod tests {
         assert!(json.contains("\"name\":\"mfs.frames\""));
         assert!(json.contains("\"ts\":1.000"));
         assert!(json.contains("\"dur\":2.500"));
-        assert!(!json.contains("energy"));
+        // Name/sort metadata for Perfetto.
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"sort_index\":0"));
+        // One counter sample per closed span, with running totals: the
+        // first span has seen one evaluation, the second also one move.
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 2);
+        assert!(json.contains("\"energy_evals\":1,\"moves_committed\":0"));
+        assert!(json.contains("\"energy_evals\":1,\"moves_committed\":1"));
+        // Counter samples land at each span's end time.
+        assert!(json.contains("\"ph\":\"C\",\"ts\":3.500"));
+        assert!(json.contains("\"ph\":\"C\",\"ts\":4.500"));
     }
 
     #[test]
-    fn empty_trace_is_valid_json() {
-        assert_eq!(
-            chrome_trace(std::iter::empty()),
-            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
-        );
+    fn empty_trace_is_valid_json_with_metadata_only() {
+        let json = chrome_trace(std::iter::empty());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(!json.contains("\"ph\":\"X\""));
+        assert!(!json.contains("\"ph\":\"C\""));
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 3);
     }
 }

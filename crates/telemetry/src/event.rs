@@ -85,6 +85,15 @@ pub enum TraceEvent {
         bytes: u64,
         /// Wall time from parsed request to written response, in ns.
         dur_ns: u64,
+        /// Time spent in the admission queue before a worker picked the
+        /// connection up, in ns (serialised as `queue_wait_ms`).
+        queue_ns: u64,
+        /// Milliseconds left until the request's deadline when the
+        /// response was recorded (negative = answered past the
+        /// deadline), for requests that carried one. This is what makes
+        /// overload diagnosable post-hoc: a 504 with a large negative
+        /// remainder sat in the queue, one near zero raced the compute.
+        deadline_remaining_ms: Option<i64>,
     },
 }
 
@@ -175,6 +184,8 @@ impl TraceEvent {
                 status,
                 bytes,
                 dur_ns,
+                queue_ns,
+                deadline_remaining_ms,
             } => {
                 s.push_str(",\"method\":\"");
                 escape_json(&mut s, method);
@@ -182,8 +193,12 @@ impl TraceEvent {
                 escape_json(&mut s, path);
                 let _ = write!(
                     s,
-                    "\",\"status\":{status},\"bytes\":{bytes},\"dur_ns\":{dur_ns}"
+                    "\",\"status\":{status},\"bytes\":{bytes},\"dur_ns\":{dur_ns},\"queue_wait_ms\":{:.3}",
+                    *queue_ns as f64 / 1e6
                 );
+                if let Some(remaining) = deadline_remaining_ms {
+                    let _ = write!(s, ",\"deadline_remaining_ms\":{remaining}");
+                }
             }
         }
         s.push('}');
@@ -239,6 +254,17 @@ mod tests {
                 status: 200,
                 bytes: 181,
                 dur_ns: 420,
+                queue_ns: 1_500_000,
+                deadline_remaining_ms: Some(-7),
+            },
+            TraceEvent::HttpRequest {
+                method: "GET".into(),
+                path: "/healthz".into(),
+                status: 200,
+                bytes: 3,
+                dur_ns: 420,
+                queue_ns: 0,
+                deadline_remaining_ms: None,
             },
         ];
         let lines: Vec<String> = events.iter().map(TraceEvent::to_json).collect();
@@ -268,7 +294,11 @@ mod tests {
         );
         assert_eq!(
             lines[6],
-            r#"{"event":"http_request","method":"POST","path":"/schedule","status":200,"bytes":181,"dur_ns":420}"#
+            r#"{"event":"http_request","method":"POST","path":"/schedule","status":200,"bytes":181,"dur_ns":420,"queue_wait_ms":1.500,"deadline_remaining_ms":-7}"#
+        );
+        assert_eq!(
+            lines[7],
+            r#"{"event":"http_request","method":"GET","path":"/healthz","status":200,"bytes":3,"dur_ns":420,"queue_wait_ms":0.000}"#
         );
     }
 

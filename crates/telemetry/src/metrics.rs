@@ -99,6 +99,38 @@ impl Histogram {
         self.max
     }
 
+    /// The inclusive upper bound of bucket `i`: bucket 0 holds zeros,
+    /// bucket `i ≥ 1` holds values with `i` significant bits, i.e.
+    /// `[2^(i-1), 2^i − 1]`.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// The cumulative bucket view used by the Prometheus exposition:
+    /// `(le, cumulative_count)` pairs over the non-empty prefix of the
+    /// fixed power-of-two buckets. Because the bucket boundaries are
+    /// fixed (never resampled or rebalanced), merging shards and then
+    /// reading this view is bit-identical to one sink observing every
+    /// sample — the property that makes percentiles deterministic
+    /// across thread counts.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let last = match self.buckets.iter().rposition(|&n| n > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut cum = 0;
+        (0..=last)
+            .map(|i| {
+                cum += self.buckets[i];
+                (Self::bucket_upper_bound(i), cum)
+            })
+            .collect()
+    }
+
     /// Folds `other` into `self`.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -128,6 +160,23 @@ impl Histogram {
 pub struct Metrics {
     counters: BTreeMap<Cow<'static, str>, u64>,
     histograms: BTreeMap<Cow<'static, str>, Histogram>,
+    /// Prometheus exposition ids, sanitised once when a name is first
+    /// registered (never per render).
+    prom_ids: BTreeMap<Cow<'static, str>, String>,
+}
+
+/// Maps a dot-namespaced metric name onto the Prometheus metric-name
+/// charset (`serve.http.200` → `serve_http_200`).
+fn prom_sanitise(name: &str) -> String {
+    let mut id = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => id.push(c),
+            '0'..='9' if i > 0 => id.push(c),
+            _ => id.push('_'),
+        }
+    }
+    id
 }
 
 impl Metrics {
@@ -136,17 +185,28 @@ impl Metrics {
         Self::default()
     }
 
+    /// Records the sanitised exposition id of a freshly registered name.
+    // Takes `&Cow` (not `&str`) so a `Cow::Borrowed` key clones for
+    // free instead of re-allocating a `String`.
+    #[allow(clippy::ptr_arg)]
+    fn register(&mut self, name: &Cow<'static, str>) {
+        if !self.prom_ids.contains_key(name.as_ref()) {
+            self.prom_ids.insert(name.clone(), prom_sanitise(name));
+        }
+    }
+
     /// Adds `by` to the counter `name`, creating it at zero.
     pub fn inc(&mut self, name: impl Into<Cow<'static, str>>, by: u64) {
-        *self.counters.entry(name.into()).or_insert(0) += by;
+        let name = name.into();
+        self.register(&name);
+        *self.counters.entry(name).or_insert(0) += by;
     }
 
     /// Records `value` into the histogram `name`, creating it empty.
     pub fn observe(&mut self, name: impl Into<Cow<'static, str>>, value: u64) {
-        self.histograms
-            .entry(name.into())
-            .or_default()
-            .observe(value);
+        let name = name.into();
+        self.register(&name);
+        self.histograms.entry(name).or_default().observe(value);
     }
 
     /// The current value of counter `name` (0 if absent).
@@ -179,14 +239,18 @@ impl Metrics {
     pub fn retain(&mut self, mut keep: impl FnMut(&str) -> bool) {
         self.counters.retain(|k, _| keep(k));
         self.histograms.retain(|k, _| keep(k));
+        self.prom_ids
+            .retain(|k, _| self.counters.contains_key(k) || self.histograms.contains_key(k));
     }
 
     /// Folds `other` into `self` (counters add, histograms merge).
     pub fn merge(&mut self, other: &Metrics) {
         for (k, &v) in &other.counters {
+            self.register(k);
             *self.counters.entry(k.clone()).or_insert(0) += v;
         }
         for (k, h) in &other.histograms {
+            self.register(k);
             self.histograms.entry(k.clone()).or_default().merge(h);
         }
     }
@@ -228,40 +292,57 @@ impl Metrics {
         out
     }
 
+    /// The sanitised Prometheus exposition id of `name` (computed once
+    /// at registration; falls back to sanitising on the spot for names
+    /// that entered through an old serialised registry).
+    fn prom_id<'a>(&'a self, name: &str) -> Cow<'a, str> {
+        match self.prom_ids.get(name) {
+            Some(id) => Cow::Borrowed(id.as_str()),
+            None => Cow::Owned(prom_sanitise(name)),
+        }
+    }
+
     /// The registry in the Prometheus text exposition format (v0.0.4),
     /// as served by `hls-serve`'s `/metrics` endpoint.
     ///
-    /// Dot-namespaced names are sanitised to metric-name charset
-    /// (`serve.http.200` → `serve_http_200`). Counters render as
-    /// `counter` samples; each histogram renders its exact aggregates
-    /// as `<name>_count`, `<name>_sum`, `<name>_min` and `<name>_max`
-    /// (the log₂ buckets are a storage detail, not an exposition
-    /// promise).
+    /// Dot-namespaced names were sanitised to the metric-name charset
+    /// when first registered (`serve.http.200` → `serve_http_200`), so
+    /// rendering is a pure walk over the sorted registry — the output
+    /// is byte-deterministic for a given registry state, with metric
+    /// families in sorted name order. Counters render as `counter`
+    /// samples; each histogram renders as a `histogram` family with
+    /// cumulative `<name>_bucket{le="..."}` samples at the fixed
+    /// power-of-two bucket bounds plus exact `<name>_sum` and
+    /// `<name>_count`.
     pub fn render_prometheus(&self) -> String {
-        fn sanitise(out: &mut String, name: &str) {
-            for (i, c) in name.chars().enumerate() {
-                match c {
-                    'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
-                    '0'..='9' if i > 0 => out.push(c),
-                    _ => out.push('_'),
-                }
-            }
-        }
         let mut out = String::new();
-        for (name, value) in &self.counters {
-            let mut id = String::with_capacity(name.len());
-            sanitise(&mut id, name);
-            let _ = writeln!(out, "# TYPE {id} counter");
-            let _ = writeln!(out, "{id} {value}");
-        }
-        for (name, h) in &self.histograms {
-            let mut id = String::with_capacity(name.len());
-            sanitise(&mut id, name);
-            let _ = writeln!(out, "# TYPE {id} summary");
-            let _ = writeln!(out, "{id}_count {}", h.count());
-            let _ = writeln!(out, "{id}_sum {}", h.sum());
-            let _ = writeln!(out, "{id}_min {}", h.min());
-            let _ = writeln!(out, "{id}_max {}", h.max());
+        // Merge-walk the two sorted maps so families come out in one
+        // global name order, not counters-then-histograms.
+        let mut counters = self.counters.iter().peekable();
+        let mut histograms = self.histograms.iter().peekable();
+        loop {
+            let counter_first = match (counters.peek(), histograms.peek()) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some((ck, _)), Some((hk, _))) => ck <= hk,
+            };
+            if counter_first {
+                let (name, value) = counters.next().unwrap();
+                let id = self.prom_id(name);
+                let _ = writeln!(out, "# TYPE {id} counter");
+                let _ = writeln!(out, "{id} {value}");
+            } else {
+                let (name, h) = histograms.next().unwrap();
+                let id = self.prom_id(name);
+                let _ = writeln!(out, "# TYPE {id} histogram");
+                for (le, cum) in h.cumulative_buckets() {
+                    let _ = writeln!(out, "{id}_bucket{{le=\"{le}\"}} {cum}");
+                }
+                let _ = writeln!(out, "{id}_bucket{{le=\"+Inf\"}} {}", h.count());
+                let _ = writeln!(out, "{id}_sum {}", h.sum());
+                let _ = writeln!(out, "{id}_count {}", h.count());
+            }
         }
         out
     }
@@ -365,18 +446,69 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_rendering_sanitises_names() {
+    fn prometheus_rendering_sanitises_names_at_registration() {
         let mut m = Metrics::new();
         m.inc("serve.http.200", 3);
         m.observe("serve.request.wall_ns", 1000);
         m.observe("serve.request.wall_ns", 3000);
         let text = m.render_prometheus();
         assert!(text.contains("# TYPE serve_http_200 counter\nserve_http_200 3\n"));
-        assert!(text.contains("# TYPE serve_request_wall_ns summary\n"));
-        assert!(text.contains("serve_request_wall_ns_count 2\n"));
+        assert!(text.contains("# TYPE serve_request_wall_ns histogram\n"));
+        // 1000 has 10 significant bits (bucket le 1023), 3000 has 12
+        // (le 4095); the bucket samples are cumulative.
+        assert!(text.contains("serve_request_wall_ns_bucket{le=\"1023\"} 1\n"));
+        assert!(text.contains("serve_request_wall_ns_bucket{le=\"4095\"} 2\n"));
+        assert!(text.contains("serve_request_wall_ns_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("serve_request_wall_ns_sum 4000\n"));
-        assert!(text.contains("serve_request_wall_ns_min 1000\n"));
-        assert!(text.contains("serve_request_wall_ns_max 3000\n"));
+        assert!(text.contains("serve_request_wall_ns_count 2\n"));
         assert!(Metrics::new().render_prometheus().is_empty());
+    }
+
+    #[test]
+    fn prometheus_output_is_sorted_and_deterministic() {
+        // Register names in shuffled order; the exposition must come
+        // out sorted by family name, identically across renders and
+        // across a merge that replays the same observations.
+        let mut m = Metrics::new();
+        for name in ["z.last", "a.first", "m.middle", "serve.http.200"] {
+            m.inc(name, 1);
+        }
+        m.observe("z.hist", 5);
+        m.observe("a.hist", 7);
+        let text = m.render_prometheus();
+        let families: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .map(|l| l.split(' ').next().unwrap())
+            .collect();
+        let mut sorted = families.clone();
+        sorted.sort_unstable();
+        assert_eq!(families, sorted, "{text}");
+        assert_eq!(text, m.render_prometheus(), "repeat renders are identical");
+        let mut replay = Metrics::new();
+        replay.merge(&m);
+        assert_eq!(text, replay.render_prometheus(), "merge preserves output");
+    }
+
+    #[test]
+    fn cumulative_buckets_cover_every_sample() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 8, u64::MAX] {
+            h.observe(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.first(), Some(&(0, 1)), "zeros land in le=0");
+        assert_eq!(
+            buckets.last(),
+            Some(&(u64::MAX, 6)),
+            "the final cumulative count equals count()"
+        );
+        assert!(
+            buckets
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            "bounds strictly increase, counts are monotone: {buckets:?}"
+        );
+        assert!(Histogram::new().cumulative_buckets().is_empty());
     }
 }

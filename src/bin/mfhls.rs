@@ -16,6 +16,8 @@
 //!               [--limit OP=N]... [--chain CLOCK] [--latency L] [--style2]
 //!               [--weights T,A,M,R] [--two-cycle-mul] [--threads N]
 //!               [--emit front.json] [--metrics] [-q]
+//! mfhls profile (<file.dfg> | gen:OPS) [--cs N] [--alg mfs|mfsa]
+//!               [--top K] [--json] [--two-cycle-mul] [-q]
 //! mfhls serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!             [--cache-cap N] [--deadline-ms N] [--access-log FILE] [-q]
 //! ```
@@ -110,6 +112,15 @@ enum Command {
         emit: Option<String>,
         tel: Telemetry,
     },
+    Profile {
+        file: String,
+        cs: Option<u32>,
+        alg: Algorithm,
+        top: usize,
+        json: bool,
+        two_cycle_mul: bool,
+        quiet: bool,
+    },
     Serve {
         addr: String,
         workers: usize,
@@ -122,7 +133,12 @@ enum Command {
 }
 
 /// The subcommands, in help order.
-const SUBCOMMANDS: &[&str] = &["info", "schedule", "synth", "explore", "serve"];
+const SUBCOMMANDS: &[&str] = &["info", "schedule", "synth", "explore", "profile", "serve"];
+
+/// Control-step slack `mfhls profile` adds above the critical path when
+/// `--cs` is omitted — the same margin the `core_scaling` benchmark
+/// uses, so a default profile observes the benchmark's frame widths.
+const PROFILE_SLACK: u32 = 8;
 
 fn usage() -> String {
     "usage: mfhls <subcommand> [args]\n\
@@ -132,6 +148,7 @@ fn usage() -> String {
      \x20 schedule  MFS move-frame scheduling (time- or resource-constrained)\n\
      \x20 synth     MFSA mixed scheduling-allocation down to RTL\n\
      \x20 explore   parallel design-space exploration over algorithms and budgets\n\
+     \x20 profile   deterministic cost attribution and hotspot report\n\
      \x20 serve     synthesis-as-a-service HTTP daemon\n\
      \n\
      run `mfhls help <subcommand>` for that subcommand's flags.\n\
@@ -226,6 +243,27 @@ fn usage_for(sub: &str) -> Option<String> {
              \x20 --metrics         print the engine's metrics report\n\
              \x20 -q|--quiet        silence routine output"
         }
+        "profile" => {
+            "usage: mfhls profile (<file.dfg> | gen:OPS) [flags]\n\
+             \n\
+             Runs one scheduling pass with the attribution profiler attached\n\
+             and prints where the scheduler's work went: per-node and per-step\n\
+             energy-evaluation hotspots, per-phase wall time, bounds fast-path\n\
+             vs boundary-walk counts and reuse-memo hit rates. The report is\n\
+             deterministic for a given design, and profiling never changes the\n\
+             schedule (the profiler is a write-only trace sink).\n\
+             \n\
+             `gen:OPS` profiles the canonical scaling workload of roughly OPS\n\
+             operations — the same graphs BENCH_core.json measures.\n\
+             \n\
+             flags:\n\
+             \x20 --cs N            time constraint (default: critical path + 8)\n\
+             \x20 --alg mfs|mfsa    which kernel to profile (default mfs)\n\
+             \x20 --top K           hotspot rows to keep (default 20)\n\
+             \x20 --json            print the machine-readable report\n\
+             \x20 --two-cycle-mul   use the 2-cycle-multiply timing profile\n\
+             \x20 -q|--quiet        suppress the stderr progress line"
+        }
         "serve" => {
             "usage: mfhls serve [flags]\n\
              \n\
@@ -304,6 +342,15 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--threads",
             "--emit",
             "--metrics",
+            "-q",
+            "--quiet",
+        ],
+        "profile" => &[
+            "--cs",
+            "--alg",
+            "--top",
+            "--json",
+            "--two-cycle-mul",
             "-q",
             "--quiet",
         ],
@@ -422,6 +469,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut algs: Vec<Algorithm> = Vec::new();
     let mut threads = 0usize;
     let mut emit = None;
+    let mut top = 20usize;
     let mut tel = Telemetry::default();
     while let Some(flag) = it.next() {
         if !allowed_flags(sub).contains(&flag.as_str()) {
@@ -503,6 +551,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 let v = it.next().ok_or("--emit needs a file path")?;
                 emit = Some(v.clone());
             }
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                top = v.parse::<usize>().map_err(|_| "invalid --top value")?;
+            }
             "--trace" => {
                 let v = it.next().ok_or("--trace needs a file path")?;
                 tel.trace = Some(v.clone());
@@ -580,6 +632,33 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 tel,
             })
         }
+        "profile" => {
+            let alg = match algs[..] {
+                [] => Algorithm::Mfs,
+                [one @ (Algorithm::Mfs | Algorithm::Mfsa)] => one,
+                [one] => {
+                    return Err(format!(
+                        "profile supports --alg mfs|mfsa, not `{}`",
+                        one.name()
+                    ))
+                }
+                _ => return Err("profile takes a single --alg value".into()),
+            };
+            let cs = match cs_list[..] {
+                [] => None,
+                [one] => Some(one),
+                _ => return Err("profile takes a single --cs value".into()),
+            };
+            Ok(Command::Profile {
+                file,
+                cs,
+                alg,
+                top,
+                json,
+                two_cycle_mul,
+                quiet: tel.quiet,
+            })
+        }
         other => Err(format!("unknown subcommand `{other}`\n{}", usage())),
     }
 }
@@ -587,6 +666,25 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
 fn load(file: &str) -> Result<Dfg, String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     parse_dfg(&text).map_err(|e| format!("{file}: {e}"))
+}
+
+/// Loads a design for `profile`: a `.dfg` file, or `gen:OPS` for the
+/// canonical scaling workload of roughly OPS operations (the same
+/// graphs `BENCH_core.json` measures).
+fn load_design(file: &str) -> Result<Dfg, String> {
+    match file.strip_prefix("gen:") {
+        Some(ops) => {
+            let ops: usize = ops
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("gen: needs a positive op count, got `{file}`"))?;
+            Ok(moveframe_hls::benchmarks::generate::generate(
+                &moveframe_hls::benchmarks::generate::scaling_workload(ops),
+            ))
+        }
+        None => load(file),
+    }
 }
 
 fn spec_for(two_cycle_mul: bool, chained: bool) -> TimingSpec {
@@ -972,6 +1070,65 @@ fn run(command: Command) -> Result<(), String> {
             let errors = report.results.iter().filter(|r| r.outcome.is_err()).count();
             if errors == report.results.len() {
                 return Err("every design point failed to schedule".into());
+            }
+            Ok(())
+        }
+        Command::Profile {
+            file,
+            cs,
+            alg,
+            top,
+            json,
+            two_cycle_mul,
+            quiet,
+        } => {
+            let dfg = load_design(&file)?;
+            let spec = spec_for(two_cycle_mul, false);
+            let cs = match cs {
+                Some(cs) => cs,
+                None => CriticalPath::compute(&dfg, &spec).steps() as u32 + PROFILE_SLACK,
+            };
+            if !quiet {
+                eprintln!(
+                    "profiling {} ({} op(s)) with {} at {cs} control step(s)",
+                    dfg.name(),
+                    dfg.node_count(),
+                    alg.name()
+                );
+            }
+            let mut profiler = Profiler::new();
+            let mut metrics = Metrics::new();
+            {
+                let mut instr = Instrument::new(&mut profiler, &mut metrics);
+                match alg {
+                    Algorithm::Mfs => {
+                        mfs::schedule_traced(
+                            &dfg,
+                            &spec,
+                            &MfsConfig::time_constrained(cs),
+                            &mut instr,
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                    Algorithm::Mfsa => {
+                        mfsa::schedule_traced(
+                            &dfg,
+                            &spec,
+                            &MfsaConfig::new(cs, Library::ncr_like()),
+                            &mut instr,
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                    other => {
+                        return Err(format!("profile does not support --alg {}", other.name()))
+                    }
+                }
+            }
+            let report = ProfileReport::build(&profiler, &metrics, top);
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_text());
             }
             Ok(())
         }
@@ -1419,6 +1576,86 @@ mod tests {
         let json = std::fs::read_to_string(&front).unwrap();
         assert!(json.starts_with("{\"points\":4,"), "{json}");
         assert!(json.contains("\"front\":["));
+    }
+
+    #[test]
+    fn parses_profile() {
+        assert_eq!(
+            parse(&["profile", "x.dfg"]).unwrap(),
+            Command::Profile {
+                file: "x.dfg".into(),
+                cs: None,
+                alg: Algorithm::Mfs,
+                top: 20,
+                json: false,
+                two_cycle_mul: false,
+                quiet: false,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "profile", "gen:5000", "--cs", "40", "--alg", "mfsa", "--top", "5", "--json", "-q"
+            ])
+            .unwrap(),
+            Command::Profile {
+                file: "gen:5000".into(),
+                cs: Some(40),
+                alg: Algorithm::Mfsa,
+                top: 5,
+                json: true,
+                two_cycle_mul: false,
+                quiet: true,
+            }
+        );
+        assert!(parse(&["profile", "x.dfg", "--alg", "fds"])
+            .unwrap_err()
+            .contains("mfs|mfsa"));
+        assert!(parse(&["profile", "x.dfg", "--alg", "mfs,mfsa"])
+            .unwrap_err()
+            .contains("single --alg"));
+        assert!(parse(&["profile", "x.dfg", "--cs", "4,5"])
+            .unwrap_err()
+            .contains("single --cs"));
+        assert!(parse(&["profile", "x.dfg", "--top", "many"])
+            .unwrap_err()
+            .contains("invalid --top"));
+        assert!(parse(&["profile", "x.dfg", "--verilog"])
+            .unwrap_err()
+            .contains("unknown profile flag"));
+    }
+
+    #[test]
+    fn profile_end_to_end() {
+        let dir = std::env::temp_dir().join("mfhls-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("toy.dfg");
+        std::fs::write(&file, "input a, b\nop p = mul(a, b)\nop q = add(p, b)\n").unwrap();
+        for alg in [Algorithm::Mfs, Algorithm::Mfsa] {
+            run(Command::Profile {
+                file: file.to_string_lossy().to_string(),
+                cs: None,
+                alg,
+                top: 10,
+                json: false,
+                two_cycle_mul: false,
+                quiet: true,
+            })
+            .unwrap();
+        }
+        // The generated-workload spelling works too, and bad operands
+        // are rejected.
+        run(Command::Profile {
+            file: "gen:64".into(),
+            cs: None,
+            alg: Algorithm::Mfs,
+            top: 3,
+            json: true,
+            two_cycle_mul: false,
+            quiet: true,
+        })
+        .unwrap();
+        assert!(load_design("gen:zero").unwrap_err().contains("positive"));
+        assert!(load_design("gen:0").unwrap_err().contains("positive"));
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Property tests for the profiling layer: log-bucket histograms merge
+//! deterministically for *any* sharding of a sample stream, and the
+//! profiler's write-only contract holds for *any* generated graph.
+
+use proptest::prelude::*;
+
+use moveframe_hls::benchmarks::generate::{generate, GeneratorConfig};
+use moveframe_hls::prelude::*;
+use moveframe_hls::telemetry::Histogram;
+
+/// A strategy over generator configurations: small-to-medium layered
+/// DAGs with mixed operators.
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (1u64..1000, 1usize..6, 1usize..7, 2usize..6, 0u32..100).prop_map(
+        |(seed, layers, width, inputs, locality)| GeneratorConfig {
+            seed,
+            layers,
+            width,
+            inputs,
+            locality_pct: locality,
+            ..GeneratorConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a sample stream into contiguous shards, recording each
+    /// shard into its own histogram and merging is bit-identical to one
+    /// histogram observing every sample — for any split points. This is
+    /// the property that makes `/metrics` percentiles deterministic
+    /// across worker counts.
+    #[test]
+    fn histogram_shard_merge_equals_single_sink(
+        samples in proptest::collection::vec(0u64..1 << 62, 0..200),
+        cut_seeds in proptest::collection::vec(0usize..1000, 0..6),
+    ) {
+        let mut single = Histogram::new();
+        for &s in &samples {
+            single.observe(s);
+        }
+
+        let mut cuts: Vec<usize> = cut_seeds.iter().map(|&c| c % (samples.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(samples.len());
+        cuts.sort_unstable();
+        let mut merged = Histogram::new();
+        for pair in cuts.windows(2) {
+            let mut shard = Histogram::new();
+            for &s in &samples[pair[0]..pair[1]] {
+                shard.observe(s);
+            }
+            merged.merge(&shard);
+        }
+
+        prop_assert_eq!(&merged, &single);
+        prop_assert_eq!(merged.cumulative_buckets(), single.cumulative_buckets());
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+    }
+
+    /// Quantiles come from the fixed power-of-two buckets: for any
+    /// sample set, the reported quantile is a bucket boundary that
+    /// lower-bounds the true quantile sample by at most one power of
+    /// two.
+    #[test]
+    fn histogram_quantiles_bracket_the_true_sample(
+        raw in proptest::collection::vec(0u64..1 << 32, 1..100),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &raw {
+            h.observe(s);
+        }
+        let mut samples = raw.clone();
+        samples.sort_unstable();
+        for (q, idx) in [(0.5, samples.len().div_ceil(2) - 1), (1.0, samples.len() - 1)] {
+            let truth = samples[idx];
+            let reported = h.quantile(q);
+            prop_assert!(reported <= truth, "q={q}: {reported} > {truth}");
+            prop_assert!(
+                truth == 0 || reported >= (truth + 1).next_power_of_two() / 4,
+                "q={q}: {reported} more than one bucket below {truth}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The profiler is observation only for *any* generated graph: the
+    /// profiled schedule is bit-identical to the plain one, and every
+    /// counted energy evaluation is attributed to a specific node.
+    #[test]
+    fn profiler_contract_holds_for_any_graph(config in config_strategy(), slack in 0u32..4) {
+        let dfg = generate(&config);
+        let spec = TimingSpec::uniform_single_cycle();
+        let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+        let mfs_config = MfsConfig::time_constrained(cp + slack);
+        let plain = mfs::schedule(&dfg, &spec, &mfs_config).unwrap();
+
+        let mut profiler = Profiler::new();
+        let mut metrics = Metrics::new();
+        let profiled = mfs::schedule_traced(
+            &dfg,
+            &spec,
+            &mfs_config,
+            &mut Instrument::new(&mut profiler, &mut metrics),
+        )
+        .unwrap();
+
+        prop_assert_eq!(&profiled.schedule, &plain.schedule);
+        prop_assert_eq!(profiled.reschedule_count, plain.reschedule_count);
+        let report = ProfileReport::build(&profiler, &metrics, 10);
+        prop_assert_eq!(report.counted_evals, metrics.counter("mfs.energy_evaluations"));
+        prop_assert_eq!(report.attributed_evals, report.counted_evals);
+        prop_assert!(report.coverage_pct >= 95.0, "coverage {}", report.coverage_pct);
+        let by_node: u64 = profiler.nodes().values().map(|l| l.energy_evals).sum();
+        prop_assert_eq!(by_node, report.counted_evals);
+    }
+}

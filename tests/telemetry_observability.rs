@@ -136,6 +136,112 @@ fn mfsa_instrumented_run_matches_uninstrumented() {
     );
 }
 
+/// The profiler obeys the same write-only sink contract as every other
+/// sink: a run observed by [`Profiler`] is bit-identical to the plain
+/// entry points, and the attribution it derives is complete — every
+/// counted energy evaluation lands on a specific node and a specific
+/// control step.
+#[test]
+fn profiled_run_matches_unprofiled_and_attributes_every_evaluation() {
+    use moveframe_hls::benchmarks::generate::{generate, scaling_workload};
+    let spec = TimingSpec::uniform_single_cycle();
+
+    // MFS on the canonical scaling workload (the shape `mfhls profile
+    // gen:OPS` reports on).
+    let dfg = generate(&scaling_workload(200));
+    let config = MfsConfig::time_constrained(40);
+    let plain = mfs::schedule(&dfg, &spec, &config).expect("plain run");
+    let mut profiler = Profiler::new();
+    let mut metrics = Metrics::new();
+    let profiled = mfs::schedule_traced(
+        &dfg,
+        &spec,
+        &config,
+        &mut Instrument::new(&mut profiler, &mut metrics),
+    )
+    .expect("profiled run");
+    assert_eq!(profiled.schedule, plain.schedule);
+    assert_eq!(profiled.grids, plain.grids);
+    assert_eq!(profiled.reschedule_count, plain.reschedule_count);
+
+    let report = ProfileReport::build(&profiler, &metrics, 20);
+    assert_eq!(
+        report.counted_evals,
+        metrics.counter("mfs.energy_evaluations")
+    );
+    assert_eq!(report.attributed_evals, report.counted_evals);
+    assert!(report.coverage_pct >= 95.0, "{}", report.coverage_pct);
+    let by_node: u64 = profiler.nodes().values().map(|l| l.energy_evals).sum();
+    let by_step: u64 = profiler.steps().values().map(|l| l.energy_evals).sum();
+    assert_eq!(by_node, report.counted_evals);
+    assert_eq!(by_step, report.counted_evals);
+
+    // Same contract for MFSA, including allocation and cost.
+    let dfg = classic::diffeq();
+    let config = MfsaConfig::new(4, Library::ncr_like());
+    let plain = mfsa::schedule(&dfg, &spec, &config).expect("plain MFSA run");
+    let mut profiler = Profiler::new();
+    let mut metrics = Metrics::new();
+    let profiled = mfsa::schedule_traced(
+        &dfg,
+        &spec,
+        &config,
+        &mut Instrument::new(&mut profiler, &mut metrics),
+    )
+    .expect("profiled MFSA run");
+    assert_eq!(profiled.schedule, plain.schedule);
+    assert_eq!(profiled.allocation, plain.allocation);
+    assert_eq!(profiled.cost, plain.cost);
+    let report = ProfileReport::build(&profiler, &metrics, 20);
+    assert_eq!(
+        report.counted_evals,
+        metrics.counter("mfsa.energy_evaluations")
+    );
+    assert_eq!(report.attributed_evals, report.counted_evals);
+}
+
+/// Hotspot rankings break every tie on the node index, so two profiled
+/// runs of the same design render identical reports once the
+/// machine-local wall-clock fields are stripped.
+#[test]
+fn profile_reports_are_deterministic_across_runs() {
+    use moveframe_hls::benchmarks::generate::{generate, scaling_workload};
+    // Drops the `"total_ns":N` values — the one nondeterministic field
+    // in the JSON report.
+    fn strip_wall_clock(json: &str) -> String {
+        let mut out = String::with_capacity(json.len());
+        let mut rest = json;
+        while let Some(at) = rest.find("\"total_ns\":") {
+            let tail = &rest[at + "\"total_ns\":".len()..];
+            let digits = tail.chars().take_while(char::is_ascii_digit).count();
+            out.push_str(&rest[..at]);
+            out.push_str("\"total_ns\":0");
+            rest = &tail[digits..];
+        }
+        out.push_str(rest);
+        out
+    }
+    let run = || {
+        let dfg = generate(&scaling_workload(200));
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut profiler = Profiler::new();
+        let mut metrics = Metrics::new();
+        mfs::schedule_traced(
+            &dfg,
+            &spec,
+            &MfsConfig::time_constrained(40),
+            &mut Instrument::new(&mut profiler, &mut metrics),
+        )
+        .expect("profiled run");
+        ProfileReport::build(&profiler, &metrics, 20).to_json()
+    };
+    let json_a = strip_wall_clock(&run());
+    let json_b = strip_wall_clock(&run());
+    assert_eq!(json_a, json_b);
+    assert!(json_a.contains("\"hotspots\":[{\"op\":"));
+    assert!(json_a.contains("\"coverage_pct\":100.000"));
+}
+
 /// The JSONL and Chrome exports of a recorded run are well-formed.
 #[test]
 fn exports_are_well_formed() {
