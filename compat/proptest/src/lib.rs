@@ -189,8 +189,16 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// 64 cases, overridable through the `PROPTEST_CASES`
+        /// environment variable exactly like real proptest — CI jobs
+        /// use it to pin the differential suites' case budget.
         fn default() -> Self {
-            Config { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(64);
+            Config { cases }
         }
     }
 }

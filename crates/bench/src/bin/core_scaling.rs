@@ -4,8 +4,9 @@
 //! `bench_diff`); this binary adds the CLI:
 //!
 //! ```text
-//! core_scaling                  # full sweep (1k/5k/20k), JSON to stdout
+//! core_scaling                  # full sweep (1k..100k), JSON to stdout
 //! core_scaling --quick          # smallest size only (CI smoke)
+//! core_scaling --sizes 20000    # explicit op counts, comma-separated
 //! core_scaling --quick --check BENCH_core.json
 //!                               # re-run and fail on counter regression
 //!                               # or fingerprint drift vs the snapshot
@@ -24,10 +25,21 @@ fn main() {
         .iter()
         .position(|a| a == "--check")
         .map(|i| args.get(i + 1).expect("--check needs a path").clone());
+    let explicit: Option<Vec<usize>> = args.iter().position(|a| a == "--sizes").map(|i| {
+        args.get(i + 1)
+            .expect("--sizes needs a comma-separated op-count list")
+            .split(',')
+            .map(|s| s.parse().expect("--sizes takes op counts"))
+            .collect()
+    });
 
-    let sizes: &[usize] = if quick { &QUICK_SIZES } else { &FULL_SIZES };
+    let sizes: Vec<usize> = match explicit {
+        Some(sizes) => sizes,
+        None if quick => QUICK_SIZES.to_vec(),
+        None => FULL_SIZES.to_vec(),
+    };
     let mut entries = Vec::new();
-    for &ops in sizes {
+    for &ops in &sizes {
         bench_size(ops, &mut entries);
     }
 

@@ -19,9 +19,13 @@ use moveframe::mfsa::{self, MfsaConfig, Weights};
 
 /// Requested op counts of the full sweep; the generator rounds up to
 /// full layers.
-pub const FULL_SIZES: [usize; 3] = [1_000, 5_000, 20_000];
+pub const FULL_SIZES: [usize; 5] = [1_000, 5_000, 20_000, 50_000, 100_000];
 /// The smallest size only — the CI smoke subset.
 pub const QUICK_SIZES: [usize; 1] = [1_000];
+/// Largest size at which the resource-constrained MFS run (and its
+/// budget-discovery ladder) is still tractable; above this the sweep
+/// records only the three unconstrained kernels.
+pub const MFS_RESOURCE_CAP: usize = 20_000;
 /// The sweep's workload seed (the canonical scaling seed).
 pub const SEED: u64 = SCALING_SEED;
 /// Control-step slack above the critical path (wide move frames).
@@ -46,6 +50,14 @@ pub struct Entry {
     pub energy_evaluations: u64,
     /// Local reschedulings / new instances (deterministic).
     pub reschedules: u64,
+    /// Liapunov lower bounds computed by the pruned MFSA loop — the
+    /// candidate universe the branch-and-bound inspected. Zero for MFS
+    /// rows, which have no bounded search.
+    pub bound_evals: u64,
+    /// Candidate steps discarded wholesale by the step-level cut.
+    pub cut_steps: u64,
+    /// Instance candidates cut before their full `f_MUX` recompute.
+    pub cut_instances: u64,
     /// FNV-1a fingerprint of the `(node, step, unit)` triples.
     pub fingerprint: u64,
 }
@@ -63,13 +75,16 @@ impl Entry {
     /// One snapshot line.
     pub fn render(&self) -> String {
         format!(
-            "    {{{},\"cs\":{},\"wall_ms\":{:.1},\"frames_computed\":{},\"energy_evaluations\":{},\"reschedules\":{},\"fingerprint\":\"{:016x}\"}}",
+            "    {{{},\"cs\":{},\"wall_ms\":{:.1},\"frames_computed\":{},\"energy_evaluations\":{},\"reschedules\":{},\"bound_evals\":{},\"cut_steps\":{},\"cut_instances\":{},\"fingerprint\":\"{:016x}\"}}",
             self.key(),
             self.cs,
             self.wall_ms,
             self.frames_computed,
             self.energy_evaluations,
             self.reschedules,
+            self.bound_evals,
+            self.cut_steps,
+            self.cut_instances,
             self.fingerprint
         )
     }
@@ -112,6 +127,9 @@ fn run_mfs(dfg: &Dfg, spec: &TimingSpec, config: &MfsConfig, mode: &'static str)
         frames_computed: metrics.counter("mfs.frames_computed"),
         energy_evaluations: metrics.counter("mfs.energy_evaluations"),
         reschedules: metrics.counter("mfs.local_reschedules"),
+        bound_evals: 0,
+        cut_steps: 0,
+        cut_instances: 0,
         fingerprint: fingerprint(&out.schedule),
     }
 }
@@ -135,6 +153,9 @@ fn run_mfsa(dfg: &Dfg, spec: &TimingSpec, config: &MfsaConfig, mode: &'static st
         frames_computed: metrics.counter("mfsa.moves_committed"),
         energy_evaluations: metrics.counter("mfsa.energy_evaluations"),
         reschedules: metrics.counter("mfsa.new_instances"),
+        bound_evals: metrics.counter("mfsa.bound.evals"),
+        cut_steps: metrics.counter("mfsa.prune.cut_steps"),
+        cut_instances: metrics.counter("mfsa.prune.cut_instances"),
         fingerprint: fingerprint(&out.schedule),
     }
 }
@@ -150,32 +171,36 @@ pub fn bench_size(ops: usize, entries: &mut Vec<Entry>) {
     let cs = cp + SLACK;
     eprintln!("# {} nodes (critical path {cp}, cs {cs})", dfg.node_count());
 
+    let first = entries.len();
     let time_cfg = MfsConfig::time_constrained(cs);
-    let mfs_time = run_mfs(&dfg, &spec, &time_cfg, "time");
-    // Resource-constrained MFS starts from the unit budgets the time run
-    // discovered; the greedy pass is not complete, so widen the budgets
-    // by a (deterministic) margin until a feasible layout is found.
-    let budgets = {
-        let out = mfs::schedule(&dfg, &spec, &time_cfg).expect("time run succeeded above");
-        out.fu_counts()
-    };
-    // The margin ladder is proportional so it scales with graph width:
-    // +p% of each class budget (at least +p units at p ≥ 1).
-    let res_cfg = [0u32, 5, 10, 20, 40, 80, 160, 320]
-        .iter()
-        .map(|&pct| {
-            let mut cfg = MfsConfig::resource_constrained(cs);
-            for (&class, &limit) in &budgets {
-                let margin = (limit * pct).div_ceil(100).max(pct.min(1));
-                cfg = cfg.with_fu_limit(class, limit + margin);
-            }
-            cfg
-        })
-        .find(|cfg| mfs::schedule(&dfg, &spec, cfg).is_ok())
-        .expect("a feasible budget margin within the +320% ladder");
-    let mfs_resource = run_mfs(&dfg, &spec, &res_cfg, "resource");
-    entries.push(mfs_time);
-    entries.push(mfs_resource);
+    entries.push(run_mfs(&dfg, &spec, &time_cfg, "time"));
+    if ops <= MFS_RESOURCE_CAP {
+        // Resource-constrained MFS starts from the unit budgets the time
+        // run discovered; the greedy pass is not complete, so widen the
+        // budgets by a (deterministic) margin until a feasible layout is
+        // found.
+        let budgets = {
+            let out = mfs::schedule(&dfg, &spec, &time_cfg).expect("time run succeeded above");
+            out.fu_counts()
+        };
+        // The margin ladder is proportional so it scales with graph
+        // width: +p% of each class budget (at least +p units at p ≥ 1).
+        let res_cfg = [0u32, 5, 10, 20, 40, 80, 160, 320]
+            .iter()
+            .map(|&pct| {
+                let mut cfg = MfsConfig::resource_constrained(cs);
+                for (&class, &limit) in &budgets {
+                    let margin = (limit * pct).div_ceil(100).max(pct.min(1));
+                    cfg = cfg.with_fu_limit(class, limit + margin);
+                }
+                cfg
+            })
+            .find(|cfg| mfs::schedule(&dfg, &spec, cfg).is_ok())
+            .expect("a feasible budget margin within the +320% ladder");
+        entries.push(run_mfs(&dfg, &spec, &res_cfg, "resource"));
+    } else {
+        eprintln!("#   mfs/resource skipped above {MFS_RESOURCE_CAP} nodes");
+    }
 
     entries.push(run_mfsa(
         &dfg,
@@ -194,10 +219,10 @@ pub fn bench_size(ops: usize, entries: &mut Vec<Entry>) {
         }),
         "area",
     ));
-    for e in &entries[entries.len() - 4..] {
+    for e in &entries[first..] {
         eprintln!(
-            "#   {}/{}: {:.1} ms, {} frames, {} evals",
-            e.alg, e.mode, e.wall_ms, e.frames_computed, e.energy_evaluations
+            "#   {}/{}: {:.1} ms, {} frames, {} evals, {} bounds",
+            e.alg, e.mode, e.wall_ms, e.frames_computed, e.energy_evaluations, e.bound_evals
         );
     }
 }
@@ -245,6 +270,7 @@ pub fn check_no_regression(entries: &[Entry], snapshot: &str) -> Result<(), Stri
             |name: &str| snapshot_field(line, name).map_err(|err| format!("{}: {err}", e.key()));
         let base_frames = field("frames_computed")?;
         let base_evals = field("energy_evaluations")?;
+        let base_bounds = field("bound_evals")?;
         let base_print = field("fingerprint")?;
         if e.frames_computed > base_frames {
             return Err(format!(
@@ -260,6 +286,14 @@ pub fn check_no_regression(entries: &[Entry], snapshot: &str) -> Result<(), Stri
                 e.key(),
                 base_evals,
                 e.energy_evaluations
+            ));
+        }
+        if e.bound_evals > base_bounds {
+            return Err(format!(
+                "{}: bound_evals regressed {} -> {}",
+                e.key(),
+                base_bounds,
+                e.bound_evals
             ));
         }
         if e.fingerprint != base_print {
@@ -301,6 +335,9 @@ pub fn diff_exact(entries: &[Entry], snapshot: &str) -> Vec<String> {
         field("frames_computed", e.frames_computed, false);
         field("energy_evaluations", e.energy_evaluations, false);
         field("reschedules", e.reschedules, false);
+        field("bound_evals", e.bound_evals, false);
+        field("cut_steps", e.cut_steps, false);
+        field("cut_instances", e.cut_instances, false);
         field("fingerprint", e.fingerprint, true);
     }
     drift
@@ -313,13 +350,16 @@ mod tests {
     fn entry() -> Entry {
         Entry {
             nodes: 1024,
-            alg: "mfs",
+            alg: "mfsa",
             mode: "time",
             cs: 40,
             wall_ms: 1.5,
             frames_computed: 10,
             energy_evaluations: 100,
             reschedules: 2,
+            bound_evals: 400,
+            cut_steps: 7,
+            cut_instances: 300,
             fingerprint: 0xabcd,
         }
     }
@@ -357,14 +397,29 @@ mod tests {
     }
 
     #[test]
+    fn exact_diff_pins_the_prune_counters() {
+        let snapshot = render(&[entry()]);
+        let mut drifted = entry();
+        drifted.cut_instances -= 1;
+        let drift = diff_exact(&[drifted], &snapshot);
+        assert_eq!(drift.len(), 1, "{drift:?}");
+        assert!(drift[0].contains("cut_instances 300 -> 299"), "{drift:?}");
+    }
+
+    #[test]
     fn regression_check_tolerates_improvement_but_not_growth() {
         let snapshot = render(&[entry()]);
         let mut better = entry();
         better.energy_evaluations -= 50;
+        better.bound_evals -= 50;
         assert!(check_no_regression(&[better], &snapshot).is_ok());
         let mut worse = entry();
         worse.energy_evaluations += 1;
         let err = check_no_regression(&[worse], &snapshot).unwrap_err();
         assert!(err.contains("regressed"), "{err}");
+        let mut lazier = entry();
+        lazier.bound_evals += 1;
+        let err = check_no_regression(&[lazier], &snapshot).unwrap_err();
+        assert!(err.contains("bound_evals regressed"), "{err}");
     }
 }

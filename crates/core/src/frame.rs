@@ -74,6 +74,9 @@ pub struct BoundsCache {
     cycles: Vec<u8>,
     /// Whether the node may share a step boundary under chaining.
     chainable: Vec<bool>,
+    /// Combinational delay per node, for repairing chained finish
+    /// offsets after a vacate.
+    delays: Vec<Delay>,
     /// Max finish step over scheduled predecessors (0 = none).
     pred_finish: Vec<u32>,
     /// Min start step over scheduled successors (`u32::MAX` = none).
@@ -86,6 +89,7 @@ impl BoundsCache {
         let n = dfg.node_count();
         let mut cycles = Vec::with_capacity(n);
         let mut chainable = Vec::with_capacity(n);
+        let mut delays = Vec::with_capacity(n);
         for (_, node) in dfg.nodes() {
             let kind = node.kind();
             let declared = kind.cycles(spec);
@@ -103,10 +107,12 @@ impl BoundsCache {
             };
             cycles.push(eff);
             chainable.push(clock.is_some() && eff == 1 && kind.delay(spec).as_u32() > 0);
+            delays.push(kind.delay(spec));
         }
         BoundsCache {
             cycles,
             chainable,
+            delays,
             pred_finish: vec![0; n],
             succ_start: vec![u32::MAX; n],
         }
@@ -133,8 +139,25 @@ impl BoundsCache {
 
     /// Records that `node` was unscheduled (local rescheduling): its
     /// neighbours' bounds are recomputed from their remaining scheduled
-    /// neighbours. `schedule` must already reflect the removal.
-    pub fn on_unassign(&mut self, dfg: &Dfg, schedule: &Schedule, node: NodeId) {
+    /// neighbours, its own entry in `offsets` is reset, and the chained
+    /// finish offsets of its scheduled dependents are repaired.
+    /// `schedule` must already reflect the removal.
+    ///
+    /// The offset repair closes a staleness edge: a dependent that
+    /// chained *after* the vacated node in the same step keeps carrying
+    /// the vacated node's within-step delay in its accumulated offset,
+    /// so a later `probe_move_frame` of one of *its* successors sees an
+    /// inflated chaining base and can report a feasible range that
+    /// opens one step too late. Scheduled chainable transitive
+    /// successors are therefore recomputed here, in dependency (node
+    /// index) order, from their remaining same-step predecessors.
+    pub fn on_unassign(
+        &mut self,
+        dfg: &Dfg,
+        schedule: &Schedule,
+        offsets: &mut [Delay],
+        node: NodeId,
+    ) {
         for &s in dfg.succs(node) {
             self.pred_finish[s.index()] = dfg
                 .preds(s)
@@ -155,6 +178,39 @@ impl BoundsCache {
                 .map(|st| st.get())
                 .min()
                 .unwrap_or(u32::MAX);
+        }
+
+        offsets[node.index()] = Delay::ZERO;
+        // Offsets only accumulate through scheduled chainable nodes, so
+        // only those can go stale.
+        let mut affected: Vec<NodeId> = Vec::new();
+        let mut seen = vec![false; dfg.node_count()];
+        let mut stack: Vec<NodeId> = dfg.succs(node).to_vec();
+        while let Some(q) = stack.pop() {
+            if seen[q.index()] || !self.chainable[q.index()] || schedule.start(q).is_none() {
+                continue;
+            }
+            seen[q.index()] = true;
+            affected.push(q);
+            stack.extend_from_slice(dfg.succs(q));
+        }
+        // Builder node indices respect dependencies, so index order is a
+        // topological order of the repair set.
+        affected.sort_unstable();
+        for &q in &affected {
+            let start = schedule.start(q).expect("repair set is scheduled");
+            let mut base = Delay::ZERO;
+            for &p in dfg.preds(q) {
+                if !self.chainable[p.index()] {
+                    continue;
+                }
+                if let Some(ps) = schedule.start(p) {
+                    if ps.finish(self.cycles[p.index()]) == start {
+                        base = base.max(offsets[p.index()]);
+                    }
+                }
+            }
+            offsets[q.index()] = base + self.delays[q.index()];
         }
     }
 

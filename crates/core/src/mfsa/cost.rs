@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use hls_celllib::{Area, Library};
 use hls_dfg::SignalId;
-use hls_rtl::muxopt::{pack, MuxOp};
+use hls_rtl::muxopt::{pack_cost, MuxOp};
 
 use crate::mfsa::Weights;
 
@@ -62,8 +62,21 @@ impl CostModel {
     /// `w_MUX · (Cost(MUX¹_after) + Cost(MUX²_after) − before)` under the
     /// best-case packing of the instance's operand sources.
     pub(crate) fn f_mux(&self, before: &[MuxOp<EstSource>], candidate: MuxOp<EstSource>) -> u64 {
-        let before_cost = self.mux_pair_cost(before);
-        let mut after = before.to_vec();
+        self.f_mux_from(self.mux_pair_cost(before), before, candidate)
+    }
+
+    /// [`Self::f_mux`] with the before-cost supplied by the caller. The
+    /// before term depends only on the instance's committed operations —
+    /// frozen between moves — so the scheduler caches it per instance
+    /// and pays one packing per candidate instead of two.
+    pub(crate) fn f_mux_from(
+        &self,
+        before_cost: u64,
+        before: &[MuxOp<EstSource>],
+        candidate: MuxOp<EstSource>,
+    ) -> u64 {
+        let mut after = Vec::with_capacity(before.len() + 1);
+        after.extend_from_slice(before);
         after.push(candidate);
         let after_cost = self.mux_pair_cost(&after);
         self.weights.mux as u64 * after_cost.saturating_sub(before_cost)
@@ -71,8 +84,8 @@ impl CostModel {
 
     /// Total cost of the two input multiplexers after optimal packing.
     pub(crate) fn mux_pair_cost(&self, ops: &[MuxOp<EstSource>]) -> u64 {
-        let packing = pack(ops);
-        self.mux_cost(packing.l1.len()) + self.mux_cost(packing.l2.len())
+        let (l1, l2) = pack_cost(ops);
+        self.mux_cost(l1) + self.mux_cost(l2)
     }
 
     fn mux_cost(&self, inputs: usize) -> u64 {
@@ -89,6 +102,20 @@ impl CostModel {
     /// `w_REG · ΔREG-count · Cost(REG)`.
     pub(crate) fn f_reg(&self, delta_registers: usize) -> u64 {
         self.weights.reg as u64 * delta_registers as u64 * self.reg_area
+    }
+
+    /// A Liapunov lower bound for the branch-and-bound search: the
+    /// energy of any candidate at `step` whose exactly-known non-time
+    /// terms sum to `known`. Every term of the energy is ≥ 0, so
+    /// `f_TIME(step) + known` never exceeds the true total — with
+    /// `known = 0` this is the level-0 bound behind the wholesale
+    /// later-step cut, and the instance-level cut passes the exact
+    /// `f_REG + f_ALU` sum, leaving only the mux-repacking delta
+    /// unknown. For fixed `known` the bound is monotone non-decreasing
+    /// in the step index (`f_TIME = w_T·C·step`), which is what lets
+    /// the step queue cut every remaining step at once.
+    pub(crate) fn lower_bound(&self, step: u32, known: u64) -> u64 {
+        self.f_time(step) + known
     }
 }
 
@@ -307,6 +334,65 @@ mod tests {
         let area = lib.fu_area(OpKind::Add).unwrap();
         assert_eq!(model.f_alu(area), 3 * area.as_u64());
         assert_eq!(model.f_reg(1), 5 * lib.register_area().as_u64());
+    }
+
+    mod bound_soundness {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A candidate's exact energy from its four terms.
+        fn energy(model: &CostModel, step: u32, f_alu: u64, f_mux: u64, f_reg: u64) -> u64 {
+            model.f_time(step) + f_alu + f_mux + f_reg
+        }
+
+        proptest! {
+            /// `lower_bound(step, known) ≤ energy` exactly, at every
+            /// level the search uses it: `known = 0` (wholesale step
+            /// cut), `known = f_REG` (per-step cut) and `known = f_REG
+            /// + f_ALU` (instance cut) — each leaves only non-negative
+            /// terms unaccounted for.
+            #[test]
+            fn lower_bound_never_exceeds_the_energy(
+                step in 1u32..200,
+                f_alu in 0u64..10_000,
+                f_mux in 0u64..10_000,
+                f_reg in 0u64..10_000,
+                weight_idx in 0usize..3,
+            ) {
+                let lib = Library::ncr_like();
+                let weights = [
+                    Weights::default(),
+                    Weights { time: 0, alu: 1, mux: 1, reg: 1 },
+                    Weights { time: 2, alu: 1, mux: 3, reg: 4 },
+                ][weight_idx];
+                let model = CostModel::new(&lib, weights);
+                let e = energy(&model, step, f_alu, f_mux, f_reg);
+                prop_assert!(model.lower_bound(step, 0) <= e);
+                prop_assert!(model.lower_bound(step, f_reg) <= e);
+                prop_assert!(model.lower_bound(step, f_reg + f_alu) <= e);
+                // With every term known the bound is exact.
+                prop_assert_eq!(model.lower_bound(step, f_reg + f_alu + f_mux), e);
+            }
+
+            /// For a fixed `known` the bound is monotone non-decreasing
+            /// in the step index — the property that lets one queue pop
+            /// cut every remaining (later) step wholesale.
+            #[test]
+            fn lower_bound_is_monotone_in_step(
+                step in 1u32..199,
+                known in 0u64..30_000,
+                weight_idx in 0usize..3,
+            ) {
+                let lib = Library::ncr_like();
+                let weights = [
+                    Weights::default(),
+                    Weights { time: 0, alu: 1, mux: 1, reg: 1 },
+                    Weights { time: 2, alu: 1, mux: 3, reg: 4 },
+                ][weight_idx];
+                let model = CostModel::new(&lib, weights);
+                prop_assert!(model.lower_bound(step, known) <= model.lower_bound(step + 1, known));
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,13 @@
 
 mod config;
 mod cost;
+#[doc(hidden)]
+pub mod exhaustive;
 mod scheduler;
 
 pub use config::{DesignStyle, MfsaConfig, Weights};
+#[doc(hidden)]
+pub use exhaustive::ExhaustiveMfsa;
 pub use scheduler::{
     schedule, schedule_traced, schedule_traced_with_frames, IterationTrace, MfsaOutcome,
 };

@@ -1,6 +1,20 @@
-//! The MFSA move loop (paper §4.2).
+//! The MFSA move loop (paper §4.2), searched as a pruned
+//! branch-and-bound over the Liapunov lower bound.
+//!
+//! Each operation's feasible steps enter a priority queue ordered by
+//! their `f_TIME` lower bound; an incumbent best candidate then cuts
+//! (a) every remaining queued step at once (the bound is monotone in
+//! the step), (b) a popped step after its exact register term is known,
+//! and (c) individual instances after their exact ALU term is known but
+//! *before* the expensive mux repacking. Every cut compares the
+//! candidate's best-case tie-break tuple against the incumbent's full
+//! tuple, so only candidates that provably lose are skipped — the
+//! committed schedule is bit-identical to the unpruned search, which
+//! survives as [`super::ExhaustiveMfsa`] and differentials this loop in
+//! `tests/mfsa_prune_differential.rs`.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use hls_celllib::{Delay, TimingSpec};
 use hls_dfg::{BankId, Dfg, FuClass, NodeId, NodeKind, SignalId, SignalSource};
@@ -65,44 +79,109 @@ pub struct MfsaOutcome {
 }
 
 /// Internal state of one allocated ALU instance.
-struct Instance {
-    kind_index: usize,
-    ops: Vec<NodeId>,
-    mux_ops: Vec<MuxOp<EstSource>>,
+pub(crate) struct Instance {
+    pub(crate) kind_index: usize,
+    pub(crate) ops: Vec<NodeId>,
+    pub(crate) mux_ops: Vec<MuxOp<EstSource>>,
     /// Wrapped step → occupants.
-    busy: BTreeMap<u32, Vec<NodeId>>,
+    pub(crate) busy: BTreeMap<u32, Vec<NodeId>>,
     /// One bit per wrapped step with any occupant — the fast reject for
     /// [`instance_free`]; the map above is only walked when a bit is set
     /// *and* the probing node has mutual exclusions to check.
-    busy_bits: Vec<u64>,
+    pub(crate) busy_bits: Vec<u64>,
 }
 
 /// One scored candidate position.
-struct Candidate {
-    step: CStep,
+pub(crate) struct Candidate {
+    pub(crate) step: CStep,
     /// Existing instance index, or `None` for a new instance.
-    instance: Option<usize>,
+    pub(crate) instance: Option<usize>,
     /// Kind the instance will have after the move (new kind for
     /// creations and upgrades; unchanged for plain reuse).
-    kind_index: usize,
-    f_time: u64,
-    f_alu: u64,
-    f_mux: u64,
-    f_reg: u64,
+    pub(crate) kind_index: usize,
+    pub(crate) f_time: u64,
+    pub(crate) f_alu: u64,
+    pub(crate) f_mux: u64,
+    pub(crate) f_reg: u64,
     /// 0 = reuse, 1 = upgrade, 2 = new (tie-break order).
-    flavour: u8,
+    pub(crate) flavour: u8,
 }
 
 impl Candidate {
-    fn total(&self) -> u64 {
+    pub(crate) fn total(&self) -> u64 {
         self.f_time + self.f_alu + self.f_mux + self.f_reg
     }
 }
 
-/// Step-invariant part of a reuse/upgrade candidate for one instance:
-/// `(kind after the move, f_ALU, f_MUX, flavour)`, or `None` when the
-/// instance can never host the op.
-type InstCost = Option<(usize, u64, u64, u8)>;
+/// The full tie-break key: candidates are compared lexicographically on
+/// `(energy, step, flavour, instance, kind)` and the incumbent is only
+/// replaced on a strict win.
+type CandidateKey = (u64, CStep, u8, usize, usize);
+
+fn candidate_key(c: &Candidate) -> CandidateKey {
+    (
+        c.total(),
+        c.step,
+        c.flavour,
+        c.instance.unwrap_or(usize::MAX),
+        c.kind_index,
+    )
+}
+
+/// Whether a candidate set whose *best-case* key is `bound` can be cut:
+/// each component of a real candidate's key is ≥ the corresponding
+/// bound component, so the real key is lexicographically ≥ `bound`, and
+/// `bound ≥ incumbent` proves every such candidate loses the strict-`<`
+/// tie-break. With no incumbent nothing is cut.
+fn cut(best: &Option<Candidate>, bound: CandidateKey) -> bool {
+    best.as_ref().is_some_and(|b| bound >= candidate_key(b))
+}
+
+fn consider(best: &mut Option<Candidate>, c: Candidate) {
+    let better = match best {
+        None => true,
+        Some(b) => candidate_key(&c) < candidate_key(b),
+    };
+    if better {
+        *best = Some(c);
+    }
+}
+
+/// Step-invariant ALU-level terms of a reuse/upgrade candidate for one
+/// instance: `(kind after the move, f_ALU, flavour)`, or `None` when
+/// the instance can never host the op (style conflict, or no superset
+/// kind exists). This is the cheap half of the old combined memo — the
+/// mux-repacking delta is memoized separately and computed only for
+/// candidates whose ALU-level bound survives the incumbent cut.
+type AluCost = Option<(usize, u64, u8)>;
+
+/// Counters of one node's branch-and-bound search, flushed into the
+/// instrument after the frame scan.
+#[derive(Default)]
+struct PruneStats {
+    /// Dependency-feasible steps inside the frame (queue inserts).
+    feasible_steps: u64,
+    /// Steps whose candidates were actually examined.
+    expanded_steps: u64,
+    /// Steps cut by the bound — wholesale queue drains plus per-step
+    /// register-bound cuts. `expanded + cut == feasible`, always.
+    cut_steps: u64,
+    /// Candidates whose cheap bound was computed at an expanded step.
+    bound_evals: u64,
+    /// Bound-evaluated candidates cut before full scoring.
+    /// `bound_evals == cut_instances + full evaluations`, always.
+    cut_instances: u64,
+}
+
+impl PruneStats {
+    fn flush(&self, instr: &mut Instrument<'_>) {
+        instr.inc("mfsa.steps.feasible", self.feasible_steps);
+        instr.inc("mfsa.steps.expanded", self.expanded_steps);
+        instr.inc("mfsa.prune.cut_steps", self.cut_steps);
+        instr.inc("mfsa.bound.evals", self.bound_evals);
+        instr.inc("mfsa.prune.cut_instances", self.cut_instances);
+    }
+}
 
 /// Runs Move Frame Scheduling-Allocation on `dfg` under `spec` and
 /// `config`.
@@ -147,9 +226,12 @@ pub fn schedule(
 ///
 /// Event conventions (see `hls-telemetry`):
 ///
-/// * `EnergyEvaluated` — one per scored candidate, `pos = (instance,
-///   step)` 1-based (a new instance gets the next free number) and `v`
-///   the dynamic `f_TIME + f_ALU + f_MUX + f_REG`;
+/// * `EnergyEvaluated` — one per *fully scored* candidate, `pos =
+///   (instance, step)` 1-based (a new instance gets the next free
+///   number) and `v` the dynamic `f_TIME + f_ALU + f_MUX + f_REG`.
+///   Candidates cut by the branch-and-bound emit no event — the cut
+///   proves they lose, so the committed moves (and every `v` actually
+///   emitted) are identical to the exhaustive search's;
 /// * `MoveCommitted` — the winning candidate; `from`/`system_v` are
 ///   `None` (MFSA moves operations out of a conceptual unplaced pool, so
 ///   there is no prior grid cell and the dynamic terms are incremental).
@@ -157,7 +239,15 @@ pub fn schedule(
 /// Counters split committed moves by flavour (`mfsa.reuse_moves`,
 /// `mfsa.upgrade_moves`, `mfsa.new_instances` — the §2.3 function-merging
 /// signal), and the `mfsa.candidates` histogram records how many
-/// positions each operation was offered.
+/// positions each operation was actually scored at.
+///
+/// The branch-and-bound search is accounted exactly by five counters:
+/// `mfsa.steps.feasible == mfsa.steps.expanded + mfsa.prune.cut_steps`
+/// (every dependency-feasible step is either expanded or cut) and
+/// `mfsa.bound.evals == mfsa.energy_evaluations +
+/// mfsa.prune.cut_instances` (every candidate whose bound was computed
+/// at an expanded step is either fully scored or cut). Both invariants
+/// are enforced per run by `tests/mfsa_prune_differential.rs`.
 ///
 /// Instrumentation is write-only: the returned outcome is bit-identical
 /// to [`schedule`]'s for any sink.
@@ -243,6 +333,12 @@ pub fn schedule_traced_with_frames(
     let mut offsets: Vec<Delay> = vec![Delay::ZERO; dfg.node_count()];
     let mut bounds = BoundsCache::new(dfg, spec, config.clock());
     let mut instances: Vec<Instance> = Vec::new();
+    // Cached unweighted mux-pair cost of each instance's *committed*
+    // packing — the `before` term of every f_MUX delta. Only a commit
+    // changes an instance's operation set, so the entry survives whole
+    // node scans and each candidate evaluation packs once, not twice.
+    // `None` = stale (instance just grew).
+    let mut mux_before: Vec<Option<u64>> = Vec::new();
     // Bank-port occupancy: (bank, 1-based port, wrapped step) → nodes.
     let mut mem_busy: BTreeMap<(BankId, u32, u32), Vec<NodeId>> = BTreeMap::new();
     let mut reg_est = RegEstimate::new();
@@ -267,6 +363,7 @@ pub fn schedule_traced_with_frames(
                 // step, port).
                 let mut best: Option<(u64, CStep, u32, u64, u64)> = None;
                 let mut n_candidates = 0u64;
+                let mut prune = PruneStats::default();
                 let (cycles, offset) = {
                     let ctx = FrameCtx {
                         dfg,
@@ -279,46 +376,77 @@ pub fn schedule_traced_with_frames(
                     };
                     let (earliest, latest) = feasible_step_range(&ctx, node);
                     let cycles = ctx.effective_cycles(node);
+                    // Feasible steps, ordered by their f_TIME lower
+                    // bound (ties towards earlier steps). f_TIME is
+                    // non-decreasing in the step, so the queue pops
+                    // steps in ascending order — the same order the
+                    // exhaustive scan visits them.
+                    let mut queue: BinaryHeap<Reverse<(u64, CStep)>> = BinaryHeap::new();
                     let mut step = earliest;
                     while step <= latest {
                         if ctx.dep_feasible(node, step) && step.finish(cycles).get() <= cs {
-                            let f_time = model.f_time(step.get());
-                            let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
-                            let f_reg = model.f_reg(
-                                reg_est
-                                    .count_with(&extensions)
-                                    .saturating_sub(reg_est.count()),
-                            );
-                            for port in 1..=ports {
-                                let free = (0..cycles as u32).all(|k| {
-                                    mem_busy
-                                        .get(&(bank, port, wrap(step.get() + k)))
-                                        .is_none_or(|occ| {
-                                            occ.iter().all(|&o| dfg.mutually_exclusive(node, o))
-                                        })
-                                });
-                                if !free {
-                                    continue;
-                                }
-                                n_candidates += 1;
-                                let total = f_time + f_reg;
-                                if instr.enabled() {
-                                    instr.emit(TraceEvent::EnergyEvaluated {
-                                        op: node.index() as u32,
-                                        pos: (port, step.get()),
-                                        v: total,
-                                    });
-                                }
-                                let better = match best {
-                                    None => true,
-                                    Some((bt, bs, bp, ..)) => (total, step, port) < (bt, bs, bp),
-                                };
-                                if better {
-                                    best = Some((total, step, port, f_time, f_reg));
-                                }
-                            }
+                            queue.push(Reverse((model.lower_bound(step.get(), 0), step)));
                         }
                         step = step.offset(1);
+                    }
+                    prune.feasible_steps = queue.len() as u64;
+                    while let Some(&Reverse((f_time, step))) = queue.peek() {
+                        // Wholesale cut: every remaining step's best
+                        // case — port 0 is below any real port — is no
+                        // better than this one's.
+                        if let Some((bt, bs, bp, ..)) = best {
+                            if (f_time, step, 0u32) >= (bt, bs, bp) {
+                                prune.cut_steps += queue.len() as u64;
+                                break;
+                            }
+                        }
+                        queue.pop();
+                        let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
+                        let f_reg = model.f_reg(
+                            reg_est
+                                .count_with(&extensions)
+                                .saturating_sub(reg_est.count()),
+                        );
+                        // Step-level cut with the exact register term:
+                        // a port candidate's energy is exactly
+                        // f_TIME + f_REG, so this cut only skips
+                        // candidates that would lose the tie-break.
+                        if let Some((bt, bs, bp, ..)) = best {
+                            if (f_time + f_reg, step, 0u32) >= (bt, bs, bp) {
+                                prune.cut_steps += 1;
+                                continue;
+                            }
+                        }
+                        prune.expanded_steps += 1;
+                        for port in 1..=ports {
+                            let free = (0..cycles as u32).all(|k| {
+                                mem_busy
+                                    .get(&(bank, port, wrap(step.get() + k)))
+                                    .is_none_or(|occ| {
+                                        occ.iter().all(|&o| dfg.mutually_exclusive(node, o))
+                                    })
+                            });
+                            if !free {
+                                continue;
+                            }
+                            n_candidates += 1;
+                            prune.bound_evals += 1;
+                            let total = f_time + f_reg;
+                            if instr.enabled() {
+                                instr.emit(TraceEvent::EnergyEvaluated {
+                                    op: node.index() as u32,
+                                    pos: (port, step.get()),
+                                    v: total,
+                                });
+                            }
+                            let better = match best {
+                                None => true,
+                                Some((bt, bs, bp, ..)) => (total, step, port) < (bt, bs, bp),
+                            };
+                            if better {
+                                best = Some((total, step, port, f_time, f_reg));
+                            }
+                        }
                     }
                     let offset = match best {
                         Some((_, step, ..)) => ctx.offset_after(node, step),
@@ -326,6 +454,7 @@ pub fn schedule_traced_with_frames(
                     };
                     (cycles, offset)
                 };
+                prune.flush(instr);
                 instr.inc("mfsa.energy_evaluations", n_candidates);
                 instr.observe("mfsa.candidates", n_candidates);
                 let Some((total, step, port, f_time, f_reg)) = best else {
@@ -392,6 +521,7 @@ pub fn schedule_traced_with_frames(
             let mut n_candidates = 0u64;
             let mut memo_hits = 0u64;
             let mut memo_fills = 0u64;
+            let mut prune = PruneStats::default();
             let next_instance = instances.len() as u32 + 1;
 
             let (cycles, mux_op, offset) = {
@@ -432,15 +562,18 @@ pub fn schedule_traced_with_frames(
                     commutative,
                 };
 
-                // Step-invariant candidate terms, memoized per instance
-                // instead of recomputed per (step, instance): the mux
-                // repacking and the upgrade-kind search depend only on the
-                // instance state, which is frozen while this node scans its
-                // frame. Filled lazily on the first step where the instance
-                // is actually free, so fully-busy instances never pay for a
-                // repack. Inner `None` = the instance can never host this
-                // op (style conflict, or no superset kind exists).
-                let mut inst_costs: Vec<Option<InstCost>> = vec![None; instances.len()];
+                // ALU-level candidate terms (style check + kind
+                // search), memoized per instance: they depend only on
+                // the instance state, which is frozen while this node
+                // scans its frame. Filled lazily on the first step
+                // where the instance is actually free. `Some(None)` =
+                // the instance can never host this op.
+                let mut alu_costs: Vec<Option<AluCost>> = vec![None; instances.len()];
+                // Mux-repacking deltas, also step-invariant but far
+                // more expensive — memoized separately and computed
+                // only for candidates whose ALU-level bound survives
+                // the incumbent cut.
+                let mut mux_costs: Vec<Option<u64>> = vec![None; instances.len()];
                 let fresh_mux = model.f_mux(&[], mux_op);
                 let new_kinds: Vec<(usize, u64)> = library
                     .alus()
@@ -450,132 +583,159 @@ pub fn schedule_traced_with_frames(
                     .map(|(kind_index, k)| (kind_index, model.f_alu(k.area())))
                     .collect();
 
-                let mut consider = |c: Candidate| {
-                    n_candidates += 1;
-                    if instr.enabled() {
-                        instr.emit(TraceEvent::EnergyEvaluated {
-                            op: node.index() as u32,
-                            pos: (
-                                c.instance.map_or(next_instance, |i| i as u32 + 1),
-                                c.step.get(),
-                            ),
-                            v: c.total(),
-                        });
-                    }
-                    let better = match &best {
-                        None => true,
-                        Some(b) => {
-                            (
-                                c.total(),
-                                c.step,
-                                c.flavour,
-                                c.instance.unwrap_or(usize::MAX),
-                                c.kind_index,
-                            ) < (
-                                b.total(),
-                                b.step,
-                                b.flavour,
-                                b.instance.unwrap_or(usize::MAX),
-                                b.kind_index,
-                            )
-                        }
-                    };
-                    if better {
-                        best = Some(c);
-                    }
-                };
-
+                // Feasible steps, ordered by their f_TIME lower bound
+                // (ties towards earlier steps). f_TIME is
+                // non-decreasing in the step, so the queue pops steps
+                // in ascending order and candidates are examined in
+                // exactly the exhaustive loop's order — equal-key ties
+                // resolve identically under the strict-`<` tie-break.
+                let mut queue: BinaryHeap<Reverse<(u64, CStep)>> = BinaryHeap::new();
                 let mut step = earliest;
                 while step <= latest {
                     if ctx.dep_feasible(node, step) && step.finish(cycles).get() <= cs {
-                        let f_time = model.f_time(step.get());
-                        let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
-                        let f_reg = model.f_reg(
-                            reg_est
-                                .count_with(&extensions)
-                                .saturating_sub(reg_est.count()),
-                        );
-
-                        // Existing instances: reuse or upgrade.
-                        for (i, inst) in instances.iter().enumerate() {
-                            if !instance_free(inst, dfg, node, step, cycles, &wrap) {
-                                continue;
-                            }
-                            if inst_costs[i].is_some() {
-                                memo_hits += 1;
-                            } else {
-                                memo_fills += 1;
-                            }
-                            let cost = inst_costs[i].get_or_insert_with(|| {
-                                if config.style() == DesignStyle::NoSelfLoop {
-                                    let related = inst.ops.iter().any(|&o| {
-                                        dfg.preds(node).contains(&o) || dfg.succs(node).contains(&o)
-                                    });
-                                    if related {
-                                        return None;
-                                    }
-                                }
-                                let cur_kind = &library.alus()[inst.kind_index];
-                                if cur_kind.supports(op) {
-                                    Some((
-                                        inst.kind_index,
-                                        0,
-                                        model.f_mux(&inst.mux_ops, mux_op),
-                                        0,
-                                    ))
-                                } else {
-                                    // Cheapest superset kind covering old
-                                    // ops + op.
-                                    library
-                                        .alus()
-                                        .iter()
-                                        .enumerate()
-                                        .filter(|(_, k)| {
-                                            k.supports(op) && cur_kind.ops().all(|o| k.supports(o))
-                                        })
-                                        .min_by_key(|(idx, k)| (k.area(), *idx))
-                                        .map(|(kind_index, kind)| {
-                                            (
-                                                kind_index,
-                                                model.f_alu(
-                                                    kind.area().saturating_sub(cur_kind.area()),
-                                                ),
-                                                model.f_mux(&inst.mux_ops, mux_op),
-                                                1,
-                                            )
-                                        })
-                                }
-                            });
-                            let Some((kind_index, f_alu, f_mux, flavour)) = *cost else {
-                                continue;
-                            };
-                            consider(Candidate {
-                                step,
-                                instance: Some(i),
-                                kind_index,
-                                f_time,
-                                f_alu,
-                                f_mux,
-                                f_reg,
-                                flavour,
-                            });
-                        }
-
-                        // New instances of every capable kind.
-                        for &(kind_index, f_alu) in &new_kinds {
-                            consider(Candidate {
-                                step,
-                                instance: None,
-                                kind_index,
-                                f_time,
-                                f_alu,
-                                f_mux: fresh_mux,
-                                f_reg,
-                                flavour: 2,
-                            });
-                        }
+                        queue.push(Reverse((model.lower_bound(step.get(), 0), step)));
                     }
                     step = step.offset(1);
+                }
+                prune.feasible_steps = queue.len() as u64;
+
+                while let Some(&Reverse((f_time, step))) = queue.peek() {
+                    // (a) Wholesale cut: every remaining queued step
+                    // bounds ≥ this one's, so once the best case at
+                    // the cheapest remaining step cannot beat the
+                    // incumbent, nothing left in the queue can.
+                    if cut(&best, (f_time, step, 0, 0, 0)) {
+                        prune.cut_steps += queue.len() as u64;
+                        break;
+                    }
+                    queue.pop();
+                    let extensions = reg_extensions(dfg, &sched, spec, node, step, config);
+                    let f_reg = model.f_reg(
+                        reg_est
+                            .count_with(&extensions)
+                            .saturating_sub(reg_est.count()),
+                    );
+                    // (b) Step-level cut with the exact register term
+                    // folded into the bound.
+                    if cut(&best, (model.lower_bound(step.get(), f_reg), step, 0, 0, 0)) {
+                        prune.cut_steps += 1;
+                        continue;
+                    }
+                    prune.expanded_steps += 1;
+
+                    // Existing instances: reuse or upgrade.
+                    for (i, inst) in instances.iter().enumerate() {
+                        if !instance_free(inst, dfg, node, step, cycles, &wrap) {
+                            continue;
+                        }
+                        let alu = alu_costs[i].get_or_insert_with(|| {
+                            if config.style() == DesignStyle::NoSelfLoop {
+                                let related = inst.ops.iter().any(|&o| {
+                                    dfg.preds(node).contains(&o) || dfg.succs(node).contains(&o)
+                                });
+                                if related {
+                                    return None;
+                                }
+                            }
+                            let cur_kind = &library.alus()[inst.kind_index];
+                            if cur_kind.supports(op) {
+                                Some((inst.kind_index, 0, 0))
+                            } else {
+                                // Cheapest superset kind covering old
+                                // ops + op.
+                                library
+                                    .alus()
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, k)| {
+                                        k.supports(op) && cur_kind.ops().all(|o| k.supports(o))
+                                    })
+                                    .min_by_key(|(idx, k)| (k.area(), *idx))
+                                    .map(|(kind_index, kind)| {
+                                        (
+                                            kind_index,
+                                            model
+                                                .f_alu(kind.area().saturating_sub(cur_kind.area())),
+                                            1,
+                                        )
+                                    })
+                            }
+                        });
+                        let Some((kind_index, f_alu, flavour)) = *alu else {
+                            continue;
+                        };
+                        prune.bound_evals += 1;
+                        // (c) Instance-level cut: everything but the
+                        // mux term is exact here, so the bound is the
+                        // candidate's own key minus f_MUX ≥ 0.
+                        if cut(
+                            &best,
+                            (f_time + f_reg + f_alu, step, flavour, i, kind_index),
+                        ) {
+                            prune.cut_instances += 1;
+                            continue;
+                        }
+                        if mux_costs[i].is_some() {
+                            memo_hits += 1;
+                        } else {
+                            memo_fills += 1;
+                        }
+                        let f_mux = *mux_costs[i].get_or_insert_with(|| {
+                            let before = *mux_before[i]
+                                .get_or_insert_with(|| model.mux_pair_cost(&inst.mux_ops));
+                            model.f_mux_from(before, &inst.mux_ops, mux_op)
+                        });
+                        let c = Candidate {
+                            step,
+                            instance: Some(i),
+                            kind_index,
+                            f_time,
+                            f_alu,
+                            f_mux,
+                            f_reg,
+                            flavour,
+                        };
+                        n_candidates += 1;
+                        if instr.enabled() {
+                            instr.emit(TraceEvent::EnergyEvaluated {
+                                op: node.index() as u32,
+                                pos: (i as u32 + 1, c.step.get()),
+                                v: c.total(),
+                            });
+                        }
+                        consider(&mut best, c);
+                    }
+
+                    // New instances of every capable kind. The fresh
+                    // mux cost is precomputed, so the bound is the
+                    // exact key — the cut skips only sure losers.
+                    for &(kind_index, f_alu) in &new_kinds {
+                        prune.bound_evals += 1;
+                        let total = f_time + f_reg + f_alu + fresh_mux;
+                        if cut(&best, (total, step, 2, usize::MAX, kind_index)) {
+                            prune.cut_instances += 1;
+                            continue;
+                        }
+                        let c = Candidate {
+                            step,
+                            instance: None,
+                            kind_index,
+                            f_time,
+                            f_alu,
+                            f_mux: fresh_mux,
+                            f_reg,
+                            flavour: 2,
+                        };
+                        n_candidates += 1;
+                        if instr.enabled() {
+                            instr.emit(TraceEvent::EnergyEvaluated {
+                                op: node.index() as u32,
+                                pos: (next_instance, c.step.get()),
+                                v: c.total(),
+                            });
+                        }
+                        consider(&mut best, c);
+                    }
                 }
                 let offset = match &best {
                     Some(c) => ctx.offset_after(node, c.step),
@@ -584,6 +744,7 @@ pub fn schedule_traced_with_frames(
                 (cycles, mux_op, offset)
             };
 
+            prune.flush(instr);
             instr.inc("mfsa.energy_evaluations", n_candidates);
             instr.observe("mfsa.candidates", n_candidates);
             instr.inc("mfsa.reuse_memo.hits", memo_hits);
@@ -600,6 +761,7 @@ pub fn schedule_traced_with_frames(
             let instance_idx = match chosen.instance {
                 Some(i) => {
                     instances[i].kind_index = chosen.kind_index;
+                    mux_before[i] = None;
                     i
                 }
                 None => {
@@ -610,6 +772,7 @@ pub fn schedule_traced_with_frames(
                         busy: BTreeMap::new(),
                         busy_bits: Vec::new(),
                     });
+                    mux_before.push(None);
                     instances.len() - 1
                 }
             };
@@ -696,7 +859,7 @@ pub fn schedule_traced_with_frames(
 }
 
 /// The operator an ALU must support to execute `node`.
-fn base_op(dfg: &Dfg, node: NodeId) -> hls_celllib::OpKind {
+pub(crate) fn base_op(dfg: &Dfg, node: NodeId) -> hls_celllib::OpKind {
     match dfg.node(node).kind() {
         NodeKind::Op(k) => k,
         NodeKind::Stage { base, .. } => base,
@@ -705,7 +868,7 @@ fn base_op(dfg: &Dfg, node: NodeId) -> hls_celllib::OpKind {
 }
 
 /// Whether `inst` can host `node` starting at `step` for `cycles` steps.
-fn instance_free(
+pub(crate) fn instance_free(
     inst: &Instance,
     dfg: &Dfg,
     node: NodeId,
@@ -738,7 +901,7 @@ fn instance_free(
 
 /// The register-span extensions placing `node` at `step` would cause
 /// (inputs only, per §4.1).
-fn reg_extensions(
+pub(crate) fn reg_extensions(
     dfg: &Dfg,
     sched: &Schedule,
     spec: &TimingSpec,

@@ -44,9 +44,9 @@ impl State {
 
     fn vacate(&mut self, dfg: &Dfg, node: NodeId) {
         self.sched.unassign(node);
-        self.bounds.on_unassign(dfg, &self.sched, node);
+        self.bounds
+            .on_unassign(dfg, &self.sched, &mut self.offsets, node);
         self.grid.vacate(node);
-        self.offsets[node.index()] = Delay::ZERO;
     }
 }
 
@@ -125,6 +125,71 @@ fn reframe_after_vacate_matches_cold_recompute_with_chaining() {
     place_a(&mut cold);
     place_c(&mut cold);
     assert_eq!(before, probe(&cold), "cold recompute must match");
+}
+
+#[test]
+fn vacated_chain_source_does_not_leave_a_stale_feasible_range() {
+    // Regression: a = x + y ; c = a + y ; d = c + y under a 100ns clock
+    // with 48ns adds, with a and c chained into step 2 (one step past
+    // their ASAP, so the static frame cannot mask the boundary check).
+    // c's finish offset is 96 and d's frame opens at step 3
+    // (96 + 48 > 100). After vacating a, c's true chain offset drops to
+    // 48, so d fits into step 2 (48 + 48 ≤ 100). `on_unassign` used to
+    // repair only the pred/succ step bounds and leave c's accumulated
+    // offset at 96, making a probe of d report `earliest_feasible = 3`
+    // — one step stale — until c itself was touched.
+    let mut b = DfgBuilder::new("g");
+    let x = b.input("x");
+    let y = b.input("y");
+    let a = b.op("a", OpKind::Add, &[x, y]).unwrap();
+    let c = b.op("c", OpKind::Add, &[a, y]).unwrap();
+    let d = b.op("d", OpKind::Add, &[c, y]).unwrap();
+    let dfg = b.finish().unwrap();
+    let (a, c, d) = (node_of(&dfg, a), node_of(&dfg, c), node_of(&dfg, d));
+    let spec = TimingSpec::with_delays();
+    let clock = ClockPeriod::new(100);
+    let cs = 3;
+    let frames = chained_frames(&dfg, &spec, clock, cs)
+        .unwrap()
+        .into_frames();
+    let class = FuClass::Op(OpKind::Add);
+
+    let probe = |st: &State| {
+        probe_move_frame(
+            &dfg,
+            &spec,
+            &frames,
+            &st.sched,
+            Some(clock),
+            &st.offsets,
+            &st.bounds,
+            d,
+            &st.grid,
+            2,
+        )
+    };
+
+    let mut st = State::new(&dfg, &spec, Some(clock), Grid::new(class, cs, 2), cs);
+    st.place(&dfg, a, CStep::new(2), FuIndex::new(1), Delay::new(48));
+    st.place(&dfg, c, CStep::new(2), FuIndex::new(2), Delay::new(96));
+    assert_eq!(probe(&st).earliest_feasible, CStep::new(3));
+
+    st.vacate(&dfg, a);
+    assert_eq!(
+        st.offsets[c.index()],
+        Delay::new(48),
+        "vacating a must rebase c's chained offset"
+    );
+    assert_eq!(
+        probe(&st).earliest_feasible,
+        CStep::new(2),
+        "with a gone, d chains after c inside step 2"
+    );
+
+    // A cold rebuild of the post-vacate state agrees bit-for-bit.
+    let mut cold = State::new(&dfg, &spec, Some(clock), Grid::new(class, cs, 2), cs);
+    cold.place(&dfg, c, CStep::new(2), FuIndex::new(2), Delay::new(48));
+    assert_eq!(probe(&st), probe(&cold), "cold recompute must match");
 }
 
 #[test]

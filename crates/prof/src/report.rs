@@ -49,6 +49,16 @@ pub struct ProfileReport {
     pub memo_hits: u64,
     /// MFSA reuse-cost memo fills (`mfsa.reuse_memo.fills`).
     pub memo_fills: u64,
+    /// Liapunov lower bounds computed by the pruned MFSA search
+    /// (`mfsa.bound.evals`) — the full candidate universe; the counted
+    /// energy evaluations are the bound survivors.
+    pub bound_evals: u64,
+    /// Candidate steps cut wholesale by the incumbent
+    /// (`mfsa.prune.cut_steps`).
+    pub cut_steps: u64,
+    /// Instance candidates cut before the `f_MUX` recompute
+    /// (`mfsa.prune.cut_instances`).
+    pub cut_instances: u64,
     /// Frame recomputations skipped (`mfs.frames.reused` +
     /// `mfsa.frames.reused`).
     pub frames_reused: u64,
@@ -96,6 +106,9 @@ impl ProfileReport {
             bounds_boundary_walks: metrics.counter("mfs.bounds.boundary_walks"),
             memo_hits: metrics.counter("mfsa.reuse_memo.hits"),
             memo_fills: metrics.counter("mfsa.reuse_memo.fills"),
+            bound_evals: metrics.counter("mfsa.bound.evals"),
+            cut_steps: metrics.counter("mfsa.prune.cut_steps"),
+            cut_instances: metrics.counter("mfsa.prune.cut_instances"),
             frames_reused: metrics.counter("mfs.frames.reused")
                 + metrics.counter("mfsa.frames.reused"),
             phases,
@@ -130,6 +143,13 @@ impl ProfileReport {
             "reuse                {} memo hits, {} memo fills, {} frames reused",
             self.memo_hits, self.memo_fills, self.frames_reused
         );
+        if self.bound_evals > 0 {
+            let _ = writeln!(
+                out,
+                "pruning              {} bound evals, {} step cuts, {} instance cuts",
+                self.bound_evals, self.cut_steps, self.cut_instances
+            );
+        }
         if !self.reschedules_by_kind.is_empty() {
             let kinds: Vec<String> = self
                 .reschedules_by_kind
@@ -206,7 +226,8 @@ impl ProfileReport {
             "{{\"summary\":{{\"counted_evals\":{},\"attributed_evals\":{},\"coverage_pct\":{:.3},\
              \"frames_computed\":{},\"moves_committed\":{},\"local_reschedules\":{},\
              \"bounds_fast_path\":{},\"bounds_boundary_walks\":{},\
-             \"memo_hits\":{},\"memo_fills\":{},\"frames_reused\":{}}}",
+             \"memo_hits\":{},\"memo_fills\":{},\"frames_reused\":{},\
+             \"bound_evals\":{},\"cut_steps\":{},\"cut_instances\":{}}}",
             self.counted_evals,
             self.attributed_evals,
             self.coverage_pct,
@@ -217,7 +238,10 @@ impl ProfileReport {
             self.bounds_boundary_walks,
             self.memo_hits,
             self.memo_fills,
-            self.frames_reused
+            self.frames_reused,
+            self.bound_evals,
+            self.cut_steps,
+            self.cut_instances
         );
         s.push_str(",\"phases\":[");
         for (i, (name, p)) in self.phases.iter().enumerate() {
@@ -306,6 +330,9 @@ mod tests {
         });
         m.inc("mfs.bounds.fast_path", 2);
         m.inc("mfs.bounds.boundary_walks", 1);
+        m.inc("mfsa.bound.evals", 12);
+        m.inc("mfsa.prune.cut_steps", 2);
+        m.inc("mfsa.prune.cut_instances", 9);
         (p, m)
     }
 
@@ -317,6 +344,9 @@ mod tests {
         assert_eq!(r.attributed_evals, 3);
         assert!((r.coverage_pct - 100.0).abs() < 1e-9);
         assert_eq!(r.bounds_fast_path, 2);
+        assert_eq!(r.bound_evals, 12);
+        assert_eq!(r.cut_steps, 2);
+        assert_eq!(r.cut_instances, 9);
         assert_eq!(r.hotspots.len(), 1);
         assert_eq!(r.hotspots[0].op, 4);
         assert_eq!(r.phases[0].0, "mfs.move_loop");
@@ -331,7 +361,9 @@ mod tests {
         assert!(text.contains("== profile summary =="));
         assert!(text.contains("100.0% coverage"));
         assert!(text.contains("mfs.move_loop"));
+        assert!(text.contains("pruning              12 bound evals, 2 step cuts, 9 instance cuts"));
         let json = r.to_json();
+        assert!(json.contains("\"bound_evals\":12,\"cut_steps\":2,\"cut_instances\":9"));
         assert!(json.starts_with("{\"summary\":{\"counted_evals\":3"));
         assert!(json.contains("\"hotspots\":[{\"op\":4,\"evals\":3"));
         assert!(json.contains("\"committed\":[1,1]"));

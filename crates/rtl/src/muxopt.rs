@@ -8,7 +8,8 @@
 //! possibilities for arranging input signals for each commutative
 //! operation in L1 and L2."
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
 
 /// One operation's operand sources as seen by the ALU's two input ports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,43 +60,96 @@ impl<S: Ord> MuxPacking<S> {
 /// assert_eq!(packing.total_inputs(), 2);
 /// assert!(packing.swapped[1]);
 /// ```
-pub fn pack<S: Ord + Clone>(ops: &[MuxOp<S>]) -> MuxPacking<S> {
-    let mut l1: BTreeSet<S> = BTreeSet::new();
-    let mut l2: BTreeSet<S> = BTreeSet::new();
+pub fn pack<S: Ord + Hash + Clone>(ops: &[MuxOp<S>]) -> MuxPacking<S> {
+    let (cnt1, cnt2, swapped) = pack_counts(ops);
+    MuxPacking {
+        l1: cnt1.into_keys().collect(),
+        l2: cnt2.into_keys().collect(),
+        swapped,
+    }
+}
+
+/// `(|L1|, |L2|)` of the packing [`pack`] would produce, without
+/// materialising the sorted source lists. This is the candidate-pricing
+/// entry point: the MFSA inner loop only needs the two line counts for
+/// its `f_MUX` delta, and skipping the list construction keeps the hot
+/// path allocation-free beyond the count maps themselves.
+pub fn pack_cost<S: Ord + Hash + Clone>(ops: &[MuxOp<S>]) -> (usize, usize) {
+    let (cnt1, cnt2, _) = pack_counts(ops);
+    (cnt1.len(), cnt2.len())
+}
+
+/// The shared constructive core: contribution counts per port plus the
+/// chosen orientations. The maps are hashed, not ordered — the algorithm
+/// only ever point-queries them (`contains_key`, sole-contributor
+/// checks), never iterates, so hashing cannot change any decision;
+/// [`pack`] sorts the surviving keys at the end, which is where the
+/// deterministic `l1`/`l2` order comes from.
+fn pack_counts<S: Ord + Hash + Clone>(
+    ops: &[MuxOp<S>],
+) -> (HashMap<S, usize>, HashMap<S, usize>, Vec<bool>) {
+    // Multiset view of the ports: every op contributes exactly one
+    // source line to port 1 and (when binary) one to port 2 under its
+    // current orientation; |L1| and |L2| are the distinct-key counts.
+    // Keeping contribution *counts* instead of plain sets is what lets
+    // the refinement pass price a flip in O(1) instead of re-packing
+    // all k operations from scratch.
+    let mut cnt1: HashMap<S, usize> = HashMap::with_capacity(ops.len());
+    let mut cnt2: HashMap<S, usize> = HashMap::with_capacity(ops.len());
     let mut swapped = vec![false; ops.len()];
+
+    fn add<S: Ord + Hash + Clone>(cnt: &mut HashMap<S, usize>, s: &S) {
+        *cnt.entry(s.clone()).or_insert(0) += 1;
+    }
+    fn remove<S: Ord + Hash + Clone>(cnt: &mut HashMap<S, usize>, s: &S) {
+        match cnt.get_mut(s) {
+            Some(1) => {
+                cnt.remove(s);
+            }
+            Some(n) => *n -= 1,
+            None => unreachable!("removed a source that was never added"),
+        }
+    }
 
     // Pass 1: fixed (non-commutative and unary) operations.
     for op in ops {
         if !op.commutative || op.right.is_none() {
-            l1.insert(op.left.clone());
+            add(&mut cnt1, &op.left);
             if let Some(r) = &op.right {
-                l2.insert(r.clone());
+                add(&mut cnt2, r);
             }
         }
     }
 
-    // Pass 2: commutative operations, greedy orientation.
+    // Pass 2: commutative operations, greedy orientation. Like the
+    // original set-based construction, each op only sees the lines the
+    // fixed ops and *earlier* commutative ops have claimed.
     for (i, op) in ops.iter().enumerate() {
         if !op.commutative || op.right.is_none() {
             continue;
         }
         let r = op.right.as_ref().expect("checked above");
-        let cost_plain = usize::from(!l1.contains(&op.left)) + usize::from(!l2.contains(r));
-        let cost_swap = usize::from(!l1.contains(r)) + usize::from(!l2.contains(&op.left));
+        let cost_plain =
+            usize::from(!cnt1.contains_key(&op.left)) + usize::from(!cnt2.contains_key(r));
+        let cost_swap =
+            usize::from(!cnt1.contains_key(r)) + usize::from(!cnt2.contains_key(&op.left));
         if cost_swap < cost_plain {
             swapped[i] = true;
-            l1.insert(r.clone());
-            l2.insert(op.left.clone());
+            add(&mut cnt1, r);
+            add(&mut cnt2, &op.left);
         } else {
-            l1.insert(op.left.clone());
-            l2.insert(r.clone());
+            add(&mut cnt1, &op.left);
+            add(&mut cnt2, r);
         }
     }
 
     // Pass 3: re-examine orientations now that all sources are known —
     // an early greedy choice may have inserted a source a later op made
     // redundant. A flip is taken only when it strictly reduces the
-    // total, so the pass terminates.
+    // total, so the pass terminates. The flipped total is computed from
+    // the contribution counts: dropping this op's current sources frees
+    // a line only when it was the sole contributor, and its swapped
+    // sources cost a line only when nobody else supplies them.
     let mut changed = true;
     while changed {
         changed = false;
@@ -109,43 +163,146 @@ pub fn pack<S: Ord + Clone>(ops: &[MuxOp<S>]) -> MuxPacking<S> {
             } else {
                 (&op.left, r)
             };
-            // Would flipping reduce the packing?
-            let mut trial1 = BTreeSet::new();
-            let mut trial2 = BTreeSet::new();
-            for (j, oj) in ops.iter().enumerate() {
-                let (a, b) = if j == i {
-                    (cur_b, oj.right.as_ref().map(|_| cur_a))
-                } else if swapped[j] && oj.right.is_some() {
-                    (oj.right.as_ref().expect("some"), Some(&oj.left))
-                } else {
-                    (&oj.left, oj.right.as_ref())
-                };
-                trial1.insert(a.clone());
-                if let Some(b) = b {
-                    trial2.insert(b.clone());
-                }
-            }
-            if trial1.len() + trial2.len() < l1.len() + l2.len() {
+            // Port 1 currently carries cur_a from this op; flipping
+            // replaces that contribution with cur_b (and symmetrically
+            // on port 2). Self-pairs (cur_a == cur_b) change nothing and
+            // fall out as delta 0.
+            let delta1 = if cur_a == cur_b {
+                0
+            } else {
+                i64::from(!cnt1.contains_key(cur_b)) - i64::from(cnt1[cur_a] == 1)
+            };
+            let delta2 = if cur_a == cur_b {
+                0
+            } else {
+                i64::from(!cnt2.contains_key(cur_a)) - i64::from(cnt2[cur_b] == 1)
+            };
+            if delta1 + delta2 < 0 {
                 swapped[i] = !swapped[i];
-                l1 = trial1;
-                l2 = trial2;
+                remove(&mut cnt1, cur_a);
+                add(&mut cnt1, cur_b);
+                remove(&mut cnt2, cur_b);
+                add(&mut cnt2, cur_a);
                 changed = true;
             }
         }
     }
 
-    MuxPacking { l1, l2, swapped }
+    (cnt1, cnt2, swapped)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn op(l: &str, r: &str, c: bool) -> MuxOp<String> {
         MuxOp {
             left: l.to_string(),
             right: Some(r.to_string()),
             commutative: c,
+        }
+    }
+
+    /// The original set-based packing, kept verbatim as the oracle for
+    /// the refcount-based production `pack`: identical greedy choices,
+    /// with the refinement pass pricing each flip by rebuilding both
+    /// trial lists from scratch.
+    fn pack_reference<S: Ord + Clone>(ops: &[MuxOp<S>]) -> MuxPacking<S> {
+        let mut l1: BTreeSet<S> = BTreeSet::new();
+        let mut l2: BTreeSet<S> = BTreeSet::new();
+        let mut swapped = vec![false; ops.len()];
+        for op in ops {
+            if !op.commutative || op.right.is_none() {
+                l1.insert(op.left.clone());
+                if let Some(r) = &op.right {
+                    l2.insert(r.clone());
+                }
+            }
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if !op.commutative || op.right.is_none() {
+                continue;
+            }
+            let r = op.right.as_ref().expect("checked above");
+            let cost_plain = usize::from(!l1.contains(&op.left)) + usize::from(!l2.contains(r));
+            let cost_swap = usize::from(!l1.contains(r)) + usize::from(!l2.contains(&op.left));
+            if cost_swap < cost_plain {
+                swapped[i] = true;
+                l1.insert(r.clone());
+                l2.insert(op.left.clone());
+            } else {
+                l1.insert(op.left.clone());
+                l2.insert(r.clone());
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (i, op) in ops.iter().enumerate() {
+                if !op.commutative || op.right.is_none() {
+                    continue;
+                }
+                let r = op.right.as_ref().expect("checked above");
+                let (cur_a, cur_b) = if swapped[i] {
+                    (r, &op.left)
+                } else {
+                    (&op.left, r)
+                };
+                let mut trial1 = BTreeSet::new();
+                let mut trial2 = BTreeSet::new();
+                for (j, oj) in ops.iter().enumerate() {
+                    let (a, b) = if j == i {
+                        (cur_b, oj.right.as_ref().map(|_| cur_a))
+                    } else if swapped[j] && oj.right.is_some() {
+                        (oj.right.as_ref().expect("some"), Some(&oj.left))
+                    } else {
+                        (&oj.left, oj.right.as_ref())
+                    };
+                    trial1.insert(a.clone());
+                    if let Some(b) = b {
+                        trial2.insert(b.clone());
+                    }
+                }
+                if trial1.len() + trial2.len() < l1.len() + l2.len() {
+                    swapped[i] = !swapped[i];
+                    l1 = trial1;
+                    l2 = trial2;
+                    changed = true;
+                }
+            }
+        }
+        MuxPacking { l1, l2, swapped }
+    }
+
+    proptest! {
+        /// The refcount-priced refinement must take the exact flips the
+        /// trial-rebuild oracle takes: identical lists *and* identical
+        /// orientations, so every downstream `f_MUX` value (and with it
+        /// the MFSA tie-break order) is unchanged. Sources are drawn
+        /// from a small alphabet to force heavy line sharing, self-pairs
+        /// and duplicate ops.
+        #[test]
+        fn refcount_packing_matches_the_set_based_oracle(
+            ops in proptest::collection::vec(
+                (0u8..6, 0u8..6, 0u8..8),
+                0..12,
+            ),
+        ) {
+            let ops: Vec<MuxOp<u8>> = ops
+                .iter()
+                .map(|&(l, r, bits)| MuxOp {
+                    // `bits` packs the op shape: 0 = unary (1 in 8, so
+                    // most ops stay binary), bit 1 = commutative.
+                    left: l,
+                    right: (bits != 0).then_some(r),
+                    commutative: bits & 2 != 0,
+                })
+                .collect();
+            let fast = pack(&ops);
+            let slow = pack_reference(&ops);
+            prop_assert_eq!(pack_cost(&ops), (fast.l1.len(), fast.l2.len()));
+            prop_assert_eq!(fast, slow);
         }
     }
 
