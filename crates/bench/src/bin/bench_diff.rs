@@ -2,7 +2,7 @@
 //! deterministic snapshot documents and structurally compares them
 //! against the committed `BENCH_*.json` files.
 //!
-//! Three snapshots are covered:
+//! Four snapshots are covered:
 //!
 //! * `BENCH_core.json` — fresh scaling-sweep entries are paired with
 //!   committed ones by `(nodes, alg, mode)` and every deterministic
@@ -10,6 +10,9 @@
 //!   **exactly**; only the machine-local `wall_ms` is ignored. This is
 //!   stricter than `core_scaling --check`, which tolerates
 //!   improvements — the diff gate pins the numbers the repo claims.
+//! * `BENCH_partition.json` — fresh sharded-synthesis entries are
+//!   paired by `(nodes, alg)` and compared exactly the same way
+//!   (partition counters, horizon, fingerprint; `wall_ms` ignored).
 //! * `BENCH_mem.json` — regenerated and compared as trimmed text (the
 //!   document contains no timing fields).
 //! * `BENCH_telemetry.json` — regenerated without timing histograms and
@@ -23,11 +26,13 @@
 //! ```
 //!
 //! Without `--check` drift is reported but the exit status stays 0
-//! (useful while intentionally re-baselining). The `--core`, `--mem`
-//! and `--telemetry` flags override the committed file paths — CI uses
-//! `--core` on a perturbed copy to prove the gate actually fails.
+//! (useful while intentionally re-baselining). The `--core`, `--mem`,
+//! `--telemetry` and `--partition` flags override the committed file
+//! paths — CI uses `--core`/`--partition` on perturbed copies to prove
+//! the gate actually fails.
 
 use hls_bench::scaling::{bench_size, diff_exact, FULL_SIZES, QUICK_SIZES};
+use hls_bench::shard_scaling;
 use hls_bench::snapshots::{mem_snapshot, telemetry_snapshot};
 
 struct Options {
@@ -36,6 +41,7 @@ struct Options {
     core: String,
     mem: String,
     telemetry: String,
+    partition: String,
 }
 
 fn parse_args() -> Options {
@@ -46,6 +52,7 @@ fn parse_args() -> Options {
         core: "BENCH_core.json".into(),
         mem: "BENCH_mem.json".into(),
         telemetry: "BENCH_telemetry.json".into(),
+        partition: "BENCH_partition.json".into(),
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -60,6 +67,7 @@ fn parse_args() -> Options {
             "--core" => opts.core = path("--core"),
             "--mem" => opts.mem = path("--mem"),
             "--telemetry" => opts.telemetry = path("--telemetry"),
+            "--partition" => opts.partition = path("--partition"),
             other => {
                 eprintln!("unknown flag `{other}`; see the bench_diff doc comment");
                 std::process::exit(2);
@@ -124,6 +132,26 @@ fn main() {
     if opts.quick {
         eprintln!("#   --quick: larger committed sizes left unverified");
     }
+
+    eprintln!("# bench_diff: sharded scaling sweep ({})", opts.partition);
+    let shard_sizes: &[usize] = if opts.quick {
+        &shard_scaling::QUICK_SIZES
+    } else {
+        &shard_scaling::FULL_SIZES
+    };
+    let mut shard_entries = Vec::new();
+    for &ops in shard_sizes {
+        shard_scaling::bench_size(ops, &mut shard_entries);
+    }
+    drift.extend(shard_scaling::diff_exact(
+        &shard_entries,
+        &read(&opts.partition),
+    ));
+    eprintln!(
+        "#   {} fresh sharded entr{} compared (wall_ms ignored)",
+        shard_entries.len(),
+        if shard_entries.len() == 1 { "y" } else { "ies" }
+    );
 
     eprintln!("# bench_diff: memory port sweep ({})", opts.mem);
     drift.extend(diff_text("mem", &mem_snapshot(), &read(&opts.mem)));

@@ -1,0 +1,63 @@
+//! Scaling benchmark for sharded synthesis (`BENCH_partition.json`).
+//!
+//! The sweep itself lives in [`hls_bench::shard_scaling`] (shared with
+//! `bench_diff`); this binary adds the CLI:
+//!
+//! ```text
+//! shard_scaling                   # full sweep (200k..1M), JSON to stdout
+//! shard_scaling --quick           # smallest size only (CI smoke)
+//! shard_scaling --sizes 500000    # explicit op counts, comma-separated
+//! shard_scaling --quick --check BENCH_partition.json
+//!                                 # re-run and fail on any deterministic
+//!                                 # drift vs the snapshot
+//! ```
+//!
+//! Counters and fingerprints are bit-stable for any thread count;
+//! `--check` applies the same exact comparison `bench_diff` uses
+//! (`wall_ms` ignored).
+
+use hls_bench::shard_scaling::{bench_size, diff_exact, render, FULL_SIZES, QUICK_SIZES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check needs a path").clone());
+    let explicit: Option<Vec<usize>> = args.iter().position(|a| a == "--sizes").map(|i| {
+        args.get(i + 1)
+            .expect("--sizes needs a comma-separated op-count list")
+            .split(',')
+            .map(|s| s.parse().expect("--sizes takes op counts"))
+            .collect()
+    });
+
+    let sizes: Vec<usize> = match explicit {
+        Some(sizes) => sizes,
+        None if quick => QUICK_SIZES.to_vec(),
+        None => FULL_SIZES.to_vec(),
+    };
+    let mut entries = Vec::new();
+    for &ops in &sizes {
+        bench_size(ops, &mut entries);
+    }
+
+    match check_path {
+        Some(path) => {
+            let snapshot = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let drift = diff_exact(&entries, &snapshot);
+            if drift.is_empty() {
+                eprintln!("# sharded counters and fingerprints match {path}");
+            } else {
+                eprintln!("shard_scaling check FAILED:");
+                for d in &drift {
+                    eprintln!("  {d}");
+                }
+                std::process::exit(1);
+            }
+        }
+        None => println!("{}", render(&entries)),
+    }
+}

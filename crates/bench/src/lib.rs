@@ -17,11 +17,14 @@
 //!   full paper grid through the `hls-explore` engine at 1/2/4/8
 //!   worker threads plus a warm-cache pass, emitting
 //!   `BENCH_explore.json`;
+//! * `cargo run --release -p hls-bench --bin shard_scaling` — the
+//!   sharded-synthesis sweep on 200k–1M-node clustered workloads,
+//!   emitting `BENCH_partition.json`;
 //! * `cargo run --release -p hls-bench --bin bench_diff` — regenerates
 //!   the deterministic snapshot documents and structurally diffs them
-//!   against the committed `BENCH_core.json` / `BENCH_mem.json` /
-//!   `BENCH_telemetry.json` (`--check` exits nonzero on drift,
-//!   wall-clock fields are ignored).
+//!   against the committed `BENCH_core.json` / `BENCH_partition.json` /
+//!   `BENCH_mem.json` / `BENCH_telemetry.json` (`--check` exits nonzero
+//!   on drift, wall-clock fields are ignored).
 //!
 //! Benches: `runtime` (MFS/MFSA vs list/FDS/annealing), `scaling`
 //! (O(l³) growth on generated graphs), `ablation`.
@@ -33,6 +36,7 @@ mod explore_grid;
 mod figures;
 mod runner;
 pub mod scaling;
+pub mod shard_scaling;
 pub mod snapshots;
 mod tables;
 

@@ -90,6 +90,24 @@ impl Entry {
     }
 }
 
+/// Bisects `0..len` for the first index at which `probe` succeeds,
+/// assuming monotone feasibility (once feasible, always feasible for
+/// larger indices). Returns `len` when no index succeeds. Under that
+/// monotonicity this lands on exactly the index a linear scan would
+/// find, in ⌈log₂ len⌉ + 1 probes.
+pub fn first_feasible(len: usize, mut probe: impl FnMut(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, len);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if probe(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
 /// FNV-1a over the schedule's `(node, step, unit)` triples — a cheap,
 /// stable witness that a code change kept the output bit-identical.
 pub fn fingerprint(schedule: &hls_schedule::Schedule) -> u64 {
@@ -185,18 +203,27 @@ pub fn bench_size(ops: usize, entries: &mut Vec<Entry>) {
         };
         // The margin ladder is proportional so it scales with graph
         // width: +p% of each class budget (at least +p units at p ≥ 1).
-        let res_cfg = [0u32, 5, 10, 20, 40, 80, 160, 320]
-            .iter()
-            .map(|&pct| {
-                let mut cfg = MfsConfig::resource_constrained(cs);
-                for (&class, &limit) in &budgets {
-                    let margin = (limit * pct).div_ceil(100).max(pct.min(1));
-                    cfg = cfg.with_fu_limit(class, limit + margin);
-                }
-                cfg
-            })
-            .find(|cfg| mfs::schedule(&dfg, &spec, cfg).is_ok())
-            .expect("a feasible budget margin within the +320% ladder");
+        // Feasibility is monotone in the margin — more units never turn
+        // a feasible budget infeasible — so bisect for the first
+        // feasible rung: ⌈log₂ 8⌉ = 3 probe schedules instead of up to
+        // 8, landing on exactly the rung a linear scan would pick.
+        let ladder = [0u32, 5, 10, 20, 40, 80, 160, 320];
+        let cfg_at = |pct: u32| {
+            let mut cfg = MfsConfig::resource_constrained(cs);
+            for (&class, &limit) in &budgets {
+                let margin = (limit * pct).div_ceil(100).max(pct.min(1));
+                cfg = cfg.with_fu_limit(class, limit + margin);
+            }
+            cfg
+        };
+        let rung = first_feasible(ladder.len(), |i| {
+            mfs::schedule(&dfg, &spec, &cfg_at(ladder[i])).is_ok()
+        });
+        assert!(
+            rung < ladder.len(),
+            "a feasible budget margin within the +320% ladder"
+        );
+        let res_cfg = cfg_at(ladder[rung]);
         entries.push(run_mfs(&dfg, &spec, &res_cfg, "resource"));
     } else {
         eprintln!("#   mfs/resource skipped above {MFS_RESOURCE_CAP} nodes");
@@ -238,7 +265,7 @@ pub fn render(entries: &[Entry]) -> String {
 
 /// Reads one named field out of a committed snapshot line. Decimal
 /// fields are bare; the fingerprint is a quoted 16-digit hex string.
-fn snapshot_field(line: &str, name: &str) -> Result<u64, String> {
+pub(crate) fn snapshot_field(line: &str, name: &str) -> Result<u64, String> {
     let tag = format!("\"{name}\":");
     let rest = line
         .split(&tag)
@@ -404,6 +431,16 @@ mod tests {
         let drift = diff_exact(&[drifted], &snapshot);
         assert_eq!(drift.len(), 1, "{drift:?}");
         assert!(drift[0].contains("cut_instances 300 -> 299"), "{drift:?}");
+    }
+
+    #[test]
+    fn bisection_matches_a_linear_scan_on_every_monotone_ladder() {
+        // All 9 monotone predicates over an 8-rung ladder: infeasible
+        // below rung t, feasible from t on (t = 8 means never).
+        for t in 0..=8usize {
+            let linear = (0..8).find(|&i| i >= t).unwrap_or(8);
+            assert_eq!(first_feasible(8, |i| i >= t), linear, "threshold {t}");
+        }
     }
 
     #[test]

@@ -89,6 +89,144 @@ pub fn scaling_workload(ops: usize) -> GeneratorConfig {
     }
 }
 
+/// Configuration of a clustered workload: `regions` weakly-coupled
+/// layered DAGs, where each operand crosses into an earlier region with
+/// probability `cut_pct` — the knob that sets how dense the cut between
+/// natural partitions is.
+#[derive(Debug, Clone)]
+pub struct ClusteredConfig {
+    /// Shape of each region (seed, layers, width, mix, inputs, …).
+    pub region: GeneratorConfig,
+    /// Number of weakly-coupled regions.
+    pub regions: usize,
+    /// Probability (0–100) that an operand of a non-first region comes
+    /// from an earlier region instead of its own.
+    pub cut_pct: u32,
+}
+
+/// Region size target of the canonical clustered workload — matches
+/// the partitioner's automatic shard sizing, so `--shard auto` finds
+/// one natural region per shard.
+pub const CLUSTER_REGION_OPS: usize = 16_000;
+
+/// Cross-region operand probability of the canonical clustered
+/// workload: sparse enough that regions stay weakly coupled, dense
+/// enough that every seam carries real precedence.
+pub const CLUSTER_CUT_PCT: u32 = 5;
+
+/// The canonical clustered scaling workload of roughly `ops`
+/// operations: `ops / 16k` regions (at least two) of fixed depth,
+/// 5% cross-region operands. This is the single definition shared by
+/// the `shard_scaling` benchmark (BENCH_partition.json) and
+/// `mfhls profile gen:clustered:OPS`.
+pub fn clustered_workload(ops: usize) -> ClusteredConfig {
+    let regions = ops.div_ceil(CLUSTER_REGION_OPS).max(2);
+    let per_region = ops.div_ceil(regions);
+    ClusteredConfig {
+        region: GeneratorConfig {
+            seed: SCALING_SEED,
+            layers: SCALING_LAYERS,
+            width: per_region.div_ceil(SCALING_LAYERS).max(1),
+            inputs: 16,
+            branch_pct: 10,
+            ..GeneratorConfig::default()
+        },
+        regions,
+        cut_pct: CLUSTER_CUT_PCT,
+    }
+}
+
+/// Generates a clustered DAG: `regions` copies of the layered random
+/// shape laid out back to back, with `cut_pct`% of the later regions'
+/// operands drawn from earlier regions. Regions are emitted in
+/// dependency order, so the graph stays acyclic and a levelized
+/// partitioner recovers the regions as its natural shards.
+///
+/// ```
+/// use hls_benchmarks::generate::{generate_clustered, clustered_workload};
+///
+/// let dfg = generate_clustered(&clustered_workload(2_000));
+/// // Deterministic: the same config reproduces the same graph.
+/// assert_eq!(generate_clustered(&clustered_workload(2_000)), dfg);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `regions` is zero or the region shape is degenerate (see
+/// [`generate`]).
+pub fn generate_clustered(config: &ClusteredConfig) -> Dfg {
+    assert!(config.regions >= 1, "need at least one region");
+    let rc = &config.region;
+    assert!(!rc.mix.is_empty(), "the operator mix must be non-empty");
+    assert!(
+        rc.layers >= 1 && rc.width >= 1 && rc.inputs >= 1,
+        "generator dimensions must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(rc.seed);
+    let mut b = DfgBuilder::new(format!(
+        "clustered-r{}l{}w{}c{}s{}",
+        config.regions, rc.layers, rc.width, config.cut_pct, rc.seed
+    ));
+    let total_weight: u32 = rc.mix.iter().map(|&(_, w)| w).sum();
+    // Values produced by fully finished regions — the cross-cluster pool.
+    let mut earlier_regions: Vec<SignalId> = Vec::new();
+    for region in 0..config.regions {
+        let inputs: Vec<SignalId> = (0..rc.inputs)
+            .map(|i| b.input(&format!("r{region}in{i}")))
+            .collect();
+        let mut prev_layer: Vec<SignalId> = inputs.clone();
+        let mut region_values: Vec<SignalId> = inputs;
+        for layer in 0..rc.layers {
+            let mut this_layer = Vec::with_capacity(rc.width);
+            let branch = if rng.gen_range(0..100) < rc.branch_pct {
+                Some(b.begin_branch())
+            } else {
+                None
+            };
+            for slot in 0..rc.width {
+                if let Some(br) = branch {
+                    b.enter_arm(br, u32::from(slot >= rc.width / 2));
+                }
+                let mut pick = rng.gen_range(0..total_weight);
+                let kind = rc
+                    .mix
+                    .iter()
+                    .find(|&&(_, w)| {
+                        if pick < w {
+                            true
+                        } else {
+                            pick -= w;
+                            false
+                        }
+                    })
+                    .map(|&(k, _)| k)
+                    .expect("weights sum to total");
+                let operand = |rng: &mut StdRng| -> SignalId {
+                    if !earlier_regions.is_empty() && rng.gen_range(0..100) < config.cut_pct {
+                        earlier_regions[rng.gen_range(0..earlier_regions.len())]
+                    } else if rng.gen_range(0..100) < rc.locality_pct && !prev_layer.is_empty() {
+                        prev_layer[rng.gen_range(0..prev_layer.len())]
+                    } else {
+                        region_values[rng.gen_range(0..region_values.len())]
+                    }
+                };
+                let ins: Vec<SignalId> = (0..kind.arity()).map(|_| operand(&mut rng)).collect();
+                let out = b
+                    .op(&format!("r{region}l{layer}n{slot}"), kind, &ins)
+                    .expect("generated names are unique");
+                if branch.is_some() {
+                    b.exit_arm();
+                }
+                this_layer.push(out);
+            }
+            region_values.extend(this_layer.iter().copied());
+            prev_layer = this_layer;
+        }
+        earlier_regions.extend(region_values);
+    }
+    b.finish().expect("generated graphs are well-formed")
+}
+
 /// Generates a random layered DAG: layer 0 reads the primary inputs,
 /// each later operation draws operands from the previous layer (with
 /// `locality_pct` probability) or any earlier value.
@@ -242,6 +380,56 @@ mod tests {
         );
         let cp = CriticalPath::compute(&a, &TimingSpec::uniform_single_cycle());
         assert!(cp.steps() <= SCALING_LAYERS);
+    }
+
+    #[test]
+    fn clustered_workload_is_deterministic_and_weakly_coupled() {
+        let cfg = clustered_workload(4_000);
+        assert_eq!(cfg.regions, 2);
+        let a = generate_clustered(&cfg);
+        assert_eq!(a, generate_clustered(&cfg));
+        // Region sizes: regions × (layers × width + inputs) nodes+inputs;
+        // node_count counts ops only.
+        assert_eq!(
+            a.node_count(),
+            cfg.regions * cfg.region.layers * cfg.region.width
+        );
+        // Cross-region coupling exists but is sparse: count edges from a
+        // producer in region 0 to a consumer in region 1 (region r spans
+        // a contiguous id block in creation order).
+        let per_region = cfg.region.layers * cfg.region.width;
+        let mut cross = 0usize;
+        let mut total = 0usize;
+        for &n in a.topo_order() {
+            for &m in a.succs(n) {
+                total += 1;
+                if m.index() / per_region != n.index() / per_region {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(cross > 0, "cut_pct=5 must create some cross-region edges");
+        assert!(
+            cross * 4 < total,
+            "regions must stay weakly coupled: {cross}/{total} edges cross"
+        );
+    }
+
+    #[test]
+    fn clustered_zero_cut_produces_independent_regions() {
+        let mut cfg = clustered_workload(2_000);
+        cfg.cut_pct = 0;
+        let g = generate_clustered(&cfg);
+        let per_region = cfg.region.layers * cfg.region.width;
+        for &n in g.topo_order() {
+            for &m in g.succs(n) {
+                assert_eq!(
+                    m.index() / per_region,
+                    n.index() / per_region,
+                    "cut_pct=0 must keep regions independent"
+                );
+            }
+        }
     }
 
     #[test]

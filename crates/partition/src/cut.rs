@@ -1,0 +1,344 @@
+//! Cut-minimizing acyclic partitioning of a [`Dfg`].
+//!
+//! Nodes are seeded into shards by levelized order — every node sorted
+//! by `(dependency level, id)` and the sorted sequence cut into `k`
+//! near-equal contiguous blocks. Because an edge always increases the
+//! level, every edge points from a shard to an equal-or-later shard, so
+//! the shard sequence is itself a topological order and each shard's
+//! subgraph is schedulable in isolation.
+//!
+//! The seed is then improved by Kernighan–Lin-style boundary
+//! refinement: deterministic sweeps over the boundary nodes, moving a
+//! node to an adjacent shard when the move is legal (preserves the
+//! forward-edge invariant), strictly reduces the number of cut edges,
+//! and keeps the shard sizes within the balance tolerance. Ties are
+//! broken by fixed rules (larger gain first, then the lower shard id),
+//! so the partition is a pure function of the graph.
+
+use hls_dfg::{Dfg, NodeId, NodeKind};
+
+use crate::PartitionError;
+
+/// How far a shard may drift from the ideal `nodes / k` size during
+/// refinement, in percent.
+const BALANCE_TOLERANCE_PCT: usize = 20;
+
+/// Refinement sweeps over the boundary set. Gains shrink geometrically;
+/// four passes capture almost all of the improvement on the seeded
+/// workloads.
+const REFINE_PASSES: usize = 4;
+
+/// An acyclic `k`-way partition of a [`Dfg`].
+///
+/// Invariants (checked by the property suite):
+/// * every node belongs to exactly one shard;
+/// * for every edge `u → v`, `shard(u) <= shard(v)` — shard ids form a
+///   topological order of the quotient graph;
+/// * no shard is empty.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    assignment: Vec<u32>,
+    members: Vec<Vec<NodeId>>,
+    cut_edges: Vec<(NodeId, NodeId)>,
+    refine_moves: u64,
+}
+
+impl Partition {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The shard a node belongs to.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.assignment[node.index()] as usize
+    }
+
+    /// The members of one shard, sorted by node id (which is a
+    /// topological order of the parent graph).
+    pub fn members(&self, shard: usize) -> &[NodeId] {
+        &self.members[shard]
+    }
+
+    /// Every edge whose endpoints live in different shards, as
+    /// `(pred, succ)` pairs sorted by `(pred, succ)`.
+    pub fn cut_edges(&self) -> &[(NodeId, NodeId)] {
+        &self.cut_edges
+    }
+
+    /// Boundary refinement moves the KL pass committed.
+    pub fn refine_moves(&self) -> u64 {
+        self.refine_moves
+    }
+
+    /// The nodes incident to at least one cut edge, sorted by id.
+    pub fn boundary_nodes(&self) -> Vec<NodeId> {
+        let mut seen = vec![false; self.assignment.len()];
+        for &(u, v) in &self.cut_edges {
+            seen[u.index()] = true;
+            seen[v.index()] = true;
+        }
+        (0..seen.len())
+            .filter(|&i| seen[i])
+            .map(NodeId::from_index)
+            .collect()
+    }
+}
+
+/// Dependency level of every node: 0 for sources, else
+/// `1 + max(level of preds)`.
+fn levels(dfg: &Dfg) -> Vec<u32> {
+    let mut level = vec![0u32; dfg.node_count()];
+    for &id in dfg.topo_order() {
+        let l = dfg
+            .preds(id)
+            .iter()
+            .map(|p| level[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        level[id.index()] = l;
+    }
+    level
+}
+
+/// Rejects graph features a shard cannot reproduce in isolation:
+/// pipeline stages must stay step-consecutive and loop bodies carry
+/// region-level constraints, neither of which survives a seam.
+fn check_supported(dfg: &Dfg) -> Result<(), PartitionError> {
+    if !dfg.loop_regions().is_empty() {
+        return Err(PartitionError::Unsupported(
+            "graphs with loop regions cannot be sharded".into(),
+        ));
+    }
+    for (id, node) in dfg.nodes() {
+        match node.kind() {
+            NodeKind::Stage { .. } => {
+                return Err(PartitionError::Unsupported(format!(
+                    "pipeline stage node `{}` ({id:?}) cannot be sharded",
+                    node.name()
+                )))
+            }
+            NodeKind::LoopBody { .. } => {
+                return Err(PartitionError::Unsupported(format!(
+                    "loop body node `{}` ({id:?}) cannot be sharded",
+                    node.name()
+                )))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Cuts `dfg` into `k` shards (clamped to the node count). See the
+/// module docs for the algorithm and determinism argument.
+pub fn partition(dfg: &Dfg, k: usize) -> Result<Partition, PartitionError> {
+    check_supported(dfg)?;
+    let n = dfg.node_count();
+    if n == 0 {
+        return Err(PartitionError::Unsupported("empty graph".into()));
+    }
+    let k = k.clamp(1, n);
+
+    // Levelized seeding: sort by (level, id), cut into contiguous
+    // near-equal blocks.
+    let level = levels(dfg);
+    let mut order: Vec<NodeId> = dfg.node_ids().collect();
+    order.sort_by_key(|id| (level[id.index()], id.index()));
+    let mut assignment = vec![0u32; n];
+    let base = n / k;
+    let extra = n % k;
+    let mut pos = 0usize;
+    let mut sizes = vec![0usize; k];
+    for (shard, size) in sizes.iter_mut().enumerate() {
+        *size = base + usize::from(shard < extra);
+        for &id in &order[pos..pos + *size] {
+            assignment[id.index()] = shard as u32;
+        }
+        pos += *size;
+    }
+
+    // KL-style boundary refinement.
+    let target = n.div_ceil(k);
+    let tol = (target * BALANCE_TOLERANCE_PCT / 100).max(1);
+    let min_size = target.saturating_sub(tol).max(1);
+    let max_size = target + tol;
+    let mut refine_moves = 0u64;
+    if k > 1 {
+        for _ in 0..REFINE_PASSES {
+            let mut moved = false;
+            for id in dfg.node_ids() {
+                let s = assignment[id.index()] as usize;
+                // Gain of moving `id` from shard `s` to shard `t`: cut
+                // edges removed minus cut edges created, over both
+                // neighbour lists.
+                let gain = |t: usize| -> i64 {
+                    let mut g = 0i64;
+                    for &p in dfg.preds(id) {
+                        let ps = assignment[p.index()] as usize;
+                        g += i64::from(ps != s) - i64::from(ps != t);
+                    }
+                    for &v in dfg.succs(id) {
+                        let vs = assignment[v.index()] as usize;
+                        g += i64::from(vs != s) - i64::from(vs != t);
+                    }
+                    g
+                };
+                // A move right is legal when no successor would be left
+                // behind; a move left when no predecessor would be
+                // overtaken. Both preserve `shard(u) <= shard(v)`.
+                let legal = |t: usize| -> bool {
+                    if sizes[t] + 1 > max_size || sizes[s] - 1 < min_size {
+                        return false;
+                    }
+                    if t > s {
+                        dfg.succs(id)
+                            .iter()
+                            .all(|v| assignment[v.index()] as usize >= t)
+                    } else {
+                        dfg.preds(id)
+                            .iter()
+                            .all(|p| assignment[p.index()] as usize <= t)
+                    }
+                };
+                let mut best: Option<(i64, usize)> = None;
+                for t in [s.wrapping_sub(1), s + 1] {
+                    if t >= k || t == s || !legal(t) {
+                        continue;
+                    }
+                    let g = gain(t);
+                    // Strictly positive gain only; prefer the larger
+                    // gain, then the lower shard id (t-1 is probed
+                    // first, so `>` keeps it on ties).
+                    if g > 0 && best.is_none_or(|(bg, _)| g > bg) {
+                        best = Some((g, t));
+                    }
+                }
+                if let Some((_, t)) = best {
+                    sizes[s] -= 1;
+                    sizes[t] += 1;
+                    assignment[id.index()] = t as u32;
+                    refine_moves += 1;
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    // Materialize members and cut edges.
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for id in dfg.node_ids() {
+        members[assignment[id.index()] as usize].push(id);
+    }
+    debug_assert!(members.iter().all(|m| !m.is_empty()));
+    let mut cut_edges = Vec::new();
+    for id in dfg.node_ids() {
+        for &v in dfg.succs(id) {
+            if assignment[id.index()] != assignment[v.index()] {
+                cut_edges.push((id, v));
+            }
+        }
+    }
+    cut_edges.sort();
+    cut_edges.dedup();
+
+    Ok(Partition {
+        assignment,
+        members,
+        cut_edges,
+        refine_moves,
+    })
+}
+
+/// The automatic shard count `mfhls synth --shard auto` uses: one shard
+/// per ~16k nodes, so per-shard grids stay small enough for the dense
+/// scheduler's sweet spot while the pool has enough jobs to balance.
+pub fn auto_shards(nodes: usize) -> usize {
+    nodes.div_ceil(16_000).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_benchmarks::generate::{generate, scaling_workload, GeneratorConfig};
+
+    #[test]
+    fn every_node_in_exactly_one_shard_and_edges_point_forward() {
+        let dfg = generate(&scaling_workload(1_000));
+        let p = partition(&dfg, 7).unwrap();
+        assert_eq!(p.shard_count(), 7);
+        let mut counted = 0usize;
+        for s in 0..p.shard_count() {
+            for &id in p.members(s) {
+                assert_eq!(p.shard_of(id), s);
+                counted += 1;
+            }
+        }
+        assert_eq!(counted, dfg.node_count());
+        for id in dfg.node_ids() {
+            for &v in dfg.succs(id) {
+                assert!(p.shard_of(id) <= p.shard_of(v), "edge must point forward");
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_never_increases_the_cut() {
+        let dfg = generate(&GeneratorConfig::sized(2_000, 9));
+        let p = partition(&dfg, 8).unwrap();
+        // Rebuild the un-refined seed for comparison.
+        let level = levels(&dfg);
+        let mut order: Vec<NodeId> = dfg.node_ids().collect();
+        order.sort_by_key(|id| (level[id.index()], id.index()));
+        let n = dfg.node_count();
+        let (base, extra) = (n / 8, n % 8);
+        let mut seed = vec![0u32; n];
+        let mut pos = 0;
+        for shard in 0..8usize {
+            let size = base + usize::from(shard < extra);
+            for &id in &order[pos..pos + size] {
+                seed[id.index()] = shard as u32;
+            }
+            pos += size;
+        }
+        let seed_cut = dfg
+            .node_ids()
+            .flat_map(|id| dfg.succs(id).iter().map(move |&v| (id, v)))
+            .filter(|&(u, v)| seed[u.index()] != seed[v.index()])
+            .count();
+        assert!(p.cut_edges().len() <= seed_cut);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let dfg = generate(&scaling_workload(1_000));
+        let a = partition(&dfg, 5).unwrap();
+        let b = partition(&dfg, 5).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.cut_edges, b.cut_edges);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_the_node_count() {
+        let dfg = generate(&GeneratorConfig {
+            layers: 2,
+            width: 2,
+            ..Default::default()
+        });
+        let p = partition(&dfg, 64).unwrap();
+        assert_eq!(p.shard_count(), 4);
+        assert!((0..4).all(|s| p.members(s).len() == 1));
+    }
+
+    #[test]
+    fn auto_shard_count_scales_with_nodes() {
+        assert_eq!(auto_shards(100), 1);
+        assert_eq!(auto_shards(16_000), 1);
+        assert_eq!(auto_shards(16_001), 2);
+        assert_eq!(auto_shards(500_000), 32);
+        assert_eq!(auto_shards(1_000_000), 63);
+    }
+}

@@ -1,0 +1,224 @@
+//! Sub-DFG extraction: rebuilding one shard as a standalone [`Dfg`].
+//!
+//! Shard members are re-emitted through [`DfgBuilder`] in ascending
+//! global-id order — the builder's own creation order, hence a
+//! behavioural/topological order — so every referenced signal already
+//! exists when a node is created. Signals produced outside the shard
+//! (cut-in values) become primary inputs of the shard graph, named by
+//! their global signal name; the precedence they carried is enforced at
+//! merge time through the partition's cut-edge list instead.
+//!
+//! Branch structure is replayed exactly: each node's
+//! [`BranchPath::arms`] is re-entered against a per-shard mapping from
+//! global to local branch ids, so mutual exclusivity inside a shard is
+//! bit-identical to the parent graph. All banks and arrays are
+//! re-declared in parent order (even when unused) so `BankId`/`ArrayId`
+//! numbering — and with it every `FuClass::Mem` grid — lines up with
+//! the parent. Memory ordering tokens are re-derived by the builder
+//! over the shard's access subsequence; a re-derived token is always
+//! implied by the parent's transitive token chain, and any direct
+//! parent token whose producer lives in another shard survives as a
+//! cut edge.
+
+use std::collections::BTreeMap;
+
+use hls_dfg::{BranchId, Dfg, DfgBuilder, NodeId, NodeKind, SignalId, SignalSource};
+
+use crate::{cut::Partition, PartitionError};
+
+/// One extracted shard: a standalone graph plus the mapping from local
+/// node ids back to the parent graph.
+#[derive(Debug, Clone)]
+pub struct ShardGraph {
+    /// The shard as a self-contained graph.
+    pub dfg: Dfg,
+    /// `to_global[local.index()]` is the parent node id. Local ids are
+    /// assigned in creation order, which is the shard's member order.
+    pub to_global: Vec<NodeId>,
+}
+
+/// Extracts shard `shard` of `partition` from `dfg`.
+pub fn extract(
+    dfg: &Dfg,
+    partition: &Partition,
+    shard: usize,
+) -> Result<ShardGraph, PartitionError> {
+    let members = partition.members(shard);
+    let mut b = DfgBuilder::new(format!("{}.shard{}", dfg.name(), shard));
+
+    // Banks and arrays in parent declaration order keeps the id spaces
+    // aligned between parent and shard.
+    let mut bank_map = Vec::with_capacity(dfg.memory().banks().len());
+    for bank in dfg.memory().banks() {
+        bank_map.push(b.declare_bank(bank.name(), bank.ports()));
+    }
+    let mut array_map = Vec::with_capacity(dfg.memory().arrays().len());
+    for array in dfg.memory().arrays() {
+        array_map.push(b.declare_array(array.name(), array.size(), bank_map[array.bank().index()]));
+    }
+
+    let mut signal_map: BTreeMap<SignalId, SignalId> = BTreeMap::new();
+    let mut branch_map: BTreeMap<BranchId, BranchId> = BTreeMap::new();
+    // The local builder's branch stack, as global (branch, arm) pairs.
+    let mut arm_stack: Vec<(BranchId, u32)> = Vec::new();
+    let mut to_global = Vec::with_capacity(members.len());
+
+    for &id in members {
+        let node = dfg.node(id);
+
+        // Align the builder's arm stack with this node's branch path.
+        let want: Vec<(BranchId, u32)> = node
+            .branch()
+            .arms()
+            .iter()
+            .map(|a| (a.branch, a.arm))
+            .collect();
+        let keep = arm_stack
+            .iter()
+            .zip(&want)
+            .take_while(|(have, want)| have == want)
+            .count();
+        while arm_stack.len() > keep {
+            b.exit_arm();
+            arm_stack.pop();
+        }
+        for &(branch, arm) in &want[keep..] {
+            let local = *branch_map.entry(branch).or_insert_with(|| b.begin_branch());
+            b.enter_arm(local, arm);
+            arm_stack.push((branch, arm));
+        }
+
+        // Map the node's value operands; token operands (extra inputs
+        // past the kind's value arity) are re-derived locally.
+        let mut local_input = |b: &mut DfgBuilder, sig: SignalId| -> SignalId {
+            if let Some(&local) = signal_map.get(&sig) {
+                return local;
+            }
+            let parent = dfg.signal(sig);
+            let local = match parent.source() {
+                SignalSource::Constant(v) => b.constant(parent.name(), v),
+                // Primary inputs, and values produced in other shards
+                // (handled at merge through the cut-edge list).
+                _ => b.input(parent.name()),
+            };
+            signal_map.insert(sig, local);
+            local
+        };
+
+        let out = match node.kind() {
+            NodeKind::Op(kind) => {
+                let ins: Vec<SignalId> = node
+                    .inputs()
+                    .iter()
+                    .map(|&s| local_input(&mut b, s))
+                    .collect();
+                b.op(node.name(), kind, &ins)
+            }
+            NodeKind::Load { array, .. } => {
+                let index = local_input(&mut b, node.inputs()[0]);
+                b.load(node.name(), array_map[array.index()], index)
+            }
+            NodeKind::Store { array, .. } => {
+                let index = local_input(&mut b, node.inputs()[0]);
+                let value = local_input(&mut b, node.inputs()[1]);
+                b.store(node.name(), array_map[array.index()], index, value)
+            }
+            other => {
+                return Err(PartitionError::Unsupported(format!(
+                    "node kind {other:?} cannot be extracted"
+                )))
+            }
+        }
+        .map_err(|e| PartitionError::Internal(format!("extract `{}`: {e}", node.name())))?;
+        signal_map.insert(node.output(), out);
+        to_global.push(id);
+    }
+    while arm_stack.pop().is_some() {
+        b.exit_arm();
+    }
+
+    let local = b
+        .finish()
+        .map_err(|e| PartitionError::Internal(format!("extract shard {shard}: {e}")))?;
+    debug_assert_eq!(local.node_count(), members.len());
+    Ok(ShardGraph {
+        dfg: local,
+        to_global,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::partition;
+    use hls_benchmarks::generate::{generate, GeneratorConfig};
+    use hls_celllib::OpKind;
+
+    #[test]
+    fn shard_node_order_matches_member_order() {
+        let dfg = generate(&GeneratorConfig::sized(300, 3));
+        let p = partition(&dfg, 4).unwrap();
+        for s in 0..p.shard_count() {
+            let sg = extract(&dfg, &p, s).unwrap();
+            assert_eq!(sg.to_global, p.members(s));
+            assert_eq!(sg.dfg.node_count(), p.members(s).len());
+            // Node kinds line up local-to-global.
+            for (local, &global) in sg.to_global.iter().enumerate() {
+                let l = sg.dfg.node(NodeId::from_index(local));
+                let g = dfg.node(global);
+                assert_eq!(l.name(), g.name());
+                assert_eq!(l.kind().fu_class(), g.kind().fu_class());
+            }
+        }
+    }
+
+    #[test]
+    fn mutual_exclusivity_is_preserved_inside_a_shard() {
+        let dfg = generate(&GeneratorConfig {
+            seed: 11,
+            layers: 6,
+            width: 8,
+            branch_pct: 100,
+            ..Default::default()
+        });
+        let p = partition(&dfg, 3).unwrap();
+        for s in 0..p.shard_count() {
+            let sg = extract(&dfg, &p, s).unwrap();
+            for (i, &a) in sg.to_global.iter().enumerate() {
+                for (j, &b) in sg.to_global.iter().enumerate().skip(i + 1) {
+                    assert_eq!(
+                        sg.dfg
+                            .mutually_exclusive(NodeId::from_index(i), NodeId::from_index(j)),
+                        dfg.mutually_exclusive(a, b),
+                        "exclusivity of {a:?}/{b:?} must survive extraction"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_banks_keep_their_ids() {
+        let mut b = DfgBuilder::new("mem");
+        let i = b.input("i");
+        let bank = b.declare_bank("ram", 2);
+        let arr = b.declare_array("buf", 16, bank);
+        let l0 = b.load("l0", arr, i).unwrap();
+        let s0 = b.store("s0", arr, i, l0).unwrap();
+        let l1 = b.load("l1", arr, i).unwrap();
+        let _ = b.op("sum", OpKind::Add, &[l1, s0]).unwrap();
+        let dfg = b.finish().unwrap();
+        let p = partition(&dfg, 2).unwrap();
+        for s in 0..p.shard_count() {
+            let sg = extract(&dfg, &p, s).unwrap();
+            assert_eq!(sg.dfg.memory().banks().len(), 1);
+            assert_eq!(sg.dfg.memory().banks()[0].ports(), 2);
+            for (local, &global) in sg.to_global.iter().enumerate() {
+                assert_eq!(
+                    sg.dfg.node(NodeId::from_index(local)).kind().fu_class(),
+                    dfg.node(global).kind().fu_class()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Parallel per-shard scheduling on the hls-explore self-scheduling
+//! thread pool.
+//!
+//! Each shard is scheduled independently — MFS time-constrained or
+//! MFSA, per [`ShardAlg`] — under its own control-step budget of
+//! `local critical path + shard_slack`. Jobs run through
+//! [`hls_explore::run_indexed`], whose results come back in index
+//! order regardless of the worker count, so the shard schedules (and
+//! the per-shard metrics merged from them) are bit-identical for any
+//! `--threads`.
+
+use std::collections::BTreeMap;
+
+use hls_celllib::{Library, TimingSpec};
+use hls_dfg::{CriticalPath, FuClass};
+use hls_schedule::Schedule;
+use hls_telemetry::{Instrument, Metrics, NullSink};
+use moveframe::mfs::{self, MfsConfig};
+use moveframe::mfsa::{self, MfsaConfig};
+
+use crate::extract::ShardGraph;
+use crate::PartitionError;
+
+/// Which scheduler runs inside each shard.
+#[derive(Debug, Clone)]
+pub enum ShardAlg {
+    /// Time-constrained move-frame scheduling (unbounded units).
+    Mfs,
+    /// Mixed scheduling-allocation against a cell library.
+    Mfsa(Library),
+}
+
+impl ShardAlg {
+    /// Short name for telemetry and snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardAlg::Mfs => "mfs",
+            ShardAlg::Mfsa(_) => "mfsa",
+        }
+    }
+}
+
+/// One shard's local schedule plus the numbers the merge needs.
+#[derive(Debug)]
+pub struct ShardSchedule {
+    /// The schedule over the shard's local graph.
+    pub schedule: Schedule,
+    /// The local control-step budget (`local cp + slack`).
+    pub csteps: u32,
+    /// Per-class peak unit columns (max [`hls_schedule::FuIndex`] used).
+    pub fu_counts: BTreeMap<FuClass, u32>,
+    /// ALU instances bound by MFSA (0 for MFS shards).
+    pub alu_instances: u32,
+    /// The shard's scheduler counters, merged into the caller's
+    /// registry in shard order.
+    pub metrics: Metrics,
+}
+
+/// Schedules every shard in parallel; deterministic for any `threads`.
+pub fn schedule_shards(
+    shards: &[ShardGraph],
+    spec: &TimingSpec,
+    alg: &ShardAlg,
+    shard_slack: u32,
+    threads: usize,
+) -> Result<Vec<ShardSchedule>, PartitionError> {
+    let results = hls_explore::run_indexed(shards.len(), threads.max(1), |i| {
+        schedule_one(&shards[i], spec, alg, shard_slack)
+            .map_err(|e| PartitionError::Internal(format!("shard {i}: {e}")))
+    });
+    results.into_iter().collect()
+}
+
+fn schedule_one(
+    shard: &ShardGraph,
+    spec: &TimingSpec,
+    alg: &ShardAlg,
+    shard_slack: u32,
+) -> Result<ShardSchedule, PartitionError> {
+    let cp = CriticalPath::compute(&shard.dfg, spec).steps() as u32;
+    // `cp + slack` can be infeasible when the shard serializes on a
+    // scarce resource (a one-port bank, say). A fully serial schedule
+    // always fits in the total cycle count, so double the budget toward
+    // that ceiling until the shard schedules; the ladder is a pure
+    // function of the shard, so determinism is unaffected.
+    let serial: u32 = shard
+        .dfg
+        .topo_order()
+        .iter()
+        .map(|&n| shard.dfg.node(n).kind().cycles(spec) as u32)
+        .sum();
+    let ceiling = serial.max(cp + shard_slack);
+    let mut cs = cp + shard_slack;
+    loop {
+        match attempt(shard, spec, alg, cs) {
+            Ok(sched) => return Ok(sched),
+            Err(e) if cs >= ceiling => return Err(e),
+            Err(_) => cs = (cs.saturating_mul(2)).min(ceiling),
+        }
+    }
+}
+
+fn attempt(
+    shard: &ShardGraph,
+    spec: &TimingSpec,
+    alg: &ShardAlg,
+    cs: u32,
+) -> Result<ShardSchedule, PartitionError> {
+    let mut sink = NullSink;
+    let mut metrics = Metrics::new();
+    let schedule = {
+        let mut instr = Instrument::new(&mut sink, &mut metrics);
+        match alg {
+            ShardAlg::Mfs => {
+                let config = MfsConfig::time_constrained(cs);
+                mfs::schedule_traced(&shard.dfg, spec, &config, &mut instr)
+                    .map_err(|e| PartitionError::Internal(e.to_string()))?
+                    .schedule
+            }
+            ShardAlg::Mfsa(library) => {
+                let config = MfsaConfig::new(cs, library.clone());
+                mfsa::schedule_traced(&shard.dfg, spec, &config, &mut instr)
+                    .map_err(|e| PartitionError::Internal(e.to_string()))?
+                    .schedule
+            }
+        }
+    };
+    let fu_counts = schedule.fu_counts();
+    let alu_instances = schedule.alu_instance_count() as u32;
+    Ok(ShardSchedule {
+        schedule,
+        csteps: cs,
+        fu_counts,
+        alu_instances,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::partition;
+    use crate::extract::extract;
+    use hls_benchmarks::generate::{generate, scaling_workload};
+
+    #[test]
+    fn shard_schedules_are_thread_count_independent() {
+        let dfg = generate(&scaling_workload(600));
+        let p = partition(&dfg, 4).unwrap();
+        let shards: Vec<_> = (0..p.shard_count())
+            .map(|s| extract(&dfg, &p, s).unwrap())
+            .collect();
+        let spec = TimingSpec::uniform_single_cycle();
+        let one = schedule_shards(&shards, &spec, &ShardAlg::Mfs, 2, 1).unwrap();
+        let eight = schedule_shards(&shards, &spec, &ShardAlg::Mfs, 2, 8).unwrap();
+        assert_eq!(one.len(), eight.len());
+        for (a, b) in one.iter().zip(&eight) {
+            assert_eq!(a.csteps, b.csteps);
+            assert_eq!(
+                a.schedule.iter().collect::<Vec<_>>(),
+                b.schedule.iter().collect::<Vec<_>>()
+            );
+        }
+    }
+}

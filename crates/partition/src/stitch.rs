@@ -1,0 +1,450 @@
+//! Telescoping merge of shard schedules and boundary re-framing.
+//!
+//! **Merge.** Shards are placed onto a shared global time axis in shard
+//! order. Each shard gets the minimal step offset that (a) satisfies
+//! every incoming cut edge — the consumer's global start must fall
+//! strictly after the producer's global finish — and (b) keeps every
+//! memory bank's per-step access count within its port budget. Because
+//! independent shards overlap in time ("telescoping"), the merged
+//! horizon is far below the naive sum of per-shard budgets; the steps
+//! saved are reported as a counter. Unit columns are disjoint across
+//! shards for non-memory classes (each shard's columns are shifted past
+//! the previous shards'), and likewise for ALU instances. Memory bank
+//! ports are a *global* hard budget, so memory accesses are instead
+//! re-bound to the first free port of their bank at their global step —
+//! the capacity check in (b) guarantees one exists.
+//!
+//! **Stitch.** The merged schedule is exact but conservative around the
+//! seams: a boundary node was scheduled knowing only its own shard.
+//! The stitcher sweeps the boundary nodes in topological order and, for
+//! each, vacates it from the dense state (schedule, [`BoundsCache`],
+//! occupancy grids) and re-frames it with [`probe_move_frame`] — the
+//! same vacate→re-frame machinery `crates/core/tests/reframe.rs` pins —
+//! taking the earliest feasible position if that improves on its
+//! current slot. For MFSA-merged schedules (ALU-bound units, outside
+//! the class-grid world of the move frame) the stitcher instead slides
+//! boundary nodes to the earliest free step on their own unit, using
+//! the same [`BoundsCache`] feasibility bounds. Sweeps repeat until a
+//! fixpoint or the sweep cap.
+
+use std::collections::BTreeMap;
+
+use hls_celllib::{Delay, TimingSpec};
+use hls_dfg::{Dfg, FuClass, NodeId};
+use hls_schedule::{CStep, FuIndex, Grid, Schedule, Slot, TimeFrames, UnitId};
+use moveframe::{probe_move_frame, BoundsCache};
+
+use crate::cut::Partition;
+use crate::extract::ShardGraph;
+use crate::shard::ShardSchedule;
+use crate::PartitionError;
+
+/// Columns the re-frame probe exposes per class. Boundary compression
+/// only needs *a* free column at an earlier step, not the full
+/// (potentially tens of thousands wide) column space, and the probe
+/// cost is linear in the visible columns.
+const STITCH_COLUMN_CAP: u32 = 64;
+
+/// The merged global schedule plus merge/stitch statistics.
+#[derive(Debug)]
+pub struct MergeOutcome {
+    /// The stitched global schedule (horizon = `csteps`).
+    pub schedule: Schedule,
+    /// Achieved horizon: the last occupied control step.
+    pub csteps: u32,
+    /// Per-shard global step offsets chosen by the telescoping merge.
+    pub shard_offsets: Vec<u32>,
+    /// Steps saved versus naively concatenating the shard budgets.
+    pub telescoped_saved: u64,
+    /// Boundary moves the stitcher committed.
+    pub stitch_moves: u64,
+    /// Stitch sweeps run (including the final fixpoint sweep).
+    pub stitch_sweeps: u64,
+}
+
+/// Merges the shard schedules onto one global time axis and stitches
+/// the seams. See the module docs.
+pub fn merge_and_stitch(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    partition: &Partition,
+    shards: &[ShardGraph],
+    scheds: &[ShardSchedule],
+    max_stitch_sweeps: usize,
+) -> Result<MergeOutcome, PartitionError> {
+    let n = dfg.node_count();
+    let mut slots: Vec<Option<Slot>> = vec![None; n];
+    // Per-node global finish step, for cut-edge lower bounds.
+    let mut finish = vec![0u32; n];
+    let bank_ports: Vec<u32> = dfg.memory().banks().iter().map(|b| b.ports()).collect();
+    // Per-bank per-step access counts and port occupancy on the global
+    // axis; grown as the horizon extends.
+    let mut bank_usage: Vec<Vec<u32>> = vec![Vec::new(); bank_ports.len()];
+    let mut port_busy: Vec<Vec<Vec<bool>>> = bank_ports
+        .iter()
+        .map(|&p| vec![Vec::new(); p as usize])
+        .collect();
+
+    // Column bases: non-memory classes and ALU instances are shifted
+    // per shard so units stay disjoint across shards.
+    let mut class_base: BTreeMap<FuClass, u32> = BTreeMap::new();
+    let mut alu_base = 0u32;
+    let mut naive_offset = 0u64;
+    let mut shard_offsets = Vec::with_capacity(scheds.len());
+    let mut telescoped_saved = 0u64;
+    let mut horizon = 0u32;
+
+    for (si, (shard, sched)) in shards.iter().zip(scheds).enumerate() {
+        // (a) Precedence lower bound over incoming cut edges.
+        let mut lower = 0u32;
+        for (local, &global) in shard.to_global.iter().enumerate() {
+            let local_id = NodeId::from_index(local);
+            let start = sched
+                .schedule
+                .slot(local_id)
+                .ok_or_else(|| {
+                    PartitionError::Internal(format!("shard {si}: unscheduled local node {local}"))
+                })?
+                .step
+                .get();
+            for &p in dfg.preds(global) {
+                if partition.shard_of(p) != si {
+                    // global start = local start + offset must exceed
+                    // the producer's global finish.
+                    let need = (finish[p.index()] + 1).saturating_sub(start);
+                    lower = lower.max(need);
+                }
+            }
+        }
+
+        // (b) Bank-port capacity: local per-step access histogram must
+        // fit on top of the accumulated global histogram.
+        let mut local_mem: Vec<Vec<(u32, u8)>> = vec![Vec::new(); bank_ports.len()];
+        for (local, &global) in shard.to_global.iter().enumerate() {
+            if let FuClass::Mem(bank) = dfg.node(global).kind().fu_class() {
+                let local_id = NodeId::from_index(local);
+                let slot = sched.schedule.slot(local_id).expect("checked above");
+                let cycles = dfg.node(global).kind().cycles(spec);
+                local_mem[bank.index()].push((slot.step.get(), cycles));
+            }
+        }
+        let mut offset = lower;
+        'fit: loop {
+            for (bank, accesses) in local_mem.iter().enumerate() {
+                let mut extra: BTreeMap<u32, u32> = BTreeMap::new();
+                for &(start, cycles) in accesses {
+                    for k in 0..cycles as u32 {
+                        *extra.entry(offset + start + k).or_insert(0) += 1;
+                    }
+                }
+                for (&step, &count) in &extra {
+                    let used = bank_usage[bank].get(step as usize).copied().unwrap_or(0);
+                    if used + count > bank_ports[bank] {
+                        offset += 1;
+                        continue 'fit;
+                    }
+                }
+            }
+            break;
+        }
+        shard_offsets.push(offset);
+        telescoped_saved += naive_offset.saturating_sub(offset as u64);
+        naive_offset += sched.csteps as u64;
+
+        // Commit this shard's placements to the global axis.
+        for (local, &global) in shard.to_global.iter().enumerate() {
+            let local_id = NodeId::from_index(local);
+            let slot = sched.schedule.slot(local_id).expect("checked above");
+            let step = CStep::new(slot.step.get() + offset);
+            let cycles = dfg.node(global).kind().cycles(spec);
+            let unit = match slot.unit {
+                UnitId::Fu {
+                    class: class @ FuClass::Mem(bank),
+                    ..
+                } => {
+                    // Re-bind to the first port of the bank free over
+                    // the access span; capacity check (b) guarantees a
+                    // per-step port exists, and single-step accesses
+                    // make the greedy choice exact.
+                    let ports = &mut port_busy[bank.index()];
+                    let span: Vec<usize> = (0..cycles as u32)
+                        .map(|k| (step.get() + k) as usize)
+                        .collect();
+                    let port = (0..ports.len())
+                        .find(|&p| {
+                            span.iter()
+                                .all(|&s| !ports[p].get(s).copied().unwrap_or(false))
+                        })
+                        .ok_or_else(|| {
+                            PartitionError::Internal(format!(
+                                "no free port on bank {bank:?} at step {step}"
+                            ))
+                        })?;
+                    for &s in &span {
+                        if ports[port].len() <= s {
+                            ports[port].resize(s + 1, false);
+                        }
+                        ports[port][s] = true;
+                        let usage = &mut bank_usage[bank.index()];
+                        if usage.len() <= s {
+                            usage.resize(s + 1, 0);
+                        }
+                        usage[s] += 1;
+                    }
+                    UnitId::Fu {
+                        class,
+                        index: FuIndex::new(port as u32 + 1),
+                    }
+                }
+                UnitId::Fu { class, index } => UnitId::Fu {
+                    class,
+                    index: FuIndex::new(index.get() + class_base.get(&class).copied().unwrap_or(0)),
+                },
+                UnitId::Alu { instance } => UnitId::Alu {
+                    instance: instance + alu_base,
+                },
+            };
+            slots[global.index()] = Some(Slot { step, unit });
+            finish[global.index()] = step.finish(cycles).get();
+            horizon = horizon.max(finish[global.index()]);
+        }
+        for (&class, &count) in &sched.fu_counts {
+            if !matches!(class, FuClass::Mem(_)) {
+                *class_base.entry(class).or_insert(0) += count;
+            }
+        }
+        alu_base += sched.alu_instances;
+    }
+
+    let mut schedule = Schedule::new(dfg, horizon.max(1));
+    for (i, slot) in slots.iter().enumerate() {
+        let slot = slot
+            .ok_or_else(|| PartitionError::Internal(format!("merge left node {i} unscheduled")))?;
+        schedule.assign(NodeId::from_index(i), slot);
+    }
+
+    let uses_alu = schedule
+        .iter()
+        .any(|(_, s)| matches!(s.unit, UnitId::Alu { .. }));
+    let (stitch_moves, stitch_sweeps) = if uses_alu {
+        stitch_alu(dfg, spec, partition, &mut schedule, max_stitch_sweeps)
+    } else {
+        stitch_reframe(
+            dfg,
+            spec,
+            partition,
+            &mut schedule,
+            horizon,
+            max_stitch_sweeps,
+        )?
+    };
+
+    // The horizon can only shrink under stitching; re-derive it.
+    let csteps = schedule
+        .iter()
+        .map(|(n, s)| s.step.finish(dfg.node(n).kind().cycles(spec)).get())
+        .max()
+        .unwrap_or(1);
+    Ok(MergeOutcome {
+        schedule,
+        csteps,
+        shard_offsets,
+        telescoped_saved,
+        stitch_moves,
+        stitch_sweeps,
+    })
+}
+
+/// Boundary nodes in topological order — the sweep order of both
+/// stitchers.
+fn boundary_in_topo_order(dfg: &Dfg, partition: &Partition) -> Vec<NodeId> {
+    let boundary = partition.boundary_nodes();
+    let mut is_boundary = vec![false; dfg.node_count()];
+    for &b in &boundary {
+        is_boundary[b.index()] = true;
+    }
+    dfg.topo_order()
+        .iter()
+        .copied()
+        .filter(|id| is_boundary[id.index()])
+        .collect()
+}
+
+/// Move-frame stitching for class-grid (MFS-merged) schedules: vacate
+/// each boundary node and re-place it at the earliest position of its
+/// re-computed move frame.
+fn stitch_reframe(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    partition: &Partition,
+    schedule: &mut Schedule,
+    horizon: u32,
+    max_sweeps: usize,
+) -> Result<(u64, u64), PartitionError> {
+    let frames = TimeFrames::compute(dfg, spec, horizon)
+        .map_err(|e| PartitionError::Internal(format!("stitch frames: {e}")))?;
+    let mut bounds = BoundsCache::new(dfg, spec, None);
+    let mut offsets = vec![Delay::ZERO; dfg.node_count()];
+    // One occupancy grid per class, wide enough for the merged columns.
+    let mut grids: BTreeMap<FuClass, Grid> = schedule
+        .fu_counts()
+        .into_iter()
+        .map(|(class, max_fu)| (class, Grid::new(class, horizon, max_fu.max(1))))
+        .collect();
+    for (node, slot) in schedule.iter() {
+        let UnitId::Fu { class, index } = slot.unit else {
+            unreachable!("reframe stitching runs on Fu-bound schedules only");
+        };
+        grids
+            .get_mut(&class)
+            .expect("fu_counts covers every bound class")
+            .occupy(node, slot.step, index, bounds.cycles(node));
+    }
+    for (node, slot) in schedule.iter().collect::<Vec<_>>() {
+        bounds.on_assign(dfg, node, slot.step);
+    }
+
+    let order = boundary_in_topo_order(dfg, partition);
+    let mut moves = 0u64;
+    let mut sweeps = 0u64;
+    for _ in 0..max_sweeps {
+        sweeps += 1;
+        let mut moved = false;
+        for &node in &order {
+            let cur = schedule.slot(node).expect("merged schedule is complete");
+            let UnitId::Fu { class, index } = cur.unit else {
+                unreachable!("checked above");
+            };
+            let grid = grids.get_mut(&class).expect("class grid exists");
+            // Vacate from every piece of the dense state…
+            schedule.unassign(node);
+            bounds.on_unassign(dfg, schedule, &mut offsets, node);
+            grid.vacate(node);
+            // …re-frame…
+            let snapshot = probe_move_frame(
+                dfg,
+                spec,
+                &frames,
+                schedule,
+                None,
+                &offsets,
+                &bounds,
+                node,
+                grid,
+                grid.max_fu().min(STITCH_COLUMN_CAP),
+            );
+            // …and take the earliest (step, column), keeping the old
+            // slot when nothing better is visible.
+            let old = (cur.step, index);
+            let best = snapshot
+                .movable
+                .iter()
+                .map(|p| (p.step, p.fu))
+                .min()
+                .filter(|&p| p < old)
+                .unwrap_or(old);
+            schedule.assign(
+                node,
+                Slot {
+                    step: best.0,
+                    unit: UnitId::Fu {
+                        class,
+                        index: best.1,
+                    },
+                },
+            );
+            bounds.on_assign(dfg, node, best.0);
+            grid.occupy(node, best.0, best.1, bounds.cycles(node));
+            if best != old {
+                moves += 1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    Ok((moves, sweeps))
+}
+
+/// Stitching for ALU-bound (MFSA-merged) schedules: slide each boundary
+/// node to the earliest dependency-feasible free step on its own unit.
+/// Same-unit moves preserve both the allocation and (for memory
+/// accesses) the port binding.
+fn stitch_alu(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    partition: &Partition,
+    schedule: &mut Schedule,
+    max_sweeps: usize,
+) -> (u64, u64) {
+    let mut bounds = BoundsCache::new(dfg, spec, None);
+    for (node, slot) in schedule.iter().collect::<Vec<_>>() {
+        bounds.on_assign(dfg, node, slot.step);
+    }
+    // Per-unit per-step occupant counts (counts, not flags: mutually
+    // exclusive operations legitimately share a cell).
+    let mut busy: BTreeMap<UnitId, Vec<u16>> = BTreeMap::new();
+    for (node, slot) in schedule.iter() {
+        let cells = busy.entry(slot.unit).or_default();
+        for k in 0..bounds.cycles(node) as u32 {
+            let s = (slot.step.get() + k) as usize;
+            if cells.len() <= s {
+                cells.resize(s + 1, 0);
+            }
+            cells[s] += 1;
+        }
+    }
+
+    let order = boundary_in_topo_order(dfg, partition);
+    let mut offsets = vec![Delay::ZERO; dfg.node_count()];
+    let mut moves = 0u64;
+    let mut sweeps = 0u64;
+    for _ in 0..max_sweeps {
+        sweeps += 1;
+        let mut moved = false;
+        for &node in &order {
+            let cur = schedule.slot(node).expect("merged schedule is complete");
+            let cycles = bounds.cycles(node) as u32;
+            let cells = busy.get_mut(&cur.unit).expect("unit has occupants");
+            for k in 0..cycles {
+                cells[(cur.step.get() + k) as usize] -= 1;
+            }
+            schedule.unassign(node);
+            bounds.on_unassign(dfg, schedule, &mut offsets, node);
+            // Earliest step after every scheduled predecessor's finish
+            // whose unit cells are free across the span. Moving only
+            // earlier keeps scheduled successors feasible.
+            let lower = bounds.pred_finish(node) + 1;
+            let target = (lower..cur.step.get())
+                .find(|&s| {
+                    (0..cycles).all(|k| cells.get((s + k) as usize).copied().unwrap_or(0) == 0)
+                })
+                .map(CStep::new)
+                .unwrap_or(cur.step);
+            for k in 0..cycles {
+                let s = (target.get() + k) as usize;
+                if cells.len() <= s {
+                    cells.resize(s + 1, 0);
+                }
+                cells[s] += 1;
+            }
+            schedule.assign(
+                node,
+                Slot {
+                    step: target,
+                    unit: cur.unit,
+                },
+            );
+            bounds.on_assign(dfg, node, target);
+            if target != cur.step {
+                moves += 1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    (moves, sweeps)
+}

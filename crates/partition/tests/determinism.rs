@@ -1,0 +1,111 @@
+//! Thread-count determinism: a sharded run must produce byte-identical
+//! output for any worker count. The shard pool returns results in index
+//! order and the partitioner, merge and stitcher are pure functions of
+//! the graph, so `--threads 1` and `--threads 8` must agree on every
+//! slot, every counter, and every reported statistic.
+
+use hls_benchmarks::generate::{generate, scaling_workload, GeneratorConfig};
+use hls_celllib::{Library, TimingSpec};
+use hls_dfg::Dfg;
+use hls_partition::{synth_sharded, ShardAlg, ShardedConfig, ShardedOutcome};
+use hls_telemetry::{Instrument, Metrics, NullSink};
+
+fn run(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    config: &ShardedConfig,
+) -> (ShardedOutcome, Vec<(String, u64)>) {
+    let mut sink = NullSink;
+    let mut metrics = Metrics::new();
+    let out = {
+        let mut instr = Instrument::new(&mut sink, &mut metrics);
+        synth_sharded(dfg, spec, config, &mut instr).expect("sharded synthesis succeeds")
+    };
+    let counters: Vec<(String, u64)> = metrics
+        .counters()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    (out, counters)
+}
+
+fn assert_identical(
+    a: &(ShardedOutcome, Vec<(String, u64)>),
+    b: &(ShardedOutcome, Vec<(String, u64)>),
+) {
+    let (oa, ca) = a;
+    let (ob, cb) = b;
+    // Every slot of the final schedule, in node order.
+    assert_eq!(
+        oa.schedule.iter().collect::<Vec<_>>(),
+        ob.schedule.iter().collect::<Vec<_>>(),
+        "schedules diverge between thread counts"
+    );
+    assert_eq!(oa.schedule.control_steps(), ob.schedule.control_steps());
+    assert_eq!(oa.csteps, ob.csteps);
+    assert_eq!(oa.shards, ob.shards);
+    assert_eq!(oa.cut_edges, ob.cut_edges);
+    assert_eq!(oa.boundary_nodes, ob.boundary_nodes);
+    assert_eq!(oa.refine_moves, ob.refine_moves);
+    assert_eq!(oa.stitch_moves, ob.stitch_moves);
+    assert_eq!(oa.telescoped_saved, ob.telescoped_saved);
+    assert_eq!(oa.shard_csteps, ob.shard_csteps);
+    // Merged per-shard scheduler counters.
+    assert_eq!(
+        oa.shard_metrics.counters().collect::<Vec<_>>(),
+        ob.shard_metrics.counters().collect::<Vec<_>>(),
+        "shard metrics diverge between thread counts"
+    );
+    // The instrumented partition.* counters.
+    assert_eq!(ca, cb, "partition counters diverge between thread counts");
+}
+
+#[test]
+fn mfs_threads_1_vs_8_byte_identical() {
+    let spec = TimingSpec::uniform_single_cycle();
+    let dfg = generate(&scaling_workload(2_000));
+    let base = ShardedConfig::new(6, ShardAlg::Mfs);
+    let one = run(&dfg, &spec, &base.clone().with_threads(1));
+    let eight = run(&dfg, &spec, &base.with_threads(8));
+    assert_identical(&one, &eight);
+}
+
+#[test]
+fn mfsa_threads_1_vs_8_byte_identical() {
+    let spec = TimingSpec::uniform_single_cycle();
+    let dfg = generate(&scaling_workload(900));
+    let base = ShardedConfig::new(4, ShardAlg::Mfsa(Library::ncr_like()));
+    let one = run(&dfg, &spec, &base.clone().with_threads(1));
+    let eight = run(&dfg, &spec, &base.with_threads(8));
+    assert_identical(&one, &eight);
+}
+
+#[test]
+fn branchy_memory_graph_threads_1_vs_8_byte_identical() {
+    let spec = TimingSpec::uniform_single_cycle();
+    let dfg = generate(&GeneratorConfig {
+        seed: 7,
+        layers: 14,
+        width: 10,
+        branch_pct: 40,
+        ..Default::default()
+    });
+    let base = ShardedConfig::new(3, ShardAlg::Mfs);
+    let one = run(&dfg, &spec, &base.clone().with_threads(1));
+    let eight = run(&dfg, &spec, &base.clone().with_threads(8));
+    assert_identical(&one, &eight);
+
+    let mem = hls_benchmarks::memory::array_fir(12, 2);
+    let one = run(&mem, &spec, &base.clone().with_threads(1));
+    let eight = run(&mem, &spec, &base.with_threads(8));
+    assert_identical(&one, &eight);
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let spec = TimingSpec::uniform_single_cycle();
+    let dfg = generate(&scaling_workload(1_200));
+    let config = ShardedConfig::new(5, ShardAlg::Mfs);
+    let a = run(&dfg, &spec, &config);
+    let b = run(&dfg, &spec, &config);
+    assert_identical(&a, &b);
+}

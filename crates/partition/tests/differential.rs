@@ -1,0 +1,161 @@
+//! Small-graph differential suite: sharded synthesis versus the
+//! monolithic scheduler.
+//!
+//! The sharded pipeline must (a) pass the same independent
+//! `hls-schedule` verification the monolithic schedule passes, (b) stay
+//! port-safe on memory benchmarks, and (c) achieve a horizon within a
+//! bounded delta of the monolithic one. The bound is the telescoping
+//! worst case: every seam can cost at most the downstream shard's
+//! slack plus one alignment step, so
+//! `sharded ≤ monolithic + shards × (slack + 1)` (DESIGN.md §15).
+
+use hls_benchmarks::generate::{generate, scaling_workload, GeneratorConfig};
+use hls_celllib::{Library, TimingSpec};
+use hls_dfg::{CriticalPath, Dfg};
+use hls_mem::check_port_safety;
+use hls_partition::{synth_sharded, ShardAlg, ShardedConfig};
+use hls_schedule::{verify, VerifyOptions};
+use hls_telemetry::{Instrument, Metrics, NullSink};
+use moveframe::mfs::{self, MfsConfig};
+use moveframe::mfsa::{self, MfsaConfig};
+
+fn sharded(dfg: &Dfg, spec: &TimingSpec, config: &ShardedConfig) -> hls_partition::ShardedOutcome {
+    let mut sink = NullSink;
+    let mut metrics = Metrics::new();
+    let mut instr = Instrument::new(&mut sink, &mut metrics);
+    synth_sharded(dfg, spec, config, &mut instr).expect("sharded synthesis succeeds")
+}
+
+/// Achieved horizon of a (complete) schedule.
+fn achieved(dfg: &Dfg, spec: &TimingSpec, schedule: &hls_schedule::Schedule) -> u32 {
+    schedule
+        .iter()
+        .map(|(n, s)| s.step.finish(dfg.node(n).kind().cycles(spec)).get())
+        .max()
+        .unwrap()
+}
+
+/// The documented quality bound for a `k`-shard run with `slack` steps
+/// of per-shard slack.
+fn delta_bound(shards: usize, slack: u32) -> u32 {
+    shards as u32 * (slack + 1)
+}
+
+#[test]
+fn mfs_sharded_matches_monolithic_within_the_bound() {
+    let spec = TimingSpec::uniform_single_cycle();
+    for (ops, shards) in [(500, 3), (1_000, 4), (2_000, 8)] {
+        let dfg = generate(&scaling_workload(ops));
+        let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+
+        let mono = mfs::schedule(&dfg, &spec, &MfsConfig::time_constrained(cp + 8))
+            .expect("monolithic MFS");
+        assert!(verify(&dfg, &mono.schedule, &spec, VerifyOptions::default()).is_empty());
+        let mono_csteps = achieved(&dfg, &spec, &mono.schedule);
+
+        let config = ShardedConfig::new(shards, ShardAlg::Mfs);
+        let out = sharded(&dfg, &spec, &config);
+        // Verified inside synth_sharded; re-verify independently here.
+        assert!(
+            verify(&dfg, &out.schedule, &spec, VerifyOptions::default()).is_empty(),
+            "{ops} ops / {shards} shards: sharded schedule must verify"
+        );
+        let delta = out.csteps.saturating_sub(mono_csteps);
+        let bound = delta_bound(out.shards, config.shard_slack);
+        eprintln!(
+            "# differential mfs ops={ops} shards={shards}: mono={mono_csteps} sharded={} delta={delta} bound={bound}",
+            out.csteps
+        );
+        assert!(
+            delta <= bound,
+            "{ops} ops / {shards} shards: csteps delta {delta} exceeds bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn mfsa_sharded_matches_monolithic_within_the_bound() {
+    let spec = TimingSpec::uniform_single_cycle();
+    let dfg = generate(&scaling_workload(800));
+    let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+
+    let mono = mfsa::schedule(&dfg, &spec, &MfsaConfig::new(cp + 8, Library::ncr_like()))
+        .expect("monolithic MFSA");
+    let mono_csteps = achieved(&dfg, &spec, &mono.schedule);
+
+    let config = ShardedConfig::new(4, ShardAlg::Mfsa(Library::ncr_like()));
+    let out = sharded(&dfg, &spec, &config);
+    assert!(verify(&dfg, &out.schedule, &spec, VerifyOptions::default()).is_empty());
+    let delta = out.csteps.saturating_sub(mono_csteps);
+    let bound = delta_bound(out.shards, config.shard_slack);
+    eprintln!(
+        "# differential mfsa: mono={mono_csteps} sharded={} delta={delta} bound={bound}",
+        out.csteps
+    );
+    assert!(delta <= bound, "csteps delta {delta} exceeds bound {bound}");
+}
+
+#[test]
+fn sharded_memory_benchmarks_stay_port_safe_across_seams() {
+    let spec = TimingSpec::uniform_single_cycle();
+    for ports in [1u32, 2, 4] {
+        for dfg in [
+            hls_benchmarks::memory::array_fir(12, ports),
+            hls_benchmarks::memory::matvec(4, ports),
+        ] {
+            let out = sharded(&dfg, &spec, &ShardedConfig::new(3, ShardAlg::Mfs));
+            assert!(verify(&dfg, &out.schedule, &spec, VerifyOptions::default()).is_empty());
+            let violations = check_port_safety(&dfg, &out.schedule).expect("complete schedule");
+            assert!(
+                violations.is_empty(),
+                "{} @ {ports} ports: seam crossing broke port safety: {violations:?}",
+                dfg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn branchy_graphs_survive_sharding() {
+    let spec = TimingSpec::uniform_single_cycle();
+    let dfg = generate(&GeneratorConfig {
+        seed: 23,
+        layers: 10,
+        width: 12,
+        branch_pct: 60,
+        ..Default::default()
+    });
+    let out = sharded(&dfg, &spec, &ShardedConfig::new(5, ShardAlg::Mfs));
+    assert!(verify(&dfg, &out.schedule, &spec, VerifyOptions::default()).is_empty());
+}
+
+#[test]
+fn two_cycle_multiplies_cross_seams_correctly() {
+    let spec = TimingSpec::two_cycle_multiply();
+    let dfg = generate(&scaling_workload(600));
+    let out = sharded(&dfg, &spec, &ShardedConfig::new(4, ShardAlg::Mfs));
+    assert!(verify(&dfg, &out.schedule, &spec, VerifyOptions::default()).is_empty());
+}
+
+#[test]
+fn unsupported_graphs_are_refused_with_a_typed_error() {
+    use hls_dfg::DfgBuilder;
+    let mut b = DfgBuilder::new("looped");
+    let x = b.input("x");
+    b.begin_loop("l0", 4);
+    b.op("body", hls_celllib::OpKind::Inc, &[x]).unwrap();
+    b.end_loop();
+    let dfg = b.finish().unwrap();
+    let spec = TimingSpec::uniform_single_cycle();
+    let mut sink = NullSink;
+    let mut metrics = Metrics::new();
+    let mut instr = Instrument::new(&mut sink, &mut metrics);
+    let err = synth_sharded(
+        &dfg,
+        &spec,
+        &ShardedConfig::new(2, ShardAlg::Mfs),
+        &mut instr,
+    )
+    .unwrap_err();
+    assert!(matches!(err, hls_partition::PartitionError::Unsupported(_)));
+}

@@ -1,0 +1,128 @@
+//! Property tests for the partition invariants:
+//!
+//! - every node lands in exactly one shard, and shards tile the graph;
+//! - cut edges respect precedence in the stitched global schedule;
+//! - each shard's local schedule stays inside its own time frames
+//!   (`MF ⊆ PF` per shard);
+//! - memory benchmarks remain port-safe across the seams.
+
+use proptest::prelude::*;
+
+use hls_benchmarks::generate::{generate, GeneratorConfig};
+use hls_celllib::TimingSpec;
+use hls_dfg::Dfg;
+use hls_mem::check_port_safety;
+use hls_partition::{extract, partition, schedule_shards, synth_sharded, ShardAlg, ShardedConfig};
+use hls_schedule::TimeFrames;
+use hls_telemetry::{Instrument, Metrics, NullSink};
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (1u64..1000, 2usize..10, 2usize..10, 0u32..60).prop_map(|(seed, layers, width, branch)| {
+        GeneratorConfig {
+            seed,
+            layers,
+            width,
+            branch_pct: branch,
+            ..GeneratorConfig::default()
+        }
+    })
+}
+
+fn sharded(dfg: &Dfg, spec: &TimingSpec, shards: usize) -> hls_partition::ShardedOutcome {
+    let mut sink = NullSink;
+    let mut metrics = Metrics::new();
+    let mut instr = Instrument::new(&mut sink, &mut metrics);
+    synth_sharded(
+        dfg,
+        spec,
+        &ShardedConfig::new(shards, ShardAlg::Mfs),
+        &mut instr,
+    )
+    .expect("sharded synthesis succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_node_lands_in_exactly_one_shard(
+        config in config_strategy(),
+        k in 2usize..9,
+    ) {
+        let dfg = generate(&config);
+        let p = partition(&dfg, k).unwrap();
+        let mut seen = vec![0u32; dfg.node_count()];
+        for s in 0..p.shard_count() {
+            for &n in p.members(s) {
+                seen[n.index()] += 1;
+                prop_assert_eq!(p.shard_of(n), s, "membership and shard_of must agree");
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "every node in exactly one shard");
+        // Acyclicity across shards: every edge points to an
+        // equal-or-later shard.
+        for &n in dfg.topo_order() {
+            for &m in dfg.succs(n) {
+                prop_assert!(p.shard_of(n) <= p.shard_of(m));
+            }
+        }
+    }
+
+    #[test]
+    fn cut_edges_respect_precedence_after_stitching(
+        config in config_strategy(),
+        k in 2usize..7,
+    ) {
+        let dfg = generate(&config);
+        let spec = TimingSpec::uniform_single_cycle();
+        let p = partition(&dfg, k).unwrap();
+        let out = sharded(&dfg, &spec, k);
+        for &(u, v) in p.cut_edges() {
+            let su = out.schedule.slot(u).expect("complete");
+            let sv = out.schedule.slot(v).expect("complete");
+            let u_finish = su.step.finish(dfg.node(u).kind().cycles(&spec)).get();
+            prop_assert!(
+                sv.step.get() > u_finish,
+                "cut edge {u:?}->{v:?}: consumer starts at {} but producer finishes at {u_finish}",
+                sv.step.get()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_schedules_stay_inside_their_time_frames(
+        config in config_strategy(),
+        k in 2usize..7,
+    ) {
+        let dfg = generate(&config);
+        let spec = TimingSpec::uniform_single_cycle();
+        let p = partition(&dfg, k).unwrap();
+        let shards: Vec<_> = (0..p.shard_count())
+            .map(|s| extract(&dfg, &p, s).unwrap())
+            .collect();
+        let scheds = schedule_shards(&shards, &spec, &ShardAlg::Mfs, 2, 1).unwrap();
+        for (shard, sched) in shards.iter().zip(&scheds) {
+            let tf = TimeFrames::compute(&shard.dfg, &spec, sched.csteps).unwrap();
+            for (n, slot) in sched.schedule.iter() {
+                prop_assert!(
+                    slot.step >= tf.asap(n) && slot.step <= tf.alap(n),
+                    "node {n:?} at step {} outside frame [{}, {}]",
+                    slot.step.get(), tf.asap(n).get(), tf.alap(n).get()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_benchmarks_stay_port_safe_across_seams(
+        taps in 4usize..16,
+        ports in 1u32..4,
+        k in 2usize..5,
+    ) {
+        let dfg = hls_benchmarks::memory::array_fir(taps, ports);
+        let spec = TimingSpec::uniform_single_cycle();
+        let out = sharded(&dfg, &spec, k);
+        let violations = check_port_safety(&dfg, &out.schedule).expect("complete schedule");
+        prop_assert!(violations.is_empty(), "port violations: {violations:?}");
+    }
+}

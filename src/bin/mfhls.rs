@@ -8,9 +8,10 @@
 //! mfhls schedule <file.dfg> --cs N [--resource] [--limit OP=N]...
 //!                [--chain CLOCK] [--latency L] [--two-cycle-mul]
 //!                [--svg FILE] [telemetry flags]
-//! mfhls synth <file.dfg> --cs N [--style2] [--weights T,A,M,R]
+//! mfhls synth (<file.dfg> | gen:OPS) --cs N [--style2] [--weights T,A,M,R]
 //!             [--lib FILE.lib] [--two-cycle-mul] [--microcode]
 //!             [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]
+//!             [--shard N|auto [--shard-alg mfs|mfsa] [--threads N]]
 //!             [telemetry flags]
 //! mfhls explore <file.dfg> (--grid FILE.grid | --cs N[,M...] [--alg A[,B...]])
 //!               [--limit OP=N]... [--chain CLOCK] [--latency L] [--style2]
@@ -83,7 +84,9 @@ enum Command {
     },
     Synth {
         file: String,
-        cs: u32,
+        /// Monolithic mode: the MFSA time constraint (required).
+        /// Sharded mode: an optional global control-step ceiling.
+        cs: Option<u32>,
         style2: bool,
         weights: Option<[u32; 4]>,
         lib: Option<String>,
@@ -95,6 +98,14 @@ enum Command {
         check: bool,
         svg: Option<String>,
         vcd: Option<String>,
+        /// `Some(n)` switches to sharded synthesis (`0` = auto shard
+        /// count from the node count).
+        shard: Option<usize>,
+        /// Per-shard scheduler in sharded mode.
+        shard_alg: Algorithm,
+        /// Shard-pool worker threads (0 = all cores); output is
+        /// identical for every value.
+        threads: usize,
         tel: Telemetry,
     },
     Explore {
@@ -193,14 +204,28 @@ fn usage_for(sub: &str) -> Option<String> {
              \x20 -q|--quiet         silence routine output"
         }
         "synth" => {
-            "usage: mfhls synth <file.dfg> --cs N [flags]\n\
+            "usage: mfhls synth (<file.dfg> | gen:OPS) --cs N [flags]\n\
              \n\
              Mixed scheduling-allocation (MFSA): schedule, bind ALUs/registers/\n\
              muxes and report costs. Memory-aware designs get per-bank port\n\
              binding, address/data muxing and Verilog memory instantiation.\n\
+             `gen:OPS` synthesises the canonical scaling workload of roughly\n\
+             OPS operations.\n\
+             \n\
+             With --shard the design is cut into weakly-coupled shards,\n\
+             scheduled in parallel and stitched back into one verified\n\
+             schedule — the path for 100k–1M-node graphs a monolithic run\n\
+             cannot finish. Output is bit-identical for any --threads value;\n\
+             --cs becomes an optional global control-step ceiling and the\n\
+             data-path flags (--microcode/--verilog/...) do not apply.\n\
              \n\
              flags:\n\
-             \x20 --cs N            time constraint in control steps (required)\n\
+             \x20 --cs N            time constraint in control steps (required;\n\
+             \x20                   with --shard: optional global ceiling)\n\
+             \x20 --shard N|auto    sharded synthesis with N shards (auto = from\n\
+             \x20                   the node count, ~16k nodes per shard)\n\
+             \x20 --shard-alg A     per-shard scheduler: mfs|mfsa (default mfsa)\n\
+             \x20 --threads N       shard-pool worker threads (0 = all cores)\n\
              \x20 --style2          no-self-loop design style (paper style 2)\n\
              \x20 --weights T,A,M,R Liapunov weight vector\n\
              \x20 --lib FILE.lib    use a custom cell library\n\
@@ -255,6 +280,8 @@ fn usage_for(sub: &str) -> Option<String> {
              \n\
              `gen:OPS` profiles the canonical scaling workload of roughly OPS\n\
              operations — the same graphs BENCH_core.json measures.\n\
+             `gen:clustered:OPS` profiles the canonical clustered workload —\n\
+             the same graphs BENCH_partition.json measures.\n\
              \n\
              flags:\n\
              \x20 --cs N            time constraint (default: critical path + 8)\n\
@@ -321,6 +348,9 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--check",
             "--svg",
             "--vcd",
+            "--shard",
+            "--shard-alg",
+            "--threads",
             "--trace",
             "--chrome-trace",
             "--metrics",
@@ -468,6 +498,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut grid = None;
     let mut algs: Vec<Algorithm> = Vec::new();
     let mut threads = 0usize;
+    let mut threads_set = false;
+    let mut shard: Option<usize> = None;
+    let mut shard_alg: Option<Algorithm> = None;
     let mut emit = None;
     let mut top = 20usize;
     let mut tel = Telemetry::default();
@@ -546,6 +579,26 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 threads = v.parse::<usize>().map_err(|_| "invalid --threads value")?;
+                threads_set = true;
+            }
+            "--shard" => {
+                let v = it.next().ok_or("--shard needs a count or `auto`")?;
+                shard = Some(if v == "auto" {
+                    0
+                } else {
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or("--shard needs a positive count or `auto`")?
+                });
+            }
+            "--shard-alg" => {
+                let v = it.next().ok_or("--shard-alg needs mfs or mfsa")?;
+                shard_alg = Some(match v.as_str() {
+                    "mfs" => Algorithm::Mfs,
+                    "mfsa" => Algorithm::Mfsa,
+                    other => return Err(format!("--shard-alg supports mfs|mfsa, not `{other}`")),
+                });
             }
             "--emit" => {
                 let v = it.next().ok_or("--emit needs a file path")?;
@@ -590,22 +643,61 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             svg,
             tel,
         }),
-        "synth" => Ok(Command::Synth {
-            file,
-            cs: single_cs("synth")?,
-            style2,
-            weights,
-            lib,
-            two_cycle_mul,
-            json,
-            microcode,
-            verilog,
-            testbench,
-            check,
-            svg,
-            vcd,
-            tel,
-        }),
+        "synth" => {
+            let cs = if shard.is_some() {
+                // --cs becomes an optional global ceiling.
+                match cs_list[..] {
+                    [] => None,
+                    [one] => Some(one),
+                    _ => return Err("synth takes a single --cs value".into()),
+                }
+            } else {
+                if shard_alg.is_some() {
+                    return Err("--shard-alg requires --shard".into());
+                }
+                if threads_set {
+                    return Err("synth --threads requires --shard".into());
+                }
+                Some(single_cs("synth")?)
+            };
+            if shard.is_some() {
+                if json
+                    || microcode
+                    || verilog
+                    || testbench
+                    || check
+                    || svg.is_some()
+                    || vcd.is_some()
+                {
+                    return Err(
+                        "--shard produces a verified schedule, not a data path; drop --json/--microcode/--verilog/--testbench/--check/--svg/--vcd"
+                            .into(),
+                    );
+                }
+                if style2 || weights.is_some() {
+                    return Err("--shard does not support --style2/--weights".into());
+                }
+            }
+            Ok(Command::Synth {
+                file,
+                cs,
+                style2,
+                weights,
+                lib,
+                two_cycle_mul,
+                json,
+                microcode,
+                verilog,
+                testbench,
+                check,
+                svg,
+                vcd,
+                shard,
+                shard_alg: shard_alg.unwrap_or(Algorithm::Mfsa),
+                threads,
+                tel,
+            })
+        }
         "explore" => {
             if grid.is_some() && (!algs.is_empty() || !cs_list.is_empty()) {
                 return Err("use either --grid or --alg/--cs, not both".into());
@@ -668,21 +760,28 @@ fn load(file: &str) -> Result<Dfg, String> {
     parse_dfg(&text).map_err(|e| format!("{file}: {e}"))
 }
 
-/// Loads a design for `profile`: a `.dfg` file, or `gen:OPS` for the
-/// canonical scaling workload of roughly OPS operations (the same
-/// graphs `BENCH_core.json` measures).
+/// Loads a design for `profile` and `synth`: a `.dfg` file, `gen:OPS`
+/// for the canonical scaling workload of roughly OPS operations (the
+/// same graphs `BENCH_core.json` measures), or `gen:clustered:OPS` for
+/// the canonical clustered workload (the same graphs
+/// `BENCH_partition.json` measures — weakly-coupled regions sized to
+/// the partitioner's automatic sharding).
 fn load_design(file: &str) -> Result<Dfg, String> {
+    let parse_ops = |ops: &str| -> Result<usize, String> {
+        ops.parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("gen: needs a positive op count, got `{file}`"))
+    };
     match file.strip_prefix("gen:") {
-        Some(ops) => {
-            let ops: usize = ops
-                .parse()
-                .ok()
-                .filter(|&n| n > 0)
-                .ok_or_else(|| format!("gen: needs a positive op count, got `{file}`"))?;
-            Ok(moveframe_hls::benchmarks::generate::generate(
-                &moveframe_hls::benchmarks::generate::scaling_workload(ops),
-            ))
-        }
+        Some(rest) => match rest.strip_prefix("clustered:") {
+            Some(ops) => Ok(moveframe_hls::benchmarks::generate::generate_clustered(
+                &moveframe_hls::benchmarks::generate::clustered_workload(parse_ops(ops)?),
+            )),
+            None => Ok(moveframe_hls::benchmarks::generate::generate(
+                &moveframe_hls::benchmarks::generate::scaling_workload(parse_ops(rest)?),
+            )),
+        },
         None => load(file),
     }
 }
@@ -865,10 +964,17 @@ fn run(command: Command) -> Result<(), String> {
             check,
             svg,
             vcd,
+            shard,
+            shard_alg,
+            threads,
             tel,
         } => {
-            let dfg = load(&file)?;
+            let dfg = load_design(&file)?;
             let spec = spec_for(two_cycle_mul, false);
+            if let Some(shards) = shard {
+                return run_synth_sharded(&dfg, &spec, shards, shard_alg, threads, cs, lib, &tel);
+            }
+            let cs = cs.ok_or("synth requires --cs")?;
             if json {
                 if lib.is_some()
                     || microcode
@@ -1178,6 +1284,97 @@ fn run(command: Command) -> Result<(), String> {
     }
 }
 
+/// Runs sharded synthesis (`synth --shard`): partition → parallel
+/// per-shard scheduling → merge & stitch → verify. `ceiling` is the
+/// optional `--cs` value, enforced against the achieved horizon.
+#[allow(clippy::too_many_arguments)]
+fn run_synth_sharded(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    shards: usize,
+    alg: Algorithm,
+    threads: usize,
+    ceiling: Option<u32>,
+    lib: Option<String>,
+    tel: &Telemetry,
+) -> Result<(), String> {
+    let shard_alg = match alg {
+        Algorithm::Mfs => ShardAlg::Mfs,
+        Algorithm::Mfsa => {
+            let library = match lib {
+                None => Library::ncr_like(),
+                Some(path) => {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    moveframe_hls::celllib::parse_library(&text)
+                        .map_err(|e| format!("{path}: {e}"))?
+                }
+            };
+            ShardAlg::Mfsa(library)
+        }
+        other => {
+            return Err(format!(
+                "--shard-alg supports mfs|mfsa, not `{}`",
+                other.name()
+            ))
+        }
+    };
+    let config = ShardedConfig::new(shards, shard_alg).with_threads(threads);
+    let mut mem = MemorySink::new();
+    let mut null = NullSink;
+    let mut metrics = Metrics::new();
+    let out = {
+        let sink: &mut dyn TraceSink = if tel.wants_events() {
+            &mut mem
+        } else {
+            &mut null
+        };
+        let mut instr = Instrument::new(sink, &mut metrics);
+        synth_sharded(dfg, spec, &config, &mut instr).map_err(|e| e.to_string())?
+    };
+    metrics.merge(&out.shard_metrics);
+    if let Some(ceiling) = ceiling {
+        if out.csteps > ceiling {
+            return Err(format!(
+                "sharded schedule needs {} control steps, above the --cs ceiling {ceiling}",
+                out.csteps
+            ));
+        }
+    }
+    if !tel.quiet {
+        let requested = if shards == 0 {
+            "auto".to_string()
+        } else {
+            shards.to_string()
+        };
+        println!(
+            "sharded synthesis ({}): {} nodes in {} shards (requested {requested})",
+            config.alg.name(),
+            dfg.node_count(),
+            out.shards,
+        );
+        println!(
+            "  cut edges {}, boundary nodes {}, refine moves {}",
+            out.cut_edges, out.boundary_nodes, out.refine_moves
+        );
+        println!(
+            "  stitch moves {}, telescoped steps saved {}",
+            out.stitch_moves, out.telescoped_saved
+        );
+        let ceiling_note = ceiling
+            .map(|c| format!(" (ceiling {c})"))
+            .unwrap_or_default();
+        println!(
+            "  control steps {}{ceiling_note}, schedule verified",
+            out.csteps
+        );
+    }
+    if tel.verbose {
+        eprintln!("shard budgets: {:?}", out.shard_csteps);
+    }
+    finish_telemetry(tel, mem.events(), &metrics)
+}
+
 /// Schedules one design point through the exploration engine (the same
 /// path `mfhls serve` uses) and prints the canonical JSON stats line,
 /// so CLI and daemon answers are byte-identical.
@@ -1355,6 +1552,135 @@ mod tests {
     }
 
     #[test]
+    fn parses_synth_shard() {
+        // --shard N with an explicit algorithm and thread count; --cs
+        // becomes optional.
+        let c = parse(&[
+            "synth",
+            "gen:5000",
+            "--shard",
+            "4",
+            "--shard-alg",
+            "mfs",
+            "--threads",
+            "8",
+        ])
+        .unwrap();
+        match c {
+            Command::Synth {
+                cs,
+                shard,
+                shard_alg,
+                threads,
+                ..
+            } => {
+                assert_eq!(cs, None);
+                assert_eq!(shard, Some(4));
+                assert_eq!(shard_alg, Algorithm::Mfs);
+                assert_eq!(threads, 8);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // `auto` parses to 0; --cs is kept as the global ceiling.
+        let c = parse(&["synth", "x.dfg", "--shard", "auto", "--cs", "40"]).unwrap();
+        match c {
+            Command::Synth {
+                cs,
+                shard,
+                shard_alg,
+                ..
+            } => {
+                assert_eq!(cs, Some(40));
+                assert_eq!(shard, Some(0));
+                assert_eq!(shard_alg, Algorithm::Mfsa);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Bad values and misuses are rejected with pointed errors.
+        assert!(parse(&["synth", "x.dfg", "--shard", "0"])
+            .unwrap_err()
+            .contains("positive count or `auto`"));
+        assert!(
+            parse(&["synth", "x.dfg", "--cs", "4", "--shard-alg", "mfs"])
+                .unwrap_err()
+                .contains("requires --shard")
+        );
+        assert!(parse(&["synth", "x.dfg", "--cs", "4", "--threads", "2"])
+            .unwrap_err()
+            .contains("requires --shard"));
+        assert!(parse(&["synth", "x.dfg", "--shard", "2", "--verilog"])
+            .unwrap_err()
+            .contains("drop --json"));
+        assert!(parse(&["synth", "x.dfg", "--shard", "2", "--style2"])
+            .unwrap_err()
+            .contains("--style2"));
+        assert!(
+            parse(&["synth", "x.dfg", "--shard", "2", "--shard-alg", "list"])
+                .unwrap_err()
+                .contains("mfs|mfsa")
+        );
+    }
+
+    #[test]
+    fn synth_shard_end_to_end() {
+        let base = Command::Synth {
+            file: "gen:800".to_string(),
+            cs: None,
+            style2: false,
+            weights: None,
+            lib: None,
+            two_cycle_mul: false,
+            json: false,
+            microcode: false,
+            verilog: false,
+            testbench: false,
+            check: false,
+            svg: None,
+            vcd: None,
+            shard: Some(3),
+            shard_alg: Algorithm::Mfs,
+            threads: 2,
+            tel: Telemetry {
+                quiet: true,
+                ..Telemetry::default()
+            },
+        };
+        run(base.clone()).unwrap();
+        // An impossible ceiling is a pointed error, not a panic.
+        let err = match base {
+            Command::Synth {
+                file,
+                shard,
+                shard_alg,
+                threads,
+                tel,
+                ..
+            } => run(Command::Synth {
+                file,
+                cs: Some(1),
+                style2: false,
+                weights: None,
+                lib: None,
+                two_cycle_mul: false,
+                json: false,
+                microcode: false,
+                verilog: false,
+                testbench: false,
+                check: false,
+                svg: None,
+                vcd: None,
+                shard,
+                shard_alg,
+                threads,
+                tel,
+            })
+            .unwrap_err(),
+            _ => unreachable!(),
+        };
+        assert!(err.contains("ceiling"), "{err}");
+    }
+
+    #[test]
     fn help_subcommand_parses_and_runs() {
         assert_eq!(parse(&["help"]).unwrap(), Command::Help { topic: None });
         assert_eq!(
@@ -1454,7 +1780,7 @@ mod tests {
         assert!(dir.join("toy.svg").exists());
         run(Command::Synth {
             file: path.clone(),
-            cs: 3,
+            cs: Some(3),
             style2: true,
             weights: None,
             lib: None,
@@ -1466,6 +1792,9 @@ mod tests {
             check: true,
             svg: None,
             vcd: Some(dir.join("toy.vcd").to_string_lossy().to_string()),
+            shard: None,
+            shard_alg: Algorithm::Mfsa,
+            threads: 0,
             tel: Telemetry::default(),
         })
         .unwrap();
@@ -1475,7 +1804,7 @@ mod tests {
         std::fs::write(&lib_file, Library::ncr_like().to_text()).unwrap();
         run(Command::Synth {
             file: path,
-            cs: 3,
+            cs: Some(3),
             style2: false,
             weights: None,
             lib: Some(lib_file.to_string_lossy().to_string()),
@@ -1487,6 +1816,9 @@ mod tests {
             check: true,
             svg: None,
             vcd: None,
+            shard: None,
+            shard_alg: Algorithm::Mfsa,
+            threads: 0,
             tel: Telemetry::default(),
         })
         .unwrap();
@@ -1754,7 +2086,7 @@ mod tests {
         assert!(err.contains("--resource"), "{err}");
         let err = run(Command::Synth {
             file: path.clone(),
-            cs: 3,
+            cs: Some(3),
             style2: false,
             weights: None,
             lib: None,
@@ -1766,6 +2098,9 @@ mod tests {
             check: false,
             svg: None,
             vcd: None,
+            shard: None,
+            shard_alg: Algorithm::Mfsa,
+            threads: 0,
             tel: Telemetry::default(),
         })
         .unwrap_err();
@@ -1786,7 +2121,7 @@ mod tests {
         .unwrap();
         run(Command::Synth {
             file: path,
-            cs: 3,
+            cs: Some(3),
             style2: false,
             weights: None,
             lib: None,
@@ -1798,6 +2133,9 @@ mod tests {
             check: false,
             svg: None,
             vcd: None,
+            shard: None,
+            shard_alg: Algorithm::Mfsa,
+            threads: 0,
             tel: Telemetry::default(),
         })
         .unwrap();
