@@ -2,7 +2,7 @@
 //! deterministic snapshot documents and structurally compares them
 //! against the committed `BENCH_*.json` files.
 //!
-//! Four snapshots are covered:
+//! Five snapshots are covered:
 //!
 //! * `BENCH_core.json` — fresh scaling-sweep entries are paired with
 //!   committed ones by `(nodes, alg, mode)` and every deterministic
@@ -13,6 +13,10 @@
 //! * `BENCH_partition.json` — fresh sharded-synthesis entries are
 //!   paired by `(nodes, alg)` and compared exactly the same way
 //!   (partition counters, horizon, fingerprint; `wall_ms` ignored).
+//! * `BENCH_iterate.json` — iterate-vs-one-shot entries are paired by
+//!   name and compared exactly (`wall_ms` ignored); the full sweep also
+//!   enforces the quality gate (at least three entries must strictly
+//!   improve on one-shot scheduling).
 //! * `BENCH_mem.json` — regenerated and compared as trimmed text (the
 //!   document contains no timing fields).
 //! * `BENCH_telemetry.json` — regenerated without timing histograms and
@@ -27,10 +31,11 @@
 //!
 //! Without `--check` drift is reported but the exit status stays 0
 //! (useful while intentionally re-baselining). The `--core`, `--mem`,
-//! `--telemetry` and `--partition` flags override the committed file
-//! paths — CI uses `--core`/`--partition` on perturbed copies to prove
-//! the gate actually fails.
+//! `--telemetry`, `--partition` and `--iterate` flags override the
+//! committed file paths — CI uses `--core`/`--partition`/`--iterate`
+//! on perturbed copies to prove the gate actually fails.
 
+use hls_bench::iterate;
 use hls_bench::scaling::{bench_size, diff_exact, FULL_SIZES, QUICK_SIZES};
 use hls_bench::shard_scaling;
 use hls_bench::snapshots::{mem_snapshot, telemetry_snapshot};
@@ -42,6 +47,7 @@ struct Options {
     mem: String,
     telemetry: String,
     partition: String,
+    iterate: String,
 }
 
 fn parse_args() -> Options {
@@ -53,6 +59,7 @@ fn parse_args() -> Options {
         mem: "BENCH_mem.json".into(),
         telemetry: "BENCH_telemetry.json".into(),
         partition: "BENCH_partition.json".into(),
+        iterate: "BENCH_iterate.json".into(),
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -68,6 +75,7 @@ fn parse_args() -> Options {
             "--mem" => opts.mem = path("--mem"),
             "--telemetry" => opts.telemetry = path("--telemetry"),
             "--partition" => opts.partition = path("--partition"),
+            "--iterate" => opts.iterate = path("--iterate"),
             other => {
                 eprintln!("unknown flag `{other}`; see the bench_diff doc comment");
                 std::process::exit(2);
@@ -151,6 +159,30 @@ fn main() {
         "#   {} fresh sharded entr{} compared (wall_ms ignored)",
         shard_entries.len(),
         if shard_entries.len() == 1 { "y" } else { "ies" }
+    );
+
+    eprintln!("# bench_diff: iterate quality sweep ({})", opts.iterate);
+    let iterate_workloads = if opts.quick {
+        iterate::quick_workloads()
+    } else {
+        iterate::full_workloads()
+    };
+    let mut iterate_entries = Vec::new();
+    for w in &iterate_workloads {
+        iterate::bench_one(w, &mut iterate_entries);
+    }
+    drift.extend(iterate::diff_exact(&iterate_entries, &read(&opts.iterate)));
+    if !opts.quick {
+        drift.extend(iterate::require_improvements(&iterate_entries));
+    }
+    eprintln!(
+        "#   {} fresh iterate entr{} compared (wall_ms ignored)",
+        iterate_entries.len(),
+        if iterate_entries.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
     );
 
     eprintln!("# bench_diff: memory port sweep ({})", opts.mem);

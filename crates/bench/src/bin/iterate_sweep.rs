@@ -1,0 +1,61 @@
+//! Iterate-vs-one-shot quality sweep (`BENCH_iterate.json`).
+//!
+//! The sweep itself lives in [`hls_bench::iterate`] (shared with
+//! `bench_diff`); this binary adds the CLI:
+//!
+//! ```text
+//! iterate_sweep                   # full sweep, JSON to stdout
+//! iterate_sweep --quick           # CI smoke subset
+//! iterate_sweep --quick --check BENCH_iterate.json
+//!                                 # re-run and fail on any deterministic
+//!                                 # drift vs the snapshot
+//! ```
+//!
+//! All fields except `wall_ms` are bit-stable; `--check` applies the
+//! same exact comparison `bench_diff` uses, and on the full sweep also
+//! enforces the quality gate (at least three entries must strictly
+//! improve on one-shot scheduling).
+
+use hls_bench::iterate::{
+    bench_one, diff_exact, full_workloads, quick_workloads, render, require_improvements,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check needs a path").clone());
+
+    let workloads = if quick {
+        quick_workloads()
+    } else {
+        full_workloads()
+    };
+    let mut entries = Vec::new();
+    for w in &workloads {
+        bench_one(w, &mut entries);
+    }
+
+    match check_path {
+        Some(path) => {
+            let snapshot = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let mut drift = diff_exact(&entries, &snapshot);
+            if !quick {
+                drift.extend(require_improvements(&entries));
+            }
+            if drift.is_empty() {
+                eprintln!("# iterate objectives and fingerprints match {path}");
+            } else {
+                eprintln!("iterate_sweep check FAILED:");
+                for d in &drift {
+                    eprintln!("  {d}");
+                }
+                std::process::exit(1);
+            }
+        }
+        None => println!("{}", render(&entries)),
+    }
+}

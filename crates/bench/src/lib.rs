@@ -20,11 +20,14 @@
 //! * `cargo run --release -p hls-bench --bin shard_scaling` — the
 //!   sharded-synthesis sweep on 200k–1M-node clustered workloads,
 //!   emitting `BENCH_partition.json`;
+//! * `cargo run --release -p hls-bench --bin iterate_sweep` — the
+//!   iterate-vs-one-shot quality sweep on the paper benchmarks, memory
+//!   kernels and generated graphs, emitting `BENCH_iterate.json`;
 //! * `cargo run --release -p hls-bench --bin bench_diff` — regenerates
 //!   the deterministic snapshot documents and structurally diffs them
 //!   against the committed `BENCH_core.json` / `BENCH_partition.json` /
-//!   `BENCH_mem.json` / `BENCH_telemetry.json` (`--check` exits nonzero
-//!   on drift, wall-clock fields are ignored).
+//!   `BENCH_iterate.json` / `BENCH_mem.json` / `BENCH_telemetry.json`
+//!   (`--check` exits nonzero on drift, wall-clock fields are ignored).
 //!
 //! Benches: `runtime` (MFS/MFSA vs list/FDS/annealing), `scaling`
 //! (O(l³) growth on generated graphs), `ablation`.
@@ -34,6 +37,7 @@
 
 mod explore_grid;
 mod figures;
+pub mod iterate;
 mod runner;
 pub mod scaling;
 pub mod shard_scaling;

@@ -114,6 +114,40 @@ fn random_dag(seed: u64, layers: usize, width: usize) -> Dfg {
     b.finish().unwrap()
 }
 
+/// A banked-memory DAG: a burst of loads feeds an arithmetic layer
+/// whose results are stored back, with the builder's hazard tokens
+/// serialising the accesses — the shape the iterate splice path
+/// re-frames under the access-conflict frame.
+fn random_banked_dag(seed: u64, ports: u32) -> Dfg {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move |m: usize| -> usize {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % m as u64) as usize
+    };
+    let mut b = DfgBuilder::new("banked");
+    let i = b.input("i");
+    let bank = b.declare_bank("ram", ports);
+    let arr = b.declare_array("buf", 16, bank);
+    let mut values = vec![i];
+    for k in 0..2 + next(3) {
+        values.push(b.load(&format!("ld{k}"), arr, i).unwrap());
+    }
+    for k in 0..2 + next(4) {
+        let kinds = [OpKind::Add, OpKind::Sub, OpKind::Mul];
+        let kind = kinds[next(kinds.len())];
+        let a = values[next(values.len())];
+        let c = values[next(values.len())];
+        values.push(b.op(&format!("op{k}"), kind, &[a, c]).unwrap());
+    }
+    for k in 0..1 + next(2) {
+        let v = values[next(values.len())];
+        b.store(&format!("st{k}"), arr, i, v).unwrap();
+    }
+    b.finish().unwrap()
+}
+
 fn node_of(dfg: &Dfg, sig: SignalId) -> NodeId {
     match dfg.signal(sig).source() {
         SignalSource::Node(n) => n,
@@ -225,6 +259,23 @@ proptest! {
             _ => (TimingSpec::with_delays(), Some(ClockPeriod::new(100))),
         };
         stress(&dfg, &spec, clock, seed, 12);
+    }
+
+    /// Same contract under memory banks: hazard-token edges and the
+    /// access-conflict frame must not leave the warm cache or offset
+    /// table stale through any vacate/place interleaving.
+    #[test]
+    fn warm_bounds_match_cold_rebuild_under_banks(
+        seed in 0u64..100_000,
+        ports in 1u32..3,
+        spec_idx in 0usize..2,
+    ) {
+        let dfg = random_banked_dag(seed, ports);
+        let spec = match spec_idx {
+            0 => TimingSpec::uniform_single_cycle(),
+            _ => TimingSpec::two_cycle_multiply(),
+        };
+        stress(&dfg, &spec, None, seed, 12);
     }
 }
 

@@ -251,3 +251,165 @@ fn reframe_after_vacate_matches_cold_recompute_with_af_steps() {
     cold.place(&dfg, l1, CStep::new(2), FuIndex::new(1), Delay::ZERO);
     assert_eq!(before, probe(&cold), "cold recompute must match");
 }
+
+#[test]
+fn region_vacate_and_replace_matches_cold_recompute_under_banks() {
+    // The iterate splice shape: vacate a whole region of bank accesses
+    // at once, then re-place it in topo order at *different* (earlier)
+    // slots. The incrementally-maintained state after the re-place must
+    // be bit-identical to a cold rebuild of the new placement — af_steps
+    // included — independently of hls-partition's stitcher.
+    let mut b = DfgBuilder::new("mem");
+    let i = b.input("i");
+    let bank = b.declare_bank("ram", 1);
+    let arr = b.declare_array("buf", 16, bank);
+    let l0 = b.load("l0", arr, i).unwrap();
+    let l1 = b.load("l1", arr, i).unwrap();
+    let l2 = b.load("l2", arr, i).unwrap();
+    let l3 = b.load("l3", arr, i).unwrap();
+    let dfg = b.finish().unwrap();
+    let (l0, l1, l2, l3) = (
+        node_of(&dfg, l0),
+        node_of(&dfg, l1),
+        node_of(&dfg, l2),
+        node_of(&dfg, l3),
+    );
+    let spec = TimingSpec::uniform_single_cycle();
+    let cs = 5;
+    let frames = TimeFrames::compute(&dfg, &spec, cs).unwrap();
+    let class = dfg.node(l0).kind().fu_class();
+
+    // l3 stays unscheduled and is the probe target throughout.
+    let probe = |st: &State| {
+        probe_move_frame(
+            &dfg,
+            &spec,
+            &frames,
+            &st.sched,
+            None,
+            &st.offsets,
+            &st.bounds,
+            l3,
+            &st.grid,
+            1,
+        )
+    };
+
+    let mut warm = State::new(&dfg, &spec, None, Grid::new(class, cs, 1), cs);
+    warm.place(&dfg, l0, CStep::new(1), FuIndex::new(1), Delay::ZERO);
+    warm.place(&dfg, l1, CStep::new(3), FuIndex::new(1), Delay::ZERO);
+    warm.place(&dfg, l2, CStep::new(4), FuIndex::new(1), Delay::ZERO);
+    assert_eq!(
+        probe(&warm).af_steps,
+        vec![CStep::new(1), CStep::new(3), CStep::new(4)],
+        "every occupied port step is access-conflict for l3"
+    );
+
+    // Whole-region vacate: both nodes leave before anything returns.
+    warm.vacate(&dfg, l2);
+    warm.vacate(&dfg, l1);
+    assert_eq!(
+        probe(&warm).af_steps,
+        vec![CStep::new(1)],
+        "a vacated region frees all its port slots at once"
+    );
+
+    // Re-place compressed (the Earlier sweep): l1 and l2 move up a step.
+    warm.place(&dfg, l1, CStep::new(2), FuIndex::new(1), Delay::ZERO);
+    warm.place(&dfg, l2, CStep::new(3), FuIndex::new(1), Delay::ZERO);
+    let after = probe(&warm);
+    assert_eq!(
+        after.af_steps,
+        vec![CStep::new(1), CStep::new(2), CStep::new(3)],
+        "re-placed region claims its new port slots"
+    );
+
+    // Cold rebuild of the compressed placement agrees bit-for-bit.
+    let mut cold = State::new(&dfg, &spec, None, Grid::new(class, cs, 1), cs);
+    cold.place(&dfg, l0, CStep::new(1), FuIndex::new(1), Delay::ZERO);
+    cold.place(&dfg, l1, CStep::new(2), FuIndex::new(1), Delay::ZERO);
+    cold.place(&dfg, l2, CStep::new(3), FuIndex::new(1), Delay::ZERO);
+    assert_eq!(after, probe(&cold), "cold recompute must match");
+}
+
+#[test]
+fn store_hazard_tokens_survive_region_reframe() {
+    // load → store → load on one array: the hazard tokens serialise the
+    // accesses, so after vacating the store+second-load region the first
+    // load alone bounds the region, and an identical re-place restores
+    // the exact pre-vacate frame for a trailing probe.
+    let mut b = DfgBuilder::new("mem");
+    let i = b.input("i");
+    let bank = b.declare_bank("ram", 1);
+    let arr = b.declare_array("buf", 16, bank);
+    let l0 = b.load("l0", arr, i).unwrap();
+    let s0 = b.store("s0", arr, i, l0).unwrap();
+    let l1 = b.load("l1", arr, i).unwrap();
+    let l2 = b.load("l2", arr, i).unwrap();
+    let dfg = b.finish().unwrap();
+    let (l0, s0, l1, l2) = (
+        node_of(&dfg, l0),
+        node_of(&dfg, s0),
+        node_of(&dfg, l1),
+        node_of(&dfg, l2),
+    );
+    let spec = TimingSpec::uniform_single_cycle();
+    let cs = 5;
+    let frames = TimeFrames::compute(&dfg, &spec, cs).unwrap();
+    let class = dfg.node(l0).kind().fu_class();
+
+    let probe = |st: &State| {
+        probe_move_frame(
+            &dfg,
+            &spec,
+            &frames,
+            &st.sched,
+            None,
+            &st.offsets,
+            &st.bounds,
+            l2,
+            &st.grid,
+            1,
+        )
+    };
+
+    let mut warm = State::new(&dfg, &spec, None, Grid::new(class, cs, 1), cs);
+    warm.place(&dfg, l0, CStep::new(1), FuIndex::new(1), Delay::ZERO);
+    warm.place(&dfg, s0, CStep::new(2), FuIndex::new(1), Delay::ZERO);
+    warm.place(&dfg, l1, CStep::new(3), FuIndex::new(1), Delay::ZERO);
+    let before = probe(&warm);
+    assert_eq!(
+        before.earliest_feasible,
+        CStep::new(3),
+        "the WAR token chains l2 behind the store"
+    );
+    assert_eq!(
+        before.af_steps,
+        vec![CStep::new(3)],
+        "only the dependency-feasible saturated step is access-conflict"
+    );
+
+    warm.vacate(&dfg, l1);
+    warm.vacate(&dfg, s0);
+    let widened = probe(&warm);
+    assert_eq!(
+        widened.earliest_feasible,
+        CStep::new(3),
+        "the static frame still floors l2 at its token-chain ASAP"
+    );
+    assert!(
+        widened.af_steps.is_empty(),
+        "the vacated region frees every in-range port slot"
+    );
+
+    warm.place(&dfg, s0, CStep::new(2), FuIndex::new(1), Delay::ZERO);
+    warm.place(&dfg, l1, CStep::new(3), FuIndex::new(1), Delay::ZERO);
+    let after = probe(&warm);
+    assert_eq!(before, after, "vacate + identical re-place must round-trip");
+
+    let mut cold = State::new(&dfg, &spec, None, Grid::new(class, cs, 1), cs);
+    cold.place(&dfg, l0, CStep::new(1), FuIndex::new(1), Delay::ZERO);
+    cold.place(&dfg, s0, CStep::new(2), FuIndex::new(1), Delay::ZERO);
+    cold.place(&dfg, l1, CStep::new(3), FuIndex::new(1), Delay::ZERO);
+    assert_eq!(before, probe(&cold), "cold recompute must match");
+}

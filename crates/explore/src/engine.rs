@@ -467,6 +467,13 @@ fn is_cancelled(outcome: &Result<PointMetrics, String>) -> bool {
         .is_some_and(|e| e.starts_with("cancelled"))
 }
 
+/// The refinement config of a point with `iterate > 0`.
+fn iterate_config(point: &DesignPoint) -> hls_iterate::IterateConfig {
+    let mut config = hls_iterate::IterateConfig::new(point.iterate);
+    config.clock = point.clock.map(ClockPeriod::new);
+    config
+}
+
 /// Runs one design point. Pure with respect to the cache: the caller
 /// memoizes the result.
 fn run_point(
@@ -478,6 +485,14 @@ fn run_point(
     cancel: &CancelToken,
     instr: &mut Instrument<'_>,
 ) -> Result<PointMetrics, String> {
+    if point.iterate > 0 {
+        if point.latency.is_some() {
+            return Err("iterate does not support functional pipelining (latency)".into());
+        }
+        if !point.pipeline_ops.is_empty() {
+            return Err("iterate does not support structurally pipelined operators".into());
+        }
+    }
     match point.algorithm {
         Algorithm::Mfs => {
             let mut config = MfsConfig::time_constrained(point.cs).with_cancel(cancel.clone());
@@ -493,9 +508,16 @@ fn run_point(
             if point.pipeline_ops.is_empty() {
                 let outcome = mfs::schedule_traced_with_frames(dfg, spec, &config, frames, instr)
                     .map_err(|e| e.to_string())?;
+                let mut schedule = outcome.schedule;
+                if point.iterate > 0 {
+                    let refined =
+                        hls_iterate::refine(dfg, spec, &schedule, &iterate_config(point), instr)
+                            .map_err(|e| e.to_string())?;
+                    schedule = refined.schedule;
+                }
                 Ok(PointMetrics {
                     reschedules: outcome.reschedule_count,
-                    ..fu_point_metrics(dfg, spec, &outcome.schedule, library, 0)
+                    ..fu_point_metrics(dfg, spec, &schedule, library, 0)
                 })
             } else {
                 // Structural pipelining stage-expands the graph; report
@@ -539,8 +561,19 @@ fn run_point(
             if let Some(l) = point.latency {
                 config = config.with_latency(l);
             }
-            let out = mfsa::schedule_traced_with_frames(dfg, spec, &config, frames, instr)
+            let mut out = mfsa::schedule_traced_with_frames(dfg, spec, &config, frames, instr)
                 .map_err(|e| e.to_string())?;
+            if point.iterate > 0 {
+                hls_iterate::refine_mfsa(
+                    dfg,
+                    spec,
+                    library,
+                    &mut out,
+                    &iterate_config(point),
+                    instr,
+                )
+                .map_err(|e| e.to_string())?;
+            }
             Ok(PointMetrics {
                 csteps: steps_used(dfg, &out.schedule, spec),
                 mix: out.datapath.alu_signature(),
@@ -560,12 +593,14 @@ fn run_point(
             cancel.checkpoint().map_err(|e| e.to_string())?;
             let schedule = hls_baselines::list_schedule(dfg, spec, &point.fu_limits, point.cs)
                 .map_err(|e| e.to_string())?;
+            let schedule = refine_baseline(dfg, spec, schedule, point, instr)?;
             Ok(fu_point_metrics(dfg, spec, &schedule, library, 0))
         }
         Algorithm::Fds => {
             cancel.checkpoint().map_err(|e| e.to_string())?;
             let schedule = hls_baselines::force_directed_schedule(dfg, spec, point.cs)
                 .map_err(|e| e.to_string())?;
+            let schedule = refine_baseline(dfg, spec, schedule, point, instr)?;
             Ok(fu_point_metrics(dfg, spec, &schedule, library, 0))
         }
         Algorithm::Anneal => {
@@ -578,9 +613,30 @@ fn run_point(
                 &hls_baselines::AnnealParams::default(),
             )
             .map_err(|e| e.to_string())?;
+            let schedule = refine_baseline(dfg, spec, schedule, point, instr)?;
             Ok(fu_point_metrics(dfg, spec, &schedule, library, 0))
         }
     }
+}
+
+/// Applies feedback-guided refinement to a baseline-scheduler result.
+/// The baselines schedule without chaining awareness, so the refiner
+/// runs with the unchained timing model regardless of `point.clock`.
+fn refine_baseline(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    schedule: Schedule,
+    point: &DesignPoint,
+    instr: &mut Instrument<'_>,
+) -> Result<Schedule, String> {
+    if point.iterate == 0 {
+        return Ok(schedule);
+    }
+    let mut config = iterate_config(point);
+    config.clock = None;
+    Ok(hls_iterate::refine(dfg, spec, &schedule, &config, instr)
+        .map_err(|e| e.to_string())?
+        .schedule)
 }
 
 #[cfg(test)]
@@ -608,6 +664,12 @@ mod tests {
             }
         }
         points.push(DesignPoint::new(Algorithm::Mfsa, 4));
+        let mut refined = DesignPoint::new(Algorithm::Mfs, 5);
+        refined.iterate = 2;
+        points.push(refined);
+        let mut refined = DesignPoint::new(Algorithm::Mfsa, 4);
+        refined.iterate = 2;
+        points.push(refined);
         points
     }
 
@@ -668,6 +730,77 @@ mod tests {
         assert!(report.front.is_empty());
         assert_eq!(report.metrics.counter("explore.errors"), 1);
         assert!(report.front_json().contains("\"errors\":1"));
+    }
+
+    #[test]
+    fn iterate_points_never_regress_the_one_shot_objective() {
+        let dfg = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut one_shot = DesignPoint::new(Algorithm::Mfs, 5);
+        let mut refined = one_shot.clone();
+        refined.iterate = 3;
+        one_shot.label = "one-shot".into();
+        refined.label = "refined".into();
+        let report = explore(
+            &dfg,
+            &spec,
+            &[one_shot, refined],
+            ExploreOptions { threads: 1 },
+        );
+        let base = report.results[0].outcome.as_ref().unwrap();
+        let iter = report.results[1].outcome.as_ref().unwrap();
+        assert!(
+            (iter.csteps, iter.registers) <= (base.csteps, base.registers),
+            "refined {iter:?} vs one-shot {base:?}"
+        );
+        assert_eq!(iter.reschedules, base.reschedules);
+    }
+
+    #[test]
+    fn iterate_rejects_unsupported_point_shapes() {
+        let dfg = diamond();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut pipelined = DesignPoint::new(Algorithm::Mfs, 5);
+        pipelined.iterate = 1;
+        pipelined.latency = Some(2);
+        let mut structural = DesignPoint::new(Algorithm::Mfs, 5);
+        structural.iterate = 1;
+        structural.pipeline_ops.insert(OpKind::Mul);
+        let report = explore(
+            &dfg,
+            &spec,
+            &[pipelined, structural],
+            ExploreOptions { threads: 1 },
+        );
+        let err0 = report.results[0].outcome.as_ref().unwrap_err();
+        assert!(err0.contains("pipelining"), "{err0}");
+        let err1 = report.results[1].outcome.as_ref().unwrap_err();
+        assert!(err1.contains("pipelined"), "{err1}");
+    }
+
+    #[test]
+    fn iterate_lifts_baseline_schedules() {
+        // Force-directed scheduling spreads the padded diffeq budget;
+        // the refiner compresses it back to the critical path.
+        let dfg = hls_benchmarks::classic::diffeq();
+        let spec = TimingSpec::uniform_single_cycle();
+        let mut one_shot = DesignPoint::new(Algorithm::Fds, 8);
+        let mut refined = one_shot.clone();
+        refined.iterate = 3;
+        one_shot.label = "one-shot".into();
+        refined.label = "refined".into();
+        let report = explore(
+            &dfg,
+            &spec,
+            &[one_shot, refined],
+            ExploreOptions { threads: 1 },
+        );
+        let base = report.results[0].outcome.as_ref().unwrap();
+        let iter = report.results[1].outcome.as_ref().unwrap();
+        assert!(
+            iter.csteps < base.csteps,
+            "refined {iter:?} vs one-shot {base:?}"
+        );
     }
 
     #[test]

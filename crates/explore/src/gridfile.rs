@@ -13,6 +13,7 @@
 //! pipeline = ["*"]              # structurally pipelined ops (MFS)
 //! style = 2                     # MFSA design style (1 or 2)
 //! weights = [1, 1, 1, 1]        # MFSA Liapunov weights (t, a, m, r)
+//! iterate = 3                   # feedback-guided refinement rounds
 //!
 //! [[point]]             # one explicit point (inherits the defaults)
 //! label = "tight"
@@ -142,6 +143,7 @@ struct Section {
     pipeline: Option<BTreeSet<OpKind>>,
     style: Option<u8>,
     weights: Option<(u32, u32, u32, u32)>,
+    iterate: Option<u32>,
 }
 
 impl Section {
@@ -230,6 +232,7 @@ impl Section {
                 };
                 self.weights = Some((t, a, m, r));
             }
+            "iterate" => self.iterate = Some(one(&value)?.as_int(key, line)?),
             other => return Err(err(line, format!("unknown key {other}"))),
         }
         Ok(())
@@ -249,6 +252,7 @@ impl Section {
             pipeline: self.pipeline.clone().or_else(|| defaults.pipeline.clone()),
             style: self.style.or(defaults.style),
             weights: self.weights.or(defaults.weights),
+            iterate: self.iterate.or(defaults.iterate),
         }
     }
 
@@ -283,6 +287,7 @@ impl Section {
                 }
                 p.style = self.style.unwrap_or(1);
                 p.weights = self.weights;
+                p.iterate = self.iterate.unwrap_or(0);
                 out.push(p);
             }
         }
@@ -452,6 +457,32 @@ mod tests {
         assert_eq!(p.fu_limits[&FuClass::Op(OpKind::Add)], 1);
         assert!(p.pipeline_ops.contains(&OpKind::Mul));
         assert_eq!(p.weights, Some((1, 2, 3, 4)));
+        assert_eq!(p.iterate, 0, "iterate defaults to one-shot");
+    }
+
+    #[test]
+    fn iterate_parses_and_inherits() {
+        let points = parse_grid(
+            r#"
+            [defaults]
+            algorithm = "mfs"
+            cs = 8
+            iterate = 3
+
+            [[point]]
+            cs = 9
+            iterate = 0
+
+            [[point]]
+            cs = 6
+            "#,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].iterate, 0, "explicit override wins");
+        assert_eq!(points[1].iterate, 3, "points inherit the default");
+        let e = parse_grid("[defaults]\nalgorithm = \"mfs\"\ncs = 4\niterate = \"x\"").unwrap_err();
+        assert!(e.to_string().contains("integer"));
     }
 
     #[test]

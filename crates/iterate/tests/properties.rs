@@ -1,0 +1,144 @@
+//! Property tests: on random layered DAGs and memory workloads, every
+//! schedule the refine loop returns is verified, port-safe, and never
+//! worse than its baseline under the `(csteps, registers)` objective.
+
+use hls_benchmarks::memory::{array_fir, matvec};
+use hls_celllib::{ClockPeriod, OpKind, TimingSpec};
+use hls_dfg::{CriticalPath, Dfg, DfgBuilder, SignalId};
+use hls_iterate::{refine, IterateConfig};
+use hls_schedule::{verify, ScheduleStats, VerifyOptions};
+use hls_telemetry::{Instrument, Metrics, NullSink};
+use moveframe::mfs::{self, MfsConfig};
+use proptest::prelude::*;
+
+/// The layered xorshift DAG generator `bounds_stress.rs` uses.
+fn random_dag(seed: u64, layers: usize, width: usize) -> Dfg {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move |m: usize| -> usize {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % m as u64) as usize
+    };
+    let mut b = DfgBuilder::new("prop");
+    let mut values: Vec<SignalId> = (0..3).map(|i| b.input(&format!("in{i}"))).collect();
+    for l in 0..layers {
+        let mut layer = Vec::new();
+        for w in 0..width {
+            let kinds = [OpKind::Add, OpKind::Sub, OpKind::Mul];
+            let kind = kinds[next(kinds.len())];
+            let a = values[next(values.len())];
+            let c = values[next(values.len())];
+            layer.push(b.op(&format!("l{l}n{w}"), kind, &[a, c]).unwrap());
+        }
+        values.extend(layer);
+    }
+    b.finish().unwrap()
+}
+
+fn check_refined(dfg: &Dfg, spec: &TimingSpec, clock: Option<ClockPeriod>, slack: u32) {
+    let cp = CriticalPath::compute(dfg, spec).steps() as u32;
+    let mut config = MfsConfig::time_constrained(cp + slack);
+    if let Some(t) = clock {
+        config = config.with_chaining(t);
+    }
+    let Ok(base) = mfs::schedule(dfg, spec, &config) else {
+        // Chained specs can make tight budgets infeasible; not the
+        // property under test.
+        return;
+    };
+    let mut iter_config = IterateConfig::new(3);
+    iter_config.clock = clock;
+    let mut sink = NullSink;
+    let mut metrics = Metrics::new();
+    let mut instr = Instrument::new(&mut sink, &mut metrics);
+    let out = refine(dfg, spec, &base.schedule, &iter_config, &mut instr).unwrap();
+
+    // Soundness: full verifier (with the chaining clock) + port safety.
+    let options = VerifyOptions {
+        latency: None,
+        clock,
+    };
+    let violations = verify(dfg, &out.schedule, spec, options);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert!(matches!(hls_mem::check_port_safety(dfg, &out.schedule), Ok(v) if v.is_empty()));
+
+    // Monotonicity: the objective never regresses, and the reported
+    // before/after numbers match the actual schedules.
+    let before_regs = ScheduleStats::compute(dfg, &base.schedule, spec).registers;
+    let after_regs = ScheduleStats::compute(dfg, &out.schedule, spec).registers;
+    assert_eq!(out.registers_before, before_regs);
+    assert_eq!(out.registers_after, after_regs);
+    assert!(
+        (out.csteps_after, out.registers_after) <= (out.csteps_before, out.registers_before),
+        "objective regressed: {:?} -> {:?}",
+        (out.csteps_before, out.registers_before),
+        (out.csteps_after, out.registers_after)
+    );
+    if clock.is_none() {
+        // Chaining can legitimately pack dependent ops below the
+        // unchained critical path; the floor only binds without it.
+        assert!(out.csteps_after >= cp);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn refined_random_dags_are_sound_and_monotone(
+        seed in 0u64..10_000,
+        layers in 1usize..5,
+        width in 1usize..4,
+        slack in 0u32..4,
+        spec_idx in 0usize..3,
+    ) {
+        let dfg = random_dag(seed, layers, width);
+        let (spec, clock) = match spec_idx {
+            0 => (TimingSpec::uniform_single_cycle(), None),
+            1 => (TimingSpec::two_cycle_multiply(), None),
+            _ => (TimingSpec::with_delays(), Some(ClockPeriod::new(100))),
+        };
+        check_refined(&dfg, &spec, clock, slack);
+    }
+}
+
+#[test]
+fn memory_benchmarks_stay_port_safe_through_refinement() {
+    let spec = TimingSpec::uniform_single_cycle();
+    for (name, dfg) in [
+        ("array_fir_p1", array_fir(8, 1)),
+        ("array_fir_p2", array_fir(8, 2)),
+        ("matvec_p2", matvec(4, 2)),
+    ] {
+        let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+        for slack in [0u32, 2, 4] {
+            let Ok(base) = mfs::schedule(&dfg, &spec, &MfsConfig::time_constrained(cp + slack))
+            else {
+                // Port-limited graphs can be infeasible at the bare
+                // critical path; skip those budgets.
+                continue;
+            };
+            let mut sink = NullSink;
+            let mut metrics = Metrics::new();
+            let mut instr = Instrument::new(&mut sink, &mut metrics);
+            let out = refine(
+                &dfg,
+                &spec,
+                &base.schedule,
+                &IterateConfig::new(3),
+                &mut instr,
+            )
+            .unwrap();
+            assert!(
+                matches!(hls_mem::check_port_safety(&dfg, &out.schedule), Ok(v) if v.is_empty()),
+                "{name}@+{slack}: port safety"
+            );
+            let violations = verify(&dfg, &out.schedule, &spec, VerifyOptions::default());
+            assert!(violations.is_empty(), "{name}@+{slack}: {violations:?}");
+            assert!(
+                (out.csteps_after, out.registers_after)
+                    <= (out.csteps_before, out.registers_before)
+            );
+        }
+    }
+}

@@ -170,7 +170,11 @@ pub fn verify(
 
     // Chaining delay budget per step: longest within-step delay path.
     if let Some(clock) = options.clock {
-        // Only single-cycle ops participate; edges within the same step.
+        // Only effectively single-cycle ops participate; edges within
+        // the same step. An op whose delay exceeds the period is
+        // multicycled by the clock (effective `⌈delay/T⌉` cycles, the
+        // same rule the schedulers' bounds cache applies) — it executes
+        // sequentially and joins no combinational chain.
         let mut path = vec![0u32; dfg.node_count()];
         let mut worst: BTreeMap<u32, u32> = BTreeMap::new();
         for &id in dfg.topo_order() {
@@ -182,6 +186,9 @@ pub fn verify(
                 continue;
             }
             let d = node.kind().delay(spec).as_u32();
+            if d > clock.as_u32() {
+                continue;
+            }
             let mut start = 0u32;
             for &p in dfg.preds(id) {
                 if schedule.slot(p).map(|s| s.step) == Some(slot.step)
@@ -364,6 +371,35 @@ mod tests {
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::ChainingOverflow { .. })));
+    }
+
+    #[test]
+    fn clock_multicycled_ops_join_no_chain() {
+        // A 1-cycle op whose delay exceeds the period is multicycled by
+        // the clock (effective `⌈delay/T⌉` cycles) — scheduling it alone
+        // in a step is not a chaining overflow, matching the effective-
+        // cycles rule the schedulers' bounds cache applies.
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        b.op("m", OpKind::Mul, &[x, x]).unwrap();
+        let g = b.finish().unwrap();
+        let m = g.node_by_name("m").unwrap();
+        let spec = TimingSpec::with_delays();
+        let delay = g.node(m).kind().delay(&spec).as_u32();
+        assert!(delay > 100, "with_delays muls must exceed the clock");
+        let mut s = Schedule::new(&g, 2);
+        s.assign(
+            m,
+            Slot {
+                step: CStep::new(1),
+                unit: unit(OpKind::Mul, 1),
+            },
+        );
+        let opts = VerifyOptions {
+            clock: Some(ClockPeriod::new(100)),
+            ..Default::default()
+        };
+        assert!(verify(&g, &s, &spec, opts).is_empty());
     }
 
     #[test]

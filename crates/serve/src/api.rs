@@ -128,10 +128,14 @@ const INDEX: &str = "mfhls serve — synthesis as a service\n\
 \n\
 POST a raw .dfg text body with knobs in the query string\n\
 (?alg=mfs&cs=4&limit=mul:2&chain=100&latency=2&style=2&\n\
- weights=1,1,1,1&two_cycle_mul=1&emit=json|text|dot&deadline_ms=N),\n\
+ weights=1,1,1,1&two_cycle_mul=1&iterate=N&emit=json|text|dot&\n\
+ deadline_ms=N),\n\
 or a flat JSON job: {\"benchmark\":\"diffeq\",\"alg\":\"mfs\",\"cs\":4}\n\
-(benchmarks: diffeq fir ar ewf facet dct8 bandpass, and memory\n\
- kernels array_fir matvec with _p1/_p4 port variants; or \"dfg\":\"...\").\n";
+(benchmarks: diffeq fir ar ewf facet dct8 bandpass, iterate-tuned\n\
+ variants diffeq_iter fir_iter ewf_iter, and memory kernels\n\
+ array_fir matvec with _p1/_p4 port variants; or \"dfg\":\"...\").\n\
+iterate=N refines the one-shot mfs/mfsa schedule with N rounds of\n\
+feedback-guided re-scheduling; iterate=0 is the one-shot answer.\n";
 
 /// Routes one parsed request to its handler.
 pub fn handle(state: &AppState, req: &Request, enqueued: Instant) -> Response {
@@ -160,6 +164,14 @@ pub fn benchmark(name: &str) -> Option<Dfg> {
         "facet" => Some(classic::facet_style()),
         "dct8" => Some(classic::dct8()),
         "bandpass" => Some(classic::bandpass()),
+        // Iterate-tuned variants: graphs with enough slack structure
+        // for `iterate=N` to show measurable refinement. `fir_iter`
+        // widens the tap count; the others pin the classic graphs
+        // under their iterate-bench names so BENCH_iterate rows can
+        // be reproduced against the daemon verbatim.
+        "diffeq_iter" => Some(classic::diffeq()),
+        "fir_iter" => Some(classic::fir(24)),
+        "ewf_iter" => Some(classic::ewf()),
         // Memory kernels, with 1/2/4-port bank variants.
         "array_fir" => Some(hls_benchmarks::memory::array_fir(8, 2)),
         "array_fir_p1" => Some(hls_benchmarks::memory::array_fir(8, 1)),
@@ -276,6 +288,7 @@ pub fn parse_job(req: &Request) -> Result<Job, String> {
         other => other,
     };
     point.latency = get_u32("latency")?;
+    point.iterate = get_u32("iterate")?.unwrap_or(0);
     match get_u32("style")? {
         None | Some(1) => {}
         Some(2) => point.style = 2,
@@ -362,6 +375,16 @@ pub fn point_json(point: &DesignPoint, m: &PointMetrics) -> String {
     s
 }
 
+/// The refinement config a point implies: iteration count, chaining
+/// clock, and latency (the refiner itself rejects latency as
+/// unsupported, which keeps text and JSON answers consistent).
+fn iterate_config(point: &DesignPoint) -> hls_iterate::IterateConfig {
+    let mut config = hls_iterate::IterateConfig::new(point.iterate);
+    config.clock = point.clock.map(ClockPeriod::new);
+    config.latency = point.latency;
+    config
+}
+
 /// The job's effective deadline instant, if it has one: the window
 /// opens at `enqueued`, so it covers queue wait + compute, and an
 /// overloaded server times requests out instead of silently serving
@@ -441,11 +464,26 @@ pub fn run_job(state: &AppState, job: &Job, enqueued: Instant) -> Response {
                             config = config.with_latency(l);
                         }
                         mfs::schedule_traced(&job.dfg, &job.spec, &config, &mut instr)
-                            .map(|out| render_schedule(&job.dfg, &out.schedule, &job.spec))
                             .map_err(|e| e.to_string())
+                            .and_then(|out| {
+                                let mut schedule = out.schedule;
+                                if point.iterate > 0 {
+                                    schedule = hls_iterate::refine(
+                                        &job.dfg,
+                                        &job.spec,
+                                        &schedule,
+                                        &iterate_config(point),
+                                        &mut instr,
+                                    )
+                                    .map_err(|e| e.to_string())?
+                                    .schedule;
+                                }
+                                Ok(render_schedule(&job.dfg, &schedule, &job.spec))
+                            })
                     }
                     Algorithm::Mfsa => {
-                        let mut config = MfsaConfig::new(point.cs, Library::ncr_like())
+                        let library = Library::ncr_like();
+                        let mut config = MfsaConfig::new(point.cs, library.clone())
                             .with_cancel(cancel.clone())
                             .with_style(if point.style == 2 {
                                 DesignStyle::NoSelfLoop
@@ -467,15 +505,26 @@ pub fn run_job(state: &AppState, job: &Job, enqueued: Instant) -> Response {
                             config = config.with_latency(l);
                         }
                         mfsa::schedule_traced(&job.dfg, &job.spec, &config, &mut instr)
-                            .map(|out| {
-                                format!(
+                            .map_err(|e| e.to_string())
+                            .and_then(|mut out| {
+                                if point.iterate > 0 {
+                                    hls_iterate::refine_mfsa(
+                                        &job.dfg,
+                                        &job.spec,
+                                        &library,
+                                        &mut out,
+                                        &iterate_config(point),
+                                        &mut instr,
+                                    )
+                                    .map_err(|e| e.to_string())?;
+                                }
+                                Ok(format!(
                                     "{}{}{}\n",
                                     render_schedule(&job.dfg, &out.schedule, &job.spec),
                                     out.datapath,
                                     out.cost
-                                )
+                                ))
                             })
-                            .map_err(|e| e.to_string())
                     }
                     other => Err(format!("emit=text supports alg=mfs|mfsa, not {other}")),
                 }
@@ -577,6 +626,7 @@ mod tests {
             ("/schedule?cs=2&chain=0", TOY),           // zero clock period
             ("/schedule?cs=2&chain=0&emit=text", TOY), // ... on the uncached path too
             ("/schedule?cs=2&style=7", TOY),           // unknown style
+            ("/schedule?cs=2&iterate=soon", TOY),      // bad iterate count
             ("/schedule?cs=2&deadline_ms=soon", TOY),  // bad deadline
         ] {
             let r = handle(&s, &request("POST", target, body), now);
@@ -710,6 +760,96 @@ mod tests {
             let body = String::from_utf8(r.body).unwrap();
             assert!(body.starts_with("{\"error\":\""), "{body}");
             assert!(body.contains(needle), "{body} should mention {needle:?}");
+        }
+    }
+
+    /// Pulls an integer field out of the one-line JSON stats body.
+    fn stat(body: &str, key: &str) -> u32 {
+        let tail = body
+            .split(&format!("\"{key}\":"))
+            .nth(1)
+            .unwrap_or_else(|| panic!("{body} has no {key}"));
+        tail.chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect(key)
+    }
+
+    #[test]
+    fn iterate_jobs_refine_and_round_trip() {
+        let s = state();
+        let now = Instant::now();
+        // The iterate-tuned registry variants resolve and round-trip
+        // the iterate knob through the JSON label.
+        for name in ["diffeq_iter", "fir_iter", "ewf_iter"] {
+            assert!(benchmark(name).is_some(), "{name} missing from registry");
+        }
+        let oneshot = handle(
+            &s,
+            &request(
+                "POST",
+                "/schedule",
+                r#"{"benchmark":"diffeq_iter","alg":"mfs","cs":8}"#,
+            ),
+            now,
+        );
+        assert_eq!(oneshot.status, 200);
+        let refined = handle(
+            &s,
+            &request(
+                "POST",
+                "/schedule",
+                r#"{"benchmark":"diffeq_iter","alg":"mfs","cs":8,"iterate":3}"#,
+            ),
+            now,
+        );
+        assert_eq!(refined.status, 200);
+        let one = String::from_utf8(oneshot.body).unwrap();
+        let re = String::from_utf8(refined.body).unwrap();
+        assert!(re.contains("iter=3"), "{re}");
+        // Refinement never worsens the (csteps, registers) objective.
+        let before = (stat(&one, "csteps"), stat(&one, "registers"));
+        let after = (stat(&re, "csteps"), stat(&re, "registers"));
+        assert!(after <= before, "{after:?} vs {before:?}");
+        // The uncached text path refines too, for both algorithms.
+        let text = handle(
+            &s,
+            &request("POST", "/schedule?cs=8&iterate=2&emit=text", TOY),
+            now,
+        );
+        assert_eq!(
+            text.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&text.body)
+        );
+        let synth = handle(
+            &s,
+            &request("POST", "/schedule?cs=8&alg=mfsa&iterate=2&emit=text", TOY),
+            now,
+        );
+        assert_eq!(
+            synth.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&synth.body)
+        );
+        // The refiner composes with the baseline algorithms too.
+        let lifted = handle(
+            &s,
+            &request("POST", "/schedule?cs=8&alg=fds&iterate=3", TOY),
+            now,
+        );
+        assert_eq!(lifted.status, 200);
+        // Knob combinations the refiner rejects are 422, on both the
+        // engine path and the uncached text path.
+        for target in [
+            "/schedule?cs=8&iterate=2&latency=2",
+            "/schedule?cs=8&iterate=2&latency=2&emit=text",
+        ] {
+            let r = handle(&s, &request("POST", target, TOY), now);
+            assert_eq!(r.status, 422, "{target}");
         }
     }
 

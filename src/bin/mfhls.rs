@@ -9,7 +9,7 @@
 //!                [--chain CLOCK] [--latency L] [--two-cycle-mul]
 //!                [--svg FILE] [telemetry flags]
 //! mfhls synth (<file.dfg> | gen:OPS) --cs N [--style2] [--weights T,A,M,R]
-//!             [--lib FILE.lib] [--two-cycle-mul] [--microcode]
+//!             [--lib FILE.lib] [--two-cycle-mul] [--iterate N] [--microcode]
 //!             [--verilog] [--testbench] [--check] [--svg FILE] [--vcd FILE]
 //!             [--shard N|auto [--shard-alg mfs|mfsa] [--threads N]]
 //!             [telemetry flags]
@@ -106,6 +106,9 @@ enum Command {
         /// Shard-pool worker threads (0 = all cores); output is
         /// identical for every value.
         threads: usize,
+        /// Feedback-guided refinement iterations after the one-shot
+        /// schedule (0 = plain one-shot).
+        iterate: u32,
         tel: Telemetry,
     },
     Explore {
@@ -121,6 +124,7 @@ enum Command {
         two_cycle_mul: bool,
         threads: usize,
         emit: Option<String>,
+        iterate: u32,
         tel: Telemetry,
     },
     Profile {
@@ -212,6 +216,12 @@ fn usage_for(sub: &str) -> Option<String> {
              `gen:OPS` synthesises the canonical scaling workload of roughly\n\
              OPS operations.\n\
              \n\
+             With --iterate N the one-shot result is refined by up to N\n\
+             extract/re-schedule rounds (bottleneck subgraph extraction +\n\
+             constrained re-scheduling splices); every accepted splice is\n\
+             re-verified and the (csteps, registers) objective only ever\n\
+             improves. N = 0 is byte-identical to the one-shot schedule.\n\
+             \n\
              With --shard the design is cut into weakly-coupled shards,\n\
              scheduled in parallel and stitched back into one verified\n\
              schedule — the path for 100k–1M-node graphs a monolithic run\n\
@@ -230,6 +240,7 @@ fn usage_for(sub: &str) -> Option<String> {
              \x20 --weights T,A,M,R Liapunov weight vector\n\
              \x20 --lib FILE.lib    use a custom cell library\n\
              \x20 --two-cycle-mul   use the 2-cycle-multiply timing profile\n\
+             \x20 --iterate N       feedback-guided refinement rounds (0 = one-shot)\n\
              \x20 --json            print the canonical stats JSON line instead of text\n\
              \x20 --microcode       print the control-word listing\n\
              \x20 --verilog         emit synthesisable Verilog\n\
@@ -263,6 +274,7 @@ fn usage_for(sub: &str) -> Option<String> {
              \x20 --style2          no-self-loop design style for mfsa points\n\
              \x20 --weights T,A,M,R Liapunov weight vector for mfsa points\n\
              \x20 --two-cycle-mul   use the 2-cycle-multiply timing profile\n\
+             \x20 --iterate N       refinement rounds for the --alg/--cs points\n\
              \x20 --threads N       worker threads (0 = all cores)\n\
              \x20 --emit FILE       write the Pareto front as JSON\n\
              \x20 --metrics         print the engine's metrics report\n\
@@ -341,6 +353,7 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--weights",
             "--lib",
             "--two-cycle-mul",
+            "--iterate",
             "--json",
             "--microcode",
             "--verilog",
@@ -369,6 +382,7 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--style2",
             "--weights",
             "--two-cycle-mul",
+            "--iterate",
             "--threads",
             "--emit",
             "--metrics",
@@ -503,6 +517,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut shard_alg: Option<Algorithm> = None;
     let mut emit = None;
     let mut top = 20usize;
+    let mut iterate = 0u32;
     let mut tel = Telemetry::default();
     while let Some(flag) = it.next() {
         if !allowed_flags(sub).contains(&flag.as_str()) {
@@ -608,6 +623,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 let v = it.next().ok_or("--top needs a value")?;
                 top = v.parse::<usize>().map_err(|_| "invalid --top value")?;
             }
+            "--iterate" => {
+                let v = it.next().ok_or("--iterate needs an iteration count")?;
+                iterate = v.parse::<u32>().map_err(|_| "invalid --iterate value")?;
+            }
             "--trace" => {
                 let v = it.next().ok_or("--trace needs a file path")?;
                 tel.trace = Some(v.clone());
@@ -695,6 +714,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 shard,
                 shard_alg: shard_alg.unwrap_or(Algorithm::Mfsa),
                 threads,
+                iterate,
                 tel,
             })
         }
@@ -707,6 +727,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             if tel.wants_events() {
                 return Err("explore does not support --trace/--chrome-trace".into());
+            }
+            if grid.is_some() && iterate > 0 {
+                return Err("set iterate per point in the grid file, not via --iterate".into());
             }
             Ok(Command::Explore {
                 file,
@@ -721,6 +744,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 two_cycle_mul,
                 threads,
                 emit,
+                iterate,
                 tel,
             })
         }
@@ -967,12 +991,15 @@ fn run(command: Command) -> Result<(), String> {
             shard,
             shard_alg,
             threads,
+            iterate,
             tel,
         } => {
             let dfg = load_design(&file)?;
             let spec = spec_for(two_cycle_mul, false);
             if let Some(shards) = shard {
-                return run_synth_sharded(&dfg, &spec, shards, shard_alg, threads, cs, lib, &tel);
+                return run_synth_sharded(
+                    &dfg, &spec, shards, shard_alg, threads, cs, lib, iterate, &tel,
+                );
             }
             let cs = cs.ok_or("synth requires --cs")?;
             if json {
@@ -992,6 +1019,7 @@ fn run(command: Command) -> Result<(), String> {
                 let mut point = DesignPoint::new(Algorithm::Mfsa, cs);
                 point.style = if style2 { 2 } else { 1 };
                 point.weights = weights.map(|[t, a, m, r]| (t, a, m, r));
+                point.iterate = iterate;
                 return run_point_json(&dfg, &spec, &point, &tel);
             }
             let library = match lib {
@@ -1003,7 +1031,7 @@ fn run(command: Command) -> Result<(), String> {
                         .map_err(|e| format!("{path}: {e}"))?
                 }
             };
-            let mut config = MfsaConfig::new(cs, library);
+            let mut config = MfsaConfig::new(cs, library.clone());
             if style2 {
                 config = config.with_style(DesignStyle::NoSelfLoop);
             }
@@ -1025,8 +1053,30 @@ fn run(command: Command) -> Result<(), String> {
                     &mut null
                 };
                 let mut instr = Instrument::new(sink, &mut metrics);
-                let out = mfsa::schedule_traced(&dfg, &spec, &config, &mut instr)
+                let mut out = mfsa::schedule_traced(&dfg, &spec, &config, &mut instr)
                     .map_err(|e| e.to_string())?;
+                if iterate > 0 {
+                    let refined = refine_mfsa(
+                        &dfg,
+                        &spec,
+                        &library,
+                        &mut out,
+                        &IterateConfig::new(iterate),
+                        &mut instr,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    if !tel.quiet {
+                        println!(
+                            "iterate: {} round(s), {} splice(s) accepted, control steps {} -> {}, registers {} -> {}",
+                            refined.iterations_run,
+                            refined.splices_accepted,
+                            refined.csteps_before,
+                            refined.csteps_after,
+                            refined.registers_before,
+                            refined.registers_after,
+                        );
+                    }
+                }
                 if tel.verbose {
                     let stats =
                         ScheduleStats::compute_traced(&dfg, &out.schedule, &spec, &mut instr);
@@ -1124,6 +1174,7 @@ fn run(command: Command) -> Result<(), String> {
             two_cycle_mul,
             threads,
             emit,
+            iterate,
             tel,
         } => {
             let dfg = load(&file)?;
@@ -1150,6 +1201,7 @@ fn run(command: Command) -> Result<(), String> {
                             p.latency = latency;
                             p.style = if style2 { 2 } else { 1 };
                             p.weights = weights.map(|[t, a, m, r]| (t, a, m, r));
+                            p.iterate = iterate;
                             points.push(p);
                         }
                     }
@@ -1286,7 +1338,8 @@ fn run(command: Command) -> Result<(), String> {
 
 /// Runs sharded synthesis (`synth --shard`): partition → parallel
 /// per-shard scheduling → merge & stitch → verify. `ceiling` is the
-/// optional `--cs` value, enforced against the achieved horizon.
+/// optional `--cs` value, enforced against the achieved horizon —
+/// after the optional `--iterate` refinement, which can only lower it.
 #[allow(clippy::too_many_arguments)]
 fn run_synth_sharded(
     dfg: &Dfg,
@@ -1296,6 +1349,7 @@ fn run_synth_sharded(
     threads: usize,
     ceiling: Option<u32>,
     lib: Option<String>,
+    iterate: u32,
     tel: &Telemetry,
 ) -> Result<(), String> {
     let shard_alg = match alg {
@@ -1323,14 +1377,30 @@ fn run_synth_sharded(
     let mut mem = MemorySink::new();
     let mut null = NullSink;
     let mut metrics = Metrics::new();
-    let out = {
+    let (out, refined) = {
         let sink: &mut dyn TraceSink = if tel.wants_events() {
             &mut mem
         } else {
             &mut null
         };
         let mut instr = Instrument::new(sink, &mut metrics);
-        synth_sharded(dfg, spec, &config, &mut instr).map_err(|e| e.to_string())?
+        let mut out = synth_sharded(dfg, spec, &config, &mut instr).map_err(|e| e.to_string())?;
+        let refined = if iterate > 0 {
+            let refined = refine(
+                dfg,
+                spec,
+                &out.schedule,
+                &IterateConfig::new(iterate),
+                &mut instr,
+            )
+            .map_err(|e| e.to_string())?;
+            out.schedule = refined.schedule.clone();
+            out.csteps = refined.csteps_after;
+            Some(refined)
+        } else {
+            None
+        };
+        (out, refined)
     };
     metrics.merge(&out.shard_metrics);
     if let Some(ceiling) = ceiling {
@@ -1361,6 +1431,12 @@ fn run_synth_sharded(
             "  stitch moves {}, telescoped steps saved {}",
             out.stitch_moves, out.telescoped_saved
         );
+        if let Some(r) = &refined {
+            println!(
+                "  iterate: {} round(s), {} splice(s) accepted, control steps {} -> {}",
+                r.iterations_run, r.splices_accepted, r.csteps_before, r.csteps_after
+            );
+        }
         let ceiling_note = ceiling
             .map(|c| format!(" (ceiling {c})"))
             .unwrap_or_default();
@@ -1622,6 +1698,103 @@ mod tests {
     }
 
     #[test]
+    fn parses_synth_iterate() {
+        let c = parse(&["synth", "x.dfg", "--cs", "12", "--iterate", "3"]).unwrap();
+        match c {
+            Command::Synth { cs, iterate, .. } => {
+                assert_eq!(cs, Some(12));
+                assert_eq!(iterate, 3);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Composes with --shard; bad counts are pointed errors.
+        let c = parse(&["synth", "gen:5000", "--shard", "2", "--iterate", "1"]).unwrap();
+        match c {
+            Command::Synth { iterate, shard, .. } => {
+                assert_eq!(iterate, 1);
+                assert_eq!(shard, Some(2));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&["synth", "x.dfg", "--cs", "4", "--iterate", "x"])
+            .unwrap_err()
+            .contains("--iterate"));
+        // In explore, --iterate applies to --alg/--cs points only; grid
+        // files carry their own per-point key.
+        assert!(
+            parse(&["explore", "x.dfg", "--grid", "g.toml", "--iterate", "2"])
+                .unwrap_err()
+                .contains("grid file")
+        );
+        // --iterate belongs to synth and explore, not schedule.
+        assert!(parse(&["schedule", "x.dfg", "--cs", "4", "--iterate", "2"])
+            .unwrap_err()
+            .contains("unknown schedule flag"));
+    }
+
+    #[test]
+    fn synth_iterate_end_to_end() {
+        let dir = std::env::temp_dir().join("mfhls-iterate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.dfg");
+        std::fs::write(
+            &path,
+            "input a, b\nop p = mul(a, b)\nop q = add(p, b)\nop r = add(a, b)\n",
+        )
+        .unwrap();
+        // Monolithic MFSA with refinement at a padded budget.
+        run(Command::Synth {
+            file: path.to_string_lossy().to_string(),
+            cs: Some(6),
+            style2: false,
+            weights: None,
+            lib: None,
+            two_cycle_mul: false,
+            json: false,
+            microcode: false,
+            verilog: false,
+            testbench: false,
+            check: true,
+            svg: None,
+            vcd: None,
+            shard: None,
+            shard_alg: Algorithm::Mfsa,
+            threads: 0,
+            iterate: 3,
+            tel: Telemetry {
+                quiet: true,
+                ..Telemetry::default()
+            },
+        })
+        .unwrap();
+        // Sharded synthesis with post-stitch refinement.
+        run(Command::Synth {
+            file: "gen:800".to_string(),
+            cs: None,
+            style2: false,
+            weights: None,
+            lib: None,
+            two_cycle_mul: false,
+            json: false,
+            microcode: false,
+            verilog: false,
+            testbench: false,
+            check: false,
+            svg: None,
+            vcd: None,
+            shard: Some(3),
+            shard_alg: Algorithm::Mfs,
+            threads: 2,
+            iterate: 2,
+            tel: Telemetry {
+                quiet: true,
+                ..Telemetry::default()
+            },
+        })
+        .unwrap();
+    }
+
+    #[test]
     fn synth_shard_end_to_end() {
         let base = Command::Synth {
             file: "gen:800".to_string(),
@@ -1640,6 +1813,7 @@ mod tests {
             shard: Some(3),
             shard_alg: Algorithm::Mfs,
             threads: 2,
+            iterate: 0,
             tel: Telemetry {
                 quiet: true,
                 ..Telemetry::default()
@@ -1672,6 +1846,7 @@ mod tests {
                 shard,
                 shard_alg,
                 threads,
+                iterate: 0,
                 tel,
             })
             .unwrap_err(),
@@ -1795,6 +1970,7 @@ mod tests {
             shard: None,
             shard_alg: Algorithm::Mfsa,
             threads: 0,
+            iterate: 0,
             tel: Telemetry::default(),
         })
         .unwrap();
@@ -1819,6 +1995,7 @@ mod tests {
             shard: None,
             shard_alg: Algorithm::Mfsa,
             threads: 0,
+            iterate: 0,
             tel: Telemetry::default(),
         })
         .unwrap();
@@ -1899,6 +2076,7 @@ mod tests {
             two_cycle_mul: false,
             threads: 2,
             emit: Some(front.to_string_lossy().to_string()),
+            iterate: 0,
             tel: Telemetry {
                 quiet: true,
                 ..Telemetry::default()
@@ -2101,6 +2279,7 @@ mod tests {
             shard: None,
             shard_alg: Algorithm::Mfsa,
             threads: 0,
+            iterate: 0,
             tel: Telemetry::default(),
         })
         .unwrap_err();
@@ -2136,6 +2315,7 @@ mod tests {
             shard: None,
             shard_alg: Algorithm::Mfsa,
             threads: 0,
+            iterate: 0,
             tel: Telemetry::default(),
         })
         .unwrap();
