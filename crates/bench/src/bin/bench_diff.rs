@@ -21,6 +21,12 @@
 //!   document contains no timing fields).
 //! * `BENCH_telemetry.json` — regenerated without timing histograms and
 //!   compared as trimmed text.
+//! * `BENCH_serve.json` — the serving load-test snapshot is **not**
+//!   regenerated (throughput is machine-local); instead its
+//!   deterministic structure is validated in place: phase request
+//!   arithmetic, exactly-once cache hit/miss counts, disk-restart
+//!   counters, the pinned pre-reactor baseline and the ≥10× keep-alive
+//!   speedup claim (see `hls_bench::serve_check`).
 //!
 //! ```text
 //! bench_diff --quick --check             # CI gate: 1k core size only
@@ -31,12 +37,14 @@
 //!
 //! Without `--check` drift is reported but the exit status stays 0
 //! (useful while intentionally re-baselining). The `--core`, `--mem`,
-//! `--telemetry`, `--partition` and `--iterate` flags override the
-//! committed file paths — CI uses `--core`/`--partition`/`--iterate`
-//! on perturbed copies to prove the gate actually fails.
+//! `--telemetry`, `--partition`, `--iterate` and `--serve` flags
+//! override the committed file paths — CI uses
+//! `--core`/`--partition`/`--iterate`/`--serve` on perturbed copies to
+//! prove the gate actually fails.
 
 use hls_bench::iterate;
 use hls_bench::scaling::{bench_size, diff_exact, FULL_SIZES, QUICK_SIZES};
+use hls_bench::serve_check;
 use hls_bench::shard_scaling;
 use hls_bench::snapshots::{mem_snapshot, telemetry_snapshot};
 
@@ -48,6 +56,7 @@ struct Options {
     telemetry: String,
     partition: String,
     iterate: String,
+    serve: String,
 }
 
 fn parse_args() -> Options {
@@ -60,6 +69,7 @@ fn parse_args() -> Options {
         telemetry: "BENCH_telemetry.json".into(),
         partition: "BENCH_partition.json".into(),
         iterate: "BENCH_iterate.json".into(),
+        serve: "BENCH_serve.json".into(),
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -76,6 +86,7 @@ fn parse_args() -> Options {
             "--telemetry" => opts.telemetry = path("--telemetry"),
             "--partition" => opts.partition = path("--partition"),
             "--iterate" => opts.iterate = path("--iterate"),
+            "--serve" => opts.serve = path("--serve"),
             other => {
                 eprintln!("unknown flag `{other}`; see the bench_diff doc comment");
                 std::process::exit(2);
@@ -184,6 +195,9 @@ fn main() {
             "ies"
         }
     );
+
+    eprintln!("# bench_diff: serve snapshot structure ({})", opts.serve);
+    drift.extend(serve_check::check(&read(&opts.serve)));
 
     eprintln!("# bench_diff: memory port sweep ({})", opts.mem);
     drift.extend(diff_text("mem", &mem_snapshot(), &read(&opts.mem)));

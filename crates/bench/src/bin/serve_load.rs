@@ -5,18 +5,35 @@
 //! cargo run --release -p hls-bench --bin serve_load [-- out.json]
 //! ```
 //!
-//! Three phases against real sockets on an ephemeral port:
+//! Phases against real sockets on an ephemeral port, all with the
+//! reactor's defaults (keep-alive on, pipeline depth 8):
 //!
-//! 1. **cold** — several client threads sweep a mixed benchmark
-//!    workload against a fresh daemon; every unique job computes.
-//! 2. **warm** — the identical sweep against the same daemon; every
-//!    job is a cache hit, which is the daemon's core value proposition.
-//! 3. **overload** — a one-worker, tiny-queue daemon is hammered with
-//!    concurrent compute jobs; the report records how many requests
-//!    the bounded queue rejected with 429 instead of queueing forever.
+//! 1. **cold** — close-per-request sweep of a mixed benchmark workload
+//!    against a fresh daemon; every unique job computes. This is the
+//!    pre-reactor access pattern and the throughput baseline.
+//! 2. **keepalive** — the identical sweep, but each client holds one
+//!    connection for all its requests. Every job is a warm cache hit;
+//!    the connect/close cost per request is gone.
+//! 3. **pipeline** — each client writes its whole round as one
+//!    pipelined burst and reads the in-order responses; syscalls
+//!    amortise across the burst.
+//! 4. **batch** — the round travels as a single `POST /batch` body and
+//!    comes back as one ordered array; HTTP framing amortises too.
+//! 5. **disk** — a daemon with `--cache-dir` computes the workload,
+//!    shuts down, restarts on the same directory, and serves the same
+//!    jobs again from the disk tier (counted, not timed: the point is
+//!    `restart_hits == unique_jobs`, zero recomputes).
+//! 6. **overload** — a one-worker, tiny-queue daemon is hammered with
+//!    concurrent jobs; the report records how many requests the
+//!    bounded queue rejected with 429 and the p99 of the requests it
+//!    did serve while saturated.
 //!
-//! Latency is measured per request (connect → full response read) and
-//! reported as p50/p99; throughput is total requests over wall time.
+//! Latency is per request (or per burst/batch round trip) and reported
+//! as p50/p99; throughput is requests over wall time. `bench_diff
+//! --serve` re-checks the committed document's deterministic fields —
+//! request counts, cache hit/miss arithmetic, the disk-restart
+//! counters, and the `≥10×` keep-alive speedup claim against the
+//! pinned pre-reactor baseline.
 
 use std::fmt::Write as _;
 use std::io::{Read, Write};
@@ -38,15 +55,33 @@ const JOBS: &[&str] = &[
     r#"{"benchmark":"bandpass","alg":"mfs","cs":9}"#,
 ];
 
-fn post(addr: SocketAddr, body: &[u8]) -> (u16, u64) {
+/// The committed pre-reactor cold throughput (BENCH_serve.json before
+/// the epoll rewrite): the denominator of every speedup this report
+/// claims.
+const BASELINE_COLD_RPS: f64 = 3427.9;
+
+fn request_bytes(path: &str, body: &[u8], close: bool) -> Vec<u8> {
+    let mut out = format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n",
+        body.len()
+    )
+    .into_bytes();
+    if close {
+        out.extend_from_slice(b"Connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// One close-per-request round trip (the pre-reactor access pattern).
+fn post_close(addr: SocketAddr, path: &str, body: &[u8]) -> (u16, u64) {
     let start = Instant::now();
     let mut stream = TcpStream::connect(addr).expect("connect");
-    let head = format!(
-        "POST /schedule HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes()).expect("write");
-    stream.write_all(body).expect("write");
+    stream.set_nodelay(true).ok();
+    stream
+        .write_all(&request_bytes(path, body, true))
+        .expect("write");
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw).expect("read");
     let status: u16 = std::str::from_utf8(&raw)
@@ -57,13 +92,54 @@ fn post(addr: SocketAddr, body: &[u8]) -> (u16, u64) {
     (status, start.elapsed().as_nanos() as u64)
 }
 
+/// Consumes exactly one HTTP response from a persistent connection,
+/// reading more as needed; returns its status code.
+fn read_one(stream: &mut TcpStream, buf: &mut Vec<u8>) -> u16 {
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buf[..head_end]).expect("ascii head");
+            let status: u16 = head
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .expect("status line");
+            let len: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse().ok())?
+                })
+                .expect("content-length");
+            let total = head_end + 4 + len;
+            if buf.len() >= total {
+                buf.drain(..total);
+                return status;
+            }
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
 fn start(config: ServeConfig) -> Server {
     Server::start(config, Box::new(NullSink)).expect("server starts")
 }
 
-/// Runs `clients` threads, each sending every job `rounds` times in a
-/// rotated order; returns (wall_ns, per-request latencies, statuses).
-fn sweep(addr: SocketAddr, clients: usize, rounds: usize) -> (u64, Vec<u64>, Vec<u16>) {
+/// Per-phase measurements: one latency sample per unit (request, burst
+/// or batch) plus the request count the units carried.
+struct Phase {
+    requests: usize,
+    wall_ns: u64,
+    latencies: Vec<u64>,
+    statuses: Vec<u16>,
+}
+
+/// Close-per-request sweep: `clients` threads, each sending every job
+/// `rounds` times in a rotated order.
+fn cold_sweep(addr: SocketAddr, clients: usize, rounds: usize) -> Phase {
     let start = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
@@ -72,22 +148,139 @@ fn sweep(addr: SocketAddr, clients: usize, rounds: usize) -> (u64, Vec<u64>, Vec
                 for r in 0..rounds {
                     for i in 0..JOBS.len() {
                         let job = JOBS[(i + c + r) % JOBS.len()];
-                        out.push(post(addr, job.as_bytes()));
+                        out.push(post_close(addr, "/schedule", job.as_bytes()));
                     }
                 }
                 out
             })
         })
         .collect();
-    let mut latencies = Vec::new();
-    let mut statuses = Vec::new();
+    let mut phase = Phase {
+        requests: 0,
+        wall_ns: 0,
+        latencies: Vec::new(),
+        statuses: Vec::new(),
+    };
     for h in handles {
         for (status, ns) in h.join().expect("client") {
-            statuses.push(status);
-            latencies.push(ns);
+            phase.statuses.push(status);
+            phase.latencies.push(ns);
+            phase.requests += 1;
         }
     }
-    (start.elapsed().as_nanos() as u64, latencies, statuses)
+    phase.wall_ns = start.elapsed().as_nanos() as u64;
+    phase
+}
+
+/// The same sweep over one persistent connection per client; per
+/// request, write → read one response.
+fn keepalive_sweep(addr: SocketAddr, clients: usize, rounds: usize) -> Phase {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut buf = Vec::new();
+                let mut out = Vec::new();
+                for r in 0..rounds {
+                    for i in 0..JOBS.len() {
+                        let job = JOBS[(i + c + r) % JOBS.len()];
+                        let t = Instant::now();
+                        stream
+                            .write_all(&request_bytes("/schedule", job.as_bytes(), false))
+                            .expect("write");
+                        let status = read_one(&mut stream, &mut buf);
+                        out.push((status, t.elapsed().as_nanos() as u64));
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+    collect(start, handles)
+}
+
+/// Each round is one pipelined burst: all jobs written back-to-back,
+/// then the in-order responses read. One latency sample per burst.
+fn pipeline_sweep(addr: SocketAddr, clients: usize, rounds: usize) -> Phase {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut buf = Vec::new();
+                let mut out = Vec::new();
+                for r in 0..rounds {
+                    let mut burst = Vec::new();
+                    for i in 0..JOBS.len() {
+                        let job = JOBS[(i + c + r) % JOBS.len()];
+                        burst.extend_from_slice(&request_bytes("/schedule", job.as_bytes(), false));
+                    }
+                    let t = Instant::now();
+                    stream.write_all(&burst).expect("write");
+                    for _ in 0..JOBS.len() {
+                        let status = read_one(&mut stream, &mut buf);
+                        assert_eq!(status, 200, "pipelined request failed");
+                    }
+                    out.push((200, t.elapsed().as_nanos() as u64));
+                }
+                out
+            })
+        })
+        .collect();
+    let mut phase = collect(start, handles);
+    phase.requests = clients * rounds * JOBS.len();
+    phase
+}
+
+/// Each round is one `POST /batch` carrying every job; one latency
+/// sample per batch round trip.
+fn batch_sweep(addr: SocketAddr, clients: usize, rounds: usize) -> Phase {
+    let body = format!("[{}]", JOBS.join(","));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut buf = Vec::new();
+                let mut out = Vec::new();
+                for _ in 0..rounds {
+                    let t = Instant::now();
+                    stream
+                        .write_all(&request_bytes("/batch", body.as_bytes(), false))
+                        .expect("write");
+                    let status = read_one(&mut stream, &mut buf);
+                    out.push((status, t.elapsed().as_nanos() as u64));
+                }
+                out
+            })
+        })
+        .collect();
+    let mut phase = collect(start, handles);
+    phase.requests = clients * rounds * JOBS.len();
+    phase
+}
+
+fn collect(start: Instant, handles: Vec<std::thread::JoinHandle<Vec<(u16, u64)>>>) -> Phase {
+    let mut phase = Phase {
+        requests: 0,
+        wall_ns: 0,
+        latencies: Vec::new(),
+        statuses: Vec::new(),
+    };
+    for h in handles {
+        for (status, ns) in h.join().expect("client") {
+            phase.statuses.push(status);
+            phase.latencies.push(ns);
+            phase.requests += 1;
+        }
+    }
+    phase.wall_ns = start.elapsed().as_nanos() as u64;
+    phase
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -98,17 +291,58 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
     sorted[idx] as f64 / 1e6
 }
 
-fn phase_json(name: &str, wall_ns: u64, latencies: &mut [u64]) -> String {
-    latencies.sort_unstable();
-    let requests = latencies.len();
-    let wall_ms = wall_ns as f64 / 1e6;
+fn rps(requests: usize, wall_ns: u64) -> f64 {
+    requests as f64 / (wall_ns as f64 / 1e9)
+}
+
+fn phase_json(name: &str, phase: &mut Phase) -> String {
+    phase.latencies.sort_unstable();
     format!(
-        "  \"{name}\": {{\"requests\": {requests}, \"wall_ms\": {:.3}, \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
-        wall_ms,
-        requests as f64 / (wall_ns as f64 / 1e9),
-        percentile(latencies, 0.50),
-        percentile(latencies, 0.99),
+        "  \"{name}\": {{\"requests\": {}, \"wall_ms\": {:.3}, \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+        phase.requests,
+        phase.wall_ns as f64 / 1e6,
+        rps(phase.requests, phase.wall_ns),
+        percentile(&phase.latencies, 0.50),
+        percentile(&phase.latencies, 0.99),
     )
+}
+
+/// Computes the workload against a `--cache-dir` daemon, restarts it
+/// on the same directory, and replays: the restarted daemon must serve
+/// every job from the disk tier without recomputing.
+fn disk_restart_phase() -> (u64, u64, u64) {
+    let dir = std::env::temp_dir().join(format!("serve-load-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    let first = start(config.clone());
+    for job in JOBS {
+        let (status, _) = post_close(first.local_addr(), "/schedule", job.as_bytes());
+        assert_eq!(status, 200, "disk phase first run failed");
+    }
+    let writes = first
+        .app()
+        .metrics_snapshot()
+        .counter("serve.cache.disk.writes");
+    first.shutdown();
+    first.join();
+
+    let second = start(config);
+    for job in JOBS {
+        let (status, _) = post_close(second.local_addr(), "/schedule", job.as_bytes());
+        assert_eq!(status, 200, "disk phase restart run failed");
+    }
+    let m = second.app().metrics_snapshot();
+    let hits = m.counter("serve.cache.disk.hits");
+    let misses = m.counter("serve.cache.disk.misses");
+    second.shutdown();
+    second.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    (writes, hits, misses)
 }
 
 fn main() {
@@ -118,26 +352,36 @@ fn main() {
     let clients = 4;
     let rounds = 4;
 
-    // Cold: fresh daemon, every unique job computes once.
+    // Cold: fresh daemon, close per request, every unique job computes.
     let server = start(ServeConfig {
         addr: "127.0.0.1:0".into(),
         ..ServeConfig::default()
     });
     let addr = server.local_addr();
-    let (cold_wall, mut cold_lat, cold_status) = sweep(addr, clients, rounds);
+    let mut cold = cold_sweep(addr, clients, rounds);
     assert!(
-        cold_status.iter().all(|&s| s == 200),
+        cold.statuses.iter().all(|&s| s == 200),
         "cold sweep had non-200 answers"
     );
 
-    // Warm: identical sweep on the now-warm cache.
-    let (warm_wall, mut warm_lat, warm_status) = sweep(addr, clients, rounds);
-    assert!(warm_status.iter().all(|&s| s == 200));
+    // Warm phases on the same daemon: keep-alive, pipelined bursts,
+    // then /batch. Every request is a memory-tier hit.
+    let mut keepalive = keepalive_sweep(addr, clients, rounds);
+    assert!(keepalive.statuses.iter().all(|&s| s == 200));
+    let mut pipeline = pipeline_sweep(addr, clients, rounds);
+    let mut batch = batch_sweep(addr, clients, rounds);
+    assert!(batch.statuses.iter().all(|&s| s == 200));
+
     let m = server.app().metrics_snapshot();
     let misses = m.counter("serve.cache.results.misses");
     let hits = m.counter("serve.cache.results.hits");
+    let reused = m.counter("serve.keepalive.reused");
+    let pipelined = m.counter("serve.pipeline.pipelined");
     server.shutdown();
     server.join();
+
+    // Disk tier: compute, restart, replay from disk.
+    let (disk_writes, disk_hits, disk_misses) = disk_restart_phase();
 
     // Overload: one worker, two queue slots, all clients at once.
     let tiny = start(ServeConfig {
@@ -146,22 +390,25 @@ fn main() {
         queue_cap: 2,
         ..ServeConfig::default()
     });
-    let tiny_addr = tiny.local_addr();
-    let (_, _, overload_status) = sweep(tiny_addr, 8, 2);
-    let rejected = overload_status.iter().filter(|&&s| s == 429).count();
-    let served = overload_status.iter().filter(|&&s| s == 200).count();
-    let total = overload_status.len();
+    let overload = cold_sweep(tiny.local_addr(), 8, 2);
+    let rejected = overload.statuses.iter().filter(|&&s| s == 429).count();
+    let served = overload.statuses.iter().filter(|&&s| s == 200).count();
+    let mut served_lat: Vec<u64> = overload
+        .statuses
+        .iter()
+        .zip(&overload.latencies)
+        .filter(|(&s, _)| s == 200)
+        .map(|(_, &ns)| ns)
+        .collect();
+    served_lat.sort_unstable();
     tiny.shutdown();
     tiny.join();
 
-    let cold_p50 = {
-        cold_lat.sort_unstable();
-        percentile(&cold_lat, 0.50)
-    };
-    let warm_p50 = {
-        warm_lat.sort_unstable();
-        percentile(&warm_lat, 0.50)
-    };
+    let cold_rps = rps(cold.requests, cold.wall_ns);
+    let keepalive_rps = rps(keepalive.requests, keepalive.wall_ns);
+    let pipeline_rps = rps(pipeline.requests, pipeline.wall_ns);
+    let batch_rps = rps(batch.requests, batch.wall_ns);
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"unique_jobs\": {},", JOBS.len());
     let _ = writeln!(json, "  \"clients\": {clients},");
@@ -171,9 +418,13 @@ fn main() {
         "  \"available_parallelism\": {},",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
-    json.push_str(&phase_json("cold", cold_wall, &mut cold_lat));
+    json.push_str(&phase_json("cold", &mut cold));
     json.push_str(",\n");
-    json.push_str(&phase_json("warm", warm_wall, &mut warm_lat));
+    json.push_str(&phase_json("keepalive", &mut keepalive));
+    json.push_str(",\n");
+    json.push_str(&phase_json("pipeline", &mut pipeline));
+    json.push_str(",\n");
+    json.push_str(&phase_json("batch", &mut batch));
     json.push_str(",\n");
     let _ = writeln!(
         json,
@@ -181,17 +432,27 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"warm_speedup_p50\": {:.1},",
-        if warm_p50 > 0.0 {
-            cold_p50 / warm_p50
-        } else {
-            0.0
-        }
+        "  \"reactor\": {{\"keepalive_reused\": {reused}, \"pipelined\": {pipelined}}},"
     );
     let _ = writeln!(
         json,
-        "  \"overload\": {{\"workers\": 1, \"queue_cap\": 2, \"requests\": {total}, \"served_200\": {served}, \"rejected_429\": {rejected}, \"reject_rate\": {:.3}}}",
-        rejected as f64 / total as f64
+        "  \"disk\": {{\"first_run_writes\": {disk_writes}, \"restart_hits\": {disk_hits}, \"restart_misses\": {disk_misses}}},"
+    );
+    let _ = writeln!(json, "  \"baseline_cold_rps\": {BASELINE_COLD_RPS},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_vs_baseline\": {{\"cold\": {:.1}, \"keepalive\": {:.1}, \"pipeline\": {:.1}, \"batch\": {:.1}}},",
+        cold_rps / BASELINE_COLD_RPS,
+        keepalive_rps / BASELINE_COLD_RPS,
+        pipeline_rps / BASELINE_COLD_RPS,
+        batch_rps / BASELINE_COLD_RPS,
+    );
+    let _ = writeln!(
+        json,
+        "  \"overload\": {{\"workers\": 1, \"queue_cap\": 2, \"requests\": {}, \"served_200\": {served}, \"rejected_429\": {rejected}, \"reject_rate\": {:.3}, \"served_p99_ms\": {:.3}}}",
+        overload.requests,
+        rejected as f64 / overload.requests as f64,
+        percentile(&served_lat, 0.99),
     );
     json.push_str("}\n");
 

@@ -40,6 +40,7 @@ mod figures;
 pub mod iterate;
 mod runner;
 pub mod scaling;
+pub mod serve_check;
 pub mod shard_scaling;
 pub mod snapshots;
 mod tables;

@@ -127,6 +127,7 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"mfs.energy_evaluations\""));
         assert!(a.contains("\"mfsa.reuse_memo.hits\""));
+        assert!(a.contains("\"mfsa.reuse_memo.insert_hits\""));
         assert!(!a.contains(".ns\""), "timing histograms must be dropped");
     }
 }

@@ -18,7 +18,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 
 use hls_celllib::{Delay, TimingSpec};
 use hls_dfg::{BankId, Dfg, FuClass, NodeId, NodeKind, SignalId, SignalSource};
-use hls_rtl::muxopt::MuxOp;
+use hls_rtl::muxopt::{pack_seed, MuxOp, PackSeed};
 use hls_rtl::{AluAllocation, CostReport, Datapath};
 use hls_schedule::{
     chained_frames, priority_order, CStep, FuIndex, Schedule, Slot, TimeFrames, UnitId,
@@ -339,6 +339,12 @@ pub fn schedule_traced_with_frames(
     // node scans and each candidate evaluation packs once, not twice.
     // `None` = stale (instance just grew).
     let mut mux_before: Vec<Option<u64>> = Vec::new();
+    // The committed packing's refcount seed per instance, for the safe
+    // one-op insertion rule: a candidate whose operand lines are
+    // already carried by the instance is priced f_MUX = 0 without any
+    // repack, and a committed move covered by the rule extends the
+    // seed in place instead of invalidating it.
+    let mut mux_seed: Vec<Option<PackSeed<EstSource>>> = Vec::new();
     // Bank-port occupancy: (bank, 1-based port, wrapped step) → nodes.
     let mut mem_busy: BTreeMap<(BankId, u32, u32), Vec<NodeId>> = BTreeMap::new();
     let mut reg_est = RegEstimate::new();
@@ -521,6 +527,8 @@ pub fn schedule_traced_with_frames(
             let mut n_candidates = 0u64;
             let mut memo_hits = 0u64;
             let mut memo_fills = 0u64;
+            let mut memo_insert_hits = 0u64;
+            let mut memo_insert_fallbacks = 0u64;
             let mut prune = PruneStats::default();
             let next_instance = instances.len() as u32 + 1;
 
@@ -681,6 +689,16 @@ pub fn schedule_traced_with_frames(
                             memo_fills += 1;
                         }
                         let f_mux = *mux_costs[i].get_or_insert_with(|| {
+                            // Safe one-op insertion: a candidate whose
+                            // operand lines the committed packing
+                            // already carries is provably cost-neutral
+                            // — priced zero with no repack.
+                            let seed = mux_seed[i].get_or_insert_with(|| pack_seed(&inst.mux_ops));
+                            if seed.neutral_insertion(&mux_op).is_some() {
+                                memo_insert_hits += 1;
+                                return 0;
+                            }
+                            memo_insert_fallbacks += 1;
                             let before = *mux_before[i]
                                 .get_or_insert_with(|| model.mux_pair_cost(&inst.mux_ops));
                             model.f_mux_from(before, &inst.mux_ops, mux_op)
@@ -749,6 +767,8 @@ pub fn schedule_traced_with_frames(
             instr.observe("mfsa.candidates", n_candidates);
             instr.inc("mfsa.reuse_memo.hits", memo_hits);
             instr.inc("mfsa.reuse_memo.fills", memo_fills);
+            instr.inc("mfsa.reuse_memo.insert_hits", memo_insert_hits);
+            instr.inc("mfsa.reuse_memo.insert_fallbacks", memo_insert_fallbacks);
             let Some(chosen) = best else {
                 return Err(MoveFrameError::NoPosition {
                     node,
@@ -761,7 +781,16 @@ pub fn schedule_traced_with_frames(
             let instance_idx = match chosen.instance {
                 Some(i) => {
                     instances[i].kind_index = chosen.kind_index;
-                    mux_before[i] = None;
+                    // A committed move covered by the insertion rule
+                    // extends the seed in place — its pair cost is
+                    // unchanged, so `mux_before` stays valid too.
+                    let absorbed = mux_seed[i]
+                        .as_mut()
+                        .is_some_and(|seed| seed.try_insert(&mux_op));
+                    if !absorbed {
+                        mux_seed[i] = None;
+                        mux_before[i] = None;
+                    }
                     i
                 }
                 None => {
@@ -773,6 +802,7 @@ pub fn schedule_traced_with_frames(
                         busy_bits: Vec::new(),
                     });
                     mux_before.push(None);
+                    mux_seed.push(None);
                     instances.len() - 1
                 }
             };

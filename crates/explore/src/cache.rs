@@ -25,13 +25,26 @@
 //! same bytes — so cache pressure never changes any answer.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use hls_celllib::{ClockPeriod, TimingSpec};
 use hls_dfg::Dfg;
 use hls_schedule::{chained_frames, TimeFrames};
 
+use crate::diskcache::{DiskCache, DiskStats};
 use crate::engine::PointMetrics;
+
+/// Which tier answered a result lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The in-memory LRU had a populated slot.
+    Hot,
+    /// The on-disk layer had a verified entry (memory slot now filled).
+    Warm,
+    /// Neither tier had it: `compute` ran.
+    Cold,
+}
 
 type Slot<T> = Arc<OnceLock<T>>;
 
@@ -60,6 +73,16 @@ impl<K: std::hash::Hash + Eq + Copy, T> Lru<K, T> {
             tick: 0,
             cap: cap.max(1),
         }
+    }
+
+    /// The slot for `key` if (and only if) it is already resident;
+    /// bumps recency, never inserts.
+    fn peek(&mut self, key: K) -> Option<Slot<T>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (slot, used) = self.map.get_mut(&key)?;
+        *used = tick;
+        Some(slot.clone())
     }
 
     /// The slot for `key` (created empty if absent), plus how many
@@ -111,6 +134,7 @@ pub struct ExploreCache {
     frames: Mutex<Lru<FramesKey, Result<TimeFrames, String>>>,
     results: Mutex<Lru<ResultsKey, Result<PointMetrics, String>>>,
     stats: Mutex<(CacheStats, CacheStats)>, // (frames, results)
+    disk: Option<DiskCache>,
 }
 
 impl Default for ExploreCache {
@@ -132,7 +156,24 @@ impl ExploreCache {
             frames: Mutex::new(Lru::new(frames_cap)),
             results: Mutex::new(Lru::new(results_cap)),
             stats: Mutex::new((CacheStats::default(), CacheStats::default())),
+            disk: None,
         }
+    }
+
+    /// A cache whose result layer is backed by a content-addressed
+    /// on-disk tier rooted at `dir`: memory misses consult disk before
+    /// computing, and fresh `Ok` computations are persisted, so a
+    /// restarted process answers previously-seen keys without
+    /// rescheduling. Fails only if the directory cannot be created.
+    pub fn with_disk(frames_cap: usize, results_cap: usize, dir: &Path) -> std::io::Result<Self> {
+        let mut cache = Self::with_caps(frames_cap, results_cap);
+        cache.disk = Some(DiskCache::open(dir)?);
+        Ok(cache)
+    }
+
+    /// Counters of the disk tier, if one is attached.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.disk.as_ref().map(DiskCache::stats)
     }
 
     /// The ASAP/ALAP frames for `(dfg_fp, cs, clock)`, computed at most
@@ -172,32 +213,74 @@ impl ExploreCache {
     }
 
     /// The memoized result for `(dfg_fp, point_fp)`: runs `compute` at
-    /// most once while the key stays cached. Returns the result plus
-    /// whether this call computed it (false = cache hit).
+    /// most once while the key stays in memory. A memory miss consults
+    /// the disk tier (if attached) before computing; a fresh `Ok`
+    /// computation is written through to disk. Returns the result plus
+    /// the [`Tier`] that answered it.
+    ///
+    /// Exactly-once still holds per tier: concurrent requests for one
+    /// key share a single disk load *or* a single computation through
+    /// the slot's `OnceLock`, and only the computing call writes disk.
     pub fn result(
         &self,
         dfg_fp: u64,
         point_fp: u64,
         compute: impl FnOnce() -> Result<PointMetrics, String>,
-    ) -> (Result<PointMetrics, String>, bool) {
+    ) -> (Result<PointMetrics, String>, Tier) {
         let (slot, evicted) = self
             .results
             .lock()
             .expect("cache lock is never poisoned (no panics inside)")
             .slot((dfg_fp, point_fp));
-        let mut computed = false;
+        let mut tier = Tier::Hot;
         let value = slot.get_or_init(|| {
-            computed = true;
+            if let Some(disk) = &self.disk {
+                if let Some(metrics) = disk.load(dfg_fp, point_fp) {
+                    tier = Tier::Warm;
+                    return Ok(metrics);
+                }
+            }
+            tier = Tier::Cold;
             compute()
         });
         let mut stats = self.stats.lock().expect("stats lock");
         stats.1.evictions += evicted;
-        if computed {
-            stats.1.misses += 1;
-        } else {
+        if tier == Tier::Hot {
             stats.1.hits += 1;
+        } else {
+            stats.1.misses += 1;
         }
-        (value.clone(), computed)
+        drop(stats);
+        if tier == Tier::Cold {
+            if let (Some(disk), Ok(metrics)) = (&self.disk, value) {
+                disk.store(dfg_fp, point_fp, metrics);
+            }
+        }
+        (value.clone(), tier)
+    }
+
+    /// A non-computing probe of the **memory** result tier: `Some` iff
+    /// the key is resident and populated. Counts as a results-layer
+    /// hit when it answers; a miss counts nothing, because the caller
+    /// falls back to [`ExploreCache::result`], which does the full
+    /// accounting. Cached *cancelled* errors are reported as misses —
+    /// the fallback path owns the forget-and-retry hygiene for those.
+    ///
+    /// This is the reactor's inline fast path: a warm `/schedule` hit
+    /// is answered on the event loop without a worker handoff, so the
+    /// probe must never compute, block on I/O, or insert a slot.
+    pub fn peek_result(&self, dfg_fp: u64, point_fp: u64) -> Option<Result<PointMetrics, String>> {
+        let slot = self
+            .results
+            .lock()
+            .expect("cache lock is never poisoned (no panics inside)")
+            .peek((dfg_fp, point_fp))?;
+        let value = slot.get()?.clone();
+        if matches!(&value, Err(e) if e.starts_with("cancelled")) {
+            return None;
+        }
+        self.stats.lock().expect("stats lock").1.hits += 1;
+        Some(value)
     }
 
     /// Drops the result entry for `(dfg_fp, point_fp)`, if present.
@@ -248,14 +331,18 @@ mod tests {
     #[test]
     fn results_compute_exactly_once_per_key() {
         let cache = ExploreCache::new();
-        let (first, computed) = cache.result(1, 2, || Ok(metrics(4)));
-        assert!(computed);
-        let (second, computed) = cache.result(1, 2, || panic!("must not recompute"));
-        assert!(!computed);
+        let (first, tier) = cache.result(1, 2, || Ok(metrics(4)));
+        assert_eq!(tier, Tier::Cold);
+        let (second, tier) = cache.result(1, 2, || panic!("must not recompute"));
+        assert_eq!(tier, Tier::Hot);
         assert_eq!(first, second);
         assert_eq!(cache.result_entries(), 1);
-        let (_, computed) = cache.result(1, 3, || Ok(metrics(5)));
-        assert!(computed, "a different point fingerprint is a new key");
+        let (_, tier) = cache.result(1, 3, || Ok(metrics(5)));
+        assert_eq!(
+            tier,
+            Tier::Cold,
+            "a different point fingerprint is a new key"
+        );
         assert_eq!(
             cache.results_stats(),
             CacheStats {
@@ -267,44 +354,82 @@ mod tests {
     }
 
     #[test]
+    fn peek_probes_without_computing_or_inserting() {
+        let cache = ExploreCache::new();
+        assert!(cache.peek_result(1, 2).is_none());
+        assert_eq!(
+            cache.results_stats(),
+            CacheStats::default(),
+            "a probe miss counts nothing and inserts nothing"
+        );
+        assert_eq!(cache.result_entries(), 0);
+
+        let (_, t) = cache.result(1, 2, || Ok(metrics(4)));
+        assert_eq!(t, Tier::Cold);
+        let peeked = cache.peek_result(1, 2).expect("resident key answers");
+        assert_eq!(peeked.unwrap().csteps, 4);
+        assert_eq!(cache.results_stats().hits, 1, "a probe hit is a hit");
+
+        // Cached *cancelled* errors are invisible to the probe: the
+        // fallback path owns their forget-and-retry hygiene.
+        let (_, _) = cache.result(3, 4, || Err("cancelled: deadline".into()));
+        assert!(cache.peek_result(3, 4).is_none());
+        // Ordinary cached errors answer like any other result.
+        let (_, _) = cache.result(5, 6, || Err("infeasible".into()));
+        assert!(cache.peek_result(5, 6).expect("cached error").is_err());
+    }
+
+    #[test]
+    fn peek_bumps_recency() {
+        let cache = ExploreCache::with_caps(4, 2);
+        let (_, _) = cache.result(1, 1, || Ok(metrics(1)));
+        let (_, _) = cache.result(1, 2, || Ok(metrics(2)));
+        // Probe key 1 so key 2 is the LRU victim of the next insert.
+        assert!(cache.peek_result(1, 1).is_some());
+        let (_, _) = cache.result(1, 3, || Ok(metrics(3)));
+        assert!(cache.peek_result(1, 1).is_some(), "probed key survives");
+        assert!(cache.peek_result(1, 2).is_none(), "LRU victim evicted");
+    }
+
+    #[test]
     fn errors_are_cached_too() {
         let cache = ExploreCache::new();
         let (r, _) = cache.result(9, 9, || Err("infeasible".into()));
         assert!(r.is_err());
-        let (r, computed) = cache.result(9, 9, || Ok(metrics(1)));
+        let (r, tier) = cache.result(9, 9, || Ok(metrics(1)));
         assert!(r.is_err(), "the cached error wins");
-        assert!(!computed);
+        assert_eq!(tier, Tier::Hot);
     }
 
     #[test]
     fn forget_reopens_the_key() {
         let cache = ExploreCache::new();
-        let (_, computed) = cache.result(5, 5, || Err("cancelled".into()));
-        assert!(computed);
+        let (_, tier) = cache.result(5, 5, || Err("cancelled".into()));
+        assert_eq!(tier, Tier::Cold);
         cache.forget(5, 5);
-        let (r, computed) = cache.result(5, 5, || Ok(metrics(3)));
-        assert!(computed, "a forgotten key recomputes");
+        let (r, tier) = cache.result(5, 5, || Ok(metrics(3)));
+        assert_eq!(tier, Tier::Cold, "a forgotten key recomputes");
         assert_eq!(r.unwrap().csteps, 3);
     }
 
     #[test]
     fn cap_bounds_entries_and_evicts_lru() {
         let cache = ExploreCache::with_caps(4, 2);
-        let (_, c) = cache.result(1, 1, || Ok(metrics(1)));
-        assert!(c);
-        let (_, c) = cache.result(1, 2, || Ok(metrics(2)));
-        assert!(c);
+        let (_, t) = cache.result(1, 1, || Ok(metrics(1)));
+        assert_eq!(t, Tier::Cold);
+        let (_, t) = cache.result(1, 2, || Ok(metrics(2)));
+        assert_eq!(t, Tier::Cold);
         // Touch key 1 so key 2 is the LRU victim.
-        let (_, c) = cache.result(1, 1, || panic!("cached"));
-        assert!(!c);
-        let (_, c) = cache.result(1, 3, || Ok(metrics(3)));
-        assert!(c);
+        let (_, t) = cache.result(1, 1, || panic!("cached"));
+        assert_eq!(t, Tier::Hot);
+        let (_, t) = cache.result(1, 3, || Ok(metrics(3)));
+        assert_eq!(t, Tier::Cold);
         assert_eq!(cache.result_entries(), 2);
         assert_eq!(cache.results_stats().evictions, 1);
         // Key 2 was evicted and recomputes (displacing key 1, the new
         // LRU); key 3 — most recently inserted — survives throughout.
-        let (_, c) = cache.result(1, 2, || Ok(metrics(2)));
-        assert!(c, "the LRU victim recomputes");
+        let (_, t) = cache.result(1, 2, || Ok(metrics(2)));
+        assert_eq!(t, Tier::Cold, "the LRU victim recomputes");
         assert_eq!(cache.results_stats().evictions, 2);
         let (r, _) = cache.result(1, 3, || panic!("must still be cached"));
         assert_eq!(r.unwrap().csteps, 3);
@@ -327,5 +452,72 @@ mod tests {
             }
         });
         assert_eq!(runs.load(Ordering::SeqCst), 1);
+    }
+
+    fn disk_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mfhls-cache-tier-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_tier_answers_after_a_restart_without_recomputing() {
+        let dir = disk_dir("warm");
+        {
+            let cache = ExploreCache::with_disk(4, 4, &dir).unwrap();
+            let (_, t) = cache.result(8, 8, || Ok(metrics(6)));
+            assert_eq!(t, Tier::Cold);
+            assert_eq!(cache.disk_stats().unwrap().writes, 1);
+            // While the memory slot is live, disk is not consulted.
+            let (_, t) = cache.result(8, 8, || panic!("cached"));
+            assert_eq!(t, Tier::Hot);
+        }
+        // A "restarted daemon": fresh memory, same directory.
+        let cache = ExploreCache::with_disk(4, 4, &dir).unwrap();
+        let (r, t) = cache.result(8, 8, || panic!("disk must answer"));
+        assert_eq!(t, Tier::Warm);
+        assert_eq!(r.unwrap().csteps, 6);
+        // The disk hit populated the memory slot: next lookup is Hot.
+        let (_, t) = cache.result(8, 8, || panic!("cached"));
+        assert_eq!(t, Tier::Hot);
+        let d = cache.disk_stats().unwrap();
+        assert_eq!((d.hits, d.corrupt), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_tier_skips_errors_and_recomputes_truncated_entries_once() {
+        let dir = disk_dir("err");
+        let cache = ExploreCache::with_disk(4, 4, &dir).unwrap();
+        let (_, t) = cache.result(1, 1, || Err("infeasible".into()));
+        assert_eq!(t, Tier::Cold);
+        assert_eq!(
+            cache.disk_stats().unwrap().writes,
+            0,
+            "errors stay off disk"
+        );
+
+        let (_, t) = cache.result(2, 2, || Ok(metrics(3)));
+        assert_eq!(t, Tier::Cold);
+        // Truncate the entry behind the cache's back, then restart.
+        let path = {
+            let reopened = ExploreCache::with_disk(4, 4, &dir).unwrap();
+            let path = reopened.disk.as_ref().unwrap().entry_path(2, 2);
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+            let (r, t) = reopened.result(2, 2, || Ok(metrics(3)));
+            assert_eq!(t, Tier::Cold, "truncated entry recomputes");
+            assert_eq!(r.unwrap().csteps, 3);
+            let d = reopened.disk_stats().unwrap();
+            assert_eq!(
+                (d.corrupt, d.writes),
+                (1, 1),
+                "recompute rewrites the entry"
+            );
+            path
+        };
+        assert!(path.exists(), "the repaired entry is back on disk");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

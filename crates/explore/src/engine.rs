@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use hls_celllib::{ClockPeriod, Library, TimingSpec};
@@ -15,7 +16,7 @@ use moveframe::mfsa::{self, DesignStyle, MfsaConfig, Weights};
 use moveframe::pipeline::{pipelined_fu_counts, schedule_structural};
 use moveframe::CancelToken;
 
-use crate::cache::ExploreCache;
+use crate::cache::{ExploreCache, Tier};
 use crate::fingerprint::dfg_fingerprint;
 use crate::pareto::{pareto_front, FrontEntry};
 use crate::point::{Algorithm, DesignPoint};
@@ -230,6 +231,20 @@ impl Engine {
         }
     }
 
+    /// An engine whose result cache is additionally backed by the
+    /// content-addressed on-disk tier rooted at `dir` (see
+    /// [`ExploreCache::with_disk`]): a fresh engine over a populated
+    /// directory serves previously-computed points without scheduling.
+    pub fn with_disk(
+        frames_cap: usize,
+        results_cap: usize,
+        dir: &std::path::Path,
+    ) -> std::io::Result<Engine> {
+        Ok(Engine {
+            cache: ExploreCache::with_disk(frames_cap, results_cap, dir)?,
+        })
+    }
+
     /// Access to the cache (for tests and diagnostics).
     pub fn cache(&self) -> &ExploreCache {
         &self.cache
@@ -254,9 +269,35 @@ impl Engine {
         cancel: &CancelToken,
         instr: &mut Instrument<'_>,
     ) -> (Result<PointMetrics, String>, bool) {
-        let dfg_fp = dfg_fingerprint(dfg, spec);
-        let library = Library::ncr_like();
-        self.lookup_point(dfg_fp, dfg, spec, point, &library, cancel, instr)
+        self.schedule_point_fp(dfg_fingerprint(dfg, spec), dfg, spec, point, cancel, instr)
+    }
+
+    /// [`Engine::schedule_point`] with the DFG fingerprint supplied by
+    /// the caller — the serving hot path computes it once per request
+    /// and reuses it for both the warm probe and this fallback.
+    pub fn schedule_point_fp(
+        &self,
+        dfg_fp: u64,
+        dfg: &Dfg,
+        spec: &TimingSpec,
+        point: &DesignPoint,
+        cancel: &CancelToken,
+        instr: &mut Instrument<'_>,
+    ) -> (Result<PointMetrics, String>, bool) {
+        self.lookup_point(dfg_fp, dfg, spec, point, shared_library(), cancel, instr)
+    }
+
+    /// A non-computing probe of the memory result tier for
+    /// `(dfg_fp, point)`: `Some` iff a populated, non-cancelled entry
+    /// is resident. Never blocks on compute or disk, so an event loop
+    /// may call it inline; a `None` must fall back to
+    /// [`Engine::schedule_point_fp`] on a worker.
+    pub fn peek_point(
+        &self,
+        dfg_fp: u64,
+        point: &DesignPoint,
+    ) -> Option<Result<PointMetrics, String>> {
+        self.cache.peek_result(dfg_fp, point.fingerprint())
     }
 
     /// The shared cache-lookup path behind [`Engine::schedule_point`]
@@ -288,11 +329,14 @@ impl Engine {
         };
 
         let point_fp = point.fingerprint();
-        let (mut outcome, mut computed) = self.cache.result(dfg_fp, point_fp, || {
+        let (mut outcome, mut tier) = self.cache.result(dfg_fp, point_fp, || {
             run_point(dfg, spec, point, library, frames.clone(), cancel, instr)
         });
+        // Cancelled results never reach the disk tier, so the hygiene
+        // below only ever concerns freshly computed or memory-cached
+        // entries.
         if is_cancelled(&outcome) {
-            if computed {
+            if tier == Tier::Cold {
                 // Our own deadline fired mid-compute: hand the error to
                 // this caller, but do not let it poison the key.
                 self.cache.forget(dfg_fp, point_fp);
@@ -300,23 +344,23 @@ impl Engine {
                 // A racing request's cancellation got cached before we
                 // arrived; this request is live, so recompute.
                 self.cache.forget(dfg_fp, point_fp);
-                (outcome, computed) = self.cache.result(dfg_fp, point_fp, || {
+                (outcome, tier) = self.cache.result(dfg_fp, point_fp, || {
                     run_point(dfg, spec, point, library, frames, cancel, instr)
                 });
-                if computed && is_cancelled(&outcome) {
+                if tier == Tier::Cold && is_cancelled(&outcome) {
                     self.cache.forget(dfg_fp, point_fp);
                 }
             }
         }
         instr.inc(
-            if computed {
-                "explore.cache.miss"
-            } else {
-                "explore.cache.hit"
+            match tier {
+                Tier::Hot => "explore.cache.hit",
+                Tier::Warm => "explore.cache.disk_hit",
+                Tier::Cold => "explore.cache.miss",
             },
             1,
         );
-        (outcome, !computed)
+        (outcome, tier != Tier::Cold)
     }
 
     /// Explores `points` on `dfg` under `spec` and reduces to a Pareto
@@ -341,7 +385,7 @@ impl Engine {
             opts.threads
         };
         let dfg_fp = dfg_fingerprint(dfg, spec);
-        let library = Library::ncr_like();
+        let library = shared_library();
         let evictions_before =
             self.cache.frames_stats().evictions + self.cache.results_stats().evictions;
 
@@ -358,7 +402,7 @@ impl Engine {
                 dfg,
                 spec,
                 point,
-                &library,
+                library,
                 &CancelToken::never(),
                 &mut instr,
             );
@@ -460,6 +504,14 @@ fn fu_point_metrics(
 /// Whether an outcome is a cooperative-cancellation abort (matched by
 /// the stable `"cancelled"` prefix of
 /// [`moveframe::MoveFrameError::Cancelled`]'s display form).
+/// The NCR-like library, constructed once per process: every engine
+/// query prices against the same table, and the serving hot path
+/// must not rebuild it per request.
+fn shared_library() -> &'static Library {
+    static LIBRARY: OnceLock<Library> = OnceLock::new();
+    LIBRARY.get_or_init(Library::ncr_like)
+}
+
 fn is_cancelled(outcome: &Result<PointMetrics, String>) -> bool {
     outcome
         .as_ref()

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod diskcache;
 mod engine;
 mod fingerprint;
 mod gridfile;
@@ -32,7 +33,8 @@ mod pareto;
 mod point;
 mod pool;
 
-pub use cache::{CacheStats, ExploreCache, DEFAULT_FRAMES_CAP, DEFAULT_RESULTS_CAP};
+pub use cache::{CacheStats, ExploreCache, Tier, DEFAULT_FRAMES_CAP, DEFAULT_RESULTS_CAP};
+pub use diskcache::{DiskCache, DiskStats, DISK_FORMAT_VERSION};
 pub use engine::{
     explore, BankPressure, Engine, ExploreOptions, ExploreReport, MfsaDetail, PointMetrics,
     PointResult,

@@ -49,6 +49,12 @@ pub struct ProfileReport {
     pub memo_hits: u64,
     /// MFSA reuse-cost memo fills (`mfsa.reuse_memo.fills`).
     pub memo_fills: u64,
+    /// Memo fills answered by the safe one-op mux insertion rule
+    /// without a repack (`mfsa.reuse_memo.insert_hits`).
+    pub memo_insert_hits: u64,
+    /// Memo fills that fell back to a full repack
+    /// (`mfsa.reuse_memo.insert_fallbacks`).
+    pub memo_insert_fallbacks: u64,
     /// Liapunov lower bounds computed by the pruned MFSA search
     /// (`mfsa.bound.evals`) — the full candidate universe; the counted
     /// energy evaluations are the bound survivors.
@@ -106,6 +112,8 @@ impl ProfileReport {
             bounds_boundary_walks: metrics.counter("mfs.bounds.boundary_walks"),
             memo_hits: metrics.counter("mfsa.reuse_memo.hits"),
             memo_fills: metrics.counter("mfsa.reuse_memo.fills"),
+            memo_insert_hits: metrics.counter("mfsa.reuse_memo.insert_hits"),
+            memo_insert_fallbacks: metrics.counter("mfsa.reuse_memo.insert_fallbacks"),
             bound_evals: metrics.counter("mfsa.bound.evals"),
             cut_steps: metrics.counter("mfsa.prune.cut_steps"),
             cut_instances: metrics.counter("mfsa.prune.cut_instances"),
@@ -143,6 +151,13 @@ impl ProfileReport {
             "reuse                {} memo hits, {} memo fills, {} frames reused",
             self.memo_hits, self.memo_fills, self.frames_reused
         );
+        if self.memo_insert_hits + self.memo_insert_fallbacks > 0 {
+            let _ = writeln!(
+                out,
+                "mux insertion        {} neutral inserts, {} repack fallbacks",
+                self.memo_insert_hits, self.memo_insert_fallbacks
+            );
+        }
         if self.bound_evals > 0 {
             let _ = writeln!(
                 out,
@@ -226,7 +241,8 @@ impl ProfileReport {
             "{{\"summary\":{{\"counted_evals\":{},\"attributed_evals\":{},\"coverage_pct\":{:.3},\
              \"frames_computed\":{},\"moves_committed\":{},\"local_reschedules\":{},\
              \"bounds_fast_path\":{},\"bounds_boundary_walks\":{},\
-             \"memo_hits\":{},\"memo_fills\":{},\"frames_reused\":{},\
+             \"memo_hits\":{},\"memo_fills\":{},\
+             \"memo_insert_hits\":{},\"memo_insert_fallbacks\":{},\"frames_reused\":{},\
              \"bound_evals\":{},\"cut_steps\":{},\"cut_instances\":{}}}",
             self.counted_evals,
             self.attributed_evals,
@@ -238,6 +254,8 @@ impl ProfileReport {
             self.bounds_boundary_walks,
             self.memo_hits,
             self.memo_fills,
+            self.memo_insert_hits,
+            self.memo_insert_fallbacks,
             self.frames_reused,
             self.bound_evals,
             self.cut_steps,

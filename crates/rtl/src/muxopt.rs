@@ -8,7 +8,7 @@
 //! possibilities for arranging input signals for each commutative
 //! operation in L1 and L2."
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::Hash;
 
 /// One operation's operand sources as seen by the ALU's two input ports.
@@ -61,11 +61,11 @@ impl<S: Ord> MuxPacking<S> {
 /// assert!(packing.swapped[1]);
 /// ```
 pub fn pack<S: Ord + Hash + Clone>(ops: &[MuxOp<S>]) -> MuxPacking<S> {
-    let (cnt1, cnt2, swapped) = pack_counts(ops);
+    let p = pack_counts(ops);
     MuxPacking {
-        l1: cnt1.into_keys().collect(),
-        l2: cnt2.into_keys().collect(),
-        swapped,
+        l1: p.cnt1.into_keys().collect(),
+        l2: p.cnt2.into_keys().collect(),
+        swapped: p.swapped,
     }
 }
 
@@ -73,14 +73,23 @@ pub fn pack<S: Ord + Hash + Clone>(ops: &[MuxOp<S>]) -> MuxPacking<S> {
 /// contribution counts plus the chosen orientations. This is the state
 /// the MFSA inner loop keeps alive between candidate evaluations —
 /// [`pack_with_seed`] restarts from it instead of replaying the three
-/// cold passes. A safe one-op insertion rule on top of this state is
-/// deferred (see ROADMAP); today the seed must describe exactly the
-/// ops it was built from.
+/// cold passes, and [`PackSeed::try_insert`] extends it by one op when
+/// that is provably cost-neutral.
 #[derive(Debug, Clone)]
 pub struct PackSeed<S> {
     cnt1: HashMap<S, usize>,
     cnt2: HashMap<S, usize>,
     swapped: Vec<bool>,
+    /// Port keys claimed by the fixed (pass-1) operations alone — the
+    /// coverage a fixed insertion must have to leave passes 1–2
+    /// undisturbed.
+    fixed1: HashSet<S>,
+    fixed2: HashSet<S>,
+    /// Whether the refinement pass was a no-op, i.e. the greedy pass-2
+    /// state *is* the committed fixpoint. Only then is an insertion's
+    /// replay of the cold construction predictable, so only then does
+    /// [`PackSeed::try_insert`] accept.
+    stable: bool,
 }
 
 impl<S> PackSeed<S> {
@@ -93,18 +102,93 @@ impl<S> PackSeed<S> {
     pub fn is_empty(&self) -> bool {
         self.swapped.is_empty()
     }
+
+    /// `(|L1|, |L2|)` of the committed packing.
+    pub fn cost(&self) -> (usize, usize) {
+        (self.cnt1.len(), self.cnt2.len())
+    }
+}
+
+impl<S: Ord + Hash + Clone> PackSeed<S> {
+    /// The safe one-op insertion rule: decides whether appending `op`
+    /// to the packed instance is **provably cost-neutral** — the cold
+    /// three-pass pack of `ops ∪ {op}` commits the exact same source
+    /// lists (and orientations) as the seed, so the mux cost delta is
+    /// zero and no repack is needed. Returns the orientation the cold
+    /// pack would choose (`Some(swapped)`), or `None` when neutrality
+    /// cannot be established and the caller must fall back to a full
+    /// repack.
+    ///
+    /// The proof obligations behind the `Some` cases:
+    ///
+    /// * the seed must be refinement-**stable** (pass 3 changed
+    ///   nothing), so the greedy pass-2 state equals the committed
+    ///   fixpoint and the cold replay below reasons about the same
+    ///   state the seed stores;
+    /// * a **commutative** candidate is appended last, so cold passes
+    ///   1–2 replay the seed's decisions verbatim; if either
+    ///   orientation finds both sources already on the respective
+    ///   ports, greedy adds no lines (preferring unswapped on the
+    ///   0-vs-0 tie, mirrored here);
+    /// * a **fixed** (non-commutative or unary) candidate joins pass 1,
+    ///   so its keys must already be claimed by the *fixed* ops —
+    ///   then every `contains_key` query pass 2 makes is unchanged and
+    ///   the earlier greedy decisions replay verbatim;
+    /// * refinement stays a no-op afterwards: a covered insertion only
+    ///   increments refcounts on existing lines, which can only turn
+    ///   sole-contributor lines into shared ones — every flip delta
+    ///   weakly increases, and the candidate's own flip cannot profit
+    ///   because both its lines are shared (count ≥ 2).
+    pub fn neutral_insertion(&self, op: &MuxOp<S>) -> Option<bool> {
+        if !self.stable {
+            return None;
+        }
+        if !op.commutative || op.right.is_none() {
+            let right_ok = match &op.right {
+                Some(r) => self.fixed2.contains(r),
+                None => true,
+            };
+            return (self.fixed1.contains(&op.left) && right_ok).then_some(false);
+        }
+        let r = op.right.as_ref().expect("unary handled above");
+        if self.cnt1.contains_key(&op.left) && self.cnt2.contains_key(r) {
+            Some(false)
+        } else if self.cnt1.contains_key(r) && self.cnt2.contains_key(&op.left) {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Applies [`Self::neutral_insertion`]: extends the seed by `op`
+    /// without a repack when the insertion is provably cost-neutral
+    /// (the seed then covers `ops ∪ {op}` and [`pack_with_seed`] on the
+    /// extended list reproduces the cold pack exactly). Returns whether
+    /// the op was absorbed; on `false` the seed is unchanged and the
+    /// caller owns the full-repack fallback.
+    pub fn try_insert(&mut self, op: &MuxOp<S>) -> bool {
+        let Some(swap) = self.neutral_insertion(op) else {
+            return false;
+        };
+        let (a, b) = if swap {
+            (op.right.as_ref().expect("only binary ops swap"), &op.left)
+        } else {
+            (&op.left, op.right.as_ref().unwrap_or(&op.left))
+        };
+        add(&mut self.cnt1, a);
+        if op.right.is_some() {
+            add(&mut self.cnt2, b);
+        }
+        self.swapped.push(swap);
+        true
+    }
 }
 
 /// Packs `ops` and returns the committed refcount state instead of the
 /// sorted source lists — the handle an instance keeps for later
-/// [`pack_with_seed`] restarts.
+/// [`pack_with_seed`] restarts and [`PackSeed::try_insert`] extensions.
 pub fn pack_seed<S: Ord + Hash + Clone>(ops: &[MuxOp<S>]) -> PackSeed<S> {
-    let (cnt1, cnt2, swapped) = pack_counts(ops);
-    PackSeed {
-        cnt1,
-        cnt2,
-        swapped,
-    }
+    pack_counts(ops)
 }
 
 /// Re-packs an instance starting from its committed refcount multiset:
@@ -113,7 +197,7 @@ pub fn pack_seed<S: Ord + Hash + Clone>(ops: &[MuxOp<S>]) -> PackSeed<S> {
 /// pass-3 fixpoint [`pack`] commits, so the result is identical to the
 /// cold pack — the proptest below pins this). Restarting is what makes
 /// the state reusable across MFSA candidate evaluations; extending the
-/// op list under a seed (safe one-op insertion) is deferred.
+/// op list under a seed is [`PackSeed::try_insert`].
 ///
 /// # Panics
 ///
@@ -146,8 +230,7 @@ pub fn pack_with_seed<S: Ord + Hash + Clone>(
 /// its `f_MUX` delta, and skipping the list construction keeps the hot
 /// path allocation-free beyond the count maps themselves.
 pub fn pack_cost<S: Ord + Hash + Clone>(ops: &[MuxOp<S>]) -> (usize, usize) {
-    let (cnt1, cnt2, _) = pack_counts(ops);
-    (cnt1.len(), cnt2.len())
+    pack_counts(ops).cost()
 }
 
 /// The shared constructive core: contribution counts per port plus the
@@ -156,9 +239,7 @@ pub fn pack_cost<S: Ord + Hash + Clone>(ops: &[MuxOp<S>]) -> (usize, usize) {
 /// checks), never iterates, so hashing cannot change any decision;
 /// [`pack`] sorts the surviving keys at the end, which is where the
 /// deterministic `l1`/`l2` order comes from.
-fn pack_counts<S: Ord + Hash + Clone>(
-    ops: &[MuxOp<S>],
-) -> (HashMap<S, usize>, HashMap<S, usize>, Vec<bool>) {
+fn pack_counts<S: Ord + Hash + Clone>(ops: &[MuxOp<S>]) -> PackSeed<S> {
     // Multiset view of the ports: every op contributes exactly one
     // source line to port 1 and (when binary) one to port 2 under its
     // current orientation; |L1| and |L2| are the distinct-key counts.
@@ -178,6 +259,8 @@ fn pack_counts<S: Ord + Hash + Clone>(
             }
         }
     }
+    let fixed1: HashSet<S> = cnt1.keys().cloned().collect();
+    let fixed2: HashSet<S> = cnt2.keys().cloned().collect();
 
     // Pass 2: commutative operations, greedy orientation. Like the
     // original set-based construction, each op only sees the lines the
@@ -202,9 +285,16 @@ fn pack_counts<S: Ord + Hash + Clone>(
     }
 
     // Pass 3: re-examine orientations now that all sources are known.
-    refine_orientations(ops, &mut cnt1, &mut cnt2, &mut swapped);
+    let stable = !refine_orientations(ops, &mut cnt1, &mut cnt2, &mut swapped);
 
-    (cnt1, cnt2, swapped)
+    PackSeed {
+        cnt1,
+        cnt2,
+        swapped,
+        fixed1,
+        fixed2,
+        stable,
+    }
 }
 
 fn add<S: Ord + Hash + Clone>(cnt: &mut HashMap<S, usize>, s: &S) {
@@ -229,13 +319,16 @@ fn remove<S: Ord + Hash + Clone>(cnt: &mut HashMap<S, usize>, s: &S) {
 /// flipped total is computed from the contribution counts: dropping
 /// this op's current sources frees a line only when it was the sole
 /// contributor, and its swapped sources cost a line only when nobody
-/// else supplies them.
+/// else supplies them. Returns whether any flip was taken — `false`
+/// means the input state already was the committed fixpoint, the
+/// stability [`PackSeed::try_insert`] requires.
 fn refine_orientations<S: Ord + Hash + Clone>(
     ops: &[MuxOp<S>],
     cnt1: &mut HashMap<S, usize>,
     cnt2: &mut HashMap<S, usize>,
     swapped: &mut [bool],
-) {
+) -> bool {
+    let mut any = false;
     let mut changed = true;
     while changed {
         changed = false;
@@ -270,9 +363,11 @@ fn refine_orientations<S: Ord + Hash + Clone>(
                 remove(cnt2, cur_b);
                 add(cnt2, cur_a);
                 changed = true;
+                any = true;
             }
         }
     }
+    any
 }
 
 #[cfg(test)]
@@ -414,6 +509,45 @@ mod tests {
             prop_assert_eq!(pack_with_seed(&ops, &seed), pack(&ops));
         }
 
+        /// The one-op insertion rule differential: whenever
+        /// `try_insert` accepts a candidate, the cold three-pass pack
+        /// of the extended op list must commit the **identical**
+        /// packing — same lists, same orientations, and in particular
+        /// the same `(|L1|, |L2|)` as before the insertion (the
+        /// cost-neutrality the MFSA pricing fast path relies on).
+        /// Whenever it declines, the seed must be untouched.
+        #[test]
+        fn neutral_insertion_matches_the_cold_pack(
+            ops in proptest::collection::vec(
+                (0u8..6, 0u8..6, 0u8..8),
+                0..12,
+            ),
+            candidate in (0u8..6, 0u8..6, 0u8..8),
+        ) {
+            let shape = |&(l, r, bits): &(u8, u8, u8)| MuxOp {
+                left: l,
+                right: (bits != 0).then_some(r),
+                commutative: bits & 2 != 0,
+            };
+            let ops: Vec<MuxOp<u8>> = ops.iter().map(shape).collect();
+            let c = shape(&candidate);
+            let mut seed = pack_seed(&ops);
+            let cost_before = seed.cost();
+            let mut extended = ops.clone();
+            extended.push(c);
+            if seed.try_insert(&c) {
+                prop_assert_eq!(seed.len(), extended.len());
+                prop_assert_eq!(seed.cost(), cost_before);
+                let cold = pack(&extended);
+                prop_assert_eq!((cold.l1.len(), cold.l2.len()), cost_before);
+                prop_assert_eq!(pack_with_seed(&extended, &seed), cold);
+            } else {
+                prop_assert_eq!(seed.len(), ops.len());
+                prop_assert_eq!(seed.cost(), cost_before);
+                prop_assert_eq!(pack_with_seed(&ops, &seed), pack(&ops));
+            }
+        }
+
         /// From an arbitrary (worst-orientation) refcount state the
         /// shared refinement pass must still terminate on a packing
         /// that covers every operation and is no worse than the state
@@ -474,10 +608,16 @@ mod tests {
                 *cnt2.entry(b).or_insert(0) += 1;
             }
         }
+        let fixed1 = cnt1.keys().copied().collect();
+        let fixed2 = cnt2.keys().copied().collect();
         PackSeed {
             cnt1,
             cnt2,
             swapped,
+            fixed1,
+            fixed2,
+            // An arbitrary orientation vector is not a known fixpoint.
+            stable: false,
         }
     }
 
@@ -549,6 +689,69 @@ mod tests {
             assert!(p.l1.contains(&x), "op {i} port-1 source missing");
             assert!(p.l2.contains(&y), "op {i} port-2 source missing");
         }
+    }
+
+    #[test]
+    fn insertion_accepts_covered_ops_and_declines_new_lines() {
+        // sub(a,b) fixes a→L1, b→L2; add(b,a) swaps onto the same lines.
+        let ops = [op("a", "b", false), op("b", "a", true)];
+        let mut seed = pack_seed(&ops);
+        assert_eq!(seed.cost(), (1, 1));
+
+        // A commutative candidate whose swap orientation is covered.
+        let covered = op("b", "a", true);
+        assert_eq!(seed.neutral_insertion(&covered), Some(true));
+
+        // A fixed candidate matching the pass-1 claims verbatim.
+        let fixed = op("a", "b", false);
+        assert_eq!(seed.neutral_insertion(&fixed), Some(false));
+
+        // A unary candidate is covered by port 1 alone.
+        let unary = MuxOp {
+            left: "a".to_string(),
+            right: None,
+            commutative: false,
+        };
+        assert_eq!(seed.neutral_insertion(&unary), Some(false));
+
+        // Any new source line forces the full-repack fallback.
+        let fresh = op("c", "b", true);
+        assert_eq!(seed.neutral_insertion(&fresh), None);
+        assert!(!seed.try_insert(&fresh));
+        assert_eq!(seed.len(), 2);
+
+        // Absorbing the covered op keeps the cost and grows the seed.
+        assert!(seed.try_insert(&covered));
+        assert_eq!(seed.len(), 3);
+        assert_eq!(seed.cost(), (1, 1));
+    }
+
+    #[test]
+    fn insertion_is_conservative_without_a_known_fixpoint() {
+        // A seed reconstructed from raw orientations is not a known
+        // refinement fixpoint, so even a fully covered candidate must
+        // be declined.
+        let ops = vec![MuxOp {
+            left: 1u8,
+            right: Some(2),
+            commutative: true,
+        }];
+        let seed = seed_from_orientations(&ops, vec![false]);
+        assert_eq!(seed.neutral_insertion(&ops[0]), None);
+    }
+
+    #[test]
+    fn fixed_insertion_requires_fixed_coverage() {
+        // b→L1 and a→L2 are claimed only by the *commutative* op, so a
+        // non-commutative sub(b,a) would join pass 1 and perturb the
+        // greedy replay — the rule must decline even though the ports
+        // cover it.
+        let ops = [op("b", "a", true)];
+        let seed = pack_seed(&ops);
+        assert_eq!(seed.cost(), (1, 1));
+        assert_eq!(seed.neutral_insertion(&op("b", "a", false)), None);
+        // The commutative twin is covered and accepted.
+        assert_eq!(seed.neutral_insertion(&op("b", "a", true)), Some(false));
     }
 
     #[test]

@@ -14,15 +14,15 @@
 //! acceptor), 504 deadline exceeded.
 
 use std::borrow::Cow;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use hls_benchmarks::classic;
 use hls_celllib::{ClockPeriod, Library, OpKind, TimingSpec};
 use hls_dfg::{parse_dfg, Dfg, FuClass};
-use hls_explore::{Algorithm, DesignPoint, Engine, PointMetrics};
+use hls_explore::{default_threads, run_indexed, Algorithm, DesignPoint, Engine, PointMetrics};
 use hls_schedule::render_schedule;
 use hls_telemetry::{Instrument, Metrics, NullSink};
 use moveframe::mfs::MfsConfig;
@@ -48,11 +48,15 @@ pub enum Emit {
 /// One fully parsed scheduling job.
 #[derive(Debug, Clone)]
 pub struct Job {
-    /// The graph to schedule.
-    pub dfg: Dfg,
+    /// The graph to schedule. Shared: benchmark graphs are built once
+    /// per process, and a parsed inline DFG is not cloned per tier.
+    pub dfg: Arc<Dfg>,
     /// The timing model, derived from the chaining/multiplier knobs
     /// exactly as the CLI derives it.
     pub spec: TimingSpec,
+    /// The content fingerprint of `(dfg, spec)`, computed once at
+    /// parse time and shared by the warm probe and the engine lookup.
+    pub dfg_fp: u64,
     /// The design point (algorithm × constraint × knobs).
     pub point: DesignPoint,
     /// Requested output form.
@@ -71,13 +75,29 @@ pub struct AppState {
 
 impl AppState {
     /// State with a result cache capped at `cache_cap` entries and an
-    /// optional default per-request deadline.
+    /// optional default per-request deadline (memory-only cache).
     pub fn new(cache_cap: usize, default_deadline_ms: Option<u64>) -> AppState {
-        AppState {
-            engine: Engine::with_caps(hls_explore::DEFAULT_FRAMES_CAP, cache_cap),
+        Self::with_options(cache_cap, default_deadline_ms, None)
+            .expect("a memory-only state does no I/O")
+    }
+
+    /// Like [`AppState::new`], optionally backing the result cache
+    /// with a content-addressed on-disk layer at `cache_dir` — warm
+    /// answers then survive daemon restarts.
+    pub fn with_options(
+        cache_cap: usize,
+        default_deadline_ms: Option<u64>,
+        cache_dir: Option<&std::path::Path>,
+    ) -> std::io::Result<AppState> {
+        let engine = match cache_dir {
+            Some(dir) => Engine::with_disk(hls_explore::DEFAULT_FRAMES_CAP, cache_cap, dir)?,
+            None => Engine::with_caps(hls_explore::DEFAULT_FRAMES_CAP, cache_cap),
+        };
+        Ok(AppState {
+            engine,
             metrics: Mutex::new(Metrics::new()),
             default_deadline_ms,
-        }
+        })
     }
 
     /// The exploration engine (cache included).
@@ -116,6 +136,13 @@ impl AppState {
         m.inc("serve.cache.frames.hits", f.hits);
         m.inc("serve.cache.frames.misses", f.misses);
         m.inc("serve.cache.frames.evictions", f.evictions);
+        if let Some(d) = self.engine.cache().disk_stats() {
+            m.inc("serve.cache.disk.hits", d.hits);
+            m.inc("serve.cache.disk.misses", d.misses);
+            m.inc("serve.cache.disk.writes", d.writes);
+            m.inc("serve.cache.disk.corrupt", d.corrupt);
+            m.inc("serve.cache.disk.errors", d.errors);
+        }
         m
     }
 }
@@ -125,6 +152,7 @@ const INDEX: &str = "mfhls serve — synthesis as a service\n\
   GET  /healthz            liveness probe\n\
   GET  /metrics            Prometheus text metrics\n\
   POST /schedule           schedule a DFG\n\
+  POST /batch              schedule many jobs in one request\n\
 \n\
 POST a raw .dfg text body with knobs in the query string\n\
 (?alg=mfs&cs=4&limit=mul:2&chain=100&latency=2&style=2&\n\
@@ -135,7 +163,11 @@ or a flat JSON job: {\"benchmark\":\"diffeq\",\"alg\":\"mfs\",\"cs\":4}\n\
  variants diffeq_iter fir_iter ewf_iter, and memory kernels\n\
  array_fir matvec with _p1/_p4 port variants; or \"dfg\":\"...\").\n\
 iterate=N refines the one-shot mfs/mfsa schedule with N rounds of\n\
-feedback-guided re-scheduling; iterate=0 is the one-shot answer.\n";
+feedback-guided re-scheduling; iterate=0 is the one-shot answer.\n\
+/batch takes a JSON array of job objects; query-string knobs are\n\
+per-batch defaults, each job's keys override them. The answer is one\n\
+JSON array, in request order, of the same bodies /schedule would\n\
+give (errors inline as {\"error\":...,\"status\":N}).\n";
 
 /// Routes one parsed request to its handler.
 pub fn handle(state: &AppState, req: &Request, enqueued: Instant) -> Response {
@@ -147,7 +179,8 @@ pub fn handle(state: &AppState, req: &Request, enqueued: Instant) -> Response {
             Ok(job) => run_job(state, &job, enqueued),
             Err(message) => Response::error(400, &message),
         },
-        (_, "/schedule") | (_, "/healthz") | (_, "/metrics") | (_, "/") => {
+        ("POST", "/batch") => run_batch(state, req, enqueued),
+        (_, "/schedule") | (_, "/batch") | (_, "/healthz") | (_, "/metrics") | (_, "/") => {
             Response::error(405, &format!("{} is not supported here", req.method))
         }
         (_, path) => Response::error(404, &format!("no such endpoint: {path}")),
@@ -156,6 +189,32 @@ pub fn handle(state: &AppState, req: &Request, enqueued: Instant) -> Response {
 
 /// A built-in benchmark graph by name.
 pub fn benchmark(name: &str) -> Option<Dfg> {
+    benchmark_arc(name).map(|dfg| (*dfg).clone())
+}
+
+/// The build-once shared instance behind [`benchmark`]. The serving
+/// hot path resolves thousands of requests per second against the
+/// same few graphs; constructing one costs ~20µs, which at one point
+/// dominated the whole warm-hit budget.
+fn benchmark_arc(name: &str) -> Option<Arc<Dfg>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<Dfg>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(Mutex::default);
+    if let Some(dfg) = cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(name)
+    {
+        return Some(dfg.clone());
+    }
+    let dfg = Arc::new(build_benchmark(name)?);
+    cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(name.to_string(), dfg.clone());
+    Some(dfg)
+}
+
+fn build_benchmark(name: &str) -> Option<Dfg> {
     match name {
         "diffeq" => Some(classic::diffeq()),
         "fir" => Some(classic::fir(16)),
@@ -183,6 +242,23 @@ pub fn benchmark(name: &str) -> Option<Dfg> {
     }
 }
 
+/// Resolves the graph a knob set names: inline `"dfg"` text XOR a
+/// `"benchmark"` registry entry.
+fn dfg_from_knobs(knobs: &BTreeMap<String, JsonValue>) -> Result<Arc<Dfg>, String> {
+    match (knobs.get("dfg"), knobs.get("benchmark")) {
+        (Some(_), Some(_)) => Err("give either \"dfg\" or \"benchmark\", not both".into()),
+        (Some(v), None) => {
+            let text = v.as_str().ok_or("\"dfg\" must be a string")?;
+            parse_dfg(text).map(Arc::new).map_err(|e| e.to_string())
+        }
+        (None, Some(v)) => {
+            let name = v.as_str().ok_or("\"benchmark\" must be a string")?;
+            benchmark_arc(name).ok_or_else(|| format!("unknown benchmark `{name}`"))
+        }
+        (None, None) => Err("a JSON job needs \"dfg\" or \"benchmark\"".into()),
+    }
+}
+
 /// Parses the request's query string and body into a [`Job`]; the
 /// error string becomes the 400 body.
 pub fn parse_job(req: &Request) -> Result<Job, String> {
@@ -196,29 +272,21 @@ pub fn parse_job(req: &Request) -> Result<Job, String> {
     let dfg = if body.trim_start().starts_with('{') {
         let job = json::parse_flat_object(body).map_err(|e| format!("invalid JSON job: {e}"))?;
         knobs.extend(job);
-        match (knobs.get("dfg").cloned(), knobs.get("benchmark").cloned()) {
-            (Some(_), Some(_)) => {
-                return Err("give either \"dfg\" or \"benchmark\", not both".into())
-            }
-            (Some(v), None) => {
-                let text = v.as_str().ok_or("\"dfg\" must be a string")?;
-                parse_dfg(text).map_err(|e| e.to_string())?
-            }
-            (None, Some(v)) => {
-                let name = v.as_str().ok_or("\"benchmark\" must be a string")?;
-                benchmark(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?
-            }
-            (None, None) => return Err("a JSON job needs \"dfg\" or \"benchmark\"".into()),
-        }
+        dfg_from_knobs(&knobs)?
     } else if body.trim().is_empty() {
-        match knobs.get("benchmark").and_then(|v| v.as_str()) {
-            Some(name) => benchmark(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?,
-            None => return Err("empty body: POST a .dfg text or a JSON job".into()),
+        if !knobs.contains_key("benchmark") && !knobs.contains_key("dfg") {
+            return Err("empty body: POST a .dfg text or a JSON job".into());
         }
+        dfg_from_knobs(&knobs)?
     } else {
-        parse_dfg(body).map_err(|e| e.to_string())?
+        Arc::new(parse_dfg(body).map_err(|e| e.to_string())?)
     };
+    job_from_knobs(dfg, &knobs)
+}
 
+/// Builds a [`Job`] from a resolved graph plus its knob set — the
+/// shared back half of [`parse_job`] and the `/batch` item parser.
+fn job_from_knobs(dfg: Arc<Dfg>, knobs: &BTreeMap<String, JsonValue>) -> Result<Job, String> {
     let get_str = |k: &str| knobs.get(k).and_then(|v| v.as_str().map(str::to_string));
     let get_u32 = |k: &str| -> Result<Option<u32>, String> {
         match knobs.get(k) {
@@ -323,9 +391,11 @@ pub fn parse_job(req: &Request) -> Result<Job, String> {
                 .ok_or("`deadline_ms` must be a non-negative integer")?,
         ),
     };
+    let dfg_fp = hls_explore::dfg_fingerprint(&dfg, &spec);
     Ok(Job {
         dfg,
         spec,
+        dfg_fp,
         point,
         emit,
         deadline_ms,
@@ -424,9 +494,9 @@ pub fn run_job(state: &AppState, job: &Job, enqueued: Instant) -> Response {
             let mut metrics = Metrics::new();
             let (outcome, warm) = {
                 let mut instr = Instrument::new(&mut sink, &mut metrics);
-                state
-                    .engine
-                    .schedule_point(&job.dfg, &job.spec, &job.point, &cancel, &mut instr)
+                state.engine.schedule_point_fp(
+                    job.dfg_fp, &job.dfg, &job.spec, &job.point, &cancel, &mut instr,
+                )
             };
             state.locked_metrics().merge(&metrics);
             state.inc(
@@ -538,6 +608,116 @@ pub fn run_job(state: &AppState, job: &Job, enqueued: Instant) -> Response {
         }
     };
     response.with_deadline(deadline)
+}
+
+/// The reactor's inline warm path: answers a `POST /schedule`
+/// `emit=json` request straight from the memory result tier, with no
+/// worker handoff. `None` means "not answerable here" — hand the
+/// request to the worker pool, which owns compute, disk I/O, deadline
+/// cancellation and panic isolation. The probe never blocks, so the
+/// event loop may call it for every parsed request; a cold request
+/// pays one redundant parse (~µs) against a compute that costs
+/// milliseconds.
+pub fn try_warm(state: &AppState, req: &Request, enqueued: Instant) -> Option<Response> {
+    if req.method != "POST" || req.path != "/schedule" {
+        return None;
+    }
+    let job = parse_job(req).ok()?;
+    if job.emit != Emit::Json {
+        return None;
+    }
+    let outcome = state.engine.peek_point(job.dfg_fp, &job.point)?;
+    state.inc("serve.jobs".into(), 1);
+    state.inc("serve.jobs.warm".into(), 1);
+    state.inc("serve.fastpath.hits".into(), 1);
+    state.inc("explore.cache.hit".into(), 1);
+    let deadline = deadline_instant(state, &job, enqueued);
+    let response = match outcome {
+        Ok(m) => Response::json(200, point_json(&job.point, &m)),
+        Err(e) => error_response(state, &e),
+    };
+    Some(response.with_deadline(deadline))
+}
+
+/// Most jobs one `/batch` request may carry.
+const MAX_BATCH: usize = 256;
+
+/// `POST /batch`: a JSON array of flat job objects, answered as one
+/// JSON array in request order. Jobs fan out over the exploration
+/// crate's self-scheduling pool; the shared cache still computes each
+/// unique point exactly once, and every item's body is byte-identical
+/// to what `/schedule` would have answered (so batching is a pure
+/// transport optimisation). Per-job failures come back inline as
+/// `{"error":...,"status":N}` items; only a malformed batch itself is
+/// a request-level 400.
+pub fn run_batch(state: &AppState, req: &Request, enqueued: Instant) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let items = match json::parse_flat_array(body) {
+        Ok(items) => items,
+        Err(e) => return Response::error(400, &format!("invalid batch body: {e}")),
+    };
+    if items.is_empty() {
+        return Response::error(400, "empty batch: send at least one job object");
+    }
+    if items.len() > MAX_BATCH {
+        return Response::error(
+            400,
+            &format!("batch of {} exceeds the {MAX_BATCH}-job cap", items.len()),
+        );
+    }
+    state.inc("serve.batch.requests".into(), 1);
+    state.inc("serve.batch.jobs".into(), items.len() as u64);
+    // Query-string knobs are batch-wide defaults; job keys override.
+    let defaults: BTreeMap<String, JsonValue> = req
+        .query
+        .iter()
+        .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+        .collect();
+    let jobs: Vec<Result<Job, String>> = items
+        .into_iter()
+        .map(|item| {
+            let mut knobs = defaults.clone();
+            knobs.extend(item);
+            let job = dfg_from_knobs(&knobs).and_then(|dfg| job_from_knobs(dfg, &knobs))?;
+            if job.emit != Emit::Json {
+                return Err("batch jobs support emit=json only".into());
+            }
+            Ok(job)
+        })
+        .collect();
+    let n = jobs.len();
+    let outputs = run_indexed(n, default_threads().min(n), |i| match &jobs[i] {
+        Ok(job) => batch_item(&run_job(state, job, enqueued)),
+        Err(message) => batch_item(&Response::error(400, message)),
+    });
+    let mut out = String::with_capacity(outputs.iter().map(String::len).sum::<usize>() + n + 3);
+    out.push('[');
+    for (i, item) in outputs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(item);
+    }
+    out.push_str("]\n");
+    Response::json(200, out)
+}
+
+/// One `/batch` response item: the `/schedule` body verbatim (minus
+/// its trailing newline) on success, or the error body with the HTTP
+/// status it would have carried spliced in.
+fn batch_item(response: &Response) -> String {
+    let body = String::from_utf8_lossy(&response.body);
+    let trimmed = body.trim_end();
+    if response.status == 200 {
+        return trimmed.to_string();
+    }
+    match trimmed.strip_suffix('}') {
+        Some(head) => format!("{head},\"status\":{}}}", response.status),
+        None => format!("{{\"error\":\"internal\",\"status\":{}}}", response.status),
+    }
 }
 
 #[cfg(test)]
@@ -851,6 +1031,76 @@ mod tests {
             let r = handle(&s, &request("POST", target, TOY), now);
             assert_eq!(r.status, 422, "{target}");
         }
+    }
+
+    #[test]
+    fn batch_matches_schedule_item_for_item_in_request_order() {
+        let s = state();
+        let now = Instant::now();
+        let single = |job: &str| {
+            let r = handle(&s, &request("POST", "/schedule", job), now);
+            assert_eq!(r.status, 200, "{job}");
+            String::from_utf8(r.body).unwrap().trim_end().to_string()
+        };
+        let cs4 = single(r#"{"benchmark":"diffeq","alg":"mfs","cs":4}"#);
+        let cs6 = single(r#"{"benchmark":"diffeq","alg":"mfs","cs":6}"#);
+        // Query knobs are defaults; items override or extend them. The
+        // batch interleaves successes with per-item failures.
+        let batch = handle(
+            &s,
+            &request(
+                "POST",
+                "/batch?alg=mfs&benchmark=diffeq",
+                r#"[{"cs":4},{"cs":6},{"benchmark":"nope","cs":4},{"cs":1},{"benchmark":"ewf","alg":"mfsa","cs":18,"deadline_ms":0},{"cs":4,"emit":"text"}]"#,
+            ),
+            now,
+        );
+        assert_eq!(batch.status, 200);
+        let body = String::from_utf8(batch.body).unwrap();
+        assert!(body.starts_with('[') && body.ends_with("]\n"), "{body}");
+        // Success items are byte-identical to /schedule bodies, in
+        // request order; failures carry their would-be status inline.
+        let at = |needle: &str| {
+            body.find(needle)
+                .unwrap_or_else(|| panic!("{needle} missing"))
+        };
+        assert!(body.contains(&cs4), "{body}");
+        assert!(body.contains(&cs6), "{body}");
+        assert!(at(&cs4) < at(&cs6), "order drifted: {body}");
+        for (needle, count) in [
+            ("\"status\":400", 2),
+            ("\"status\":422", 1),
+            ("\"status\":504", 1),
+        ] {
+            assert_eq!(body.matches(needle).count(), count, "{body}");
+        }
+        assert!(at(&cs6) < at("\"status\":400"), "order drifted: {body}");
+        let m = s.metrics_snapshot();
+        assert_eq!(m.counter("serve.batch.requests"), 1);
+        assert_eq!(m.counter("serve.batch.jobs"), 6);
+        // The cs=4/cs=6 jobs were computed by the /schedule warm-up;
+        // inside the batch they are pure cache hits. The only new
+        // computes are the infeasible cs=1 item and the (cancelled,
+        // forgotten) deadline item.
+        assert_eq!(m.counter("serve.cache.results.misses"), 4);
+    }
+
+    #[test]
+    fn malformed_batches_are_request_level_400() {
+        let s = state();
+        let now = Instant::now();
+        for body in ["", "{}", "[", "[{},]", "not json", "[]"] {
+            let r = handle(&s, &request("POST", "/batch", body), now);
+            assert_eq!(r.status, 400, "{body:?}");
+        }
+        let oversized = format!("[{}]", vec!["{}"; 257].join(","));
+        let r = handle(&s, &request("POST", "/batch", &oversized), now);
+        assert_eq!(r.status, 400);
+        assert!(
+            String::from_utf8(r.body).unwrap().contains("cap"),
+            "cap error names the cap"
+        );
+        assert_eq!(handle(&s, &request("GET", "/batch", ""), now).status, 405);
     }
 
     #[test]

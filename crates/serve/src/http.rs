@@ -1,11 +1,16 @@
-//! A hand-rolled HTTP/1.1 subset over blocking `std::io` streams.
+//! A hand-rolled HTTP/1.1 subset: an incremental parser plus response
+//! serialisation.
 //!
 //! The build container is offline, so there is no tokio/hyper; the
 //! daemon speaks the minimum of HTTP/1.1 a load generator or `curl`
-//! needs: one request per connection (`Connection: close`),
-//! `Content-Length`-delimited bodies, no chunked transfer coding, no
-//! keep-alive. That subset keeps the server a plain thread-per-request
-//! loop with no protocol state machine.
+//! needs: `Content-Length`-delimited bodies, no chunked transfer
+//! coding, keep-alive and pipelining per RFC 7230 defaults. The core
+//! is [`parse_request`] — a **pure function over a byte buffer** that
+//! either consumes one complete request or asks for more bytes, which
+//! is exactly the shape the reactor's per-connection state machine
+//! needs (and what makes the parser fuzzable without sockets).
+//! [`read_request`] wraps it for blocking streams (tests, simple
+//! clients).
 
 use std::io::{self, Read, Write};
 use std::time::Instant;
@@ -50,23 +55,39 @@ pub enum HttpError {
     Io(io::Error),
 }
 
-/// Reads and parses one request from `stream`.
-pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
-    // Accumulate until the blank line ending the head.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
+/// The outcome of one [`parse_request`] attempt over a buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// One complete request. `consumed` is how many buffer bytes it
+    /// occupied (head + body); bytes past it belong to the next
+    /// pipelined request. `keep_alive` is whether the *client* allows
+    /// the connection to persist (RFC 7230: HTTP/1.1 default yes
+    /// unless `Connection: close`; HTTP/1.0 only with an explicit
+    /// `Connection: keep-alive`).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed.
+        consumed: usize,
+        /// Whether the client permits connection reuse.
+        keep_alive: bool,
+    },
+    /// The buffer holds only a prefix of a request; read more bytes.
+    Partial,
+}
+
+/// Incrementally parses one request from the front of `buf`.
+///
+/// Pure: no I/O, no state. Returns [`Parsed::Partial`] until the
+/// buffer holds a complete head **and** `Content-Length` bytes of
+/// body. Errors are terminal for the connection's input stream —
+/// after a malformed head the framing is unrecoverable.
+pub fn parse_request(buf: &[u8], max_body: usize) -> Result<Parsed, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
             return Err(HttpError::BadRequest("request head too large".into()));
         }
-        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
-        if n == 0 {
-            return Err(HttpError::Io(io::ErrorKind::UnexpectedEof.into()));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(Parsed::Partial);
     };
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| HttpError::BadRequest("request head is not UTF-8".into()))?;
@@ -81,12 +102,13 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
     let target = parts
         .next()
         .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
-    match parts.next() {
-        Some(v) if v.starts_with("HTTP/1.") => {}
+    let http11 = match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => v != "HTTP/1.0",
         _ => return Err(HttpError::BadRequest("expected an HTTP/1.x version".into())),
-    }
+    };
 
     let mut content_length: Option<usize> = None;
+    let mut keep_alive = http11;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -111,21 +133,28 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
             }
             content_length = Some(parsed);
         }
+        if name == "connection" {
+            // The token list form ("keep-alive, TE") is matched per
+            // element; `close` anywhere wins.
+            let mut close = false;
+            let mut keep = false;
+            for token in value.split(',') {
+                let token = token.trim();
+                close |= token.eq_ignore_ascii_case("close");
+                keep |= token.eq_ignore_ascii_case("keep-alive");
+            }
+            keep_alive = !close && (http11 || keep);
+        }
     }
     let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(HttpError::TooLarge);
     }
-
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
-        if n == 0 {
-            return Err(HttpError::Io(io::ErrorKind::UnexpectedEof.into()));
-        }
-        body.extend_from_slice(&chunk[..n]);
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(Parsed::Partial);
     }
-    body.truncate(content_length);
+    let body = buf[body_start..body_start + content_length].to_vec();
 
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -139,12 +168,32 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
             None => (percent_decode(pair), String::new()),
         })
         .collect();
-    Ok(Request {
-        method,
-        path: percent_decode(raw_path),
-        query,
-        body,
+    Ok(Parsed::Complete {
+        request: Request {
+            method,
+            path: percent_decode(raw_path),
+            query,
+            body,
+        },
+        consumed: body_start + content_length,
+        keep_alive,
     })
+}
+
+/// Reads and parses one request from a blocking `stream`.
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Parsed::Complete { request, .. } = parse_request(&buf, max_body)? {
+            return Ok(request);
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Io(io::ErrorKind::UnexpectedEof.into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -239,17 +288,29 @@ impl Response {
         Response::json(status, body)
     }
 
-    /// Serialises the response (status line, headers, body) onto `w`.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        write!(
-            w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    /// Serialises the response into `out`. `close` picks the
+    /// `Connection:` header — the reactor sends `keep-alive` on every
+    /// response but the connection's last.
+    pub fn render_into(&self, out: &mut Vec<u8>, close: bool) {
+        use std::io::Write as _;
+        let _ = write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             reason(self.status),
             self.content_type,
-            self.body.len()
-        )?;
-        w.write_all(&self.body)?;
+            self.body.len(),
+            if close { "close" } else { "keep-alive" }
+        );
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Serialises the response (status line, headers, body) onto `w`,
+    /// closing form (`Connection: close`).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        self.render_into(&mut out, true);
+        w.write_all(&out)?;
         w.flush()
     }
 }
@@ -350,6 +411,71 @@ mod tests {
         assert_eq!(percent_decode("a%20b+c"), "a b c");
         assert_eq!(percent_decode("mul%3A2"), "mul:2");
         assert_eq!(percent_decode("100%"), "100%");
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_split_heads_and_bodies() {
+        let raw = b"POST /schedule?cs=4 HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        // Every prefix short of the full request is Partial; the full
+        // buffer parses and reports its exact extent.
+        for cut in 0..raw.len() {
+            match parse_request(&raw[..cut], 1024) {
+                Ok(Parsed::Partial) => {}
+                other => panic!("prefix {cut} gave {other:?}"),
+            }
+        }
+        match parse_request(raw, 1024).unwrap() {
+            Parsed::Complete {
+                request,
+                consumed,
+                keep_alive,
+            } => {
+                assert_eq!(request.body, b"hello");
+                assert_eq!(consumed, raw.len());
+                assert!(keep_alive, "HTTP/1.1 defaults to keep-alive");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelined_buffers_report_per_request_extent() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let Parsed::Complete {
+            request, consumed, ..
+        } = parse_request(raw, 1024).unwrap()
+        else {
+            panic!("first request did not parse")
+        };
+        assert_eq!(request.path, "/healthz");
+        let Parsed::Complete { request, .. } = parse_request(&raw[consumed..], 1024).unwrap()
+        else {
+            panic!("second request did not parse")
+        };
+        assert_eq!(request.path, "/metrics");
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let ka = |raw: &[u8]| match parse_request(raw, 1024).unwrap() {
+            Parsed::Complete { keep_alive, .. } => keep_alive,
+            other => panic!("{other:?}"),
+        };
+        assert!(ka(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.0\r\n\r\n"));
+        assert!(ka(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+        assert!(!ka(
+            b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"
+        ));
+    }
+
+    #[test]
+    fn responses_render_keep_alive_form() {
+        let mut out = Vec::new();
+        Response::text(200, "ok\n").render_into(&mut out, false);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
     }
 
     #[test]

@@ -68,28 +68,37 @@ pub fn parse_flat_object(text: &str) -> Result<BTreeMap<String, JsonValue>, Stri
         text,
     };
     p.skip_ws();
-    p.expect('{')?;
-    let mut map = BTreeMap::new();
+    let map = p.object()?;
     p.skip_ws();
-    if p.eat('}') {
+    p.end(map)
+}
+
+/// Parses a JSON array of flat objects (`[{...},{...}]`) — the
+/// `POST /batch` body shape. The array itself is the only nesting
+/// level; each element follows the [`parse_flat_object`] rules.
+pub fn parse_flat_array(text: &str) -> Result<Vec<BTreeMap<String, JsonValue>>, String> {
+    let mut p = Parser {
+        chars: text.char_indices().peekable(),
+        text,
+    };
+    p.skip_ws();
+    p.expect('[')?;
+    let mut items = Vec::new();
+    p.skip_ws();
+    if p.eat(']') {
         p.skip_ws();
-        return p.end(map);
+        return p.end(items);
     }
     loop {
         p.skip_ws();
-        let key = p.string()?;
-        p.skip_ws();
-        p.expect(':')?;
-        p.skip_ws();
-        let value = p.value()?;
-        map.insert(key, value);
+        items.push(p.object()?);
         p.skip_ws();
         if p.eat(',') {
             continue;
         }
-        p.expect('}')?;
+        p.expect(']')?;
         p.skip_ws();
-        return p.end(map);
+        return p.end(items);
     }
 }
 
@@ -99,6 +108,32 @@ struct Parser<'a> {
 }
 
 impl Parser<'_> {
+    /// One `{...}` object of scalar values, cursor left just past the
+    /// closing brace.
+    fn object(&mut self) -> Result<BTreeMap<String, JsonValue>, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.eat('}') {
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            if self.eat(',') {
+                continue;
+            }
+            self.expect('}')?;
+            return Ok(map);
+        }
+    }
+
     fn skip_ws(&mut self) {
         while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
             self.chars.next();
@@ -284,6 +319,29 @@ mod tests {
             r#"{"a":tru}"#,
         ] {
             assert!(parse_flat_object(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_an_array_of_flat_objects() {
+        let items =
+            parse_flat_array(r#" [ {"benchmark":"diffeq","cs":4}, {"cs": 6}, {} ] "#).unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0]["benchmark"].as_str(), Some("diffeq"));
+        assert_eq!(items[1]["cs"].as_u64(), Some(6));
+        assert!(items[2].is_empty());
+        assert!(parse_flat_array("[]").unwrap().is_empty());
+        for bad in [
+            "",
+            "{}",
+            "[",
+            "[{}",
+            "[{},]",
+            "[1,2]",
+            r#"[{"a":[1]}]"#,
+            "[{}] trailing",
+        ] {
+            assert!(parse_flat_array(bad).is_err(), "{bad:?}");
         }
     }
 

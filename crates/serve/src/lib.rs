@@ -7,11 +7,20 @@
 //! interactive design-space exploration front end. The daemon is built
 //! entirely on `std`:
 //!
-//! * a hand-rolled HTTP/1.1 subset ([`http`]) over
-//!   `std::net::TcpListener` — the container is offline, so no
-//!   tokio/hyper;
-//! * a bounded admission queue ([`queue`]) — overload answers **429**
-//!   instead of queueing unboundedly;
+//! * a hand-rolled HTTP/1.1 subset ([`http`]) with an incremental
+//!   parser — the container is offline, so no tokio/hyper;
+//! * a single-threaded readiness reactor (epoll on Linux, `poll(2)`
+//!   elsewhere) owning every connection: keep-alive, bounded
+//!   pipelining with in-order responses, slow-loris and idle
+//!   timeouts;
+//! * a bounded admission queue ([`queue`]) between the reactor and
+//!   the compute workers — overload answers **429** on the live
+//!   connection instead of queueing unboundedly;
+//! * `POST /batch`: many jobs in one request, fanned out over the
+//!   exploration pool, answered as one in-order JSON array;
+//! * a tiered result cache: in-memory LRU over an optional
+//!   content-addressed on-disk layer (`--cache-dir`) that survives
+//!   restarts;
 //! * per-request deadlines riding the scheduler's cooperative
 //!   [`moveframe::CancelToken`] checkpoints — overruns answer **504**
 //!   and never poison the cache or the worker pool;
@@ -33,13 +42,17 @@
 mod api;
 mod http;
 mod json;
+#[allow(unsafe_code)]
+mod poller;
 mod queue;
 mod server;
 #[allow(unsafe_code)]
 pub mod signal;
 
-pub use api::{benchmark, handle, parse_job, point_json, AppState, Emit, Job};
-pub use http::{percent_decode, read_request, reason, HttpError, Request, Response};
-pub use json::{escape_into, parse_flat_object, JsonValue};
+pub use api::{benchmark, handle, parse_job, point_json, run_batch, try_warm, AppState, Emit, Job};
+pub use http::{
+    parse_request, percent_decode, read_request, reason, HttpError, Parsed, Request, Response,
+};
+pub use json::{escape_into, parse_flat_array, parse_flat_object, JsonValue};
 pub use queue::Bounded;
 pub use server::{ServeConfig, Server};

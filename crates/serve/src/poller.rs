@@ -1,0 +1,594 @@
+//! Readiness polling for the reactor: `epoll(7)` on Linux with a
+//! portable `poll(2)` fallback, behind one token-based interface.
+//!
+//! This module and [`crate::signal`] are the only `unsafe` in the
+//! workspace: both call libc entry points already linked through std
+//! (the offline container has no mio/polling crate). The surface is
+//! deliberately tiny — create, register/modify/deregister, wait —
+//! and level-triggered on both backends, so the reactor's state
+//! machine never depends on edge semantics. On Linux the fallback is
+//! still compiled and selectable ([`Poller::new`] with `force_poll`,
+//! or when `epoll_create1` fails), which is what lets the test suite
+//! exercise both code paths on one platform.
+//!
+//! Off Unix there are no raw fds to poll; a sleep-tick emulation
+//! reports every registered token as ready each tick. That is
+//! *spuriously* ready — correct for this reactor, whose handlers use
+//! non-blocking sockets and treat `WouldBlock` as "not actually
+//! ready" — and keeps the crate building everywhere.
+
+use std::io;
+use std::time::Duration;
+
+/// Readable interest / readiness bit.
+pub const READ: u8 = 1;
+/// Writable interest / readiness bit.
+pub const WRITE: u8 = 2;
+
+#[cfg(unix)]
+pub use std::os::unix::io::RawFd as Raw;
+#[cfg(not(unix))]
+/// Placeholder fd type off Unix (tokens carry the identity instead).
+pub type Raw = i32;
+
+/// Anything the poller can watch. Blanket-implemented over
+/// `AsRawFd` on Unix; a no-op elsewhere.
+pub trait Source {
+    /// The raw handle to register.
+    fn raw(&self) -> Raw;
+}
+
+#[cfg(unix)]
+impl<T: std::os::unix::io::AsRawFd> Source for T {
+    fn raw(&self) -> Raw {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(not(unix))]
+impl<T> Source for T {
+    fn raw(&self) -> Raw {
+        0
+    }
+}
+
+/// One readiness event: the token registered for the source, plus
+/// which of [`READ`]/[`WRITE`] fired.
+pub type Event = (u64, u8);
+
+/// A level-triggered readiness poller.
+#[derive(Debug)]
+pub struct Poller {
+    imp: Imp,
+}
+
+#[derive(Debug)]
+enum Imp {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    #[cfg(unix)]
+    Poll(pollfds::Poll),
+    #[cfg(not(unix))]
+    Spin(spin::Spin),
+}
+
+impl Poller {
+    /// Creates a poller: epoll where available (unless `force_poll`),
+    /// otherwise the `poll(2)` fallback (the sleep-tick emulation off
+    /// Unix, where `force_poll` is ignored).
+    pub fn new(force_poll: bool) -> Poller {
+        #[cfg(target_os = "linux")]
+        {
+            if !force_poll {
+                if let Some(ep) = epoll::Epoll::new() {
+                    return Poller {
+                        imp: Imp::Epoll(ep),
+                    };
+                }
+            }
+        }
+        #[cfg(unix)]
+        {
+            let _ = force_poll;
+            Poller {
+                imp: Imp::Poll(pollfds::Poll::default()),
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = force_poll;
+            Poller {
+                imp: Imp::Spin(spin::Spin::default()),
+            }
+        }
+    }
+
+    /// The backend in use, for logs and telemetry.
+    pub fn backend(&self) -> &'static str {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(_) => "epoll",
+            #[cfg(unix)]
+            Imp::Poll(_) => "poll",
+            #[cfg(not(unix))]
+            Imp::Spin(_) => "spin",
+        }
+    }
+
+    /// Starts watching `source` under `token` for `interest`.
+    pub fn add(&mut self, token: u64, source: &impl Source, interest: u8) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(ep) => ep.add(token, source.raw(), interest),
+            #[cfg(unix)]
+            Imp::Poll(p) => p.add(token, source.raw(), interest),
+            #[cfg(not(unix))]
+            Imp::Spin(s) => s.add(token, interest),
+        }
+    }
+
+    /// Changes the interest set of an already-registered source.
+    pub fn modify(&mut self, token: u64, source: &impl Source, interest: u8) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(ep) => ep.modify(token, source.raw(), interest),
+            #[cfg(unix)]
+            Imp::Poll(p) => p.modify(token, source.raw(), interest),
+            #[cfg(not(unix))]
+            Imp::Spin(s) => s.add(token, interest),
+        }
+    }
+
+    /// Stops watching a source. (Dropping the socket would also do on
+    /// epoll, but the fallback tracks interest in user space — always
+    /// deregister explicitly.)
+    pub fn remove(&mut self, token: u64, source: &impl Source) {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(ep) => ep.remove(source.raw()),
+            #[cfg(unix)]
+            Imp::Poll(p) => p.remove(token),
+            #[cfg(not(unix))]
+            Imp::Spin(s) => s.remove(token),
+        }
+    }
+
+    /// Waits up to `timeout` for readiness; appends events to `out`
+    /// (cleared first). A `None` timeout blocks indefinitely.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 0.5ms timeout still sleeps instead of
+            // spinning.
+            Some(t) => t
+                .as_millis()
+                .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(ep) => ep.wait(out, ms),
+            #[cfg(unix)]
+            Imp::Poll(p) => p.wait(out, ms),
+            #[cfg(not(unix))]
+            Imp::Spin(s) => s.wait(out, ms),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{Event, READ, WRITE};
+    use std::io;
+
+    // x86_64 is the one ABI where the kernel's struct is packed.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    #[derive(Debug)]
+    pub struct Epoll {
+        epfd: i32,
+    }
+
+    impl Epoll {
+        pub fn new() -> Option<Epoll> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            (epfd >= 0).then_some(Epoll { epfd })
+        }
+
+        fn mask(interest: u8) -> u32 {
+            let mut m = EPOLLRDHUP;
+            if interest & READ != 0 {
+                m |= EPOLLIN;
+            }
+            if interest & WRITE != 0 {
+                m |= EPOLLOUT;
+            }
+            m
+        }
+
+        fn ctl(&self, op: i32, fd: i32, token: u64, interest: u8) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: Self::mask(interest),
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc == 0 {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+
+        pub fn add(&mut self, token: u64, fd: i32, interest: u8) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&mut self, token: u64, fd: i32, interest: u8) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn remove(&mut self, fd: i32) {
+            let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    events.as_mut_ptr(),
+                    events.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                // A signal landing on the reactor thread is not an
+                // error; the loop re-checks its flags and re-waits.
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for ev in &events[..n as usize] {
+                // Copy out of the (possibly packed) struct first.
+                let (bits, token) = (ev.events, ev.data);
+                let mut ready = 0u8;
+                if bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0 {
+                    ready |= READ;
+                }
+                if bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0 {
+                    ready |= WRITE;
+                }
+                out.push((token, ready));
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+mod pollfds {
+    use super::{Event, READ, WRITE};
+    use std::io;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Interest tracked in user space; the pollfd array is rebuilt per
+    /// wait. O(n) per call, which is fine for a fallback backend.
+    #[derive(Debug, Default)]
+    pub struct Poll {
+        entries: Vec<(u64, i32, u8)>, // (token, fd, interest)
+    }
+
+    impl Poll {
+        pub fn add(&mut self, token: u64, fd: i32, interest: u8) -> io::Result<()> {
+            self.remove(token);
+            self.entries.push((token, fd, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, token: u64, fd: i32, interest: u8) -> io::Result<()> {
+            self.add(token, fd, interest)
+        }
+
+        pub fn remove(&mut self, token: u64) {
+            self.entries.retain(|&(t, _, _)| t != token);
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = self
+                .entries
+                .iter()
+                .map(|&(_, fd, interest)| PollFd {
+                    fd,
+                    events: if interest & READ != 0 { POLLIN } else { 0 }
+                        | if interest & WRITE != 0 { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for (pfd, &(token, _, _)) in fds.iter().zip(self.entries.iter()) {
+                let mut ready = 0u8;
+                if pfd.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0 {
+                    ready |= READ;
+                }
+                if pfd.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0 {
+                    ready |= WRITE;
+                }
+                if ready != 0 {
+                    out.push((token, ready));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod spin {
+    use super::{Event, READ, WRITE};
+    use std::io;
+
+    /// Sleep-tick emulation: every registered token reports as fully
+    /// ready each tick; non-blocking handlers sort out the truth.
+    #[derive(Debug, Default)]
+    pub struct Spin {
+        tokens: Vec<(u64, u8)>,
+    }
+
+    impl Spin {
+        pub fn add(&mut self, token: u64, interest: u8) -> io::Result<()> {
+            self.remove(token);
+            self.tokens.push((token, interest));
+            Ok(())
+        }
+
+        pub fn remove(&mut self, token: u64) {
+            self.tokens.retain(|&(t, _)| t != token);
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            let ms = if timeout_ms < 0 { 1 } else { timeout_ms.min(1) };
+            std::thread::sleep(std::time::Duration::from_millis(ms as u64));
+            for &(token, interest) in &self.tokens {
+                let ready = interest & (READ | WRITE);
+                if ready != 0 {
+                    out.push((token, ready));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A cross-thread wakeup channel built from a loopback socket pair —
+/// pure std, no extra fds beyond what the platform gives every test
+/// server. The receiving end registers in the poller like any
+/// connection; [`Waker::wake`] makes it readable.
+#[derive(Debug)]
+pub struct Waker {
+    tx: std::sync::Mutex<std::net::TcpStream>,
+}
+
+impl Waker {
+    /// Builds the pair: the `Waker` half is `Send + Sync` for workers
+    /// and the public [`crate::Server`] handle; the stream half goes
+    /// into the reactor's poller.
+    pub fn pair() -> io::Result<(Waker, std::net::TcpStream)> {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+        let tx = std::net::TcpStream::connect(listener.local_addr()?)?;
+        let (rx, _) = listener.accept()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((
+            Waker {
+                tx: std::sync::Mutex::new(tx),
+            },
+            rx,
+        ))
+    }
+
+    /// Makes the reactor's receiving end readable. Best-effort: a full
+    /// socket buffer means wakeups are already pending, which is all a
+    /// level-triggered loop needs.
+    pub fn wake(&self) {
+        use std::io::Write as _;
+        let mut tx = self
+            .tx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = tx.write(&[1]);
+    }
+}
+
+/// Drains all pending wakeup bytes from the receiving end.
+pub fn drain_waker(rx: &mut std::net::TcpStream) {
+    use std::io::Read as _;
+    let mut scratch = [0u8; 256];
+    loop {
+        match rx.read(&mut scratch) {
+            Ok(n) if n > 0 => {}
+            _ => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    fn backends() -> Vec<Poller> {
+        let mut v = vec![Poller::new(false)];
+        if v[0].backend() == "epoll" {
+            v.push(Poller::new(true));
+        }
+        v
+    }
+
+    #[test]
+    fn reports_readability_on_both_backends() {
+        for mut poller in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (mut rx, _) = listener.accept().unwrap();
+            rx.set_nonblocking(true).unwrap();
+            poller.add(7, &rx, READ).unwrap();
+
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(
+                events.iter().all(|&(t, r)| t != 7 || r & READ == 0),
+                "{}: idle socket reported readable",
+                poller.backend()
+            );
+
+            tx.write_all(b"x").unwrap();
+            tx.flush().unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            loop {
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(50)))
+                    .unwrap();
+                if events.iter().any(|&(t, r)| t == 7 && r & READ != 0) {
+                    break;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "{}: write never became readable",
+                    poller.backend()
+                );
+            }
+            let mut byte = [0u8; 8];
+            assert_eq!(rx.read(&mut byte).unwrap(), 1);
+            poller.remove(7, &rx);
+        }
+    }
+
+    #[test]
+    fn write_interest_fires_and_modify_silences_it() {
+        for mut poller in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let _tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (rx, _) = listener.accept().unwrap();
+            rx.set_nonblocking(true).unwrap();
+            poller.add(3, &rx, READ | WRITE).unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            assert!(
+                events.iter().any(|&(t, r)| t == 3 && r & WRITE != 0),
+                "{}: empty send buffer should be writable",
+                poller.backend()
+            );
+            poller.modify(3, &rx, READ).unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(
+                events.iter().all(|&(t, r)| t != 3 || r & WRITE == 0),
+                "{}: write interest should be gone after modify",
+                poller.backend()
+            );
+            poller.remove(3, &rx);
+        }
+    }
+
+    #[test]
+    fn waker_wakes_through_the_poller() {
+        for mut poller in backends() {
+            let (waker, mut rx) = Waker::pair().unwrap();
+            poller.add(1, &rx, READ).unwrap();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                waker.wake();
+                waker
+            });
+            let mut events = Vec::new();
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            loop {
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(100)))
+                    .unwrap();
+                if events.iter().any(|&(t, r)| t == 1 && r & READ != 0) {
+                    break;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "{}: wake never arrived",
+                    poller.backend()
+                );
+            }
+            drain_waker(&mut rx);
+            let _ = handle.join().unwrap();
+            poller.remove(1, &rx);
+        }
+    }
+}

@@ -20,7 +20,10 @@
 //! mfhls profile (<file.dfg> | gen:OPS) [--cs N] [--alg mfs|mfsa]
 //!               [--top K] [--json] [--two-cycle-mul] [-q]
 //! mfhls serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
-//!             [--cache-cap N] [--deadline-ms N] [--access-log FILE] [-q]
+//!             [--cache-cap N] [--cache-dir DIR] [--deadline-ms N]
+//!             [--keep-alive on|off] [--idle-timeout-ms N]
+//!             [--read-timeout-ms N] [--pipeline-depth N] [--force-poll]
+//!             [--access-log FILE] [-q]
 //! ```
 //!
 //! Telemetry flags (schedule & synth): `--trace FILE.jsonl` streams the
@@ -109,6 +112,10 @@ enum Command {
         /// Feedback-guided refinement iterations after the one-shot
         /// schedule (0 = plain one-shot).
         iterate: u32,
+        /// Tap the one-shot pass with the attribution profiler and
+        /// seed the refinement's extraction hints from its top node
+        /// hotspots.
+        iterate_profile: bool,
         tel: Telemetry,
     },
     Explore {
@@ -137,11 +144,7 @@ enum Command {
         quiet: bool,
     },
     Serve {
-        addr: String,
-        workers: usize,
-        queue_cap: usize,
-        cache_cap: usize,
-        deadline_ms: Option<u64>,
+        config: ServeConfig,
         access_log: Option<String>,
         quiet: bool,
     },
@@ -154,6 +157,37 @@ const SUBCOMMANDS: &[&str] = &["info", "schedule", "synth", "explore", "profile"
 /// `--cs` is omitted — the same margin the `core_scaling` benchmark
 /// uses, so a default profile observes the benchmark's frame widths.
 const PROFILE_SLACK: u32 = 8;
+
+/// How many of the hottest nodes `--iterate-profile` turns into
+/// extraction hints. Hotspots are totally ordered (energy evaluations
+/// descending, node index ascending), so a fixed cutoff is
+/// deterministic.
+const ITERATE_PROFILE_TOP: usize = 8;
+
+/// Forwards the trace stream to the telemetry sink the user asked for
+/// while the attribution profiler taps it for `--iterate-profile`.
+struct TeeSink<'a> {
+    main: &'a mut dyn TraceSink,
+    tap: &'a mut Profiler,
+}
+
+impl TraceSink for TeeSink<'_> {
+    fn record(&mut self, event: TraceEvent) {
+        if self.main.enabled() {
+            self.main.record(event.clone());
+        }
+        self.tap.record(event);
+    }
+}
+
+/// The hottest profiled nodes as extraction hints, hottest first.
+fn hotspot_hints(profiler: &Profiler, top: usize) -> Vec<NodeId> {
+    profiler
+        .hotspots(top)
+        .iter()
+        .map(|h| NodeId::from_index(h.op as usize))
+        .collect()
+}
 
 fn usage() -> String {
     "usage: mfhls <subcommand> [args]\n\
@@ -241,6 +275,8 @@ fn usage_for(sub: &str) -> Option<String> {
              \x20 --lib FILE.lib    use a custom cell library\n\
              \x20 --two-cycle-mul   use the 2-cycle-multiply timing profile\n\
              \x20 --iterate N       feedback-guided refinement rounds (0 = one-shot)\n\
+             \x20 --iterate-profile seed the refinement's extraction hints from the\n\
+             \x20                   one-shot pass's profiler hotspots (needs --iterate)\n\
              \x20 --json            print the canonical stats JSON line instead of text\n\
              \x20 --microcode       print the control-word listing\n\
              \x20 --verilog         emit synthesisable Verilog\n\
@@ -309,16 +345,25 @@ fn usage_for(sub: &str) -> Option<String> {
              Synthesis-as-a-service HTTP daemon. POST jobs name a built-in\n\
              benchmark (including the memory kernels array_fir/matvec) or\n\
              carry an inline .dfg; answers are the same JSON the --json CLI\n\
-             modes print.\n\
+             modes print. `POST /batch` takes a JSON array of jobs and\n\
+             answers one ordered array. Connections are keep-alive with\n\
+             bounded pipelining; `--cache-dir` adds an on-disk result tier\n\
+             that survives restarts.\n\
              \n\
              flags:\n\
-             \x20 --addr HOST:PORT   listen address\n\
-             \x20 --workers N        scheduler worker threads\n\
-             \x20 --queue-cap N      bounded job-queue length\n\
-             \x20 --cache-cap N      warm schedule-cache capacity\n\
-             \x20 --deadline-ms N    default per-job deadline\n\
-             \x20 --access-log FILE  append JSONL access records to FILE\n\
-             \x20 -q|--quiet         silence startup/shutdown chatter"
+             \x20 --addr HOST:PORT      listen address\n\
+             \x20 --workers N           scheduler worker threads\n\
+             \x20 --queue-cap N         bounded job-queue length\n\
+             \x20 --cache-cap N         warm schedule-cache capacity\n\
+             \x20 --cache-dir DIR       on-disk result cache (restart-warm)\n\
+             \x20 --deadline-ms N       default per-job deadline\n\
+             \x20 --keep-alive on|off   HTTP keep-alive (default on)\n\
+             \x20 --idle-timeout-ms N   evict idle keep-alive conns (5000)\n\
+             \x20 --read-timeout-ms N   slow-loris partial-request bound (5000)\n\
+             \x20 --pipeline-depth N    max in-flight requests per conn (8)\n\
+             \x20 --force-poll          use poll(2) even where epoll exists\n\
+             \x20 --access-log FILE     append JSONL access records to FILE\n\
+             \x20 -q|--quiet            silence startup/shutdown chatter"
         }
         _ => return None,
     };
@@ -354,6 +399,7 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--lib",
             "--two-cycle-mul",
             "--iterate",
+            "--iterate-profile",
             "--json",
             "--microcode",
             "--verilog",
@@ -403,7 +449,13 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--workers",
             "--queue-cap",
             "--cache-cap",
+            "--cache-dir",
             "--deadline-ms",
+            "--keep-alive",
+            "--idle-timeout-ms",
+            "--read-timeout-ms",
+            "--pipeline-depth",
+            "--force-poll",
             "--access-log",
             "-q",
             "--quiet",
@@ -431,33 +483,59 @@ fn unknown_flag(sub: &str, flag: &str) -> String {
 /// Parses the `serve` subcommand's flags (no input file: the daemon
 /// receives designs over HTTP).
 fn parse_serve<'a, I: Iterator<Item = &'a String>>(mut it: I) -> Result<Command, String> {
-    let defaults = ServeConfig::default();
-    let mut addr = defaults.addr;
-    let mut workers = defaults.workers;
-    let mut queue_cap = defaults.queue_cap;
-    let mut cache_cap = defaults.cache_cap;
-    let mut deadline_ms = defaults.default_deadline_ms;
+    let mut config = ServeConfig::default();
     let mut access_log = None;
     let mut quiet = false;
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--addr" => config.addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
-                workers = v.parse().map_err(|_| "invalid --workers value")?;
+                config.workers = v.parse().map_err(|_| "invalid --workers value")?;
             }
             "--queue-cap" => {
                 let v = it.next().ok_or("--queue-cap needs a value")?;
-                queue_cap = v.parse().map_err(|_| "invalid --queue-cap value")?;
+                config.queue_cap = v.parse().map_err(|_| "invalid --queue-cap value")?;
             }
             "--cache-cap" => {
                 let v = it.next().ok_or("--cache-cap needs a value")?;
-                cache_cap = v.parse().map_err(|_| "invalid --cache-cap value")?;
+                config.cache_cap = v.parse().map_err(|_| "invalid --cache-cap value")?;
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a directory path")?;
+                config.cache_dir = Some(v.into());
             }
             "--deadline-ms" => {
                 let v = it.next().ok_or("--deadline-ms needs a value")?;
-                deadline_ms = Some(v.parse().map_err(|_| "invalid --deadline-ms value")?);
+                config.default_deadline_ms =
+                    Some(v.parse().map_err(|_| "invalid --deadline-ms value")?);
             }
+            "--keep-alive" => {
+                config.keep_alive = match it.next().ok_or("--keep-alive needs on|off")?.as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    _ => return Err("invalid --keep-alive value (want on|off)".into()),
+                };
+            }
+            "--idle-timeout-ms" => {
+                let v = it.next().ok_or("--idle-timeout-ms needs a value")?;
+                config.idle_timeout_ms =
+                    v.parse().map_err(|_| "invalid --idle-timeout-ms value")?;
+            }
+            "--read-timeout-ms" => {
+                let v = it.next().ok_or("--read-timeout-ms needs a value")?;
+                config.read_timeout_ms =
+                    v.parse().map_err(|_| "invalid --read-timeout-ms value")?;
+            }
+            "--pipeline-depth" => {
+                let v = it.next().ok_or("--pipeline-depth needs a value")?;
+                let depth: usize = v.parse().map_err(|_| "invalid --pipeline-depth value")?;
+                if depth == 0 {
+                    return Err("--pipeline-depth must be at least 1".into());
+                }
+                config.pipeline_depth = depth;
+            }
+            "--force-poll" => config.force_poll = true,
             "--access-log" => {
                 let v = it.next().ok_or("--access-log needs a file path")?;
                 access_log = Some(v.clone());
@@ -467,11 +545,7 @@ fn parse_serve<'a, I: Iterator<Item = &'a String>>(mut it: I) -> Result<Command,
         }
     }
     Ok(Command::Serve {
-        addr,
-        workers,
-        queue_cap,
-        cache_cap,
-        deadline_ms,
+        config,
         access_log,
         quiet,
     })
@@ -518,6 +592,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut emit = None;
     let mut top = 20usize;
     let mut iterate = 0u32;
+    let mut iterate_profile = false;
     let mut tel = Telemetry::default();
     while let Some(flag) = it.next() {
         if !allowed_flags(sub).contains(&flag.as_str()) {
@@ -627,6 +702,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 let v = it.next().ok_or("--iterate needs an iteration count")?;
                 iterate = v.parse::<u32>().map_err(|_| "invalid --iterate value")?;
             }
+            "--iterate-profile" => iterate_profile = true,
             "--trace" => {
                 let v = it.next().ok_or("--trace needs a file path")?;
                 tel.trace = Some(v.clone());
@@ -697,6 +773,17 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     return Err("--shard does not support --style2/--weights".into());
                 }
             }
+            if iterate_profile {
+                if iterate == 0 {
+                    return Err("--iterate-profile requires --iterate N (with N ≥ 1)".into());
+                }
+                if shard.is_some() {
+                    return Err("--iterate-profile is not supported with --shard".into());
+                }
+                if json {
+                    return Err("--iterate-profile is not supported with --json".into());
+                }
+            }
             Ok(Command::Synth {
                 file,
                 cs,
@@ -715,6 +802,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 shard_alg: shard_alg.unwrap_or(Algorithm::Mfsa),
                 threads,
                 iterate,
+                iterate_profile,
                 tel,
             })
         }
@@ -992,6 +1080,7 @@ fn run(command: Command) -> Result<(), String> {
             shard_alg,
             threads,
             iterate,
+            iterate_profile,
             tel,
         } => {
             let dfg = load_design(&file)?;
@@ -1046,25 +1135,52 @@ fn run(command: Command) -> Result<(), String> {
             let mut mem = MemorySink::new();
             let mut null = NullSink;
             let mut metrics = Metrics::new();
+            let mut profiler = Profiler::new();
             let out = {
+                // The one-shot pass: with --iterate-profile the
+                // attribution profiler taps the event stream alongside
+                // whatever sink the telemetry flags chose.
+                let mut out = {
+                    let sink: &mut dyn TraceSink = if tel.wants_events() {
+                        &mut mem
+                    } else {
+                        &mut null
+                    };
+                    if iterate_profile {
+                        let mut tee = TeeSink {
+                            main: sink,
+                            tap: &mut profiler,
+                        };
+                        let mut instr = Instrument::new(&mut tee, &mut metrics);
+                        mfsa::schedule_traced(&dfg, &spec, &config, &mut instr)
+                            .map_err(|e| e.to_string())?
+                    } else {
+                        let mut instr = Instrument::new(sink, &mut metrics);
+                        mfsa::schedule_traced(&dfg, &spec, &config, &mut instr)
+                            .map_err(|e| e.to_string())?
+                    }
+                };
                 let sink: &mut dyn TraceSink = if tel.wants_events() {
                     &mut mem
                 } else {
                     &mut null
                 };
                 let mut instr = Instrument::new(sink, &mut metrics);
-                let mut out = mfsa::schedule_traced(&dfg, &spec, &config, &mut instr)
-                    .map_err(|e| e.to_string())?;
                 if iterate > 0 {
-                    let refined = refine_mfsa(
-                        &dfg,
-                        &spec,
-                        &library,
-                        &mut out,
-                        &IterateConfig::new(iterate),
-                        &mut instr,
-                    )
-                    .map_err(|e| e.to_string())?;
+                    let mut iterate_config = IterateConfig::new(iterate);
+                    if iterate_profile {
+                        let hints = hotspot_hints(&profiler, ITERATE_PROFILE_TOP);
+                        if !tel.quiet {
+                            println!(
+                                "iterate-profile: {} extraction hint(s) from the hottest nodes",
+                                hints.len()
+                            );
+                        }
+                        iterate_config = iterate_config.with_hints(hints);
+                    }
+                    let refined =
+                        refine_mfsa(&dfg, &spec, &library, &mut out, &iterate_config, &mut instr)
+                            .map_err(|e| e.to_string())?;
                     if !tel.quiet {
                         println!(
                             "iterate: {} round(s), {} splice(s) accepted, control steps {} -> {}, registers {} -> {}",
@@ -1291,22 +1407,10 @@ fn run(command: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Serve {
-            addr,
-            workers,
-            queue_cap,
-            cache_cap,
-            deadline_ms,
+            config,
             access_log,
             quiet,
         } => {
-            let config = ServeConfig {
-                addr,
-                workers,
-                queue_cap,
-                cache_cap,
-                default_deadline_ms: deadline_ms,
-                ..ServeConfig::default()
-            };
             let sink: Box<dyn TraceSink + Send> = match &access_log {
                 Some(path) => {
                     let file = std::fs::File::create(path)
@@ -1733,6 +1837,69 @@ mod tests {
     }
 
     #[test]
+    fn parses_synth_iterate_profile() {
+        let c = parse(&[
+            "synth",
+            "x.dfg",
+            "--cs",
+            "12",
+            "--iterate",
+            "2",
+            "--iterate-profile",
+        ])
+        .unwrap();
+        match c {
+            Command::Synth {
+                iterate,
+                iterate_profile,
+                ..
+            } => {
+                assert_eq!(iterate, 2);
+                assert!(iterate_profile);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Hints only steer the refinement loop, so the flag is
+        // meaningless without --iterate.
+        assert!(
+            parse(&["synth", "x.dfg", "--cs", "12", "--iterate-profile"])
+                .unwrap_err()
+                .contains("requires --iterate")
+        );
+        // Sharded synthesis profiles per shard; not wired up.
+        assert!(parse(&[
+            "synth",
+            "gen:5000",
+            "--shard",
+            "2",
+            "--iterate",
+            "1",
+            "--iterate-profile"
+        ])
+        .unwrap_err()
+        .contains("--shard"));
+        // The JSON point report has no hint field yet.
+        assert!(parse(&[
+            "synth",
+            "x.dfg",
+            "--cs",
+            "12",
+            "--iterate",
+            "1",
+            "--iterate-profile",
+            "--json"
+        ])
+        .unwrap_err()
+        .contains("--json"));
+        // And it stays a synth-only flag.
+        assert!(
+            parse(&["schedule", "x.dfg", "--cs", "4", "--iterate-profile"])
+                .unwrap_err()
+                .contains("unknown schedule flag")
+        );
+    }
+
+    #[test]
     fn synth_iterate_end_to_end() {
         let dir = std::env::temp_dir().join("mfhls-iterate-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1761,6 +1928,7 @@ mod tests {
             shard_alg: Algorithm::Mfsa,
             threads: 0,
             iterate: 3,
+            iterate_profile: true,
             tel: Telemetry {
                 quiet: true,
                 ..Telemetry::default()
@@ -1786,6 +1954,7 @@ mod tests {
             shard_alg: Algorithm::Mfs,
             threads: 2,
             iterate: 2,
+            iterate_profile: false,
             tel: Telemetry {
                 quiet: true,
                 ..Telemetry::default()
@@ -1814,6 +1983,7 @@ mod tests {
             shard_alg: Algorithm::Mfs,
             threads: 2,
             iterate: 0,
+            iterate_profile: false,
             tel: Telemetry {
                 quiet: true,
                 ..Telemetry::default()
@@ -1847,6 +2017,7 @@ mod tests {
                 shard_alg,
                 threads,
                 iterate: 0,
+                iterate_profile: false,
                 tel,
             })
             .unwrap_err(),
@@ -1971,6 +2142,7 @@ mod tests {
             shard_alg: Algorithm::Mfsa,
             threads: 0,
             iterate: 0,
+            iterate_profile: false,
             tel: Telemetry::default(),
         })
         .unwrap();
@@ -1996,6 +2168,7 @@ mod tests {
             shard_alg: Algorithm::Mfsa,
             threads: 0,
             iterate: 0,
+            iterate_profile: false,
             tel: Telemetry::default(),
         })
         .unwrap();
@@ -2180,8 +2353,19 @@ mod tests {
             "16",
             "--cache-cap",
             "100",
+            "--cache-dir",
+            "/tmp/mfhls-cache",
             "--deadline-ms",
             "250",
+            "--keep-alive",
+            "off",
+            "--idle-timeout-ms",
+            "900",
+            "--read-timeout-ms",
+            "700",
+            "--pipeline-depth",
+            "4",
+            "--force-poll",
             "--access-log",
             "access.jsonl",
             "-q",
@@ -2190,32 +2374,33 @@ mod tests {
         assert_eq!(
             c,
             Command::Serve {
-                addr: "0.0.0.0:8080".into(),
-                workers: 3,
-                queue_cap: 16,
-                cache_cap: 100,
-                deadline_ms: Some(250),
+                config: ServeConfig {
+                    addr: "0.0.0.0:8080".into(),
+                    workers: 3,
+                    queue_cap: 16,
+                    cache_cap: 100,
+                    cache_dir: Some("/tmp/mfhls-cache".into()),
+                    default_deadline_ms: Some(250),
+                    keep_alive: false,
+                    idle_timeout_ms: 900,
+                    read_timeout_ms: 700,
+                    pipeline_depth: 4,
+                    force_poll: true,
+                    ..ServeConfig::default()
+                },
                 access_log: Some("access.jsonl".into()),
                 quiet: true,
             }
         );
-        // Defaults match ServeConfig so the CLI and library agree.
-        let d = ServeConfig::default();
+        // Bare `serve` is exactly the library defaults: the CLI adds
+        // nothing of its own.
         match parse(&["serve"]).unwrap() {
             Command::Serve {
-                addr,
-                workers,
-                queue_cap,
-                cache_cap,
-                deadline_ms,
+                config,
                 access_log,
                 quiet,
             } => {
-                assert_eq!(addr, d.addr);
-                assert_eq!(workers, d.workers);
-                assert_eq!(queue_cap, d.queue_cap);
-                assert_eq!(cache_cap, d.cache_cap);
-                assert_eq!(deadline_ms, d.default_deadline_ms);
+                assert_eq!(config, ServeConfig::default());
                 assert_eq!(access_log, None);
                 assert!(!quiet);
             }
@@ -2224,6 +2409,12 @@ mod tests {
         assert!(parse(&["serve", "--workers", "many"])
             .unwrap_err()
             .contains("invalid --workers"));
+        assert!(parse(&["serve", "--keep-alive", "sometimes"])
+            .unwrap_err()
+            .contains("on|off"));
+        assert!(parse(&["serve", "--pipeline-depth", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
         assert!(parse(&["serve", "--cs", "4"])
             .unwrap_err()
             .contains("unknown serve flag"));
@@ -2280,6 +2471,7 @@ mod tests {
             shard_alg: Algorithm::Mfsa,
             threads: 0,
             iterate: 0,
+            iterate_profile: false,
             tel: Telemetry::default(),
         })
         .unwrap_err();
@@ -2316,6 +2508,7 @@ mod tests {
             shard_alg: Algorithm::Mfsa,
             threads: 0,
             iterate: 0,
+            iterate_profile: false,
             tel: Telemetry::default(),
         })
         .unwrap();

@@ -54,3 +54,25 @@ pub fn get(addr: SocketAddr, path: &str) -> (u16, String) {
 pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> (u16, String) {
     request(addr, "POST", path, body)
 }
+
+/// A single `/schedule` job heavy enough to pin one worker for most of
+/// a second in debug builds: the canonical `gen:` scaling workload,
+/// inlined as DFG text. Under the reactor only *compute* occupies a
+/// worker — a mute connection pins nothing — so tests that need a busy
+/// pool send this.
+pub fn pin_job(ops: usize) -> Vec<u8> {
+    use moveframe_hls::benchmarks::generate::{generate, scaling_workload};
+    let dfg = generate(&scaling_workload(ops));
+    let text = dfg.to_text().expect("generated DFG renders to text");
+    let mut body = String::from("{\"dfg\":\"");
+    for c in text.chars() {
+        match c {
+            '"' => body.push_str("\\\""),
+            '\\' => body.push_str("\\\\"),
+            '\n' => body.push_str("\\n"),
+            c => body.push(c),
+        }
+    }
+    body.push_str("\",\"alg\":\"mfsa\",\"cs\":40}");
+    body.into_bytes()
+}

@@ -6,7 +6,7 @@
 use hls_bench::paper_points;
 use moveframe_hls::benchmarks::examples;
 use moveframe_hls::benchmarks::generate::{generate, GeneratorConfig};
-use moveframe_hls::explore::{explore, Algorithm, DesignPoint, ExploreCache};
+use moveframe_hls::explore::{explore, Algorithm, DesignPoint, ExploreCache, Tier};
 use moveframe_hls::prelude::*;
 
 /// The full per-example grid: the paper points plus the baseline
@@ -131,8 +131,12 @@ fn cache_is_content_addressed_not_identity_addressed() {
     let a = moveframe_hls::explore::dfg_fingerprint(&build("first", false), &spec);
     let b = moveframe_hls::explore::dfg_fingerprint(&build("second", true), &spec);
     assert_eq!(a, b, "renaming must not change the fingerprint");
-    let (_, computed) = cache.result(a, 1, || Err("placeholder".into()));
-    assert!(computed);
-    let (_, computed) = cache.result(b, 1, || unreachable!("must hit"));
-    assert!(!computed, "same structure + same point must hit the cache");
+    let (_, tier) = cache.result(a, 1, || Err("placeholder".into()));
+    assert_eq!(tier, Tier::Cold);
+    let (_, tier) = cache.result(b, 1, || unreachable!("must hit"));
+    assert_eq!(
+        tier,
+        Tier::Hot,
+        "same structure + same point must hit the cache"
+    );
 }

@@ -1,0 +1,103 @@
+//! Determinism contract behind `mfhls synth --iterate-profile`: the
+//! extraction hints derived from a profiler ledger of a fixed run are
+//! byte-stable, and the hinted refinement is itself deterministic, so
+//! profile-guided synthesis never turns a reproducible flow flaky.
+
+use moveframe_hls::benchmarks::examples;
+use moveframe_hls::benchmarks::generate::{generate, GeneratorConfig};
+use moveframe_hls::prelude::*;
+
+/// Same top-K the `mfhls` binary uses.
+const TOP: usize = 8;
+
+/// One profiled MFSA pass: the outcome plus the hotspot-derived
+/// extraction hints, exactly as `--iterate-profile` computes them.
+fn profiled_pass(
+    dfg: &Dfg,
+    spec: &TimingSpec,
+    config: &MfsaConfig,
+) -> (mfsa::MfsaOutcome, Vec<NodeId>) {
+    let mut profiler = Profiler::new();
+    let mut metrics = Metrics::new();
+    let out = mfsa::schedule_traced(
+        dfg,
+        spec,
+        config,
+        &mut Instrument::new(&mut profiler, &mut metrics),
+    )
+    .expect("feasible example constraint");
+    let hints = profiler
+        .hotspots(TOP)
+        .iter()
+        .map(|h| NodeId::from_index(h.op as usize))
+        .collect();
+    (out, hints)
+}
+
+#[test]
+fn hints_from_a_fixed_profile_are_byte_stable() {
+    for e in examples::all() {
+        let config = MfsaConfig::new(e.mfsa_cs, Library::ncr_like());
+        let (_, first) = profiled_pass(&e.dfg, &e.spec, &config);
+        let (_, second) = profiled_pass(&e.dfg, &e.spec, &config);
+        assert_eq!(
+            format!("{first:?}"),
+            format!("{second:?}"),
+            "ex{}: hint derivation must be reproducible",
+            e.id
+        );
+        assert!(
+            !first.is_empty(),
+            "ex{}: a traced run attributes work",
+            e.id
+        );
+        // Every hint names a real node of the profiled graph.
+        for h in &first {
+            assert!(
+                h.index() < e.dfg.node_count(),
+                "ex{}: hint {h:?} out of range",
+                e.id
+            );
+        }
+    }
+}
+
+#[test]
+fn hinted_refinement_is_deterministic() {
+    let dfg = generate(&GeneratorConfig {
+        seed: 97,
+        layers: 5,
+        width: 4,
+        inputs: 4,
+        ..GeneratorConfig::default()
+    });
+    let spec = TimingSpec::uniform_single_cycle();
+    let cp = CriticalPath::compute(&dfg, &spec).steps() as u32;
+    let library = Library::ncr_like();
+    let config = MfsaConfig::new(cp + 4, library.clone());
+
+    let mut rendered = Vec::new();
+    for _ in 0..2 {
+        let (mut out, hints) = profiled_pass(&dfg, &spec, &config);
+        let iterate = IterateConfig::new(2).with_hints(hints);
+        let mut sink = NullSink;
+        let mut metrics = Metrics::new();
+        refine_mfsa(
+            &dfg,
+            &spec,
+            &library,
+            &mut out,
+            &iterate,
+            &mut Instrument::new(&mut sink, &mut metrics),
+        )
+        .expect("refinement on a feasible schedule");
+        rendered.push((
+            render_schedule(&dfg, &out.schedule, &spec),
+            out.cost.total(),
+        ));
+    }
+    assert_eq!(
+        rendered[0], rendered[1],
+        "profile-guided refinement must be byte-stable"
+    );
+}

@@ -55,47 +55,39 @@ fn repeat_requests_hit_the_warm_cache() {
     server.join();
 }
 
-/// A connection that has been accepted but never sends its request:
-/// it pins a worker (or a queue slot) until dropped or timed out.
-fn stalled_connection(addr: std::net::SocketAddr) -> TcpStream {
-    TcpStream::connect(addr).expect("connect")
-}
-
 #[test]
 fn overload_answers_429_and_the_pool_recovers() {
     let server = common::start(ServeConfig {
         workers: 1,
         queue_cap: 1,
-        read_timeout_ms: 2000,
         ..common::ephemeral_config()
     });
     let addr = server.local_addr();
 
-    // Pin the single worker on a connection that never speaks, then
-    // fill the one queue slot with a second mute connection.
-    let pinned = stalled_connection(addr);
+    // Pin the single worker on a long cold job, then fill the one
+    // queue slot with an ordinary job behind it. (Mute connections no
+    // longer pin anything: the reactor admits *requests*, not
+    // connections, so only compute occupies a worker.)
+    let pin_body = common::pin_job(1500);
+    let pin = std::thread::spawn(move || common::post(addr, "/schedule", &pin_body));
     std::thread::sleep(Duration::from_millis(150));
-    let queued = stalled_connection(addr);
+    let queued = std::thread::spawn(move || common::post(addr, "/schedule", DIFFEQ_JOB));
     std::thread::sleep(Duration::from_millis(150));
 
-    // The queue is full: the acceptor must answer 429 inline.
+    // The queue is full: the reactor must answer 429 inline, without
+    // involving (or waiting for) a worker.
     let (status, body) = common::get(addr, "/healthz");
     assert_eq!(status, 429, "{body}");
     assert!(body.contains("queue"), "{body}");
 
-    // Release the stalled connections; the worker sheds them as read
-    // errors and the daemon keeps serving.
-    drop(pinned);
-    drop(queued);
-    let mut recovered = false;
-    for _ in 0..40 {
-        std::thread::sleep(Duration::from_millis(50));
-        if let (200, _) = common::get(addr, "/healthz") {
-            recovered = true;
-            break;
-        }
-    }
-    assert!(recovered, "pool did not recover after overload");
+    // Backpressure sheds nothing that was admitted: the pinned batch
+    // and the queued job both complete, and the pool keeps serving.
+    let (status, body) = pin.join().expect("pin client");
+    assert_eq!(status, 200, "{body}");
+    let (status, _) = queued.join().expect("queued client");
+    assert_eq!(status, 200);
+    let (status, _) = common::get(addr, "/healthz");
+    assert_eq!(status, 200, "pool did not recover after overload");
     assert!(
         server
             .app()
@@ -186,13 +178,14 @@ fn shutdown_drains_admitted_requests() {
     let server = common::start(ServeConfig {
         workers: 1,
         queue_cap: 4,
-        read_timeout_ms: 2000,
         ..common::ephemeral_config()
     });
     let addr = server.local_addr();
 
-    // Pin the worker, then enqueue a complete request behind it.
-    let pinned = stalled_connection(addr);
+    // Pin the worker on a long cold job, then get a complete request
+    // admitted into the queue behind it.
+    let pin_body = common::pin_job(1500);
+    let pin = std::thread::spawn(move || common::post(addr, "/schedule", &pin_body));
     std::thread::sleep(Duration::from_millis(150));
     let mut queued = TcpStream::connect(addr).expect("connect");
     queued
@@ -200,14 +193,16 @@ fn shutdown_drains_admitted_requests() {
         .expect("write");
     std::thread::sleep(Duration::from_millis(150));
 
-    // Shutdown stops admission but must answer what was admitted.
+    // Shutdown stops admission but must answer what was admitted —
+    // the in-flight batch and the queued probe both.
     server.shutdown();
-    drop(pinned);
     let mut raw = Vec::new();
     std::io::Read::read_to_end(&mut queued, &mut raw).expect("read");
     let text = String::from_utf8_lossy(&raw);
     assert!(text.starts_with("HTTP/1.1 200"), "{text}");
     assert!(text.ends_with("ok\n"), "{text}");
+    let (status, body) = pin.join().expect("pin client");
+    assert_eq!(status, 200, "in-flight batch dropped by drain: {body}");
 
     server.join();
 
